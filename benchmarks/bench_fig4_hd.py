@@ -1,0 +1,39 @@
+"""Experiment E3 -- Fig. 4: how many invitations HD needs to match RAF.
+
+For each pair, HD's invitation set is grown until it reaches the acceptance
+probability of the RAF solution; the trajectory points
+``(f(I_HD)/f(I_RAF), |I_HD|/|I_RAF|)`` are binned over five probability-ratio
+intervals exactly as in the paper.  The paper's qualitative finding is that
+the size ratio is (well) above 1 and grows towards the right end of the
+x-axis -- HD needs several times more invitations to match RAF.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.experiments.ratio_comparison import format_ratio_comparison, run_ratio_comparison
+from repro.graph.datasets import DATASET_NAMES
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig4_hd_size_ratio(benchmark, dataset, dataset_graphs, dataset_pairs, bench_config):
+    graph = dataset_graphs[dataset]
+    pairs = dataset_pairs[dataset]
+
+    result = benchmark.pedantic(
+        run_ratio_comparison,
+        args=(graph, pairs, bench_config),
+        kwargs={"baseline": "HD", "alpha": 0.1, "dataset_name": dataset, "rng": 202},
+        rounds=1,
+        iterations=1,
+    )
+    emit(f"fig4_hd_{dataset}", format_ratio_comparison(result))
+
+    assert result.num_pairs >= 1
+    assert result.bins, "the HD growth produced no trajectory points"
+    # Paper shape: matching RAF costs HD extra invitations (ratio above 1 on
+    # average across the binned curve).
+    mean_ratio = sum(row["size_ratio"] for row in result.bins) / len(result.bins)
+    assert mean_ratio >= 1.0

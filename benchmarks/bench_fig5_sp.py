@@ -1,0 +1,34 @@
+"""Experiment E4 -- Fig. 5: how many invitations SP needs to match RAF.
+
+Same protocol as Fig. 4 with the Shortest-Path baseline.  The paper finds SP
+much closer to RAF than HD on the small datasets (ratios of a few) but still
+behind, with the gap exploding on the largest graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.experiments.ratio_comparison import format_ratio_comparison, run_ratio_comparison
+from repro.graph.datasets import DATASET_NAMES
+
+
+@pytest.mark.parametrize("dataset", DATASET_NAMES)
+def test_fig5_sp_size_ratio(benchmark, dataset, dataset_graphs, dataset_pairs, bench_config):
+    graph = dataset_graphs[dataset]
+    pairs = dataset_pairs[dataset]
+
+    result = benchmark.pedantic(
+        run_ratio_comparison,
+        args=(graph, pairs, bench_config),
+        kwargs={"baseline": "SP", "alpha": 0.1, "dataset_name": dataset, "rng": 303},
+        rounds=1,
+        iterations=1,
+    )
+    emit(f"fig5_sp_{dataset}", format_ratio_comparison(result))
+
+    assert result.num_pairs >= 1
+    assert result.bins, "the SP growth produced no trajectory points"
+    for row in result.bins:
+        assert row["size_ratio"] > 0.0

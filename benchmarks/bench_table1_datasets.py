@@ -1,0 +1,29 @@
+"""Experiment E1 -- Table I: dataset statistics.
+
+Regenerates the Table I rows (nodes, edges, average degree) for the four
+dataset stand-ins, next to the values the paper reports for the original
+SNAP graphs.  The benchmark measures the stand-in construction time.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALES, emit
+
+from repro.experiments.datasets_table import format_datasets_table, run_datasets_table
+from repro.graph.datasets import DATASET_NAMES
+
+
+def test_table1_dataset_statistics(benchmark):
+    def build():
+        return [
+            run_datasets_table(datasets=(name,), scale=BENCH_SCALES[name], rng=7 + index)[0]
+            for index, name in enumerate(DATASET_NAMES)
+        ]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit("table1_datasets", format_datasets_table(rows))
+    assert [row.dataset for row in rows] == list(DATASET_NAMES)
+    for row in rows:
+        # The stand-ins must land in the right average-degree ballpark so the
+        # downstream experiments operate in the same regime as the paper.
+        assert 0.5 * row.paper_avg_degree < row.avg_degree < 1.5 * row.paper_avg_degree

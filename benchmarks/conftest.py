@@ -1,0 +1,85 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark reproduces one table or figure of the paper (or one
+ablation) at a laptop-friendly scale: the dataset stand-ins are generated at
+a small fraction of the original SNAP sizes and a handful of (s, t) pairs is
+used per dataset.  Scale and pair count can be raised via the environment
+variables ``REPRO_BENCH_SCALE`` (multiplier on the default scales) and
+``REPRO_BENCH_PAIRS``.
+
+Each benchmark prints the reproduced rows/series and also writes them to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture;
+EXPERIMENTS.md is written from those files.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pair_selection import select_pairs
+from repro.graph.datasets import DATASET_NAMES, load_dataset
+
+#: Default generation scale per dataset (fraction of the original node count).
+BENCH_SCALES = {
+    "wiki": 0.05,
+    "hepth": 0.02,
+    "hepph": 0.015,
+    "youtube": 0.0015,
+}
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_SCALE_MULTIPLIER = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+_NUM_PAIRS = int(os.environ.get("REPRO_BENCH_PAIRS", "3"))
+_SEED = 20190707
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduced table/series and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The scaled-down Sec. IV protocol shared by all figure benchmarks."""
+    return ExperimentConfig(
+        num_pairs=_NUM_PAIRS,
+        alphas=(0.05, 0.1, 0.2, 0.3),
+        realizations=3000,
+        eval_samples=250,
+        pair_screen_samples=300,
+        seed=_SEED,
+    )
+
+
+@pytest.fixture(scope="session")
+def dataset_graphs():
+    """The four Table-I stand-ins at benchmark scale."""
+    return {
+        name: load_dataset(name, scale=BENCH_SCALES[name] * _SCALE_MULTIPLIER, rng=_SEED + index)
+        for index, name in enumerate(DATASET_NAMES)
+    }
+
+
+@pytest.fixture(scope="session")
+def dataset_pairs(dataset_graphs, bench_config):
+    """Screened (s, t) pairs per dataset, following the paper's pmax >= 0.01 rule."""
+    pairs = {}
+    for name, graph in dataset_graphs.items():
+        pairs[name] = select_pairs(
+            graph,
+            bench_config.num_pairs,
+            pmax_threshold=bench_config.pmax_threshold,
+            pmax_ceiling=bench_config.pmax_ceiling,
+            min_distance=bench_config.min_distance,
+            screen_samples=bench_config.pair_screen_samples,
+            rng=_SEED,
+        )
+    return pairs

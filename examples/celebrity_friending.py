@@ -1,0 +1,89 @@
+"""Scenario: friending a celebrity.
+
+The motivating use case of the paper: an ordinary user wants to become an
+online friend of a hub user (a "celebrity" with very high degree) who would
+never accept a cold invitation.  The script shows how the required
+invitation effort grows with the desired fraction ``alpha`` of the maximum
+acceptance probability, and how much better RAF spends that effort than the
+High-Degree heuristic.
+
+Run with:  python examples/celebrity_friending.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ActiveFriendingProblem,
+    RAFConfig,
+    SamplePolicy,
+    barabasi_albert_graph,
+    apply_degree_normalized_weights,
+    estimate_acceptance_probability,
+    high_degree_invitation,
+    run_raf,
+)
+from repro.experiments.reporting import format_table
+
+SEED = 7
+
+
+def pick_celebrity_and_fan(graph):
+    """The celebrity is the highest-degree user; the fan is a distant low-degree user."""
+    celebrity = max(graph.nodes(), key=graph.degree)
+    fans = [
+        node
+        for node in graph.nodes()
+        if node != celebrity
+        and not graph.has_edge(node, celebrity)
+        and graph.degree(node) <= 3
+    ]
+    if not fans:
+        raise RuntimeError("no suitable fan found; enlarge the graph")
+    return fans[len(fans) // 2], celebrity
+
+
+def main() -> None:
+    graph = apply_degree_normalized_weights(barabasi_albert_graph(800, 3, rng=SEED))
+    fan, celebrity = pick_celebrity_and_fan(graph)
+    print(f"fan {fan} (degree {graph.degree(fan)}) wants to friend "
+          f"celebrity {celebrity} (degree {graph.degree(celebrity)})")
+
+    config = RAFConfig(
+        epsilon=0.02,
+        sample_policy=SamplePolicy.FIXED,
+        fixed_realizations=8000,
+    )
+
+    rows = []
+    for alpha in (0.3, 0.5, 0.7, 0.9):
+        problem = ActiveFriendingProblem(graph, fan, celebrity, alpha=alpha)
+        raf = run_raf(problem, config, rng=SEED + int(alpha * 100))
+        hd = high_degree_invitation(problem, raf.size)
+
+        def acceptance(invitation) -> float:
+            return estimate_acceptance_probability(
+                graph, fan, celebrity, invitation, num_samples=4000, rng=SEED
+            ).probability
+
+        raf_acceptance = acceptance(raf.invitation)
+        rows.append(
+            {
+                "alpha": alpha,
+                "invitations": raf.size,
+                "raf_acceptance": raf_acceptance,
+                "hd_acceptance": acceptance(hd.invitation),
+                "pmax_estimate": raf.pmax_estimate,
+                "raf_fraction_of_pmax": raf_acceptance / raf.pmax_estimate,
+            }
+        )
+
+    print()
+    print(format_table(rows, title="Invitation effort vs target fraction alpha"))
+    print("\nReading the table: the invitation budget RAF needs grows with the desired "
+          "fraction alpha of the best achievable probability, and spending the same "
+          "budget on merely popular users (HD) achieves consistently less -- popularity "
+          "is no substitute for sitting on the routes between the fan and the celebrity.")
+
+
+if __name__ == "__main__":
+    main()

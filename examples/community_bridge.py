@@ -1,0 +1,96 @@
+"""Scenario: friending across communities.
+
+The initiator and the target live in different communities of a
+planted-partition network that are connected only through a few bridge
+users.  A good invitation strategy must spend its budget on those bridges.
+The script compares RAF with the Shortest-Path and PageRank heuristics and
+reports how many of the true bridge users each strategy invites.
+
+Run with:  python examples/community_bridge.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ActiveFriendingProblem,
+    RAFConfig,
+    SamplePolicy,
+    apply_degree_normalized_weights,
+    compute_vmax,
+    estimate_acceptance_probability,
+    pagerank_invitation,
+    run_raf,
+    shortest_path_invitation,
+)
+from repro.experiments.reporting import format_table
+from repro.graph.generators import planted_partition_graph
+
+SEED = 11
+COMMUNITIES = 2
+COMMUNITY_SIZE = 150
+
+
+def community_of(node: int) -> int:
+    return node // COMMUNITY_SIZE
+
+
+def main() -> None:
+    graph = apply_degree_normalized_weights(
+        planted_partition_graph(
+            COMMUNITIES, COMMUNITY_SIZE, p_in=0.06, p_out=0.003, rng=SEED
+        )
+    )
+    bridges = {
+        node
+        for node in graph.nodes()
+        if any(community_of(neighbor) != community_of(node) for neighbor in graph.neighbors(node))
+    }
+    print(f"graph: {graph.num_nodes} users in {COMMUNITIES} communities, "
+          f"{graph.num_edges} friendships, {len(bridges)} bridge users")
+
+    # Initiator in community 0, target in community 1, not already friends.
+    source = 0
+    target = next(
+        node
+        for node in range(COMMUNITY_SIZE, 2 * COMMUNITY_SIZE)
+        if not graph.has_edge(source, node) and graph.degree(node) > 0
+    )
+    print(f"initiator {source} (community 0) wants to friend target {target} (community 1)")
+
+    problem = ActiveFriendingProblem(graph, source, target, alpha=0.3)
+    config = RAFConfig(epsilon=0.05, sample_policy=SamplePolicy.FIXED, fixed_realizations=8000)
+    raf = run_raf(problem, config, rng=SEED)
+    budget = raf.size
+    sp = shortest_path_invitation(problem, budget)
+    pr = pagerank_invitation(problem, budget)
+
+    def acceptance(invitation) -> float:
+        return estimate_acceptance_probability(
+            graph, source, target, invitation, num_samples=1500, rng=SEED + 1
+        ).probability
+
+    rows = []
+    for name, invitation in [
+        ("RAF", raf.invitation),
+        ("Shortest-Path", sp.invitation),
+        ("PageRank", pr.invitation),
+        ("everyone useful (Vmax)", compute_vmax(graph, source, target)),
+    ]:
+        rows.append(
+            {
+                "algorithm": name,
+                "invitations": len(invitation),
+                "bridge_users_invited": len(invitation & bridges),
+                "acceptance_probability": acceptance(invitation),
+            }
+        )
+
+    print()
+    print(format_table(rows, title=f"Crossing communities with {budget} invitations"))
+    print("\nRAF concentrates its invitations on the users that actually connect the "
+          "two communities, which is what drives the acceptance probability; global "
+          "popularity scores (PageRank) mostly pick users inside the big communities.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""repro -- a reproduction of "An Approximation Algorithm for Active Friending
+in Online Social Networks" (Tong, Wang, Li, Wu, Du; ICDCS 2019).
+
+The library implements the full pipeline of the paper:
+
+* a familiarity-weighted friendship-graph substrate (:mod:`repro.graph`),
+* the linear-threshold friending process, its realization-based
+  derandomization and reverse sampling (:mod:`repro.diffusion`),
+* Monte Carlo estimation with the Dagum et al. stopping rule
+  (:mod:`repro.estimation`),
+* Minimum p-Union / Minimum Subset Cover solvers (:mod:`repro.setcover`),
+* the RAF algorithm and the ``Vmax`` special case (:mod:`repro.core`),
+* the HD / SP / random / PageRank / greedy baselines
+  (:mod:`repro.baselines`), and
+* the experiment harness reproducing every table and figure of Sec. IV
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+
+>>> from repro import (
+...     load_dataset, ActiveFriendingProblem, RAFConfig, run_raf,
+...     estimate_acceptance_probability,
+... )
+>>> graph = load_dataset("wiki", scale=0.05, rng=7)
+>>> problem = ActiveFriendingProblem(graph, source=3, target=200, alpha=0.2)
+>>> result = run_raf(problem, RAFConfig(max_realizations=5000), rng=7)
+>>> 0 < result.size <= graph.num_nodes
+True
+"""
+
+from repro.exceptions import (
+    AlgorithmError,
+    EstimationError,
+    GraphError,
+    ProblemDefinitionError,
+    ReproError,
+    SetCoverError,
+)
+from repro.graph import (
+    SocialGraph,
+    apply_degree_normalized_weights,
+    apply_random_weights,
+    apply_uniform_weights,
+    barabasi_albert_graph,
+    compute_stats,
+    erdos_renyi_graph,
+    load_dataset,
+    read_snap_graph,
+)
+from repro.diffusion import (
+    estimate_acceptance_probability,
+    sample_realization,
+    sample_target_path,
+    simulate_friending,
+)
+from repro.core import (
+    ActiveFriendingProblem,
+    GuaranteeReport,
+    InvitationResult,
+    MaxFriendingResult,
+    evaluate_guarantees,
+    ParameterCoupling,
+    RAFConfig,
+    RAFParameters,
+    RAFResult,
+    SamplePolicy,
+    compute_vmax,
+    estimate_pmax,
+    maximize_acceptance_probability,
+    run_raf,
+    solve_parameters,
+)
+from repro.baselines import (
+    greedy_marginal_invitation,
+    high_degree_invitation,
+    pagerank_invitation,
+    random_invitation,
+    shortest_path_invitation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "ProblemDefinitionError",
+    "EstimationError",
+    "SetCoverError",
+    "AlgorithmError",
+    # graph substrate
+    "SocialGraph",
+    "apply_degree_normalized_weights",
+    "apply_uniform_weights",
+    "apply_random_weights",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "load_dataset",
+    "read_snap_graph",
+    "compute_stats",
+    # friending process
+    "simulate_friending",
+    "estimate_acceptance_probability",
+    "sample_realization",
+    "sample_target_path",
+    # core algorithm
+    "ActiveFriendingProblem",
+    "RAFConfig",
+    "RAFResult",
+    "RAFParameters",
+    "ParameterCoupling",
+    "SamplePolicy",
+    "run_raf",
+    "estimate_pmax",
+    "solve_parameters",
+    "compute_vmax",
+    "maximize_acceptance_probability",
+    "MaxFriendingResult",
+    "evaluate_guarantees",
+    "GuaranteeReport",
+    "InvitationResult",
+    # baselines
+    "high_degree_invitation",
+    "shortest_path_invitation",
+    "random_invitation",
+    "pagerank_invitation",
+    "greedy_marginal_invitation",
+]

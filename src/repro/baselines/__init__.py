@@ -1,0 +1,33 @@
+"""Baseline invitation-set algorithms.
+
+The paper compares RAF against two heuristics (Sec. IV):
+
+* High-Degree (HD) -- invite the highest-degree users first;
+* Shortest-Path (SP) -- invite the users on successive vertex-disjoint
+  shortest paths from the initiator to the target.
+
+Both are implemented here with the same interface as RAF (a problem in, an
+:class:`~repro.core.result.InvitationResult` out) plus a ``rank_candidates``
+function exposing the full priority order so the comparison experiments can
+grow the invitation set incrementally (Figs. 4 and 5).  Random, PageRank
+and greedy marginal-gain baselines are provided as extensions used by the
+examples and ablations.
+"""
+
+from repro.baselines.high_degree import high_degree_invitation, rank_by_degree
+from repro.baselines.shortest_path import rank_by_shortest_paths, shortest_path_invitation
+from repro.baselines.random_invite import random_invitation
+from repro.baselines.pagerank import pagerank_invitation, pagerank_scores, rank_by_pagerank
+from repro.baselines.greedy_marginal import greedy_marginal_invitation
+
+__all__ = [
+    "high_degree_invitation",
+    "rank_by_degree",
+    "shortest_path_invitation",
+    "rank_by_shortest_paths",
+    "random_invitation",
+    "pagerank_invitation",
+    "pagerank_scores",
+    "rank_by_pagerank",
+    "greedy_marginal_invitation",
+]

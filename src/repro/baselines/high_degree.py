@@ -1,0 +1,53 @@
+"""The High-Degree (HD) baseline of Sec. IV-A.
+
+HD fills the invitation set with the highest-degree users of the network.
+The intuition is that well-connected users are the most likely to become
+mutual friends with many others; the paper's experiments show this ignores
+the *connectivity between the initiator and the target* and therefore
+performs poorly on larger graphs.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.result import InvitationResult
+from repro.types import ordered
+from repro.utils.validation import require_positive_int
+
+__all__ = ["rank_by_degree", "high_degree_invitation"]
+
+
+def rank_by_degree(problem: ActiveFriendingProblem, include_target: bool = True) -> list:
+    """Candidate users ordered by decreasing degree.
+
+    When ``include_target`` is set (the default, matching how the
+    comparison experiments keep the baselines competitive) the target is
+    promoted to the front of the ranking regardless of its degree, since an
+    invitation set without the target can never succeed.
+    Ties are broken deterministically by node id representation.
+    """
+    graph = problem.graph
+    candidates = problem.candidate_nodes()
+    ranking = sorted(
+        ordered(candidates),
+        key=lambda node: -graph.degree(node),
+    )
+    if include_target:
+        ranking = [problem.target] + [node for node in ranking if node != problem.target]
+    return ranking
+
+
+def high_degree_invitation(
+    problem: ActiveFriendingProblem,
+    size: int,
+    include_target: bool = True,
+) -> InvitationResult:
+    """Build an HD invitation set of (at most) ``size`` users."""
+    require_positive_int(size, "size")
+    ranking = rank_by_degree(problem, include_target=include_target)
+    chosen = frozenset(ranking[:size])
+    return InvitationResult(
+        invitation=chosen,
+        algorithm="HD",
+        metadata={"requested_size": size, "include_target": include_target},
+    )

@@ -1,0 +1,42 @@
+"""A uniformly random invitation baseline (sanity-check baseline).
+
+Not part of the paper's evaluation, but useful as a floor in the examples
+and tests: any algorithm worth running should comfortably beat inviting
+random users.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.result import InvitationResult
+from repro.types import ordered
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import require_positive_int
+
+__all__ = ["random_invitation"]
+
+
+def random_invitation(
+    problem: ActiveFriendingProblem,
+    size: int,
+    include_target: bool = True,
+    rng: RandomSource = None,
+) -> InvitationResult:
+    """Invite ``size`` users chosen uniformly at random from the candidates."""
+    require_positive_int(size, "size")
+    generator = ensure_rng(rng)
+    candidates = ordered(problem.candidate_nodes())
+    chosen: set = set()
+    if include_target:
+        chosen.add(problem.target)
+        candidates = [node for node in candidates if node != problem.target]
+    remaining = max(0, size - len(chosen))
+    if remaining >= len(candidates):
+        chosen.update(candidates)
+    else:
+        chosen.update(generator.sample(candidates, remaining))
+    return InvitationResult(
+        invitation=frozenset(chosen),
+        algorithm="Random",
+        metadata={"requested_size": size, "include_target": include_target},
+    )

@@ -1,0 +1,319 @@
+"""Command-line interface.
+
+The CLI exposes the common workflows without writing Python:
+
+* ``repro datasets`` -- Table I statistics of the dataset stand-ins.
+* ``repro raf`` -- run the RAF algorithm for one (initiator, target) pair
+  (an explicit pair or an automatically screened one) and report the
+  invitation set with its quality estimates.
+* ``repro vmax`` -- the α = 1 solution (Lemma 7) for one pair.
+* ``repro maximize`` -- the budgeted (maximum) active friending extension.
+* ``repro experiment`` -- regenerate a table/figure of the paper (or all of
+  them) on the stand-ins or on a user-supplied SNAP edge list.
+
+Every command accepts ``--seed`` for reproducibility and either
+``--dataset`` (a built-in stand-in, with ``--scale``) or ``--edge-list``
+(a SNAP file, weighted with the paper's 1/|N_v| convention on load).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines.high_degree import high_degree_invitation
+from repro.baselines.shortest_path import shortest_path_invitation
+from repro.core.maximization import maximize_acceptance_probability
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.raf import RAFConfig, run_raf
+from repro.core.parameters import SamplePolicy
+from repro.core.vmax import compute_vmax
+from repro.diffusion.friending_process import estimate_acceptance_probability
+from repro.exceptions import ReproError
+from repro.experiments.basic_experiment import format_basic_experiment, run_basic_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets_table import format_datasets_table, run_datasets_table
+from repro.experiments.pair_selection import select_pairs
+from repro.experiments.ratio_comparison import format_ratio_comparison, run_ratio_comparison
+from repro.experiments.realization_sweep import format_realization_sweep, run_realization_sweep
+from repro.experiments.reporting import format_table
+from repro.experiments.vmax_comparison import format_vmax_comparison, run_vmax_comparison
+from repro.graph.datasets import DATASET_NAMES, load_dataset
+from repro.graph.io import read_snap_graph
+from repro.graph.metrics import compute_stats
+from repro.graph.weights import apply_degree_normalized_weights
+from repro.types import PairSpec, ordered
+
+__all__ = ["main", "build_parser"]
+
+EXPERIMENT_CHOICES = ("table1", "fig3", "fig4", "fig5", "table2", "fig6", "all")
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=DATASET_NAMES, default="wiki",
+        help="built-in dataset stand-in to use (default: wiki)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="fraction of the original node count to generate (default: dataset-specific)",
+    )
+    parser.add_argument(
+        "--edge-list", type=str, default=None,
+        help="path to a SNAP edge list; overrides --dataset/--scale",
+    )
+
+
+def _add_pair_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--source", type=int, default=None, help="initiator user id")
+    parser.add_argument("--target", type=int, default=None, help="target user id")
+    parser.add_argument(
+        "--min-pmax", type=float, default=0.02,
+        help="pmax screening threshold used when the pair is auto-selected (default: 0.02)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Active friending under the linear threshold model (Tong et al., ICDCS 2019).",
+    )
+    parser.add_argument("--seed", type=int, default=2019, help="random seed (default: 2019)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser("datasets", help="show Table I statistics of the stand-ins")
+    datasets.add_argument("--scale", type=float, default=None)
+
+    raf = subparsers.add_parser("raf", help="run RAF for one (initiator, target) pair")
+    _add_graph_arguments(raf)
+    _add_pair_arguments(raf)
+    raf.add_argument("--alpha", type=float, default=0.1, help="target fraction of pmax")
+    raf.add_argument("--epsilon", type=float, default=None, help="guarantee slack (default alpha/5)")
+    raf.add_argument("--realizations", type=int, default=5000, help="sampled realizations")
+    raf.add_argument("--eval-samples", type=int, default=1000,
+                     help="Process-1 simulations used to evaluate the output")
+    raf.add_argument("--compare-baselines", action="store_true",
+                     help="also evaluate HD and SP at the same budget")
+
+    vmax = subparsers.add_parser("vmax", help="compute the alpha = 1 solution (Lemma 7)")
+    _add_graph_arguments(vmax)
+    _add_pair_arguments(vmax)
+
+    maximize = subparsers.add_parser("maximize", help="budgeted (maximum) active friending")
+    _add_graph_arguments(maximize)
+    _add_pair_arguments(maximize)
+    maximize.add_argument("--budget", type=int, required=True, help="invitation budget")
+    maximize.add_argument("--realizations", type=int, default=5000)
+
+    experiment = subparsers.add_parser("experiment", help="regenerate a table or figure")
+    experiment.add_argument("name", choices=EXPERIMENT_CHOICES, help="which artefact to regenerate")
+    _add_graph_arguments(experiment)
+    experiment.add_argument("--pairs", type=int, default=3, help="pairs per dataset (default: 3)")
+    experiment.add_argument("--realizations", type=int, default=3000)
+    experiment.add_argument("--eval-samples", type=int, default=250)
+    experiment.add_argument(
+        "--all-datasets", action="store_true",
+        help="run over all four stand-ins instead of only --dataset",
+    )
+    return parser
+
+
+# --------------------------------------------------------------------------- #
+# Shared helpers
+# --------------------------------------------------------------------------- #
+
+
+def _load_graph(args: argparse.Namespace):
+    if getattr(args, "edge_list", None):
+        graph = apply_degree_normalized_weights(read_snap_graph(args.edge_list))
+        return graph
+    return load_dataset(args.dataset, scale=args.scale, rng=args.seed)
+
+
+def _resolve_pair(graph, args: argparse.Namespace) -> PairSpec:
+    if (args.source is None) != (args.target is None):
+        raise ReproError("--source and --target must be given together")
+    if args.source is not None:
+        return PairSpec(source=args.source, target=args.target)
+    pair = select_pairs(
+        graph, 1, pmax_threshold=args.min_pmax, pmax_ceiling=1.0, min_distance=3,
+        screen_samples=400, rng=args.seed,
+    )[0]
+    print(f"auto-selected pair: initiator={pair.source} target={pair.target} "
+          f"(screened pmax={pair.pmax:.3f})")
+    return pair
+
+
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        num_pairs=args.pairs,
+        realizations=args.realizations,
+        eval_samples=args.eval_samples,
+        pair_screen_samples=max(200, args.eval_samples),
+        seed=args.seed,
+    )
+
+
+def _experiment_graphs(args: argparse.Namespace) -> dict:
+    if getattr(args, "edge_list", None):
+        graph = apply_degree_normalized_weights(read_snap_graph(args.edge_list))
+        return {graph.name or "edge-list": graph}
+    if args.all_datasets:
+        return {
+            name: load_dataset(name, scale=args.scale, rng=args.seed + index)
+            for index, name in enumerate(DATASET_NAMES)
+        }
+    return {args.dataset: load_dataset(args.dataset, scale=args.scale, rng=args.seed)}
+
+
+# --------------------------------------------------------------------------- #
+# Command implementations
+# --------------------------------------------------------------------------- #
+
+
+def _command_datasets(args: argparse.Namespace) -> int:
+    rows = run_datasets_table(scale=args.scale, rng=args.seed)
+    print(format_datasets_table(rows))
+    return 0
+
+
+def _command_raf(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    stats = compute_stats(graph)
+    print(f"graph: {stats.num_nodes} users, {stats.num_edges} friendships, "
+          f"avg degree {stats.avg_degree:.2f}")
+    pair = _resolve_pair(graph, args)
+    problem = ActiveFriendingProblem(graph, pair.source, pair.target, alpha=args.alpha)
+    epsilon = args.epsilon if args.epsilon is not None else args.alpha / 5.0
+    config = RAFConfig(
+        epsilon=epsilon,
+        sample_policy=SamplePolicy.FIXED,
+        fixed_realizations=args.realizations,
+    )
+    result = run_raf(problem, config, rng=args.seed)
+    print(f"\nRAF invitation set ({result.size} users):")
+    print("  " + ", ".join(str(node) for node in ordered(result.invitation)))
+    print(f"\npmax estimate            : {result.pmax_estimate:.4f}")
+    print(f"sampled realizations     : {result.num_realizations} ({result.num_type1} type-1)")
+    print(f"covered / target         : {result.covered_weight} / {result.cover_target}")
+    print(f"size bound 2*sqrt(|B1|)  : {result.approx_ratio_bound:.1f}")
+    achieved = estimate_acceptance_probability(
+        graph, pair.source, pair.target, result.invitation,
+        num_samples=args.eval_samples, rng=args.seed + 1,
+    ).probability
+    print(f"estimated f(I_RAF)       : {achieved:.4f}")
+    if args.compare_baselines:
+        rows = [{"algorithm": "RAF", "size": result.size, "acceptance": achieved}]
+        for name, builder in (("HD", high_degree_invitation), ("SP", shortest_path_invitation)):
+            invitation = builder(problem, max(1, result.size)).invitation
+            value = estimate_acceptance_probability(
+                graph, pair.source, pair.target, invitation,
+                num_samples=args.eval_samples, rng=args.seed + 1,
+            ).probability
+            rows.append({"algorithm": name, "size": len(invitation), "acceptance": value})
+        print()
+        print(format_table(rows, title="Baselines at the same budget"))
+    return 0
+
+
+def _command_vmax(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    pair = _resolve_pair(graph, args)
+    vmax = compute_vmax(graph, pair.source, pair.target)
+    print(f"|Vmax| = {len(vmax)}")
+    print("  " + ", ".join(str(node) for node in ordered(vmax)))
+    return 0
+
+
+def _command_maximize(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    pair = _resolve_pair(graph, args)
+    result = maximize_acceptance_probability(
+        graph, pair.source, pair.target, budget=args.budget,
+        num_realizations=args.realizations, rng=args.seed,
+    )
+    print(f"budgeted invitation set ({result.size} of at most {result.budget} users):")
+    print("  " + ", ".join(str(node) for node in ordered(result.invitation)))
+    print(f"estimated fraction of pmax achieved: {result.estimated_fraction_of_pmax:.3f}")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    config = _experiment_config(args)
+    graphs = _experiment_graphs(args)
+    wanted = EXPERIMENT_CHOICES[:-1] if args.name == "all" else (args.name,)
+    pairs: dict = {}
+    if any(name != "table1" for name in wanted):
+        # Only the pair-based experiments need the pmax-screened pairs.
+        pairs = {
+            name: select_pairs(
+                graph, config.num_pairs,
+                pmax_threshold=config.pmax_threshold, pmax_ceiling=config.pmax_ceiling,
+                min_distance=config.min_distance, screen_samples=config.pair_screen_samples,
+                rng=config.seed,
+            )
+            for name, graph in graphs.items()
+        }
+
+    if "table1" in wanted:
+        print(format_datasets_table(run_datasets_table(scale=args.scale, rng=args.seed)))
+        print()
+    if "fig3" in wanted:
+        for name, graph in graphs.items():
+            result = run_basic_experiment(graph, pairs[name], config, dataset_name=name, rng=args.seed)
+            print(format_basic_experiment(result))
+            print()
+    for figure, baseline in (("fig4", "HD"), ("fig5", "SP")):
+        if figure in wanted:
+            for name, graph in graphs.items():
+                result = run_ratio_comparison(
+                    graph, pairs[name], config, baseline=baseline, dataset_name=name, rng=args.seed
+                )
+                print(format_ratio_comparison(result))
+                print()
+    if "table2" in wanted:
+        results = [
+            run_vmax_comparison(graph, pairs[name], config, dataset_name=name, rng=args.seed)
+            for name, graph in graphs.items()
+        ]
+        print(format_vmax_comparison(results))
+        print()
+    if "fig6" in wanted:
+        name, graph = next(iter(graphs.items()))
+        result = run_realization_sweep(
+            graph, pairs[name][0], config, dataset_name=name, rng=args.seed
+        )
+        print(format_realization_sweep(result))
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _command_datasets,
+    "raf": _command_raf,
+    "vmax": _command_vmax,
+    "maximize": _command_maximize,
+    "experiment": _command_experiment,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""The paper's primary contribution: the RAF algorithm and its supporting pieces.
+
+* :mod:`repro.core.problem` -- the Minimum Active Friending problem instance
+  (Problem 1).
+* :mod:`repro.core.parameters` -- Equation System 1 / Eq. (17): solving for
+  ``ε0``, ``ε1`` and ``β``, plus the realization-count policies.
+* :mod:`repro.core.vmax` -- the ``α = 1`` special case (Lemma 7).
+* :mod:`repro.core.raf` -- Algorithms 2-4: pmax estimation, the sampling +
+  MSC framework, and the full RAF algorithm.
+* :mod:`repro.core.result` -- result objects shared with the baselines.
+"""
+
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.parameters import (
+    ParameterCoupling,
+    RAFParameters,
+    SamplePolicy,
+    realization_count,
+    solve_parameters,
+)
+from repro.core.vmax import compute_vmax, pmax_upper_invitation
+from repro.core.result import InvitationResult, RAFResult
+from repro.core.raf import RAFConfig, estimate_pmax, run_raf, run_sampling_framework
+from repro.core.maximization import MaxFriendingResult, maximize_acceptance_probability
+from repro.core.analysis import GuaranteeReport, evaluate_guarantees
+
+__all__ = [
+    "MaxFriendingResult",
+    "maximize_acceptance_probability",
+    "GuaranteeReport",
+    "evaluate_guarantees",
+    "ActiveFriendingProblem",
+    "RAFParameters",
+    "ParameterCoupling",
+    "SamplePolicy",
+    "solve_parameters",
+    "realization_count",
+    "compute_vmax",
+    "pmax_upper_invitation",
+    "InvitationResult",
+    "RAFResult",
+    "RAFConfig",
+    "run_raf",
+    "estimate_pmax",
+    "run_sampling_framework",
+]

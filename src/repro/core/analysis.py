@@ -1,0 +1,133 @@
+"""Diagnostics: checking a RAF run against its theoretical guarantees.
+
+Theorem 1 promises two things about the RAF output with probability
+``1 − 2/N``: the acceptance probability reaches ``(α − ε)·pmax`` and the
+invitation set is within ``2√|B¹|`` of the optimal size.  Neither quantity
+is observable directly (``pmax`` and the optimum are unknown), so this
+module assembles the best *empirical* report a user can get:
+
+* the achieved probability is re-estimated by simulating Process 1,
+* ``pmax`` is re-estimated by simulating with every useful node invited
+  (``Vmax``), and
+* the optimal size is lower-bounded by 1 and upper-bounded by ``|Vmax|``.
+
+The report is what the example scripts and the experiment harness print
+when asked "did this run actually deliver what the theorem says?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.result import RAFResult
+from repro.core.vmax import compute_vmax
+from repro.diffusion.friending_process import estimate_acceptance_probability
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+from repro.utils.validation import require_positive_int
+
+__all__ = ["GuaranteeReport", "evaluate_guarantees"]
+
+
+@dataclass(frozen=True, slots=True)
+class GuaranteeReport:
+    """Empirical check of the Theorem 1 guarantees for one RAF run.
+
+    Attributes
+    ----------
+    achieved_probability:
+        Simulated ``f(I*)``.
+    pmax_simulated:
+        Simulated ``f(Vmax)`` (equals ``pmax`` by Lemma 7), the reference
+        the guarantee is measured against.
+    required_probability:
+        ``(α − ε) · pmax_simulated``.
+    probability_guarantee_met:
+        Whether the achieved probability reaches the requirement (within
+        the Monte Carlo tolerance).
+    invitation_size, vmax_size:
+        ``|I*|`` and ``|Vmax|`` (the latter upper-bounds any optimal size).
+    size_bound:
+        The Lemma 5 bound ``2√|B¹|`` on ``|I*| / |Iα|``.
+    monte_carlo_tolerance:
+        The slack used when declaring the probability guarantee met
+        (three standard errors of the estimates involved).
+    """
+
+    achieved_probability: float
+    pmax_simulated: float
+    required_probability: float
+    probability_guarantee_met: bool
+    invitation_size: int
+    vmax_size: int
+    size_bound: float
+    monte_carlo_tolerance: float
+
+    @property
+    def achieved_fraction(self) -> float:
+        """``f(I*) / pmax`` as simulated (0 when pmax is 0)."""
+        if self.pmax_simulated <= 0.0:
+            return 0.0
+        return self.achieved_probability / self.pmax_simulated
+
+    def as_rows(self) -> list[dict]:
+        """The report as table rows for the text reporters."""
+        return [
+            {"quantity": "f(I*) simulated", "value": self.achieved_probability},
+            {"quantity": "pmax simulated (f(Vmax))", "value": self.pmax_simulated},
+            {"quantity": "(alpha - eps) * pmax", "value": self.required_probability},
+            {"quantity": "guarantee met", "value": self.probability_guarantee_met},
+            {"quantity": "|I*|", "value": self.invitation_size},
+            {"quantity": "|Vmax|", "value": self.vmax_size},
+            {"quantity": "size bound 2*sqrt(|B1|)", "value": self.size_bound},
+        ]
+
+
+def evaluate_guarantees(
+    problem: ActiveFriendingProblem,
+    result: RAFResult,
+    epsilon: float,
+    num_samples: int = 2000,
+    rng: RandomSource = None,
+) -> GuaranteeReport:
+    """Simulate the quantities behind Theorem 1 for a finished RAF run.
+
+    Parameters
+    ----------
+    problem:
+        The instance that was solved.
+    result:
+        The RAF output to audit.
+    epsilon:
+        The ``ε`` the run was configured with (the guarantee is
+        ``(α − ε)·pmax``).
+    num_samples:
+        Process-1 simulations per probability estimate.
+    """
+    require_positive_int(num_samples, "num_samples")
+    generator = ensure_rng(rng)
+    graph = problem.graph
+
+    achieved = estimate_acceptance_probability(
+        graph, problem.source, problem.target, result.invitation,
+        num_samples=num_samples, rng=derive_rng(generator, "achieved"),
+    )
+    vmax = compute_vmax(graph, problem.source, problem.target)
+    pmax = estimate_acceptance_probability(
+        graph, problem.source, problem.target, vmax,
+        num_samples=num_samples, rng=derive_rng(generator, "pmax"),
+    )
+
+    required = max(0.0, (problem.alpha - epsilon)) * pmax.probability
+    tolerance = 3.0 * (achieved.std_error + pmax.std_error)
+    met = achieved.probability >= required - tolerance
+    return GuaranteeReport(
+        achieved_probability=achieved.probability,
+        pmax_simulated=pmax.probability,
+        required_probability=required,
+        probability_guarantee_met=met,
+        invitation_size=result.size,
+        vmax_size=len(vmax),
+        size_bound=result.approx_ratio_bound,
+        monte_carlo_tolerance=tolerance,
+    )

@@ -1,0 +1,227 @@
+"""Equation System 1 / Eq. (17): choosing ``ε0``, ``ε1``, ``β`` and ``l``.
+
+The RAF analysis needs three coupled parameters:
+
+* ``ε0`` -- relative error of the ``pmax`` estimate (Eq. 10),
+* ``ε1`` -- uniform deviation allowed between ``F(B_l, I)/l`` and ``f(I)``
+  (Eq. 11),
+* ``β``  -- the fraction of the sampled type-1 realizations the MSC step
+  must cover (Eq. 12),
+
+subject to ``β(1 − ε1(1+ε0)) − ε1(1+ε0) = α − ε`` (Eq. 13) so that the
+returned invitation set is guaranteed to reach ``(α − ε)·pmax``.
+
+Writing ``x = ε1(1+ε0)``, Eqs. (12)-(13) reduce to the single scalar
+equation ``(α − x)(1 − x)/(1 + x) − x = α − ε`` whose left side decreases
+from ``α`` (at ``x = 0``) to below ``α − ε``, so the root is found by
+bisection.  The split of ``x`` back into ``ε0`` and ``ε1`` is governed by a
+*coupling* rule:
+
+* ``PAPER`` -- the paper's choice ``ε0 = n·ε1`` (Eq. 17), which balances the
+  asymptotic running times of the estimation and sampling steps but drives
+  ``ε0`` above 1 for realistic ``n`` (making Eq. 16 vacuous -- see
+  DESIGN.md);
+* ``BALANCED`` -- ``ε0 = ε1``, the numerically sensible default.
+
+The realization count ``l`` is then chosen by a :class:`SamplePolicy`:
+``THEORETICAL`` evaluates Eq. (16) verbatim, ``PRACTICAL`` drops the
+``2^n`` union-bound term (keeping the Chernoff machinery) and clamps to a
+configurable range, and ``FIXED`` lets the caller dictate ``l`` directly --
+which is what the paper's own experiments effectively do (Sec. IV-E shows
+performance saturating far below the theoretical prescription).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ParameterSolverError
+from repro.estimation.bounds import theoretical_realization_count
+from repro.utils.validation import require, require_positive, require_positive_int
+
+__all__ = [
+    "ParameterCoupling",
+    "SamplePolicy",
+    "RAFParameters",
+    "solve_parameters",
+    "realization_count",
+]
+
+
+class ParameterCoupling(str, enum.Enum):
+    """How the combined accuracy budget splits between ``ε0`` and ``ε1``."""
+
+    #: The paper's Eq. (17) choice ``ε0 = n·ε1``.
+    PAPER = "paper"
+    #: The numerically practical choice ``ε0 = ε1``.
+    BALANCED = "balanced"
+
+
+class SamplePolicy(str, enum.Enum):
+    """How the number of sampled realizations ``l`` is determined."""
+
+    #: Eq. (16) verbatim (requires ``ε0 < 1``; astronomically conservative).
+    THEORETICAL = "theoretical"
+    #: Chernoff-based count without the 2^n union bound, clamped to a range.
+    PRACTICAL = "practical"
+    #: A caller-specified constant.
+    FIXED = "fixed"
+
+
+@dataclass(frozen=True, slots=True)
+class RAFParameters:
+    """The solved parameter triple plus the inputs that produced it."""
+
+    alpha: float
+    epsilon: float
+    num_nodes: int
+    coupling: ParameterCoupling
+    epsilon_zero: float
+    epsilon_one: float
+    beta: float
+
+    @property
+    def x(self) -> float:
+        """The combined deviation ``x = ε1(1+ε0)`` used in the scalar equation."""
+        return self.epsilon_one * (1.0 + self.epsilon_zero)
+
+    def residual(self) -> float:
+        """How far Eq. (13) is from holding exactly (should be ~0)."""
+        return self.beta * (1.0 - self.x) - self.x - (self.alpha - self.epsilon)
+
+
+def _guarantee_gap(alpha: float, x: float) -> float:
+    """Left side of Eq. (13) expressed through ``x`` (decreasing in ``x``)."""
+    beta = (alpha - x) / (1.0 + x)
+    return beta * (1.0 - x) - x
+
+
+def solve_parameters(
+    alpha: float,
+    epsilon: float,
+    num_nodes: int,
+    coupling: ParameterCoupling | str = ParameterCoupling.BALANCED,
+    tolerance: float = 1e-12,
+) -> RAFParameters:
+    """Solve Equation System 1 for ``ε0``, ``ε1`` and ``β``.
+
+    Parameters
+    ----------
+    alpha:
+        The problem's target ratio ``α ∈ (0, 1]``.
+    epsilon:
+        The allowed slack ``ε`` with ``0 < ε < α``; the output invitation
+        set is guaranteed (w.h.p.) to reach ``(α − ε)·pmax``.
+    num_nodes:
+        The number of users ``n`` (only used by the PAPER coupling).
+    coupling:
+        How to split the combined budget between ``ε0`` and ``ε1``.
+
+    Raises
+    ------
+    ParameterSolverError
+        If ``epsilon`` does not satisfy ``0 < ε < α``.
+    """
+    require_positive(alpha, "alpha")
+    require(alpha <= 1.0, "alpha must be at most 1")
+    require_positive_int(num_nodes, "num_nodes")
+    coupling = ParameterCoupling(coupling)
+    if not 0.0 < epsilon < alpha:
+        raise ParameterSolverError(
+            f"epsilon must satisfy 0 < epsilon < alpha, got epsilon={epsilon}, alpha={alpha}"
+        )
+
+    # Bisection on x in (0, alpha): _guarantee_gap(alpha, 0) = alpha > alpha - epsilon
+    # and _guarantee_gap(alpha, alpha) = -alpha < alpha - epsilon.
+    target = alpha - epsilon
+    low, high = 0.0, alpha
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if _guarantee_gap(alpha, mid) > target:
+            low = mid
+        else:
+            high = mid
+        if high - low < tolerance:
+            break
+    x = (low + high) / 2.0
+
+    if coupling is ParameterCoupling.PAPER:
+        # epsilon0 = n * epsilon1  =>  n*eps1^2 + eps1 - x = 0.
+        epsilon_one = (-1.0 + math.sqrt(1.0 + 4.0 * num_nodes * x)) / (2.0 * num_nodes)
+        epsilon_zero = num_nodes * epsilon_one
+    else:
+        # epsilon0 = epsilon1  =>  eps1^2 + eps1 - x = 0.
+        epsilon_one = (-1.0 + math.sqrt(1.0 + 4.0 * x)) / 2.0
+        epsilon_zero = epsilon_one
+
+    beta = (alpha - x) / (1.0 + x)
+    if beta <= 0.0:
+        raise ParameterSolverError(
+            f"solved beta = {beta} is not positive (alpha={alpha}, epsilon={epsilon})"
+        )
+    return RAFParameters(
+        alpha=alpha,
+        epsilon=epsilon,
+        num_nodes=num_nodes,
+        coupling=coupling,
+        epsilon_zero=epsilon_zero,
+        epsilon_one=epsilon_one,
+        beta=beta,
+    )
+
+
+def realization_count(
+    parameters: RAFParameters,
+    pmax_estimate: float,
+    confidence_n: float,
+    policy: SamplePolicy | str = SamplePolicy.PRACTICAL,
+    fixed: int | None = None,
+    min_realizations: int = 1_000,
+    max_realizations: int = 50_000,
+) -> int:
+    """Determine the number of realizations ``l`` for the sampling framework.
+
+    ``THEORETICAL`` evaluates Eq. (16) exactly (and therefore requires the
+    solved ``ε0`` to be below 1 -- use the BALANCED coupling).  ``PRACTICAL``
+    keeps the same Chernoff form but replaces the ``n·ln 2`` union-bound
+    term with ``ln n`` and clamps the result to
+    ``[min_realizations, max_realizations]``; the clamp is deliberate and
+    mirrors the empirical observation of Sec. IV-E that performance
+    saturates orders of magnitude below the worst-case prescription.
+    ``FIXED`` returns the caller-supplied count unchanged.
+    """
+    policy = SamplePolicy(policy)
+    require_positive(confidence_n, "confidence_n")
+    if policy is SamplePolicy.FIXED:
+        if fixed is None:
+            raise ParameterSolverError("SamplePolicy.FIXED requires the 'fixed' realization count")
+        return require_positive_int(fixed, "fixed")
+    require_positive(pmax_estimate, "pmax_estimate")
+    if policy is SamplePolicy.THEORETICAL:
+        if parameters.epsilon_zero >= 1.0:
+            raise ParameterSolverError(
+                "Eq. (16) requires epsilon0 < 1; the PAPER coupling yields "
+                f"epsilon0 = {parameters.epsilon_zero:.3f} for n = {parameters.num_nodes}. "
+                "Use the BALANCED coupling or the PRACTICAL policy."
+            )
+        return theoretical_realization_count(
+            num_nodes=parameters.num_nodes,
+            confidence_n=confidence_n,
+            epsilon_one=parameters.epsilon_one,
+            epsilon_zero=parameters.epsilon_zero,
+            pmax_estimate=pmax_estimate,
+        )
+    # PRACTICAL: Chernoff count with a ln(n) rather than n*ln(2) union term.
+    require_positive_int(min_realizations, "min_realizations")
+    require_positive_int(max_realizations, "max_realizations")
+    require(
+        min_realizations <= max_realizations,
+        "min_realizations must not exceed max_realizations",
+    )
+    epsilon_one = parameters.epsilon_one
+    effective = max(epsilon_one, 1e-6)
+    log_term = math.log(2.0) + math.log(confidence_n) + math.log(max(parameters.num_nodes, 2))
+    raw = log_term * (2.0 + effective) / (effective**2 * pmax_estimate)
+    return int(min(max(math.ceil(raw), min_realizations), max_realizations))

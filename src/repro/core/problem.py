@@ -1,0 +1,96 @@
+"""The Minimum Active Friending problem instance (Problem 1).
+
+Given a weighted friendship graph, an initiator ``s``, a target ``t`` and a
+ratio ``α ∈ (0, 1]``, find the smallest invitation set ``I`` such that the
+acceptance probability satisfies ``f(I) ≥ α · pmax``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ProblemDefinitionError
+from repro.graph.social_graph import SocialGraph
+from repro.types import NodeId
+from repro.utils.validation import require_in_open_closed_unit_interval
+
+__all__ = ["ActiveFriendingProblem"]
+
+
+@dataclass(frozen=True)
+class ActiveFriendingProblem:
+    """A Minimum Active Friending instance.
+
+    Attributes
+    ----------
+    graph:
+        The friendship graph with normalized familiarity weights.
+    source:
+        The initiator ``s`` who wants to friend the target.
+    target:
+        The target user ``t``.
+    alpha:
+        The required fraction of the maximum acceptance probability,
+        ``α ∈ (0, 1]``.
+
+    Raises
+    ------
+    ProblemDefinitionError
+        If the instance is ill-formed: unknown users, ``s == t``, the two
+        users are already friends, ``α`` outside ``(0, 1]``, or the graph's
+        weights violate the threshold-model normalization.
+    """
+
+    graph: SocialGraph
+    source: NodeId
+    target: NodeId
+    alpha: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.graph.has_node(self.source):
+            raise ProblemDefinitionError(f"initiator {self.source!r} is not in the graph")
+        if not self.graph.has_node(self.target):
+            raise ProblemDefinitionError(f"target {self.target!r} is not in the graph")
+        if self.source == self.target:
+            raise ProblemDefinitionError("the initiator and the target must be distinct users")
+        if self.graph.has_edge(self.source, self.target):
+            raise ProblemDefinitionError(
+                f"{self.source!r} and {self.target!r} are already friends; "
+                "active friending only applies to non-friend pairs"
+            )
+        try:
+            require_in_open_closed_unit_interval(self.alpha, "alpha")
+        except ValueError as exc:
+            raise ProblemDefinitionError(str(exc)) from exc
+        if not self.graph.is_normalized():
+            raise ProblemDefinitionError(
+                "the graph's familiarity weights are not normalized (some node's incoming "
+                "weights exceed 1); apply a scheme from repro.graph.weights first"
+            )
+
+    @property
+    def source_friends(self) -> frozenset:
+        """The initiator's current circle ``N_s`` (the process starts from it)."""
+        return self.graph.neighbor_set(self.source)
+
+    @property
+    def num_nodes(self) -> int:
+        """The number of users ``n`` in the network."""
+        return self.graph.num_nodes
+
+    def with_alpha(self, alpha: float) -> "ActiveFriendingProblem":
+        """Return a copy of the problem with a different ratio ``α``."""
+        return ActiveFriendingProblem(self.graph, self.source, self.target, alpha)
+
+    def candidate_nodes(self) -> frozenset:
+        """Users that could meaningfully receive an invitation.
+
+        Invitations to the initiator itself or to its existing friends are
+        pointless (existing friends are already in the circle), so
+        algorithms restrict their choices to the remaining users.  The
+        target is always a candidate -- it must be invited for the process
+        to succeed.
+        """
+        excluded = set(self.source_friends)
+        excluded.add(self.source)
+        return frozenset(node for node in self.graph.nodes() if node not in excluded)

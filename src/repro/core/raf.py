@@ -1,0 +1,311 @@
+"""The Realization-based Active Friending (RAF) algorithm (Algorithms 2-4).
+
+The end-to-end pipeline of :func:`run_raf`:
+
+1. Solve Equation System 1 for ``(ε0, ε1, β)``
+   (:func:`repro.core.parameters.solve_parameters`).
+2. Estimate ``pmax`` with the Dagum et al. stopping rule over the type
+   indicator of reverse-sampled realizations (Alg. 2,
+   :func:`estimate_pmax`).
+3. Choose the realization count ``l`` according to the configured policy
+   (Eq. 16 or a practical substitute).
+4. Sample ``l`` backward traces, keep the type-1 ones, and solve the MSC
+   instance with target ``⌈β·|B¹|⌉`` using the Chlamtáč subroutine
+   (Alg. 3, :func:`run_sampling_framework`).
+
+The defaults in :class:`RAFConfig` favour the practical settings justified
+in Sec. IV-E of the paper (and discussed in DESIGN.md); the theory-faithful
+settings remain available through the config knobs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.parameters import (
+    ParameterCoupling,
+    RAFParameters,
+    SamplePolicy,
+    realization_count,
+    solve_parameters,
+)
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.result import RAFResult
+from repro.diffusion.reverse_sampling import sample_target_path
+from repro.estimation.stopping_rule import stopping_rule_estimate
+from repro.exceptions import AlgorithmError, EstimationError
+from repro.graph.social_graph import SocialGraph
+from repro.setcover.hypergraph import SetSystem
+from repro.setcover.msc import minimum_subset_cover
+from repro.setcover.mpu import chlamtac_ratio_bound
+from repro.types import NodeId
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import require, require_positive, require_positive_int
+
+__all__ = ["RAFConfig", "PmaxEstimate", "estimate_pmax", "run_sampling_framework", "run_raf"]
+
+
+@dataclass(frozen=True, slots=True)
+class RAFConfig:
+    """Tunable knobs of the RAF algorithm.
+
+    Attributes
+    ----------
+    epsilon:
+        The slack ``ε`` of Theorem 1 (must satisfy ``0 < ε < α``).
+    confidence_n:
+        The confidence parameter ``N``; the failure probability of the
+        guarantees is ``2/N``.  The paper's experiments use ``N = 100000``.
+    coupling:
+        How the accuracy budget splits between ``ε0`` and ``ε1``
+        (:class:`ParameterCoupling`); defaults to the numerically sensible
+        BALANCED rule.
+    sample_policy:
+        How the realization count ``l`` is chosen (:class:`SamplePolicy`).
+    fixed_realizations:
+        The realization count used when ``sample_policy`` is FIXED.
+    min_realizations, max_realizations:
+        Clamp range for the PRACTICAL policy.
+    pmax_epsilon:
+        Relative error requested from the stopping-rule ``pmax`` estimate.
+        ``None`` uses the solved ``ε0`` (theory-faithful but typically far
+        too expensive); the default of 0.1 matches what the evaluation
+        needs.
+    pmax_max_samples:
+        Cap on realizations spent estimating ``pmax``.  If the stopping
+        rule does not terminate within the cap the estimate falls back to
+        the plain sample mean over the consumed realizations (recorded in
+        the result), and the run fails only if not a single type-1
+        realization was seen.
+    msc_solver:
+        Which MSC solver to use (see :data:`repro.setcover.msc.MSC_SOLVERS`).
+    """
+
+    epsilon: float = 0.01
+    confidence_n: float = 100_000.0
+    coupling: ParameterCoupling | str = ParameterCoupling.BALANCED
+    sample_policy: SamplePolicy | str = SamplePolicy.PRACTICAL
+    fixed_realizations: int | None = None
+    min_realizations: int = 1_000
+    max_realizations: int = 50_000
+    pmax_epsilon: float | None = 0.1
+    pmax_max_samples: int = 500_000
+    msc_solver: str = "chlamtac"
+
+    def __post_init__(self) -> None:
+        require_positive(self.epsilon, "epsilon")
+        require_positive(self.confidence_n, "confidence_n")
+        require_positive_int(self.pmax_max_samples, "pmax_max_samples")
+        if self.pmax_epsilon is not None:
+            require_positive(self.pmax_epsilon, "pmax_epsilon")
+            require(self.pmax_epsilon <= 1.0, "pmax_epsilon must be at most 1")
+        if self.fixed_realizations is not None:
+            require_positive_int(self.fixed_realizations, "fixed_realizations")
+
+
+@dataclass(frozen=True, slots=True)
+class PmaxEstimate:
+    """Outcome of the ``pmax`` estimation step (Alg. 2).
+
+    ``method`` is ``"stopping-rule"`` when the Dagum et al. rule terminated
+    within its sample cap and ``"sample-mean"`` when the capped fallback was
+    used instead.
+    """
+
+    value: float
+    num_samples: int
+    method: str
+
+
+def estimate_pmax(
+    graph: SocialGraph,
+    source: NodeId,
+    target: NodeId,
+    epsilon: float = 0.1,
+    confidence_n: float = 100_000.0,
+    max_samples: int = 500_000,
+    rng: RandomSource = None,
+) -> PmaxEstimate:
+    """Estimate ``pmax`` as the probability that a random realization is type-1.
+
+    Runs the stopping rule of Alg. 2 over the type indicator ``y(ĝ)`` of
+    lazily reverse-sampled realizations.  If the rule does not terminate
+    within ``max_samples`` (which happens when ``pmax`` is very small), the
+    plain sample mean over the consumed realizations is returned instead;
+    an :class:`AlgorithmError` is raised only if no type-1 realization was
+    observed at all, since then there is no evidence the pair can ever be
+    connected.
+    """
+    generator = ensure_rng(rng)
+    source_friends = graph.neighbor_set(source)
+    observed = {"count": 0, "successes": 0}
+
+    def sampler() -> float:
+        path = sample_target_path(graph, target, source_friends, rng=generator)
+        observed["count"] += 1
+        if path.is_type1:
+            observed["successes"] += 1
+            return 1.0
+        return 0.0
+
+    try:
+        result = stopping_rule_estimate(
+            sampler,
+            epsilon=epsilon,
+            delta=1.0 / confidence_n,
+            max_samples=max_samples,
+        )
+        return PmaxEstimate(value=result.estimate, num_samples=result.num_samples, method="stopping-rule")
+    except EstimationError:
+        if observed["successes"] == 0:
+            raise AlgorithmError(
+                f"no type-1 realization observed in {observed['count']} samples; "
+                "pmax for this (source, target) pair appears to be (near) zero"
+            ) from None
+        return PmaxEstimate(
+            value=observed["successes"] / observed["count"],
+            num_samples=observed["count"],
+            method="sample-mean",
+        )
+
+
+def run_sampling_framework(
+    problem: ActiveFriendingProblem,
+    beta: float,
+    num_realizations: int,
+    msc_solver: str = "chlamtac",
+    rng: RandomSource = None,
+) -> tuple[frozenset, dict]:
+    """Algorithm 3: sample realizations and cover a ``β`` fraction of them.
+
+    Returns the invitation set together with a diagnostics dict holding the
+    sampled counts (``num_type1``, ``cover_target``, ``covered_weight``).
+
+    Raises
+    ------
+    AlgorithmError
+        If no type-1 realization was sampled (the MSC instance would be
+        empty); increase ``num_realizations`` or check that the pair is
+        connectable at all.
+    """
+    require_positive(beta, "beta")
+    require(beta <= 1.0, "beta must be at most 1")
+    require_positive_int(num_realizations, "num_realizations")
+    generator = ensure_rng(rng)
+    graph = problem.graph
+    source_friends = problem.source_friends
+
+    paths = []
+    num_type1 = 0
+    for _ in range(num_realizations):
+        path = sample_target_path(graph, problem.target, source_friends, rng=generator)
+        if path.is_type1:
+            num_type1 += 1
+            paths.append(path)
+    if num_type1 == 0:
+        raise AlgorithmError(
+            f"none of the {num_realizations} sampled realizations was type-1; "
+            "the target appears unreachable from the initiator's circle"
+        )
+
+    system = SetSystem.from_target_paths(paths)
+    cover_target = max(1, math.ceil(beta * num_type1))  # ⌈β·|B¹_l|⌉
+    cover = minimum_subset_cover(system, cover_target, solver=msc_solver)
+    diagnostics = {
+        "num_realizations": num_realizations,
+        "num_type1": num_type1,
+        "cover_target": cover_target,
+        "covered_weight": cover.covered_weight,
+        "msc_solver": cover.solver,
+    }
+    return cover.cover, diagnostics
+
+
+def run_raf(
+    problem: ActiveFriendingProblem,
+    config: RAFConfig | None = None,
+    rng: RandomSource = None,
+) -> RAFResult:
+    """Algorithm 4: the full RAF pipeline.
+
+    Parameters
+    ----------
+    problem:
+        The Minimum Active Friending instance (graph, initiator, target,
+        ``α``).
+    config:
+        Algorithm knobs; ``None`` uses the practical defaults.
+    rng:
+        Seed or generator; the pmax-estimation and sampling steps receive
+        independent streams derived from it.
+
+    Returns
+    -------
+    RAFResult
+        The invitation set together with all intermediate quantities needed
+        by the evaluation (``p*max``, ``l``, ``|B¹|``, coverage, the solved
+        parameters and the ``2√|B¹|`` bound of Lemma 5).
+    """
+    config = config or RAFConfig()
+    base_rng = ensure_rng(rng)
+    pmax_rng = derive_rng(base_rng, "raf-pmax")
+    sampling_rng = derive_rng(base_rng, "raf-sampling")
+
+    stopwatch = Stopwatch().start()
+
+    # Step 1: parameters (Eq. 17 / Equation System 1).
+    parameters = solve_parameters(
+        alpha=problem.alpha,
+        epsilon=config.epsilon,
+        num_nodes=problem.num_nodes,
+        coupling=config.coupling,
+    )
+
+    # Step 2: estimate pmax (Alg. 2).
+    pmax_epsilon = config.pmax_epsilon if config.pmax_epsilon is not None else parameters.epsilon_zero
+    pmax = estimate_pmax(
+        problem.graph,
+        problem.source,
+        problem.target,
+        epsilon=pmax_epsilon,
+        confidence_n=config.confidence_n,
+        max_samples=config.pmax_max_samples,
+        rng=pmax_rng,
+    )
+
+    # Step 3: choose the realization count l.
+    num_realizations = realization_count(
+        parameters,
+        pmax_estimate=pmax.value,
+        confidence_n=config.confidence_n,
+        policy=config.sample_policy,
+        fixed=config.fixed_realizations,
+        min_realizations=config.min_realizations,
+        max_realizations=config.max_realizations,
+    )
+
+    # Step 4: sampling framework + MSC (Alg. 3).
+    invitation, diagnostics = run_sampling_framework(
+        problem,
+        beta=parameters.beta,
+        num_realizations=num_realizations,
+        msc_solver=config.msc_solver,
+        rng=sampling_rng,
+    )
+
+    elapsed = stopwatch.stop()
+    return RAFResult(
+        invitation=invitation,
+        pmax_estimate=pmax.value,
+        pmax_samples=pmax.num_samples,
+        num_realizations=diagnostics["num_realizations"],
+        num_type1=diagnostics["num_type1"],
+        cover_target=diagnostics["cover_target"],
+        covered_weight=diagnostics["covered_weight"],
+        parameters=parameters,
+        approx_ratio_bound=chlamtac_ratio_bound(max(diagnostics["num_type1"], 1)),
+        msc_solver=diagnostics["msc_solver"],
+        elapsed_seconds=elapsed,
+    )

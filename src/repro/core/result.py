@@ -1,0 +1,119 @@
+"""Result objects returned by the invitation-set algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.parameters import RAFParameters
+
+__all__ = ["InvitationResult", "RAFResult"]
+
+
+@dataclass(frozen=True)
+class InvitationResult:
+    """A generic invitation-set recommendation.
+
+    All algorithms (RAF and the baselines) produce at least this much:
+    which users to invite, which algorithm produced the recommendation, and
+    a free-form metadata mapping with algorithm-specific diagnostics.
+    """
+
+    invitation: frozenset
+    algorithm: str
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of invited users."""
+        return len(self.invitation)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self.invitation
+
+
+@dataclass(frozen=True)
+class RAFResult:
+    """The full output of the RAF algorithm (Alg. 4).
+
+    Attributes
+    ----------
+    invitation:
+        The recommended invitation set ``I*``.
+    pmax_estimate:
+        The stopping-rule estimate ``p*max`` of the maximum acceptance
+        probability (Alg. 2).
+    pmax_samples:
+        Number of realizations consumed by the pmax estimation step.
+    num_realizations:
+        The number ``l`` of realizations sampled by the framework (Alg. 3).
+    num_type1:
+        How many of them were type-1 (``|B¹_l|``).
+    cover_target:
+        The MSC requirement ``p = ⌈β·|B¹_l|⌉``.
+    covered_weight:
+        How many sampled type-1 realizations the output actually covers
+        (``F(B_l, I*)``); always at least ``cover_target``.
+    parameters:
+        The solved ``(ε0, ε1, β)`` triple.
+    approx_ratio_bound:
+        The theoretical size bound ``2√|B¹_l|`` from Lemma 5.
+    msc_solver:
+        The MSC solver that produced the invitation set.
+    elapsed_seconds:
+        Wall-clock time of the full run.
+    """
+
+    invitation: frozenset
+    pmax_estimate: float
+    pmax_samples: int
+    num_realizations: int
+    num_type1: int
+    cover_target: int
+    covered_weight: int
+    parameters: RAFParameters
+    approx_ratio_bound: float
+    msc_solver: str
+    elapsed_seconds: float
+
+    @property
+    def size(self) -> int:
+        """Number of invited users."""
+        return len(self.invitation)
+
+    @property
+    def algorithm(self) -> str:
+        """Algorithm identifier (mirrors :class:`InvitationResult`)."""
+        return "RAF"
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Fraction of sampled type-1 realizations covered by the output.
+
+        This is the sample estimate of ``f(I*)/pmax``; Lemma 4 guarantees
+        the true ratio is at least ``(α − ε)`` with high probability.
+        """
+        if self.num_type1 == 0:
+            return 0.0
+        return self.covered_weight / self.num_type1
+
+    def as_invitation_result(self) -> InvitationResult:
+        """Downcast to the generic result shape used by the baselines."""
+        return InvitationResult(
+            invitation=self.invitation,
+            algorithm=self.algorithm,
+            metadata={
+                "pmax_estimate": self.pmax_estimate,
+                "num_realizations": self.num_realizations,
+                "num_type1": self.num_type1,
+                "cover_target": self.cover_target,
+                "covered_weight": self.covered_weight,
+                "coverage_fraction": self.coverage_fraction,
+                "approx_ratio_bound": self.approx_ratio_bound,
+                "msc_solver": self.msc_solver,
+                "elapsed_seconds": self.elapsed_seconds,
+            },
+        )
+
+    def __contains__(self, node: object) -> bool:
+        return node in self.invitation

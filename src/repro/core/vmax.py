@@ -1,0 +1,85 @@
+"""The ``α = 1`` special case: computing ``Vmax`` (Lemma 7).
+
+``Vmax`` is the set of users that lie on some path from the initiator's
+circle ``{s} ∪ N_s`` to the target while staying outside ``{s} ∪ N_s``.
+Lemma 7 shows it is the unique minimum invitation set achieving the maximum
+acceptance probability ``pmax``, and Sec. IV-D compares its size against
+the RAF solutions (Table II).
+
+A node qualifies iff it appears in the backward trace ``t(g)`` of some
+type-1 realization, which is equivalent to lying on a *simple* path from a
+node adjacent to ``N_s`` to the target inside the graph with ``{s} ∪ N_s``
+removed.  That simple-path membership question is answered exactly with the
+block-cut-tree routine in :mod:`repro.graph.traversal`, using a virtual
+super-source attached to every entry point.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ProblemDefinitionError
+from repro.graph.social_graph import SocialGraph
+from repro.graph.traversal import nodes_on_simple_paths
+from repro.types import NodeId
+
+__all__ = ["compute_vmax", "pmax_upper_invitation"]
+
+
+class _VirtualSource:
+    """A sentinel node distinct from every real user (used as a super-source)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return "<virtual-source>"
+
+
+def compute_vmax(graph: SocialGraph, source: NodeId, target: NodeId) -> frozenset:
+    """Compute ``Vmax`` for the pair ``(source, target)``.
+
+    Returns the empty set when the target cannot be reached at all (every
+    realization is type-0, so ``pmax = 0`` and no invitation set helps).
+
+    Raises
+    ------
+    ProblemDefinitionError
+        If the two users coincide or are already friends (the active
+        friending problem is not defined for such pairs).
+    """
+    if source == target:
+        raise ProblemDefinitionError("the initiator and the target must be distinct users")
+    if graph.has_edge(source, target):
+        raise ProblemDefinitionError(
+            f"{source!r} and {target!r} are already friends; Vmax is undefined"
+        )
+    source_friends = graph.neighbor_set(source)
+    removed = set(source_friends)
+    removed.add(source)
+
+    # Work in the graph with {s} ∪ N_s removed; entry points are the nodes
+    # that have at least one friend inside N_s.
+    interior = graph.without_nodes(removed)
+    entry_points = [
+        node
+        for node in interior.nodes()
+        if any(friend in source_friends for friend in graph.neighbors(node))
+    ]
+    if not entry_points or not interior.has_node(target):
+        return frozenset()
+
+    augmented = interior.copy()
+    virtual = _VirtualSource()
+    augmented.add_node(virtual)
+    for node in entry_points:
+        augmented.add_edge(virtual, node)
+
+    on_paths = nodes_on_simple_paths(augmented, virtual, target)
+    return frozenset(node for node in on_paths if node is not virtual)
+
+
+def pmax_upper_invitation(graph: SocialGraph, source: NodeId, target: NodeId) -> frozenset:
+    """Alias of :func:`compute_vmax`: the minimum invitation set achieving ``pmax``.
+
+    Provided under a task-oriented name for the public API; Lemma 7 shows
+    the set is unique, so "the" minimum invitation set is well defined.
+    """
+    return compute_vmax(graph, source, target)

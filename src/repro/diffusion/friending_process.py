@@ -1,0 +1,103 @@
+"""Monte Carlo estimation of the acceptance probability ``f(I)``.
+
+Computing ``f(I)`` exactly is #P-hard (Sec. I of the paper), so the
+evaluation pipeline estimates it by repeated simulation of Process 1.  The
+estimator here is the straightforward fixed-sample-count mean; the
+confidence-controlled stopping-rule estimator used inside the RAF algorithm
+lives in :mod:`repro.estimation.stopping_rule`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.graph.social_graph import SocialGraph
+from repro.types import NodeId
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import require_positive_int
+from repro.diffusion.threshold_model import simulate_friending
+
+__all__ = [
+    "AcceptanceEstimate",
+    "estimate_acceptance_probability",
+    "estimate_pmax_fixed_samples",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class AcceptanceEstimate:
+    """A Monte Carlo estimate of an acceptance probability.
+
+    Attributes
+    ----------
+    probability:
+        The sample mean (fraction of successful simulations).
+    num_samples:
+        How many simulations were run.
+    successes:
+        How many of them ended with the target accepting.
+    std_error:
+        The standard error of the mean under the binomial model.
+    """
+
+    probability: float
+    num_samples: int
+    successes: int
+
+    @property
+    def std_error(self) -> float:
+        """Standard error of the estimate (binomial)."""
+        if self.num_samples == 0:
+            return float("inf")
+        p = self.probability
+        return math.sqrt(max(p * (1.0 - p), 0.0) / self.num_samples)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """A normal-approximation confidence interval clipped to [0, 1]."""
+        half_width = z * self.std_error
+        return (max(0.0, self.probability - half_width), min(1.0, self.probability + half_width))
+
+
+def estimate_acceptance_probability(
+    graph: SocialGraph,
+    source: NodeId,
+    target: NodeId,
+    invitation: Iterable[NodeId],
+    num_samples: int = 1000,
+    rng: RandomSource = None,
+) -> AcceptanceEstimate:
+    """Estimate ``f(I)`` by simulating Process 1 ``num_samples`` times."""
+    require_positive_int(num_samples, "num_samples")
+    generator = ensure_rng(rng)
+    invited = frozenset(invitation)
+    successes = 0
+    for _ in range(num_samples):
+        outcome = simulate_friending(graph, source, invited, target=target, rng=generator)
+        if outcome.success:
+            successes += 1
+    return AcceptanceEstimate(
+        probability=successes / num_samples,
+        num_samples=num_samples,
+        successes=successes,
+    )
+
+
+def estimate_pmax_fixed_samples(
+    graph: SocialGraph,
+    source: NodeId,
+    target: NodeId,
+    num_samples: int = 1000,
+    rng: RandomSource = None,
+) -> AcceptanceEstimate:
+    """Estimate ``pmax = f(V)`` with a fixed sample count.
+
+    This is the estimator the experiment harness uses for pair selection
+    (pairs with ``pmax < 0.01`` are discarded, Sec. IV); the RAF algorithm
+    itself uses the Dagum et al. stopping rule instead.
+    """
+    invitation = frozenset(graph.nodes())
+    return estimate_acceptance_probability(
+        graph, source, target, invitation, num_samples=num_samples, rng=rng
+    )

@@ -1,0 +1,166 @@
+"""Realizations (Def. 1), Process 2, and the Alg. 1 backward trace ``t(g)``.
+
+A *realization* derandomizes the threshold process: every user picks at
+most one of its friends -- friend ``u`` with probability ``w(u, v)``,
+nobody with the leftover probability ``1 − Σ_u w(u, v)``.  Lemma 1 shows
+that running the deterministic Process 2 on a random realization gives the
+same distribution over outcomes as Process 1, which is the live-edge
+equivalence the RAF algorithm is built on.
+
+:func:`sample_realization` materializes a full realization (every node's
+choice); it is used by tests, by the forward Process 2 simulator and by the
+Lemma 1 equivalence checks.  The RAF sampler itself never needs full
+realizations -- see :mod:`repro.diffusion.reverse_sampling` for the lazy
+backward version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.social_graph import SocialGraph
+from repro.types import NodeId
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.diffusion.threshold_model import FriendingOutcome
+
+__all__ = ["Realization", "sample_realization", "forward_process", "trace_target_path"]
+
+
+@dataclass(frozen=True)
+class Realization:
+    """A full realization ``g: V → V ∪ {ℵ0}`` of Def. 1.
+
+    ``choices[v]`` is the friend selected by ``v`` or ``None`` for the
+    artificial user ℵ0 (no selection).  Instances are immutable.
+    """
+
+    choices: Mapping[NodeId, NodeId | None]
+
+    def parent(self, node: NodeId) -> NodeId | None:
+        """Return ``g(node)`` (``None`` encodes the artificial user ℵ0)."""
+        try:
+            return self.choices[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.choices
+
+    def live_edges(self) -> frozenset:
+        """The set of live (selected) edges ``(g(v), v)`` as ordered pairs."""
+        return frozenset(
+            (parent, node) for node, parent in self.choices.items() if parent is not None
+        )
+
+
+def sample_realization(graph: SocialGraph, rng: RandomSource = None) -> Realization:
+    """Draw a full realization: every user selects at most one friend.
+
+    Friend ``u`` of user ``v`` is selected with probability ``w(u, v)``;
+    with the leftover probability ``1 − Σ_u w(u, v)`` (non-negative because
+    the graph is normalized) the user selects nobody.
+    """
+    generator = ensure_rng(rng)
+    choices: dict[NodeId, NodeId | None] = {}
+    for v in graph.nodes():
+        draw = generator.random()
+        cumulative = 0.0
+        selected: NodeId | None = None
+        for u, weight in graph.in_weights(v).items():
+            cumulative += weight
+            if draw < cumulative:
+                selected = u
+                break
+        choices[v] = selected
+    return Realization(choices=choices)
+
+
+def forward_process(
+    graph: SocialGraph,
+    source: NodeId,
+    realization: Realization,
+    invitation: Iterable[NodeId],
+    target: NodeId | None = None,
+) -> FriendingOutcome:
+    """Run Process 2: the deterministic friending process under a realization.
+
+    Starting from ``H_0 = N_s``, each round admits every invited user whose
+    selected friend ``g(v)`` is already in the circle, until nothing changes
+    or the target joins.  Returned in the same :class:`FriendingOutcome`
+    shape as Process 1 so the two can be compared directly (Lemma 1).
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    initial = graph.neighbor_set(source)
+    invited = frozenset(invitation)
+    circle: set[NodeId] = set(initial)
+
+    # Reverse index: which invited users selected node x?  Admitting x can
+    # only ever trigger those users, so each edge of the realization is
+    # examined at most once.
+    selected_by: dict[NodeId, list[NodeId]] = {}
+    for v in invited:
+        if v in circle or v not in realization:
+            continue
+        parent = realization.parent(v)
+        if parent is not None:
+            selected_by.setdefault(parent, []).append(v)
+
+    rounds = 0
+    frontier = list(initial)
+    while frontier:
+        if target is not None and target in circle:
+            break
+        next_frontier: list[NodeId] = []
+        for member in frontier:
+            for candidate in selected_by.get(member, ()):  # invited users waiting on member
+                if candidate not in circle:
+                    circle.add(candidate)
+                    next_frontier.append(candidate)
+        if not next_frontier:
+            break
+        rounds += 1
+        frontier = next_frontier
+
+    final = frozenset(circle)
+    return FriendingOutcome(
+        success=(target in final) if target is not None else False,
+        final_friends=final,
+        new_friends=frozenset(final - initial),
+        rounds=rounds,
+    )
+
+
+def trace_target_path(
+    realization: Realization,
+    target: NodeId,
+    source_friends: Iterable[NodeId],
+) -> tuple[frozenset, bool]:
+    """Algorithm 1: trace ``t(g)`` backwards from the target.
+
+    Walk ``target → g(target) → g(g(target)) → ...`` until the walk either
+
+    * reaches a user who selected nobody (type-0 realization),
+    * closes a cycle (type-0), or
+    * reaches a friend of the initiator (type-1).
+
+    Returns ``(nodes, is_type1)`` where ``nodes`` is the set of traced users
+    (the paper's ``t(g)`` without the artificial user ℵ0); the invitation
+    set must contain all of them for the target to become a friend under
+    this realization (Lemma 2).
+    """
+    stop_set = frozenset(source_friends)
+    traced: set[NodeId] = {target}
+    current = target
+    while True:
+        parent = realization.parent(current)
+        if parent is None:
+            return frozenset(traced), False
+        if parent in traced:
+            return frozenset(traced), False
+        if parent in stop_set:
+            return frozenset(traced), True
+        traced.add(parent)
+        current = parent

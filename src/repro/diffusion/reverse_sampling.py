@@ -1,0 +1,131 @@
+"""Lazy reverse sampling of the backward trace ``t(ĝ)`` (Remark 3).
+
+The RAF algorithm only ever needs the traced set ``t(g)`` of a random
+realization, never the full realization.  Following the reverse-sampling
+idea of Borgs et al., :func:`sample_target_path` draws the friend choice
+``g(v)`` lazily, only for the users actually encountered while walking
+backwards from the target, so one sample costs time proportional to the
+length of the traced path (worst case O(m), typically far less).
+
+The lazily generated marginal matches Def. 1 exactly: each visited user
+independently selects friend ``u`` with probability ``w(u, v)`` and nobody
+with the leftover probability, and the walk stops under the same three
+conditions as Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.social_graph import SocialGraph
+from repro.types import NodeId
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = ["TargetPath", "sample_target_path", "sample_target_paths"]
+
+
+@dataclass(frozen=True, slots=True)
+class TargetPath:
+    """One sampled backward trace ``t(ĝ)``.
+
+    Attributes
+    ----------
+    nodes:
+        The traced users (always contains the target).  For a type-0
+        realization these are the users visited before the walk died; they
+        are retained for diagnostics but can never be covered.
+    is_type1:
+        Whether the walk reached the initiator's friend circle, i.e.
+        whether ℵ0 ∉ t(g) (Definition 2).  Only type-1 paths can contribute
+        to the acceptance probability.
+    anchor:
+        For a type-1 path, the friend of the initiator that the walk
+        reached (the ``u* ∈ N_s`` of Alg. 1, *not* part of ``t(g)``);
+        ``None`` for type-0 paths.
+    """
+
+    nodes: frozenset
+    is_type1: bool
+    anchor: NodeId | None = None
+
+    def covered_by(self, invitation: Iterable[NodeId]) -> bool:
+        """Whether an invitation set covers this realization (Lemma 2).
+
+        A type-0 path is never covered; a type-1 path is covered iff every
+        traced user received an invitation.
+        """
+        if not self.is_type1:
+            return False
+        invited = invitation if isinstance(invitation, (set, frozenset)) else frozenset(invitation)
+        return self.nodes <= invited
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def _select_friend(graph: SocialGraph, node: NodeId, generator) -> NodeId | None:
+    """Sample the single friend selected by ``node`` (Def. 1), or None."""
+    draw = generator.random()
+    cumulative = 0.0
+    for friend, weight in graph.in_weights(node).items():
+        cumulative += weight
+        if draw < cumulative:
+            return friend
+    return None
+
+
+def sample_target_path(
+    graph: SocialGraph,
+    target: NodeId,
+    source_friends: Iterable[NodeId],
+    rng: RandomSource = None,
+) -> TargetPath:
+    """Sample one backward trace ``t(ĝ)`` of a random realization.
+
+    Parameters
+    ----------
+    graph:
+        The weighted friendship graph (must be normalized).
+    target:
+        The target user ``t``.
+    source_friends:
+        The initiator's current circle ``N_s``; reaching it terminates the
+        walk with a type-1 result.
+    rng:
+        Seed or generator.
+    """
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    generator = ensure_rng(rng)
+    stop_set = source_friends if isinstance(source_friends, (set, frozenset)) else frozenset(source_friends)
+
+    traced: set[NodeId] = {target}
+    current = target
+    while True:
+        parent = _select_friend(graph, current, generator)
+        if parent is None:
+            return TargetPath(nodes=frozenset(traced), is_type1=False)
+        if parent in traced:
+            return TargetPath(nodes=frozenset(traced), is_type1=False)
+        if parent in stop_set:
+            return TargetPath(nodes=frozenset(traced), is_type1=True, anchor=parent)
+        traced.add(parent)
+        current = parent
+
+
+def sample_target_paths(
+    graph: SocialGraph,
+    target: NodeId,
+    source_friends: Iterable[NodeId],
+    count: int,
+    rng: RandomSource = None,
+) -> Iterator[TargetPath]:
+    """Yield ``count`` independent backward traces (a generator, lazily evaluated)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    generator = ensure_rng(rng)
+    stop_set = frozenset(source_friends)
+    for _ in range(count):
+        yield sample_target_path(graph, target, stop_set, rng=generator)

@@ -1,0 +1,153 @@
+"""Process 1: the linear-threshold friending process.
+
+Each user ``v`` draws a threshold ``θ_v ~ U[0, 1]``.  Starting from the
+initiator's current friends ``C_0 = N_s``, the process repeatedly admits any
+*invited* user whose friends inside the current circle carry total
+familiarity weight at least the user's threshold:
+
+    C_{i+1} = C_i ∪ (Φ(C_i) ∩ I),   Φ(C) = {u ∉ C : Σ_{v∈C} w(v, u) ≥ θ_u}
+
+and stops when no invited user can be added or the target joins.  The
+acceptance probability ``f(I)`` is the probability (over the thresholds)
+that the target ends up in the final circle.
+
+The implementation below is incremental: instead of recomputing
+``Σ_{v∈C} w(v, u)`` from scratch each round, it maintains the accumulated
+influence of every frontier user and only pushes updates along the edges of
+newly admitted members, so a full simulation costs O(m) in the worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.social_graph import SocialGraph
+from repro.types import NodeId
+from repro.utils.rng import RandomSource, ensure_rng
+
+__all__ = [
+    "FriendingOutcome",
+    "sample_thresholds",
+    "run_threshold_process",
+    "simulate_friending",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FriendingOutcome:
+    """The result of one friending-process simulation.
+
+    Attributes
+    ----------
+    success:
+        Whether the target joined the initiator's friend circle.
+    final_friends:
+        The final circle ``C_∞(I)`` (initial friends plus everyone who
+        accepted during the process).
+    new_friends:
+        The users who accepted an invitation during this run
+        (``C_∞(I) \\ N_s``).
+    rounds:
+        How many rounds the process ran before terminating.
+    """
+
+    success: bool
+    final_friends: frozenset
+    new_friends: frozenset
+    rounds: int
+
+
+def sample_thresholds(graph: SocialGraph, rng: RandomSource = None) -> dict:
+    """Draw a uniform-[0, 1] threshold for every user (the model of Sec. II-A)."""
+    generator = ensure_rng(rng)
+    return {node: generator.random() for node in graph.nodes()}
+
+
+def run_threshold_process(
+    graph: SocialGraph,
+    source: NodeId,
+    invitation: Iterable[NodeId],
+    thresholds: Mapping[NodeId, float],
+    target: NodeId | None = None,
+) -> FriendingOutcome:
+    """Run Process 1 with explicit thresholds (deterministic given them).
+
+    Parameters
+    ----------
+    graph:
+        The friendship graph with familiarity weights.
+    source:
+        The initiator ``s``; the process starts from its friend circle.
+    invitation:
+        The invitation set ``I``: only these users can join the circle.
+    thresholds:
+        The realized thresholds ``θ_v`` for every user that might be asked
+        to accept; missing users are treated as having threshold > 1 (never
+        accept), which is convenient for partial maps in tests.
+    target:
+        When given, the process additionally stops as soon as the target
+        joins (matching the paper's termination rule) and ``success``
+        reflects membership of the target.
+    """
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if target is not None and not graph.has_node(target):
+        raise NodeNotFoundError(target)
+
+    initial = graph.neighbor_set(source)
+    invited = frozenset(invitation)
+    circle: set[NodeId] = set(initial)
+    # accumulated[u] = Σ_{v ∈ circle} w(v, u) for users u not yet in the circle.
+    accumulated: dict[NodeId, float] = {}
+
+    def push_influence(members: Iterable[NodeId]) -> set:
+        """Propagate the influence of newly added members; return new acceptors."""
+        acceptors: set[NodeId] = set()
+        for member in members:
+            for neighbor in graph.neighbors(member):
+                if neighbor in circle:
+                    continue
+                accumulated[neighbor] = accumulated.get(neighbor, 0.0) + graph.weight(
+                    member, neighbor
+                )
+                if neighbor in invited and accumulated[neighbor] >= thresholds.get(neighbor, 2.0):
+                    acceptors.add(neighbor)
+        return acceptors
+
+    rounds = 0
+    newly_added = set(initial)
+    success = target is not None and target in circle
+    while newly_added and not success:
+        acceptors = push_influence(newly_added)
+        acceptors -= circle
+        if not acceptors:
+            break
+        rounds += 1
+        circle.update(acceptors)
+        for node in acceptors:
+            accumulated.pop(node, None)
+        newly_added = acceptors
+        if target is not None and target in circle:
+            success = True
+
+    final = frozenset(circle)
+    return FriendingOutcome(
+        success=(target in final) if target is not None else False,
+        final_friends=final,
+        new_friends=frozenset(final - initial),
+        rounds=rounds,
+    )
+
+
+def simulate_friending(
+    graph: SocialGraph,
+    source: NodeId,
+    invitation: Iterable[NodeId],
+    target: NodeId | None = None,
+    rng: RandomSource = None,
+) -> FriendingOutcome:
+    """Run one random simulation of Process 1 (thresholds drawn uniformly)."""
+    thresholds = sample_thresholds(graph, rng)
+    return run_threshold_process(graph, source, invitation, thresholds, target=target)

@@ -1,0 +1,44 @@
+"""Monte Carlo estimation utilities: stopping rules and concentration bounds.
+
+The RAF algorithm needs two statistical ingredients:
+
+* an ``(ε, δ)``-relative-error estimate of ``pmax`` (Alg. 2), obtained with
+  the Dagum–Karp–Luby–Ross stopping rule
+  (:mod:`repro.estimation.stopping_rule`), and
+* a sample-size bound ``l*`` (Eq. 16) derived from the Chernoff bound and a
+  union bound over invitation sets (:mod:`repro.estimation.bounds`).
+
+:mod:`repro.estimation.monte_carlo` provides the plain fixed-budget
+estimator shared by the experiment harness.
+"""
+
+from repro.estimation.monte_carlo import MonteCarloResult, monte_carlo_mean
+from repro.estimation.stopping_rule import (
+    StoppingRuleResult,
+    expected_sample_bound,
+    stopping_rule_estimate,
+    stopping_rule_threshold,
+)
+from repro.estimation.bounds import (
+    chernoff_bound,
+    chernoff_sample_size,
+    hoeffding_bound,
+    hoeffding_sample_size,
+    theoretical_realization_count,
+    union_bound_failure,
+)
+
+__all__ = [
+    "MonteCarloResult",
+    "monte_carlo_mean",
+    "StoppingRuleResult",
+    "stopping_rule_estimate",
+    "stopping_rule_threshold",
+    "expected_sample_bound",
+    "chernoff_bound",
+    "chernoff_sample_size",
+    "hoeffding_bound",
+    "hoeffding_sample_size",
+    "union_bound_failure",
+    "theoretical_realization_count",
+]

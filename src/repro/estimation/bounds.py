@@ -1,0 +1,94 @@
+"""Concentration bounds and sample-size formulas used by the analysis.
+
+The RAF analysis rests on the multiplicative Chernoff bound of Eq. (9),
+
+    Pr[|ΣX_i − lμ| ≥ δ·lμ] ≤ 2 exp(− lμδ² / (2 + δ)),
+
+a union bound over the 2^n invitation sets, and the resulting realization
+count ``l*`` of Eq. (16).  These formulas are exposed directly so tests and
+ablations can compare the theoretical prescription with the practical
+sample counts actually needed (Sec. IV-E / Fig. 6).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import require, require_positive, require_positive_int
+
+__all__ = [
+    "chernoff_bound",
+    "chernoff_sample_size",
+    "hoeffding_bound",
+    "hoeffding_sample_size",
+    "union_bound_failure",
+    "theoretical_realization_count",
+]
+
+
+def chernoff_bound(num_samples: int, mean: float, delta: float) -> float:
+    """Upper bound on ``Pr[|ΣX_i − lμ| ≥ δlμ]`` from Eq. (9), clipped to 1."""
+    require_positive_int(num_samples, "num_samples")
+    require_positive(mean, "mean")
+    require_positive(delta, "delta")
+    exponent = -num_samples * mean * delta * delta / (2.0 + delta)
+    return min(1.0, 2.0 * math.exp(exponent))
+
+
+def chernoff_sample_size(mean: float, delta: float, failure_probability: float) -> int:
+    """Smallest ``l`` for which the Eq. (9) bound drops below the failure probability."""
+    require_positive(mean, "mean")
+    require_positive(delta, "delta")
+    require(0.0 < failure_probability < 1.0, "failure_probability must lie in (0, 1)")
+    needed = (2.0 + delta) * math.log(2.0 / failure_probability) / (mean * delta * delta)
+    return max(1, math.ceil(needed))
+
+
+def hoeffding_bound(num_samples: int, tolerance: float) -> float:
+    """Two-sided Hoeffding bound ``2 exp(−2lt²)`` for [0,1]-valued samples."""
+    require_positive_int(num_samples, "num_samples")
+    require_positive(tolerance, "tolerance")
+    return min(1.0, 2.0 * math.exp(-2.0 * num_samples * tolerance * tolerance))
+
+
+def hoeffding_sample_size(tolerance: float, failure_probability: float) -> int:
+    """Samples needed for an additive ``tolerance`` error with the given confidence."""
+    require_positive(tolerance, "tolerance")
+    require(0.0 < failure_probability < 1.0, "failure_probability must lie in (0, 1)")
+    needed = math.log(2.0 / failure_probability) / (2.0 * tolerance * tolerance)
+    return max(1, math.ceil(needed))
+
+
+def union_bound_failure(per_event_failure: float, num_events: int) -> float:
+    """Total failure probability after a union bound over ``num_events`` events."""
+    require(per_event_failure >= 0.0, "per_event_failure must be non-negative")
+    require_positive_int(num_events, "num_events")
+    return min(1.0, per_event_failure * num_events)
+
+
+def theoretical_realization_count(
+    num_nodes: int,
+    confidence_n: float,
+    epsilon_one: float,
+    epsilon_zero: float,
+    pmax_estimate: float,
+) -> int:
+    """The realization count ``l*`` of Eq. (16).
+
+    ``l* = (ln 2 + ln N + n ln 2) · (2 + ε1(1 − ε0)) / (ε1²(1 − ε0)²·p*max)``
+
+    This is the paper's worst-case prescription: it carries the ``n ln 2``
+    term from the union bound over all 2^n invitation sets, which makes it
+    astronomically conservative for realistic graphs (see DESIGN.md and the
+    sampling ablation).  ``ε0`` must be strictly less than 1 for the bound
+    to be meaningful.
+    """
+    require_positive_int(num_nodes, "num_nodes")
+    require_positive(confidence_n, "confidence_n")
+    require_positive(epsilon_one, "epsilon_one")
+    require(0.0 <= epsilon_zero < 1.0, "epsilon_zero must lie in [0, 1) for Eq. (16)")
+    require_positive(pmax_estimate, "pmax_estimate")
+    log_term = math.log(2.0) + math.log(confidence_n) + num_nodes * math.log(2.0)
+    numerator = log_term * (2.0 + epsilon_one * (1.0 - epsilon_zero))
+    denominator = (epsilon_one**2) * ((1.0 - epsilon_zero) ** 2) * pmax_estimate
+    return max(1, math.ceil(numerator / denominator))

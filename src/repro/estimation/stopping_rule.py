@@ -1,0 +1,140 @@
+"""The Dagum–Karp–Luby–Ross stopping-rule estimator (Alg. 2 / Lemma 3).
+
+The paper estimates ``pmax = E[y(ĝ)]`` -- the probability that a random
+realization is type-1 -- with the *stopping rule* of Dagum et al. (2000):
+keep drawing i.i.d. samples ``X_i ∈ [0, 1]`` until their running sum
+reaches the threshold
+
+    Υ = 1 + 4 (e − 2) (1 + ε) ln(2/δ) / ε²,
+
+then output ``Υ / i`` where ``i`` is the number of samples consumed.  The
+output is within relative error ``ε`` of the true mean with probability at
+least ``1 − δ``, using ``O(Υ / μ)`` samples in expectation.
+
+Note on the paper's Alg. 2: it writes ``ln(2/N)`` where ``N`` is the
+confidence parameter with failure probability ``1/N``; that expression is
+negative for ``N > 2`` and is a typo for ``ln(2N) = ln(2/δ)``, which is
+what Dagum et al. prescribe and what is implemented here (recorded in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import EstimationError
+from repro.utils.validation import require, require_positive
+
+__all__ = [
+    "StoppingRuleResult",
+    "stopping_rule_threshold",
+    "stopping_rule_estimate",
+    "expected_sample_bound",
+]
+
+#: Euler's number minus 2, the constant appearing in the stopping rule.
+_E_MINUS_2 = math.e - 2.0
+
+
+@dataclass(frozen=True, slots=True)
+class StoppingRuleResult:
+    """Output of the stopping-rule estimator.
+
+    Attributes
+    ----------
+    estimate:
+        The ``(ε, δ)``-approximation of the mean.
+    num_samples:
+        How many samples the rule consumed.
+    threshold:
+        The stopping threshold Υ that was used.
+    epsilon, delta:
+        The requested accuracy and failure probability.
+    """
+
+    estimate: float
+    num_samples: int
+    threshold: float
+    epsilon: float
+    delta: float
+
+
+def stopping_rule_threshold(epsilon: float, delta: float) -> float:
+    """Compute the stopping threshold Υ(ε, δ) = 1 + 4(e−2)(1+ε)ln(2/δ)/ε²."""
+    require_positive(epsilon, "epsilon")
+    require(epsilon <= 1.0, "epsilon must be at most 1")
+    require(0.0 < delta < 1.0, "delta must lie in (0, 1)")
+    return 1.0 + 4.0 * _E_MINUS_2 * (1.0 + epsilon) * math.log(2.0 / delta) / (epsilon**2)
+
+
+def expected_sample_bound(epsilon: float, delta: float, mean: float) -> float:
+    """The asymptotic sample-count bound ``l0`` of Lemma 3 (Eq. 6).
+
+    ``l0 = (2 + ...)·ln(2/δ)... / (ε² · μ)`` -- written here exactly as the
+    paper states it, with ``N = 1/δ``: the number of simulations is
+    asymptotically ``(ε² + 4(e−2)(1+ε) ln(N/2)) / (ε² · pmax)``.
+    """
+    require_positive(epsilon, "epsilon")
+    require(0.0 < delta < 1.0, "delta must lie in (0, 1)")
+    require_positive(mean, "mean")
+    capital_n = 1.0 / delta
+    numerator = epsilon**2 + 4.0 * _E_MINUS_2 * (1.0 + epsilon) * math.log(max(capital_n / 2.0, 1.0 + 1e-12))
+    return numerator / (epsilon**2 * mean)
+
+
+def stopping_rule_estimate(
+    sampler: Callable[[], float],
+    epsilon: float,
+    delta: float,
+    max_samples: int | None = None,
+) -> StoppingRuleResult:
+    """Run the stopping rule on an i.i.d. ``[0, 1]``-valued sampler.
+
+    Parameters
+    ----------
+    sampler:
+        A zero-argument callable returning one sample in ``[0, 1]``.  For
+        the paper's Alg. 2 this draws a random realization and returns its
+        type indicator ``y(ĝ)``.
+    epsilon:
+        Target relative error (``0 < ε ≤ 1``).
+    delta:
+        Failure probability (the paper's ``1/N``).
+    max_samples:
+        Optional hard cap.  The stopping rule needs ``Θ(Υ/μ)`` samples, so
+        a vanishing mean makes it run arbitrarily long; a cap turns that
+        into an :class:`EstimationError` instead of a hang.  ``None`` means
+        no cap.
+
+    Raises
+    ------
+    EstimationError
+        If ``max_samples`` draws were consumed before the threshold was
+        reached, or if a sample falls outside ``[0, 1]``.
+    """
+    threshold = stopping_rule_threshold(epsilon, delta)
+    if max_samples is not None and max_samples <= 0:
+        raise ValueError("max_samples must be positive when given")
+    total = 0.0
+    count = 0
+    while total < threshold:
+        if max_samples is not None and count >= max_samples:
+            raise EstimationError(
+                f"stopping rule did not terminate within {max_samples} samples "
+                f"(accumulated {total:.2f} of threshold {threshold:.2f}); the mean being "
+                "estimated is likely (near) zero"
+            )
+        value = float(sampler())
+        if value < 0.0 or value > 1.0:
+            raise EstimationError(f"stopping-rule samples must lie in [0, 1], got {value}")
+        total += value
+        count += 1
+    return StoppingRuleResult(
+        estimate=threshold / count,
+        num_samples=count,
+        threshold=threshold,
+        epsilon=epsilon,
+        delta=delta,
+    )

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends raised by misuse of the Python API itself) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "WeightError",
+    "GraphFormatError",
+    "ProblemDefinitionError",
+    "EstimationError",
+    "SetCoverError",
+    "InfeasibleCoverError",
+    "ParameterSolverError",
+    "AlgorithmError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors related to the social graph substrate."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node referenced by the caller does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge referenced by the caller does not exist in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class WeightError(GraphError, ValueError):
+    """A familiarity weight violates the model constraints.
+
+    The linear-threshold friending model requires every ordered-pair weight
+    ``w(u, v)`` to lie in ``(0, 1]`` and the total incoming weight of every
+    node to be at most 1 (after normalization).
+    """
+
+
+class GraphFormatError(GraphError, ValueError):
+    """An edge-list file or serialized graph could not be parsed."""
+
+
+class ProblemDefinitionError(ReproError, ValueError):
+    """The active-friending problem instance is ill-formed.
+
+    Examples: the initiator equals the target, the target is already a
+    friend of the initiator, or ``alpha`` lies outside ``(0, 1]``.
+    """
+
+
+class EstimationError(ReproError):
+    """A Monte Carlo estimation routine could not produce an estimate."""
+
+
+class SetCoverError(ReproError):
+    """Base class for errors raised by the set-cover / MpU solvers."""
+
+
+class InfeasibleCoverError(SetCoverError, ValueError):
+    """The requested cover cannot be satisfied (e.g. ``p`` exceeds ``|U|``)."""
+
+
+class ParameterSolverError(ReproError, ValueError):
+    """Equation System 1 / Eq. (17) has no solution for the given inputs."""
+
+
+class AlgorithmError(ReproError):
+    """An invitation-set algorithm failed to produce a valid solution."""
+
+
+class ExperimentError(ReproError):
+    """An experiment configuration or run is invalid."""

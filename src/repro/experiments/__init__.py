@@ -1,0 +1,72 @@
+"""Experiment harness reproducing every table and figure of Sec. IV.
+
+Each experiment module exposes a ``run_*`` function returning a small,
+serializable result object with the same rows/series the paper reports,
+plus a ``format_*`` helper used by the benchmarks and examples to print
+them.  The mapping to the paper is:
+
+========================  =============================================
+paper artefact            module
+========================  =============================================
+Table I (datasets)        :mod:`repro.experiments.datasets_table`
+Fig. 3 (basic)            :mod:`repro.experiments.basic_experiment`
+Fig. 4 (vs HD)            :mod:`repro.experiments.ratio_comparison`
+Fig. 5 (vs SP)            :mod:`repro.experiments.ratio_comparison`
+Table II (vs Vmax)        :mod:`repro.experiments.vmax_comparison`
+Fig. 6 (realizations)     :mod:`repro.experiments.realization_sweep`
+========================  =============================================
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pair_selection import select_pairs
+from repro.experiments.harness import evaluate_invitation, growth_curve
+from repro.experiments.datasets_table import DatasetRow, format_datasets_table, run_datasets_table
+from repro.experiments.basic_experiment import (
+    BasicExperimentResult,
+    format_basic_experiment,
+    run_basic_experiment,
+)
+from repro.experiments.ratio_comparison import (
+    RatioComparisonResult,
+    format_ratio_comparison,
+    run_ratio_comparison,
+)
+from repro.experiments.vmax_comparison import (
+    VmaxComparisonResult,
+    format_vmax_comparison,
+    run_vmax_comparison,
+)
+from repro.experiments.realization_sweep import (
+    RealizationSweepResult,
+    format_realization_sweep,
+    run_realization_sweep,
+)
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.records import load_record, save_record, to_jsonable
+
+__all__ = [
+    "to_jsonable",
+    "save_record",
+    "load_record",
+    "ExperimentConfig",
+    "select_pairs",
+    "evaluate_invitation",
+    "growth_curve",
+    "DatasetRow",
+    "run_datasets_table",
+    "format_datasets_table",
+    "BasicExperimentResult",
+    "run_basic_experiment",
+    "format_basic_experiment",
+    "RatioComparisonResult",
+    "run_ratio_comparison",
+    "format_ratio_comparison",
+    "VmaxComparisonResult",
+    "run_vmax_comparison",
+    "format_vmax_comparison",
+    "RealizationSweepResult",
+    "run_realization_sweep",
+    "format_realization_sweep",
+    "format_table",
+    "format_series",
+]

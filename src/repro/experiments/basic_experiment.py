@@ -1,0 +1,114 @@
+"""Experiment E2: the basic experiment of Fig. 3.
+
+For each α in the sweep and each selected (s, t) pair, run RAF to obtain an
+invitation set, then give HD and SP the *same invitation budget* and
+compare the resulting acceptance probabilities against each other and
+against ``pmax``.  The paper reports, per dataset, four curves over α:
+``pmax``, RAF, HD and SP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.high_degree import high_degree_invitation
+from repro.baselines.shortest_path import shortest_path_invitation
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.raf import run_raf
+from repro.exceptions import AlgorithmError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import evaluate_invitation
+from repro.experiments.reporting import format_table
+from repro.graph.social_graph import SocialGraph
+from repro.types import PairSpec
+from repro.utils.rng import RandomSource, derive_rng
+
+__all__ = ["BasicExperimentResult", "run_basic_experiment", "format_basic_experiment"]
+
+
+@dataclass(frozen=True)
+class BasicExperimentResult:
+    """Per-α averages of the Fig. 3 experiment for one dataset.
+
+    ``rows`` holds one mapping per α value with keys ``alpha``, ``pmax``,
+    ``raf``, ``hd``, ``sp`` and ``avg_size`` (the shared invitation budget).
+    """
+
+    dataset: str
+    num_pairs: int
+    rows: tuple[dict, ...]
+
+    def series(self, algorithm: str) -> list[tuple[float, float]]:
+        """The (α, acceptance probability) curve of one algorithm."""
+        return [(row["alpha"], row[algorithm]) for row in self.rows]
+
+
+def run_basic_experiment(
+    graph: SocialGraph,
+    pairs: list[PairSpec],
+    config: ExperimentConfig,
+    dataset_name: str = "",
+    rng: RandomSource = None,
+) -> BasicExperimentResult:
+    """Run the Fig. 3 protocol on pre-selected pairs of one dataset."""
+    rows: list[dict] = []
+    for alpha in config.alphas:
+        raf_probabilities: list[float] = []
+        hd_probabilities: list[float] = []
+        sp_probabilities: list[float] = []
+        pmax_values: list[float] = []
+        sizes: list[int] = []
+        for index, pair in enumerate(pairs):
+            pair_rng = derive_rng(rng, f"basic-{alpha}-{index}")
+            problem = ActiveFriendingProblem(graph, pair.source, pair.target, alpha=alpha)
+            try:
+                raf = run_raf(problem, config.raf_config(alpha), rng=pair_rng)
+            except AlgorithmError:
+                # The pair turned out to be unreachable at this sampling
+                # budget; skip it for every algorithm so averages stay
+                # comparable.
+                continue
+            budget = max(1, raf.size)
+            hd = high_degree_invitation(problem, budget)
+            sp = shortest_path_invitation(problem, budget)
+            eval_rng = derive_rng(pair_rng, "evaluation")
+            raf_probabilities.append(
+                evaluate_invitation(
+                    graph, pair.source, pair.target, raf.invitation,
+                    num_samples=config.eval_samples, rng=derive_rng(eval_rng, "raf"),
+                )
+            )
+            hd_probabilities.append(
+                evaluate_invitation(
+                    graph, pair.source, pair.target, hd.invitation,
+                    num_samples=config.eval_samples, rng=derive_rng(eval_rng, "hd"),
+                )
+            )
+            sp_probabilities.append(
+                evaluate_invitation(
+                    graph, pair.source, pair.target, sp.invitation,
+                    num_samples=config.eval_samples, rng=derive_rng(eval_rng, "sp"),
+                )
+            )
+            pmax_values.append(pair.pmax if pair.pmax is not None else raf.pmax_estimate)
+            sizes.append(budget)
+        count = len(raf_probabilities)
+        if count == 0:
+            continue
+        rows.append(
+            {
+                "alpha": alpha,
+                "pmax": sum(pmax_values) / count,
+                "raf": sum(raf_probabilities) / count,
+                "hd": sum(hd_probabilities) / count,
+                "sp": sum(sp_probabilities) / count,
+                "avg_size": sum(sizes) / count,
+            }
+        )
+    return BasicExperimentResult(dataset=dataset_name, num_pairs=len(pairs), rows=tuple(rows))
+
+
+def format_basic_experiment(result: BasicExperimentResult) -> str:
+    """Render the Fig. 3 curves for one dataset as a table."""
+    title = f"Fig. 3 -- basic experiment ({result.dataset or 'dataset'}; {result.num_pairs} pairs)"
+    return format_table(list(result.rows), title=title)

@@ -1,0 +1,78 @@
+"""Shared helpers for the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.problem import ActiveFriendingProblem
+from repro.diffusion.friending_process import estimate_acceptance_probability
+from repro.graph.social_graph import SocialGraph
+from repro.types import NodeId
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import require_positive_int
+
+__all__ = ["evaluate_invitation", "growth_curve"]
+
+
+def evaluate_invitation(
+    graph: SocialGraph,
+    source: NodeId,
+    target: NodeId,
+    invitation: Iterable[NodeId],
+    num_samples: int = 400,
+    rng: RandomSource = None,
+) -> float:
+    """Monte Carlo estimate of ``f(invitation)`` used throughout the harness."""
+    estimate = estimate_acceptance_probability(
+        graph, source, target, invitation, num_samples=num_samples, rng=rng
+    )
+    return estimate.probability
+
+
+def growth_curve(
+    problem: ActiveFriendingProblem,
+    ranking: Sequence[NodeId],
+    target_probability: float,
+    num_samples: int = 400,
+    size_step: int | None = None,
+    max_size: int | None = None,
+    rng: RandomSource = None,
+) -> list[tuple[int, float]]:
+    """Grow a ranked invitation set until it matches a target probability.
+
+    Used by the Fig. 4 / Fig. 5 comparisons: the baseline's ranking is
+    consumed prefix by prefix, estimating ``f(prefix)`` at each step, until
+    the estimated probability reaches ``target_probability`` or the ranking
+    is exhausted.  Returns the ``(size, probability)`` trajectory, including
+    the final point.
+
+    ``size_step`` controls the growth granularity (default: roughly 20
+    evaluation points across the full ranking, at least 1), which keeps the
+    number of expensive Monte Carlo evaluations bounded on large rankings.
+    """
+    require_positive_int(num_samples, "num_samples")
+    generator = ensure_rng(rng)
+    limit = len(ranking) if max_size is None else min(max_size, len(ranking))
+    if limit == 0:
+        return []
+    if size_step is None:
+        size_step = max(1, limit // 20)
+    require_positive_int(size_step, "size_step")
+
+    trajectory: list[tuple[int, float]] = []
+    size = 0
+    while size < limit:
+        size = min(size + size_step, limit)
+        prefix = frozenset(ranking[:size])
+        probability = evaluate_invitation(
+            problem.graph,
+            problem.source,
+            problem.target,
+            prefix,
+            num_samples=num_samples,
+            rng=generator,
+        )
+        trajectory.append((size, probability))
+        if probability >= target_probability:
+            break
+    return trajectory

@@ -1,0 +1,151 @@
+"""Experiments E3 and E4: the size-ratio comparisons of Figs. 4 and 5.
+
+Protocol (Sec. IV-B / IV-C): for each pair, run RAF to get ``I_RAF`` and
+``f(I_RAF)``; then grow the baseline's invitation set (HD for Fig. 4, SP
+for Fig. 5) until it reaches the same acceptance probability, recording the
+``(f(I_B)/f(I_RAF), |I_B|/|I_RAF|)`` trajectory along the way.  The paper
+bins the x axis into five intervals over (0, 1] and plots the average size
+ratio per bin; this module reproduces exactly those binned series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.high_degree import rank_by_degree
+from repro.baselines.shortest_path import rank_by_shortest_paths
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.raf import run_raf
+from repro.exceptions import AlgorithmError, ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import evaluate_invitation, growth_curve
+from repro.experiments.reporting import format_table
+from repro.graph.social_graph import SocialGraph
+from repro.types import Interval, PairSpec
+from repro.utils.rng import RandomSource, derive_rng
+
+__all__ = ["RatioComparisonResult", "run_ratio_comparison", "format_ratio_comparison"]
+
+#: Ranking functions for the two baselines compared in the paper.
+_BASELINE_RANKINGS = {
+    "HD": rank_by_degree,
+    "SP": rank_by_shortest_paths,
+}
+
+
+@dataclass(frozen=True)
+class RatioComparisonResult:
+    """Binned size-ratio curve of Fig. 4 (baseline = HD) or Fig. 5 (SP).
+
+    ``bins`` holds one mapping per x-axis bin with keys
+    ``probability_ratio`` (bin midpoint), ``size_ratio`` (average
+    ``|I_B|/|I_RAF|`` of the trajectory points falling in the bin) and
+    ``points`` (how many trajectory points the bin aggregates).
+    """
+
+    dataset: str
+    baseline: str
+    alpha: float
+    num_pairs: int
+    bins: tuple[dict, ...]
+    raw_points: tuple[tuple[float, float], ...]
+
+    def series(self) -> list[tuple[float, float]]:
+        """The (probability ratio, size ratio) curve, one point per bin."""
+        return [(row["probability_ratio"], row["size_ratio"]) for row in self.bins]
+
+
+def _bin_points(
+    points: list[tuple[float, float]], num_bins: int = 5
+) -> tuple[dict, ...]:
+    """Average the size ratios within equal-width probability-ratio bins."""
+    intervals = Interval.partition(0.0, 1.0, num_bins)
+    rows: list[dict] = []
+    for interval in intervals:
+        members = [size for ratio, size in points if interval.contains(min(ratio, 1.0 - 1e-12))]
+        if not members:
+            continue
+        rows.append(
+            {
+                "probability_ratio": round(interval.midpoint, 3),
+                "size_ratio": sum(members) / len(members),
+                "points": len(members),
+            }
+        )
+    return tuple(rows)
+
+
+def run_ratio_comparison(
+    graph: SocialGraph,
+    pairs: list[PairSpec],
+    config: ExperimentConfig,
+    baseline: str = "HD",
+    alpha: float = 0.1,
+    dataset_name: str = "",
+    max_growth_factor: int = 40,
+    rng: RandomSource = None,
+) -> RatioComparisonResult:
+    """Run the Fig. 4 / Fig. 5 protocol for one baseline on one dataset.
+
+    ``max_growth_factor`` caps the baseline's invitation budget at
+    ``max_growth_factor · |I_RAF|`` so a baseline that never catches up (HD
+    on large graphs) cannot make the experiment run forever; the paper's
+    y-axis saturating in the thousands corresponds to the same phenomenon.
+    """
+    try:
+        ranking_function = _BASELINE_RANKINGS[baseline]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown baseline {baseline!r}; expected one of {', '.join(_BASELINE_RANKINGS)}"
+        ) from None
+
+    points: list[tuple[float, float]] = []
+    used_pairs = 0
+    for index, pair in enumerate(pairs):
+        pair_rng = derive_rng(rng, f"ratio-{baseline}-{index}")
+        problem = ActiveFriendingProblem(graph, pair.source, pair.target, alpha=alpha)
+        try:
+            raf = run_raf(problem, config.raf_config(alpha), rng=pair_rng)
+        except AlgorithmError:
+            continue
+        raf_probability = evaluate_invitation(
+            graph,
+            pair.source,
+            pair.target,
+            raf.invitation,
+            num_samples=config.eval_samples,
+            rng=derive_rng(pair_rng, "raf-eval"),
+        )
+        if raf_probability <= 0.0:
+            continue
+        used_pairs += 1
+        ranking = ranking_function(problem)
+        trajectory = growth_curve(
+            problem,
+            ranking,
+            target_probability=raf_probability,
+            num_samples=config.eval_samples,
+            max_size=max_growth_factor * max(1, raf.size),
+            rng=derive_rng(pair_rng, "growth"),
+        )
+        for size, probability in trajectory:
+            points.append((probability / raf_probability, size / max(1, raf.size)))
+
+    return RatioComparisonResult(
+        dataset=dataset_name,
+        baseline=baseline,
+        alpha=alpha,
+        num_pairs=used_pairs,
+        bins=_bin_points(points),
+        raw_points=tuple(points),
+    )
+
+
+def format_ratio_comparison(result: RatioComparisonResult) -> str:
+    """Render the binned Fig. 4 / Fig. 5 series for one dataset."""
+    figure = "Fig. 4" if result.baseline == "HD" else "Fig. 5"
+    title = (
+        f"{figure} -- invitation-size ratio vs {result.baseline} "
+        f"({result.dataset or 'dataset'}; alpha={result.alpha}; {result.num_pairs} pairs)"
+    )
+    return format_table(list(result.bins), title=title)

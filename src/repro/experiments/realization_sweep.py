@@ -1,0 +1,113 @@
+"""Experiment E6: the realization-count sweep of Fig. 6 (Sec. IV-E).
+
+Fix one (s, t) pair and the covering fraction ``β``, vary the number of
+realizations ``l`` fed to the sampling framework (Alg. 3), and measure the
+acceptance probability of the resulting invitation set.  The paper uses
+this to show that performance saturates far below the theoretical
+prescription for ``l``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import solve_parameters
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.raf import run_sampling_framework
+from repro.exceptions import AlgorithmError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import evaluate_invitation
+from repro.experiments.reporting import format_table
+from repro.graph.social_graph import SocialGraph
+from repro.types import PairSpec
+from repro.utils.rng import RandomSource, derive_rng
+
+__all__ = ["RealizationSweepResult", "run_realization_sweep", "format_realization_sweep"]
+
+
+@dataclass(frozen=True)
+class RealizationSweepResult:
+    """The Fig. 6 series for one pair.
+
+    ``rows`` holds one mapping per swept ``l`` with keys ``realizations``,
+    ``invitation_size`` and ``acceptance_probability``.
+    """
+
+    dataset: str
+    source: object
+    target: object
+    alpha: float
+    beta: float
+    rows: tuple[dict, ...]
+
+    def series(self) -> list[tuple[float, float]]:
+        """The (number of realizations, acceptance probability) curve."""
+        return [(row["realizations"], row["acceptance_probability"]) for row in self.rows]
+
+
+def run_realization_sweep(
+    graph: SocialGraph,
+    pair: PairSpec,
+    config: ExperimentConfig,
+    realization_counts: tuple[int, ...] = (250, 500, 1000, 2000, 4000, 8000),
+    alpha: float = 0.1,
+    dataset_name: str = "",
+    rng: RandomSource = None,
+) -> RealizationSweepResult:
+    """Run the Fig. 6 protocol for one pair.
+
+    ``β`` is held fixed at the value the parameter solver produces for
+    (α, ε), exactly as in the paper ("Now we fix β and reduce the number
+    [of] used realizations").
+    """
+    problem = ActiveFriendingProblem(graph, pair.source, pair.target, alpha=alpha)
+    parameters = solve_parameters(
+        alpha=alpha,
+        epsilon=min(config.raf_epsilon, alpha / 2.0),
+        num_nodes=graph.num_nodes,
+    )
+    rows: list[dict] = []
+    for index, count in enumerate(sorted(realization_counts)):
+        sweep_rng = derive_rng(rng, f"sweep-{index}")
+        try:
+            invitation, _diag = run_sampling_framework(
+                problem,
+                beta=parameters.beta,
+                num_realizations=count,
+                rng=sweep_rng,
+            )
+        except AlgorithmError:
+            continue
+        probability = evaluate_invitation(
+            graph,
+            pair.source,
+            pair.target,
+            invitation,
+            num_samples=config.eval_samples,
+            rng=derive_rng(sweep_rng, "eval"),
+        )
+        rows.append(
+            {
+                "realizations": count,
+                "invitation_size": len(invitation),
+                "acceptance_probability": probability,
+            }
+        )
+    return RealizationSweepResult(
+        dataset=dataset_name,
+        source=pair.source,
+        target=pair.target,
+        alpha=alpha,
+        beta=parameters.beta,
+        rows=tuple(rows),
+    )
+
+
+def format_realization_sweep(result: RealizationSweepResult) -> str:
+    """Render the Fig. 6 series."""
+    title = (
+        f"Fig. 6 -- acceptance probability vs number of realizations "
+        f"({result.dataset or 'dataset'}; pair {result.source}->{result.target}; "
+        f"beta={result.beta:.3f})"
+    )
+    return format_table(list(result.rows), title=title)

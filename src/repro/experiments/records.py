@@ -1,0 +1,82 @@
+"""Persisting experiment results.
+
+Every experiment runner returns a small frozen dataclass.  This module
+converts those results (and the algorithm results they embed) into plain
+JSON-serializable structures and writes/reads them, so a benchmark run can
+be archived and compared against later runs without re-executing anything.
+
+The conversion is generic: dataclasses become dicts (with an added
+``"__type__"`` tag), sets become sorted lists, enums become their values,
+and mappings/sequences are converted recursively.  Loading returns plain
+dicts/lists -- the goal is archival and diffing, not object round-tripping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any, Union
+
+from repro.types import ordered
+
+__all__ = ["to_jsonable", "save_record", "load_record"]
+
+PathLike = Union[str, Path]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert ``value`` into JSON-serializable primitives.
+
+    Supported inputs: dataclass instances, enums, mappings, sets/frozensets,
+    sequences, and JSON primitives.  Anything else falls back to ``repr``
+    (better an inspectable string in the archive than a crash).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        payload = {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        payload["__type__"] = type(value).__name__
+        return payload
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        return [to_jsonable(item) for item in ordered(value)]
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def save_record(path: PathLike, name: str, result: Any, metadata: dict | None = None) -> dict:
+    """Serialize an experiment result to a JSON file and return the payload.
+
+    Parameters
+    ----------
+    path:
+        Destination file (created or overwritten).
+    name:
+        Experiment identifier (e.g. ``"fig3/wiki"``).
+    result:
+        The result object returned by an experiment runner (or any structure
+        supported by :func:`to_jsonable`).
+    metadata:
+        Optional extra context (configuration, seeds, graph provenance).
+    """
+    record = {
+        "name": name,
+        "metadata": to_jsonable(metadata or {}),
+        "result": to_jsonable(result),
+    }
+    Path(path).write_text(json.dumps(record, indent=2, sort_keys=True), encoding="utf-8")
+    return record
+
+
+def load_record(path: PathLike) -> dict:
+    """Load a record previously written by :func:`save_record`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

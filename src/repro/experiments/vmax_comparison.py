@@ -1,0 +1,101 @@
+"""Experiment E5: the Vmax comparison of Table II.
+
+For each pair (at α = 0.1, the paper's choice), compute the exact minimum
+invitation set ``Vmax`` achieving ``pmax`` (Lemma 7) and compare its size
+with the RAF solution's size.  The paper reports, per dataset, the averages
+of ``|Vmax|``, ``|I_RAF|`` and their ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.raf import run_raf
+from repro.core.vmax import compute_vmax
+from repro.exceptions import AlgorithmError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.graph.social_graph import SocialGraph
+from repro.types import PairSpec
+from repro.utils.rng import RandomSource, derive_rng
+
+__all__ = ["VmaxComparisonResult", "run_vmax_comparison", "format_vmax_comparison"]
+
+
+@dataclass(frozen=True)
+class VmaxComparisonResult:
+    """Table II row for one dataset."""
+
+    dataset: str
+    alpha: float
+    num_pairs: int
+    avg_vmax_size: float
+    avg_raf_size: float
+    avg_ratio: float
+    per_pair: tuple[dict, ...]
+
+    def as_row(self) -> dict:
+        """The Table II row (averages only)."""
+        return {
+            "dataset": self.dataset,
+            "avg_|Vmax|": round(self.avg_vmax_size, 2),
+            "avg_|I_RAF|": round(self.avg_raf_size, 2),
+            "avg_|Vmax|/|I_RAF|": round(self.avg_ratio, 2),
+            "pairs": self.num_pairs,
+        }
+
+
+def run_vmax_comparison(
+    graph: SocialGraph,
+    pairs: list[PairSpec],
+    config: ExperimentConfig,
+    alpha: float = 0.1,
+    dataset_name: str = "",
+    rng: RandomSource = None,
+) -> VmaxComparisonResult:
+    """Run the Table II protocol on pre-selected pairs of one dataset."""
+    per_pair: list[dict] = []
+    for index, pair in enumerate(pairs):
+        pair_rng = derive_rng(rng, f"vmax-{index}")
+        problem = ActiveFriendingProblem(graph, pair.source, pair.target, alpha=alpha)
+        vmax = compute_vmax(graph, pair.source, pair.target)
+        if not vmax:
+            continue
+        try:
+            raf = run_raf(problem, config.raf_config(alpha), rng=pair_rng)
+        except AlgorithmError:
+            continue
+        per_pair.append(
+            {
+                "source": pair.source,
+                "target": pair.target,
+                "vmax_size": len(vmax),
+                "raf_size": raf.size,
+                "ratio": len(vmax) / max(1, raf.size),
+            }
+        )
+    count = len(per_pair)
+    if count == 0:
+        return VmaxComparisonResult(
+            dataset=dataset_name, alpha=alpha, num_pairs=0,
+            avg_vmax_size=0.0, avg_raf_size=0.0, avg_ratio=0.0, per_pair=(),
+        )
+    avg_vmax = sum(row["vmax_size"] for row in per_pair) / count
+    avg_raf = sum(row["raf_size"] for row in per_pair) / count
+    avg_ratio = sum(row["ratio"] for row in per_pair) / count
+    return VmaxComparisonResult(
+        dataset=dataset_name,
+        alpha=alpha,
+        num_pairs=count,
+        avg_vmax_size=avg_vmax,
+        avg_raf_size=avg_raf,
+        avg_ratio=avg_ratio,
+        per_pair=tuple(per_pair),
+    )
+
+
+def format_vmax_comparison(results: list[VmaxComparisonResult]) -> str:
+    """Render Table II (one row per dataset)."""
+    rows = [result.as_row() for result in results]
+    return format_table(rows, title="Table II -- comparing RAF with Vmax (alpha = 0.1)")

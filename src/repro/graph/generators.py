@@ -1,0 +1,331 @@
+"""Synthetic friendship-graph generators.
+
+These generators are implemented from scratch (no networkx dependency) and
+return unweighted :class:`~repro.graph.social_graph.SocialGraph` instances;
+apply a scheme from :mod:`repro.graph.weights` before running the friending
+model on them.  They cover the families needed to build laptop-scale
+stand-ins for the paper's SNAP datasets (see :mod:`repro.graph.datasets`)
+plus a handful of tiny deterministic topologies used heavily by the tests.
+
+All generators label nodes ``0 .. n-1`` and accept a ``rng`` argument (seed,
+generator or ``None``) for reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.social_graph import SocialGraph
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import require, require_in_closed_unit_interval, require_positive_int
+
+__all__ = [
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "power_law_configuration_graph",
+    "forest_fire_graph",
+    "planted_partition_graph",
+    "complete_graph",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "grid_graph",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Random-graph families
+# --------------------------------------------------------------------------- #
+
+
+def erdos_renyi_graph(n: int, p: float, rng: RandomSource = None, name: str = "erdos-renyi") -> SocialGraph:
+    """Generate a G(n, p) Erdős–Rényi graph.
+
+    Uses geometric edge skipping so the expected running time is
+    O(n + m) rather than O(n^2), which matters for the sparse graphs the
+    experiments use.
+    """
+    require_positive_int(n, "n")
+    require_in_closed_unit_interval(p, "p")
+    generator = ensure_rng(rng)
+    graph = SocialGraph(nodes=range(n), name=name)
+    if p == 0.0 or n < 2:
+        return graph
+    if p == 1.0:
+        return complete_graph(n, name=name)
+    log_q = math.log(1.0 - p)
+    v = 1
+    w = -1
+    while v < n:
+        draw = generator.random()
+        w = w + 1 + int(math.log(1.0 - draw) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge(v, w)
+    return graph
+
+
+def barabasi_albert_graph(n: int, m: int, rng: RandomSource = None, name: str = "barabasi-albert") -> SocialGraph:
+    """Generate a Barabási–Albert preferential-attachment graph.
+
+    Each new node attaches to ``m`` existing nodes chosen proportionally to
+    their degree, yielding the heavy-tailed degree distribution typical of
+    social networks.  Requires ``1 <= m < n``.
+    """
+    require_positive_int(n, "n")
+    require_positive_int(m, "m")
+    require(m < n, f"m ({m}) must be smaller than n ({n})")
+    generator = ensure_rng(rng)
+    graph = SocialGraph(nodes=range(n), name=name)
+    # repeated_nodes holds one copy of each endpoint per edge, so sampling
+    # uniformly from it is sampling proportionally to degree.
+    repeated_nodes: list[int] = []
+    # Seed with a star over the first m+1 nodes so every new node can find
+    # m distinct targets from the start.
+    for target in range(m):
+        graph.add_edge(m, target)
+        repeated_nodes.extend((m, target))
+    for source in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(generator.choice(repeated_nodes))
+        for target in targets:
+            graph.add_edge(source, target)
+            repeated_nodes.extend((source, target))
+    return graph
+
+
+def watts_strogatz_graph(
+    n: int, k: int, beta: float, rng: RandomSource = None, name: str = "watts-strogatz"
+) -> SocialGraph:
+    """Generate a Watts–Strogatz small-world graph.
+
+    Starts from a ring lattice where each node connects to its ``k``
+    nearest neighbours (``k`` must be even and smaller than ``n``) and
+    rewires each edge with probability ``beta``.
+    """
+    require_positive_int(n, "n")
+    require_positive_int(k, "k")
+    require(k % 2 == 0, "k must be even")
+    require(k < n, f"k ({k}) must be smaller than n ({n})")
+    require_in_closed_unit_interval(beta, "beta")
+    generator = ensure_rng(rng)
+    graph = SocialGraph(nodes=range(n), name=name)
+    for node in range(n):
+        for offset in range(1, k // 2 + 1):
+            graph.add_edge(node, (node + offset) % n)
+    if beta == 0.0:
+        return graph
+    for node in range(n):
+        for offset in range(1, k // 2 + 1):
+            neighbor = (node + offset) % n
+            if generator.random() < beta and graph.has_edge(node, neighbor):
+                candidates = [c for c in range(n) if c != node and not graph.has_edge(node, c)]
+                if not candidates:
+                    continue
+                graph.remove_edge(node, neighbor)
+                graph.add_edge(node, generator.choice(candidates))
+    return graph
+
+
+def power_law_configuration_graph(
+    n: int,
+    exponent: float = 2.5,
+    min_degree: int = 1,
+    max_degree: int | None = None,
+    rng: RandomSource = None,
+    name: str = "power-law-cm",
+) -> SocialGraph:
+    """Generate a simple graph with an (approximate) power-law degree sequence.
+
+    Degrees are drawn from a discrete power law with the given exponent and
+    clamped to ``[min_degree, max_degree]``; stubs are then matched as in
+    the configuration model, discarding self-loops and parallel edges (so
+    realized degrees can be slightly below their targets, as is standard
+    for the "erased" configuration model).
+    """
+    require_positive_int(n, "n")
+    require(exponent > 1.0, "exponent must be > 1")
+    require_positive_int(min_degree, "min_degree")
+    if max_degree is None:
+        max_degree = max(min_degree + 1, int(math.sqrt(n) * 2))
+    require(max_degree >= min_degree, "max_degree must be >= min_degree")
+    generator = ensure_rng(rng)
+
+    # Inverse-CDF sampling from a truncated discrete power law.
+    weights = [k ** (-exponent) for k in range(min_degree, max_degree + 1)]
+    total = sum(weights)
+    cumulative: list[float] = []
+    running = 0.0
+    for weight in weights:
+        running += weight / total
+        cumulative.append(running)
+
+    def sample_degree() -> int:
+        draw = generator.random()
+        for index, bound in enumerate(cumulative):
+            if draw <= bound:
+                return min_degree + index
+        return max_degree
+
+    degrees = [sample_degree() for _ in range(n)]
+    if sum(degrees) % 2 == 1:
+        degrees[generator.randrange(n)] += 1
+
+    stubs: list[int] = []
+    for node, degree in enumerate(degrees):
+        stubs.extend([node] * degree)
+    generator.shuffle(stubs)
+
+    graph = SocialGraph(nodes=range(n), name=name)
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+def forest_fire_graph(
+    n: int,
+    forward_probability: float = 0.35,
+    rng: RandomSource = None,
+    name: str = "forest-fire",
+) -> SocialGraph:
+    """Generate an (undirected) forest-fire graph in the style of Leskovec et al.
+
+    Each arriving node picks a random ambassador, links to it, and then
+    "burns" through the ambassador's neighbourhood: from each burned node it
+    links to a geometrically distributed number of that node's neighbours.
+    Forest-fire graphs exhibit the heavy-tailed degrees and community-like
+    local density seen in citation networks such as HepTh/HepPh.
+    """
+    require_positive_int(n, "n")
+    require_in_closed_unit_interval(forward_probability, "forward_probability")
+    require(forward_probability < 1.0, "forward_probability must be < 1")
+    generator = ensure_rng(rng)
+    graph = SocialGraph(nodes=range(n), name=name)
+    if n == 1:
+        return graph
+    graph.add_edge(0, 1)
+    mean_burn = forward_probability / (1.0 - forward_probability)
+    for source in range(2, n):
+        ambassador = generator.randrange(source)
+        visited = {source}
+        frontier = [ambassador]
+        while frontier:
+            current = frontier.pop()
+            if current in visited:
+                continue
+            visited.add(current)
+            graph.add_edge(source, current)
+            neighbors = [x for x in graph.neighbors(current) if x not in visited and x != source]
+            if not neighbors:
+                continue
+            burn_count = _geometric(generator, mean_burn)
+            burn_count = min(burn_count, len(neighbors))
+            frontier.extend(generator.sample(neighbors, burn_count))
+    return graph
+
+
+def _geometric(generator, mean: float) -> int:
+    """Sample the number of neighbours to burn (geometric with the given mean)."""
+    if mean <= 0.0:
+        return 0
+    success = 1.0 / (1.0 + mean)
+    count = 0
+    while generator.random() > success:
+        count += 1
+        if count > 10_000:  # safety valve; unreachable for sane parameters
+            break
+    return count
+
+
+def planted_partition_graph(
+    communities: int,
+    community_size: int,
+    p_in: float,
+    p_out: float,
+    rng: RandomSource = None,
+    name: str = "planted-partition",
+) -> SocialGraph:
+    """Generate a planted-partition (stochastic block) graph.
+
+    Nodes are split into ``communities`` groups of ``community_size``;
+    within-group pairs connect with probability ``p_in`` and across-group
+    pairs with probability ``p_out``.  Used by the community-bridging
+    example, where the initiator and target sit in different communities.
+    """
+    require_positive_int(communities, "communities")
+    require_positive_int(community_size, "community_size")
+    require_in_closed_unit_interval(p_in, "p_in")
+    require_in_closed_unit_interval(p_out, "p_out")
+    generator = ensure_rng(rng)
+    n = communities * community_size
+    graph = SocialGraph(nodes=range(n), name=name)
+    group = [node // community_size for node in range(n)]
+    for u in range(n):
+        for v in range(u + 1, n):
+            probability = p_in if group[u] == group[v] else p_out
+            if probability > 0.0 and generator.random() < probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic topologies (mostly for tests and worked examples)
+# --------------------------------------------------------------------------- #
+
+
+def complete_graph(n: int, name: str = "complete") -> SocialGraph:
+    """Generate the complete graph K_n."""
+    require_positive_int(n, "n")
+    graph = SocialGraph(nodes=range(n), name=name)
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v)
+    return graph
+
+
+def path_graph(n: int, name: str = "path") -> SocialGraph:
+    """Generate the path 0 - 1 - ... - (n-1)."""
+    require_positive_int(n, "n")
+    graph = SocialGraph(nodes=range(n), name=name)
+    for node in range(n - 1):
+        graph.add_edge(node, node + 1)
+    return graph
+
+
+def cycle_graph(n: int, name: str = "cycle") -> SocialGraph:
+    """Generate the cycle on ``n >= 3`` nodes."""
+    require_positive_int(n, "n")
+    require(n >= 3, "a cycle needs at least 3 nodes")
+    graph = path_graph(n, name=name)
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def star_graph(leaves: int, name: str = "star") -> SocialGraph:
+    """Generate a star with centre 0 and ``leaves`` leaf nodes."""
+    require_positive_int(leaves, "leaves")
+    graph = SocialGraph(nodes=range(leaves + 1), name=name)
+    for leaf in range(1, leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def grid_graph(rows: int, cols: int, name: str = "grid") -> SocialGraph:
+    """Generate a rows x cols grid; node ``(r, c)`` is labelled ``r*cols + c``."""
+    require_positive_int(rows, "rows")
+    require_positive_int(cols, "cols")
+    graph = SocialGraph(nodes=range(rows * cols), name=name)
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(node, node + 1)
+            if r + 1 < rows:
+                graph.add_edge(node, node + cols)
+    return graph

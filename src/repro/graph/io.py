@@ -1,0 +1,127 @@
+"""Reading and writing friendship graphs.
+
+The paper's experiments use public SNAP edge lists (Wiki-Vote, cit-HepTh,
+cit-HepPh, com-Youtube).  SNAP files are plain whitespace-separated edge
+lists with ``#`` comment lines; :func:`read_snap_graph` parses that format
+(treating every edge as an undirected friendship and dropping self-loops
+and duplicates), so the real datasets can be dropped into the experiment
+harness when they are available.  A JSON-friendly dict form preserves the
+directional familiarity weights for round-tripping fully weighted graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.exceptions import GraphFormatError
+from repro.graph.social_graph import SocialGraph
+
+__all__ = [
+    "read_edge_list",
+    "read_snap_graph",
+    "write_edge_list",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph_json",
+    "load_graph_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def _parse_node(token: str) -> object:
+    """Parse a node token: integers stay integers, everything else is a string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_edge_list(
+    lines: Iterable[str],
+    comment_prefix: str = "#",
+    name: str = "",
+) -> SocialGraph:
+    """Parse an in-memory iterable of edge-list lines into a graph.
+
+    Each non-comment, non-empty line must contain at least two whitespace
+    separated tokens ``u v``; any further tokens are ignored (SNAP files
+    sometimes carry timestamps).  Self-loops are skipped, duplicate edges
+    collapse to one friendship.
+    """
+    graph = SocialGraph(name=name)
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(comment_prefix):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphFormatError(f"line {line_number}: expected 'u v', got {raw!r}")
+        u, v = _parse_node(parts[0]), _parse_node(parts[1])
+        if u == v:
+            continue
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+def read_snap_graph(path: PathLike, name: str = "") -> SocialGraph:
+    """Read a SNAP-style edge-list file into an (unweighted) SocialGraph."""
+    file_path = Path(path)
+    with file_path.open("r", encoding="utf-8") as handle:
+        return read_edge_list(handle, name=name or file_path.stem)
+
+
+def write_edge_list(graph: SocialGraph, path: PathLike, header: str | None = None) -> None:
+    """Write the friendships of ``graph`` as a SNAP-style edge list.
+
+    Only the topology is written; directional weights are not representable
+    in the SNAP format (use :func:`save_graph_json` for that).
+    """
+    file_path = Path(path)
+    with file_path.open("w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes: {graph.num_nodes} edges: {graph.num_edges}\n")
+        for u, v in graph.edges():
+            handle.write(f"{u}\t{v}\n")
+
+
+def graph_to_dict(graph: SocialGraph) -> dict:
+    """Convert a graph (including weights) to a JSON-serializable dict."""
+    return {
+        "name": graph.name,
+        "nodes": list(graph.nodes()),
+        "edges": [
+            {"u": u, "v": v, "w_uv": graph.weight(u, v), "w_vu": graph.weight(v, u)}
+            for u, v in graph.edges()
+        ],
+    }
+
+
+def graph_from_dict(payload: dict) -> SocialGraph:
+    """Reconstruct a graph from the dict produced by :func:`graph_to_dict`."""
+    try:
+        graph = SocialGraph(nodes=payload["nodes"], name=payload.get("name", ""))
+        for edge in payload["edges"]:
+            graph.add_edge(edge["u"], edge["v"], weight_uv=edge["w_uv"], weight_vu=edge["w_vu"])
+    except (KeyError, TypeError) as exc:
+        raise GraphFormatError(f"malformed graph payload: {exc}") from exc
+    return graph
+
+
+def save_graph_json(graph: SocialGraph, path: PathLike) -> None:
+    """Serialize a weighted graph to a JSON file."""
+    Path(path).write_text(json.dumps(graph_to_dict(graph)), encoding="utf-8")
+
+
+def load_graph_json(path: PathLike) -> SocialGraph:
+    """Load a weighted graph from a JSON file written by :func:`save_graph_json`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise GraphFormatError(f"invalid JSON graph file {path!r}: {exc}") from exc
+    return graph_from_dict(payload)

@@ -1,0 +1,79 @@
+"""Descriptive statistics over friendship graphs (Table I of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.graph.social_graph import SocialGraph
+from repro.graph.traversal import connected_components
+
+__all__ = ["GraphStats", "compute_stats", "degree_histogram", "average_degree"]
+
+
+@dataclass(frozen=True, slots=True)
+class GraphStats:
+    """Summary statistics of a friendship graph.
+
+    Mirrors the columns of Table I (nodes, edges, average degree) and adds
+    a few extra fields that help sanity-check the synthetic dataset
+    stand-ins against their targets.
+    """
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+    min_degree: int
+    density: float
+    num_components: int
+    largest_component_size: int
+
+    def as_row(self) -> dict:
+        """Return the Table-I style row for reporting."""
+        return {
+            "dataset": self.name,
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "avg_degree": round(self.avg_degree, 2),
+        }
+
+
+def average_degree(graph: SocialGraph) -> float:
+    """The average number of friends per user, ``2m / n``."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.num_nodes
+
+
+def degree_histogram(graph: SocialGraph) -> Mapping[int, int]:
+    """Return ``{degree: number of nodes with that degree}``."""
+    histogram: dict[int, int] = {}
+    for node in graph.nodes():
+        degree = graph.degree(node)
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return histogram
+
+
+def compute_stats(graph: SocialGraph, name: str | None = None) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    n = graph.num_nodes
+    m = graph.num_edges
+    degrees = [graph.degree(node) for node in graph.nodes()] or [0]
+    components = connected_components(graph)
+    largest = max((len(component) for component in components), default=0)
+    density = 0.0
+    if n > 1:
+        density = 2.0 * m / (n * (n - 1))
+    return GraphStats(
+        name=name if name is not None else graph.name,
+        num_nodes=n,
+        num_edges=m,
+        avg_degree=average_degree(graph),
+        max_degree=max(degrees),
+        min_degree=min(degrees),
+        density=density,
+        num_components=len(components),
+        largest_component_size=largest,
+    )

@@ -1,0 +1,342 @@
+"""The undirected, familiarity-weighted friendship graph of Sec. II-A.
+
+A snapshot of the social network is an undirected graph ``G = (V, E)``.
+For every *ordered* pair ``(u, v)`` of current friends there is a weight
+``w(u, v) ∈ (0, 1]`` describing v's familiarity with u; the weight need not
+be symmetric.  The linear-threshold friending model additionally requires
+``sum_u w(u, v) <= 1`` for every node ``v`` (after normalization), which is
+what makes the "pick at most one in-neighbour" realization sampling of
+Def. 1 well defined.
+
+:class:`SocialGraph` stores, for every node ``v``, the mapping
+``u -> w(u, v)`` over v's friends.  Because friendship is symmetric, ``u``
+appears in ``v``'s map iff ``v`` appears in ``u``'s map; the two entries
+hold the two directional weights.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError, WeightError
+from repro.types import EdgeTuple, NodeId
+
+__all__ = ["SocialGraph", "WEIGHT_SUM_TOLERANCE"]
+
+#: Numerical slack allowed when checking that incoming weights sum to <= 1.
+WEIGHT_SUM_TOLERANCE = 1e-9
+
+
+class SocialGraph:
+    """Undirected friendship graph with ordered-pair familiarity weights.
+
+    Parameters
+    ----------
+    nodes:
+        Optional iterable of initial (isolated) nodes.
+    edges:
+        Optional iterable of ``(u, v)`` or ``(u, v, w_uv, w_vu)`` tuples.
+        Two-tuples add the edge with both directional weights unset (0.0);
+        a weight scheme from :mod:`repro.graph.weights` can fill them in.
+
+    Notes
+    -----
+    The graph is a plain mutable container; algorithms never mutate graphs
+    they receive unless explicitly documented.
+    """
+
+    __slots__ = ("_in_weights", "_num_edges", "name")
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId] | None = None,
+        edges: Iterable[tuple] | None = None,
+        name: str = "",
+    ) -> None:
+        # _in_weights[v][u] == w(u, v): v's familiarity with friend u.
+        self._in_weights: dict[NodeId, dict[NodeId, float]] = {}
+        self._num_edges: int = 0
+        self.name = name
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+        if edges is not None:
+            for edge in edges:
+                if len(edge) == 2:
+                    self.add_edge(edge[0], edge[1])
+                elif len(edge) == 4:
+                    self.add_edge(edge[0], edge[1], weight_uv=edge[2], weight_vu=edge[3])
+                else:
+                    raise ValueError(
+                        "edges must be (u, v) or (u, v, w_uv, w_vu) tuples, "
+                        f"got a tuple of length {len(edge)}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[EdgeTuple], name: str = "") -> "SocialGraph":
+        """Build a graph from an iterable of unweighted ``(u, v)`` pairs."""
+        graph = cls(name=name)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph, name: str = "") -> "SocialGraph":
+        """Build a :class:`SocialGraph` from an undirected networkx graph.
+
+        Edge attribute ``weight_uv``/``weight_vu`` (if present) seed the two
+        directional familiarity weights, otherwise both default to 0.
+        """
+        graph = cls(name=name or str(getattr(nx_graph, "name", "")))
+        for node in nx_graph.nodes():
+            graph.add_node(node)
+        for u, v, data in nx_graph.edges(data=True):
+            if u == v:
+                continue
+            graph.add_edge(
+                u,
+                v,
+                weight_uv=float(data.get("weight_uv", 0.0)),
+                weight_vu=float(data.get("weight_vu", 0.0)),
+            )
+        return graph
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.Graph` with directional weight attributes."""
+        import networkx as nx
+
+        nx_graph = nx.Graph(name=self.name)
+        nx_graph.add_nodes_from(self.nodes())
+        for u, v in self.edges():
+            nx_graph.add_edge(u, v, weight_uv=self.weight(u, v), weight_vu=self.weight(v, u))
+        return nx_graph
+
+    def copy(self) -> "SocialGraph":
+        """Return a deep copy of the graph (nodes, edges and weights)."""
+        clone = SocialGraph(name=self.name)
+        clone._in_weights = {v: dict(inw) for v, inw in self._in_weights.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node: NodeId) -> None:
+        """Add an isolated node (no-op if it already exists)."""
+        self._in_weights.setdefault(node, {})
+
+    def add_edge(
+        self,
+        u: NodeId,
+        v: NodeId,
+        weight_uv: float = 0.0,
+        weight_vu: float = 0.0,
+    ) -> None:
+        """Add the undirected friendship ``(u, v)``.
+
+        ``weight_uv`` is ``w(u, v)`` (v's familiarity with u) and
+        ``weight_vu`` is ``w(v, u)``.  Adding an existing edge overwrites
+        its weights.  Self-loops are rejected: a user cannot friend itself.
+        """
+        if u == v:
+            raise WeightError(f"self-loop on node {u!r} is not allowed")
+        self._validate_weight_value(weight_uv, u, v)
+        self._validate_weight_value(weight_vu, v, u)
+        self.add_node(u)
+        self.add_node(v)
+        is_new = u not in self._in_weights[v]
+        self._in_weights[v][u] = float(weight_uv)
+        self._in_weights[u][v] = float(weight_vu)
+        if is_new:
+            self._num_edges += 1
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        """Remove the friendship ``(u, v)``."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        del self._in_weights[v][u]
+        del self._in_weights[u][v]
+        self._num_edges -= 1
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove a node and all its incident friendships."""
+        if node not in self._in_weights:
+            raise NodeNotFoundError(node)
+        for neighbor in list(self._in_weights[node]):
+            self.remove_edge(node, neighbor)
+        del self._in_weights[node]
+
+    def set_weight(self, u: NodeId, v: NodeId, weight: float) -> None:
+        """Set ``w(u, v)`` (v's familiarity with friend u)."""
+        if not self.has_edge(u, v):
+            raise EdgeNotFoundError(u, v)
+        self._validate_weight_value(weight, u, v)
+        self._in_weights[v][u] = float(weight)
+
+    @staticmethod
+    def _validate_weight_value(weight: float, u: NodeId, v: NodeId) -> None:
+        weight = float(weight)
+        if weight < 0.0 or weight > 1.0:
+            raise WeightError(f"w({u!r}, {v!r}) = {weight} is outside [0, 1]")
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._in_weights
+
+    def __len__(self) -> int:
+        return len(self._in_weights)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._in_weights)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        label = f" {self.name!r}" if self.name else ""
+        return f"<SocialGraph{label} n={self.num_nodes} m={self.num_edges}>"
+
+    @property
+    def num_nodes(self) -> int:
+        """The number of users ``n``."""
+        return len(self._in_weights)
+
+    @property
+    def num_edges(self) -> int:
+        """The number of friendships ``m``."""
+        return self._num_edges
+
+    def has_node(self, node: NodeId) -> bool:
+        """Whether ``node`` is a user of the network."""
+        return node in self._in_weights
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Whether ``u`` and ``v`` are currently friends."""
+        inner = self._in_weights.get(v)
+        return inner is not None and u in inner
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over all users."""
+        return iter(self._in_weights)
+
+    def node_list(self) -> list[NodeId]:
+        """All users as a list (insertion order)."""
+        return list(self._in_weights)
+
+    def edges(self) -> Iterator[EdgeTuple]:
+        """Iterate over each friendship exactly once (arbitrary orientation)."""
+        seen: set[NodeId] = set()
+        for v, inner in self._in_weights.items():
+            for u in inner:
+                if u not in seen:
+                    yield (v, u)
+            seen.add(v)
+
+    def neighbors(self, node: NodeId) -> Iterator[NodeId]:
+        """Iterate over the current friends ``N_v`` of ``node``."""
+        try:
+            return iter(self._in_weights[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def neighbor_set(self, node: NodeId) -> frozenset:
+        """The current friends ``N_v`` of ``node`` as a frozenset."""
+        return frozenset(self.neighbors(node))
+
+    def degree(self, node: NodeId) -> int:
+        """The number of current friends of ``node``."""
+        try:
+            return len(self._in_weights[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def weight(self, u: NodeId, v: NodeId) -> float:
+        """Return ``w(u, v)``: v's familiarity with u.
+
+        Following the paper's convention, the weight of a non-friend pair is
+        0.  Referencing an unknown node raises :class:`NodeNotFoundError`.
+        """
+        if v not in self._in_weights:
+            raise NodeNotFoundError(v)
+        if u not in self._in_weights:
+            raise NodeNotFoundError(u)
+        return self._in_weights[v].get(u, 0.0)
+
+    def in_weights(self, node: NodeId) -> Mapping[NodeId, float]:
+        """Read-only view of ``{u: w(u, node)}`` over node's friends."""
+        try:
+            return dict(self._in_weights[node])
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def total_in_weight(self, node: NodeId) -> float:
+        """Return ``sum_u w(u, node)``, which the model requires to be <= 1."""
+        try:
+            return sum(self._in_weights[node].values())
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+
+    def subgraph(self, nodes: Iterable[NodeId]) -> "SocialGraph":
+        """Return the induced subgraph on ``nodes`` (weights preserved)."""
+        keep = set(nodes)
+        missing = [node for node in keep if node not in self._in_weights]
+        if missing:
+            raise NodeNotFoundError(missing[0])
+        sub = SocialGraph(name=self.name)
+        for node in keep:
+            sub.add_node(node)
+        for v in keep:
+            for u, w_uv in self._in_weights[v].items():
+                if u in keep and not sub.has_edge(u, v):
+                    sub.add_edge(u, v, weight_uv=w_uv, weight_vu=self._in_weights[u][v])
+        return sub
+
+    def without_nodes(self, nodes: Iterable[NodeId]) -> "SocialGraph":
+        """Return a copy of the graph with ``nodes`` (and incident edges) removed."""
+        drop = set(nodes)
+        return self.subgraph(node for node in self.nodes() if node not in drop)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self, require_positive_weights: bool = False) -> None:
+        """Check the structural and weight invariants of the friending model.
+
+        Raises :class:`~repro.exceptions.WeightError` if any node's incoming
+        weights sum to more than 1 (beyond numerical tolerance), or -- when
+        ``require_positive_weights`` is set -- if any friendship carries a
+        zero directional weight (the paper requires ``w(u, v) ∈ (0, 1]`` for
+        friends).
+        """
+        for v, inner in self._in_weights.items():
+            total = sum(inner.values())
+            if total > 1.0 + WEIGHT_SUM_TOLERANCE:
+                raise WeightError(
+                    f"incoming weights of node {v!r} sum to {total:.6f} > 1; "
+                    "apply a weight scheme from repro.graph.weights to normalize"
+                )
+            if require_positive_weights:
+                for u, w_uv in inner.items():
+                    if w_uv <= 0.0:
+                        raise WeightError(
+                            f"friends ({u!r}, {v!r}) have non-positive weight "
+                            f"w({u!r}, {v!r}) = {w_uv}"
+                        )
+
+    def is_normalized(self) -> bool:
+        """Whether every node's incoming weights sum to at most 1."""
+        try:
+            self.validate()
+        except WeightError:
+            return False
+        return True

@@ -1,0 +1,411 @@
+"""Graph traversal primitives: BFS, shortest paths, components, blocks.
+
+These routines underpin two pieces of the reproduction:
+
+* the Shortest-Path (SP) baseline, which repeatedly extracts vertex-disjoint
+  shortest paths between the initiator and the target, and
+* the ``Vmax`` computation of Lemma 7, which needs the set of nodes lying on
+  *some simple path* between the initiator's friend circle and the target.
+  That question is answered exactly with a biconnected-component (block-cut
+  tree) decomposition: a node lies on a simple x-y path iff its block lies
+  on the x-y path of the block-cut tree.
+
+Everything is implemented iteratively (no recursion) so the routines work on
+graphs with hundreds of thousands of nodes without hitting Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.social_graph import SocialGraph
+from repro.types import NodeId
+
+__all__ = [
+    "bfs_distances",
+    "bfs_tree",
+    "shortest_path",
+    "vertex_disjoint_shortest_paths",
+    "connected_component",
+    "connected_components",
+    "is_connected",
+    "biconnected_components",
+    "articulation_points",
+    "BlockCutTree",
+    "block_cut_tree",
+    "nodes_on_simple_paths",
+]
+
+
+# --------------------------------------------------------------------------- #
+# BFS / shortest paths
+# --------------------------------------------------------------------------- #
+
+
+def _check_node(graph: SocialGraph, node: NodeId) -> None:
+    if not graph.has_node(node):
+        raise NodeNotFoundError(node)
+
+
+def bfs_distances(
+    graph: SocialGraph,
+    sources: NodeId | Iterable[NodeId],
+    blocked: frozenset | set | None = None,
+) -> dict:
+    """Unweighted BFS distances from one or more source nodes.
+
+    ``blocked`` nodes are never traversed (and never appear in the result)
+    unless they are themselves sources.  Multi-source BFS is used by the
+    SP baseline and by the pair-selection heuristics.
+    """
+    if isinstance(sources, (str, bytes)) or not isinstance(sources, Iterable):
+        sources = [sources]
+    source_list = list(sources)
+    for source in source_list:
+        _check_node(graph, source)
+    barrier = set(blocked or ())
+    distances: dict[NodeId, int] = {}
+    queue: deque[NodeId] = deque()
+    for source in source_list:
+        if source not in distances:
+            distances[source] = 0
+            queue.append(source)
+    while queue:
+        current = queue.popleft()
+        next_distance = distances[current] + 1
+        for neighbor in graph.neighbors(current):
+            if neighbor in distances or neighbor in barrier:
+                continue
+            distances[neighbor] = next_distance
+            queue.append(neighbor)
+    return distances
+
+
+def bfs_tree(
+    graph: SocialGraph,
+    source: NodeId,
+    blocked: frozenset | set | None = None,
+) -> dict:
+    """BFS predecessor map ``{node: parent}`` from ``source`` (source maps to None)."""
+    _check_node(graph, source)
+    barrier = set(blocked or ())
+    parents: dict[NodeId, NodeId | None] = {source: None}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbor in graph.neighbors(current):
+            if neighbor in parents or neighbor in barrier:
+                continue
+            parents[neighbor] = current
+            queue.append(neighbor)
+    return parents
+
+
+def shortest_path(
+    graph: SocialGraph,
+    source: NodeId,
+    target: NodeId,
+    blocked: frozenset | set | None = None,
+) -> list | None:
+    """Return one unweighted shortest path ``[source, ..., target]`` or ``None``.
+
+    ``blocked`` nodes cannot appear as internal nodes of the path (the
+    source and target are always allowed).
+    """
+    _check_node(graph, source)
+    _check_node(graph, target)
+    if source == target:
+        return [source]
+    barrier = set(blocked or ())
+    barrier.discard(source)
+    barrier.discard(target)
+    parents: dict[NodeId, NodeId | None] = {source: None}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbor in graph.neighbors(current):
+            if neighbor in parents or neighbor in barrier:
+                continue
+            parents[neighbor] = current
+            if neighbor == target:
+                path = [target]
+                while parents[path[-1]] is not None:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(neighbor)
+    return None
+
+
+def _shortest_path_avoiding(
+    graph: SocialGraph,
+    source: NodeId,
+    target: NodeId,
+    blocked: set,
+    skip_direct_edge: bool,
+) -> list | None:
+    """BFS shortest path that avoids blocked internal nodes and, optionally,
+    the direct source-target edge (used when that edge was already taken)."""
+    parents: dict[NodeId, NodeId | None] = {source: None}
+    queue: deque[NodeId] = deque([source])
+    while queue:
+        current = queue.popleft()
+        for neighbor in graph.neighbors(current):
+            if neighbor in parents:
+                continue
+            if skip_direct_edge and current == source and neighbor == target:
+                continue
+            if neighbor in blocked and neighbor != target:
+                continue
+            parents[neighbor] = current
+            if neighbor == target:
+                path = [target]
+                while parents[path[-1]] is not None:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            queue.append(neighbor)
+    return None
+
+
+def vertex_disjoint_shortest_paths(
+    graph: SocialGraph,
+    source: NodeId,
+    target: NodeId,
+    max_paths: int | None = None,
+) -> list[list]:
+    """Greedily extract internally vertex-disjoint shortest s-t paths.
+
+    Repeatedly finds a shortest path, records it, blocks its internal nodes
+    and repeats, until no path remains or ``max_paths`` have been found.
+    This is exactly the path schedule the SP baseline of Sec. IV-A uses
+    ("SP will select the next shortest path disjoint from those [that] have
+    been selected").  The direct source-target edge, if present, counts as
+    one (internal-node-free) path and is used at most once.
+    """
+    _check_node(graph, source)
+    _check_node(graph, target)
+    if source == target:
+        return [[source]]
+    paths: list[list] = []
+    used_internal: set[NodeId] = set()
+    direct_edge_used = False
+    while max_paths is None or len(paths) < max_paths:
+        path = _shortest_path_avoiding(graph, source, target, used_internal, direct_edge_used)
+        if path is None:
+            break
+        paths.append(path)
+        if len(path) == 2:
+            direct_edge_used = True
+        else:
+            used_internal.update(path[1:-1])
+    return paths
+
+
+# --------------------------------------------------------------------------- #
+# Connectivity
+# --------------------------------------------------------------------------- #
+
+
+def connected_component(graph: SocialGraph, node: NodeId) -> frozenset:
+    """The set of nodes reachable from ``node`` (including ``node``)."""
+    return frozenset(bfs_distances(graph, node))
+
+
+def connected_components(graph: SocialGraph) -> list[frozenset]:
+    """All connected components, largest first."""
+    seen: set[NodeId] = set()
+    components: list[frozenset] = []
+    for node in graph.nodes():
+        if node in seen:
+            continue
+        component = connected_component(graph, node)
+        seen.update(component)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: SocialGraph) -> bool:
+    """Whether the graph is connected (the empty graph counts as connected)."""
+    if graph.num_nodes == 0:
+        return True
+    first = next(iter(graph.nodes()))
+    return len(connected_component(graph, first)) == graph.num_nodes
+
+
+# --------------------------------------------------------------------------- #
+# Biconnected components / block-cut tree
+# --------------------------------------------------------------------------- #
+
+
+def _biconnected_edge_groups(graph: SocialGraph) -> Iterator[list[tuple]]:
+    """Yield the edge set of each biconnected component (iterative Hopcroft–Tarjan)."""
+    visited: set[NodeId] = set()
+    for start in graph.nodes():
+        if start in visited:
+            continue
+        discovery: dict[NodeId, int] = {start: 0}
+        low: dict[NodeId, int] = {start: 0}
+        visited.add(start)
+        edge_stack: list[tuple] = []
+        edge_index: dict[tuple, int] = {}
+        stack: list[tuple] = [(start, start, iter(graph.neighbors(start)))]
+        while stack:
+            grandparent, parent, children = stack[-1]
+            advanced = False
+            for child in children:
+                if child == grandparent:
+                    continue
+                if child in visited:
+                    if discovery[child] <= discovery[parent]:  # back edge
+                        low[parent] = min(low[parent], discovery[child])
+                        edge_stack.append((parent, child))
+                else:
+                    low[child] = discovery[child] = len(discovery)
+                    visited.add(child)
+                    edge_index[(child, parent)] = len(edge_stack)
+                    edge_stack.append((parent, child))
+                    stack.append((parent, child, iter(graph.neighbors(child))))
+                    advanced = True
+                    break
+            if advanced:
+                continue
+            stack.pop()
+            if len(stack) > 1:
+                if low[parent] >= discovery[grandparent]:
+                    index = edge_index[(parent, grandparent)]
+                    yield edge_stack[index:]
+                    del edge_stack[index:]
+                low[grandparent] = min(low[parent], low[grandparent])
+            elif stack:
+                index = edge_index[(parent, grandparent)]
+                yield edge_stack[index:]
+                del edge_stack[index:]
+
+
+def biconnected_components(graph: SocialGraph) -> list[frozenset]:
+    """Node sets of the biconnected components (blocks) of ``graph``.
+
+    Isolated nodes belong to no block, matching the usual convention.
+    Single edges form their own two-node blocks.
+    """
+    blocks: list[frozenset] = []
+    for edge_group in _biconnected_edge_groups(graph):
+        nodes: set[NodeId] = set()
+        for u, v in edge_group:
+            nodes.add(u)
+            nodes.add(v)
+        blocks.append(frozenset(nodes))
+    return blocks
+
+
+def articulation_points(graph: SocialGraph) -> frozenset:
+    """Cut vertices: nodes whose removal disconnects their component."""
+    membership: dict[NodeId, int] = {}
+    cuts: set[NodeId] = set()
+    for block in biconnected_components(graph):
+        for node in block:
+            membership[node] = membership.get(node, 0) + 1
+            if membership[node] > 1:
+                cuts.add(node)
+    return frozenset(cuts)
+
+
+@dataclass(frozen=True)
+class BlockCutTree:
+    """The block-cut tree of a graph.
+
+    Tree nodes are either ``("block", i)`` referring to ``blocks[i]`` or
+    ``("cut", v)`` for an articulation point ``v``.  ``adjacency`` maps each
+    tree node to its neighbouring tree nodes.
+    """
+
+    blocks: tuple[frozenset, ...]
+    cut_vertices: frozenset
+    adjacency: dict
+
+    def tree_node_of(self, node: NodeId) -> tuple | None:
+        """The tree node representing a graph node, or None for isolated nodes."""
+        if node in self.cut_vertices:
+            return ("cut", node)
+        for index, block in enumerate(self.blocks):
+            if node in block:
+                return ("block", index)
+        return None
+
+    def tree_path(self, start: tuple, end: tuple) -> list[tuple] | None:
+        """Shortest path between two tree nodes (BFS over the tree), or None."""
+        if start == end:
+            return [start]
+        parents: dict[tuple, tuple | None] = {start: None}
+        queue: deque[tuple] = deque([start])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.adjacency.get(current, ()):
+                if neighbor in parents:
+                    continue
+                parents[neighbor] = current
+                if neighbor == end:
+                    path = [end]
+                    while parents[path[-1]] is not None:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(neighbor)
+        return None
+
+
+def block_cut_tree(graph: SocialGraph) -> BlockCutTree:
+    """Build the block-cut tree of ``graph``."""
+    blocks = tuple(biconnected_components(graph))
+    cuts = articulation_points(graph)
+    adjacency: dict[tuple, set] = {}
+    for index, block in enumerate(blocks):
+        block_node = ("block", index)
+        adjacency.setdefault(block_node, set())
+        for node in block:
+            if node in cuts:
+                cut_node = ("cut", node)
+                adjacency.setdefault(cut_node, set())
+                adjacency[block_node].add(cut_node)
+                adjacency[cut_node].add(block_node)
+    return BlockCutTree(blocks=blocks, cut_vertices=cuts, adjacency=adjacency)
+
+
+def nodes_on_simple_paths(graph: SocialGraph, source: NodeId, target: NodeId) -> frozenset:
+    """All nodes lying on at least one simple path from ``source`` to ``target``.
+
+    Uses the block-cut tree characterization: a node lies on a simple
+    source-target path iff it belongs to a block on the block-cut-tree path
+    between the source's and target's tree nodes.  Returns the empty set
+    when source and target are disconnected; returns ``{source}`` when they
+    coincide.  Both endpoints are included in the result when a path exists.
+    """
+    _check_node(graph, source)
+    _check_node(graph, target)
+    if source == target:
+        return frozenset({source})
+    component = connected_component(graph, source)
+    if target not in component:
+        return frozenset()
+    tree = block_cut_tree(graph.subgraph(component))
+    start = tree.tree_node_of(source)
+    end = tree.tree_node_of(target)
+    if start is None or end is None:
+        return frozenset()
+    path = tree.tree_path(start, end)
+    if path is None:
+        return frozenset()
+    result: set[NodeId] = set()
+    for tree_node in path:
+        kind, payload = tree_node
+        if kind == "block":
+            result.update(tree.blocks[payload])
+        else:
+            result.add(payload)
+    return frozenset(result)

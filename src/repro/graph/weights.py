@@ -1,0 +1,123 @@
+"""Familiarity-weight schemes for the linear-threshold friending model.
+
+The model requires, for every user ``v``, that the familiarity weights of
+v's friends sum to at most 1.  The paper's experiments (Sec. IV, following
+Kempe et al.) use the degree-normalized convention ``w(u, v) = 1/|N_v|``.
+This module provides that scheme plus a few alternatives used by the
+ablation benchmarks, all operating in place on a :class:`SocialGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.exceptions import WeightError
+from repro.graph.social_graph import SocialGraph
+from repro.types import EdgeTuple
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import require_in_closed_unit_interval
+
+__all__ = [
+    "apply_degree_normalized_weights",
+    "apply_uniform_weights",
+    "apply_random_weights",
+    "apply_explicit_weights",
+    "validate_weights",
+]
+
+
+def apply_degree_normalized_weights(graph: SocialGraph) -> SocialGraph:
+    """Set ``w(u, v) = 1 / |N_v|`` for every ordered friend pair (in place).
+
+    This is the convention used throughout the paper's evaluation and in
+    the influence-maximization literature it builds on.  Incoming weights
+    of every node sum to exactly 1 (for non-isolated nodes), so the graph
+    is trivially normalized.  Returns the same graph for chaining.
+    """
+    for v in graph.nodes():
+        degree = graph.degree(v)
+        if degree == 0:
+            continue
+        share = 1.0 / degree
+        for u in graph.neighbors(v):
+            graph.set_weight(u, v, share)
+    return graph
+
+
+def apply_uniform_weights(graph: SocialGraph, weight: float = 0.1, normalize: bool = True) -> SocialGraph:
+    """Set every directional weight to the same constant (in place).
+
+    When ``normalize`` is true (the default) and a node's incoming weights
+    would exceed 1, that node's weights are scaled down proportionally so
+    they sum to exactly 1, keeping the graph valid for the threshold model.
+    With ``normalize=False`` the caller is responsible for validity (useful
+    for reproducing the paper's illustrative Example 1 where weights are
+    0.1 and degrees are small).
+    """
+    require_in_closed_unit_interval(weight, "weight")
+    for v in graph.nodes():
+        degree = graph.degree(v)
+        if degree == 0:
+            continue
+        value = weight
+        total = weight * degree
+        if normalize and total > 1.0:
+            value = 1.0 / degree
+        for u in graph.neighbors(v):
+            graph.set_weight(u, v, value)
+    return graph
+
+
+def apply_random_weights(graph: SocialGraph, rng: RandomSource = None) -> SocialGraph:
+    """Draw random weights and normalize each node's incoming sum to 1 (in place).
+
+    Each incoming weight of node ``v`` is drawn uniformly from ``(0, 1)``
+    and the vector is rescaled to sum to exactly 1, producing a valid but
+    heterogeneous familiarity profile.  Used by the weight-scheme ablation.
+    """
+    generator = ensure_rng(rng)
+    for v in graph.nodes():
+        neighbors = list(graph.neighbors(v))
+        if not neighbors:
+            continue
+        draws = [generator.random() + 1e-12 for _ in neighbors]
+        total = sum(draws)
+        for u, draw in zip(neighbors, draws):
+            graph.set_weight(u, v, draw / total)
+    return graph
+
+
+def apply_explicit_weights(graph: SocialGraph, weights: Mapping[EdgeTuple, float]) -> SocialGraph:
+    """Set weights from an explicit ``{(u, v): w(u, v)}`` mapping (in place).
+
+    Every key must reference an existing friendship.  Pairs not present in
+    the mapping keep their current weight.  The result is validated.
+    """
+    for (u, v), value in weights.items():
+        graph.set_weight(u, v, value)
+    graph.validate()
+    return graph
+
+
+def validate_weights(graph: SocialGraph, require_positive: bool = True) -> None:
+    """Validate that ``graph`` satisfies the friending-model weight constraints.
+
+    Thin wrapper over :meth:`SocialGraph.validate` that defaults to the
+    strict check (all friend weights strictly positive), matching the
+    paper's ``w(u, v) ∈ (0, 1]`` requirement.
+    """
+    graph.validate(require_positive_weights=require_positive)
+
+
+def assert_degree_normalized(graph: SocialGraph, tolerance: float = 1e-9) -> None:
+    """Raise :class:`WeightError` unless the graph uses ``w(u, v) = 1/|N_v|``."""
+    for v in graph.nodes():
+        degree = graph.degree(v)
+        if degree == 0:
+            continue
+        expected = 1.0 / degree
+        for u in graph.neighbors(v):
+            if abs(graph.weight(u, v) - expected) > tolerance:
+                raise WeightError(
+                    f"w({u!r}, {v!r}) = {graph.weight(u, v)} differs from 1/|N_v| = {expected}"
+                )

@@ -1,0 +1,41 @@
+"""Minimum p-Union and Minimum Subset Cover solvers (Problems 2 and 3).
+
+The RAF algorithm reduces the sampled active-friending problem to a
+Minimum Subset Cover instance over the type-1 backward traces: find the
+smallest node set whose union covers at least ``p = ⌈β·|B¹|⌉`` of the
+traces.  Remark 2 of the paper reduces MSC to Minimum p-Union (pick ``p``
+subsets whose union is smallest), for which Chlamtáč et al. give a
+``2√|U|``-approximation.
+
+This package provides the :class:`~repro.setcover.hypergraph.SetSystem`
+container plus several MpU solvers (efficient lazy greedy, p-smallest-sets,
+a combined "Chlamtáč-style" best-of solver with local search, and an exact
+branch-and-bound for small instances) and the MSC reduction on top of them.
+"""
+
+from repro.setcover.hypergraph import SetSystem
+from repro.setcover.mpu import (
+    MpUResult,
+    chlamtac_mpu,
+    exact_mpu,
+    greedy_min_union,
+    local_search_improve,
+    smallest_sets_union,
+)
+from repro.setcover.msc import CoverResult, greedy_node_cover, minimum_subset_cover
+from repro.setcover.budgeted import BudgetedCoverResult, budgeted_trace_cover
+
+__all__ = [
+    "BudgetedCoverResult",
+    "budgeted_trace_cover",
+    "SetSystem",
+    "MpUResult",
+    "greedy_min_union",
+    "smallest_sets_union",
+    "local_search_improve",
+    "chlamtac_mpu",
+    "exact_mpu",
+    "CoverResult",
+    "minimum_subset_cover",
+    "greedy_node_cover",
+]

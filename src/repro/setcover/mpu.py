@@ -1,0 +1,359 @@
+"""Minimum p-Union (MpU, Problem 2) solvers.
+
+Given a family ``U`` of subsets and a target ``p``, MpU asks for ``p``
+member sets whose union is as small as possible.  In the RAF pipeline the
+member sets are the (deduplicated, weighted) type-1 backward traces and
+``p`` is ``⌈β·|B¹|⌉`` *realizations*, so the solvers here work with weighted
+sets: selecting a distinct set covers all of its sampled copies at once.
+
+Solvers
+-------
+``greedy_min_union``
+    Lazily updated greedy that repeatedly picks the set with the smallest
+    number of not-yet-covered elements (optionally per unit of multiplicity).
+``smallest_sets_union``
+    Takes sets in increasing-cardinality order until ``p`` is reached.  When
+    the optimum consists of ``p`` sets of union size OPT, every chosen set
+    has size ≤ OPT, giving the classic ``p·OPT`` ingredient of the Chlamtáč
+    analysis.
+``chlamtac_mpu``
+    Practical stand-in for the Chlamtáč et al. ``2√|U|``-approximation: runs
+    both candidates above, optionally refines with a swap local search, and
+    returns the smallest union found.  (The published algorithm is LP-based;
+    see DESIGN.md for the substitution rationale.  The approximation-ratio
+    *bound* itself is exposed via :func:`chlamtac_ratio_bound` for the
+    theoretical reporting in the benchmarks.)
+``exact_mpu``
+    Exhaustive optimum for small instances, used by tests and ablations to
+    measure how far the heuristics are from optimal.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import InfeasibleCoverError, SetCoverError
+from repro.setcover.hypergraph import SetSystem
+from repro.utils.validation import require_positive_int
+
+__all__ = [
+    "MpUResult",
+    "greedy_min_union",
+    "smallest_sets_union",
+    "local_search_improve",
+    "chlamtac_mpu",
+    "chlamtac_ratio_bound",
+    "exact_mpu",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MpUResult:
+    """A (candidate) solution to a Minimum p-Union instance.
+
+    Attributes
+    ----------
+    selected_indices:
+        Indices of the chosen member sets, in selection order.
+    union:
+        The union of the chosen sets -- the quantity being minimized.
+    covered_weight:
+        Total multiplicity of the chosen sets (≥ the requested ``p``).
+    solver:
+        Name of the solver that produced the result.
+    """
+
+    selected_indices: tuple[int, ...]
+    union: frozenset
+    covered_weight: int
+    solver: str = ""
+
+    @property
+    def union_size(self) -> int:
+        """Size of the union (the MpU objective value)."""
+        return len(self.union)
+
+
+def _check_target(system: SetSystem, p: int) -> None:
+    require_positive_int(p, "p")
+    if p > system.total_weight:
+        raise InfeasibleCoverError(
+            f"cannot cover {p} sets: the system only contains total weight {system.total_weight}"
+        )
+
+
+def chlamtac_ratio_bound(num_sets: int) -> float:
+    """The ``2√|U|`` approximation-ratio bound quoted from Chlamtáč et al."""
+    require_positive_int(num_sets, "num_sets")
+    return 2.0 * math.sqrt(num_sets)
+
+
+# --------------------------------------------------------------------------- #
+# Greedy (lazy, inverted-index based)
+# --------------------------------------------------------------------------- #
+
+
+def greedy_min_union(
+    system: SetSystem,
+    p: int,
+    prefer_multiplicity: bool = True,
+) -> MpUResult:
+    """Greedy MpU: repeatedly take the set adding the fewest new elements.
+
+    With ``prefer_multiplicity`` (default) the selection key is the number
+    of new elements *per covered realization* (``residual / weight``), which
+    exploits the heavy duplication of sampled traces; with it disabled the
+    key is the raw residual, matching the textbook unweighted greedy.
+
+    The implementation keeps, for every candidate set, its residual size
+    with respect to the current union, updates residuals through an
+    inverted element index, and re-pushes updated keys into a min-heap
+    (stale entries are detected and discarded on pop), so the total cost is
+    O(total set size · log |U|).
+    """
+    _check_target(system, p)
+    sets = system.sets()
+    weights = system.weights()
+    residual = [len(member) for member in sets]
+    inverted = system.inverted_index()
+
+    def key(index: int) -> tuple:
+        if prefer_multiplicity:
+            return (residual[index] / weights[index], residual[index], index)
+        return (float(residual[index]), -float(weights[index]), index)
+
+    heap = [key(index) for index in range(len(sets))]
+    heapq.heapify(heap)
+
+    union: set = set()
+    selected: list[int] = []
+    selected_flags = [False] * len(sets)
+    covered_weight = 0
+
+    while covered_weight < p and heap:
+        entry = heapq.heappop(heap)
+        index = entry[-1]
+        if selected_flags[index]:
+            continue
+        current = key(index)
+        if entry != current:
+            heapq.heappush(heap, current)
+            continue
+        selected_flags[index] = True
+        selected.append(index)
+        covered_weight += weights[index]
+        new_elements = [element for element in sets[index] if element not in union]
+        union.update(new_elements)
+        touched: set[int] = set()
+        for element in new_elements:
+            for other in inverted[element]:
+                if not selected_flags[other]:
+                    residual[other] -= 1
+                    touched.add(other)
+        for other in touched:
+            heapq.heappush(heap, key(other))
+
+    if covered_weight < p:
+        raise InfeasibleCoverError(f"greedy covered only {covered_weight} of the requested {p}")
+    return MpUResult(
+        selected_indices=tuple(selected),
+        union=frozenset(union),
+        covered_weight=covered_weight,
+        solver="greedy-min-union",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# p smallest sets
+# --------------------------------------------------------------------------- #
+
+
+def smallest_sets_union(system: SetSystem, p: int) -> MpUResult:
+    """Take member sets in increasing-size order until ``p`` is reached."""
+    _check_target(system, p)
+    order = sorted(range(system.num_sets), key=lambda index: (len(system[index]), index))
+    union: set = set()
+    selected: list[int] = []
+    covered_weight = 0
+    for index in order:
+        if covered_weight >= p:
+            break
+        selected.append(index)
+        union.update(system[index])
+        covered_weight += system.weight(index)
+    if covered_weight < p:
+        raise InfeasibleCoverError(
+            f"smallest-sets covered only {covered_weight} of the requested {p}"
+        )
+    return MpUResult(
+        selected_indices=tuple(selected),
+        union=frozenset(union),
+        covered_weight=covered_weight,
+        solver="smallest-sets",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Local search refinement
+# --------------------------------------------------------------------------- #
+
+
+def local_search_improve(
+    system: SetSystem,
+    p: int,
+    result: MpUResult,
+    max_rounds: int = 3,
+    max_candidates: int = 2000,
+) -> MpUResult:
+    """Swap-based refinement of an MpU solution.
+
+    Repeatedly tries to replace one selected set with one unselected set
+    such that the covered weight stays at least ``p`` and the union shrinks.
+    The search space is capped (``max_candidates`` unselected sets per
+    round, preferring small ones) so refinement stays cheap even on large
+    sampled systems; pass a larger cap for the ablation benchmarks.
+    """
+    _check_target(system, p)
+    require_positive_int(max_rounds, "max_rounds")
+    selected = set(result.selected_indices)
+    best_union = set(result.union)
+
+    for _ in range(max_rounds):
+        improved = False
+        outside = sorted(
+            (index for index in range(system.num_sets) if index not in selected),
+            key=lambda index: len(system[index]),
+        )[:max_candidates]
+        for removal in sorted(selected, key=lambda index: -len(system[index])):
+            remaining = selected - {removal}
+            base_weight = system.weight_of(remaining)
+            base_union = set().union(*(system[index] for index in remaining)) if remaining else set()
+            for addition in outside:
+                if base_weight + system.weight(addition) < p:
+                    continue
+                candidate_union = base_union | set(system[addition])
+                if len(candidate_union) < len(best_union):
+                    selected = remaining | {addition}
+                    best_union = candidate_union
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+
+    covered_weight = system.weight_of(selected)
+    return MpUResult(
+        selected_indices=tuple(sorted(selected)),
+        union=frozenset(best_union),
+        covered_weight=covered_weight,
+        solver=result.solver + "+local-search",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Combined solver (the RAF subroutine)
+# --------------------------------------------------------------------------- #
+
+
+def chlamtac_mpu(
+    system: SetSystem,
+    p: int,
+    use_local_search: bool = True,
+    local_search_rounds: int = 2,
+) -> MpUResult:
+    """Best-of solver used as the paper's Chlamtáč subroutine.
+
+    Runs the residual greedy and the p-smallest-sets candidates, optionally
+    applies the swap local search to the better one, and returns the result
+    with the smallest union.  See DESIGN.md for how this relates to the
+    published LP-based ``2√|U|``-approximation.
+    """
+    candidates = [
+        greedy_min_union(system, p, prefer_multiplicity=True),
+        greedy_min_union(system, p, prefer_multiplicity=False),
+        smallest_sets_union(system, p),
+    ]
+    best = min(candidates, key=lambda result: result.union_size)
+    if use_local_search and system.num_sets <= 50_000:
+        refined = local_search_improve(system, p, best, max_rounds=local_search_rounds)
+        if refined.union_size < best.union_size:
+            best = refined
+    return MpUResult(
+        selected_indices=best.selected_indices,
+        union=best.union,
+        covered_weight=best.covered_weight,
+        solver=f"chlamtac[{best.solver}]",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Exact solver (small instances only)
+# --------------------------------------------------------------------------- #
+
+
+def exact_mpu(system: SetSystem, p: int, max_sets: int = 24) -> MpUResult:
+    """Exact MpU optimum via branch-and-bound over the member sets.
+
+    Only intended for small systems (at most ``max_sets`` member sets); used
+    by the unit tests and the solver-quality ablation as ground truth.
+    Minimizes the union size among all sub-families of total weight ≥ p.
+
+    The search branches on include/exclude decisions in descending weight
+    order and prunes a branch when (a) the union already reached the best
+    union size found so far (the union can only grow), or (b) the remaining
+    sets cannot lift the covered weight to ``p``.
+    """
+    _check_target(system, p)
+    if system.num_sets > max_sets:
+        raise SetCoverError(
+            f"exact_mpu is limited to {max_sets} sets, got {system.num_sets}; "
+            "use chlamtac_mpu for larger instances"
+        )
+    order = sorted(range(system.num_sets), key=lambda index: -system.weight(index))
+    suffix_weight = [0] * (len(order) + 1)
+    for position in range(len(order) - 1, -1, -1):
+        suffix_weight[position] = suffix_weight[position + 1] + system.weight(order[position])
+
+    # Seed the incumbent with a greedy solution so pruning bites immediately.
+    incumbent = greedy_min_union(system, p)
+    best_union: frozenset = incumbent.union
+    best_selected: tuple[int, ...] = incumbent.selected_indices
+    best_weight = incumbent.covered_weight
+
+    def search(position: int, chosen: list[int], union: set, weight: int) -> None:
+        nonlocal best_union, best_selected, best_weight
+        if weight >= p:
+            if len(union) < len(best_union) or (
+                len(union) == len(best_union) and len(chosen) < len(best_selected)
+            ):
+                best_union = frozenset(union)
+                best_selected = tuple(chosen)
+                best_weight = weight
+            return
+        if position >= len(order):
+            return
+        if weight + suffix_weight[position] < p:
+            return
+        if len(union) >= len(best_union):
+            return
+        index = order[position]
+        # Branch 1: include this set.
+        added = [element for element in system[index] if element not in union]
+        union.update(added)
+        chosen.append(index)
+        search(position + 1, chosen, union, weight + system.weight(index))
+        chosen.pop()
+        union.difference_update(added)
+        # Branch 2: exclude this set.
+        search(position + 1, chosen, union, weight)
+
+    search(0, [], set(), 0)
+    return MpUResult(
+        selected_indices=best_selected,
+        union=best_union,
+        covered_weight=best_weight,
+        solver="exact",
+    )

@@ -1,0 +1,176 @@
+"""Minimum Subset Cover (MSC, Problem 3) via the MpU reduction (Remark 2).
+
+MSC asks for the smallest *node set* that fully contains ("covers") at
+least ``p`` member sets of the family.  Remark 2 observes that an optimal
+or approximate solution can always be taken to be the union of exactly
+``p`` member sets, so MSC reduces to Minimum p-Union and inherits the
+``2√|U|`` approximation of the Chlamtáč subroutine.
+
+This module provides that reduction plus a node-wise greedy alternative
+used by the solver ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import InfeasibleCoverError, SetCoverError
+from repro.setcover.hypergraph import SetSystem
+from repro.setcover.mpu import MpUResult, chlamtac_mpu, exact_mpu, greedy_min_union, smallest_sets_union
+from repro.utils.validation import require_positive_int
+
+__all__ = ["CoverResult", "minimum_subset_cover", "greedy_node_cover", "MSC_SOLVERS"]
+
+
+@dataclass(frozen=True, slots=True)
+class CoverResult:
+    """A solution to a Minimum Subset Cover instance.
+
+    Attributes
+    ----------
+    cover:
+        The chosen node set ``V*`` (the quantity being minimized).
+    covered_weight:
+        Total multiplicity of member sets fully contained in ``cover``
+        (this is ``F(B_l, V*)`` when the system holds sampled traces).
+    requested:
+        The cover target ``p`` that was requested.
+    solver:
+        Name of the solver that produced the result.
+    """
+
+    cover: frozenset
+    covered_weight: int
+    requested: int
+    solver: str
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the cover (the MSC objective value)."""
+        return len(self.cover)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the cover meets the requested target."""
+        return self.covered_weight >= self.requested
+
+
+def _solve_via_mpu(
+    system: SetSystem,
+    p: int,
+    mpu_solver: Callable[[SetSystem, int], MpUResult],
+    solver_name: str,
+) -> CoverResult:
+    deduped = system.deduplicate()
+    result = mpu_solver(deduped, p)
+    cover = result.union
+    return CoverResult(
+        cover=cover,
+        covered_weight=system.covered_weight(cover),
+        requested=p,
+        solver=solver_name,
+    )
+
+
+#: Named MSC solvers available to :func:`minimum_subset_cover`.
+MSC_SOLVERS: dict[str, Callable[[SetSystem, int], CoverResult]] = {
+    "chlamtac": lambda system, p: _solve_via_mpu(system, p, chlamtac_mpu, "chlamtac"),
+    "greedy": lambda system, p: _solve_via_mpu(system, p, greedy_min_union, "greedy"),
+    "smallest": lambda system, p: _solve_via_mpu(system, p, smallest_sets_union, "smallest"),
+    "exact": lambda system, p: _solve_via_mpu(system, p, exact_mpu, "exact"),
+}
+
+
+def minimum_subset_cover(
+    system: SetSystem,
+    p: int,
+    solver: str | Callable[[SetSystem, int], MpUResult] = "chlamtac",
+) -> CoverResult:
+    """Solve MSC: the smallest node set covering at least ``p`` member sets.
+
+    Parameters
+    ----------
+    system:
+        The set family (typically the type-1 traces, possibly duplicated).
+    p:
+        Required covered multiplicity.  Must be positive and at most the
+        system's total weight.
+    solver:
+        Either the name of a registered solver (``"chlamtac"`` --
+        the default and the one RAF uses -- ``"greedy"``, ``"smallest"`` or
+        ``"exact"``) or a callable with the MpU solver signature.
+    """
+    require_positive_int(p, "p")
+    if p > system.total_weight:
+        raise InfeasibleCoverError(
+            f"cannot cover {p} sets: the system only contains total weight {system.total_weight}"
+        )
+    if callable(solver):
+        return _solve_via_mpu(system, p, solver, getattr(solver, "__name__", "custom"))
+    try:
+        chosen = MSC_SOLVERS[solver]
+    except KeyError:
+        raise SetCoverError(
+            f"unknown MSC solver {solver!r}; available: {', '.join(sorted(MSC_SOLVERS))}"
+        ) from None
+    return chosen(system, p)
+
+
+def greedy_node_cover(system: SetSystem, p: int) -> CoverResult:
+    """Node-wise greedy MSC heuristic (ablation alternative to the MpU route).
+
+    Repeatedly adds the node that (a) fully covers the largest additional
+    multiplicity of member sets and, as a tie-break, (b) reduces the most
+    residual mass of still-uncovered sets (weighted by how close each set is
+    to being covered).  Stops once the covered multiplicity reaches ``p``.
+    """
+    require_positive_int(p, "p")
+    if p > system.total_weight:
+        raise InfeasibleCoverError(
+            f"cannot cover {p} sets: the system only contains total weight {system.total_weight}"
+        )
+    deduped = system.deduplicate()
+    inverted = deduped.inverted_index()
+    remaining = [len(member) for member in deduped.sets()]
+    covered = [False] * deduped.num_sets
+    cover: set = set()
+    covered_weight = 0
+
+    while covered_weight < p:
+        best_node = None
+        best_score: tuple[float, float] = (-1.0, -1.0)
+        for node, members in inverted.items():
+            if node in cover:
+                continue
+            completes = 0.0
+            progress = 0.0
+            for index in members:
+                if covered[index]:
+                    continue
+                if remaining[index] == 1:
+                    completes += deduped.weight(index)
+                progress += deduped.weight(index) / remaining[index]
+            score = (completes, progress)
+            if score > best_score:
+                best_score = score
+                best_node = node
+        if best_node is None:
+            raise InfeasibleCoverError(
+                f"node greedy covered only {covered_weight} of the requested {p}"
+            )
+        cover.add(best_node)
+        for index in inverted[best_node]:
+            if covered[index]:
+                continue
+            remaining[index] -= 1
+            if remaining[index] == 0:
+                covered[index] = True
+                covered_weight += deduped.weight(index)
+
+    return CoverResult(
+        cover=frozenset(cover),
+        covered_weight=system.covered_weight(cover),
+        requested=p,
+        solver="greedy-node",
+    )

@@ -1,0 +1,107 @@
+"""Shared type aliases and small value objects used across the library.
+
+The library identifies users by hashable node identifiers.  Integer node
+ids are the common case (SNAP edge lists use integers), but any hashable
+value works, which keeps the API convenient for doctest-sized examples
+that use string names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "NodeId",
+    "EdgeTuple",
+    "WeightMap",
+    "InvitationSet",
+    "PairSpec",
+    "Interval",
+]
+
+#: A user identifier.  Any hashable value is accepted; integers are typical.
+NodeId = Hashable
+
+#: An undirected friendship edge, stored as an ordered 2-tuple.
+EdgeTuple = tuple[NodeId, NodeId]
+
+#: Mapping from an ordered pair ``(u, v)`` to the familiarity weight
+#: ``w(u, v)`` (v's familiarity with u).
+WeightMap = Mapping[EdgeTuple, float]
+
+#: An invitation set: the users that the initiator will send invitations to.
+InvitationSet = frozenset
+
+
+@dataclass(frozen=True, slots=True)
+class PairSpec:
+    """An (initiator, target) pair together with bookkeeping metadata.
+
+    Attributes
+    ----------
+    source:
+        The initiator ``s`` who wants to friend the target.
+    target:
+        The target user ``t``.
+    pmax:
+        The (estimated) maximum achievable acceptance probability for the
+        pair, i.e. ``f(V)``.  ``None`` when not yet estimated.
+    """
+
+    source: NodeId
+    target: NodeId
+    pmax: float | None = None
+
+    def with_pmax(self, pmax: float) -> "PairSpec":
+        """Return a copy of this spec with ``pmax`` filled in."""
+        return PairSpec(self.source, self.target, pmax)
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A half-open numeric interval ``[low, high)`` used for binning results."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low < self.high:
+            raise ValueError(f"empty interval [{self.low}, {self.high})")
+
+    def contains(self, value: float) -> bool:
+        """Return whether ``value`` lies in ``[low, high)``."""
+        return self.low <= value < self.high
+
+    @property
+    def midpoint(self) -> float:
+        """The midpoint of the interval, used as the x coordinate of a bin."""
+        return (self.low + self.high) / 2.0
+
+    @staticmethod
+    def partition(low: float, high: float, count: int) -> list["Interval"]:
+        """Split ``[low, high)`` into ``count`` equal-width intervals."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        width = (high - low) / count
+        return [Interval(low + i * width, low + (i + 1) * width) for i in range(count)]
+
+
+def as_frozen(nodes: Iterable[NodeId]) -> frozenset:
+    """Return ``nodes`` as a frozenset (identity if already one)."""
+    if isinstance(nodes, frozenset):
+        return nodes
+    return frozenset(nodes)
+
+
+def ordered(nodes: Iterable[NodeId]) -> list:
+    """Return ``nodes`` sorted by their repr, for deterministic output.
+
+    Node ids are only required to be hashable, so a plain ``sorted`` call
+    can fail on mixed types; sorting by ``repr`` keeps output deterministic
+    without constraining the id type.
+    """
+    try:
+        return sorted(nodes)
+    except TypeError:
+        return sorted(nodes, key=repr)

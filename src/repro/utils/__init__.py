@@ -1,0 +1,29 @@
+"""Shared utilities: RNG management, timing, validation and logging."""
+
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, format_duration
+from repro.utils.validation import (
+    require,
+    require_in_closed_unit_interval,
+    require_in_open_closed_unit_interval,
+    require_non_negative,
+    require_positive,
+    require_positive_int,
+    require_probability,
+)
+
+__all__ = [
+    "RandomSource",
+    "ensure_rng",
+    "derive_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "format_duration",
+    "require",
+    "require_positive",
+    "require_positive_int",
+    "require_non_negative",
+    "require_probability",
+    "require_in_closed_unit_interval",
+    "require_in_open_closed_unit_interval",
+]

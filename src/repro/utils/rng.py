@@ -1,0 +1,71 @@
+"""Random-number-generator plumbing.
+
+Every randomized routine in the library accepts a ``rng`` argument that can
+be ``None`` (use a fresh nondeterministic generator), an integer seed, or an
+existing :class:`random.Random` instance.  Centralizing the coercion in
+:func:`ensure_rng` keeps the call sites short and makes reproducibility a
+one-liner for callers: pass the same seed, get the same run.
+
+The library deliberately uses :mod:`random` (Mersenne Twister) rather than
+numpy's generators for the simulation inner loops: the loops are dominated
+by dict/set operations on Python objects, per-call overhead of
+``random.random()`` is lower than crossing into numpy for scalars, and the
+pure-Python dependency surface stays minimal.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+__all__ = ["RandomSource", "ensure_rng", "derive_rng", "spawn_rngs"]
+
+#: Anything accepted where a random source is expected.
+RandomSource = Union[None, int, random.Random]
+
+#: Upper bound (exclusive) for derived integer seeds.
+_SEED_SPACE = 2**63
+
+
+def ensure_rng(rng: RandomSource = None) -> random.Random:
+    """Coerce ``rng`` into a :class:`random.Random` instance.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for a fresh OS-seeded generator, an ``int`` seed for a
+        deterministic generator, or an existing generator which is returned
+        unchanged (not copied -- callers share state intentionally).
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, bool):  # bool is an int subclass; almost surely a bug
+        raise TypeError("rng must be None, an int seed, or a random.Random instance")
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(
+        f"rng must be None, an int seed, or a random.Random instance, got {type(rng)!r}"
+    )
+
+
+def derive_rng(rng: RandomSource, label: str) -> random.Random:
+    """Create an independent generator derived from ``rng`` and a label.
+
+    This is used to hand out statistically independent streams to
+    sub-components (e.g. the pmax estimator and the realization sampler)
+    while keeping the whole run reproducible from a single seed.  The same
+    ``(seed, label)`` pair always yields the same stream.
+    """
+    base = ensure_rng(rng)
+    seed = base.randrange(_SEED_SPACE) ^ (hash(label) & (_SEED_SPACE - 1))
+    return random.Random(seed)
+
+
+def spawn_rngs(rng: RandomSource, count: int) -> list[random.Random]:
+    """Spawn ``count`` independent generators from a single source."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    base = ensure_rng(rng)
+    return [random.Random(base.randrange(_SEED_SPACE)) for _ in range(count)]

@@ -1,0 +1,89 @@
+"""Small timing helpers used by the experiment harness and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "format_duration"]
+
+
+@dataclass
+class Stopwatch:
+    """A restartable stopwatch built on :func:`time.perf_counter`.
+
+    Usage::
+
+        with Stopwatch() as sw:
+            run_algorithm()
+        print(sw.elapsed)
+
+    The stopwatch can also be used without the context manager by calling
+    :meth:`start` and :meth:`stop` explicitly, and accumulates elapsed time
+    across multiple start/stop cycles.
+    """
+
+    _started_at: float | None = field(default=None, repr=False)
+    _accumulated: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the stopwatch.  Starting twice is an error."""
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the total elapsed seconds."""
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        self._accumulated += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self._accumulated
+
+    def reset(self) -> None:
+        """Reset accumulated time and stop the stopwatch if running."""
+        self._started_at = None
+        self._accumulated = 0.0
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently running."""
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total elapsed seconds, including the current running segment."""
+        current = 0.0
+        if self._started_at is not None:
+            current = time.perf_counter() - self._started_at
+        return self._accumulated + current
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a compact human-readable form.
+
+    >>> format_duration(0.0042)
+    '4.2ms'
+    >>> format_duration(75.3)
+    '1m15.3s'
+    """
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{rem:.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h{minutes}m{rem:.0f}s"

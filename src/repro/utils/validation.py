@@ -1,0 +1,79 @@
+"""Argument-validation helpers.
+
+These helpers keep precondition checks at public API boundaries terse and
+produce consistent, informative error messages.  They raise ``ValueError``
+(or ``TypeError`` for wrong types) rather than library-specific exceptions
+because they guard plain argument misuse.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_positive_int",
+    "require_non_negative",
+    "require_probability",
+    "require_in_closed_unit_interval",
+    "require_in_open_closed_unit_interval",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def _require_real(value: object, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, Real):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    return float(value)
+
+
+def require_positive(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is a strictly positive real number."""
+    number = _require_real(value, name)
+    if not number > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return number
+
+
+def require_non_negative(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is a non-negative real number."""
+    number = _require_real(value, name)
+    if number < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return number
+
+
+def require_positive_int(value: int, name: str = "value") -> int:
+    """Validate that ``value`` is a strictly positive integer."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return int(value)
+
+
+def require_probability(value: float, name: str = "value") -> float:
+    """Validate that ``value`` lies in the closed interval ``[0, 1]``."""
+    return require_in_closed_unit_interval(value, name)
+
+
+def require_in_closed_unit_interval(value: float, name: str = "value") -> float:
+    """Validate ``0 <= value <= 1``."""
+    number = _require_real(value, name)
+    if not 0.0 <= number <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return number
+
+
+def require_in_open_closed_unit_interval(value: float, name: str = "value") -> float:
+    """Validate ``0 < value <= 1`` (e.g. the target ratio ``alpha``)."""
+    number = _require_real(value, name)
+    if not 0.0 < number <= 1.0:
+        raise ValueError(f"{name} must be in (0, 1], got {value!r}")
+    return number

@@ -1,0 +1,66 @@
+"""Tests for repro.baselines.high_degree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.high_degree import high_degree_invitation, rank_by_degree
+from repro.core.problem import ActiveFriendingProblem
+
+
+@pytest.fixture
+def ba_problem(medium_ba_graph):
+    return ActiveFriendingProblem(medium_ba_graph, 5, 180, alpha=0.1)
+
+
+class TestRankByDegree:
+    def test_target_promoted_to_front(self, ba_problem):
+        ranking = rank_by_degree(ba_problem)
+        assert ranking[0] == ba_problem.target
+
+    def test_rest_sorted_by_decreasing_degree(self, ba_problem):
+        graph = ba_problem.graph
+        ranking = rank_by_degree(ba_problem)[1:]
+        degrees = [graph.degree(node) for node in ranking]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_excludes_source_and_its_friends(self, ba_problem):
+        ranking = rank_by_degree(ba_problem)
+        assert ba_problem.source not in ranking
+        assert not (set(ranking) & ba_problem.source_friends)
+
+    def test_without_target_promotion(self, ba_problem):
+        ranking = rank_by_degree(ba_problem, include_target=False)
+        graph = ba_problem.graph
+        degrees = [graph.degree(node) for node in ranking]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_deterministic(self, ba_problem):
+        assert rank_by_degree(ba_problem) == rank_by_degree(ba_problem)
+
+
+class TestHighDegreeInvitation:
+    def test_requested_size(self, ba_problem):
+        result = high_degree_invitation(ba_problem, 10)
+        assert result.size == 10
+        assert result.algorithm == "HD"
+
+    def test_contains_target(self, ba_problem):
+        assert ba_problem.target in high_degree_invitation(ba_problem, 3).invitation
+
+    def test_larger_budget_is_superset(self, ba_problem):
+        small = high_degree_invitation(ba_problem, 5).invitation
+        large = high_degree_invitation(ba_problem, 15).invitation
+        assert small <= large
+
+    def test_budget_larger_than_candidates(self, diamond_graph):
+        problem = ActiveFriendingProblem(diamond_graph, "s", "t")
+        result = high_degree_invitation(problem, 100)
+        assert result.invitation == frozenset({"x1", "x2", "t"})
+
+    def test_invalid_size(self, ba_problem):
+        with pytest.raises(ValueError):
+            high_degree_invitation(ba_problem, 0)
+
+    def test_metadata_records_request(self, ba_problem):
+        assert high_degree_invitation(ba_problem, 7).metadata["requested_size"] == 7

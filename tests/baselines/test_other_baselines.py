@@ -1,0 +1,120 @@
+"""Tests for the random, PageRank and greedy marginal-gain baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.greedy_marginal import greedy_marginal_invitation
+from repro.baselines.pagerank import pagerank_invitation, pagerank_scores, rank_by_pagerank
+from repro.baselines.random_invite import random_invitation
+from repro.core.problem import ActiveFriendingProblem
+from repro.diffusion.friending_process import estimate_acceptance_probability
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.weights import apply_degree_normalized_weights
+
+
+@pytest.fixture
+def ba_problem(medium_ba_graph):
+    return ActiveFriendingProblem(medium_ba_graph, 5, 180, alpha=0.1)
+
+
+class TestRandomInvitation:
+    def test_size_and_target(self, ba_problem):
+        result = random_invitation(ba_problem, 10, rng=1)
+        assert result.size == 10
+        assert ba_problem.target in result.invitation
+        assert result.algorithm == "Random"
+
+    def test_candidates_only(self, ba_problem):
+        result = random_invitation(ba_problem, 20, rng=2)
+        assert result.invitation <= ba_problem.candidate_nodes()
+
+    def test_reproducible(self, ba_problem):
+        assert random_invitation(ba_problem, 10, rng=3).invitation == random_invitation(
+            ba_problem, 10, rng=3
+        ).invitation
+
+    def test_budget_exceeding_candidates(self, diamond_graph):
+        problem = ActiveFriendingProblem(diamond_graph, "s", "t")
+        result = random_invitation(problem, 100, rng=4)
+        assert result.invitation == frozenset({"x1", "x2", "t"})
+
+    def test_without_target_promotion(self, ba_problem):
+        result = random_invitation(ba_problem, 5, include_target=False, rng=5)
+        assert result.size == 5
+
+    def test_invalid_size(self, ba_problem):
+        with pytest.raises(ValueError):
+            random_invitation(ba_problem, 0)
+
+
+class TestPagerank:
+    def test_scores_sum_to_one(self, medium_ba_graph):
+        scores = pagerank_scores(medium_ba_graph)
+        assert sum(scores.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_star_centre_has_highest_score(self):
+        graph = apply_degree_normalized_weights(star_graph(6))
+        scores = pagerank_scores(graph)
+        assert scores[0] == max(scores.values())
+
+    def test_empty_graph(self):
+        from repro.graph.social_graph import SocialGraph
+
+        assert pagerank_scores(SocialGraph()) == {}
+
+    def test_invalid_damping(self, medium_ba_graph):
+        with pytest.raises(ValueError):
+            pagerank_scores(medium_ba_graph, damping=1.0)
+
+    def test_ranking_sorted_by_score(self, ba_problem):
+        scores = pagerank_scores(ba_problem.graph)
+        ranking = rank_by_pagerank(ba_problem)[1:]
+        values = [scores[node] for node in ranking]
+        assert values == sorted(values, reverse=True)
+
+    def test_invitation_contains_target(self, ba_problem):
+        result = pagerank_invitation(ba_problem, 5)
+        assert ba_problem.target in result.invitation
+        assert result.algorithm == "PageRank"
+        assert result.size == 5
+
+    def test_isolated_nodes_receive_teleport_mass(self):
+        from repro.graph.social_graph import SocialGraph
+
+        graph = SocialGraph(nodes=["iso"], edges=[("a", "b", 0.5, 0.5)])
+        scores = pagerank_scores(graph)
+        assert scores["iso"] > 0.0
+
+
+class TestGreedyMarginal:
+    def test_chain_selects_the_essential_node(self, chain_graph):
+        problem = ActiveFriendingProblem(chain_graph, "s", "t", alpha=0.5)
+        result = greedy_marginal_invitation(problem, 2, num_samples=300, rng=1)
+        assert result.invitation == frozenset({"b", "t"})
+        assert result.algorithm == "GreedyMC"
+
+    def test_respects_budget(self, diamond_graph):
+        problem = ActiveFriendingProblem(diamond_graph, "s", "t", alpha=0.5)
+        result = greedy_marginal_invitation(problem, 2, num_samples=200, rng=2)
+        assert result.size == 2
+        assert "t" in result.invitation
+
+    def test_selection_history_recorded(self, diamond_graph):
+        problem = ActiveFriendingProblem(diamond_graph, "s", "t", alpha=0.5)
+        result = greedy_marginal_invitation(problem, 3, num_samples=200, rng=3)
+        assert len(result.metadata["selection_history"]) == 2
+
+    def test_greedy_beats_random_on_diamond(self, diamond_graph):
+        problem = ActiveFriendingProblem(diamond_graph, "s", "t", alpha=0.5)
+        greedy = greedy_marginal_invitation(problem, 3, num_samples=300, rng=4)
+        greedy_probability = estimate_acceptance_probability(
+            diamond_graph, "s", "t", greedy.invitation, num_samples=2000, rng=5
+        ).probability
+        # With budget 3 the greedy reaches {x1, x2, t}, i.e. pmax = 0.5.
+        assert greedy_probability == pytest.approx(0.5, abs=0.05)
+
+    def test_invalid_budget(self, diamond_graph):
+        problem = ActiveFriendingProblem(diamond_graph, "s", "t")
+        with pytest.raises(ValueError):
+            greedy_marginal_invitation(problem, 0)

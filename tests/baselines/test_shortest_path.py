@@ -1,0 +1,89 @@
+"""Tests for repro.baselines.shortest_path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.shortest_path import rank_by_shortest_paths, shortest_path_invitation
+from repro.core.problem import ActiveFriendingProblem
+from repro.graph.traversal import bfs_distances
+
+
+@pytest.fixture
+def diamond_problem(diamond_graph):
+    return ActiveFriendingProblem(diamond_graph, "s", "t", alpha=0.1)
+
+
+@pytest.fixture
+def ba_problem(medium_ba_graph):
+    import random
+
+    from tests.conftest import find_test_pair
+
+    source, target = find_test_pair(medium_ba_graph, random.Random(5), min_distance=3)
+    return ActiveFriendingProblem(medium_ba_graph, source, target, alpha=0.1)
+
+
+class TestRankByShortestPaths:
+    def test_target_first(self, diamond_problem):
+        assert rank_by_shortest_paths(diamond_problem)[0] == "t"
+
+    def test_diamond_ranks_both_routes(self, diamond_problem):
+        ranking = rank_by_shortest_paths(diamond_problem)
+        assert set(ranking) == {"t", "x1", "x2"}
+
+    def test_excludes_source_and_friends(self, ba_problem):
+        ranking = rank_by_shortest_paths(ba_problem)
+        assert ba_problem.source not in ranking
+        assert not (set(ranking) & ba_problem.source_friends)
+
+    def test_first_path_nodes_form_a_shortest_path(self, ba_problem):
+        """The top-ranked nodes (beyond the target) lie on a shortest s-t path."""
+        graph = ba_problem.graph
+        distance = bfs_distances(graph, ba_problem.source)[ba_problem.target]
+        ranking = rank_by_shortest_paths(ba_problem)
+        # Internal nodes of the first shortest path: distance - 1 of them
+        # (the path excludes s; its N_s member is excluded as a candidate).
+        first_path_nodes = ranking[1 : distance - 1]
+        node_distances = [bfs_distances(graph, ba_problem.source)[node] for node in first_path_nodes]
+        assert node_distances == sorted(node_distances)
+
+    def test_no_duplicates(self, ba_problem):
+        ranking = rank_by_shortest_paths(ba_problem)
+        assert len(ranking) == len(set(ranking))
+
+
+class TestShortestPathInvitation:
+    def test_algorithm_name(self, diamond_problem):
+        assert shortest_path_invitation(diamond_problem, 2).algorithm == "SP"
+
+    def test_contains_target(self, diamond_problem):
+        assert "t" in shortest_path_invitation(diamond_problem, 1).invitation
+
+    def test_size_capped_by_available_candidates(self, diamond_problem):
+        result = shortest_path_invitation(diamond_problem, 50)
+        assert result.invitation == frozenset({"t", "x1", "x2"})
+        assert result.metadata["ranked_candidates"] == 3
+
+    def test_budget_respected(self, ba_problem):
+        assert shortest_path_invitation(ba_problem, 4).size <= 4
+
+    def test_larger_budget_is_superset(self, ba_problem):
+        small = shortest_path_invitation(ba_problem, 3).invitation
+        large = shortest_path_invitation(ba_problem, 8).invitation
+        assert small <= large
+
+    def test_invalid_size(self, ba_problem):
+        with pytest.raises(ValueError):
+            shortest_path_invitation(ba_problem, -1)
+
+    def test_disconnected_pair_yields_only_target(self):
+        from repro.graph.social_graph import SocialGraph
+        from repro.graph.weights import apply_degree_normalized_weights
+
+        graph = apply_degree_normalized_weights(
+            SocialGraph(edges=[("s", "a"), ("t", "x")])
+        )
+        problem = ActiveFriendingProblem(graph, "s", "t")
+        result = shortest_path_invitation(problem, 5)
+        assert result.invitation == frozenset({"t"})

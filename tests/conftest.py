@@ -1,0 +1,141 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide a few small, hand-analysable graphs plus seeded random
+graphs.  Everything is deterministic: graph generators and algorithms always
+receive explicit seeds so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.social_graph import SocialGraph
+from repro.graph.weights import apply_degree_normalized_weights, apply_uniform_weights
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded random generator for tests that need explicit randomness."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def triangle_graph() -> SocialGraph:
+    """The triangle a-b-c with degree-normalized weights."""
+    graph = SocialGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")], name="triangle")
+    return apply_degree_normalized_weights(graph)
+
+
+@pytest.fixture
+def chain_graph() -> SocialGraph:
+    """The path s - a - b - t with degree-normalized weights.
+
+    A minimal active-friending instance: ``a`` is already a friend of the
+    initiator, so the only route to the target is inviting ``b`` and then
+    ``t``; every successful invitation set must contain {b, t}.
+    """
+    graph = SocialGraph.from_edges([("s", "a"), ("a", "b"), ("b", "t")], name="chain")
+    return apply_degree_normalized_weights(graph)
+
+
+@pytest.fixture
+def diamond_graph() -> SocialGraph:
+    """A diamond with two internally disjoint routes from N_s to the target.
+
+    Topology::
+
+        s -- a -- x1 -- t
+        s -- b -- x2 -- t
+
+    with degree-normalized weights.  ``Vmax = {x1, x2, t}``.
+    """
+    edges = [("s", "a"), ("s", "b"), ("a", "x1"), ("b", "x2"), ("x1", "t"), ("x2", "t")]
+    graph = SocialGraph.from_edges(edges, name="diamond")
+    return apply_degree_normalized_weights(graph)
+
+
+@pytest.fixture
+def worked_example_graph() -> SocialGraph:
+    """A hand-analysable LT friending example (same spirit as the paper's Fig. 1).
+
+    Topology::
+
+        s -- a,  s -- b          (N_s = {a, b})
+        c -- a,  c -- b          (c has two mutual friends with s)
+        d -- c                   (d needs c first)
+        t -- c,  t -- d          (t reachable through c and d)
+
+    All directional weights are set to 0.1 (not normalized to degree), so
+    with a threshold of 0.15 a user accepts only with two accepted/initial
+    friends, while a threshold of 0.05 accepts with one.
+    """
+    edges = [("s", "a"), ("s", "b"), ("c", "a"), ("c", "b"), ("d", "c"), ("t", "c"), ("t", "d")]
+    graph = SocialGraph.from_edges(edges, name="worked-example")
+    return apply_uniform_weights(graph, weight=0.1, normalize=False)
+
+
+@pytest.fixture
+def small_ba_graph() -> SocialGraph:
+    """A 60-node Barabási–Albert graph with degree-normalized weights."""
+    graph = barabasi_albert_graph(60, 3, rng=7, name="small-ba")
+    return apply_degree_normalized_weights(graph)
+
+
+@pytest.fixture
+def medium_ba_graph() -> SocialGraph:
+    """A 200-node Barabási–Albert graph with degree-normalized weights."""
+    graph = barabasi_albert_graph(200, 4, rng=11, name="medium-ba")
+    return apply_degree_normalized_weights(graph)
+
+
+@pytest.fixture
+def sparse_er_graph() -> SocialGraph:
+    """A sparse Erdős–Rényi graph (100 nodes, p = 0.04), degree-normalized."""
+    graph = erdos_renyi_graph(100, 0.04, rng=13, name="sparse-er")
+    return apply_degree_normalized_weights(graph)
+
+
+@pytest.fixture
+def deterministic_topologies() -> dict:
+    """A bag of small deterministic topologies keyed by name (unweighted)."""
+    return {
+        "path": path_graph(6),
+        "cycle": cycle_graph(6),
+        "star": star_graph(5),
+        "grid": grid_graph(3, 4),
+    }
+
+
+def find_test_pair(graph: SocialGraph, rng: random.Random, min_distance: int = 3):
+    """Helper used by several test modules: a non-adjacent (s, t) pair.
+
+    Returns a pair at graph distance >= ``min_distance`` when one exists,
+    otherwise any non-adjacent pair.
+    """
+    from repro.graph.traversal import bfs_distances
+
+    nodes = graph.node_list()
+    fallback = None
+    for _ in range(500):
+        s, t = rng.sample(nodes, 2)
+        if graph.has_edge(s, t):
+            continue
+        distance = bfs_distances(graph, s).get(t)
+        if distance is None:
+            continue
+        if distance >= min_distance:
+            return s, t
+        fallback = (s, t)
+    if fallback is None:
+        raise AssertionError("could not find a non-adjacent connected pair in the test graph")
+    return fallback

@@ -1,0 +1,73 @@
+"""Tests for repro.core.analysis (guarantee diagnostics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import GuaranteeReport, evaluate_guarantees
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.raf import RAFConfig, SamplePolicy, run_raf
+
+from tests.conftest import find_test_pair
+
+FAST_CONFIG = RAFConfig(
+    epsilon=0.05, sample_policy=SamplePolicy.FIXED, fixed_realizations=2500
+)
+
+
+class TestEvaluateGuarantees:
+    @pytest.fixture
+    def problem_and_result(self, medium_ba_graph, rng):
+        source, target = find_test_pair(medium_ba_graph, rng, min_distance=3)
+        problem = ActiveFriendingProblem(medium_ba_graph, source, target, alpha=0.2)
+        result = run_raf(problem, FAST_CONFIG, rng=31)
+        return problem, result
+
+    def test_report_fields_consistent(self, problem_and_result):
+        problem, result = problem_and_result
+        report = evaluate_guarantees(problem, result, epsilon=FAST_CONFIG.epsilon,
+                                     num_samples=1500, rng=1)
+        assert 0.0 <= report.achieved_probability <= 1.0
+        assert 0.0 <= report.pmax_simulated <= 1.0
+        assert report.required_probability == pytest.approx(
+            (problem.alpha - FAST_CONFIG.epsilon) * report.pmax_simulated
+        )
+        assert report.invitation_size == result.size
+        assert report.vmax_size >= report.invitation_size
+        assert report.size_bound == result.approx_ratio_bound
+        assert report.monte_carlo_tolerance > 0.0
+
+    def test_guarantee_met_on_chain(self, chain_graph):
+        problem = ActiveFriendingProblem(chain_graph, "s", "t", alpha=0.5)
+        result = run_raf(problem, RAFConfig(epsilon=0.1, sample_policy=SamplePolicy.FIXED,
+                                            fixed_realizations=1500), rng=2)
+        report = evaluate_guarantees(problem, result, epsilon=0.1, num_samples=3000, rng=3)
+        assert report.probability_guarantee_met
+        assert report.achieved_fraction == pytest.approx(1.0, abs=0.1)
+
+    def test_guarantee_met_on_ba_instance(self, problem_and_result):
+        problem, result = problem_and_result
+        report = evaluate_guarantees(problem, result, epsilon=FAST_CONFIG.epsilon,
+                                     num_samples=2500, rng=4)
+        assert report.probability_guarantee_met
+
+    def test_achieved_fraction_zero_when_pmax_zero(self):
+        report = GuaranteeReport(
+            achieved_probability=0.0, pmax_simulated=0.0, required_probability=0.0,
+            probability_guarantee_met=True, invitation_size=1, vmax_size=1,
+            size_bound=2.0, monte_carlo_tolerance=0.01,
+        )
+        assert report.achieved_fraction == 0.0
+
+    def test_as_rows_shape(self, problem_and_result):
+        problem, result = problem_and_result
+        report = evaluate_guarantees(problem, result, epsilon=FAST_CONFIG.epsilon,
+                                     num_samples=800, rng=5)
+        rows = report.as_rows()
+        assert len(rows) == 7
+        assert all({"quantity", "value"} == set(row) for row in rows)
+
+    def test_invalid_samples(self, problem_and_result):
+        problem, result = problem_and_result
+        with pytest.raises(ValueError):
+            evaluate_guarantees(problem, result, epsilon=0.05, num_samples=0)

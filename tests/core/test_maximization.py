@@ -1,0 +1,115 @@
+"""Tests for repro.core.maximization (budgeted / maximum active friending)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.maximization import maximize_acceptance_probability
+from repro.core.vmax import compute_vmax
+from repro.diffusion.friending_process import estimate_acceptance_probability
+from repro.exceptions import AlgorithmError, ProblemDefinitionError
+from repro.graph.social_graph import SocialGraph
+from repro.graph.weights import apply_degree_normalized_weights
+
+from tests.conftest import find_test_pair
+
+
+class TestValidation:
+    def test_same_user_rejected(self, diamond_graph):
+        with pytest.raises(ProblemDefinitionError):
+            maximize_acceptance_probability(diamond_graph, "s", "s", budget=2)
+
+    def test_already_friends_rejected(self, diamond_graph):
+        with pytest.raises(ProblemDefinitionError):
+            maximize_acceptance_probability(diamond_graph, "s", "a", budget=2)
+
+    def test_unknown_user_rejected(self, diamond_graph):
+        with pytest.raises(ProblemDefinitionError):
+            maximize_acceptance_probability(diamond_graph, "s", "ghost", budget=2)
+
+    def test_unnormalized_graph_rejected(self):
+        graph = SocialGraph(edges=[(0, 1, 0.9, 0.9), (2, 1, 0.9, 0.9), (2, 3, 0.1, 0.1)])
+        with pytest.raises(ProblemDefinitionError):
+            maximize_acceptance_probability(graph, 0, 3, budget=1)
+
+    def test_invalid_budget(self, diamond_graph):
+        with pytest.raises(ValueError):
+            maximize_acceptance_probability(diamond_graph, "s", "t", budget=0)
+
+    def test_unreachable_pair(self):
+        graph = apply_degree_normalized_weights(SocialGraph(edges=[("s", "a"), ("t", "x")]))
+        with pytest.raises(AlgorithmError):
+            maximize_acceptance_probability(graph, "s", "t", budget=2, num_realizations=300)
+
+
+class TestSmallTopologies:
+    def test_chain_budget_two_finds_the_route(self, chain_graph):
+        result = maximize_acceptance_probability(
+            chain_graph, "s", "t", budget=2, num_realizations=1500, rng=1
+        )
+        assert result.invitation == frozenset({"b", "t"})
+        assert result.estimated_fraction_of_pmax == pytest.approx(1.0)
+
+    def test_diamond_budget_two_picks_one_route(self, diamond_graph):
+        result = maximize_acceptance_probability(
+            diamond_graph, "s", "t", budget=2, num_realizations=2500, rng=2
+        )
+        assert result.size == 2
+        assert "t" in result.invitation
+        # One of the two routes is covered: roughly half of the type-1 mass.
+        assert result.estimated_fraction_of_pmax == pytest.approx(0.5, abs=0.1)
+
+    def test_diamond_budget_three_achieves_pmax(self, diamond_graph):
+        result = maximize_acceptance_probability(
+            diamond_graph, "s", "t", budget=3, num_realizations=2500, rng=3
+        )
+        assert result.invitation == frozenset({"x1", "x2", "t"})
+        assert result.estimated_fraction_of_pmax == pytest.approx(1.0)
+
+
+class TestLargerGraphs:
+    def test_budget_respected_and_quality_monotone(self, medium_ba_graph, rng):
+        source, target = find_test_pair(medium_ba_graph, rng, min_distance=3)
+        qualities = []
+        for budget in (2, 8, 32):
+            result = maximize_acceptance_probability(
+                medium_ba_graph, source, target, budget=budget,
+                num_realizations=3000, rng=4,
+            )
+            assert result.size <= budget
+            assert target in result.invitation or result.covered_weight == 0
+            qualities.append(result.estimated_fraction_of_pmax)
+        assert qualities[0] <= qualities[1] + 0.02
+        assert qualities[1] <= qualities[2] + 0.02
+
+    def test_invitation_within_vmax(self, medium_ba_graph, rng):
+        source, target = find_test_pair(medium_ba_graph, rng, min_distance=3)
+        result = maximize_acceptance_probability(
+            medium_ba_graph, source, target, budget=15, num_realizations=3000, rng=5
+        )
+        vmax = compute_vmax(medium_ba_graph, source, target)
+        assert result.invitation <= vmax
+
+    def test_estimated_fraction_tracks_simulation(self, medium_ba_graph, rng):
+        """covered/|B1| is an estimate of f(I)/pmax; check it against simulation."""
+        source, target = find_test_pair(medium_ba_graph, rng, min_distance=3)
+        result = maximize_acceptance_probability(
+            medium_ba_graph, source, target, budget=25, num_realizations=5000, rng=6
+        )
+        f_invitation = estimate_acceptance_probability(
+            medium_ba_graph, source, target, result.invitation, num_samples=4000, rng=7
+        ).probability
+        pmax = estimate_acceptance_probability(
+            medium_ba_graph, source, target, medium_ba_graph.node_list(), num_samples=4000, rng=8
+        ).probability
+        assert pmax > 0
+        assert f_invitation / pmax == pytest.approx(result.estimated_fraction_of_pmax, abs=0.15)
+
+    def test_as_invitation_result(self, medium_ba_graph, rng):
+        source, target = find_test_pair(medium_ba_graph, rng, min_distance=3)
+        result = maximize_acceptance_probability(
+            medium_ba_graph, source, target, budget=5, num_realizations=1500, rng=9
+        )
+        generic = result.as_invitation_result()
+        assert generic.algorithm == "MaxRAF"
+        assert generic.metadata["budget"] == 5

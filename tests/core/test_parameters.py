@@ -1,0 +1,131 @@
+"""Tests for repro.core.parameters (Equation System 1 / Eq. 17)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import (
+    ParameterCoupling,
+    SamplePolicy,
+    realization_count,
+    solve_parameters,
+)
+from repro.exceptions import ParameterSolverError
+
+
+class TestSolveParameters:
+    @pytest.mark.parametrize("alpha,epsilon", [(0.1, 0.01), (0.3, 0.05), (0.9, 0.1), (1.0, 0.2)])
+    @pytest.mark.parametrize("coupling", [ParameterCoupling.BALANCED, ParameterCoupling.PAPER])
+    def test_equation_13_is_satisfied(self, alpha, epsilon, coupling):
+        parameters = solve_parameters(alpha, epsilon, num_nodes=500, coupling=coupling)
+        # beta * (1 - eps1(1+eps0)) - eps1(1+eps0) == alpha - epsilon (Eq. 13)
+        assert parameters.residual() == pytest.approx(0.0, abs=1e-8)
+
+    @pytest.mark.parametrize("alpha,epsilon", [(0.1, 0.01), (0.5, 0.1)])
+    def test_equation_12_defines_beta(self, alpha, epsilon):
+        parameters = solve_parameters(alpha, epsilon, num_nodes=100)
+        x = parameters.x
+        assert parameters.beta == pytest.approx((alpha - x) / (1.0 + x))
+        assert parameters.beta > 0
+
+    def test_paper_coupling_ties_eps0_to_n_eps1(self):
+        parameters = solve_parameters(0.1, 0.01, num_nodes=1000, coupling=ParameterCoupling.PAPER)
+        assert parameters.epsilon_zero == pytest.approx(1000 * parameters.epsilon_one)
+
+    def test_balanced_coupling_equalizes(self):
+        parameters = solve_parameters(0.1, 0.01, num_nodes=1000, coupling=ParameterCoupling.BALANCED)
+        assert parameters.epsilon_zero == pytest.approx(parameters.epsilon_one)
+
+    def test_epsilons_positive(self):
+        parameters = solve_parameters(0.2, 0.05, num_nodes=50)
+        assert parameters.epsilon_zero > 0
+        assert parameters.epsilon_one > 0
+
+    def test_smaller_epsilon_means_smaller_tolerances(self):
+        loose = solve_parameters(0.2, 0.1, num_nodes=100)
+        tight = solve_parameters(0.2, 0.01, num_nodes=100)
+        assert tight.epsilon_one < loose.epsilon_one
+        assert tight.beta > loose.beta
+
+    def test_beta_below_alpha(self):
+        parameters = solve_parameters(0.3, 0.05, num_nodes=100)
+        assert parameters.beta < 0.3
+
+    def test_paper_coupling_exceeds_one_for_large_n(self):
+        """Documents the Eq. (17) pathology discussed in DESIGN.md."""
+        parameters = solve_parameters(0.1, 0.01, num_nodes=7000, coupling=ParameterCoupling.PAPER)
+        assert parameters.epsilon_zero > 1.0
+
+    @pytest.mark.parametrize("alpha,epsilon", [(0.1, 0.1), (0.1, 0.2), (0.1, 0.0), (0.1, -0.1)])
+    def test_epsilon_must_be_between_zero_and_alpha(self, alpha, epsilon):
+        with pytest.raises(ParameterSolverError):
+            solve_parameters(alpha, epsilon, num_nodes=100)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            solve_parameters(1.5, 0.1, num_nodes=100)
+
+    def test_coupling_accepts_strings(self):
+        parameters = solve_parameters(0.2, 0.02, num_nodes=100, coupling="paper")
+        assert parameters.coupling is ParameterCoupling.PAPER
+
+
+class TestRealizationCount:
+    @pytest.fixture
+    def parameters(self):
+        return solve_parameters(0.2, 0.05, num_nodes=200, coupling=ParameterCoupling.BALANCED)
+
+    def test_fixed_policy_returns_given_value(self, parameters):
+        assert realization_count(parameters, 0.1, 1000.0, policy="fixed", fixed=1234) == 1234
+
+    def test_fixed_policy_requires_value(self, parameters):
+        with pytest.raises(ParameterSolverError):
+            realization_count(parameters, 0.1, 1000.0, policy="fixed")
+
+    def test_theoretical_policy_matches_eq16(self, parameters):
+        from repro.estimation.bounds import theoretical_realization_count
+
+        value = realization_count(parameters, 0.05, 1000.0, policy="theoretical")
+        expected = theoretical_realization_count(
+            200, 1000.0, parameters.epsilon_one, parameters.epsilon_zero, 0.05
+        )
+        assert value == expected
+
+    def test_theoretical_policy_rejects_large_eps0(self):
+        paper = solve_parameters(0.1, 0.01, num_nodes=7000, coupling=ParameterCoupling.PAPER)
+        with pytest.raises(ParameterSolverError):
+            realization_count(paper, 0.05, 1000.0, policy="theoretical")
+
+    def test_practical_policy_respects_clamp(self, parameters):
+        value = realization_count(
+            parameters, 0.05, 1000.0, policy="practical",
+            min_realizations=500, max_realizations=2000,
+        )
+        assert 500 <= value <= 2000
+
+    def test_practical_policy_scales_with_pmax(self, parameters):
+        rare = realization_count(
+            parameters, 0.001, 1000.0, policy="practical",
+            min_realizations=1, max_realizations=10**9,
+        )
+        common = realization_count(
+            parameters, 0.5, 1000.0, policy="practical",
+            min_realizations=1, max_realizations=10**9,
+        )
+        assert rare > common
+
+    def test_practical_policy_requires_valid_clamp(self, parameters):
+        with pytest.raises(ValueError):
+            realization_count(
+                parameters, 0.05, 1000.0, policy="practical",
+                min_realizations=100, max_realizations=10,
+            )
+
+    def test_requires_positive_pmax_for_adaptive_policies(self, parameters):
+        with pytest.raises(ValueError):
+            realization_count(parameters, 0.0, 1000.0, policy="practical")
+
+    def test_sample_policy_enum_round_trip(self):
+        assert SamplePolicy("fixed") is SamplePolicy.FIXED
+        assert SamplePolicy("practical") is SamplePolicy.PRACTICAL
+        assert SamplePolicy("theoretical") is SamplePolicy.THEORETICAL

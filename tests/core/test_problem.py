@@ -1,0 +1,78 @@
+"""Tests for repro.core.problem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import ActiveFriendingProblem
+from repro.exceptions import ProblemDefinitionError
+from repro.graph.generators import path_graph
+from repro.graph.social_graph import SocialGraph
+
+
+class TestValidation:
+    def test_valid_instance(self, diamond_graph):
+        problem = ActiveFriendingProblem(diamond_graph, "s", "t", alpha=0.3)
+        assert problem.alpha == 0.3
+        assert problem.source == "s"
+        assert problem.target == "t"
+
+    def test_default_alpha(self, diamond_graph):
+        assert ActiveFriendingProblem(diamond_graph, "s", "t").alpha == 0.1
+
+    def test_unknown_source(self, diamond_graph):
+        with pytest.raises(ProblemDefinitionError):
+            ActiveFriendingProblem(diamond_graph, "ghost", "t")
+
+    def test_unknown_target(self, diamond_graph):
+        with pytest.raises(ProblemDefinitionError):
+            ActiveFriendingProblem(diamond_graph, "s", "ghost")
+
+    def test_source_equals_target(self, diamond_graph):
+        with pytest.raises(ProblemDefinitionError):
+            ActiveFriendingProblem(diamond_graph, "s", "s")
+
+    def test_already_friends_rejected(self, diamond_graph):
+        with pytest.raises(ProblemDefinitionError):
+            ActiveFriendingProblem(diamond_graph, "s", "a")
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_invalid_alpha(self, diamond_graph, alpha):
+        with pytest.raises(ProblemDefinitionError):
+            ActiveFriendingProblem(diamond_graph, "s", "t", alpha=alpha)
+
+    def test_unnormalized_graph_rejected(self):
+        graph = SocialGraph(edges=[(0, 1, 0.9, 0.9), (2, 1, 0.9, 0.9), (2, 3, 0.5, 0.5)])
+        with pytest.raises(ProblemDefinitionError):
+            ActiveFriendingProblem(graph, 0, 3)
+
+    def test_unweighted_graph_is_accepted(self):
+        # Zero weights are degenerate but not invalid (the acceptance
+        # probability is simply zero); the constructor only enforces the
+        # normalization constraint.
+        problem = ActiveFriendingProblem(path_graph(4), 0, 3)
+        assert problem.num_nodes == 4
+
+
+class TestDerivedProperties:
+    def test_source_friends(self, diamond_graph):
+        problem = ActiveFriendingProblem(diamond_graph, "s", "t")
+        assert problem.source_friends == frozenset({"a", "b"})
+
+    def test_num_nodes(self, diamond_graph):
+        assert ActiveFriendingProblem(diamond_graph, "s", "t").num_nodes == 6
+
+    def test_candidate_nodes_exclude_source_and_friends(self, diamond_graph):
+        problem = ActiveFriendingProblem(diamond_graph, "s", "t")
+        candidates = problem.candidate_nodes()
+        assert "s" not in candidates
+        assert "a" not in candidates and "b" not in candidates
+        assert "t" in candidates
+        assert candidates == frozenset({"x1", "x2", "t"})
+
+    def test_with_alpha(self, diamond_graph):
+        problem = ActiveFriendingProblem(diamond_graph, "s", "t", alpha=0.1)
+        modified = problem.with_alpha(0.4)
+        assert modified.alpha == 0.4
+        assert problem.alpha == 0.1
+        assert modified.graph is problem.graph

@@ -1,0 +1,83 @@
+"""Tests for repro.core.result."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import ParameterCoupling, RAFParameters
+from repro.core.result import InvitationResult, RAFResult
+
+
+def _parameters() -> RAFParameters:
+    return RAFParameters(
+        alpha=0.2,
+        epsilon=0.05,
+        num_nodes=100,
+        coupling=ParameterCoupling.BALANCED,
+        epsilon_zero=0.03,
+        epsilon_one=0.03,
+        beta=0.15,
+    )
+
+
+def _raf_result(**overrides) -> RAFResult:
+    values = dict(
+        invitation=frozenset({1, 2, 3}),
+        pmax_estimate=0.12,
+        pmax_samples=5000,
+        num_realizations=4000,
+        num_type1=500,
+        cover_target=75,
+        covered_weight=90,
+        parameters=_parameters(),
+        approx_ratio_bound=44.7,
+        msc_solver="chlamtac",
+        elapsed_seconds=0.5,
+    )
+    values.update(overrides)
+    return RAFResult(**values)
+
+
+class TestInvitationResult:
+    def test_size(self):
+        result = InvitationResult(invitation=frozenset({1, 2}), algorithm="HD")
+        assert result.size == 2
+
+    def test_contains(self):
+        result = InvitationResult(invitation=frozenset({1, 2}), algorithm="HD")
+        assert 1 in result
+        assert 9 not in result
+
+    def test_metadata_defaults_empty(self):
+        assert InvitationResult(frozenset(), "SP").metadata == {}
+
+    def test_frozen(self):
+        result = InvitationResult(frozenset(), "SP")
+        with pytest.raises(AttributeError):
+            result.algorithm = "other"  # type: ignore[misc]
+
+
+class TestRAFResult:
+    def test_size_and_contains(self):
+        result = _raf_result()
+        assert result.size == 3
+        assert 2 in result
+        assert 99 not in result
+
+    def test_algorithm_name(self):
+        assert _raf_result().algorithm == "RAF"
+
+    def test_coverage_fraction(self):
+        assert _raf_result().coverage_fraction == pytest.approx(90 / 500)
+
+    def test_coverage_fraction_empty(self):
+        assert _raf_result(num_type1=0, covered_weight=0, cover_target=0).coverage_fraction == 0.0
+
+    def test_as_invitation_result_copies_key_fields(self):
+        result = _raf_result()
+        generic = result.as_invitation_result()
+        assert generic.invitation == result.invitation
+        assert generic.algorithm == "RAF"
+        assert generic.metadata["pmax_estimate"] == result.pmax_estimate
+        assert generic.metadata["cover_target"] == result.cover_target
+        assert generic.metadata["msc_solver"] == "chlamtac"

@@ -1,0 +1,116 @@
+"""Tests for repro.core.vmax (Lemma 7).
+
+Correctness is checked two ways: against hand-computed sets on small
+topologies, and against the defining property -- ``Vmax`` achieves the same
+acceptance probability as inviting everyone, while removing any of its
+members strictly hurts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.vmax import compute_vmax, pmax_upper_invitation
+from repro.diffusion.friending_process import estimate_acceptance_probability
+from repro.exceptions import ProblemDefinitionError
+from repro.graph.generators import barabasi_albert_graph, path_graph
+from repro.graph.social_graph import SocialGraph
+from repro.graph.weights import apply_degree_normalized_weights
+
+
+class TestSmallTopologies:
+    def test_chain(self, chain_graph):
+        assert compute_vmax(chain_graph, "s", "t") == frozenset({"b", "t"})
+
+    def test_diamond_includes_both_routes(self, diamond_graph):
+        assert compute_vmax(diamond_graph, "s", "t") == frozenset({"x1", "x2", "t"})
+
+    def test_dangling_branch_excluded(self):
+        # s - a - b - t with a pendant node hanging off b: the pendant is on
+        # no N_s -> t path, so it is not in Vmax.
+        graph = apply_degree_normalized_weights(
+            SocialGraph(edges=[("s", "a"), ("a", "b"), ("b", "t"), ("b", "pendant")])
+        )
+        assert compute_vmax(graph, "s", "t") == frozenset({"b", "t"})
+
+    def test_target_adjacent_to_circle(self):
+        # s - a - t: the only node that needs an invitation is t itself.
+        graph = apply_degree_normalized_weights(path_graph(3))
+        assert compute_vmax(graph, 0, 2) == frozenset({2})
+
+    def test_unreachable_target_gives_empty_set(self):
+        graph = apply_degree_normalized_weights(
+            SocialGraph(edges=[("s", "a"), ("t", "x")])
+        )
+        assert compute_vmax(graph, "s", "t") == frozenset()
+
+    def test_path_through_source_friends_only_counts_outside(self, worked_example_graph):
+        # Routes to t go through c (friend of a and b in N_s) and d.
+        assert compute_vmax(worked_example_graph, "s", "t") == frozenset({"c", "d", "t"})
+
+    def test_same_user_rejected(self, diamond_graph):
+        with pytest.raises(ProblemDefinitionError):
+            compute_vmax(diamond_graph, "s", "s")
+
+    def test_already_friends_rejected(self, diamond_graph):
+        with pytest.raises(ProblemDefinitionError):
+            compute_vmax(diamond_graph, "s", "a")
+
+    def test_alias(self, chain_graph):
+        assert pmax_upper_invitation(chain_graph, "s", "t") == compute_vmax(chain_graph, "s", "t")
+
+
+class TestLemma7Properties:
+    """Vmax achieves pmax, and removing any member strictly decreases f."""
+
+    @pytest.fixture
+    def ba_instance(self):
+        graph = apply_degree_normalized_weights(barabasi_albert_graph(50, 2, rng=5))
+        source = 0
+        target = next(
+            node
+            for node in reversed(graph.node_list())
+            if node != source and not graph.has_edge(source, node)
+        )
+        return graph, source, target
+
+    def test_vmax_achieves_pmax(self, ba_instance):
+        graph, source, target = ba_instance
+        vmax = compute_vmax(graph, source, target)
+        samples = 4000
+        f_vmax = estimate_acceptance_probability(
+            graph, source, target, vmax, num_samples=samples, rng=1
+        ).probability
+        f_all = estimate_acceptance_probability(
+            graph, source, target, graph.node_list(), num_samples=samples, rng=2
+        ).probability
+        assert f_vmax == pytest.approx(f_all, abs=0.04)
+
+    def test_vmax_members_are_outside_circle(self, ba_instance):
+        graph, source, target = ba_instance
+        vmax = compute_vmax(graph, source, target)
+        assert source not in vmax
+        assert not (vmax & graph.neighbor_set(source))
+        assert target in vmax
+
+    def test_removing_a_member_hurts_on_chain(self, chain_graph):
+        vmax = compute_vmax(chain_graph, "s", "t")
+        full = estimate_acceptance_probability(
+            chain_graph, "s", "t", vmax, num_samples=3000, rng=3
+        ).probability
+        for member in vmax:
+            reduced = estimate_acceptance_probability(
+                chain_graph, "s", "t", vmax - {member}, num_samples=3000, rng=4
+            ).probability
+            assert reduced < full
+
+    def test_removing_a_member_hurts_on_diamond(self, diamond_graph):
+        vmax = compute_vmax(diamond_graph, "s", "t")
+        full = estimate_acceptance_probability(
+            diamond_graph, "s", "t", vmax, num_samples=5000, rng=5
+        ).probability
+        for member in vmax:
+            reduced = estimate_acceptance_probability(
+                diamond_graph, "s", "t", vmax - {member}, num_samples=5000, rng=6
+            ).probability
+            assert reduced < full - 0.02

@@ -1,0 +1,59 @@
+"""Tests for repro.diffusion.cascade_model (IC extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diffusion.cascade_model import estimate_cascade_probability, simulate_cascade_friending
+from repro.exceptions import NodeNotFoundError
+
+
+class TestSimulateCascade:
+    def test_initial_friends_always_present(self, diamond_graph):
+        outcome = simulate_cascade_friending(diamond_graph, "s", set(), rng=1)
+        assert frozenset({"a", "b"}) <= outcome.final_friends
+
+    def test_only_invited_users_join(self, small_ba_graph):
+        invitation = frozenset(list(small_ba_graph.nodes())[20:40])
+        outcome = simulate_cascade_friending(small_ba_graph, 0, invitation, rng=2)
+        assert outcome.new_friends <= invitation
+
+    def test_empty_invitation_never_succeeds(self, chain_graph):
+        for seed in range(20):
+            assert not simulate_cascade_friending(
+                chain_graph, "s", set(), target="t", rng=seed
+            ).success
+
+    def test_unknown_source(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            simulate_cascade_friending(triangle_graph, "ghost", set())
+
+    def test_unknown_target(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            simulate_cascade_friending(triangle_graph, "a", set(), target="ghost")
+
+    def test_deterministic_given_seed(self, small_ba_graph):
+        invitation = frozenset(list(small_ba_graph.nodes())[:15])
+        a = simulate_cascade_friending(small_ba_graph, 0, invitation, target=40, rng=9)
+        b = simulate_cascade_friending(small_ba_graph, 0, invitation, target=40, rng=9)
+        assert a == b
+
+
+class TestEstimateCascadeProbability:
+    def test_chain_closed_form(self, chain_graph):
+        # Under IC the chain succeeds iff the a->b trial (probability 1/2)
+        # and the b->t trial (probability 1) both succeed.
+        estimate = estimate_cascade_probability(
+            chain_graph, "s", "t", {"b", "t"}, num_samples=4000, rng=3
+        )
+        assert estimate.probability == pytest.approx(0.5, abs=0.03)
+
+    def test_probability_bounds(self, small_ba_graph):
+        estimate = estimate_cascade_probability(
+            small_ba_graph, 0, 45, set(small_ba_graph.nodes()), num_samples=300, rng=4
+        )
+        assert 0.0 <= estimate.probability <= 1.0
+
+    def test_invalid_sample_count(self, chain_graph):
+        with pytest.raises(ValueError):
+            estimate_cascade_probability(chain_graph, "s", "t", {"t"}, num_samples=0)

@@ -1,0 +1,93 @@
+"""Tests for repro.diffusion.friending_process."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diffusion.friending_process import (
+    AcceptanceEstimate,
+    estimate_acceptance_probability,
+    estimate_pmax_fixed_samples,
+)
+
+
+class TestAcceptanceEstimate:
+    def test_std_error_zero_for_degenerate(self):
+        estimate = AcceptanceEstimate(probability=0.0, num_samples=100, successes=0)
+        assert estimate.std_error == 0.0
+
+    def test_std_error_positive_for_interior(self):
+        estimate = AcceptanceEstimate(probability=0.5, num_samples=100, successes=50)
+        assert estimate.std_error == pytest.approx(0.05)
+
+    def test_confidence_interval_clipped(self):
+        estimate = AcceptanceEstimate(probability=0.99, num_samples=10, successes=10)
+        low, high = estimate.confidence_interval()
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_empty_sample_has_infinite_error(self):
+        assert AcceptanceEstimate(0.0, 0, 0).std_error == float("inf")
+
+
+class TestEstimateAcceptanceProbability:
+    def test_probability_between_zero_and_one(self, small_ba_graph):
+        invitation = set(list(small_ba_graph.nodes())[:20])
+        estimate = estimate_acceptance_probability(
+            small_ba_graph, 0, 45, invitation, num_samples=100, rng=1
+        )
+        assert 0.0 <= estimate.probability <= 1.0
+        assert estimate.num_samples == 100
+        assert estimate.successes == round(estimate.probability * 100)
+
+    def test_empty_invitation_gives_zero(self, chain_graph):
+        estimate = estimate_acceptance_probability(
+            chain_graph, "s", "t", set(), num_samples=50, rng=2
+        )
+        assert estimate.probability == 0.0
+
+    def test_monotone_in_invitation_on_chain(self, chain_graph):
+        """Adding the missing chain node can only help (supermodular objective)."""
+        partial = estimate_acceptance_probability(
+            chain_graph, "s", "t", {"t"}, num_samples=600, rng=3
+        )
+        full = estimate_acceptance_probability(
+            chain_graph, "s", "t", {"b", "t"}, num_samples=600, rng=3
+        )
+        assert full.probability > partial.probability
+
+    def test_chain_probability_matches_closed_form(self, chain_graph):
+        # On the chain s-a-b-t with degree-normalized weights the process
+        # succeeds iff theta_b <= w(a,b) = 1/2 (and then w(b,t) = 1 always
+        # convinces t), so f({b, t}) = 1/2.
+        estimate = estimate_acceptance_probability(
+            chain_graph, "s", "t", {"b", "t"}, num_samples=4000, rng=4
+        )
+        assert estimate.probability == pytest.approx(0.5, abs=0.03)
+
+    def test_invalid_sample_count(self, chain_graph):
+        with pytest.raises(ValueError):
+            estimate_acceptance_probability(chain_graph, "s", "t", {"t"}, num_samples=0)
+
+    def test_deterministic_given_seed(self, small_ba_graph):
+        invitation = set(list(small_ba_graph.nodes())[:15])
+        a = estimate_acceptance_probability(small_ba_graph, 0, 50, invitation, 200, rng=7)
+        b = estimate_acceptance_probability(small_ba_graph, 0, 50, invitation, 200, rng=7)
+        assert a == b
+
+
+class TestEstimatePmax:
+    def test_pmax_upper_bounds_any_invitation(self, diamond_graph):
+        pmax = estimate_pmax_fixed_samples(diamond_graph, "s", "t", num_samples=3000, rng=5)
+        partial = estimate_acceptance_probability(
+            diamond_graph, "s", "t", {"x1", "t"}, num_samples=3000, rng=6
+        )
+        assert pmax.probability + 0.03 >= partial.probability
+
+    def test_diamond_pmax_matches_closed_form(self, diamond_graph):
+        # Each route succeeds independently with probability 1/2 * 1/2 for
+        # the intermediate node times the 1/2 weight into t; the exact value
+        # is P(t accepts) with w(x1,t)=w(x2,t)=1/2 and x_i accepted w.p. 1/2:
+        # f(V) = E over theta_t of P(sum of accepted weights >= theta_t)
+        #      = P(both) * 1 + P(exactly one) * 1/2 = 1/4 + 1/2 * 1/2 = 1/2.
+        pmax = estimate_pmax_fixed_samples(diamond_graph, "s", "t", num_samples=6000, rng=8)
+        assert pmax.probability == pytest.approx(0.5, abs=0.03)

@@ -1,0 +1,132 @@
+"""Statistical verification of the paper's core lemmas.
+
+* Lemma 1: the LT friending process (Process 1) and the realization process
+  (Process 2) produce the same acceptance probability for any invitation
+  set.
+* Lemma 2 / Corollary 1: the target becomes a friend under a realization iff
+  the invitation set covers the backward trace ``t(g)``.
+
+These are the correctness foundations of the whole RAF pipeline, so they are
+tested on several graphs and invitation sets with enough samples to make the
+comparisons statistically meaningful (tolerances are ~4 standard errors).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.diffusion.friending_process import estimate_acceptance_probability
+from repro.diffusion.realization import forward_process, sample_realization, trace_target_path
+from repro.diffusion.reverse_sampling import sample_target_path
+from repro.graph.generators import barabasi_albert_graph, erdos_renyi_graph
+from repro.graph.weights import apply_degree_normalized_weights, apply_random_weights
+
+SAMPLES = 4000
+TOLERANCE = 0.045
+
+
+def _realization_estimate(graph, source, target, invitation, samples, seed):
+    """Estimate f(I) as the fraction of realizations whose trace is covered."""
+    generator = random.Random(seed)
+    source_friends = graph.neighbor_set(source)
+    invitation = frozenset(invitation)
+    hits = 0
+    for _ in range(samples):
+        path = sample_target_path(graph, target, source_friends, rng=generator)
+        if path.covered_by(invitation):
+            hits += 1
+    return hits / samples
+
+
+def _process_estimate(graph, source, target, invitation, samples, seed):
+    estimate = estimate_acceptance_probability(
+        graph, source, target, invitation, num_samples=samples, rng=seed
+    )
+    return estimate.probability
+
+
+def _non_neighbor_target(graph, source, preferred):
+    """Pick a target that is not the source and not already a friend of it.
+
+    The backward-trace estimator (like the paper's Problem 1) assumes the
+    pair is not already friends, so the equivalence tests only use such
+    pairs.
+    """
+    friends = graph.neighbor_set(source)
+    candidates = [
+        node
+        for node in graph.nodes()
+        if node != source and node not in friends and graph.degree(node) > 0
+    ]
+    assert candidates, "test graph has no valid target"
+    return preferred if preferred in candidates else candidates[-1]
+
+
+@pytest.mark.parametrize(
+    "graph_builder, source, preferred_target",
+    [
+        (lambda: apply_degree_normalized_weights(barabasi_albert_graph(40, 2, rng=3)), 0, 25),
+        (lambda: apply_degree_normalized_weights(erdos_renyi_graph(40, 0.12, rng=5)), 0, 30),
+        (lambda: apply_random_weights(barabasi_albert_graph(40, 2, rng=7), rng=8), 1, 33),
+    ],
+)
+class TestLemma1Equivalence:
+    """Process 1 and the covered-trace estimator agree on f(I)."""
+
+    def test_full_invitation(self, graph_builder, source, preferred_target):
+        graph = graph_builder()
+        target = _non_neighbor_target(graph, source, preferred_target)
+        invitation = set(graph.nodes())
+        lt = _process_estimate(graph, source, target, invitation, SAMPLES, 11)
+        realization = _realization_estimate(graph, source, target, invitation, SAMPLES, 12)
+        assert lt == pytest.approx(realization, abs=TOLERANCE)
+
+    def test_partial_invitation(self, graph_builder, source, preferred_target):
+        graph = graph_builder()
+        target = _non_neighbor_target(graph, source, preferred_target)
+        generator = random.Random(21)
+        candidates = [node for node in graph.nodes() if node != source]
+        invitation = set(generator.sample(candidates, len(candidates) // 2))
+        invitation.add(target)
+        lt = _process_estimate(graph, source, target, invitation, SAMPLES, 13)
+        realization = _realization_estimate(graph, source, target, invitation, SAMPLES, 14)
+        assert lt == pytest.approx(realization, abs=TOLERANCE)
+
+    def test_small_invitation(self, graph_builder, source, preferred_target):
+        graph = graph_builder()
+        target = _non_neighbor_target(graph, source, preferred_target)
+        invitation = {target} | set(graph.neighbor_set(target))
+        lt = _process_estimate(graph, source, target, invitation, SAMPLES, 15)
+        realization = _realization_estimate(graph, source, target, invitation, SAMPLES, 16)
+        assert lt == pytest.approx(realization, abs=TOLERANCE)
+
+
+class TestLemma2Covering:
+    """Under a fixed realization, success <=> the trace is covered."""
+
+    @pytest.mark.parametrize("seed", range(40))
+    def test_forward_process_agrees_with_trace_covering(self, medium_ba_graph, seed):
+        graph = medium_ba_graph
+        source = 0
+        target = _non_neighbor_target(graph, source, 150)
+        generator = random.Random(seed)
+        candidates = [node for node in graph.nodes() if node != source]
+        invitation = frozenset(generator.sample(candidates, 60)) | {target}
+        realization = sample_realization(graph, rng=seed)
+        outcome = forward_process(graph, source, realization, invitation, target=target)
+        nodes, is_type1 = trace_target_path(realization, target, graph.neighbor_set(source))
+        covered = is_type1 and nodes <= invitation
+        assert outcome.success == covered
+
+    def test_full_invitation_success_iff_type1(self, medium_ba_graph):
+        graph = medium_ba_graph
+        source = 0
+        target = _non_neighbor_target(graph, source, 180)
+        invitation = frozenset(graph.nodes())
+        for seed in range(40):
+            realization = sample_realization(graph, rng=seed)
+            outcome = forward_process(graph, source, realization, invitation, target=target)
+            _, is_type1 = trace_target_path(realization, target, graph.neighbor_set(source))
+            assert outcome.success == is_type1

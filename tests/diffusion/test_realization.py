@@ -1,0 +1,127 @@
+"""Tests for repro.diffusion.realization (Def. 1, Process 2, Alg. 1)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.diffusion.realization import (
+    Realization,
+    forward_process,
+    sample_realization,
+    trace_target_path,
+)
+from repro.exceptions import NodeNotFoundError
+
+
+class TestSampleRealization:
+    def test_every_user_has_a_choice_entry(self, small_ba_graph):
+        realization = sample_realization(small_ba_graph, rng=1)
+        assert set(realization.choices) == set(small_ba_graph.nodes())
+
+    def test_choice_is_friend_or_none(self, small_ba_graph):
+        realization = sample_realization(small_ba_graph, rng=2)
+        for node, choice in realization.choices.items():
+            if choice is not None:
+                assert small_ba_graph.has_edge(node, choice)
+
+    def test_deterministic_given_seed(self, small_ba_graph):
+        a = sample_realization(small_ba_graph, rng=3)
+        b = sample_realization(small_ba_graph, rng=3)
+        assert a.choices == b.choices
+
+    def test_selection_frequencies_match_weights(self, chain_graph):
+        """Node b picks a with probability w(a,b)=1/2, t with w(t,b)=1/2."""
+        counts = Counter(sample_realization(chain_graph, rng=seed).parent("b") for seed in range(2000))
+        assert counts["a"] / 2000 == pytest.approx(0.5, abs=0.05)
+        assert counts["t"] / 2000 == pytest.approx(0.5, abs=0.05)
+
+    def test_leftover_probability_selects_nobody(self):
+        """A node whose incoming weights sum below 1 sometimes selects nobody."""
+        from repro.graph.social_graph import SocialGraph
+
+        graph = SocialGraph(edges=[("u", "v", 0.3, 0.3)])
+        counts = Counter(
+            sample_realization(graph, rng=seed).parent("v") for seed in range(2000)
+        )
+        assert counts[None] / 2000 == pytest.approx(0.7, abs=0.05)
+        assert counts["u"] / 2000 == pytest.approx(0.3, abs=0.05)
+
+    def test_parent_of_unknown_node(self, triangle_graph):
+        realization = sample_realization(triangle_graph, rng=1)
+        with pytest.raises(NodeNotFoundError):
+            realization.parent("ghost")
+
+    def test_live_edges(self):
+        realization = Realization(choices={"a": "b", "b": None, "c": "b"})
+        assert realization.live_edges() == frozenset({("b", "a"), ("b", "c")})
+
+    def test_contains(self):
+        realization = Realization(choices={"a": None})
+        assert "a" in realization
+        assert "b" not in realization
+
+
+class TestForwardProcess:
+    def test_chain_success_depends_on_live_edges(self, chain_graph):
+        # b selected a and t selected b: the full chain is live.
+        success_realization = Realization(choices={"s": None, "a": None, "b": "a", "t": "b"})
+        outcome = forward_process(chain_graph, "s", success_realization, {"b", "t"}, target="t")
+        assert outcome.success
+        assert outcome.new_friends == frozenset({"b", "t"})
+
+    def test_chain_failure_when_link_missing(self, chain_graph):
+        broken = Realization(choices={"s": None, "a": None, "b": "t", "t": "b"})
+        outcome = forward_process(chain_graph, "s", broken, {"b", "t"}, target="t")
+        assert not outcome.success
+
+    def test_uninvited_node_blocks_cascade(self, chain_graph):
+        live = Realization(choices={"s": None, "a": None, "b": "a", "t": "b"})
+        outcome = forward_process(chain_graph, "s", live, {"t"}, target="t")
+        assert not outcome.success
+        assert outcome.new_friends == frozenset()
+
+    def test_initial_friends_present(self, diamond_graph):
+        realization = sample_realization(diamond_graph, rng=4)
+        outcome = forward_process(diamond_graph, "s", realization, set())
+        assert frozenset({"a", "b"}) <= outcome.final_friends
+
+    def test_unknown_source(self, triangle_graph):
+        realization = sample_realization(triangle_graph, rng=1)
+        with pytest.raises(NodeNotFoundError):
+            forward_process(triangle_graph, "ghost", realization, set())
+
+
+class TestTraceTargetPath:
+    def test_live_chain_is_type1(self):
+        realization = Realization(choices={"t": "b", "b": "a", "a": None})
+        nodes, is_type1 = trace_target_path(realization, "t", {"a"})
+        assert is_type1
+        assert nodes == frozenset({"t", "b"})
+
+    def test_dead_end_is_type0(self):
+        realization = Realization(choices={"t": "b", "b": None})
+        nodes, is_type1 = trace_target_path(realization, "t", {"a"})
+        assert not is_type1
+        assert nodes == frozenset({"t", "b"})
+
+    def test_cycle_is_type0(self):
+        realization = Realization(choices={"t": "b", "b": "c", "c": "t"})
+        nodes, is_type1 = trace_target_path(realization, "t", {"a"})
+        assert not is_type1
+        assert nodes == frozenset({"t", "b", "c"})
+
+    def test_target_adjacent_to_circle(self):
+        realization = Realization(choices={"t": "a"})
+        nodes, is_type1 = trace_target_path(realization, "t", {"a"})
+        assert is_type1
+        assert nodes == frozenset({"t"})
+
+    def test_trace_never_contains_circle_members(self, small_ba_graph):
+        source_friends = small_ba_graph.neighbor_set(0)
+        for seed in range(30):
+            realization = sample_realization(small_ba_graph, rng=seed)
+            nodes, is_type1 = trace_target_path(realization, 55, source_friends)
+            assert not (nodes & source_friends)
+            assert 55 in nodes

@@ -1,0 +1,106 @@
+"""Tests for repro.diffusion.reverse_sampling (lazy t(g) sampling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diffusion.realization import sample_realization, trace_target_path
+from repro.diffusion.reverse_sampling import TargetPath, sample_target_path, sample_target_paths
+from repro.exceptions import NodeNotFoundError
+
+
+class TestTargetPath:
+    def test_covered_by_requires_type1(self):
+        path = TargetPath(nodes=frozenset({"t", "b"}), is_type1=False)
+        assert not path.covered_by({"t", "b", "c"})
+
+    def test_covered_by_subset_rule(self):
+        path = TargetPath(nodes=frozenset({"t", "b"}), is_type1=True, anchor="a")
+        assert path.covered_by({"t", "b", "x"})
+        assert not path.covered_by({"t"})
+
+    def test_len(self):
+        assert len(TargetPath(nodes=frozenset({"t", "b"}), is_type1=True)) == 2
+
+
+class TestSampleTargetPath:
+    def test_target_always_in_trace(self, small_ba_graph):
+        source_friends = small_ba_graph.neighbor_set(0)
+        for seed in range(20):
+            path = sample_target_path(small_ba_graph, 50, source_friends, rng=seed)
+            assert 50 in path.nodes
+
+    def test_trace_disjoint_from_source_friends(self, small_ba_graph):
+        source_friends = small_ba_graph.neighbor_set(0)
+        for seed in range(20):
+            path = sample_target_path(small_ba_graph, 50, source_friends, rng=seed)
+            assert not (path.nodes & source_friends)
+
+    def test_type1_anchor_is_a_source_friend(self, small_ba_graph):
+        source_friends = small_ba_graph.neighbor_set(0)
+        found_type1 = False
+        for seed in range(60):
+            path = sample_target_path(small_ba_graph, 50, source_friends, rng=seed)
+            if path.is_type1:
+                found_type1 = True
+                assert path.anchor in source_friends
+        assert found_type1
+
+    def test_type0_has_no_anchor(self, chain_graph):
+        for seed in range(40):
+            path = sample_target_path(chain_graph, "t", {"a"}, rng=seed)
+            if not path.is_type1:
+                assert path.anchor is None
+
+    def test_trace_forms_a_path_in_the_graph(self, small_ba_graph):
+        """Consecutive traced nodes must be friends (the walk follows edges)."""
+        source_friends = small_ba_graph.neighbor_set(0)
+        path = sample_target_path(small_ba_graph, 50, source_friends, rng=3)
+        nodes = set(path.nodes)
+        # Every traced node other than the target must have at least one
+        # friend inside the trace (its successor towards the target).
+        for node in nodes - {50}:
+            assert any(small_ba_graph.has_edge(node, other) for other in nodes if other != node)
+
+    def test_unknown_target_rejected(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            sample_target_path(triangle_graph, "ghost", {"a"})
+
+    def test_chain_type1_probability_matches_theory(self, chain_graph):
+        # Backward walk from t: t picks b (probability 1), b picks a with
+        # probability 1/2 (type-1) or t with probability 1/2 (cycle, type-0).
+        hits = sum(
+            sample_target_path(chain_graph, "t", {"a"}, rng=seed).is_type1 for seed in range(3000)
+        )
+        assert hits / 3000 == pytest.approx(0.5, abs=0.03)
+
+    def test_matches_full_realization_marginal(self, diamond_graph):
+        """The lazy sampler's type-1 frequency equals the full-realization one."""
+        source_friends = diamond_graph.neighbor_set("s")
+        trials = 3000
+        lazy_hits = sum(
+            sample_target_path(diamond_graph, "t", source_friends, rng=seed).is_type1
+            for seed in range(trials)
+        )
+        full_hits = 0
+        for seed in range(trials):
+            realization = sample_realization(diamond_graph, rng=10_000 + seed)
+            _, is_type1 = trace_target_path(realization, "t", source_friends)
+            full_hits += is_type1
+        assert lazy_hits / trials == pytest.approx(full_hits / trials, abs=0.04)
+
+
+class TestSampleTargetPaths:
+    def test_count(self, small_ba_graph):
+        paths = list(sample_target_paths(small_ba_graph, 30, small_ba_graph.neighbor_set(0), 25, rng=1))
+        assert len(paths) == 25
+
+    def test_negative_count_rejected(self, small_ba_graph):
+        with pytest.raises(ValueError):
+            list(sample_target_paths(small_ba_graph, 30, set(), -1))
+
+    def test_reproducible_with_seed(self, small_ba_graph):
+        friends = small_ba_graph.neighbor_set(0)
+        a = [p.nodes for p in sample_target_paths(small_ba_graph, 30, friends, 10, rng=5)]
+        b = [p.nodes for p in sample_target_paths(small_ba_graph, 30, friends, 10, rng=5)]
+        assert a == b

@@ -1,0 +1,135 @@
+"""Tests for repro.diffusion.threshold_model (Process 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diffusion.threshold_model import (
+    FriendingOutcome,
+    run_threshold_process,
+    sample_thresholds,
+    simulate_friending,
+)
+from repro.exceptions import NodeNotFoundError
+
+
+class TestSampleThresholds:
+    def test_one_threshold_per_user(self, triangle_graph):
+        thresholds = sample_thresholds(triangle_graph, rng=1)
+        assert set(thresholds) == set(triangle_graph.nodes())
+
+    def test_values_in_unit_interval(self, small_ba_graph):
+        thresholds = sample_thresholds(small_ba_graph, rng=2)
+        assert all(0.0 <= value <= 1.0 for value in thresholds.values())
+
+    def test_deterministic_given_seed(self, triangle_graph):
+        assert sample_thresholds(triangle_graph, rng=5) == sample_thresholds(triangle_graph, rng=5)
+
+
+class TestRunThresholdProcess:
+    """Deterministic checks on the hand-analysable worked example.
+
+    Weights are 0.1 everywhere; with threshold 0.15 a user needs two
+    accepted/initial friends, with threshold 0.05 one suffices.
+    """
+
+    def test_two_friend_requirement_blocks_cascade(self, worked_example_graph):
+        thresholds = {node: 0.15 for node in worked_example_graph.nodes()}
+        outcome = run_threshold_process(
+            worked_example_graph, "s", {"c", "d", "t"}, thresholds, target="t"
+        )
+        # c joins (friends a and b are initial), but d and t each have only
+        # one friend inside the circle afterwards, so the process stops.
+        assert outcome.new_friends == frozenset({"c"})
+        assert not outcome.success
+
+    def test_single_friend_threshold_cascades_to_target(self, worked_example_graph):
+        thresholds = {node: 0.05 for node in worked_example_graph.nodes()}
+        outcome = run_threshold_process(
+            worked_example_graph, "s", {"c", "d", "t"}, thresholds, target="t"
+        )
+        assert outcome.success
+        assert outcome.new_friends == frozenset({"c", "d", "t"})
+
+    def test_target_needs_two_friends_via_both_routes(self, worked_example_graph):
+        # Threshold 0.15 for t but 0.05 for everyone else: t needs both c
+        # and d to accept before it does.
+        thresholds = {node: 0.05 for node in worked_example_graph.nodes()}
+        thresholds["t"] = 0.15
+        with_both = run_threshold_process(
+            worked_example_graph, "s", {"c", "d", "t"}, thresholds, target="t"
+        )
+        assert with_both.success
+        without_d = run_threshold_process(
+            worked_example_graph, "s", {"c", "t"}, thresholds, target="t"
+        )
+        assert not without_d.success
+
+    def test_uninvited_users_never_join(self, worked_example_graph):
+        thresholds = {node: 0.0 for node in worked_example_graph.nodes()}
+        outcome = run_threshold_process(worked_example_graph, "s", {"t"}, thresholds, target="t")
+        assert "c" not in outcome.final_friends
+        assert not outcome.success
+
+    def test_initial_friends_always_in_final_circle(self, worked_example_graph):
+        thresholds = {node: 0.99 for node in worked_example_graph.nodes()}
+        outcome = run_threshold_process(worked_example_graph, "s", set(), thresholds)
+        assert outcome.final_friends == frozenset({"a", "b"})
+
+    def test_missing_threshold_means_never_accept(self, worked_example_graph):
+        outcome = run_threshold_process(worked_example_graph, "s", {"c", "t"}, {}, target="t")
+        assert outcome.new_friends == frozenset()
+
+    def test_rounds_counted(self, worked_example_graph):
+        thresholds = {node: 0.05 for node in worked_example_graph.nodes()}
+        outcome = run_threshold_process(
+            worked_example_graph, "s", {"c", "d", "t"}, thresholds, target="t"
+        )
+        assert outcome.rounds >= 2  # c first, then d/t
+
+    def test_unknown_source_rejected(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            run_threshold_process(triangle_graph, "ghost", set(), {})
+
+    def test_unknown_target_rejected(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            run_threshold_process(triangle_graph, "a", set(), {}, target="ghost")
+
+    def test_success_only_about_target(self, worked_example_graph):
+        thresholds = {node: 0.05 for node in worked_example_graph.nodes()}
+        outcome = run_threshold_process(worked_example_graph, "s", {"c"}, thresholds, target="t")
+        assert outcome.new_friends == frozenset({"c"})
+        assert not outcome.success
+
+
+class TestSimulateFriending:
+    def test_returns_outcome(self, chain_graph):
+        outcome = simulate_friending(chain_graph, "s", {"b", "t"}, target="t", rng=3)
+        assert isinstance(outcome, FriendingOutcome)
+
+    def test_empty_invitation_never_succeeds(self, chain_graph):
+        for seed in range(20):
+            outcome = simulate_friending(chain_graph, "s", set(), target="t", rng=seed)
+            assert not outcome.success
+
+    def test_chain_success_requires_both_nodes(self, chain_graph):
+        # On the chain s-a-b-t with 1/|N_v| weights, inviting {b, t} succeeds
+        # whenever theta_b <= 1/2 and theta_t <= 1/2; it must succeed for
+        # some seeds and fail for others.
+        outcomes = [
+            simulate_friending(chain_graph, "s", {"b", "t"}, target="t", rng=seed).success
+            for seed in range(40)
+        ]
+        assert any(outcomes)
+        assert not all(outcomes)
+
+    def test_deterministic_given_seed(self, small_ba_graph):
+        invitation = set(list(small_ba_graph.nodes())[:10])
+        a = simulate_friending(small_ba_graph, 0, invitation, target=40, rng=9)
+        b = simulate_friending(small_ba_graph, 0, invitation, target=40, rng=9)
+        assert a == b
+
+    def test_new_friends_subset_of_invitation(self, small_ba_graph):
+        invitation = frozenset(list(small_ba_graph.nodes())[10:30])
+        outcome = simulate_friending(small_ba_graph, 0, invitation, rng=4)
+        assert outcome.new_friends <= invitation

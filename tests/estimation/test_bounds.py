@@ -1,0 +1,91 @@
+"""Tests for repro.estimation.bounds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.estimation.bounds import (
+    chernoff_bound,
+    chernoff_sample_size,
+    hoeffding_bound,
+    hoeffding_sample_size,
+    theoretical_realization_count,
+    union_bound_failure,
+)
+
+
+class TestChernoff:
+    def test_bound_decreases_with_samples(self):
+        assert chernoff_bound(10_000, 0.1, 0.1) < chernoff_bound(100, 0.1, 0.1)
+
+    def test_bound_clipped_to_one(self):
+        assert chernoff_bound(1, 0.001, 0.001) == 1.0
+
+    def test_matches_formula(self):
+        l, mu, delta = 500, 0.2, 0.3
+        expected = 2.0 * math.exp(-l * mu * delta * delta / (2.0 + delta))
+        assert chernoff_bound(l, mu, delta) == pytest.approx(expected)
+
+    def test_sample_size_achieves_bound(self):
+        mu, delta, failure = 0.05, 0.2, 0.01
+        l = chernoff_sample_size(mu, delta, failure)
+        assert chernoff_bound(l, mu, delta) <= failure * 1.0001
+        # One fewer sample should not be enough (tightness up to ceiling).
+        if l > 1:
+            assert chernoff_bound(l - 1, mu, delta) > failure * 0.999
+
+    def test_sample_size_grows_as_mean_shrinks(self):
+        assert chernoff_sample_size(0.01, 0.1, 0.05) > chernoff_sample_size(0.1, 0.1, 0.05)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            chernoff_bound(0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            chernoff_sample_size(0.1, 0.1, 1.5)
+
+
+class TestHoeffding:
+    def test_bound_formula(self):
+        assert hoeffding_bound(100, 0.1) == pytest.approx(2.0 * math.exp(-2.0), rel=1e-9)
+
+    def test_sample_size_achieves_bound(self):
+        l = hoeffding_sample_size(0.05, 0.01)
+        assert hoeffding_bound(l, 0.05) <= 0.01 * 1.0001
+
+
+class TestUnionBound:
+    def test_multiplies(self):
+        assert union_bound_failure(0.001, 100) == pytest.approx(0.1)
+
+    def test_clipped_to_one(self):
+        assert union_bound_failure(0.5, 10) == 1.0
+
+    def test_invalid_events(self):
+        with pytest.raises(ValueError):
+            union_bound_failure(0.1, 0)
+
+
+class TestTheoreticalRealizationCount:
+    def test_matches_eq16(self):
+        n, capital_n, eps1, eps0, pmax = 100, 1000.0, 0.05, 0.1, 0.02
+        log_term = math.log(2.0) + math.log(capital_n) + n * math.log(2.0)
+        expected = math.ceil(
+            log_term * (2.0 + eps1 * (1.0 - eps0)) / (eps1**2 * (1.0 - eps0) ** 2 * pmax)
+        )
+        assert theoretical_realization_count(n, capital_n, eps1, eps0, pmax) == expected
+
+    def test_grows_linearly_in_n(self):
+        small = theoretical_realization_count(100, 1000.0, 0.05, 0.1, 0.02)
+        large = theoretical_realization_count(1000, 1000.0, 0.05, 0.1, 0.02)
+        assert large > 5 * small
+
+    def test_requires_epsilon_zero_below_one(self):
+        with pytest.raises(ValueError):
+            theoretical_realization_count(100, 1000.0, 0.05, 1.2, 0.02)
+
+    def test_astronomical_for_paper_scale_inputs(self):
+        """Documents why the PRACTICAL policy exists (see DESIGN.md)."""
+        count = theoretical_realization_count(7000, 100_000.0, 0.005, 0.005, 0.03)
+        assert count > 10**9

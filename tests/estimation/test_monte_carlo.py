@@ -1,0 +1,55 @@
+"""Tests for repro.estimation.monte_carlo."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.estimation.monte_carlo import MonteCarloResult, monte_carlo_mean
+
+
+class TestMonteCarloMean:
+    def test_constant_sampler(self):
+        result = monte_carlo_mean(lambda: 0.7, num_samples=50)
+        assert result.mean == pytest.approx(0.7)
+        assert result.variance == pytest.approx(0.0)
+        assert result.num_samples == 50
+
+    def test_bernoulli_sampler_converges(self):
+        generator = random.Random(3)
+        result = monte_carlo_mean(lambda: 1.0 if generator.random() < 0.3 else 0.0, 20_000)
+        assert result.mean == pytest.approx(0.3, abs=0.02)
+
+    def test_variance_of_bernoulli(self):
+        generator = random.Random(5)
+        result = monte_carlo_mean(lambda: 1.0 if generator.random() < 0.5 else 0.0, 20_000)
+        assert result.variance == pytest.approx(0.25, abs=0.02)
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            monte_carlo_mean(lambda: 1.0, 0)
+
+    def test_invalid_rng_type_rejected(self):
+        with pytest.raises(TypeError):
+            monte_carlo_mean(lambda: 1.0, 10, rng="seed")
+
+
+class TestMonteCarloResult:
+    def test_std_error(self):
+        result = MonteCarloResult(mean=0.5, num_samples=100, variance=0.25)
+        assert result.std_error == pytest.approx(0.05)
+
+    def test_std_error_no_samples(self):
+        assert MonteCarloResult(0.0, 0, 0.0).std_error == float("inf")
+
+    def test_confidence_interval_contains_mean(self):
+        result = MonteCarloResult(mean=0.4, num_samples=400, variance=0.24)
+        low, high = result.confidence_interval()
+        assert low < 0.4 < high
+
+    def test_confidence_interval_width_scales_with_z(self):
+        result = MonteCarloResult(mean=0.4, num_samples=400, variance=0.24)
+        narrow = result.confidence_interval(z=1.0)
+        wide = result.confidence_interval(z=3.0)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])

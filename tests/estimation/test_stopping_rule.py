@@ -1,0 +1,99 @@
+"""Tests for repro.estimation.stopping_rule (Dagum et al. / Alg. 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.estimation.stopping_rule import (
+    expected_sample_bound,
+    stopping_rule_estimate,
+    stopping_rule_threshold,
+)
+from repro.exceptions import EstimationError
+
+
+class TestThreshold:
+    def test_matches_formula(self):
+        import math
+
+        epsilon, delta = 0.1, 0.01
+        expected = 1.0 + 4.0 * (math.e - 2.0) * 1.1 * math.log(200.0) / 0.01
+        assert stopping_rule_threshold(epsilon, delta) == pytest.approx(expected)
+
+    def test_decreasing_in_epsilon(self):
+        assert stopping_rule_threshold(0.05, 0.01) > stopping_rule_threshold(0.2, 0.01)
+
+    def test_increasing_as_delta_shrinks(self):
+        assert stopping_rule_threshold(0.1, 0.001) > stopping_rule_threshold(0.1, 0.1)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            stopping_rule_threshold(0.0, 0.1)
+        with pytest.raises(ValueError):
+            stopping_rule_threshold(1.5, 0.1)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            stopping_rule_threshold(0.1, 0.0)
+        with pytest.raises(ValueError):
+            stopping_rule_threshold(0.1, 1.0)
+
+
+class TestExpectedSampleBound:
+    def test_scales_inversely_with_mean(self):
+        assert expected_sample_bound(0.1, 0.01, 0.01) > expected_sample_bound(0.1, 0.01, 0.1)
+
+    def test_positive(self):
+        assert expected_sample_bound(0.2, 0.05, 0.3) > 0
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            expected_sample_bound(0.1, 0.01, 0.0)
+
+
+class TestStoppingRuleEstimate:
+    def test_constant_one_sampler(self):
+        result = stopping_rule_estimate(lambda: 1.0, epsilon=0.2, delta=0.05)
+        # Every sample contributes 1, so the estimate is threshold/ceil(threshold),
+        # i.e. essentially 1.
+        assert result.estimate == pytest.approx(1.0, rel=0.02)
+        assert result.num_samples == pytest.approx(result.threshold, abs=1.0)
+
+    @pytest.mark.parametrize("true_mean", [0.1, 0.3, 0.7])
+    def test_bernoulli_estimates_within_relative_error(self, true_mean):
+        generator = random.Random(42)
+        result = stopping_rule_estimate(
+            lambda: 1.0 if generator.random() < true_mean else 0.0,
+            epsilon=0.1,
+            delta=0.01,
+        )
+        assert abs(result.estimate - true_mean) <= 0.1 * true_mean * 1.5  # slack over the 1-delta event
+
+    def test_sample_count_roughly_threshold_over_mean(self):
+        true_mean = 0.25
+        generator = random.Random(7)
+        result = stopping_rule_estimate(
+            lambda: 1.0 if generator.random() < true_mean else 0.0,
+            epsilon=0.15,
+            delta=0.05,
+        )
+        assert result.num_samples == pytest.approx(result.threshold / true_mean, rel=0.3)
+
+    def test_max_samples_guard(self):
+        with pytest.raises(EstimationError):
+            stopping_rule_estimate(lambda: 0.0, epsilon=0.2, delta=0.1, max_samples=500)
+
+    def test_invalid_max_samples(self):
+        with pytest.raises(ValueError):
+            stopping_rule_estimate(lambda: 1.0, epsilon=0.2, delta=0.1, max_samples=0)
+
+    def test_sample_out_of_range_rejected(self):
+        with pytest.raises(EstimationError):
+            stopping_rule_estimate(lambda: 2.0, epsilon=0.2, delta=0.1)
+
+    def test_result_records_parameters(self):
+        result = stopping_rule_estimate(lambda: 1.0, epsilon=0.3, delta=0.2)
+        assert result.epsilon == 0.3
+        assert result.delta == 0.2

@@ -1,0 +1,108 @@
+"""Tests for repro.experiments.config and repro.experiments.pair_selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SamplePolicy
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.pair_selection import screen_pmax, select_pairs
+from repro.graph.traversal import bfs_distances
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.num_pairs > 0
+        assert 0 < config.pmax_threshold < config.pmax_ceiling
+
+    def test_invalid_pair_count(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_pairs=0)
+
+    def test_threshold_must_be_below_ceiling(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(pmax_threshold=0.6, pmax_ceiling=0.5)
+
+    def test_empty_alpha_sweep_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(alphas=())
+
+    def test_alpha_out_of_range_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(alphas=(0.1, 1.5))
+
+    def test_raf_config_uses_fixed_policy(self):
+        config = ExperimentConfig(realizations=777)
+        raf = config.raf_config(0.2)
+        assert raf.sample_policy == SamplePolicy.FIXED
+        assert raf.fixed_realizations == 777
+
+    def test_raf_config_caps_epsilon_below_alpha(self):
+        config = ExperimentConfig(raf_epsilon=0.2, alphas=(0.05, 0.1))
+        assert config.raf_config(0.05).epsilon <= 0.025
+        assert config.raf_config().epsilon <= 0.025
+
+
+class TestScreenPmax:
+    def test_diamond_value(self, diamond_graph):
+        value = screen_pmax(diamond_graph, "s", "t", num_samples=3000, rng=1)
+        assert value == pytest.approx(0.5, abs=0.04)
+
+    def test_unreachable_pair_is_zero(self):
+        from repro.graph.social_graph import SocialGraph
+        from repro.graph.weights import apply_degree_normalized_weights
+
+        graph = apply_degree_normalized_weights(SocialGraph(edges=[("s", "a"), ("t", "x")]))
+        assert screen_pmax(graph, "s", "t", num_samples=200, rng=2) == 0.0
+
+    def test_invalid_sample_count(self, diamond_graph):
+        with pytest.raises(ValueError):
+            screen_pmax(diamond_graph, "s", "t", num_samples=0)
+
+
+class TestSelectPairs:
+    def test_returns_requested_count(self, medium_ba_graph):
+        pairs = select_pairs(medium_ba_graph, 5, screen_samples=150, rng=3)
+        assert len(pairs) == 5
+
+    def test_pairs_are_not_friends(self, medium_ba_graph):
+        for pair in select_pairs(medium_ba_graph, 5, screen_samples=150, rng=4):
+            assert not medium_ba_graph.has_edge(pair.source, pair.target)
+
+    def test_pmax_recorded_and_within_bounds(self, medium_ba_graph):
+        pairs = select_pairs(
+            medium_ba_graph, 4, pmax_threshold=0.02, pmax_ceiling=0.9, screen_samples=150, rng=5
+        )
+        for pair in pairs:
+            assert 0.02 <= pair.pmax <= 0.9
+
+    def test_min_distance_respected(self, medium_ba_graph):
+        pairs = select_pairs(
+            medium_ba_graph, 3, min_distance=3, screen_samples=150, rng=6
+        )
+        for pair in pairs:
+            assert bfs_distances(medium_ba_graph, pair.source)[pair.target] >= 3
+
+    def test_impossible_criteria_raise(self, medium_ba_graph):
+        with pytest.raises(ExperimentError):
+            select_pairs(
+                medium_ba_graph, 3, pmax_threshold=0.99, pmax_ceiling=0.999,
+                screen_samples=100, rng=7, max_attempts=50,
+            )
+
+    def test_min_distance_below_two_rejected(self, medium_ba_graph):
+        with pytest.raises(ExperimentError):
+            select_pairs(medium_ba_graph, 2, min_distance=1, rng=8)
+
+    def test_tiny_graph_rejected(self):
+        from repro.graph.social_graph import SocialGraph
+
+        with pytest.raises(ExperimentError):
+            select_pairs(SocialGraph(nodes=[1]), 1, rng=9)
+
+    def test_deterministic_given_seed(self, medium_ba_graph):
+        a = select_pairs(medium_ba_graph, 3, screen_samples=100, rng=10)
+        b = select_pairs(medium_ba_graph, 3, screen_samples=100, rng=10)
+        assert [(p.source, p.target) for p in a] == [(p.source, p.target) for p in b]

@@ -1,0 +1,95 @@
+"""Tests for repro.experiments.records."""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.parameters import ParameterCoupling, RAFParameters
+from repro.experiments.records import load_record, save_record, to_jsonable
+from repro.types import PairSpec
+
+
+@dataclass(frozen=True)
+class _Sample:
+    name: str
+    values: tuple
+    members: frozenset
+
+
+class TestToJsonable:
+    def test_primitives_pass_through(self):
+        for value in [1, 2.5, "x", True, None]:
+            assert to_jsonable(value) == value
+
+    def test_dataclass_becomes_tagged_dict(self):
+        payload = to_jsonable(_Sample(name="a", values=(1, 2), members=frozenset({3, 1})))
+        assert payload["__type__"] == "_Sample"
+        assert payload["name"] == "a"
+        assert payload["values"] == [1, 2]
+        assert payload["members"] == [1, 3]
+
+    def test_nested_dataclasses(self):
+        pair = PairSpec(source=1, target=2, pmax=0.5)
+        payload = to_jsonable({"pair": pair})
+        assert payload["pair"]["__type__"] == "PairSpec"
+        assert payload["pair"]["pmax"] == 0.5
+
+    def test_enum_value(self):
+        assert to_jsonable(ParameterCoupling.PAPER) == "paper"
+
+    def test_raf_parameters_serializable(self):
+        parameters = RAFParameters(
+            alpha=0.1, epsilon=0.01, num_nodes=10, coupling=ParameterCoupling.BALANCED,
+            epsilon_zero=0.02, epsilon_one=0.02, beta=0.07,
+        )
+        payload = to_jsonable(parameters)
+        json.dumps(payload)  # must be valid JSON content
+        assert payload["coupling"] == "balanced"
+
+    def test_unknown_objects_fall_back_to_repr(self):
+        class Odd:
+            def __repr__(self) -> str:
+                return "<odd>"
+
+        assert to_jsonable(Odd()) == "<odd>"
+
+    def test_dict_keys_stringified(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+
+class TestSaveAndLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "record.json"
+        record = save_record(path, "fig3/wiki", {"rows": [{"alpha": 0.1, "raf": 0.02}]},
+                             metadata={"seed": 7})
+        loaded = load_record(path)
+        assert loaded == record
+        assert loaded["name"] == "fig3/wiki"
+        assert loaded["metadata"]["seed"] == 7
+        assert loaded["result"]["rows"][0]["alpha"] == 0.1
+
+    def test_experiment_result_round_trip(self, tmp_path, diamond_graph):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.realization_sweep import run_realization_sweep
+
+        config = ExperimentConfig(num_pairs=1, realizations=300, eval_samples=50,
+                                  pair_screen_samples=50)
+        result = run_realization_sweep(
+            diamond_graph, PairSpec("s", "t", 0.5), config,
+            realization_counts=(100, 300), dataset_name="diamond", rng=1,
+        )
+        path = tmp_path / "sweep.json"
+        save_record(path, "fig6/diamond", result, metadata={"config": config})
+        loaded = load_record(path)
+        assert loaded["result"]["__type__"] == "RealizationSweepResult"
+        assert len(loaded["result"]["rows"]) == 2
+        assert loaded["metadata"]["config"]["__type__"] == "ExperimentConfig"
+
+    def test_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "r.json"
+        save_record(path, "x", [1, 2, 3])
+        json.loads(path.read_text(encoding="utf-8"))

@@ -1,0 +1,164 @@
+"""Tests for the table/figure experiment runners (kept small and fast).
+
+These tests verify the experimental *protocol* -- the right quantities are
+computed, averaged and reported -- on miniature configurations.  The
+paper-shape assertions (who wins, by how much) live in the integration
+tests and the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.basic_experiment import format_basic_experiment, run_basic_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.datasets_table import format_datasets_table, run_datasets_table
+from repro.experiments.pair_selection import select_pairs
+from repro.experiments.ratio_comparison import format_ratio_comparison, run_ratio_comparison
+from repro.experiments.realization_sweep import format_realization_sweep, run_realization_sweep
+from repro.experiments.vmax_comparison import format_vmax_comparison, run_vmax_comparison
+from repro.exceptions import ExperimentError
+from repro.graph.datasets import DATASET_NAMES, load_dataset
+
+
+@pytest.fixture(scope="module")
+def wiki_graph():
+    return load_dataset("wiki", scale=0.04, rng=17)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        num_pairs=2,
+        alphas=(0.1, 0.3),
+        realizations=1200,
+        eval_samples=150,
+        pair_screen_samples=150,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def wiki_pairs(wiki_graph, tiny_config):
+    return select_pairs(
+        wiki_graph,
+        tiny_config.num_pairs,
+        pmax_threshold=tiny_config.pmax_threshold,
+        pmax_ceiling=tiny_config.pmax_ceiling,
+        min_distance=tiny_config.min_distance,
+        screen_samples=tiny_config.pair_screen_samples,
+        rng=tiny_config.seed,
+    )
+
+
+class TestDatasetsTable:
+    def test_all_datasets_have_rows(self):
+        rows = run_datasets_table(scale=0.01, rng=1)
+        assert [row.dataset for row in rows] == list(DATASET_NAMES)
+        for row in rows:
+            assert row.nodes > 0
+            assert row.edges > 0
+            assert row.avg_degree > 0
+
+    def test_rows_carry_paper_reference_values(self):
+        rows = run_datasets_table(datasets=("wiki",), scale=0.01, rng=2)
+        assert rows[0].paper_nodes == 7_000
+        assert rows[0].paper_avg_degree == pytest.approx(14.7)
+
+    def test_formatting(self):
+        text = format_datasets_table(run_datasets_table(datasets=("wiki",), scale=0.01, rng=3))
+        assert "Table I" in text
+        assert "wiki" in text
+
+
+class TestBasicExperiment:
+    def test_rows_per_alpha(self, wiki_graph, wiki_pairs, tiny_config):
+        result = run_basic_experiment(wiki_graph, wiki_pairs, tiny_config, dataset_name="wiki", rng=5)
+        assert len(result.rows) == len(tiny_config.alphas)
+        for row in result.rows:
+            assert set(row) == {"alpha", "pmax", "raf", "hd", "sp", "avg_size"}
+            assert 0.0 <= row["raf"] <= 1.0
+            assert 0.0 <= row["hd"] <= 1.0
+            assert 0.0 <= row["sp"] <= 1.0
+            assert row["pmax"] > 0.0
+            assert row["avg_size"] >= 1.0
+
+    def test_series_accessor(self, wiki_graph, wiki_pairs, tiny_config):
+        result = run_basic_experiment(wiki_graph, wiki_pairs, tiny_config, dataset_name="wiki", rng=5)
+        series = result.series("raf")
+        assert [alpha for alpha, _ in series] == list(tiny_config.alphas)
+
+    def test_formatting(self, wiki_graph, wiki_pairs, tiny_config):
+        result = run_basic_experiment(wiki_graph, wiki_pairs, tiny_config, dataset_name="wiki", rng=5)
+        text = format_basic_experiment(result)
+        assert "Fig. 3" in text and "wiki" in text
+
+
+class TestRatioComparison:
+    @pytest.mark.parametrize("baseline", ["HD", "SP"])
+    def test_bins_are_well_formed(self, wiki_graph, wiki_pairs, tiny_config, baseline):
+        result = run_ratio_comparison(
+            wiki_graph, wiki_pairs, tiny_config, baseline=baseline, dataset_name="wiki", rng=6
+        )
+        assert result.baseline == baseline
+        assert result.num_pairs >= 1
+        assert result.raw_points
+        for row in result.bins:
+            assert 0.0 < row["probability_ratio"] <= 1.0
+            assert row["size_ratio"] > 0.0
+            assert row["points"] >= 1
+
+    def test_unknown_baseline_rejected(self, wiki_graph, wiki_pairs, tiny_config):
+        with pytest.raises(ExperimentError):
+            run_ratio_comparison(wiki_graph, wiki_pairs, tiny_config, baseline="PR")
+
+    def test_formatting_mentions_figure(self, wiki_graph, wiki_pairs, tiny_config):
+        result = run_ratio_comparison(
+            wiki_graph, wiki_pairs, tiny_config, baseline="HD", dataset_name="wiki", rng=6
+        )
+        assert "Fig. 4" in format_ratio_comparison(result)
+        sp_result = run_ratio_comparison(
+            wiki_graph, wiki_pairs, tiny_config, baseline="SP", dataset_name="wiki", rng=6
+        )
+        assert "Fig. 5" in format_ratio_comparison(sp_result)
+
+
+class TestVmaxComparison:
+    def test_averages_consistent_with_per_pair(self, wiki_graph, wiki_pairs, tiny_config):
+        result = run_vmax_comparison(wiki_graph, wiki_pairs, tiny_config, dataset_name="wiki", rng=7)
+        assert result.num_pairs == len(result.per_pair) > 0
+        mean_ratio = sum(row["ratio"] for row in result.per_pair) / len(result.per_pair)
+        assert result.avg_ratio == pytest.approx(mean_ratio)
+        # Vmax is a superset of any RAF invitation, so the ratio is >= 1.
+        for row in result.per_pair:
+            assert row["vmax_size"] >= row["raf_size"]
+
+    def test_table_row_format(self, wiki_graph, wiki_pairs, tiny_config):
+        result = run_vmax_comparison(wiki_graph, wiki_pairs, tiny_config, dataset_name="wiki", rng=7)
+        text = format_vmax_comparison([result])
+        assert "Table II" in text and "wiki" in text
+
+
+class TestRealizationSweep:
+    def test_rows_sorted_by_realizations(self, wiki_graph, wiki_pairs, tiny_config):
+        result = run_realization_sweep(
+            wiki_graph, wiki_pairs[0], tiny_config,
+            realization_counts=(200, 800, 2400), dataset_name="wiki", rng=8,
+        )
+        counts = [row["realizations"] for row in result.rows]
+        assert counts == sorted(counts)
+        for row in result.rows:
+            assert row["invitation_size"] >= 1
+            assert 0.0 <= row["acceptance_probability"] <= 1.0
+
+    def test_beta_recorded(self, wiki_graph, wiki_pairs, tiny_config):
+        result = run_realization_sweep(
+            wiki_graph, wiki_pairs[0], tiny_config, realization_counts=(300,), rng=9
+        )
+        assert 0.0 < result.beta < result.alpha
+
+    def test_formatting(self, wiki_graph, wiki_pairs, tiny_config):
+        result = run_realization_sweep(
+            wiki_graph, wiki_pairs[0], tiny_config, realization_counts=(300, 900), rng=10
+        )
+        assert "Fig. 6" in format_realization_sweep(result)

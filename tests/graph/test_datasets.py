@@ -1,0 +1,79 @@
+"""Tests for repro.graph.datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.graph.datasets import DATASET_NAMES, dataset_spec, load_dataset
+from repro.graph.metrics import compute_stats
+
+
+class TestDatasetSpec:
+    def test_all_names_have_specs(self):
+        for name in DATASET_NAMES:
+            spec = dataset_spec(name)
+            assert spec.name == name
+            assert spec.paper_nodes > 0
+            assert spec.paper_edges > 0
+            assert spec.paper_avg_degree > 0
+
+    def test_case_insensitive_lookup(self):
+        assert dataset_spec("WIKI").name == "wiki"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ExperimentError):
+            dataset_spec("facebook")
+
+    def test_table1_values(self):
+        wiki = dataset_spec("wiki")
+        assert wiki.paper_nodes == 7_000
+        assert wiki.paper_avg_degree == pytest.approx(14.7)
+        youtube = dataset_spec("youtube")
+        assert youtube.paper_nodes == 1_100_000
+        assert youtube.paper_avg_degree == pytest.approx(5.54)
+
+
+class TestLoadDataset:
+    def test_scaled_node_count(self):
+        graph = load_dataset("wiki", scale=0.05, rng=1)
+        assert graph.num_nodes == 350
+
+    def test_default_scale_used_when_none(self):
+        spec = dataset_spec("wiki")
+        graph = load_dataset("wiki", rng=1)
+        assert graph.num_nodes == int(round(spec.paper_nodes * spec.default_scale))
+
+    def test_minimum_size_floor(self):
+        graph = load_dataset("wiki", scale=0.0001, rng=1)
+        assert graph.num_nodes >= 16
+
+    def test_weighted_by_default(self):
+        graph = load_dataset("hepth", scale=0.02, rng=2)
+        node = next(n for n in graph.nodes() if graph.degree(n) > 0)
+        assert graph.total_in_weight(node) == pytest.approx(1.0)
+
+    def test_unweighted_option(self):
+        graph = load_dataset("hepth", scale=0.02, rng=2, weighted=False)
+        u, v = next(iter(graph.edges()))
+        assert graph.weight(u, v) == 0.0
+
+    def test_deterministic_given_seed(self):
+        a = load_dataset("hepph", scale=0.02, rng=5)
+        b = load_dataset("hepph", scale=0.02, rng=5)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+    def test_graph_is_named_after_dataset(self):
+        assert load_dataset("youtube", scale=0.001, rng=1).name == "youtube"
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_avg_degree_in_paper_ballpark(self, name):
+        """The stand-ins should land within ~40% of the paper's average degree."""
+        spec = dataset_spec(name)
+        graph = load_dataset(name, scale=min(spec.default_scale, 0.05), rng=3)
+        avg_degree = compute_stats(graph).avg_degree
+        assert 0.6 * spec.paper_avg_degree < avg_degree < 1.4 * spec.paper_avg_degree
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("wiki", scale=-1.0)

@@ -1,0 +1,178 @@
+"""Tests for repro.graph.generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    forest_fire_graph,
+    grid_graph,
+    path_graph,
+    planted_partition_graph,
+    power_law_configuration_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.traversal import is_connected
+
+
+class TestErdosRenyi:
+    def test_p_zero_has_no_edges(self):
+        assert erdos_renyi_graph(50, 0.0, rng=1).num_edges == 0
+
+    def test_p_one_is_complete(self):
+        graph = erdos_renyi_graph(10, 1.0, rng=1)
+        assert graph.num_edges == 45
+
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.05
+        graph = erdos_renyi_graph(n, p, rng=5)
+        expected = p * n * (n - 1) / 2
+        assert 0.7 * expected < graph.num_edges < 1.3 * expected
+
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi_graph(60, 0.1, rng=42)
+        b = erdos_renyi_graph(60, 0.1, rng=42)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+    def test_no_self_loops(self):
+        graph = erdos_renyi_graph(40, 0.2, rng=3)
+        assert all(u != v for u, v in graph.edges())
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5, rng=1)
+
+
+class TestBarabasiAlbert:
+    def test_node_count(self):
+        assert barabasi_albert_graph(100, 3, rng=1).num_nodes == 100
+
+    def test_edge_count(self):
+        # The seed star contributes m edges; each of the remaining n-m-1
+        # nodes contributes exactly m edges.
+        n, m = 100, 3
+        graph = barabasi_albert_graph(n, m, rng=1)
+        assert graph.num_edges == m + (n - m - 1) * m
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert_graph(80, 2, rng=2))
+
+    def test_hub_emerges(self):
+        graph = barabasi_albert_graph(300, 2, rng=3)
+        max_degree = max(graph.degree(node) for node in graph.nodes())
+        assert max_degree > 10  # heavy tail: some node far exceeds the mean of ~4
+
+    def test_m_must_be_smaller_than_n(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(5, 5, rng=1)
+
+    def test_deterministic_given_seed(self):
+        a = barabasi_albert_graph(50, 2, rng=9)
+        b = barabasi_albert_graph(50, 2, rng=9)
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+
+class TestWattsStrogatz:
+    def test_zero_rewiring_is_ring_lattice(self):
+        graph = watts_strogatz_graph(20, 4, 0.0, rng=1)
+        assert graph.num_edges == 20 * 2
+        assert all(graph.degree(node) == 4 for node in graph.nodes())
+
+    def test_rewiring_preserves_edge_count(self):
+        graph = watts_strogatz_graph(30, 4, 0.5, rng=2)
+        assert graph.num_edges == 30 * 2
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(20, 3, 0.1, rng=1)
+
+    def test_k_must_be_below_n(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(6, 6, 0.1, rng=1)
+
+
+class TestPowerLawConfiguration:
+    def test_node_count(self):
+        assert power_law_configuration_graph(150, rng=1).num_nodes == 150
+
+    def test_min_degree_influences_density(self):
+        sparse = power_law_configuration_graph(200, min_degree=1, rng=2)
+        dense = power_law_configuration_graph(200, min_degree=4, rng=2)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_no_self_loops_or_duplicates(self):
+        graph = power_law_configuration_graph(100, min_degree=2, rng=3)
+        seen = set()
+        for u, v in graph.edges():
+            assert u != v
+            key = frozenset({u, v})
+            assert key not in seen
+            seen.add(key)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            power_law_configuration_graph(50, exponent=0.9, rng=1)
+
+
+class TestForestFire:
+    def test_connected(self):
+        assert is_connected(forest_fire_graph(80, 0.35, rng=4))
+
+    def test_node_count(self):
+        assert forest_fire_graph(60, 0.3, rng=1).num_nodes == 60
+
+    def test_higher_forward_probability_gives_denser_graph(self):
+        sparse = forest_fire_graph(120, 0.1, rng=5)
+        dense = forest_fire_graph(120, 0.5, rng=5)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_forward_probability_one_rejected(self):
+        with pytest.raises(ValueError):
+            forest_fire_graph(10, 1.0, rng=1)
+
+
+class TestPlantedPartition:
+    def test_block_structure(self):
+        graph = planted_partition_graph(2, 20, p_in=0.5, p_out=0.01, rng=6)
+        within = sum(1 for u, v in graph.edges() if (u < 20) == (v < 20))
+        across = graph.num_edges - within
+        assert within > across
+
+    def test_node_count(self):
+        assert planted_partition_graph(3, 10, 0.3, 0.05, rng=1).num_nodes == 30
+
+
+class TestDeterministicTopologies:
+    def test_complete(self):
+        graph = complete_graph(6)
+        assert graph.num_edges == 15
+        assert all(graph.degree(node) == 5 for node in graph.nodes())
+
+    def test_path(self):
+        graph = path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1 and graph.degree(2) == 2
+
+    def test_cycle(self):
+        graph = cycle_graph(5)
+        assert graph.num_edges == 5
+        assert all(graph.degree(node) == 2 for node in graph.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        graph = star_graph(7)
+        assert graph.degree(0) == 7
+        assert graph.num_edges == 7
+
+    def test_grid(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical edges

@@ -1,0 +1,112 @@
+"""Tests for repro.graph.io."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph_json,
+    read_edge_list,
+    read_snap_graph,
+    save_graph_json,
+    write_edge_list,
+)
+from repro.graph.weights import apply_degree_normalized_weights
+
+
+SNAP_SAMPLE = """\
+# Directed graph (each unordered pair of nodes is saved once)
+# Nodes: 5 Edges: 5
+0\t1
+1\t2
+2\t3
+3\t0
+0\t2
+"""
+
+
+class TestReadEdgeList:
+    def test_parses_snap_sample(self):
+        graph = read_edge_list(SNAP_SAMPLE.splitlines())
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 5
+
+    def test_skips_comments_and_blank_lines(self):
+        graph = read_edge_list(["# comment", "", "1 2", "   ", "2 3"])
+        assert graph.num_edges == 2
+
+    def test_skips_self_loops(self):
+        graph = read_edge_list(["1 1", "1 2"])
+        assert graph.num_edges == 1
+
+    def test_collapses_duplicate_edges(self):
+        graph = read_edge_list(["1 2", "2 1", "1 2"])
+        assert graph.num_edges == 1
+
+    def test_integer_node_ids(self):
+        graph = read_edge_list(["10 20"])
+        assert graph.has_node(10) and graph.has_node(20)
+
+    def test_string_node_ids(self):
+        graph = read_edge_list(["alice bob"])
+        assert graph.has_edge("alice", "bob")
+
+    def test_extra_columns_ignored(self):
+        graph = read_edge_list(["1 2 1234567890"])
+        assert graph.has_edge(1, 2)
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(GraphFormatError):
+            read_edge_list(["justonetoken"])
+
+
+class TestFileRoundTrips:
+    def test_snap_file_round_trip(self, tmp_path):
+        original = barabasi_albert_graph(40, 2, rng=3)
+        path = tmp_path / "graph.txt"
+        write_edge_list(original, path, header="test graph")
+        loaded = read_snap_graph(path)
+        assert loaded.num_nodes == original.num_nodes
+        assert loaded.num_edges == original.num_edges
+        assert set(map(frozenset, loaded.edges())) == set(map(frozenset, original.edges()))
+
+    def test_snap_file_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "mynetwork.txt"
+        write_edge_list(barabasi_albert_graph(10, 1, rng=1), path)
+        assert read_snap_graph(path).name == "mynetwork"
+
+    def test_json_round_trip_preserves_weights(self, tmp_path):
+        original = apply_degree_normalized_weights(barabasi_albert_graph(30, 2, rng=5))
+        path = tmp_path / "graph.json"
+        save_graph_json(original, path)
+        loaded = load_graph_json(path)
+        assert loaded.num_edges == original.num_edges
+        for u, v in original.edges():
+            assert loaded.weight(u, v) == pytest.approx(original.weight(u, v))
+            assert loaded.weight(v, u) == pytest.approx(original.weight(v, u))
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("not json at all", encoding="utf-8")
+        with pytest.raises(GraphFormatError):
+            load_graph_json(path)
+
+
+class TestDictConversion:
+    def test_round_trip(self):
+        original = apply_degree_normalized_weights(barabasi_albert_graph(20, 2, rng=7))
+        rebuilt = graph_from_dict(graph_to_dict(original))
+        assert rebuilt.num_nodes == original.num_nodes
+        assert rebuilt.num_edges == original.num_edges
+
+    def test_name_preserved(self):
+        original = barabasi_albert_graph(10, 1, rng=1, name="named")
+        assert graph_from_dict(graph_to_dict(original)).name == "named"
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(GraphFormatError):
+            graph_from_dict({"nodes": [1, 2]})  # missing edges key

@@ -1,0 +1,74 @@
+"""Tests for repro.graph.metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import complete_graph, path_graph, star_graph
+from repro.graph.metrics import GraphStats, average_degree, compute_stats, degree_histogram
+from repro.graph.social_graph import SocialGraph
+
+
+class TestAverageDegree:
+    def test_empty_graph(self):
+        assert average_degree(SocialGraph()) == 0.0
+
+    def test_complete_graph(self):
+        assert average_degree(complete_graph(5)) == pytest.approx(4.0)
+
+    def test_path_graph(self):
+        assert average_degree(path_graph(4)) == pytest.approx(2 * 3 / 4)
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        histogram = degree_histogram(star_graph(4))
+        assert histogram == {4: 1, 1: 4}
+
+    def test_includes_isolated_nodes(self):
+        graph = SocialGraph(nodes=["x"], edges=[(1, 2)])
+        histogram = degree_histogram(graph)
+        assert histogram[0] == 1
+        assert histogram[1] == 2
+
+
+class TestComputeStats:
+    def test_basic_fields(self):
+        stats = compute_stats(complete_graph(6), name="k6")
+        assert stats.name == "k6"
+        assert stats.num_nodes == 6
+        assert stats.num_edges == 15
+        assert stats.avg_degree == pytest.approx(5.0)
+        assert stats.max_degree == 5
+        assert stats.min_degree == 5
+        assert stats.density == pytest.approx(1.0)
+        assert stats.num_components == 1
+        assert stats.largest_component_size == 6
+
+    def test_disconnected_components_counted(self):
+        graph = SocialGraph(edges=[(1, 2), (3, 4), (4, 5)])
+        stats = compute_stats(graph)
+        assert stats.num_components == 2
+        assert stats.largest_component_size == 3
+
+    def test_default_name_comes_from_graph(self):
+        stats = compute_stats(SocialGraph(edges=[(1, 2)], name="tiny"))
+        assert stats.name == "tiny"
+
+    def test_as_row_matches_table1_columns(self):
+        row = compute_stats(star_graph(3), name="star").as_row()
+        assert set(row) == {"dataset", "nodes", "edges", "avg_degree"}
+        assert row["dataset"] == "star"
+        assert row["nodes"] == 4
+
+    def test_stats_is_frozen(self):
+        stats = compute_stats(path_graph(3))
+        with pytest.raises(AttributeError):
+            stats.num_nodes = 99  # type: ignore[misc]
+
+    def test_empty_graph(self):
+        stats = compute_stats(SocialGraph(), name="empty")
+        assert stats.num_nodes == 0
+        assert stats.avg_degree == 0.0
+        assert stats.num_components == 0
+        assert isinstance(stats, GraphStats)

@@ -1,0 +1,95 @@
+"""Tests for repro.graph.sampling (graph down-sampling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import barabasi_albert_graph, path_graph
+from repro.graph.metrics import average_degree
+from repro.graph.sampling import bfs_sample, forest_fire_sample, random_node_sample
+from repro.graph.traversal import connected_components
+from repro.graph.weights import apply_degree_normalized_weights
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    return barabasi_albert_graph(500, 4, rng=3)
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize(
+        "sampler", [random_node_sample, bfs_sample, forest_fire_sample]
+    )
+    def test_target_size_reached(self, big_graph, sampler):
+        sample = sampler(big_graph, 120, rng=1)
+        assert sample.num_nodes == 120
+
+    @pytest.mark.parametrize(
+        "sampler", [random_node_sample, bfs_sample, forest_fire_sample]
+    )
+    def test_is_induced_subgraph(self, big_graph, sampler):
+        sample = sampler(big_graph, 80, rng=2)
+        for u, v in sample.edges():
+            assert big_graph.has_edge(u, v)
+        for node in sample.nodes():
+            assert big_graph.has_node(node)
+
+    @pytest.mark.parametrize(
+        "sampler", [random_node_sample, bfs_sample, forest_fire_sample]
+    )
+    def test_weights_reset(self, big_graph, sampler):
+        weighted = apply_degree_normalized_weights(big_graph.copy())
+        sample = sampler(weighted, 60, rng=3)
+        u, v = next(iter(sample.edges()))
+        assert sample.weight(u, v) == 0.0
+        # Re-applying a scheme makes it usable by the friending model.
+        apply_degree_normalized_weights(sample)
+        sample.validate(require_positive_weights=True)
+
+    @pytest.mark.parametrize(
+        "sampler", [random_node_sample, bfs_sample, forest_fire_sample]
+    )
+    def test_oversized_target_rejected(self, big_graph, sampler):
+        with pytest.raises(GraphError):
+            sampler(big_graph, big_graph.num_nodes + 1, rng=4)
+
+    @pytest.mark.parametrize(
+        "sampler", [random_node_sample, bfs_sample, forest_fire_sample]
+    )
+    def test_deterministic_given_seed(self, big_graph, sampler):
+        a = sampler(big_graph, 50, rng=7)
+        b = sampler(big_graph, 50, rng=7)
+        assert set(a.nodes()) == set(b.nodes())
+        assert set(map(frozenset, a.edges())) == set(map(frozenset, b.edges()))
+
+
+class TestSamplerSpecifics:
+    def test_random_node_sample_whole_graph(self, big_graph):
+        sample = random_node_sample(big_graph, big_graph.num_nodes, rng=1)
+        assert sample.num_edges == big_graph.num_edges
+
+    def test_bfs_sample_is_connected_when_ball_suffices(self, big_graph):
+        sample = bfs_sample(big_graph, 100, seed_node=0, rng=1)
+        components = connected_components(sample)
+        assert len(components[0]) == 100  # BA graphs are connected
+
+    def test_bfs_sample_unknown_seed(self, big_graph):
+        with pytest.raises(GraphError):
+            bfs_sample(big_graph, 10, seed_node=10**9)
+
+    def test_bfs_sample_crosses_components_when_needed(self):
+        graph = path_graph(4)
+        graph.add_edge(10, 11)  # second component
+        sample = bfs_sample(graph, 6, seed_node=0, rng=2)
+        assert sample.num_nodes == 6
+
+    def test_forest_fire_preserves_degree_better_than_random(self, big_graph):
+        """The classic motivation: forest fire keeps the sample denser."""
+        fire = forest_fire_sample(big_graph, 100, forward_probability=0.7, rng=5)
+        random_sample = random_node_sample(big_graph, 100, rng=5)
+        assert average_degree(fire) > average_degree(random_sample)
+
+    def test_forest_fire_invalid_probability(self, big_graph):
+        with pytest.raises(ValueError):
+            forest_fire_sample(big_graph, 10, forward_probability=1.0)

@@ -1,0 +1,221 @@
+"""Tests for repro.graph.social_graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, NodeNotFoundError, WeightError
+from repro.graph.social_graph import SocialGraph
+from repro.graph.weights import apply_degree_normalized_weights
+
+
+class TestConstruction:
+    def test_empty(self):
+        graph = SocialGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_nodes_only(self):
+        graph = SocialGraph(nodes=[1, 2, 3])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+
+    def test_two_tuple_edges(self):
+        graph = SocialGraph(edges=[(1, 2), (2, 3)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_four_tuple_edges_carry_weights(self):
+        graph = SocialGraph(edges=[(1, 2, 0.3, 0.7)])
+        assert graph.weight(1, 2) == 0.3
+        assert graph.weight(2, 1) == 0.7
+
+    def test_bad_edge_tuple_length(self):
+        with pytest.raises(ValueError):
+            SocialGraph(edges=[(1, 2, 0.3)])
+
+    def test_from_edges(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2)])
+        assert graph.has_edge(0, 1) and graph.has_edge(2, 1)
+
+    def test_name(self):
+        assert SocialGraph(name="wiki").name == "wiki"
+
+
+class TestMutation:
+    def test_add_node_idempotent(self):
+        graph = SocialGraph()
+        graph.add_node("a")
+        graph.add_node("a")
+        assert graph.num_nodes == 1
+
+    def test_add_edge_creates_nodes(self):
+        graph = SocialGraph()
+        graph.add_edge("a", "b")
+        assert graph.has_node("a") and graph.has_node("b")
+
+    def test_add_edge_twice_keeps_single_edge(self):
+        graph = SocialGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 2, weight_uv=0.4)
+        assert graph.num_edges == 1
+        assert graph.weight(1, 2) == 0.4
+
+    def test_self_loop_rejected(self):
+        graph = SocialGraph()
+        with pytest.raises(WeightError):
+            graph.add_edge(1, 1)
+
+    def test_weight_out_of_range_rejected(self):
+        graph = SocialGraph()
+        with pytest.raises(WeightError):
+            graph.add_edge(1, 2, weight_uv=1.5)
+
+    def test_remove_edge(self):
+        graph = SocialGraph(edges=[(1, 2), (2, 3)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        graph = SocialGraph(nodes=[1, 2])
+        with pytest.raises(EdgeNotFoundError):
+            graph.remove_edge(1, 2)
+
+    def test_remove_node_drops_incident_edges(self):
+        graph = SocialGraph(edges=[(1, 2), (2, 3), (1, 3)])
+        graph.remove_node(2)
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+        assert graph.has_edge(1, 3)
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            SocialGraph().remove_node("x")
+
+    def test_set_weight(self):
+        graph = SocialGraph(edges=[(1, 2)])
+        graph.set_weight(1, 2, 0.25)
+        assert graph.weight(1, 2) == 0.25
+        assert graph.weight(2, 1) == 0.0
+
+    def test_set_weight_missing_edge(self):
+        graph = SocialGraph(nodes=[1, 2])
+        with pytest.raises(EdgeNotFoundError):
+            graph.set_weight(1, 2, 0.5)
+
+
+class TestInspection:
+    def test_len_and_contains(self):
+        graph = SocialGraph(nodes=[1, 2])
+        assert len(graph) == 2
+        assert 1 in graph
+        assert 3 not in graph
+
+    def test_iteration(self):
+        graph = SocialGraph(nodes=["a", "b"])
+        assert set(graph) == {"a", "b"}
+
+    def test_edges_each_once(self):
+        graph = SocialGraph(edges=[(1, 2), (2, 3), (3, 1)])
+        edges = list(graph.edges())
+        assert len(edges) == 3
+        normalized = {frozenset(edge) for edge in edges}
+        assert normalized == {frozenset({1, 2}), frozenset({2, 3}), frozenset({3, 1})}
+
+    def test_neighbors_and_degree(self):
+        graph = SocialGraph(edges=[(1, 2), (1, 3)])
+        assert set(graph.neighbors(1)) == {2, 3}
+        assert graph.degree(1) == 2
+        assert graph.degree(2) == 1
+
+    def test_neighbor_set_is_frozenset(self):
+        graph = SocialGraph(edges=[(1, 2)])
+        assert isinstance(graph.neighbor_set(1), frozenset)
+
+    def test_neighbors_unknown_node(self):
+        with pytest.raises(NodeNotFoundError):
+            list(SocialGraph().neighbors("ghost"))
+
+    def test_degree_unknown_node(self):
+        with pytest.raises(NodeNotFoundError):
+            SocialGraph().degree("ghost")
+
+    def test_weight_for_non_friends_is_zero(self):
+        graph = SocialGraph(nodes=[1, 2])
+        assert graph.weight(1, 2) == 0.0
+
+    def test_weight_unknown_node(self):
+        graph = SocialGraph(nodes=[1])
+        with pytest.raises(NodeNotFoundError):
+            graph.weight(1, 99)
+
+    def test_in_weights_returns_copy(self):
+        graph = SocialGraph(edges=[(1, 2, 0.5, 0.5)])
+        weights = graph.in_weights(2)
+        weights[1] = 0.9
+        assert graph.weight(1, 2) == 0.5
+
+    def test_total_in_weight(self):
+        graph = SocialGraph(edges=[(1, 2, 0.3, 0.1), (3, 2, 0.4, 0.2)])
+        assert graph.total_in_weight(2) == pytest.approx(0.7)
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        graph = SocialGraph(edges=[(1, 2, 0.5, 0.5)])
+        clone = graph.copy()
+        clone.set_weight(1, 2, 0.1)
+        clone.add_edge(2, 3)
+        assert graph.weight(1, 2) == 0.5
+        assert not graph.has_node(3)
+
+    def test_subgraph_keeps_weights(self):
+        graph = SocialGraph(edges=[(1, 2, 0.2, 0.3), (2, 3, 0.4, 0.5)])
+        sub = graph.subgraph([1, 2])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.weight(1, 2) == 0.2
+        assert sub.weight(2, 1) == 0.3
+
+    def test_subgraph_unknown_node(self):
+        graph = SocialGraph(nodes=[1])
+        with pytest.raises(NodeNotFoundError):
+            graph.subgraph([1, 99])
+
+    def test_without_nodes(self):
+        graph = SocialGraph(edges=[(1, 2), (2, 3), (3, 4)])
+        reduced = graph.without_nodes([2])
+        assert not reduced.has_node(2)
+        assert reduced.has_edge(3, 4)
+        assert reduced.num_edges == 1
+
+    def test_networkx_round_trip(self):
+        graph = SocialGraph(edges=[(1, 2, 0.2, 0.8), (2, 3, 0.5, 0.5)], name="rt")
+        back = SocialGraph.from_networkx(graph.to_networkx(), name="rt")
+        assert back.num_nodes == graph.num_nodes
+        assert back.num_edges == graph.num_edges
+        assert back.weight(1, 2) == 0.2
+        assert back.weight(2, 1) == 0.8
+
+
+class TestValidation:
+    def test_validate_accepts_normalized(self, small_ba_graph):
+        small_ba_graph.validate(require_positive_weights=True)
+
+    def test_validate_rejects_overweight_node(self):
+        graph = SocialGraph(edges=[(1, 2, 0.7, 0.7), (3, 2, 0.7, 0.7)])
+        with pytest.raises(WeightError):
+            graph.validate()
+
+    def test_validate_positive_weights(self):
+        graph = SocialGraph(edges=[(1, 2)])
+        graph.validate()  # zero weights allowed by default
+        with pytest.raises(WeightError):
+            graph.validate(require_positive_weights=True)
+
+    def test_is_normalized(self):
+        good = apply_degree_normalized_weights(SocialGraph(edges=[(1, 2), (2, 3)]))
+        assert good.is_normalized()
+        bad = SocialGraph(edges=[(1, 2, 0.8, 0.8), (3, 2, 0.8, 0.8)])
+        assert not bad.is_normalized()

@@ -1,0 +1,250 @@
+"""Tests for repro.graph.traversal.
+
+The biconnected-component machinery is cross-checked against networkx on
+random graphs, and the simple-path membership routine (the basis of the
+Vmax computation) is cross-checked against brute-force path enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.social_graph import SocialGraph
+from repro.graph.traversal import (
+    articulation_points,
+    bfs_distances,
+    bfs_tree,
+    biconnected_components,
+    block_cut_tree,
+    connected_component,
+    connected_components,
+    is_connected,
+    nodes_on_simple_paths,
+    shortest_path,
+    vertex_disjoint_shortest_paths,
+)
+
+
+class TestBfs:
+    def test_distances_on_path(self):
+        distances = bfs_distances(path_graph(5), 0)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_multi_source(self):
+        distances = bfs_distances(path_graph(5), [0, 4])
+        assert distances[2] == 2
+        assert distances[1] == 1
+        assert distances[3] == 1
+
+    def test_blocked_nodes_are_not_traversed(self):
+        distances = bfs_distances(path_graph(5), 0, blocked={2})
+        assert 3 not in distances
+        assert 4 not in distances
+
+    def test_unknown_source(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(path_graph(3), 99)
+
+    def test_bfs_tree_parents(self):
+        parents = bfs_tree(path_graph(4), 0)
+        assert parents[0] is None
+        assert parents[3] == 2
+
+
+class TestShortestPath:
+    def test_path_endpoints(self):
+        path = shortest_path(grid_graph(3, 3), 0, 8)
+        assert path[0] == 0 and path[-1] == 8
+        assert len(path) == 5  # manhattan distance 4 -> 5 nodes
+
+    def test_consecutive_nodes_are_adjacent(self):
+        graph = erdos_renyi_graph(60, 0.08, rng=1)
+        components = connected_components(graph)
+        nodes = sorted(components[0])[:2]
+        path = shortest_path(graph, nodes[0], nodes[1])
+        assert path is not None
+        for u, v in zip(path, path[1:]):
+            assert graph.has_edge(u, v)
+
+    def test_same_source_and_target(self):
+        assert shortest_path(path_graph(3), 1, 1) == [1]
+
+    def test_disconnected_returns_none(self):
+        graph = SocialGraph(edges=[(1, 2), (3, 4)])
+        assert shortest_path(graph, 1, 4) is None
+
+    def test_blocked_internal_node_forces_detour(self):
+        graph = cycle_graph(6)
+        direct = shortest_path(graph, 0, 2)
+        assert direct == [0, 1, 2]
+        detour = shortest_path(graph, 0, 2, blocked={1})
+        assert detour == [0, 5, 4, 3, 2]
+
+
+class TestVertexDisjointShortestPaths:
+    def test_cycle_has_two_disjoint_paths(self):
+        paths = vertex_disjoint_shortest_paths(cycle_graph(6), 0, 3)
+        assert len(paths) == 2
+        internals = [set(path[1:-1]) for path in paths]
+        assert internals[0].isdisjoint(internals[1])
+
+    def test_path_graph_has_one(self):
+        assert len(vertex_disjoint_shortest_paths(path_graph(5), 0, 4)) == 1
+
+    def test_direct_edge_used_once(self):
+        graph = SocialGraph(edges=[(0, 1), (0, 2), (2, 1)])
+        paths = vertex_disjoint_shortest_paths(graph, 0, 1)
+        assert [0, 1] in paths
+        assert len(paths) == 2
+
+    def test_max_paths_cap(self):
+        paths = vertex_disjoint_shortest_paths(grid_graph(4, 4), 0, 15, max_paths=1)
+        assert len(paths) == 1
+
+    def test_paths_sorted_by_length(self):
+        graph = SocialGraph(edges=[(0, 1), (1, 5), (0, 2), (2, 3), (3, 5)])
+        paths = vertex_disjoint_shortest_paths(graph, 0, 5)
+        lengths = [len(path) for path in paths]
+        assert lengths == sorted(lengths)
+
+    def test_source_equals_target(self):
+        assert vertex_disjoint_shortest_paths(path_graph(3), 1, 1) == [[1]]
+
+
+class TestConnectivity:
+    def test_connected_component(self):
+        graph = SocialGraph(edges=[(1, 2), (2, 3), (5, 6)])
+        assert connected_component(graph, 1) == {1, 2, 3}
+
+    def test_components_sorted_by_size(self):
+        graph = SocialGraph(edges=[(1, 2), (3, 4), (4, 5), (5, 6)])
+        components = connected_components(graph)
+        assert len(components[0]) == 4
+        assert len(components[1]) == 2
+
+    def test_isolated_nodes_are_singleton_components(self):
+        graph = SocialGraph(nodes=["x"], edges=[(1, 2)])
+        components = connected_components(graph)
+        assert frozenset({"x"}) in components
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(5))
+        assert not is_connected(SocialGraph(edges=[(1, 2), (3, 4)]))
+        assert is_connected(SocialGraph())
+
+
+def _to_networkx(graph: SocialGraph) -> nx.Graph:
+    result = nx.Graph()
+    result.add_nodes_from(graph.nodes())
+    result.add_edges_from(graph.edges())
+    return result
+
+
+class TestBiconnectedComponents:
+    def test_single_edge_is_a_block(self):
+        assert biconnected_components(path_graph(2)) == [frozenset({0, 1})]
+
+    def test_path_graph_blocks_are_edges(self):
+        blocks = biconnected_components(path_graph(4))
+        assert sorted(blocks, key=sorted) == [
+            frozenset({0, 1}),
+            frozenset({1, 2}),
+            frozenset({2, 3}),
+        ]
+
+    def test_cycle_is_single_block(self):
+        blocks = biconnected_components(cycle_graph(5))
+        assert blocks == [frozenset(range(5))]
+
+    def test_articulation_points_of_star(self):
+        assert articulation_points(star_graph(4)) == frozenset({0})
+
+    def test_articulation_points_of_cycle(self):
+        assert articulation_points(cycle_graph(5)) == frozenset()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_matches_networkx_on_random_graphs(self, seed):
+        graph = erdos_renyi_graph(40, 0.07, rng=seed)
+        ours = {frozenset(block) for block in biconnected_components(graph)}
+        reference = {frozenset(block) for block in nx.biconnected_components(_to_networkx(graph))}
+        assert ours == reference
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_articulation_points_match_networkx(self, seed):
+        graph = barabasi_albert_graph(60, 1, rng=seed)
+        ours = set(articulation_points(graph))
+        reference = set(nx.articulation_points(_to_networkx(graph)))
+        assert ours == reference
+
+
+class TestBlockCutTree:
+    def test_tree_node_of_cut_vertex(self):
+        tree = block_cut_tree(star_graph(3))
+        assert tree.tree_node_of(0) == ("cut", 0)
+        kind, index = tree.tree_node_of(1)
+        assert kind == "block"
+        assert 1 in tree.blocks[index]
+
+    def test_tree_path_between_leaves_of_star(self):
+        tree = block_cut_tree(star_graph(3))
+        path = tree.tree_path(tree.tree_node_of(1), tree.tree_node_of(2))
+        assert path is not None
+        assert ("cut", 0) in path
+
+    def test_isolated_node_has_no_tree_node(self):
+        graph = SocialGraph(nodes=["iso"], edges=[(1, 2)])
+        assert block_cut_tree(graph).tree_node_of("iso") is None
+
+
+def _brute_force_path_nodes(graph: SocialGraph, source, target) -> frozenset:
+    """Nodes on at least one simple source-target path, by exhaustive search."""
+    nx_graph = _to_networkx(graph)
+    if source == target:
+        return frozenset({source})
+    if source not in nx_graph or target not in nx_graph:
+        return frozenset()
+    result: set = set()
+    if nx.has_path(nx_graph, source, target):
+        for path in nx.all_simple_paths(nx_graph, source, target):
+            result.update(path)
+    return frozenset(result)
+
+
+class TestNodesOnSimplePaths:
+    def test_path_graph(self):
+        assert nodes_on_simple_paths(path_graph(5), 0, 4) == frozenset(range(5))
+
+    def test_cycle_graph_includes_both_arcs(self):
+        assert nodes_on_simple_paths(cycle_graph(6), 0, 3) == frozenset(range(6))
+
+    def test_dangling_branch_excluded(self):
+        #   0 - 1 - 2 - 3   with a pendant 4 attached to 1.
+        graph = SocialGraph(edges=[(0, 1), (1, 2), (2, 3), (1, 4)])
+        assert nodes_on_simple_paths(graph, 0, 3) == frozenset({0, 1, 2, 3})
+
+    def test_disconnected_pair(self):
+        graph = SocialGraph(edges=[(0, 1), (2, 3)])
+        assert nodes_on_simple_paths(graph, 0, 3) == frozenset()
+
+    def test_source_equals_target(self):
+        assert nodes_on_simple_paths(path_graph(3), 1, 1) == frozenset({1})
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_matches_brute_force_on_random_graphs(self, seed, rng):
+        graph = erdos_renyi_graph(12, 0.2, rng=seed)
+        nodes = graph.node_list()
+        for source, target in itertools.islice(itertools.combinations(nodes, 2), 12):
+            expected = _brute_force_path_nodes(graph, source, target)
+            assert nodes_on_simple_paths(graph, source, target) == expected

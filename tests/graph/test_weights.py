@@ -1,0 +1,114 @@
+"""Tests for repro.graph.weights."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WeightError
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.social_graph import SocialGraph
+from repro.graph.weights import (
+    apply_degree_normalized_weights,
+    apply_explicit_weights,
+    apply_random_weights,
+    apply_uniform_weights,
+    assert_degree_normalized,
+    validate_weights,
+)
+
+
+class TestDegreeNormalized:
+    def test_each_incoming_weight_is_one_over_degree(self):
+        graph = apply_degree_normalized_weights(star_graph(4))
+        # Leaves have degree 1, so their single incoming weight is 1.
+        assert graph.weight(0, 1) == pytest.approx(1.0)
+        # The centre has degree 4, so every incoming weight is 1/4.
+        assert graph.weight(1, 0) == pytest.approx(0.25)
+
+    def test_incoming_sums_to_one(self, small_ba_graph):
+        for node in small_ba_graph.nodes():
+            if small_ba_graph.degree(node) > 0:
+                assert small_ba_graph.total_in_weight(node) == pytest.approx(1.0)
+
+    def test_returns_same_graph_for_chaining(self):
+        graph = path_graph(3)
+        assert apply_degree_normalized_weights(graph) is graph
+
+    def test_isolated_nodes_ignored(self):
+        graph = SocialGraph(nodes=["lonely"], edges=[(1, 2)])
+        apply_degree_normalized_weights(graph)
+        assert graph.total_in_weight("lonely") == 0.0
+
+    def test_assert_degree_normalized_accepts(self):
+        assert_degree_normalized(apply_degree_normalized_weights(path_graph(4)))
+
+    def test_assert_degree_normalized_rejects(self):
+        graph = apply_uniform_weights(path_graph(4), weight=0.1)
+        with pytest.raises(WeightError):
+            assert_degree_normalized(graph)
+
+
+class TestUniform:
+    def test_constant_weight(self):
+        graph = apply_uniform_weights(path_graph(4), weight=0.2)
+        assert graph.weight(0, 1) == pytest.approx(0.2)
+
+    def test_normalization_caps_incoming_sum(self):
+        graph = apply_uniform_weights(star_graph(8), weight=0.3)
+        # The centre has 8 neighbours; 8 * 0.3 > 1 so weights are scaled to 1/8.
+        assert graph.total_in_weight(0) == pytest.approx(1.0)
+        assert graph.weight(1, 0) == pytest.approx(1.0 / 8.0)
+
+    def test_without_normalization_keeps_raw_value(self):
+        graph = apply_uniform_weights(star_graph(3), weight=0.1, normalize=False)
+        assert graph.weight(1, 0) == pytest.approx(0.1)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            apply_uniform_weights(path_graph(3), weight=1.5)
+
+
+class TestRandom:
+    def test_incoming_sums_to_one(self):
+        graph = apply_random_weights(star_graph(5), rng=3)
+        assert graph.total_in_weight(0) == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        a = apply_random_weights(path_graph(6), rng=9)
+        b = apply_random_weights(path_graph(6), rng=9)
+        for u, v in a.edges():
+            assert a.weight(u, v) == pytest.approx(b.weight(u, v))
+
+    def test_all_weights_positive(self):
+        graph = apply_random_weights(path_graph(6), rng=4)
+        validate_weights(graph, require_positive=True)
+
+
+class TestExplicit:
+    def test_sets_given_pairs(self):
+        graph = path_graph(3)
+        apply_explicit_weights(graph, {(0, 1): 0.4, (1, 0): 0.6})
+        assert graph.weight(0, 1) == 0.4
+        assert graph.weight(1, 0) == 0.6
+
+    def test_rejects_unknown_edge(self):
+        graph = path_graph(3)
+        with pytest.raises(Exception):
+            apply_explicit_weights(graph, {(0, 2): 0.4})
+
+    def test_rejects_invalid_result(self):
+        graph = path_graph(3)
+        with pytest.raises(WeightError):
+            apply_explicit_weights(graph, {(0, 1): 0.9, (2, 1): 0.9})
+
+
+class TestValidateWeights:
+    def test_accepts_degree_normalized(self, triangle_graph):
+        validate_weights(triangle_graph)
+
+    def test_rejects_zero_weights_in_strict_mode(self):
+        with pytest.raises(WeightError):
+            validate_weights(path_graph(3), require_positive=True)
+
+    def test_lenient_mode_allows_zero_weights(self):
+        validate_weights(path_graph(3), require_positive=False)

@@ -1,0 +1,125 @@
+"""End-to-end integration tests of the full RAF pipeline.
+
+These exercise the whole stack -- dataset stand-in, pair selection, RAF,
+baselines, evaluation -- and assert the qualitative relationships the paper
+reports: RAF meets its guarantee, stays within Vmax, and is at least as
+effective as the HD and SP heuristics at the same invitation budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.high_degree import high_degree_invitation
+from repro.baselines.shortest_path import shortest_path_invitation
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.raf import RAFConfig, run_raf
+from repro.core.parameters import SamplePolicy
+from repro.core.vmax import compute_vmax
+from repro.experiments.harness import evaluate_invitation
+from repro.experiments.pair_selection import select_pairs
+from repro.graph.datasets import load_dataset
+from repro.graph.io import read_snap_graph, write_edge_list
+from repro.graph.weights import apply_degree_normalized_weights
+
+EVAL_SAMPLES = 1200
+RAF_CONFIG = RAFConfig(
+    epsilon=0.02,
+    sample_policy=SamplePolicy.FIXED,
+    fixed_realizations=4000,
+    pmax_max_samples=40_000,
+)
+
+
+@pytest.fixture(scope="module")
+def wiki_instance():
+    graph = load_dataset("wiki", scale=0.06, rng=23)
+    pairs = select_pairs(
+        graph, 3, pmax_threshold=0.02, pmax_ceiling=0.5, min_distance=3,
+        screen_samples=400, rng=29,
+    )
+    return graph, pairs
+
+
+class TestRafPipeline:
+    def test_guarantee_holds_for_each_pair(self, wiki_instance):
+        graph, pairs = wiki_instance
+        alpha = 0.2
+        for index, pair in enumerate(pairs):
+            problem = ActiveFriendingProblem(graph, pair.source, pair.target, alpha=alpha)
+            result = run_raf(problem, RAF_CONFIG, rng=100 + index)
+            achieved = evaluate_invitation(
+                graph, pair.source, pair.target, result.invitation,
+                num_samples=EVAL_SAMPLES, rng=200 + index,
+            )
+            # f(I*) >= (alpha - eps) * pmax, with Monte Carlo slack.
+            floor = (alpha - RAF_CONFIG.epsilon) * pair.pmax
+            assert achieved >= floor - 0.04
+
+    def test_invitation_is_subset_of_vmax_and_smaller(self, wiki_instance):
+        graph, pairs = wiki_instance
+        for index, pair in enumerate(pairs):
+            problem = ActiveFriendingProblem(graph, pair.source, pair.target, alpha=0.1)
+            result = run_raf(problem, RAF_CONFIG, rng=300 + index)
+            vmax = compute_vmax(graph, pair.source, pair.target)
+            assert result.invitation <= vmax
+            assert result.size <= len(vmax)
+
+    def test_raf_not_worse_than_baselines_at_equal_budget(self, wiki_instance):
+        """The Fig. 3 relationship: averaged over pairs, RAF >= SP and RAF >= HD."""
+        graph, pairs = wiki_instance
+        alpha = 0.2
+        raf_total, hd_total, sp_total = 0.0, 0.0, 0.0
+        for index, pair in enumerate(pairs):
+            problem = ActiveFriendingProblem(graph, pair.source, pair.target, alpha=alpha)
+            raf = run_raf(problem, RAF_CONFIG, rng=400 + index)
+            budget = max(1, raf.size)
+            hd = high_degree_invitation(problem, budget)
+            sp = shortest_path_invitation(problem, budget)
+            raf_total += evaluate_invitation(
+                graph, pair.source, pair.target, raf.invitation, EVAL_SAMPLES, rng=500 + index
+            )
+            hd_total += evaluate_invitation(
+                graph, pair.source, pair.target, hd.invitation, EVAL_SAMPLES, rng=600 + index
+            )
+            sp_total += evaluate_invitation(
+                graph, pair.source, pair.target, sp.invitation, EVAL_SAMPLES, rng=700 + index
+            )
+        assert raf_total >= hd_total - 0.02
+        assert raf_total >= sp_total - 0.02
+
+    def test_alpha_one_solution_is_vmax_superset_of_raf(self, wiki_instance):
+        graph, pairs = wiki_instance
+        pair = pairs[0]
+        vmax = compute_vmax(graph, pair.source, pair.target)
+        problem = ActiveFriendingProblem(graph, pair.source, pair.target, alpha=0.3)
+        result = run_raf(problem, RAF_CONFIG, rng=800)
+        assert result.invitation <= vmax
+        f_vmax = evaluate_invitation(
+            graph, pair.source, pair.target, vmax, EVAL_SAMPLES, rng=801
+        )
+        f_raf = evaluate_invitation(
+            graph, pair.source, pair.target, result.invitation, EVAL_SAMPLES, rng=802
+        )
+        assert f_vmax >= f_raf - 0.03
+
+
+class TestSnapFileWorkflow:
+    def test_raf_runs_on_graph_loaded_from_edge_list(self, tmp_path):
+        """The documented drop-in-your-own-SNAP-file workflow works end to end."""
+        original = load_dataset("hepth", scale=0.02, rng=31, weighted=False)
+        path = tmp_path / "hepth_sample.txt"
+        write_edge_list(original, path, header="sampled hepth stand-in")
+        graph = apply_degree_normalized_weights(read_snap_graph(path))
+        pairs = select_pairs(
+            graph, 1, pmax_threshold=0.02, pmax_ceiling=0.6, min_distance=3,
+            screen_samples=300, rng=37,
+        )
+        pair = pairs[0]
+        problem = ActiveFriendingProblem(graph, pair.source, pair.target, alpha=0.2)
+        result = run_raf(problem, RAF_CONFIG, rng=900)
+        assert pair.target in result.invitation
+        achieved = evaluate_invitation(
+            graph, pair.source, pair.target, result.invitation, 800, rng=901
+        )
+        assert achieved > 0.0

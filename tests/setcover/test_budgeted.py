@@ -1,0 +1,69 @@
+"""Tests for repro.setcover.budgeted."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.setcover.budgeted import budgeted_trace_cover
+from repro.setcover.hypergraph import SetSystem
+
+
+@pytest.fixture
+def trace_system() -> SetSystem:
+    return SetSystem(
+        [{"t"}, {"t"}, {"t", "u"}, {"t", "u", "v"}, {"t", "w", "x"}],
+    )
+
+
+class TestBudgetedTraceCover:
+    def test_budget_respected(self, trace_system):
+        for budget in range(1, 6):
+            result = budgeted_trace_cover(trace_system, budget)
+            assert result.size <= budget
+            assert result.budget == budget
+
+    def test_budget_one_takes_the_duplicated_singleton(self, trace_system):
+        result = budgeted_trace_cover(trace_system, 1)
+        assert result.cover == frozenset({"t"})
+        assert result.covered_weight == 2
+
+    def test_budget_two_adds_the_best_second_node(self, trace_system):
+        result = budgeted_trace_cover(trace_system, 2)
+        assert result.cover == frozenset({"t", "u"})
+        assert result.covered_weight == 3
+
+    def test_full_budget_covers_everything(self, trace_system):
+        result = budgeted_trace_cover(trace_system, 10)
+        assert result.covered_weight == trace_system.total_weight
+
+    def test_coverage_monotone_in_budget(self, trace_system):
+        previous = 0
+        for budget in range(1, 8):
+            covered = budgeted_trace_cover(trace_system, budget).covered_weight
+            assert covered >= previous
+            previous = covered
+
+    def test_covered_weight_consistent_with_system(self, trace_system):
+        result = budgeted_trace_cover(trace_system, 3)
+        assert result.covered_weight == trace_system.covered_weight(result.cover)
+
+    def test_insufficient_budget_for_any_trace(self):
+        system = SetSystem([{"a", "b", "c"}])
+        result = budgeted_trace_cover(system, 2)
+        assert result.covered_weight == 0
+
+    def test_invalid_budget(self, trace_system):
+        with pytest.raises(ValueError):
+            budgeted_trace_cover(trace_system, 0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_systems_feasibility(self, seed):
+        rng = random.Random(seed)
+        sets = [set(rng.sample(range(15), rng.randint(1, 4))) for _ in range(20)]
+        system = SetSystem(sets)
+        budget = rng.randint(1, 10)
+        result = budgeted_trace_cover(system, budget)
+        assert result.size <= budget
+        assert result.covered_weight == system.covered_weight(result.cover)

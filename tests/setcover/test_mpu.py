@@ -1,0 +1,196 @@
+"""Tests for repro.setcover.mpu (Minimum p-Union solvers)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import InfeasibleCoverError, SetCoverError
+from repro.setcover.hypergraph import SetSystem
+from repro.setcover.mpu import (
+    chlamtac_mpu,
+    chlamtac_ratio_bound,
+    exact_mpu,
+    greedy_min_union,
+    local_search_improve,
+    smallest_sets_union,
+)
+
+
+def _random_system(rng: random.Random, num_sets: int, universe_size: int, max_set_size: int) -> SetSystem:
+    universe = list(range(universe_size))
+    sets = []
+    for _ in range(num_sets):
+        size = rng.randint(1, max_set_size)
+        sets.append(set(rng.sample(universe, size)))
+    return SetSystem(sets)
+
+
+@pytest.fixture
+def overlap_system() -> SetSystem:
+    """Three heavily overlapping sets plus two disjoint large ones."""
+    return SetSystem(
+        [
+            {"a", "b"},
+            {"b", "c"},
+            {"a", "c"},
+            {"x", "y", "z", "w"},
+            {"p", "q", "r", "s"},
+        ]
+    )
+
+
+class TestGreedyMinUnion:
+    def test_prefers_overlapping_sets(self, overlap_system):
+        result = greedy_min_union(overlap_system, 3)
+        assert result.union == frozenset({"a", "b", "c"})
+        assert result.covered_weight == 3
+
+    def test_single_set(self, overlap_system):
+        result = greedy_min_union(overlap_system, 1)
+        assert result.union_size == 2
+
+    def test_weighted_sets_count_multiplicity(self):
+        system = SetSystem([{"a", "b"}, {"c"}], weights=[5, 1])
+        result = greedy_min_union(system, 5)
+        assert result.union == frozenset({"a", "b"})
+
+    def test_multiplicity_preference_can_be_disabled(self):
+        system = SetSystem([{"a", "b", "c"}, {"d"}], weights=[10, 1])
+        ratio = greedy_min_union(system, 1, prefer_multiplicity=True)
+        plain = greedy_min_union(system, 1, prefer_multiplicity=False)
+        # With multiplicity preference the big heavy set wins (0.3 < 1);
+        # without it the singleton wins.
+        assert ratio.union == frozenset({"a", "b", "c"})
+        assert plain.union == frozenset({"d"})
+
+    def test_infeasible_target(self, overlap_system):
+        with pytest.raises(InfeasibleCoverError):
+            greedy_min_union(overlap_system, 99)
+
+    def test_invalid_target(self, overlap_system):
+        with pytest.raises(ValueError):
+            greedy_min_union(overlap_system, 0)
+
+    def test_result_is_feasible_on_random_systems(self):
+        rng = random.Random(1)
+        for _ in range(10):
+            system = _random_system(rng, 30, 20, 5)
+            p = rng.randint(1, 30)
+            result = greedy_min_union(system, p)
+            assert result.covered_weight >= p
+            assert result.union == system.union_of(result.selected_indices)
+
+
+class TestSmallestSets:
+    def test_picks_smallest_cardinality_first(self, overlap_system):
+        result = smallest_sets_union(overlap_system, 1)
+        assert result.union_size == 2
+
+    def test_accumulates_until_target(self, overlap_system):
+        result = smallest_sets_union(overlap_system, 4)
+        assert result.covered_weight >= 4
+
+    def test_infeasible(self, overlap_system):
+        with pytest.raises(InfeasibleCoverError):
+            smallest_sets_union(overlap_system, 6)
+
+
+class TestLocalSearch:
+    def test_never_worsens(self):
+        rng = random.Random(5)
+        for _ in range(5):
+            system = _random_system(rng, 15, 12, 4)
+            p = rng.randint(2, 10)
+            base = smallest_sets_union(system, p)
+            improved = local_search_improve(system, p, base, max_rounds=3)
+            assert improved.union_size <= base.union_size
+            assert improved.covered_weight >= p
+
+    def test_finds_obvious_swap(self):
+        system = SetSystem([{"a", "b", "c", "d"}, {"x"}, {"y"}, {"x", "y"}])
+        # Start from the large set plus one singleton; swapping the large
+        # set for the other singleton shrinks the union.
+        from repro.setcover.mpu import MpUResult
+
+        start = MpUResult(selected_indices=(0, 1), union=frozenset("abcdx"), covered_weight=2)
+        improved = local_search_improve(system, 2, start)
+        assert improved.union_size <= 2
+
+
+class TestChlamtacMpu:
+    def test_at_least_as_good_as_both_candidates(self):
+        rng = random.Random(9)
+        for _ in range(8):
+            system = _random_system(rng, 25, 18, 5)
+            p = rng.randint(2, 20)
+            combined = chlamtac_mpu(system, p)
+            greedy = greedy_min_union(system, p)
+            smallest = smallest_sets_union(system, p)
+            assert combined.union_size <= min(greedy.union_size, smallest.union_size)
+            assert combined.covered_weight >= p
+
+    def test_solver_name_recorded(self, overlap_system):
+        assert chlamtac_mpu(overlap_system, 2).solver.startswith("chlamtac")
+
+    def test_ratio_bound(self):
+        assert chlamtac_ratio_bound(25) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            chlamtac_ratio_bound(0)
+
+
+class TestExactMpu:
+    def test_simple_instance(self, overlap_system):
+        result = exact_mpu(overlap_system, 3)
+        assert result.union == frozenset({"a", "b", "c"})
+
+    def test_weighted_optimum_may_use_many_small_sets(self):
+        # One heavy large set vs two light small ones: covering weight 2 is
+        # cheapest with the two singletons.
+        system = SetSystem([{"a", "b", "c", "d"}, {"x"}, {"x", "y"}], weights=[2, 1, 1])
+        result = exact_mpu(system, 2)
+        assert result.union == frozenset({"x", "y"})
+
+    def test_refuses_large_instances(self):
+        system = SetSystem([{i} for i in range(30)])
+        with pytest.raises(SetCoverError):
+            exact_mpu(system, 2)
+
+    def test_infeasible(self):
+        with pytest.raises(InfeasibleCoverError):
+            exact_mpu(SetSystem([{"a"}]), 2)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_heuristics_never_beat_exact(self, seed):
+        rng = random.Random(seed)
+        system = _random_system(rng, 10, 10, 4)
+        p = rng.randint(1, 8)
+        optimal = exact_mpu(system, p)
+        for heuristic in (greedy_min_union, smallest_sets_union, chlamtac_mpu):
+            result = heuristic(system, p)
+            assert result.union_size >= optimal.union_size
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_chlamtac_within_theoretical_ratio(self, seed):
+        """The practical solver easily satisfies the 2*sqrt(|U|) bound on small instances."""
+        rng = random.Random(100 + seed)
+        system = _random_system(rng, 12, 10, 4)
+        p = rng.randint(1, 10)
+        optimal = exact_mpu(system, p)
+        result = chlamtac_mpu(system, p)
+        assert result.union_size <= chlamtac_ratio_bound(system.num_sets) * max(1, optimal.union_size)
+
+    def test_exact_matches_brute_force_enumeration(self):
+        rng = random.Random(77)
+        system = _random_system(rng, 8, 8, 3)
+        p = 4
+        from itertools import combinations
+
+        best = None
+        for size in range(1, 9):
+            for combo in combinations(range(8), size):
+                if system.weight_of(combo) >= p:
+                    union_size = len(system.union_of(combo))
+                    best = union_size if best is None else min(best, union_size)
+        assert exact_mpu(system, p).union_size == best

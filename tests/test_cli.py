@@ -1,0 +1,140 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.datasets import load_dataset
+from repro.graph.io import write_edge_list
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_experiment_requires_known_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["raf"])
+        assert args.dataset == "wiki"
+        assert args.alpha == 0.1
+        assert args.seed == 2019
+
+
+class TestDatasetsCommand:
+    def test_prints_table1(self, capsys):
+        assert main(["datasets", "--scale", "0.005"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        for name in ("wiki", "hepth", "hepph", "youtube"):
+            assert name in output
+
+
+class TestRafCommand:
+    def test_auto_pair_run(self, capsys):
+        code = main([
+            "--seed", "3", "raf", "--dataset", "wiki", "--scale", "0.04",
+            "--alpha", "0.2", "--realizations", "1500", "--eval-samples", "200",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "auto-selected pair" in output
+        assert "RAF invitation set" in output
+        assert "pmax estimate" in output
+
+    def test_explicit_pair_with_baselines(self, capsys):
+        graph = load_dataset("wiki", scale=0.04, rng=3)
+        # Find a valid non-adjacent pair deterministically.
+        nodes = graph.node_list()
+        source = nodes[0]
+        target = next(n for n in reversed(nodes) if n != source and not graph.has_edge(source, n))
+        code = main([
+            "--seed", "3", "raf", "--dataset", "wiki", "--scale", "0.04",
+            "--source", str(source), "--target", str(target),
+            "--realizations", "1200", "--eval-samples", "150", "--compare-baselines",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Baselines at the same budget" in output
+        assert "HD" in output and "SP" in output
+
+    def test_source_without_target_is_an_error(self, capsys):
+        code = main(["raf", "--dataset", "wiki", "--scale", "0.04", "--source", "1"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_invalid_pair_reports_error(self, capsys):
+        code = main([
+            "raf", "--dataset", "wiki", "--scale", "0.04",
+            "--source", "1", "--target", "1", "--realizations", "500",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestVmaxAndMaximize:
+    def test_vmax_command(self, capsys):
+        code = main([
+            "--seed", "3", "vmax", "--dataset", "wiki", "--scale", "0.04",
+        ])
+        assert code == 0
+        assert "|Vmax| =" in capsys.readouterr().out
+
+    def test_maximize_command(self, capsys):
+        code = main([
+            "--seed", "3", "maximize", "--dataset", "wiki", "--scale", "0.04",
+            "--budget", "8", "--realizations", "1200",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "budgeted invitation set" in output
+        assert "fraction of pmax" in output
+
+
+class TestExperimentCommand:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.005", "--pairs", "1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_fig3_single_dataset(self, capsys):
+        code = main([
+            "--seed", "11", "experiment", "fig3", "--dataset", "wiki", "--scale", "0.04",
+            "--pairs", "1", "--realizations", "800", "--eval-samples", "100",
+        ])
+        assert code == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+    def test_table2_single_dataset(self, capsys):
+        code = main([
+            "--seed", "11", "experiment", "table2", "--dataset", "wiki", "--scale", "0.04",
+            "--pairs", "1", "--realizations", "800", "--eval-samples", "100",
+        ])
+        assert code == 0
+        assert "Table II" in capsys.readouterr().out
+
+    def test_fig6_single_dataset(self, capsys):
+        code = main([
+            "--seed", "11", "experiment", "fig6", "--dataset", "wiki", "--scale", "0.04",
+            "--pairs", "1", "--realizations", "600", "--eval-samples", "100",
+        ])
+        assert code == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
+    def test_edge_list_input(self, capsys, tmp_path):
+        graph = load_dataset("wiki", scale=0.04, rng=13, weighted=False)
+        path = tmp_path / "custom.txt"
+        write_edge_list(graph, path)
+        code = main([
+            "--seed", "11", "experiment", "fig3", "--edge-list", str(path),
+            "--pairs", "1", "--realizations", "800", "--eval-samples", "100",
+        ])
+        assert code == 0
+        assert "Fig. 3" in capsys.readouterr().out

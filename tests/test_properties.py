@@ -1,0 +1,250 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import ParameterCoupling, solve_parameters
+from repro.diffusion.realization import sample_realization, trace_target_path
+from repro.diffusion.reverse_sampling import sample_target_path
+from repro.estimation.bounds import chernoff_bound, chernoff_sample_size
+from repro.estimation.stopping_rule import stopping_rule_threshold
+from repro.graph.social_graph import SocialGraph
+from repro.graph.traversal import connected_components, nodes_on_simple_paths
+from repro.graph.weights import apply_degree_normalized_weights
+from repro.setcover.hypergraph import SetSystem
+from repro.setcover.mpu import greedy_min_union, smallest_sets_union
+from repro.types import Interval
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(lambda edge: edge[0] != edge[1]),
+    min_size=1,
+    max_size=40,
+)
+
+set_families = st.lists(
+    st.sets(st.integers(0, 12), min_size=1, max_size=5),
+    min_size=1,
+    max_size=12,
+)
+
+DEFAULT_SETTINGS = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def _graph_from_edges(edges) -> SocialGraph:
+    graph = SocialGraph()
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# Graph invariants
+# --------------------------------------------------------------------------- #
+
+
+@DEFAULT_SETTINGS
+@given(edges=edge_lists)
+def test_edge_count_equals_distinct_pairs(edges):
+    graph = _graph_from_edges(edges)
+    distinct = {frozenset(edge) for edge in edges}
+    assert graph.num_edges == len(distinct)
+    assert sum(graph.degree(node) for node in graph.nodes()) == 2 * graph.num_edges
+
+
+@DEFAULT_SETTINGS
+@given(edges=edge_lists)
+def test_adjacency_is_symmetric(edges):
+    graph = _graph_from_edges(edges)
+    for u, v in graph.edges():
+        assert graph.has_edge(v, u)
+        assert v in set(graph.neighbors(u))
+        assert u in set(graph.neighbors(v))
+
+
+@DEFAULT_SETTINGS
+@given(edges=edge_lists)
+def test_degree_normalized_weights_sum_to_one(edges):
+    graph = apply_degree_normalized_weights(_graph_from_edges(edges))
+    for node in graph.nodes():
+        if graph.degree(node) > 0:
+            assert math.isclose(graph.total_in_weight(node), 1.0, abs_tol=1e-9)
+    graph.validate(require_positive_weights=True)
+
+
+@DEFAULT_SETTINGS
+@given(edges=edge_lists)
+def test_connected_components_partition_the_nodes(edges):
+    graph = _graph_from_edges(edges)
+    components = connected_components(graph)
+    all_nodes = [node for component in components for node in component]
+    assert sorted(all_nodes, key=repr) == sorted(graph.nodes(), key=repr)
+    assert len(all_nodes) == len(set(all_nodes))
+
+
+@DEFAULT_SETTINGS
+@given(edges=edge_lists, data=st.data())
+def test_nodes_on_simple_paths_contains_endpoints_and_shortest_path(edges, data):
+    graph = _graph_from_edges(edges)
+    nodes = graph.node_list()
+    source = data.draw(st.sampled_from(nodes))
+    target = data.draw(st.sampled_from(nodes))
+    result = nodes_on_simple_paths(graph, source, target)
+    from repro.graph.traversal import shortest_path
+
+    path = shortest_path(graph, source, target)
+    if path is None:
+        if source != target:
+            assert result == frozenset()
+    else:
+        assert source in result and target in result
+        assert set(path) <= result
+
+
+# --------------------------------------------------------------------------- #
+# Realization invariants
+# --------------------------------------------------------------------------- #
+
+
+@DEFAULT_SETTINGS
+@given(edges=edge_lists, seed=st.integers(0, 10_000), data=st.data())
+def test_backward_trace_matches_full_realization_structure(edges, seed, data):
+    graph = apply_degree_normalized_weights(_graph_from_edges(edges))
+    nodes = graph.node_list()
+    source = data.draw(st.sampled_from(nodes))
+    target = data.draw(st.sampled_from([n for n in nodes if n != source] or nodes))
+    if source == target:
+        return
+    friends = graph.neighbor_set(source)
+    if target in friends:
+        return
+    realization = sample_realization(graph, rng=seed)
+    traced, is_type1 = trace_target_path(realization, target, friends)
+    assert target in traced
+    assert not (traced & friends)
+    if is_type1:
+        # The final traced node's selected friend is inside the circle.
+        assert any(realization.parent(node) in friends for node in traced)
+
+
+@DEFAULT_SETTINGS
+@given(edges=edge_lists, seed=st.integers(0, 10_000), data=st.data())
+def test_reverse_sample_trace_is_connected_to_target(edges, seed, data):
+    graph = apply_degree_normalized_weights(_graph_from_edges(edges))
+    nodes = graph.node_list()
+    source = data.draw(st.sampled_from(nodes))
+    target = data.draw(st.sampled_from([n for n in nodes if n != source] or nodes))
+    if source == target or graph.has_edge(source, target):
+        return
+    path = sample_target_path(graph, target, graph.neighbor_set(source), rng=seed)
+    assert target in path.nodes
+    # Each traced node is connected within the traced set (it is a path).
+    if len(path.nodes) > 1:
+        sub = graph.subgraph(path.nodes)
+        assert len(connected_components(sub)) == 1
+
+
+# --------------------------------------------------------------------------- #
+# Set-cover invariants
+# --------------------------------------------------------------------------- #
+
+
+@DEFAULT_SETTINGS
+@given(sets=set_families, data=st.data())
+def test_greedy_min_union_is_feasible_and_consistent(sets, data):
+    system = SetSystem(sets)
+    p = data.draw(st.integers(1, system.total_weight))
+    result = greedy_min_union(system, p)
+    assert result.covered_weight >= p
+    assert result.union == system.union_of(result.selected_indices)
+    assert len(set(result.selected_indices)) == len(result.selected_indices)
+
+
+@DEFAULT_SETTINGS
+@given(sets=set_families, data=st.data())
+def test_smallest_sets_union_is_feasible(sets, data):
+    system = SetSystem(sets)
+    p = data.draw(st.integers(1, system.total_weight))
+    result = smallest_sets_union(system, p)
+    assert result.covered_weight >= p
+    assert result.union <= system.universe
+
+
+@DEFAULT_SETTINGS
+@given(sets=set_families, nodes=st.sets(st.integers(0, 12), max_size=8))
+def test_deduplication_preserves_covered_weight(sets, nodes):
+    system = SetSystem(sets)
+    assert system.deduplicate().covered_weight(nodes) == system.covered_weight(nodes)
+
+
+@DEFAULT_SETTINGS
+@given(sets=set_families)
+def test_deduplication_preserves_total_weight_and_universe(sets):
+    system = SetSystem(sets)
+    deduped = system.deduplicate()
+    assert deduped.total_weight == system.total_weight
+    assert deduped.universe == system.universe
+    assert deduped.num_sets <= system.num_sets
+
+
+# --------------------------------------------------------------------------- #
+# Parameter / bound invariants
+# --------------------------------------------------------------------------- #
+
+
+@DEFAULT_SETTINGS
+@given(
+    alpha=st.floats(0.05, 1.0),
+    fraction=st.floats(0.05, 0.9),
+    num_nodes=st.integers(2, 5000),
+    coupling=st.sampled_from(list(ParameterCoupling)),
+)
+def test_parameter_solver_satisfies_equation_13(alpha, fraction, num_nodes, coupling):
+    epsilon = alpha * fraction
+    parameters = solve_parameters(alpha, epsilon, num_nodes, coupling=coupling)
+    assert abs(parameters.residual()) < 1e-6
+    assert 0.0 < parameters.beta < alpha
+    assert parameters.epsilon_one > 0.0
+
+
+@DEFAULT_SETTINGS
+@given(
+    mean=st.floats(0.001, 1.0),
+    delta=st.floats(0.01, 1.0),
+    failure=st.floats(0.0001, 0.5),
+)
+def test_chernoff_sample_size_is_sufficient(mean, delta, failure):
+    size = chernoff_sample_size(mean, delta, failure)
+    assert chernoff_bound(size, mean, delta) <= failure * (1.0 + 1e-9)
+
+
+@DEFAULT_SETTINGS
+@given(
+    eps_small=st.floats(0.01, 0.5),
+    eps_big=st.floats(0.5, 1.0),
+    delta=st.floats(0.001, 0.5),
+)
+def test_stopping_threshold_monotone_in_epsilon(eps_small, eps_big, delta):
+    assert stopping_rule_threshold(eps_small, delta) >= stopping_rule_threshold(eps_big, delta)
+
+
+@DEFAULT_SETTINGS
+@given(
+    low=st.floats(-100, 100),
+    width=st.floats(0.1, 50),
+    count=st.integers(1, 20),
+    data=st.data(),
+)
+def test_interval_partition_covers_each_point_once(low, width, count, data):
+    high = low + width
+    parts = Interval.partition(low, high, count)
+    assert len(parts) == count
+    value = data.draw(st.floats(low, high - width * 1e-6))
+    assert sum(part.contains(value) for part in parts) == 1

@@ -1,0 +1,116 @@
+"""Tests for repro.types and repro.exceptions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    AlgorithmError,
+    EdgeNotFoundError,
+    GraphError,
+    InfeasibleCoverError,
+    NodeNotFoundError,
+    ProblemDefinitionError,
+    ReproError,
+    SetCoverError,
+    WeightError,
+)
+from repro.types import Interval, PairSpec, as_frozen, ordered
+
+
+class TestPairSpec:
+    def test_fields(self):
+        pair = PairSpec(source=1, target=2)
+        assert pair.source == 1
+        assert pair.target == 2
+        assert pair.pmax is None
+
+    def test_with_pmax_returns_new_instance(self):
+        pair = PairSpec(1, 2)
+        updated = pair.with_pmax(0.25)
+        assert updated.pmax == 0.25
+        assert pair.pmax is None
+
+    def test_frozen(self):
+        pair = PairSpec(1, 2)
+        with pytest.raises(AttributeError):
+            pair.source = 5  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert len({PairSpec(1, 2), PairSpec(1, 2), PairSpec(2, 1)}) == 2
+
+
+class TestInterval:
+    def test_contains_half_open(self):
+        interval = Interval(0.2, 0.4)
+        assert interval.contains(0.2)
+        assert interval.contains(0.39)
+        assert not interval.contains(0.4)
+
+    def test_midpoint(self):
+        assert Interval(0.0, 1.0).midpoint == 0.5
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0.5, 0.5)
+
+    def test_partition_covers_range(self):
+        parts = Interval.partition(0.0, 1.0, 5)
+        assert len(parts) == 5
+        assert parts[0].low == 0.0
+        assert parts[-1].high == pytest.approx(1.0)
+        # Every value in [0, 1) falls into exactly one bin.
+        for value in [0.0, 0.19, 0.5, 0.99]:
+            assert sum(part.contains(value) for part in parts) == 1
+
+    def test_partition_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            Interval.partition(0.0, 1.0, 0)
+
+
+class TestHelpers:
+    def test_as_frozen_idempotent(self):
+        fs = frozenset({1, 2})
+        assert as_frozen(fs) is fs
+
+    def test_as_frozen_converts(self):
+        assert as_frozen([1, 2, 2]) == frozenset({1, 2})
+
+    def test_ordered_sorts_ints(self):
+        assert ordered([3, 1, 2]) == [1, 2, 3]
+
+    def test_ordered_handles_mixed_types(self):
+        result = ordered([2, "a", 1])
+        assert set(result) == {2, "a", 1}
+        assert len(result) == 3
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in [
+            GraphError,
+            NodeNotFoundError,
+            EdgeNotFoundError,
+            WeightError,
+            ProblemDefinitionError,
+            SetCoverError,
+            InfeasibleCoverError,
+            AlgorithmError,
+        ]:
+            assert issubclass(exc_type, ReproError)
+
+    def test_node_not_found_is_keyerror(self):
+        assert issubclass(NodeNotFoundError, KeyError)
+        error = NodeNotFoundError(42)
+        assert error.node == 42
+
+    def test_edge_not_found_records_endpoints(self):
+        error = EdgeNotFoundError("u", "v")
+        assert error.u == "u"
+        assert error.v == "v"
+
+    def test_weight_error_is_value_error(self):
+        assert issubclass(WeightError, ValueError)
+
+    def test_infeasible_cover_is_set_cover_error(self):
+        assert issubclass(InfeasibleCoverError, SetCoverError)

@@ -1,0 +1,87 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_none_generators_are_independent(self):
+        first = ensure_rng(None)
+        second = ensure_rng(None)
+        assert first is not second
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42)
+        b = ensure_rng(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1)
+        b = ensure_rng(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_existing_generator_passthrough(self):
+        generator = random.Random(7)
+        assert ensure_rng(generator) is generator
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestDeriveRng:
+    def test_same_seed_and_label_reproduce(self):
+        a = derive_rng(99, "pmax")
+        b = derive_rng(99, "pmax")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_labels_differ(self):
+        a = derive_rng(99, "pmax")
+        b = derive_rng(99, "sampling")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_derivation_advances_parent_state(self):
+        parent = random.Random(5)
+        before = parent.getstate()
+        derive_rng(parent, "child")
+        assert parent.getstate() != before
+
+    def test_returns_new_generator(self):
+        parent = random.Random(5)
+        child = derive_rng(parent, "child")
+        assert child is not parent
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(3, 4)) == 4
+
+    def test_zero_count(self):
+        assert spawn_rngs(3, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(3, -1)
+
+    def test_spawned_streams_differ(self):
+        streams = spawn_rngs(11, 3)
+        sequences = [[stream.random() for _ in range(5)] for stream in streams]
+        assert sequences[0] != sequences[1]
+        assert sequences[1] != sequences[2]
+
+    def test_reproducible_from_seed(self):
+        first = [g.random() for g in spawn_rngs(17, 3)]
+        second = [g.random() for g in spawn_rngs(17, 3)]
+        assert first == second

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.timing."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.utils.timing import Stopwatch, format_duration
+
+
+class TestStopwatch:
+    def test_context_manager_measures_time(self):
+        with Stopwatch() as stopwatch:
+            time.sleep(0.01)
+        assert stopwatch.elapsed >= 0.005
+
+    def test_not_running_after_context(self):
+        with Stopwatch() as stopwatch:
+            pass
+        assert not stopwatch.running
+
+    def test_running_property(self):
+        stopwatch = Stopwatch()
+        assert not stopwatch.running
+        stopwatch.start()
+        assert stopwatch.running
+        stopwatch.stop()
+        assert not stopwatch.running
+
+    def test_double_start_rejected(self):
+        stopwatch = Stopwatch().start()
+        with pytest.raises(RuntimeError):
+            stopwatch.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_accumulates_across_cycles(self):
+        stopwatch = Stopwatch()
+        stopwatch.start()
+        time.sleep(0.005)
+        first = stopwatch.stop()
+        stopwatch.start()
+        time.sleep(0.005)
+        second = stopwatch.stop()
+        assert second > first
+
+    def test_reset(self):
+        stopwatch = Stopwatch().start()
+        stopwatch.stop()
+        stopwatch.reset()
+        assert stopwatch.elapsed == 0.0
+        assert not stopwatch.running
+
+    def test_elapsed_while_running(self):
+        stopwatch = Stopwatch().start()
+        time.sleep(0.005)
+        assert stopwatch.elapsed > 0.0
+        stopwatch.stop()
+
+
+class TestFormatDuration:
+    def test_microseconds(self):
+        assert format_duration(0.0000042).endswith("us")
+
+    def test_milliseconds(self):
+        assert format_duration(0.0042) == "4.2ms"
+
+    def test_seconds(self):
+        assert format_duration(3.14159) == "3.14s"
+
+    def test_minutes(self):
+        assert format_duration(75.3) == "1m15.3s"
+
+    def test_hours(self):
+        assert format_duration(3_725.0) == "1h2m5s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)

@@ -1,0 +1,103 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.validation import (
+    require,
+    require_in_closed_unit_interval,
+    require_in_open_closed_unit_interval,
+    require_non_negative,
+    require_positive,
+    require_positive_int,
+    require_probability,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert require_positive(2.5, "x") == 2.5
+
+    def test_accepts_integer(self):
+        assert require_positive(3, "x") == 3.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_positive(-1.0, "x")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            require_positive("1", "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_positive(True, "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert require_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "x")
+
+
+class TestRequirePositiveInt:
+    def test_accepts_positive_int(self):
+        assert require_positive_int(5, "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            require_positive_int(0, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            require_positive_int(2.0, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            require_positive_int(True, "x")
+
+
+class TestUnitIntervalChecks:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_closed_interval_accepts_bounds(self, value):
+        assert require_in_closed_unit_interval(value, "x") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_closed_interval_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            require_in_closed_unit_interval(value, "x")
+
+    def test_probability_alias(self):
+        assert require_probability(0.3, "p") == 0.3
+
+    def test_open_closed_rejects_zero(self):
+        with pytest.raises(ValueError):
+            require_in_open_closed_unit_interval(0.0, "alpha")
+
+    def test_open_closed_accepts_one(self):
+        assert require_in_open_closed_unit_interval(1.0, "alpha") == 1.0
+
+    def test_open_closed_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            require_in_open_closed_unit_interval(1.5, "alpha")
+
+    def test_error_message_mentions_name(self):
+        with pytest.raises(ValueError, match="alpha"):
+            require_in_open_closed_unit_interval(2.0, "alpha")
