@@ -1,0 +1,163 @@
+"""Throughput benchmark: dict-based seed sampler vs the compiled engines.
+
+Measures reverse-sampled paths/second on a synthetic benchmark graph for
+
+* ``dict-seed`` -- a verbatim replica of the original dict-based sampler
+  (per-step ``in_weights`` dict copy + linear scan), kept here as the fixed
+  baseline the engine speedups are tracked against;
+* ``python`` -- :class:`repro.diffusion.engine.PythonEngine` (CSR + binary
+  search, bit-compatible with the seed sampler);
+* ``numpy`` -- :class:`repro.diffusion.engine.NumpyEngine` (vectorized
+  lockstep batches), skipped when numpy is unavailable.
+
+Results (paths/sec and speedups over the seed sampler) are printed and
+written to ``BENCH_engine.json`` at the repository root so the performance
+trajectory is tracked from PR to PR.  Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+
+or via pytest (smaller sample counts, plus a regression assertion).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.diffusion.engine import available_engines, create_engine
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.traversal import bfs_distances
+from repro.graph.weights import apply_degree_normalized_weights
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
+
+_SEED = 20190707
+
+
+def _legacy_dict_sample_target_path(graph, target, stop_set, generator):
+    """The seed implementation: per-step dict copy + linear scan (unchanged)."""
+    traced = {target}
+    current = target
+    while True:
+        draw = generator.random()
+        cumulative = 0.0
+        parent = None
+        # dict(...) reproduces the copy the original SocialGraph.in_weights
+        # made on every call; the linear scan is the original selection.
+        for friend, weight in dict(graph.in_weights(current)).items():
+            cumulative += weight
+            if draw < cumulative:
+                parent = friend
+                break
+        if parent is None or parent in traced:
+            return frozenset(traced), False
+        if parent in stop_set:
+            return frozenset(traced), True
+        traced.add(parent)
+        current = parent
+
+
+def _benchmark_graph(num_nodes: int = 3000, attachment: int = 8):
+    """The synthetic benchmark graph plus a distant (source, target) pair."""
+    graph = apply_degree_normalized_weights(
+        barabasi_albert_graph(num_nodes, attachment, rng=_SEED, name="bench-ba")
+    )
+    source = 0
+    distances = bfs_distances(graph, source)
+    target = max(
+        (node for node, distance in distances.items() if distance >= 3),
+        key=lambda node: distances[node],
+        default=None,
+    )
+    if target is None:  # tiny graphs in smoke runs: fall back to any non-friend
+        target = next(
+            node for node in graph.nodes()
+            if node != source and not graph.has_edge(source, node)
+        )
+    return graph, source, target
+
+
+def _time_sampler(label, sample_many, num_paths, repeats=3):
+    """Best-of-``repeats`` wall-clock timing; returns (paths/sec, type-1 count)."""
+    best = float("inf")
+    type1 = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        type1 = sample_many(num_paths)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return num_paths / best, type1
+
+
+def run_benchmark(num_paths: int = 30_000, num_nodes: int = 3000):
+    """Time every backend and return the result rows."""
+    graph, source, target = _benchmark_graph(num_nodes=num_nodes)
+    stop_set = graph.neighbor_set(source)
+
+    def run_dict(count):
+        generator = random.Random(_SEED)
+        hits = 0
+        for _ in range(count):
+            _, is_type1 = _legacy_dict_sample_target_path(graph, target, stop_set, generator)
+            hits += is_type1
+        return hits
+
+    samplers = {"dict-seed": run_dict}
+    for name in available_engines():
+        engine = create_engine(graph, name)
+
+        def run_engine(count, engine=engine):
+            paths = engine.sample_paths(target, stop_set, count, rng=_SEED)
+            return sum(path.is_type1 for path in paths)
+
+        samplers[name] = run_engine
+
+    results = {}
+    baseline = None
+    for label, sampler in samplers.items():
+        rate, type1 = _time_sampler(label, sampler, num_paths)
+        if label == "dict-seed":
+            baseline = rate
+        results[label] = {
+            "paths_per_sec": round(rate, 1),
+            "type1_fraction": round(type1 / num_paths, 4),
+            "speedup_vs_dict_seed": round(rate / baseline, 2) if baseline else None,
+        }
+    return {
+        "benchmark": "engine_throughput",
+        "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges, "model": "barabasi-albert"},
+        "pair": {"source": source, "target": target},
+        "num_paths": num_paths,
+        "results": results,
+    }
+
+
+def write_report(report: dict) -> None:
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+
+def test_engine_throughput():
+    """Track engine throughput and guard the headline speedup.
+
+    The compiled python engine must stay well ahead of the seed dict-based
+    sampler; the committed BENCH_engine.json records the actual multiple
+    (>= 3x on the synthetic benchmark graph at full size).
+    """
+    report = run_benchmark(num_paths=20_000)
+    write_report(report)
+    print()
+    print(json.dumps(report, indent=2))
+    speedup = report["results"]["python"]["speedup_vs_dict_seed"]
+    assert speedup >= 1.5, f"python engine only {speedup}x over the seed sampler"
+    # The engines must agree with the baseline on what they sample.
+    rates = [row["type1_fraction"] for row in report["results"].values()]
+    assert max(rates) - min(rates) <= 0.05
+
+
+if __name__ == "__main__":
+    report = run_benchmark()
+    write_report(report)
+    print(json.dumps(report, indent=2))

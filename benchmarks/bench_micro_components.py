@@ -16,6 +16,7 @@ import pytest
 from repro.core.problem import ActiveFriendingProblem
 from repro.core.raf import RAFConfig, SamplePolicy, run_raf
 from repro.core.vmax import compute_vmax
+from repro.diffusion.engine import available_engines, create_engine
 from repro.diffusion.reverse_sampling import sample_target_path
 from repro.diffusion.threshold_model import simulate_friending
 from repro.baselines.pagerank import pagerank_scores
@@ -35,6 +36,18 @@ def test_micro_reverse_sampling(benchmark, wiki, wiki_pair):
     friends = wiki.neighbor_set(wiki_pair.source)
     generator = random.Random(1)
     benchmark(lambda: sample_target_path(wiki, wiki_pair.target, friends, rng=generator))
+
+
+@pytest.mark.parametrize("engine_name", available_engines())
+def test_micro_engine_batch_sampling(benchmark, wiki, wiki_pair, engine_name):
+    """One 512-path engine batch (the shape RAF actually requests)."""
+    friends = wiki.neighbor_set(wiki_pair.source)
+    engine = create_engine(wiki, engine_name)
+    generator = random.Random(1)
+    paths = benchmark(
+        lambda: engine.sample_paths(wiki_pair.target, friends, 512, rng=generator)
+    )
+    assert len(paths) == 512
 
 
 def test_micro_threshold_simulation(benchmark, wiki, wiki_pair):

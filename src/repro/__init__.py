@@ -38,7 +38,9 @@ from repro.exceptions import (
     SetCoverError,
 )
 from repro.graph import (
+    CompiledGraph,
     SocialGraph,
+    compile_graph,
     apply_degree_normalized_weights,
     apply_random_weights,
     apply_uniform_weights,
@@ -49,6 +51,11 @@ from repro.graph import (
     read_snap_graph,
 )
 from repro.diffusion import (
+    NumpyEngine,
+    PythonEngine,
+    SamplingEngine,
+    available_engines,
+    create_engine,
     estimate_acceptance_probability,
     sample_realization,
     sample_target_path,
@@ -92,6 +99,8 @@ __all__ = [
     "AlgorithmError",
     # graph substrate
     "SocialGraph",
+    "CompiledGraph",
+    "compile_graph",
     "apply_degree_normalized_weights",
     "apply_uniform_weights",
     "apply_random_weights",
@@ -105,6 +114,11 @@ __all__ = [
     "estimate_acceptance_probability",
     "sample_realization",
     "sample_target_path",
+    "SamplingEngine",
+    "PythonEngine",
+    "NumpyEngine",
+    "create_engine",
+    "available_engines",
     # core algorithm
     "ActiveFriendingProblem",
     "RAFConfig",

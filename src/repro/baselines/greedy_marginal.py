@@ -28,6 +28,7 @@ def greedy_marginal_invitation(
     num_samples: int = 200,
     candidate_pool: int = 50,
     rng: RandomSource = None,
+    engine=None,
 ) -> InvitationResult:
     """Greedy invitation set built by estimated marginal acceptance gain.
 
@@ -46,6 +47,10 @@ def greedy_marginal_invitation(
         initiator-target paths can ever matter, Lemma 7); if that set is
         larger than ``candidate_pool`` only the highest-degree members are
         kept.
+    engine:
+        Optional reverse-sampling engine (instance or name): candidate
+        evaluations then use the covered-trace estimator of Lemma 2 instead
+        of forward Process-1 simulation, which is much cheaper per round.
     """
     require_positive_int(size, "size")
     require_positive_int(num_samples, "num_samples")
@@ -74,6 +79,7 @@ def greedy_marginal_invitation(
                 invitation | {node},
                 num_samples=num_samples,
                 rng=derive_rng(evaluation_rng, repr(node)),
+                engine=engine,
             )
             if estimate.probability > best_probability:
                 best_probability = estimate.probability

@@ -30,6 +30,7 @@ from repro.core.raf import RAFConfig, run_raf
 from repro.core.parameters import SamplePolicy
 from repro.core.vmax import compute_vmax
 from repro.diffusion.friending_process import estimate_acceptance_probability
+from repro.diffusion.engine import ENGINE_NAMES
 from repro.exceptions import ReproError
 from repro.experiments.basic_experiment import format_basic_experiment, run_basic_experiment
 from repro.experiments.config import ExperimentConfig
@@ -70,6 +71,14 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=ENGINE_NAMES, default="python",
+        help="reverse-sampling backend: 'python' (default, pure stdlib), "
+             "'numpy' (vectorized, requires numpy), or 'auto'",
+    )
+
+
 def _add_pair_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--source", type=int, default=None, help="initiator user id")
     parser.add_argument("--target", type=int, default=None, help="target user id")
@@ -94,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     raf = subparsers.add_parser("raf", help="run RAF for one (initiator, target) pair")
     _add_graph_arguments(raf)
     _add_pair_arguments(raf)
+    _add_engine_argument(raf)
     raf.add_argument("--alpha", type=float, default=0.1, help="target fraction of pmax")
     raf.add_argument("--epsilon", type=float, default=None, help="guarantee slack (default alpha/5)")
     raf.add_argument("--realizations", type=int, default=5000, help="sampled realizations")
@@ -109,12 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
     maximize = subparsers.add_parser("maximize", help="budgeted (maximum) active friending")
     _add_graph_arguments(maximize)
     _add_pair_arguments(maximize)
+    _add_engine_argument(maximize)
     maximize.add_argument("--budget", type=int, required=True, help="invitation budget")
     maximize.add_argument("--realizations", type=int, default=5000)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a table or figure")
     experiment.add_argument("name", choices=EXPERIMENT_CHOICES, help="which artefact to regenerate")
     _add_graph_arguments(experiment)
+    _add_engine_argument(experiment)
     experiment.add_argument("--pairs", type=int, default=3, help="pairs per dataset (default: 3)")
     experiment.add_argument("--realizations", type=int, default=3000)
     experiment.add_argument("--eval-samples", type=int, default=250)
@@ -144,7 +156,7 @@ def _resolve_pair(graph, args: argparse.Namespace) -> PairSpec:
         return PairSpec(source=args.source, target=args.target)
     pair = select_pairs(
         graph, 1, pmax_threshold=args.min_pmax, pmax_ceiling=1.0, min_distance=3,
-        screen_samples=400, rng=args.seed,
+        screen_samples=400, rng=args.seed, engine=getattr(args, "engine", "python"),
     )[0]
     print(f"auto-selected pair: initiator={pair.source} target={pair.target} "
           f"(screened pmax={pair.pmax:.3f})")
@@ -157,6 +169,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         realizations=args.realizations,
         eval_samples=args.eval_samples,
         pair_screen_samples=max(200, args.eval_samples),
+        engine=getattr(args, "engine", "python"),
         seed=args.seed,
     )
 
@@ -196,6 +209,7 @@ def _command_raf(args: argparse.Namespace) -> int:
         epsilon=epsilon,
         sample_policy=SamplePolicy.FIXED,
         fixed_realizations=args.realizations,
+        engine=args.engine,
     )
     result = run_raf(problem, config, rng=args.seed)
     print(f"\nRAF invitation set ({result.size} users):")
@@ -237,7 +251,7 @@ def _command_maximize(args: argparse.Namespace) -> int:
     pair = _resolve_pair(graph, args)
     result = maximize_acceptance_probability(
         graph, pair.source, pair.target, budget=args.budget,
-        num_realizations=args.realizations, rng=args.seed,
+        num_realizations=args.realizations, rng=args.seed, engine=args.engine,
     )
     print(f"budgeted invitation set ({result.size} of at most {result.budget} users):")
     print("  " + ", ".join(str(node) for node in ordered(result.invitation)))
@@ -257,7 +271,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
                 graph, config.num_pairs,
                 pmax_threshold=config.pmax_threshold, pmax_ceiling=config.pmax_ceiling,
                 min_distance=config.min_distance, screen_samples=config.pair_screen_samples,
-                rng=config.seed,
+                rng=config.seed, engine=config.engine,
             )
             for name, graph in graphs.items()
         }

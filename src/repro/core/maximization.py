@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.result import InvitationResult
-from repro.diffusion.reverse_sampling import sample_target_path
+from repro.diffusion.engine import SamplingEngine, collect_type1_paths, resolve_engine
 from repro.exceptions import AlgorithmError, ProblemDefinitionError
 from repro.graph.social_graph import SocialGraph
 from repro.setcover.budgeted import budgeted_trace_cover
@@ -85,6 +85,7 @@ def maximize_acceptance_probability(
     budget: int,
     num_realizations: int = 5000,
     rng: RandomSource = None,
+    engine: "SamplingEngine | str | None" = None,
 ) -> MaxFriendingResult:
     """Choose at most ``budget`` users to invite so the target is most likely to accept.
 
@@ -114,13 +115,10 @@ def maximize_acceptance_probability(
 
     generator = ensure_rng(rng)
     source_friends = graph.neighbor_set(source)
-    paths = []
-    num_type1 = 0
-    for _ in range(num_realizations):
-        path = sample_target_path(graph, target, source_friends, rng=generator)
-        if path.is_type1:
-            num_type1 += 1
-            paths.append(path)
+    resolved = resolve_engine(graph, engine)
+    paths, num_type1 = collect_type1_paths(
+        resolved, target, source_friends, num_realizations, rng=generator
+    )
     if num_type1 == 0:
         raise AlgorithmError(
             f"none of the {num_realizations} sampled realizations was type-1; "

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import ProblemDefinitionError
+from repro.graph.compiled import CompiledGraph, compile_graph
 from repro.graph.social_graph import SocialGraph
 from repro.types import NodeId
 from repro.utils.validation import require_in_open_closed_unit_interval
@@ -67,6 +68,26 @@ class ActiveFriendingProblem:
                 "the graph's familiarity weights are not normalized (some node's incoming "
                 "weights exceed 1); apply a scheme from repro.graph.weights first"
             )
+
+    @property
+    def compiled(self) -> CompiledGraph:
+        """The frozen CSR snapshot of the graph used by the sampling engines.
+
+        Built once per (graph, version) and cached on the graph, so every
+        estimator and sampler working on this problem shares one snapshot.
+        """
+        return compile_graph(self.graph)
+
+    def sampling_engine(self, engine: "str | None" = None):
+        """A sampling engine over this problem's compiled graph.
+
+        ``engine`` is a backend name accepted by
+        :func:`repro.diffusion.engine.create_engine`; ``None`` selects the
+        default pure-Python backend.
+        """
+        from repro.diffusion.engine import create_engine
+
+        return create_engine(self.compiled, engine or "python")
 
     @property
     def source_friends(self) -> frozenset:

@@ -32,8 +32,14 @@ from repro.core.parameters import (
 )
 from repro.core.problem import ActiveFriendingProblem
 from repro.core.result import RAFResult
-from repro.diffusion.reverse_sampling import sample_target_path
-from repro.estimation.stopping_rule import stopping_rule_estimate
+from repro.diffusion.engine import (
+    SamplingEngine,
+    collect_type1_paths,
+    create_engine,
+    require_engine_name,
+    resolve_engine,
+)
+from repro.estimation.stopping_rule import stopping_rule_estimate_batched
 from repro.exceptions import AlgorithmError, EstimationError
 from repro.graph.social_graph import SocialGraph
 from repro.setcover.hypergraph import SetSystem
@@ -81,6 +87,11 @@ class RAFConfig:
         realization was seen.
     msc_solver:
         Which MSC solver to use (see :data:`repro.setcover.msc.MSC_SOLVERS`).
+    engine:
+        Name of the reverse-sampling backend used for every randomized step
+        (``"python"``, ``"numpy"`` or ``"auto"``; see
+        :mod:`repro.diffusion.engine`).  The default pure-Python engine is
+        bit-compatible with pre-engine releases for a fixed seed.
     """
 
     epsilon: float = 0.01
@@ -93,6 +104,7 @@ class RAFConfig:
     pmax_epsilon: float | None = 0.1
     pmax_max_samples: int = 500_000
     msc_solver: str = "chlamtac"
+    engine: str = "python"
 
     def __post_init__(self) -> None:
         require_positive(self.epsilon, "epsilon")
@@ -103,6 +115,7 @@ class RAFConfig:
             require(self.pmax_epsilon <= 1.0, "pmax_epsilon must be at most 1")
         if self.fixed_realizations is not None:
             require_positive_int(self.fixed_realizations, "fixed_realizations")
+        require_engine_name(self.engine)
 
 
 @dataclass(frozen=True, slots=True)
@@ -127,32 +140,35 @@ def estimate_pmax(
     confidence_n: float = 100_000.0,
     max_samples: int = 500_000,
     rng: RandomSource = None,
+    engine: "SamplingEngine | str | None" = None,
 ) -> PmaxEstimate:
     """Estimate ``pmax`` as the probability that a random realization is type-1.
 
     Runs the stopping rule of Alg. 2 over the type indicator ``y(ĝ)`` of
-    lazily reverse-sampled realizations.  If the rule does not terminate
-    within ``max_samples`` (which happens when ``pmax`` is very small), the
-    plain sample mean over the consumed realizations is returned instead;
-    an :class:`AlgorithmError` is raised only if no type-1 realization was
-    observed at all, since then there is no evidence the pair can ever be
-    connected.
+    reverse-sampled realizations, drawn from the sampling ``engine`` in
+    geometrically growing batches (the rule still stops at exactly the same
+    sample as a one-at-a-time run over the same stream).  If the rule does
+    not terminate within ``max_samples`` (which happens when ``pmax`` is
+    very small), the plain sample mean over the consumed realizations is
+    returned instead; an :class:`AlgorithmError` is raised only if no
+    type-1 realization was observed at all, since then there is no evidence
+    the pair can ever be connected.
     """
     generator = ensure_rng(rng)
+    resolved = resolve_engine(graph, engine)
     source_friends = graph.neighbor_set(source)
     observed = {"count": 0, "successes": 0}
 
-    def sampler() -> float:
-        path = sample_target_path(graph, target, source_friends, rng=generator)
-        observed["count"] += 1
-        if path.is_type1:
-            observed["successes"] += 1
-            return 1.0
-        return 0.0
+    def draw_batch(size: int) -> list[float]:
+        paths = resolved.sample_paths(target, source_friends, size, rng=generator)
+        values = [1.0 if path.is_type1 else 0.0 for path in paths]
+        observed["count"] += len(values)
+        observed["successes"] += int(sum(values))
+        return values
 
     try:
-        result = stopping_rule_estimate(
-            sampler,
+        result = stopping_rule_estimate_batched(
+            draw_batch,
             epsilon=epsilon,
             delta=1.0 / confidence_n,
             max_samples=max_samples,
@@ -177,11 +193,15 @@ def run_sampling_framework(
     num_realizations: int,
     msc_solver: str = "chlamtac",
     rng: RandomSource = None,
+    engine: "SamplingEngine | str | None" = None,
 ) -> tuple[frozenset, dict]:
     """Algorithm 3: sample realizations and cover a ``β`` fraction of them.
 
-    Returns the invitation set together with a diagnostics dict holding the
-    sampled counts (``num_type1``, ``cover_target``, ``covered_weight``).
+    The ``l`` backward traces are drawn from the sampling ``engine`` in
+    bounded batches over the problem's compiled graph; only the type-1
+    traces are retained for the MSC instance.  Returns the invitation set
+    together with a diagnostics dict holding the sampled counts
+    (``num_type1``, ``cover_target``, ``covered_weight``).
 
     Raises
     ------
@@ -194,16 +214,12 @@ def run_sampling_framework(
     require(beta <= 1.0, "beta must be at most 1")
     require_positive_int(num_realizations, "num_realizations")
     generator = ensure_rng(rng)
-    graph = problem.graph
+    resolved = resolve_engine(problem.compiled, engine)
     source_friends = problem.source_friends
 
-    paths = []
-    num_type1 = 0
-    for _ in range(num_realizations):
-        path = sample_target_path(graph, problem.target, source_friends, rng=generator)
-        if path.is_type1:
-            num_type1 += 1
-            paths.append(path)
+    paths, num_type1 = collect_type1_paths(
+        resolved, problem.target, source_friends, num_realizations, rng=generator
+    )
     if num_type1 == 0:
         raise AlgorithmError(
             f"none of the {num_realizations} sampled realizations was type-1; "
@@ -255,6 +271,9 @@ def run_raf(
 
     stopwatch = Stopwatch().start()
 
+    # One engine over one compiled snapshot drives every randomized step.
+    engine = create_engine(problem.compiled, config.engine)
+
     # Step 1: parameters (Eq. 17 / Equation System 1).
     parameters = solve_parameters(
         alpha=problem.alpha,
@@ -273,6 +292,7 @@ def run_raf(
         confidence_n=config.confidence_n,
         max_samples=config.pmax_max_samples,
         rng=pmax_rng,
+        engine=engine,
     )
 
     # Step 3: choose the realization count l.
@@ -293,6 +313,7 @@ def run_raf(
         num_realizations=num_realizations,
         msc_solver=config.msc_solver,
         rng=sampling_rng,
+        engine=engine,
     )
 
     elapsed = stopwatch.stop()

@@ -11,11 +11,24 @@ This package implements the stochastic substrate of the paper:
 * Algorithm 1 -- the backward trace ``t(g)`` and its lazy, reverse-sampling
   implementation (:mod:`repro.diffusion.reverse_sampling`), the workhorse of
   the RAF algorithm.
+* The batch sampling engines (:mod:`repro.diffusion.engine`) that run the
+  reverse walks on the compiled CSR snapshot -- a pure-Python backend plus
+  an optional numpy-vectorized one, selected by name.
 * An independent-cascade variant (:mod:`repro.diffusion.cascade_model`) used
   for the discussion of the Yang et al. line of work (extension; not needed
   by RAF itself).
 """
 
+from repro.diffusion.engine import (
+    ENGINE_NAMES,
+    NumpyEngine,
+    PythonEngine,
+    SamplingEngine,
+    available_engines,
+    create_engine,
+    default_engine,
+    numpy_available,
+)
 from repro.diffusion.threshold_model import (
     FriendingOutcome,
     run_threshold_process,
@@ -51,6 +64,14 @@ __all__ = [
     "TargetPath",
     "sample_target_path",
     "sample_target_paths",
+    "SamplingEngine",
+    "PythonEngine",
+    "NumpyEngine",
+    "ENGINE_NAMES",
+    "available_engines",
+    "create_engine",
+    "default_engine",
+    "numpy_available",
     "simulate_cascade_friending",
     "estimate_cascade_probability",
 ]

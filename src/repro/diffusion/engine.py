@@ -1,0 +1,424 @@
+"""Batch reverse-sampling engines over the compiled CSR substrate.
+
+Everything the RAF pipeline does with randomness reduces to drawing
+backward traces ``t(ĝ)`` (Remark 3, Borgs-style reverse sampling):
+estimating ``pmax``, sampling the ``l`` realizations of Alg. 3, screening
+experiment pairs and (via Lemma 2) evaluating ``f(I)``.  This module
+defines the one interface all of those go through:
+
+* :class:`SamplingEngine` -- the protocol: ``sample_paths(target, stop_set,
+  count, rng)`` returns ``count`` independent :class:`TargetPath` draws.
+* :class:`PythonEngine` -- the pure-stdlib default.  It walks the
+  :class:`~repro.graph.compiled.CompiledGraph` CSR arrays with an
+  allocation-free binary search per step and consumes the ``random.Random``
+  stream exactly like the historical dict-based sampler (one uniform draw
+  per step, neighbours in insertion order), so seeded results are
+  bit-for-bit identical to pre-engine versions of the library.
+* :class:`NumpyEngine` -- an optional vectorized backend that advances a
+  whole batch of walks in lockstep: uniform draws and friend selections for
+  all active walks are computed with one `numpy` call per step (the friend
+  selection uses a single ``searchsorted`` over a globally shifted
+  cumulative-weight array).  It draws from a ``numpy`` generator seeded
+  from the caller's ``rng``, so it is deterministic per seed but follows
+  its own stream.  It degrades cleanly: importing this module never
+  requires numpy, only constructing the engine does.
+
+Engines are selected by name (``"python"``, ``"numpy"`` or ``"auto"``)
+via :func:`create_engine`; :class:`~repro.core.raf.RAFConfig` and the CLI's
+``--engine`` flag feed into that.  See DESIGN.md for the architecture notes
+and the determinism contract.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.exceptions import EngineError
+from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.social_graph import SocialGraph
+from repro.types import NodeId
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import require_non_negative_int
+
+try:  # optional dependency: the vectorized backend only
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+__all__ = [
+    "TargetPath",
+    "SamplingEngine",
+    "PythonEngine",
+    "NumpyEngine",
+    "ENGINE_NAMES",
+    "numpy_available",
+    "require_engine_name",
+    "available_engines",
+    "create_engine",
+    "default_engine",
+    "resolve_engine",
+    "collect_type1_paths",
+]
+
+#: Engine names accepted by :func:`create_engine` (and the CLI ``--engine`` flag).
+ENGINE_NAMES = ("python", "numpy", "auto")
+
+#: Batch size used when a huge sample count is split into bounded chunks.
+DEFAULT_CHUNK_SIZE = 8192
+
+
+@dataclass(frozen=True, slots=True)
+class TargetPath:
+    """One sampled backward trace ``t(ĝ)``.
+
+    Attributes
+    ----------
+    nodes:
+        The traced users (always contains the target).  For a type-0
+        realization these are the users visited before the walk died; they
+        are retained for diagnostics but can never be covered.
+    is_type1:
+        Whether the walk reached the initiator's friend circle, i.e.
+        whether ℵ0 ∉ t(g) (Definition 2).  Only type-1 paths can contribute
+        to the acceptance probability.
+    anchor:
+        For a type-1 path, the friend of the initiator that the walk
+        reached (the ``u* ∈ N_s`` of Alg. 1, *not* part of ``t(g)``);
+        ``None`` for type-0 paths.
+    """
+
+    nodes: frozenset
+    is_type1: bool
+    anchor: NodeId | None = None
+
+    def covered_by(self, invitation: Iterable[NodeId]) -> bool:
+        """Whether an invitation set covers this realization (Lemma 2).
+
+        A type-0 path is never covered; a type-1 path is covered iff every
+        traced user received an invitation.
+        """
+        if not self.is_type1:
+            return False
+        invited = invitation if isinstance(invitation, (set, frozenset)) else frozenset(invitation)
+        return self.nodes <= invited
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@runtime_checkable
+class SamplingEngine(Protocol):
+    """The batch reverse-sampling interface consumed by every layer above."""
+
+    name: str
+
+    @property
+    def compiled(self) -> CompiledGraph:
+        """The frozen CSR snapshot the engine samples from."""
+        ...
+
+    def sample_path(
+        self, target: NodeId, stop_set: Iterable[NodeId], rng: RandomSource = None
+    ) -> TargetPath:
+        """Draw one backward trace from ``target``."""
+        ...
+
+    def sample_paths(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
+    ) -> list[TargetPath]:
+        """Draw ``count`` independent backward traces from ``target``."""
+        ...
+
+
+class _EngineBase:
+    """Shared plumbing: compiled-graph binding and the single-path shortcut."""
+
+    __slots__ = ("_compiled",)
+
+    def __init__(self, graph: SocialGraph | CompiledGraph) -> None:
+        self._compiled = graph if isinstance(graph, CompiledGraph) else compile_graph(graph)
+
+    @property
+    def compiled(self) -> CompiledGraph:
+        """The frozen CSR snapshot the engine samples from."""
+        return self._compiled
+
+    def sample_path(
+        self, target: NodeId, stop_set: Iterable[NodeId], rng: RandomSource = None
+    ) -> TargetPath:
+        """Draw one backward trace from ``target``."""
+        return self.sample_paths(target, stop_set, 1, rng=rng)[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"<{type(self).__name__} graph={self._compiled!r}>"
+
+
+class PythonEngine(_EngineBase):
+    """Pure-stdlib engine: binary-search walks over the CSR arrays.
+
+    Bit-compatible with the historical dict-based sampler: for the same
+    seed it consumes the same uniform stream and returns the same paths.
+    """
+
+    __slots__ = ()
+    name = "python"
+
+    def sample_paths(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
+    ) -> list[TargetPath]:
+        require_non_negative_int(count, "count")
+        generator = ensure_rng(rng)
+        compiled = self._compiled
+        start = compiled.index_of(target)
+        stop = compiled.indices_of(stop_set)
+        indptr = compiled.indptr
+        parents = compiled.parents
+        cum_weights = compiled.cum_weights
+        ids = compiled.nodes
+        rand = generator.random
+        paths: list[TargetPath] = []
+        append = paths.append
+        for _ in range(count):
+            traced = {start}
+            current = start
+            while True:
+                # One uniform draw per step, exactly like the dict sampler
+                # (which drew before scanning, even for isolated nodes).
+                # The selection inlines CompiledGraph.select_parent: the
+                # per-step method call is measurable on this hot path.
+                draw = rand()
+                lo = indptr[current]
+                hi = indptr[current + 1]
+                j = bisect_right(cum_weights, draw, lo, hi)
+                if j == hi:  # the draw fell into the stop-probability tail
+                    append(TargetPath(nodes=frozenset(ids[i] for i in traced), is_type1=False))
+                    break
+                parent = parents[j]
+                if parent in traced:  # the walk closed a cycle: type-0
+                    append(TargetPath(nodes=frozenset(ids[i] for i in traced), is_type1=False))
+                    break
+                if parent in stop:  # reached N_s: type-1
+                    append(
+                        TargetPath(
+                            nodes=frozenset(ids[i] for i in traced),
+                            is_type1=True,
+                            anchor=ids[parent],
+                        )
+                    )
+                    break
+                traced.add(parent)
+                current = parent
+        return paths
+
+
+class NumpyEngine(_EngineBase):
+    """Vectorized engine: lockstep batched walks with numpy draws.
+
+    Per step, the uniform draws and the per-walk friend selections are one
+    ``Generator.random`` and one ``searchsorted`` call for the whole active
+    batch; only the (cheap) per-walk set bookkeeping stays in Python.  The
+    friend selection uses the shifted-cumulative trick: entry ``j`` of node
+    ``v`` is stored as ``stride·v + cum_weights[j]`` with ``stride`` larger
+    than any node's total weight, which makes the concatenated array
+    globally sorted so one binary search resolves every walker at once.
+    """
+
+    __slots__ = ("_np", "_indptr", "_parents", "_shifted", "_stride")
+    name = "numpy"
+
+    def __init__(self, graph: SocialGraph | CompiledGraph) -> None:
+        if _np is None:
+            raise EngineError(
+                "the 'numpy' sampling engine requires numpy, which is not installed; "
+                "use engine='python' (or 'auto' to select automatically)"
+            )
+        super().__init__(graph)
+        np = _np
+        compiled = self._compiled
+        self._np = np
+        self._indptr = np.asarray(compiled.indptr, dtype=np.int64)
+        self._parents = np.asarray(compiled.parents, dtype=np.int64)
+        cum = np.asarray(compiled.cum_weights, dtype=np.float64)
+        totals = np.asarray(compiled.totals, dtype=np.float64)
+        # stride > max total weight + 1 keeps every node's slice inside its
+        # own [stride*v, stride*(v+1)) band, so the shifted array is sorted.
+        self._stride = float(np.ceil(totals.max() + 2.0)) if totals.size else 2.0
+        owner = np.repeat(np.arange(len(compiled), dtype=np.int64), np.diff(self._indptr))
+        self._shifted = cum + self._stride * owner
+
+    def sample_paths(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
+    ) -> list[TargetPath]:
+        require_non_negative_int(count, "count")
+        np = self._np
+        # Derive the numpy stream from the caller's random.Random source so a
+        # single seed still controls the whole run deterministically.
+        nprng = np.random.default_rng(ensure_rng(rng).getrandbits(64))
+        compiled = self._compiled
+        start = compiled.index_of(target)
+        ids = compiled.nodes
+        if count == 0:
+            return []
+        if self._parents.size == 0:  # edgeless graph: every walk dies at once
+            return [TargetPath(nodes=frozenset({target}), is_type1=False) for _ in range(count)]
+        stop_mask = np.zeros(len(compiled), dtype=bool)
+        stop_indices = compiled.indices_of(stop_set)
+        if stop_indices:
+            stop_mask[list(stop_indices)] = True
+
+        indptr = self._indptr
+        parents = self._parents
+        shifted = self._shifted
+        stride = self._stride
+        results: list[TargetPath | None] = [None] * count
+        traced: list[set[int]] = [{start} for _ in range(count)]
+        walkers: list[int] = list(range(count))
+        current: list[int] = [start] * count
+        while walkers:
+            current_arr = np.asarray(current, dtype=np.int64)
+            draws = nprng.random(len(walkers))
+            locations = np.searchsorted(shifted, stride * current_arr + draws, side="right")
+            alive_arr = locations < indptr[current_arr + 1]
+            chosen_arr = parents[np.minimum(locations, parents.size - 1)]
+            # Bulk-convert once per step: per-element numpy indexing inside
+            # the bookkeeping loop costs more than the search itself.
+            stop_hit = (stop_mask[chosen_arr] & alive_arr).tolist()
+            alive = alive_arr.tolist()
+            chosen = chosen_arr.tolist()
+            next_walkers: list[int] = []
+            next_current: list[int] = []
+            for k, walker in enumerate(walkers):
+                nodes_seen = traced[walker]
+                parent = chosen[k]
+                if not alive[k] or parent in nodes_seen:
+                    results[walker] = TargetPath(
+                        nodes=frozenset(ids[i] for i in nodes_seen), is_type1=False
+                    )
+                elif stop_hit[k]:
+                    results[walker] = TargetPath(
+                        nodes=frozenset(ids[i] for i in nodes_seen),
+                        is_type1=True,
+                        anchor=ids[parent],
+                    )
+                else:
+                    nodes_seen.add(parent)
+                    next_walkers.append(walker)
+                    next_current.append(parent)
+            walkers = next_walkers
+            current = next_current
+        return results  # type: ignore[return-value]
+
+
+_ENGINE_TYPES: dict[str, type] = {
+    PythonEngine.name: PythonEngine,
+    NumpyEngine.name: NumpyEngine,
+}
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy backend can be constructed."""
+    return _np is not None
+
+
+def require_engine_name(name: object) -> str:
+    """Validate a configured engine name against :data:`ENGINE_NAMES`.
+
+    Shared by :class:`repro.core.raf.RAFConfig` and
+    :class:`repro.experiments.config.ExperimentConfig` so backend additions
+    happen in one place.  Raises ``ValueError`` on unknown names.
+    """
+    if not isinstance(name, str) or name.lower() not in ENGINE_NAMES:
+        raise EngineError(
+            f"engine must be one of {', '.join(ENGINE_NAMES)}, got {name!r}"
+        )
+    return name.lower()
+
+
+def available_engines() -> tuple[str, ...]:
+    """Names of the engines that can actually run in this environment."""
+    names = [PythonEngine.name]
+    if numpy_available():
+        names.append(NumpyEngine.name)
+    return tuple(names)
+
+
+def create_engine(graph: SocialGraph | CompiledGraph, name: str = "python") -> SamplingEngine:
+    """Build a sampling engine for ``graph`` by backend name.
+
+    ``"auto"`` picks the numpy backend when numpy is importable and falls
+    back to the pure-Python backend otherwise.  Unknown names and
+    unavailable backends raise :class:`~repro.exceptions.EngineError`.
+    """
+    key = (name or "python").lower()
+    if key == "auto":
+        key = NumpyEngine.name if numpy_available() else PythonEngine.name
+    try:
+        engine_type = _ENGINE_TYPES[key]
+    except KeyError:
+        raise EngineError(
+            f"unknown sampling engine {name!r}; choose one of {', '.join(ENGINE_NAMES)}"
+        ) from None
+    return engine_type(graph)
+
+
+def default_engine(graph: SocialGraph | CompiledGraph) -> SamplingEngine:
+    """The default (pure-Python, bit-compatible) engine for ``graph``.
+
+    Construction is cheap: the compiled snapshot is cached on the graph, so
+    this can be called per sampling request without re-freezing anything.
+    """
+    return PythonEngine(graph)
+
+
+def resolve_engine(
+    graph: SocialGraph | CompiledGraph, engine: "SamplingEngine | str | None"
+) -> SamplingEngine:
+    """Coerce an engine argument (instance, name or None) into an engine.
+
+    An engine *instance* must have been built on the same graph (same
+    compiled snapshot) as ``graph``: silently sampling a different graph's
+    topology would produce well-formed but wrong estimates, so a mismatch
+    raises :class:`~repro.exceptions.EngineError` instead.
+    """
+    if engine is None:
+        return default_engine(graph)
+    if isinstance(engine, str):
+        return create_engine(graph, engine)
+    expected = graph if isinstance(graph, CompiledGraph) else compile_graph(graph)
+    if engine.compiled is not expected:
+        raise EngineError(
+            "the provided sampling engine was built on a different graph (or an "
+            "outdated snapshot of this graph); create the engine from the same "
+            "graph, e.g. create_engine(graph, name)"
+        )
+    return engine
+
+
+def collect_type1_paths(
+    engine: SamplingEngine,
+    target: NodeId,
+    stop_set: Iterable[NodeId],
+    count: int,
+    rng: RandomSource = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> tuple[list[TargetPath], int]:
+    """Draw ``count`` traces in bounded chunks, keeping only the type-1 ones.
+
+    Returns ``(type1_paths, num_type1)``.  Chunking keeps peak memory
+    proportional to ``chunk_size`` plus the type-1 yield instead of the full
+    realization count, which matters for the theory-faithful ``l``.
+    """
+    require_non_negative_int(count, "count")
+    generator = ensure_rng(rng)
+    stop = stop_set if isinstance(stop_set, (set, frozenset)) else frozenset(stop_set)
+    type1: list[TargetPath] = []
+    remaining = count
+    while remaining > 0:
+        batch = min(chunk_size, remaining)
+        for path in engine.sample_paths(target, stop, batch, rng=generator):
+            if path.is_type1:
+                type1.append(path)
+        remaining -= batch
+    return type1, len(type1)

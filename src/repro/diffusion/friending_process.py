@@ -5,6 +5,15 @@ evaluation pipeline estimates it by repeated simulation of Process 1.  The
 estimator here is the straightforward fixed-sample-count mean; the
 confidence-controlled stopping-rule estimator used inside the RAF algorithm
 lives in :mod:`repro.estimation.stopping_rule`.
+
+Both estimators additionally accept a reverse-sampling ``engine``: by
+Lemmas 1-2, ``f(I)`` equals the probability that a random backward trace is
+type-1 and covered by ``I``, so the same batched
+:class:`~repro.diffusion.engine.SamplingEngine` that powers RAF can replace
+the forward Process-1 simulation.  The reverse estimator costs a traced
+path per sample instead of a full cascade, which is dramatically cheaper on
+large graphs; it requires the (source, target) pair to be non-friends
+(the Problem 1 setting under which Lemma 2 holds).
 """
 
 from __future__ import annotations
@@ -13,10 +22,13 @@ import math
 from dataclasses import dataclass
 from typing import Iterable
 
+from repro.estimation.monte_carlo import monte_carlo_mean_batched
+from repro.exceptions import EstimationError
 from repro.graph.social_graph import SocialGraph
 from repro.types import NodeId
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import require_positive_int
+from repro.diffusion.engine import SamplingEngine, resolve_engine
 from repro.diffusion.threshold_model import simulate_friending
 
 __all__ = [
@@ -67,11 +79,24 @@ def estimate_acceptance_probability(
     invitation: Iterable[NodeId],
     num_samples: int = 1000,
     rng: RandomSource = None,
+    engine: "SamplingEngine | str | None" = None,
 ) -> AcceptanceEstimate:
-    """Estimate ``f(I)`` by simulating Process 1 ``num_samples`` times."""
+    """Estimate ``f(I)`` over ``num_samples`` independent samples.
+
+    With ``engine=None`` (the default) each sample is one forward simulation
+    of Process 1.  With an engine (an instance or a name accepted by
+    :func:`repro.diffusion.engine.create_engine`) each sample is one
+    reverse-sampled backward trace and a success is a trace covered by the
+    invitation (Lemma 2); the two estimators have the same mean (Lemma 1)
+    but the reverse one only costs a traced path per sample.
+    """
     require_positive_int(num_samples, "num_samples")
     generator = ensure_rng(rng)
     invited = frozenset(invitation)
+    if engine is not None:
+        return _estimate_acceptance_reverse(
+            graph, source, target, invited, num_samples, generator, engine
+        )
     successes = 0
     for _ in range(num_samples):
         outcome = simulate_friending(graph, source, invited, target=target, rng=generator)
@@ -84,20 +109,54 @@ def estimate_acceptance_probability(
     )
 
 
+def _estimate_acceptance_reverse(
+    graph: SocialGraph,
+    source: NodeId,
+    target: NodeId,
+    invited: frozenset,
+    num_samples: int,
+    generator,
+    engine: "SamplingEngine | str",
+) -> AcceptanceEstimate:
+    """``f(I)`` as the covered-trace rate of engine-batched reverse samples."""
+    if graph.has_edge(source, target):
+        raise EstimationError(
+            "the reverse-sampling estimator of f(I) requires a non-friend "
+            "(source, target) pair (Lemma 2 / Problem 1); use the forward "
+            "Process-1 estimator (engine=None) for friend pairs"
+        )
+    resolved = resolve_engine(graph, engine)
+    source_friends = graph.neighbor_set(source)
+
+    def draw_batch(size: int) -> list[float]:
+        paths = resolved.sample_paths(target, source_friends, size, rng=generator)
+        return [1.0 if path.covered_by(invited) else 0.0 for path in paths]
+
+    result = monte_carlo_mean_batched(draw_batch, num_samples)
+    return AcceptanceEstimate(
+        probability=result.mean,
+        num_samples=result.num_samples,
+        successes=round(result.mean * result.num_samples),
+    )
+
+
 def estimate_pmax_fixed_samples(
     graph: SocialGraph,
     source: NodeId,
     target: NodeId,
     num_samples: int = 1000,
     rng: RandomSource = None,
+    engine: "SamplingEngine | str | None" = None,
 ) -> AcceptanceEstimate:
     """Estimate ``pmax = f(V)`` with a fixed sample count.
 
     This is the estimator the experiment harness uses for pair selection
     (pairs with ``pmax < 0.01`` are discarded, Sec. IV); the RAF algorithm
-    itself uses the Dagum et al. stopping rule instead.
+    itself uses the Dagum et al. stopping rule instead.  With an ``engine``
+    the estimate is the type-1 rate of reverse samples (every type-1 trace
+    is covered by the full invitation ``V``, Corollary 2).
     """
     invitation = frozenset(graph.nodes())
     return estimate_acceptance_probability(
-        graph, source, target, invitation, num_samples=num_samples, rng=rng
+        graph, source, target, invitation, num_samples=num_samples, rng=rng, engine=engine
     )

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.exceptions import NodeNotFoundError
+from repro.graph.compiled import compile_graph
 from repro.graph.social_graph import SocialGraph
 from repro.types import NodeId
 from repro.utils.rng import RandomSource, ensure_rng
@@ -63,17 +64,16 @@ def sample_realization(graph: SocialGraph, rng: RandomSource = None) -> Realizat
     the graph is normalized) the user selects nobody.
     """
     generator = ensure_rng(rng)
+    compiled = compile_graph(graph)
+    nodes = compiled.nodes
+    rand = generator.random
     choices: dict[NodeId, NodeId | None] = {}
-    for v in graph.nodes():
-        draw = generator.random()
-        cumulative = 0.0
-        selected: NodeId | None = None
-        for u, weight in graph.in_weights(v).items():
-            cumulative += weight
-            if draw < cumulative:
-                selected = u
-                break
-        choices[v] = selected
+    # One uniform draw per node in insertion order: the same stream and the
+    # same selections as the historical per-node dict scan, without the
+    # copies (the binary search lives in CompiledGraph.select_parent).
+    for i, v in enumerate(nodes):
+        selected = compiled.select_parent(i, rand())
+        choices[v] = nodes[selected] if selected >= 0 else None
     return Realization(choices=choices)
 
 

@@ -11,69 +11,27 @@ The lazily generated marginal matches Def. 1 exactly: each visited user
 independently selects friend ``u`` with probability ``w(u, v)`` and nobody
 with the leftover probability, and the walk stops under the same three
 conditions as Algorithm 1.
+
+These functions are thin convenience wrappers over the batch engines of
+:mod:`repro.diffusion.engine`: the walk itself runs on the compiled CSR
+snapshot (cached on the graph), replacing the historical per-step dict scan
+with an allocation-free binary search while consuming the random stream
+identically -- the same seed yields the same paths it always did.  Code on
+a hot path should hold a :class:`~repro.diffusion.engine.SamplingEngine`
+and call ``sample_paths`` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from repro.exceptions import NodeNotFoundError
+from repro.diffusion.engine import TargetPath, default_engine
 from repro.graph.social_graph import SocialGraph
 from repro.types import NodeId
 from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import require_non_negative_int
 
 __all__ = ["TargetPath", "sample_target_path", "sample_target_paths"]
-
-
-@dataclass(frozen=True, slots=True)
-class TargetPath:
-    """One sampled backward trace ``t(ĝ)``.
-
-    Attributes
-    ----------
-    nodes:
-        The traced users (always contains the target).  For a type-0
-        realization these are the users visited before the walk died; they
-        are retained for diagnostics but can never be covered.
-    is_type1:
-        Whether the walk reached the initiator's friend circle, i.e.
-        whether ℵ0 ∉ t(g) (Definition 2).  Only type-1 paths can contribute
-        to the acceptance probability.
-    anchor:
-        For a type-1 path, the friend of the initiator that the walk
-        reached (the ``u* ∈ N_s`` of Alg. 1, *not* part of ``t(g)``);
-        ``None`` for type-0 paths.
-    """
-
-    nodes: frozenset
-    is_type1: bool
-    anchor: NodeId | None = None
-
-    def covered_by(self, invitation: Iterable[NodeId]) -> bool:
-        """Whether an invitation set covers this realization (Lemma 2).
-
-        A type-0 path is never covered; a type-1 path is covered iff every
-        traced user received an invitation.
-        """
-        if not self.is_type1:
-            return False
-        invited = invitation if isinstance(invitation, (set, frozenset)) else frozenset(invitation)
-        return self.nodes <= invited
-
-    def __len__(self) -> int:
-        return len(self.nodes)
-
-
-def _select_friend(graph: SocialGraph, node: NodeId, generator) -> NodeId | None:
-    """Sample the single friend selected by ``node`` (Def. 1), or None."""
-    draw = generator.random()
-    cumulative = 0.0
-    for friend, weight in graph.in_weights(node).items():
-        cumulative += weight
-        if draw < cumulative:
-            return friend
-    return None
 
 
 def sample_target_path(
@@ -96,23 +54,7 @@ def sample_target_path(
     rng:
         Seed or generator.
     """
-    if not graph.has_node(target):
-        raise NodeNotFoundError(target)
-    generator = ensure_rng(rng)
-    stop_set = source_friends if isinstance(source_friends, (set, frozenset)) else frozenset(source_friends)
-
-    traced: set[NodeId] = {target}
-    current = target
-    while True:
-        parent = _select_friend(graph, current, generator)
-        if parent is None:
-            return TargetPath(nodes=frozenset(traced), is_type1=False)
-        if parent in traced:
-            return TargetPath(nodes=frozenset(traced), is_type1=False)
-        if parent in stop_set:
-            return TargetPath(nodes=frozenset(traced), is_type1=True, anchor=parent)
-        traced.add(parent)
-        current = parent
+    return default_engine(graph).sample_path(target, source_friends, rng=rng)
 
 
 def sample_target_paths(
@@ -122,10 +64,17 @@ def sample_target_paths(
     count: int,
     rng: RandomSource = None,
 ) -> Iterator[TargetPath]:
-    """Yield ``count`` independent backward traces (a generator, lazily evaluated)."""
-    if count < 0:
-        raise ValueError("count must be non-negative")
+    """Yield ``count`` independent backward traces (a generator, lazily evaluated).
+
+    One path is drawn per ``next()``, so a shared ``rng`` advances exactly
+    one path's worth of draws per consumed element (the historical stream
+    contract for partial consumption).  Batch consumers should call
+    ``engine.sample_paths`` directly instead, which amortizes per-path
+    overhead.
+    """
+    require_non_negative_int(count, "count")
     generator = ensure_rng(rng)
+    engine = default_engine(graph)
     stop_set = frozenset(source_friends)
     for _ in range(count):
-        yield sample_target_path(graph, target, stop_set, rng=generator)
+        yield engine.sample_path(target, stop_set, rng=generator)

@@ -10,12 +10,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import require_positive_int
 
-__all__ = ["MonteCarloResult", "monte_carlo_mean"]
+__all__ = ["MonteCarloResult", "monte_carlo_mean", "monte_carlo_mean_batched"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,6 +69,35 @@ def monte_carlo_mean(
         value = float(sampler())
         total += value
         total_sq += value * value
+    mean = total / num_samples
+    variance = max(total_sq / num_samples - mean * mean, 0.0)
+    return MonteCarloResult(mean=mean, num_samples=num_samples, variance=variance)
+
+
+def monte_carlo_mean_batched(
+    batch_sampler: Callable[[int], Sequence[float]],
+    num_samples: int,
+    batch_size: int = 8192,
+) -> MonteCarloResult:
+    """Estimate ``E[X]`` from a batched sampler, drawing in bounded chunks.
+
+    The batched counterpart of :func:`monte_carlo_mean` for samplers that
+    amortize per-call overhead over whole batches (the reverse-sampling
+    engines).  Exactly ``num_samples`` draws are requested in total.
+    """
+    require_positive_int(num_samples, "num_samples")
+    require_positive_int(batch_size, "batch_size")
+    total = 0.0
+    total_sq = 0.0
+    remaining = num_samples
+    while remaining > 0:
+        size = min(batch_size, remaining)
+        values = batch_sampler(size)
+        for value in values:
+            value = float(value)
+            total += value
+            total_sq += value * value
+        remaining -= size
     mean = total / num_samples
     variance = max(total_sq / num_samples - mean * mean, 0.0)
     return MonteCarloResult(mean=mean, num_samples=num_samples, variance=variance)

@@ -22,15 +22,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.exceptions import EstimationError
-from repro.utils.validation import require, require_positive
+from repro.utils.validation import require, require_positive, require_positive_int
 
 __all__ = [
     "StoppingRuleResult",
     "stopping_rule_threshold",
     "stopping_rule_estimate",
+    "stopping_rule_estimate_batched",
     "expected_sample_bound",
 ]
 
@@ -131,6 +132,77 @@ def stopping_rule_estimate(
             raise EstimationError(f"stopping-rule samples must lie in [0, 1], got {value}")
         total += value
         count += 1
+    return StoppingRuleResult(
+        estimate=threshold / count,
+        num_samples=count,
+        threshold=threshold,
+        epsilon=epsilon,
+        delta=delta,
+    )
+
+
+def stopping_rule_estimate_batched(
+    batch_sampler: Callable[[int], Sequence[float]],
+    epsilon: float,
+    delta: float,
+    max_samples: int | None = None,
+    initial_batch: int = 64,
+    batch_growth: float = 2.0,
+    max_batch: int = 65536,
+) -> StoppingRuleResult:
+    """Run the stopping rule on a *batched* sampler.
+
+    Identical in output to :func:`stopping_rule_estimate` when the batched
+    sampler draws from the same i.i.d. stream: samples are consumed in
+    order and the rule stops at exactly the same sample index, so the
+    estimate and ``num_samples`` match the one-at-a-time rule.  Batching
+    exists so engine-backed samplers (which amortize per-call overhead over
+    whole batches of reverse-sampled realizations) can drive Alg. 2: batch
+    sizes grow geometrically from ``initial_batch`` up to ``max_batch``,
+    and are clipped so no more than ``max_samples`` draws are requested in
+    total.
+
+    Parameters
+    ----------
+    batch_sampler:
+        Callable mapping a batch size ``k`` to ``k`` samples in ``[0, 1]``.
+    epsilon, delta, max_samples:
+        As in :func:`stopping_rule_estimate`.
+    initial_batch, batch_growth, max_batch:
+        Geometric chunk schedule for the draws.
+
+    Raises
+    ------
+    EstimationError
+        If ``max_samples`` draws were consumed before the threshold was
+        reached, or if a sample falls outside ``[0, 1]``.
+    """
+    threshold = stopping_rule_threshold(epsilon, delta)
+    require_positive_int(initial_batch, "initial_batch")
+    require(batch_growth >= 1.0, "batch_growth must be at least 1")
+    require_positive_int(max_batch, "max_batch")
+    if max_samples is not None and max_samples <= 0:
+        raise ValueError("max_samples must be positive when given")
+    total = 0.0
+    count = 0
+    batch = initial_batch
+    while total < threshold:
+        if max_samples is not None and count >= max_samples:
+            raise EstimationError(
+                f"stopping rule did not terminate within {max_samples} samples "
+                f"(accumulated {total:.2f} of threshold {threshold:.2f}); the mean being "
+                "estimated is likely (near) zero"
+            )
+        size = batch if max_samples is None else min(batch, max_samples - count)
+        for value in batch_sampler(size):
+            value = float(value)
+            if value < 0.0 or value > 1.0:
+                raise EstimationError(f"stopping-rule samples must lie in [0, 1], got {value}")
+            total += value
+            count += 1
+            if total >= threshold:
+                break
+        batch = min(int(batch * batch_growth), max_batch)
     return StoppingRuleResult(
         estimate=threshold / count,
         num_samples=count,

@@ -17,6 +17,7 @@ __all__ = [
     "GraphFormatError",
     "ProblemDefinitionError",
     "EstimationError",
+    "EngineError",
     "SetCoverError",
     "InfeasibleCoverError",
     "ParameterSolverError",
@@ -73,6 +74,15 @@ class ProblemDefinitionError(ReproError, ValueError):
 
 class EstimationError(ReproError):
     """A Monte Carlo estimation routine could not produce an estimate."""
+
+
+class EngineError(ReproError, ValueError):
+    """A sampling engine is unknown or its backend is unavailable.
+
+    Raised when an engine name does not match a registered backend or when
+    an optional backend (e.g. the numpy-vectorized engine) is requested in
+    an environment where its dependency is not installed.
+    """
 
 
 class SetCoverError(ReproError):

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.core.parameters import SamplePolicy
 from repro.core.raf import RAFConfig
+from repro.diffusion.engine import require_engine_name
 from repro.exceptions import ExperimentError
 from repro.utils.validation import require, require_positive, require_positive_int
 
@@ -52,6 +53,9 @@ class ExperimentConfig:
         Realization count ``l`` used by the RAF sampling framework (the
         FIXED policy; Sec. IV-E shows performance saturates well below the
         theoretical prescription).
+    engine:
+        Reverse-sampling backend name used by the RAF runs and the pair
+        screens (``"python"``, ``"numpy"`` or ``"auto"``).
     seed:
         Base seed controlling the whole experiment.
     """
@@ -66,6 +70,7 @@ class ExperimentConfig:
     raf_epsilon: float = 0.01
     confidence_n: float = 100_000.0
     realizations: int = 4_000
+    engine: str = "python"
     seed: int = 2019
 
     def __post_init__(self) -> None:
@@ -87,6 +92,7 @@ class ExperimentConfig:
                 raise ExperimentError(f"alpha values must lie in (0, 1], got {alpha}")
         require_positive(self.raf_epsilon, "raf_epsilon")
         require_positive(self.confidence_n, "confidence_n")
+        require_engine_name(self.engine)
 
     def raf_config(self, alpha: float | None = None) -> RAFConfig:
         """Build the :class:`RAFConfig` used for one RAF run.
@@ -102,4 +108,5 @@ class ExperimentConfig:
             fixed_realizations=self.realizations,
             pmax_epsilon=0.1,
             pmax_max_samples=max(10 * self.realizations, 50_000),
+            engine=self.engine,
         )

@@ -21,10 +21,16 @@ def evaluate_invitation(
     invitation: Iterable[NodeId],
     num_samples: int = 400,
     rng: RandomSource = None,
+    engine=None,
 ) -> float:
-    """Monte Carlo estimate of ``f(invitation)`` used throughout the harness."""
+    """Monte Carlo estimate of ``f(invitation)`` used throughout the harness.
+
+    ``engine=None`` evaluates by forward Process-1 simulation (the paper's
+    protocol, independent of the sampler being evaluated); passing a
+    sampling engine switches to the covered-trace estimator of Lemma 2.
+    """
     estimate = estimate_acceptance_probability(
-        graph, source, target, invitation, num_samples=num_samples, rng=rng
+        graph, source, target, invitation, num_samples=num_samples, rng=rng, engine=engine
     )
     return estimate.probability
 
@@ -37,6 +43,7 @@ def growth_curve(
     size_step: int | None = None,
     max_size: int | None = None,
     rng: RandomSource = None,
+    engine=None,
 ) -> list[tuple[int, float]]:
     """Grow a ranked invitation set until it matches a target probability.
 
@@ -71,6 +78,7 @@ def growth_curve(
             prefix,
             num_samples=num_samples,
             rng=generator,
+            engine=engine,
         )
         trajectory.append((size, probability))
         if probability >= target_probability:

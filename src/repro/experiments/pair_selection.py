@@ -11,7 +11,7 @@ much smaller than the originals.
 
 from __future__ import annotations
 
-from repro.diffusion.reverse_sampling import sample_target_path
+from repro.diffusion.engine import SamplingEngine, resolve_engine
 from repro.exceptions import ExperimentError
 from repro.graph.social_graph import SocialGraph
 from repro.graph.traversal import bfs_distances
@@ -28,21 +28,21 @@ def screen_pmax(
     target,
     num_samples: int = 400,
     rng: RandomSource = None,
+    engine: "SamplingEngine | str | None" = None,
 ) -> float:
     """Cheap ``pmax`` estimate: the fraction of type-1 reverse samples.
 
     By Corollary 2 the type indicator of a random realization is an
     unbiased estimator of ``pmax``, and a reverse sample costs only the
     traced path length, so this screen is far cheaper than simulating
-    Process 1.
+    Process 1.  The samples are drawn as one engine batch.
     """
     require_positive_int(num_samples, "num_samples")
     generator = ensure_rng(rng)
+    resolved = resolve_engine(graph, engine)
     source_friends = graph.neighbor_set(source)
-    hits = 0
-    for _ in range(num_samples):
-        if sample_target_path(graph, target, source_friends, rng=generator).is_type1:
-            hits += 1
+    paths = resolved.sample_paths(target, source_friends, num_samples, rng=generator)
+    hits = sum(1 for path in paths if path.is_type1)
     return hits / num_samples
 
 
@@ -55,6 +55,7 @@ def select_pairs(
     screen_samples: int = 400,
     rng: RandomSource = None,
     max_attempts: int | None = None,
+    engine: "SamplingEngine | str | None" = None,
 ) -> list[PairSpec]:
     """Randomly select experiment pairs satisfying the screening criteria.
 
@@ -75,6 +76,9 @@ def select_pairs(
     max_attempts:
         Candidate pairs examined before giving up (default
         ``200 * num_pairs``).
+    engine:
+        Reverse-sampling backend (instance or name) used for the screens;
+        ``None`` selects the default pure-Python engine.
 
     Raises
     ------
@@ -87,6 +91,7 @@ def select_pairs(
     if min_distance < 2:
         raise ExperimentError("min_distance must be at least 2 (non-friend pairs)")
     generator = ensure_rng(rng)
+    resolved = resolve_engine(graph, engine)
     nodes = graph.node_list()
     if len(nodes) < 2:
         raise ExperimentError("the graph has fewer than two users")
@@ -111,7 +116,9 @@ def select_pairs(
             distance = distances.get(target)
             if distance is None or distance < min_distance:
                 continue
-        pmax = screen_pmax(graph, source, target, num_samples=screen_samples, rng=generator)
+        pmax = screen_pmax(
+            graph, source, target, num_samples=screen_samples, rng=generator, engine=resolved
+        )
         if pmax < pmax_threshold or pmax > pmax_ceiling:
             continue
         pairs.append(PairSpec(source=source, target=target, pmax=pmax))

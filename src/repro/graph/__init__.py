@@ -8,6 +8,7 @@ these graphs.
 """
 
 from repro.graph.social_graph import SocialGraph
+from repro.graph.compiled import CompiledGraph, compile_graph
 from repro.graph.weights import (
     apply_degree_normalized_weights,
     apply_explicit_weights,
@@ -55,6 +56,8 @@ from repro.graph.traversal import (
 
 __all__ = [
     "SocialGraph",
+    "CompiledGraph",
+    "compile_graph",
     "apply_degree_normalized_weights",
     "apply_uniform_weights",
     "apply_random_weights",

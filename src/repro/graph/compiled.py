@@ -1,0 +1,191 @@
+"""Frozen CSR snapshot of a :class:`SocialGraph` for allocation-free sampling.
+
+Every quantity the RAF pipeline computes -- ``pmax`` (Alg. 2), the ``l``
+reverse-sampled realizations (Alg. 3) and the Monte Carlo evaluation of
+``f(I)`` -- boils down to millions of independent friend selections
+(Def. 1).  Doing those selections against the mutable adjacency-dict
+representation costs a mapping view plus an O(degree) linear scan per step.
+
+:class:`CompiledGraph` freezes the graph once into contiguous arrays:
+
+* node ids are interned to dense indices ``0..n-1`` (insertion order, so
+  compiled sampling visits neighbours in exactly the same order as the
+  dict-based code and stays bit-compatible with it for a fixed seed);
+* ``indptr``/``parents`` form a CSR layout of each node's in-neighbours;
+* ``cum_weights`` holds the *running* left-to-right sum of each node's
+  incoming weights, so a friend selection is a single binary search of the
+  node's slice with a uniform draw;
+* ``totals`` holds each node's total incoming weight -- the complement
+  ``1 - totals[i]`` is the precomputed probability that the node selects
+  nobody (the stop-probability tail of Def. 1).
+
+Snapshots are cached on the source graph and invalidated by its mutation
+counter, so repeated calls to :func:`compile_graph` are free until the graph
+actually changes.  The sampling engines in :mod:`repro.diffusion.engine`
+consume these arrays directly.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_right
+from typing import Iterable, Iterator
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.social_graph import SocialGraph
+from repro.types import NodeId
+
+__all__ = ["CompiledGraph", "compile_graph"]
+
+
+class CompiledGraph:
+    """Immutable CSR view of a :class:`SocialGraph`.
+
+    The public array attributes (``nodes``, ``indptr``, ``parents``,
+    ``cum_weights``, ``totals``) are exposed for the sampling engines and
+    must be treated as read-only; mutate the source graph and recompile
+    instead.
+    """
+
+    __slots__ = ("name", "nodes", "indptr", "parents", "cum_weights", "totals", "_index", "_num_edges")
+
+    def __init__(self, graph: SocialGraph) -> None:
+        self.name = graph.name
+        self.nodes: tuple = tuple(graph.nodes())
+        self._index: dict = {node: i for i, node in enumerate(self.nodes)}
+        indptr = array("q", [0])
+        parents = array("q")
+        cum_weights = array("d")
+        totals = array("d")
+        index = self._index
+        for v in self.nodes:
+            running = 0.0
+            for u, weight in graph.in_weights(v).items():
+                running += weight
+                parents.append(index[u])
+                cum_weights.append(running)
+            totals.append(running)
+            indptr.append(len(parents))
+        self.indptr = indptr
+        self.parents = parents
+        self.cum_weights = cum_weights
+        self.totals = totals
+        self._num_edges = graph.num_edges
+
+    # ------------------------------------------------------------------ #
+    # Interning
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        label = f" {self.name!r}" if self.name else ""
+        return f"<CompiledGraph{label} n={self.num_nodes} m={self.num_edges}>"
+
+    @property
+    def num_nodes(self) -> int:
+        """The number of users ``n``."""
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """The number of friendships ``m``."""
+        return self._num_edges
+
+    def index_of(self, node: NodeId) -> int:
+        """Dense index of ``node``; raises :class:`NodeNotFoundError` if unknown."""
+        try:
+            return self._index[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def node_at(self, index: int) -> NodeId:
+        """The node id interned at ``index``."""
+        return self.nodes[index]
+
+    def indices_of(self, nodes: Iterable[NodeId]) -> frozenset:
+        """Dense indices of the given nodes, silently skipping unknown ids.
+
+        Unknown members of a stop set can never be reached by a walk, so
+        dropping them preserves the dict-based sampling semantics exactly.
+        """
+        index = self._index
+        return frozenset(index[node] for node in nodes if node in index)
+
+    # ------------------------------------------------------------------ #
+    # Weighted structure (round-trips the source graph)
+    # ------------------------------------------------------------------ #
+
+    def degree(self, node: NodeId) -> int:
+        """The number of current friends of ``node``."""
+        i = self.index_of(node)
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def total_in_weight(self, node: NodeId) -> float:
+        """``sum_u w(u, node)`` (the model requires this to be <= 1)."""
+        return self.totals[self.index_of(node)]
+
+    def stop_probability(self, node: NodeId) -> float:
+        """The precomputed tail probability that ``node`` selects nobody."""
+        return max(0.0, 1.0 - self.total_in_weight(node))
+
+    def in_weights(self, node: NodeId) -> dict:
+        """``{u: w(u, node)}`` reconstructed from the CSR arrays."""
+        i = self.index_of(node)
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        weights: dict = {}
+        previous = 0.0
+        for j in range(lo, hi):
+            weights[self.nodes[self.parents[j]]] = self.cum_weights[j] - previous
+            previous = self.cum_weights[j]
+        return weights
+
+    def weight(self, u: NodeId, v: NodeId) -> float:
+        """``w(u, v)``: v's familiarity with u (0 for non-friends)."""
+        self.index_of(u)
+        return self.in_weights(v).get(u, 0.0)
+
+    def edges(self) -> Iterator[tuple]:
+        """Iterate over each friendship exactly once (arbitrary orientation)."""
+        seen: set[int] = set()
+        for v in range(self.num_nodes):
+            for j in range(self.indptr[v], self.indptr[v + 1]):
+                u = self.parents[j]
+                if u not in seen:
+                    yield (self.nodes[v], self.nodes[u])
+            seen.add(v)
+
+    # ------------------------------------------------------------------ #
+    # Sampling primitive
+    # ------------------------------------------------------------------ #
+
+    def select_parent(self, node_index: int, draw: float) -> int:
+        """Index of the friend selected by ``node_index`` for a uniform ``draw``.
+
+        Returns ``-1`` when the draw falls into the stop-probability tail
+        (the node selects nobody).  This is the allocation-free binary-search
+        equivalent of the dict-based linear scan: it returns the first
+        neighbour whose running weight sum exceeds ``draw``.
+        """
+        lo = self.indptr[node_index]
+        hi = self.indptr[node_index + 1]
+        j = bisect_right(self.cum_weights, draw, lo, hi)
+        return self.parents[j] if j < hi else -1
+
+
+def compile_graph(graph: SocialGraph) -> CompiledGraph:
+    """Return the (cached) CSR snapshot of ``graph``.
+
+    The snapshot is stored on the graph keyed by its mutation counter, so
+    compiling is O(1) until the graph changes and O(n + m) after.
+    """
+    cached = graph._compiled_cache
+    if cached is not None and cached[0] == graph.version:
+        return cached[1]
+    compiled = CompiledGraph(graph)
+    graph._compiled_cache = (graph.version, compiled)
+    return compiled

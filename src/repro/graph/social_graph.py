@@ -16,6 +16,7 @@ hold the two directional weights.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 from repro.exceptions import EdgeNotFoundError, NodeNotFoundError, WeightError
@@ -45,7 +46,7 @@ class SocialGraph:
     they receive unless explicitly documented.
     """
 
-    __slots__ = ("_in_weights", "_num_edges", "name")
+    __slots__ = ("_in_weights", "_num_edges", "name", "_version", "_compiled_cache")
 
     def __init__(
         self,
@@ -57,6 +58,11 @@ class SocialGraph:
         self._in_weights: dict[NodeId, dict[NodeId, float]] = {}
         self._num_edges: int = 0
         self.name = name
+        # Mutation counter plus a slot for the frozen CSR snapshot; both are
+        # managed by repro.graph.compiled.compile_graph so that compiled
+        # snapshots are rebuilt only after the graph actually changed.
+        self._version: int = 0
+        self._compiled_cache = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -126,9 +132,21 @@ class SocialGraph:
     # Mutation
     # ------------------------------------------------------------------ #
 
+    def _invalidate(self) -> None:
+        """Record a mutation: bump the version and drop the compiled snapshot."""
+        self._version += 1
+        self._compiled_cache = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (compiled snapshots key off it)."""
+        return self._version
+
     def add_node(self, node: NodeId) -> None:
         """Add an isolated node (no-op if it already exists)."""
-        self._in_weights.setdefault(node, {})
+        if node not in self._in_weights:
+            self._in_weights[node] = {}
+            self._invalidate()
 
     def add_edge(
         self,
@@ -154,6 +172,7 @@ class SocialGraph:
         self._in_weights[u][v] = float(weight_vu)
         if is_new:
             self._num_edges += 1
+        self._invalidate()
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove the friendship ``(u, v)``."""
@@ -162,6 +181,7 @@ class SocialGraph:
         del self._in_weights[v][u]
         del self._in_weights[u][v]
         self._num_edges -= 1
+        self._invalidate()
 
     def remove_node(self, node: NodeId) -> None:
         """Remove a node and all its incident friendships."""
@@ -170,6 +190,7 @@ class SocialGraph:
         for neighbor in list(self._in_weights[node]):
             self.remove_edge(node, neighbor)
         del self._in_weights[node]
+        self._invalidate()
 
     def set_weight(self, u: NodeId, v: NodeId, weight: float) -> None:
         """Set ``w(u, v)`` (v's familiarity with friend u)."""
@@ -177,6 +198,7 @@ class SocialGraph:
             raise EdgeNotFoundError(u, v)
         self._validate_weight_value(weight, u, v)
         self._in_weights[v][u] = float(weight)
+        self._invalidate()
 
     @staticmethod
     def _validate_weight_value(weight: float, u: NodeId, v: NodeId) -> None:
@@ -268,9 +290,15 @@ class SocialGraph:
         return self._in_weights[v].get(u, 0.0)
 
     def in_weights(self, node: NodeId) -> Mapping[NodeId, float]:
-        """Read-only view of ``{u: w(u, node)}`` over node's friends."""
+        """Read-only view of ``{u: w(u, node)}`` over node's friends.
+
+        The returned mapping is a live :class:`types.MappingProxyType` view
+        (not a copy): it reflects later weight updates and rejects mutation.
+        Hot loops can therefore call this per step without paying an
+        allocation; callers that need a detached snapshot must ``dict()`` it.
+        """
         try:
-            return dict(self._in_weights[node])
+            return MappingProxyType(self._in_weights[node])
         except KeyError:
             raise NodeNotFoundError(node) from None
 

@@ -15,6 +15,7 @@ pure-Python dependency surface stays minimal.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Union
 
@@ -56,10 +57,16 @@ def derive_rng(rng: RandomSource, label: str) -> random.Random:
     This is used to hand out statistically independent streams to
     sub-components (e.g. the pmax estimator and the realization sampler)
     while keeping the whole run reproducible from a single seed.  The same
-    ``(seed, label)`` pair always yields the same stream.
+    ``(seed, label)`` pair always yields the same stream -- also across
+    processes: the label is mixed in with a stable digest rather than
+    ``hash()``, whose per-process salting of strings used to make seeded
+    CLI runs differ from invocation to invocation.
     """
     base = ensure_rng(rng)
-    seed = base.randrange(_SEED_SPACE) ^ (hash(label) & (_SEED_SPACE - 1))
+    label_mix = int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    ) & (_SEED_SPACE - 1)
+    seed = base.randrange(_SEED_SPACE) ^ label_mix
     return random.Random(seed)
 
 

@@ -15,6 +15,7 @@ __all__ = [
     "require_positive",
     "require_positive_int",
     "require_non_negative",
+    "require_non_negative_int",
     "require_probability",
     "require_in_closed_unit_interval",
     "require_in_open_closed_unit_interval",
@@ -55,6 +56,15 @@ def require_positive_int(value: int, name: str = "value") -> int:
         raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
     if value <= 0:
         raise ValueError(f"{name} must be > 0, got {value!r}")
+    return int(value)
+
+
+def require_non_negative_int(value: int, name: str = "value") -> int:
+    """Validate that ``value`` is a non-negative integer (e.g. a sample count)."""
+    if isinstance(value, bool) or not isinstance(value, Integral):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
     return int(value)
 
 

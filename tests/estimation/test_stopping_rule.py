@@ -9,6 +9,7 @@ import pytest
 from repro.estimation.stopping_rule import (
     expected_sample_bound,
     stopping_rule_estimate,
+    stopping_rule_estimate_batched,
     stopping_rule_threshold,
 )
 from repro.exceptions import EstimationError
@@ -97,3 +98,54 @@ class TestStoppingRuleEstimate:
         result = stopping_rule_estimate(lambda: 1.0, epsilon=0.3, delta=0.2)
         assert result.epsilon == 0.3
         assert result.delta == 0.2
+
+
+class TestStoppingRuleBatched:
+    """The batched rule is sample-for-sample identical to the sequential one."""
+
+    @pytest.mark.parametrize("true_mean", [0.1, 0.4, 0.9])
+    def test_matches_sequential_on_same_stream(self, true_mean):
+        def bernoulli_stream(seed):
+            generator = random.Random(seed)
+            while True:
+                yield 1.0 if generator.random() < true_mean else 0.0
+
+        sequential_stream = bernoulli_stream(99)
+        sequential = stopping_rule_estimate(
+            lambda: next(sequential_stream), epsilon=0.15, delta=0.05
+        )
+        batched_stream = bernoulli_stream(99)
+        batched = stopping_rule_estimate_batched(
+            lambda size: [next(batched_stream) for _ in range(size)],
+            epsilon=0.15,
+            delta=0.05,
+        )
+        assert batched.estimate == sequential.estimate
+        assert batched.num_samples == sequential.num_samples
+
+    def test_max_samples_consumed_exactly(self):
+        drawn = {"count": 0}
+
+        def zeros(size):
+            drawn["count"] += size
+            return [0.0] * size
+
+        with pytest.raises(EstimationError):
+            stopping_rule_estimate_batched(zeros, epsilon=0.2, delta=0.1, max_samples=500)
+        assert drawn["count"] == 500  # chunks are clipped to the cap
+
+    def test_out_of_range_sample_rejected(self):
+        with pytest.raises(EstimationError):
+            stopping_rule_estimate_batched(
+                lambda size: [2.0] * size, epsilon=0.2, delta=0.1
+            )
+
+    def test_invalid_batch_parameters(self):
+        with pytest.raises(ValueError):
+            stopping_rule_estimate_batched(
+                lambda size: [1.0] * size, epsilon=0.2, delta=0.1, initial_batch=0
+            )
+        with pytest.raises(ValueError):
+            stopping_rule_estimate_batched(
+                lambda size: [1.0] * size, epsilon=0.2, delta=0.1, batch_growth=0.5
+            )

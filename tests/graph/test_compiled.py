@@ -1,0 +1,141 @@
+"""Tests for repro.graph.compiled (the frozen CSR snapshot)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.social_graph import SocialGraph
+from repro.graph.weights import apply_degree_normalized_weights
+
+
+class TestRoundTrip:
+    def test_nodes_and_counts(self, small_ba_graph):
+        compiled = CompiledGraph(small_ba_graph)
+        assert compiled.num_nodes == small_ba_graph.num_nodes
+        assert compiled.num_edges == small_ba_graph.num_edges
+        assert tuple(compiled.nodes) == tuple(small_ba_graph.nodes())
+        assert len(compiled) == small_ba_graph.num_nodes
+
+    def test_degrees(self, small_ba_graph):
+        compiled = CompiledGraph(small_ba_graph)
+        for node in small_ba_graph.nodes():
+            assert compiled.degree(node) == small_ba_graph.degree(node)
+
+    def test_in_weights(self, small_ba_graph):
+        compiled = CompiledGraph(small_ba_graph)
+        for node in small_ba_graph.nodes():
+            expected = dict(small_ba_graph.in_weights(node))
+            actual = compiled.in_weights(node)
+            assert set(actual) == set(expected)
+            for friend, weight in expected.items():
+                assert actual[friend] == pytest.approx(weight, abs=1e-12)
+
+    def test_pairwise_weights(self, triangle_graph):
+        compiled = CompiledGraph(triangle_graph)
+        for u in triangle_graph.nodes():
+            for v in triangle_graph.nodes():
+                if u != v:
+                    assert compiled.weight(u, v) == pytest.approx(triangle_graph.weight(u, v))
+
+    def test_normalization_totals(self, small_ba_graph):
+        compiled = CompiledGraph(small_ba_graph)
+        for node in small_ba_graph.nodes():
+            total = compiled.total_in_weight(node)
+            assert total == pytest.approx(small_ba_graph.total_in_weight(node), abs=1e-12)
+            assert total <= 1.0 + 1e-9
+            assert compiled.stop_probability(node) == pytest.approx(max(0.0, 1.0 - total))
+
+    def test_edges_match(self, diamond_graph):
+        compiled = CompiledGraph(diamond_graph)
+        expected = {frozenset(edge) for edge in diamond_graph.edges()}
+        actual = {frozenset(edge) for edge in compiled.edges()}
+        assert actual == expected
+
+    def test_membership_and_interning(self, triangle_graph):
+        compiled = CompiledGraph(triangle_graph)
+        for i, node in enumerate(compiled.nodes):
+            assert compiled.index_of(node) == i
+            assert compiled.node_at(i) == node
+            assert node in compiled
+        assert "ghost" not in compiled
+        with pytest.raises(NodeNotFoundError):
+            compiled.index_of("ghost")
+
+    def test_indices_of_skips_unknown(self, triangle_graph):
+        compiled = CompiledGraph(triangle_graph)
+        indices = compiled.indices_of(["a", "ghost"])
+        assert indices == frozenset({compiled.index_of("a")})
+
+    def test_empty_and_isolated(self):
+        graph = SocialGraph(nodes=["x", "y"])
+        compiled = CompiledGraph(graph)
+        assert compiled.num_nodes == 2
+        assert compiled.num_edges == 0
+        assert compiled.degree("x") == 0
+        assert compiled.total_in_weight("x") == 0.0
+        assert compiled.select_parent(0, 0.5) == -1
+
+
+class TestSelectParent:
+    def test_matches_linear_scan(self, small_ba_graph):
+        """The binary search selects the same friend as the dict linear scan."""
+        compiled = CompiledGraph(small_ba_graph)
+        for node in small_ba_graph.nodes():
+            index = compiled.index_of(node)
+            for step in range(21):
+                draw = step / 20.0
+                cumulative = 0.0
+                expected = None
+                for friend, weight in small_ba_graph.in_weights(node).items():
+                    cumulative += weight
+                    if draw < cumulative:
+                        expected = friend
+                        break
+                selected = compiled.select_parent(index, draw)
+                actual = None if selected < 0 else compiled.node_at(selected)
+                assert actual == expected
+
+    def test_tail_draw_selects_nobody(self):
+        graph = SocialGraph(edges=[("a", "b", 0.3, 0.3)])
+        compiled = CompiledGraph(graph)
+        index = compiled.index_of("a")
+        assert compiled.node_at(compiled.select_parent(index, 0.1)) == "b"
+        assert compiled.select_parent(index, 0.999999) == -1
+
+
+class TestCompileCache:
+    def test_cached_until_mutation(self):
+        graph = apply_degree_normalized_weights(
+            SocialGraph(edges=[("a", "b"), ("b", "c")])
+        )
+        first = compile_graph(graph)
+        assert compile_graph(graph) is first
+
+    def test_invalidated_by_add_edge(self):
+        graph = apply_degree_normalized_weights(
+            SocialGraph(edges=[("a", "b"), ("b", "c")])
+        )
+        first = compile_graph(graph)
+        graph.add_edge("a", "c", weight_uv=0.1, weight_vu=0.1)
+        second = compile_graph(graph)
+        assert second is not first
+        assert second.num_edges == 3
+
+    def test_invalidated_by_set_weight(self):
+        graph = SocialGraph(edges=[("a", "b", 0.5, 0.5)])
+        first = compile_graph(graph)
+        graph.set_weight("a", "b", 0.25)
+        second = compile_graph(graph)
+        assert second is not first
+        assert second.weight("a", "b") == pytest.approx(0.25)
+
+    def test_version_counter_monotonic(self):
+        graph = SocialGraph()
+        version = graph.version
+        graph.add_node("a")
+        assert graph.version > version
+        version = graph.version
+        graph.add_node("a")  # duplicate: no mutation
+        assert graph.version == version

@@ -150,11 +150,18 @@ class TestInspection:
         with pytest.raises(NodeNotFoundError):
             graph.weight(1, 99)
 
-    def test_in_weights_returns_copy(self):
+    def test_in_weights_is_read_only(self):
         graph = SocialGraph(edges=[(1, 2, 0.5, 0.5)])
         weights = graph.in_weights(2)
-        weights[1] = 0.9
+        with pytest.raises(TypeError):
+            weights[1] = 0.9
         assert graph.weight(1, 2) == 0.5
+
+    def test_in_weights_is_a_live_view(self):
+        graph = SocialGraph(edges=[(1, 2, 0.5, 0.5)])
+        weights = graph.in_weights(2)
+        graph.set_weight(1, 2, 0.25)
+        assert weights[1] == 0.25
 
     def test_total_in_weight(self):
         graph = SocialGraph(edges=[(1, 2, 0.3, 0.1), (3, 2, 0.4, 0.2)])

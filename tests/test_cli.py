@@ -27,6 +27,19 @@ class TestParser:
         assert args.dataset == "wiki"
         assert args.alpha == 0.1
         assert args.seed == 2019
+        assert args.engine == "python"
+
+    def test_engine_flag_accepted(self):
+        args = build_parser().parse_args(["raf", "--engine", "auto"])
+        assert args.engine == "auto"
+        args = build_parser().parse_args(["maximize", "--budget", "3", "--engine", "python"])
+        assert args.engine == "python"
+        args = build_parser().parse_args(["experiment", "fig3", "--engine", "python"])
+        assert args.engine == "python"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["raf", "--engine", "fortran"])
 
 
 class TestDatasetsCommand:
@@ -49,6 +62,15 @@ class TestRafCommand:
         assert "auto-selected pair" in output
         assert "RAF invitation set" in output
         assert "pmax estimate" in output
+
+    def test_auto_engine_run(self, capsys):
+        code = main([
+            "--seed", "3", "raf", "--dataset", "wiki", "--scale", "0.04",
+            "--alpha", "0.2", "--realizations", "800", "--eval-samples", "100",
+            "--engine", "auto",
+        ])
+        assert code == 0
+        assert "RAF invitation set" in capsys.readouterr().out
 
     def test_explicit_pair_with_baselines(self, capsys):
         graph = load_dataset("wiki", scale=0.04, rng=3)

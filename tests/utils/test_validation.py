@@ -9,10 +9,27 @@ from repro.utils.validation import (
     require_in_closed_unit_interval,
     require_in_open_closed_unit_interval,
     require_non_negative,
+    require_non_negative_int,
     require_positive,
     require_positive_int,
     require_probability,
 )
+
+
+class TestRequireNonNegativeInt:
+    def test_accepts_zero_and_positive(self):
+        assert require_non_negative_int(0, "count") == 0
+        assert require_non_negative_int(7, "count") == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="count"):
+            require_non_negative_int(-1, "count")
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(TypeError):
+            require_non_negative_int(1.5, "count")
+        with pytest.raises(TypeError):
+            require_non_negative_int(True, "count")
 
 
 class TestRequire:
