@@ -14,13 +14,17 @@ Results (paths/sec and speedups over the seed sampler) are printed and
 written to ``BENCH_engine.json`` at the repository root so the performance
 trajectory is tracked from PR to PR.  Run standalone with::
 
-    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--output PATH]
+        [--paths N] [--nodes N]
 
-or via pytest (smaller sample counts, plus a regression assertion).
+or via pytest (smaller sample counts, plus a regression assertion).  The CI
+``bench`` job runs the standalone form on every push and gates merges with
+``benchmarks/compare_bench.py`` against the committed baseline.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import random
 import time
@@ -135,8 +139,10 @@ def run_benchmark(num_paths: int = 30_000, num_nodes: int = 3000):
     }
 
 
-def write_report(report: dict) -> None:
-    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+def write_report(report: dict, path: Path = OUTPUT_PATH) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
 
 
 def test_engine_throughput():
@@ -158,6 +164,14 @@ def test_engine_throughput():
 
 
 if __name__ == "__main__":
-    report = run_benchmark()
-    write_report(report)
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=OUTPUT_PATH,
+                        help=f"where to write the JSON report (default: {OUTPUT_PATH})")
+    parser.add_argument("--paths", type=int, default=30_000,
+                        help="reverse-sampled paths per backend (default: 30000)")
+    parser.add_argument("--nodes", type=int, default=3000,
+                        help="benchmark graph size (default: 3000)")
+    cli_args = parser.parse_args()
+    report = run_benchmark(num_paths=cli_args.paths, num_nodes=cli_args.nodes)
+    write_report(report, cli_args.output)
     print(json.dumps(report, indent=2))

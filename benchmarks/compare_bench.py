@@ -1,0 +1,83 @@
+"""Gate a fresh engine-throughput report against the committed baseline.
+
+Used by the CI ``bench`` job::
+
+    python benchmarks/compare_bench.py BENCH_engine.json fresh.json \
+        --max-regression 0.30
+
+Raw paths/sec are not comparable across machines (the committed baseline
+was measured on different hardware than the CI runner), so the gate is on
+each engine's ``speedup_vs_dict_seed`` ratio: the dict-based seed sampler
+is re-timed in the *same* fresh run on the *same* machine, which makes the
+ratio hardware-neutral.  An engine whose fresh speedup falls more than
+``--max-regression`` (default 30%) below its committed speedup fails the
+gate; absolute paths/sec for both runs are printed alongside for context.
+Engines present in only one report (e.g. the no-numpy leg) are reported
+but never gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
+    """Return a list of failure messages (empty when the gate passes)."""
+    failures: list[str] = []
+    baseline_results = baseline["results"]
+    fresh_results = fresh["results"]
+    header = f"{'engine':<12} {'base paths/s':>14} {'fresh paths/s':>14} {'base x':>8} {'fresh x':>8} {'ratio':>7}"
+    print(header)
+    print("-" * len(header))
+    for engine in baseline_results:
+        base_row = baseline_results[engine]
+        fresh_row = fresh_results.get(engine)
+        if fresh_row is None:
+            print(f"{engine:<12} {base_row['paths_per_sec']:>14} {'(absent)':>14}")
+            continue
+        base_speedup = base_row["speedup_vs_dict_seed"]
+        fresh_speedup = fresh_row["speedup_vs_dict_seed"]
+        ratio = fresh_speedup / base_speedup if base_speedup else 1.0
+        print(
+            f"{engine:<12} {base_row['paths_per_sec']:>14} {fresh_row['paths_per_sec']:>14} "
+            f"{base_speedup:>8} {fresh_speedup:>8} {ratio:>7.2f}"
+        )
+        if engine == "dict-seed":  # the normalizer itself, always ratio 1
+            continue
+        if ratio < 1.0 - max_regression:
+            failures.append(
+                f"{engine}: speedup regressed {1.0 - ratio:.0%} "
+                f"({base_speedup}x -> {fresh_speedup}x, allowed {max_regression:.0%})"
+            )
+    for engine in fresh_results:
+        if engine not in baseline_results:
+            print(f"{engine:<12} {'(new)':>14} {fresh_results[engine]['paths_per_sec']:>14}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_engine.json")
+    parser.add_argument("fresh", type=Path, help="report from the current run")
+    parser.add_argument(
+        "--max-regression", type=float, default=0.30,
+        help="largest tolerated relative drop in speedup_vs_dict_seed (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
+    failures = compare(baseline, fresh, args.max_regression)
+    if failures:
+        print("\nBENCH REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ The library implements the full pipeline of the paper:
 * Monte Carlo estimation with the Dagum et al. stopping rule
   (:mod:`repro.estimation`),
 * Minimum p-Union / Minimum Subset Cover solvers (:mod:`repro.setcover`),
+* deterministic multi-process sampling fan-out (:mod:`repro.parallel`),
 * the RAF algorithm and the ``Vmax`` special case (:mod:`repro.core`),
 * the HD / SP / random / PageRank / greedy baselines
   (:mod:`repro.baselines`), and
@@ -61,6 +62,7 @@ from repro.diffusion import (
     sample_target_path,
     simulate_friending,
 )
+from repro.parallel import ParallelEngine, maybe_parallel
 from repro.core import (
     ActiveFriendingProblem,
     GuaranteeReport,
@@ -86,7 +88,7 @@ from repro.baselines import (
     shortest_path_invitation,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -119,6 +121,8 @@ __all__ = [
     "NumpyEngine",
     "create_engine",
     "available_engines",
+    "ParallelEngine",
+    "maybe_parallel",
     # core algorithm
     "ActiveFriendingProblem",
     "RAFConfig",

@@ -10,10 +10,15 @@ The CLI exposes the common workflows without writing Python:
 * ``repro maximize`` -- the budgeted (maximum) active friending extension.
 * ``repro experiment`` -- regenerate a table/figure of the paper (or all of
   them) on the stand-ins or on a user-supplied SNAP edge list.
+* ``repro matrix`` -- run a scenario grid of (dataset × algorithm × budget
+  × engine) cells in parallel, streaming resumable per-cell JSON records.
 
 Every command accepts ``--seed`` for reproducibility and either
 ``--dataset`` (a built-in stand-in, with ``--scale``) or ``--edge-list``
 (a SNAP file, weighted with the paper's 1/|N_v| convention on load).
+Sampling-heavy commands additionally accept ``--engine`` (backend) and
+``--workers N|auto`` (multi-process sampling fan-out; seeded results are
+identical for every worker count).
 """
 
 from __future__ import annotations
@@ -35,6 +40,12 @@ from repro.exceptions import ReproError
 from repro.experiments.basic_experiment import format_basic_experiment, run_basic_experiment
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.datasets_table import format_datasets_table, run_datasets_table
+from repro.experiments.matrix import (
+    MATRIX_ALGORITHM_NAMES,
+    MatrixSpec,
+    format_matrix,
+    run_matrix,
+)
 from repro.experiments.pair_selection import select_pairs
 from repro.experiments.ratio_comparison import format_ratio_comparison, run_ratio_comparison
 from repro.experiments.realization_sweep import format_realization_sweep, run_realization_sweep
@@ -44,6 +55,7 @@ from repro.graph.datasets import DATASET_NAMES, load_dataset
 from repro.graph.io import read_snap_graph
 from repro.graph.metrics import compute_stats
 from repro.graph.weights import apply_degree_normalized_weights
+from repro.parallel.engine import WORKERS_AUTO
 from repro.types import PairSpec, ordered
 
 __all__ = ["main", "build_parser"]
@@ -71,11 +83,31 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_workers(value: str) -> "int | str":
+    """argparse type for ``--workers``: a positive integer or 'auto'."""
+    if value.lower() == WORKERS_AUTO:
+        return WORKERS_AUTO
+    try:
+        count = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be a positive integer or '{WORKERS_AUTO}', got {value!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"workers must be at least 1, got {count}")
+    return count
+
+
 def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine", choices=ENGINE_NAMES, default="python",
         help="reverse-sampling backend: 'python' (default, pure stdlib), "
              "'numpy' (vectorized, requires numpy), or 'auto'",
+    )
+    parser.add_argument(
+        "--workers", type=_parse_workers, default=None, metavar="{N,auto}",
+        help="sampling worker processes ('auto' = one per CPU); seeded results "
+             "are identical for every worker count (default: single-stream)",
     )
 
 
@@ -134,6 +166,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--all-datasets", action="store_true",
         help="run over all four stand-ins instead of only --dataset",
     )
+
+    matrix = subparsers.add_parser(
+        "matrix",
+        help="run a (dataset x algorithm x budget x engine) scenario grid with "
+             "resumable per-cell JSON records",
+    )
+    matrix.add_argument(
+        "--datasets", default="wiki,hepth",
+        help="comma-separated dataset stand-ins (default: wiki,hepth)",
+    )
+    matrix.add_argument(
+        "--algorithms", default="raf,hd",
+        help=f"comma-separated algorithms out of {{{','.join(MATRIX_ALGORITHM_NAMES)}}} "
+             "(default: raf,hd)",
+    )
+    matrix.add_argument(
+        "--budgets", default="4,8",
+        help="comma-separated invitation budgets (default: 4,8)",
+    )
+    matrix.add_argument(
+        "--engines", default="python",
+        help="comma-separated sampling backends (default: python)",
+    )
+    matrix.add_argument("--scale", type=float, default=0.03,
+                        help="dataset generation scale (default: 0.03)")
+    matrix.add_argument("--alpha", type=float, default=0.2, help="target fraction of pmax")
+    matrix.add_argument("--realizations", type=int, default=2000,
+                        help="backward traces sampled per raf cell")
+    matrix.add_argument("--eval-samples", type=int, default=400,
+                        help="reverse samples used to estimate each cell's f(I)")
+    matrix.add_argument(
+        "--output", default="matrix-records",
+        help="directory for the per-cell JSON records (default: matrix-records)",
+    )
+    matrix.add_argument(
+        "--workers", type=_parse_workers, default=None, metavar="{N,auto}",
+        help="worker processes running grid cells concurrently ('auto' = one per "
+             "CPU); records are byte-identical for every worker count",
+    )
+    matrix.add_argument(
+        "--fresh", action="store_true",
+        help="recompute every cell instead of resuming from existing records",
+    )
     return parser
 
 
@@ -157,6 +232,7 @@ def _resolve_pair(graph, args: argparse.Namespace) -> PairSpec:
     pair = select_pairs(
         graph, 1, pmax_threshold=args.min_pmax, pmax_ceiling=1.0, min_distance=3,
         screen_samples=400, rng=args.seed, engine=getattr(args, "engine", "python"),
+        workers=getattr(args, "workers", None),
     )[0]
     print(f"auto-selected pair: initiator={pair.source} target={pair.target} "
           f"(screened pmax={pair.pmax:.3f})")
@@ -170,6 +246,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         eval_samples=args.eval_samples,
         pair_screen_samples=max(200, args.eval_samples),
         engine=getattr(args, "engine", "python"),
+        workers=getattr(args, "workers", None),
         seed=args.seed,
     )
 
@@ -210,6 +287,7 @@ def _command_raf(args: argparse.Namespace) -> int:
         sample_policy=SamplePolicy.FIXED,
         fixed_realizations=args.realizations,
         engine=args.engine,
+        workers=args.workers,
     )
     result = run_raf(problem, config, rng=args.seed)
     print(f"\nRAF invitation set ({result.size} users):")
@@ -252,6 +330,7 @@ def _command_maximize(args: argparse.Namespace) -> int:
     result = maximize_acceptance_probability(
         graph, pair.source, pair.target, budget=args.budget,
         num_realizations=args.realizations, rng=args.seed, engine=args.engine,
+        workers=args.workers,
     )
     print(f"budgeted invitation set ({result.size} of at most {result.budget} users):")
     print("  " + ", ".join(str(node) for node in ordered(result.invitation)))
@@ -309,12 +388,42 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_csv(value: str) -> tuple[str, ...]:
+    return tuple(item.strip() for item in value.split(",") if item.strip())
+
+
+def _command_matrix(args: argparse.Namespace) -> int:
+    try:
+        budgets = tuple(int(item) for item in _split_csv(args.budgets))
+    except ValueError:
+        raise ReproError(f"--budgets must be comma-separated integers, got {args.budgets!r}") from None
+    spec = MatrixSpec(
+        datasets=_split_csv(args.datasets),
+        algorithms=_split_csv(args.algorithms),
+        budgets=budgets,
+        engines=_split_csv(args.engines),
+        scale=args.scale,
+        alpha=args.alpha,
+        realizations=args.realizations,
+        eval_samples=args.eval_samples,
+        seed=args.seed,
+    )
+    result = run_matrix(
+        spec, args.output, workers=args.workers, resume=not args.fresh, echo=print
+    )
+    print()
+    print(format_matrix(result))
+    print(f"\nrecords: {result.output_dir}")
+    return 0
+
+
 _COMMANDS = {
     "datasets": _command_datasets,
     "raf": _command_raf,
     "vmax": _command_vmax,
     "maximize": _command_maximize,
     "experiment": _command_experiment,
+    "matrix": _command_matrix,
 }
 
 

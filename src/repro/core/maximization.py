@@ -16,9 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.result import InvitationResult
-from repro.diffusion.engine import SamplingEngine, collect_type1_paths, resolve_engine
+from repro.diffusion.engine import SamplingEngine, resolve_engine
 from repro.exceptions import AlgorithmError, ProblemDefinitionError
 from repro.graph.social_graph import SocialGraph
+from repro.parallel.engine import collect_type1, maybe_parallel
 from repro.setcover.budgeted import budgeted_trace_cover
 from repro.setcover.hypergraph import SetSystem
 from repro.types import NodeId
@@ -86,11 +87,13 @@ def maximize_acceptance_probability(
     num_realizations: int = 5000,
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
+    workers: int | str | None = None,
 ) -> MaxFriendingResult:
     """Choose at most ``budget`` users to invite so the target is most likely to accept.
 
-    Samples ``num_realizations`` backward traces (exactly as RAF does) and
-    greedily covers as much trace weight as the budget allows.
+    Samples ``num_realizations`` backward traces (exactly as RAF does --
+    ``workers`` fans them over a pool without changing the seeded result)
+    and greedily covers as much trace weight as the budget allows.
 
     Raises
     ------
@@ -115,8 +118,8 @@ def maximize_acceptance_probability(
 
     generator = ensure_rng(rng)
     source_friends = graph.neighbor_set(source)
-    resolved = resolve_engine(graph, engine)
-    paths, num_type1 = collect_type1_paths(
+    resolved = maybe_parallel(resolve_engine(graph, engine), workers)
+    paths, num_type1 = collect_type1(
         resolved, target, source_friends, num_realizations, rng=generator
     )
     if num_type1 == 0:

@@ -7,7 +7,7 @@ acceptance probability satisfies ``f(I) ≥ α · pmax``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.exceptions import ProblemDefinitionError
 from repro.graph.compiled import CompiledGraph, compile_graph

@@ -25,7 +25,6 @@ from dataclasses import dataclass
 
 from repro.core.parameters import (
     ParameterCoupling,
-    RAFParameters,
     SamplePolicy,
     realization_count,
     solve_parameters,
@@ -34,7 +33,6 @@ from repro.core.problem import ActiveFriendingProblem
 from repro.core.result import RAFResult
 from repro.diffusion.engine import (
     SamplingEngine,
-    collect_type1_paths,
     create_engine,
     require_engine_name,
     resolve_engine,
@@ -42,6 +40,13 @@ from repro.diffusion.engine import (
 from repro.estimation.stopping_rule import stopping_rule_estimate_batched
 from repro.exceptions import AlgorithmError, EstimationError
 from repro.graph.social_graph import SocialGraph
+from repro.parallel.engine import (
+    ParallelEngine,
+    collect_type1,
+    maybe_parallel,
+    resolve_worker_count,
+    sample_type1_indicators,
+)
 from repro.setcover.hypergraph import SetSystem
 from repro.setcover.msc import minimum_subset_cover
 from repro.setcover.mpu import chlamtac_ratio_bound
@@ -92,6 +97,12 @@ class RAFConfig:
         (``"python"``, ``"numpy"`` or ``"auto"``; see
         :mod:`repro.diffusion.engine`).  The default pure-Python engine is
         bit-compatible with pre-engine releases for a fixed seed.
+    workers:
+        Sampling worker processes (a positive integer or ``"auto"`` for the
+        CPU count; see :mod:`repro.parallel.engine`).  ``None`` (default)
+        keeps the historical single-stream path.  Any explicit count --
+        including 1 -- selects the chunked deterministic fan-out, whose
+        results are identical for every worker count under a fixed seed.
     """
 
     epsilon: float = 0.01
@@ -105,6 +116,7 @@ class RAFConfig:
     pmax_max_samples: int = 500_000
     msc_solver: str = "chlamtac"
     engine: str = "python"
+    workers: int | str | None = None
 
     def __post_init__(self) -> None:
         require_positive(self.epsilon, "epsilon")
@@ -116,6 +128,7 @@ class RAFConfig:
         if self.fixed_realizations is not None:
             require_positive_int(self.fixed_realizations, "fixed_realizations")
         require_engine_name(self.engine)
+        resolve_worker_count(self.workers)
 
 
 @dataclass(frozen=True, slots=True)
@@ -141,29 +154,36 @@ def estimate_pmax(
     max_samples: int = 500_000,
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
+    workers: int | str | None = None,
 ) -> PmaxEstimate:
     """Estimate ``pmax`` as the probability that a random realization is type-1.
 
     Runs the stopping rule of Alg. 2 over the type indicator ``y(ĝ)`` of
     reverse-sampled realizations, drawn from the sampling ``engine`` in
     geometrically growing batches (the rule still stops at exactly the same
-    sample as a one-at-a-time run over the same stream).  If the rule does
-    not terminate within ``max_samples`` (which happens when ``pmax`` is
-    very small), the plain sample mean over the consumed realizations is
-    returned instead; an :class:`AlgorithmError` is raised only if no
-    type-1 realization was observed at all, since then there is no evidence
-    the pair can ever be connected.
+    sample as a one-at-a-time run over the same stream).  ``workers``
+    optionally fans the batches out over a worker pool
+    (:func:`repro.parallel.engine.maybe_parallel`); the merged stream -- and
+    so the estimate and the consumed sample count -- is identical for every
+    worker count under a fixed seed.  If the rule does not terminate within
+    ``max_samples`` (which happens when ``pmax`` is very small), the plain
+    sample mean over the consumed realizations is returned instead; an
+    :class:`AlgorithmError` is raised only if no type-1 realization was
+    observed at all, since then there is no evidence the pair can ever be
+    connected.
     """
     generator = ensure_rng(rng)
-    resolved = resolve_engine(graph, engine)
+    resolved = maybe_parallel(resolve_engine(graph, engine), workers)
     source_friends = graph.neighbor_set(source)
     observed = {"count": 0, "successes": 0}
 
-    def draw_batch(size: int) -> list[float]:
-        paths = resolved.sample_paths(target, source_friends, size, rng=generator)
-        values = [1.0 if path.is_type1 else 0.0 for path in paths]
+    def draw_batch(size: int) -> bytes:
+        # One 0/1 byte per realization: with a parallel engine the type
+        # indicators are computed worker-side and only these bytes cross
+        # the process boundary.
+        values = sample_type1_indicators(resolved, target, source_friends, size, rng=generator)
         observed["count"] += len(values)
-        observed["successes"] += int(sum(values))
+        observed["successes"] += sum(values)
         return values
 
     try:
@@ -194,14 +214,16 @@ def run_sampling_framework(
     msc_solver: str = "chlamtac",
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
+    workers: int | str | None = None,
 ) -> tuple[frozenset, dict]:
     """Algorithm 3: sample realizations and cover a ``β`` fraction of them.
 
     The ``l`` backward traces are drawn from the sampling ``engine`` in
-    bounded batches over the problem's compiled graph; only the type-1
-    traces are retained for the MSC instance.  Returns the invitation set
-    together with a diagnostics dict holding the sampled counts
-    (``num_type1``, ``cover_target``, ``covered_weight``).
+    bounded batches over the problem's compiled graph (``workers`` fans the
+    batches over a worker pool without changing the sampled realizations);
+    only the type-1 traces are retained for the MSC instance.  Returns the
+    invitation set together with a diagnostics dict holding the sampled
+    counts (``num_type1``, ``cover_target``, ``covered_weight``).
 
     Raises
     ------
@@ -214,10 +236,10 @@ def run_sampling_framework(
     require(beta <= 1.0, "beta must be at most 1")
     require_positive_int(num_realizations, "num_realizations")
     generator = ensure_rng(rng)
-    resolved = resolve_engine(problem.compiled, engine)
+    resolved = maybe_parallel(resolve_engine(problem.compiled, engine), workers)
     source_friends = problem.source_friends
 
-    paths, num_type1 = collect_type1_paths(
+    paths, num_type1 = collect_type1(
         resolved, problem.target, source_friends, num_realizations, rng=generator
     )
     if num_type1 == 0:
@@ -271,8 +293,9 @@ def run_raf(
 
     stopwatch = Stopwatch().start()
 
-    # One engine over one compiled snapshot drives every randomized step.
-    engine = create_engine(problem.compiled, config.engine)
+    # One engine over one compiled snapshot drives every randomized step;
+    # with config.workers set, one shared worker pool drains all of them.
+    engine = maybe_parallel(create_engine(problem.compiled, config.engine), config.workers)
 
     # Step 1: parameters (Eq. 17 / Equation System 1).
     parameters = solve_parameters(
@@ -282,39 +305,45 @@ def run_raf(
         coupling=config.coupling,
     )
 
-    # Step 2: estimate pmax (Alg. 2).
-    pmax_epsilon = config.pmax_epsilon if config.pmax_epsilon is not None else parameters.epsilon_zero
-    pmax = estimate_pmax(
-        problem.graph,
-        problem.source,
-        problem.target,
-        epsilon=pmax_epsilon,
-        confidence_n=config.confidence_n,
-        max_samples=config.pmax_max_samples,
-        rng=pmax_rng,
-        engine=engine,
-    )
+    try:
+        # Step 2: estimate pmax (Alg. 2).
+        pmax_epsilon = (
+            config.pmax_epsilon if config.pmax_epsilon is not None else parameters.epsilon_zero
+        )
+        pmax = estimate_pmax(
+            problem.graph,
+            problem.source,
+            problem.target,
+            epsilon=pmax_epsilon,
+            confidence_n=config.confidence_n,
+            max_samples=config.pmax_max_samples,
+            rng=pmax_rng,
+            engine=engine,
+        )
 
-    # Step 3: choose the realization count l.
-    num_realizations = realization_count(
-        parameters,
-        pmax_estimate=pmax.value,
-        confidence_n=config.confidence_n,
-        policy=config.sample_policy,
-        fixed=config.fixed_realizations,
-        min_realizations=config.min_realizations,
-        max_realizations=config.max_realizations,
-    )
+        # Step 3: choose the realization count l.
+        num_realizations = realization_count(
+            parameters,
+            pmax_estimate=pmax.value,
+            confidence_n=config.confidence_n,
+            policy=config.sample_policy,
+            fixed=config.fixed_realizations,
+            min_realizations=config.min_realizations,
+            max_realizations=config.max_realizations,
+        )
 
-    # Step 4: sampling framework + MSC (Alg. 3).
-    invitation, diagnostics = run_sampling_framework(
-        problem,
-        beta=parameters.beta,
-        num_realizations=num_realizations,
-        msc_solver=config.msc_solver,
-        rng=sampling_rng,
-        engine=engine,
-    )
+        # Step 4: sampling framework + MSC (Alg. 3).
+        invitation, diagnostics = run_sampling_framework(
+            problem,
+            beta=parameters.beta,
+            num_realizations=num_realizations,
+            msc_solver=config.msc_solver,
+            rng=sampling_rng,
+            engine=engine,
+        )
+    finally:
+        if isinstance(engine, ParallelEngine):
+            engine.close()
 
     elapsed = stopwatch.stop()
     return RAFResult(

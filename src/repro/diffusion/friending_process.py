@@ -25,6 +25,7 @@ from typing import Iterable
 from repro.estimation.monte_carlo import monte_carlo_mean_batched
 from repro.exceptions import EstimationError
 from repro.graph.social_graph import SocialGraph
+from repro.parallel.engine import maybe_parallel, sample_covered_indicators
 from repro.types import NodeId
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import require_positive_int
@@ -80,6 +81,7 @@ def estimate_acceptance_probability(
     num_samples: int = 1000,
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
+    workers: int | str | None = None,
 ) -> AcceptanceEstimate:
     """Estimate ``f(I)`` over ``num_samples`` independent samples.
 
@@ -88,14 +90,17 @@ def estimate_acceptance_probability(
     :func:`repro.diffusion.engine.create_engine`) each sample is one
     reverse-sampled backward trace and a success is a trace covered by the
     invitation (Lemma 2); the two estimators have the same mean (Lemma 1)
-    but the reverse one only costs a traced path per sample.
+    but the reverse one only costs a traced path per sample.  ``workers``
+    fans the reverse-sampled batches over a worker pool without changing
+    the seeded result (see :mod:`repro.parallel.engine`); the forward
+    Process-1 simulation is inherently sequential per sample and ignores it.
     """
     require_positive_int(num_samples, "num_samples")
     generator = ensure_rng(rng)
     invited = frozenset(invitation)
     if engine is not None:
         return _estimate_acceptance_reverse(
-            graph, source, target, invited, num_samples, generator, engine
+            graph, source, target, invited, num_samples, generator, engine, workers
         )
     successes = 0
     for _ in range(num_samples):
@@ -117,6 +122,7 @@ def _estimate_acceptance_reverse(
     num_samples: int,
     generator,
     engine: "SamplingEngine | str",
+    workers: int | str | None = None,
 ) -> AcceptanceEstimate:
     """``f(I)`` as the covered-trace rate of engine-batched reverse samples."""
     if graph.has_edge(source, target):
@@ -125,12 +131,15 @@ def _estimate_acceptance_reverse(
             "(source, target) pair (Lemma 2 / Problem 1); use the forward "
             "Process-1 estimator (engine=None) for friend pairs"
         )
-    resolved = resolve_engine(graph, engine)
+    resolved = maybe_parallel(resolve_engine(graph, engine), workers)
     source_friends = graph.neighbor_set(source)
 
-    def draw_batch(size: int) -> list[float]:
-        paths = resolved.sample_paths(target, source_friends, size, rng=generator)
-        return [1.0 if path.covered_by(invited) else 0.0 for path in paths]
+    def draw_batch(size: int) -> bytes:
+        # One 0/1 byte per trace; a parallel engine evaluates covered_by
+        # worker-side so only the indicators cross the process boundary.
+        return sample_covered_indicators(
+            resolved, target, source_friends, size, invited, rng=generator
+        )
 
     result = monte_carlo_mean_batched(draw_batch, num_samples)
     return AcceptanceEstimate(
@@ -147,6 +156,7 @@ def estimate_pmax_fixed_samples(
     num_samples: int = 1000,
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
+    workers: int | str | None = None,
 ) -> AcceptanceEstimate:
     """Estimate ``pmax = f(V)`` with a fixed sample count.
 
@@ -158,5 +168,12 @@ def estimate_pmax_fixed_samples(
     """
     invitation = frozenset(graph.nodes())
     return estimate_acceptance_probability(
-        graph, source, target, invitation, num_samples=num_samples, rng=rng, engine=engine
+        graph,
+        source,
+        target,
+        invitation,
+        num_samples=num_samples,
+        rng=rng,
+        engine=engine,
+        workers=workers,
     )

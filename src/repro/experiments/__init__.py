@@ -15,6 +15,11 @@ Fig. 5 (vs SP)            :mod:`repro.experiments.ratio_comparison`
 Table II (vs Vmax)        :mod:`repro.experiments.vmax_comparison`
 Fig. 6 (realizations)     :mod:`repro.experiments.realization_sweep`
 ========================  =============================================
+
+Beyond the paper's artefacts, :mod:`repro.experiments.matrix` runs whole
+scenario grids -- (dataset × algorithm × budget × engine) cells executed in
+parallel with resumable, byte-stable per-cell JSON records
+(:class:`~repro.experiments.records.RecordStore`).
 """
 
 from repro.experiments.config import ExperimentConfig
@@ -42,12 +47,29 @@ from repro.experiments.realization_sweep import (
     run_realization_sweep,
 )
 from repro.experiments.reporting import format_series, format_table
-from repro.experiments.records import load_record, save_record, to_jsonable
+from repro.experiments.records import RecordStore, load_record, save_record, to_jsonable
+from repro.experiments.matrix import (
+    MATRIX_ALGORITHM_NAMES,
+    MatrixCell,
+    MatrixResult,
+    MatrixSpec,
+    format_matrix,
+    run_matrix,
+    run_matrix_cell,
+)
 
 __all__ = [
     "to_jsonable",
     "save_record",
     "load_record",
+    "RecordStore",
+    "MATRIX_ALGORITHM_NAMES",
+    "MatrixCell",
+    "MatrixResult",
+    "MatrixSpec",
+    "run_matrix",
+    "run_matrix_cell",
+    "format_matrix",
     "ExperimentConfig",
     "select_pairs",
     "evaluate_invitation",

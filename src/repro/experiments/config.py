@@ -9,12 +9,13 @@ configuration change, not a code change.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.parameters import SamplePolicy
 from repro.core.raf import RAFConfig
 from repro.diffusion.engine import require_engine_name
 from repro.exceptions import ExperimentError
+from repro.parallel.engine import resolve_worker_count
 from repro.utils.validation import require, require_positive, require_positive_int
 
 __all__ = ["ExperimentConfig"]
@@ -56,6 +57,10 @@ class ExperimentConfig:
     engine:
         Reverse-sampling backend name used by the RAF runs and the pair
         screens (``"python"``, ``"numpy"`` or ``"auto"``).
+    workers:
+        Sampling worker processes used by the RAF runs (a positive integer
+        or ``"auto"``; ``None`` keeps the single-stream path).  Seeded
+        results are identical for every explicit worker count.
     seed:
         Base seed controlling the whole experiment.
     """
@@ -71,6 +76,7 @@ class ExperimentConfig:
     confidence_n: float = 100_000.0
     realizations: int = 4_000
     engine: str = "python"
+    workers: int | str | None = None
     seed: int = 2019
 
     def __post_init__(self) -> None:
@@ -93,6 +99,7 @@ class ExperimentConfig:
         require_positive(self.raf_epsilon, "raf_epsilon")
         require_positive(self.confidence_n, "confidence_n")
         require_engine_name(self.engine)
+        resolve_worker_count(self.workers)
 
     def raf_config(self, alpha: float | None = None) -> RAFConfig:
         """Build the :class:`RAFConfig` used for one RAF run.
@@ -109,4 +116,5 @@ class ExperimentConfig:
             pmax_epsilon=0.1,
             pmax_max_samples=max(10 * self.realizations, 50_000),
             engine=self.engine,
+            workers=self.workers,
         )

@@ -5,8 +5,10 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.problem import ActiveFriendingProblem
+from repro.diffusion.engine import SamplingEngine, resolve_engine
 from repro.diffusion.friending_process import estimate_acceptance_probability
 from repro.graph.social_graph import SocialGraph
+from repro.parallel.engine import maybe_parallel
 from repro.types import NodeId
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import require_positive_int
@@ -21,16 +23,27 @@ def evaluate_invitation(
     invitation: Iterable[NodeId],
     num_samples: int = 400,
     rng: RandomSource = None,
-    engine=None,
+    engine: "SamplingEngine | str | None" = None,
+    workers: int | str | None = None,
 ) -> float:
     """Monte Carlo estimate of ``f(invitation)`` used throughout the harness.
 
     ``engine=None`` evaluates by forward Process-1 simulation (the paper's
     protocol, independent of the sampler being evaluated); passing a
-    sampling engine switches to the covered-trace estimator of Lemma 2.
+    sampling engine (instance or backend name) switches to the covered-trace
+    estimator of Lemma 2, whose batches ``workers`` optionally fans over a
+    worker pool.
     """
+    require_positive_int(num_samples, "num_samples")
     estimate = estimate_acceptance_probability(
-        graph, source, target, invitation, num_samples=num_samples, rng=rng, engine=engine
+        graph,
+        source,
+        target,
+        invitation,
+        num_samples=num_samples,
+        rng=rng,
+        engine=engine,
+        workers=workers,
     )
     return estimate.probability
 
@@ -43,7 +56,8 @@ def growth_curve(
     size_step: int | None = None,
     max_size: int | None = None,
     rng: RandomSource = None,
-    engine=None,
+    engine: "SamplingEngine | str | None" = None,
+    workers: int | str | None = None,
 ) -> list[tuple[int, float]]:
     """Grow a ranked invitation set until it matches a target probability.
 
@@ -59,6 +73,11 @@ def growth_curve(
     """
     require_positive_int(num_samples, "num_samples")
     generator = ensure_rng(rng)
+    if engine is not None:
+        # Wrap once before the loop: per-prefix wrapping would fork (and
+        # tear down) a fresh worker pool for every evaluation point.
+        engine = maybe_parallel(resolve_engine(problem.graph, engine), workers)
+        workers = None
     limit = len(ranking) if max_size is None else min(max_size, len(ranking))
     if limit == 0:
         return []
@@ -79,6 +98,7 @@ def growth_curve(
             num_samples=num_samples,
             rng=generator,
             engine=engine,
+            workers=workers,
         )
         trajectory.append((size, probability))
         if probability >= target_probability:

@@ -1,0 +1,444 @@
+"""Scenario-matrix experiment runner.
+
+The experiment harness reproduces the paper's figures one at a time; serving
+many scenarios -- the ROADMAP's "heavy traffic" story -- instead needs a
+*grid*: every combination of (dataset × algorithm × budget × engine) run as
+an independent cell.  This module provides that runner:
+
+* :class:`MatrixSpec` declares the grid axes plus the shared protocol knobs
+  (scale, alpha, realization and evaluation budgets, screening rule, seed).
+* :func:`run_matrix` executes the cells -- in parallel over a worker pool
+  when ``workers`` is given -- and **streams** each finished cell as one
+  structured JSON record into a :class:`~repro.experiments.records.RecordStore`
+  directory.  A rerun over the same directory *resumes*: cells that already
+  have a record are skipped, so an interrupted sweep only pays for what is
+  missing.  Records are stamped with a fingerprint of the protocol knobs,
+  and resuming over records produced under a *different* protocol (other
+  seed, scale, alpha, ...) fails loudly instead of returning stale
+  results; extending the grid axes over an existing directory is fine.
+
+Every cell is a pure function of ``(spec, cell)``: its graph, its screened
+(initiator, target) pair and every random stream it consumes are derived
+from ``spec.seed`` with SHA-256 label mixing
+(:func:`repro.utils.rng.derive_rng`), never from global state or from the
+order in which cells happen to execute.  Records therefore contain no
+wall-clock or host-dependent fields and are byte-identical across runs,
+worker counts and resume boundaries -- ``diff -r`` of two output
+directories is the integrity check.
+
+The cells share *budget* semantics: every algorithm is given the same
+invitation budget and the recorded metric is the estimated acceptance
+probability ``f(I)``.  The ``raf`` algorithm is the paper's realization
+machinery under that budget (the budgeted extension of
+:func:`repro.core.maximization.maximize_acceptance_probability`, i.e. sample
+backward traces, cover as much trace weight as the budget allows); ``hd``,
+``sp`` and ``random`` are the corresponding baselines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baselines.high_degree import high_degree_invitation
+from repro.baselines.random_invite import random_invitation
+from repro.baselines.shortest_path import shortest_path_invitation
+from repro.core.maximization import maximize_acceptance_probability
+from repro.core.problem import ActiveFriendingProblem
+from repro.diffusion.engine import require_engine_name
+from repro.exceptions import ExperimentError
+from repro.experiments.harness import evaluate_invitation
+from repro.experiments.pair_selection import select_pairs
+from repro.experiments.records import RecordStore, to_jsonable
+from repro.experiments.reporting import format_table
+from repro.graph.datasets import DATASET_NAMES, load_dataset
+from repro.parallel.engine import fork_available, resolve_worker_count
+from repro.types import ordered
+from repro.utils.rng import derive_rng
+from repro.utils.validation import require, require_positive, require_positive_int
+
+__all__ = [
+    "MATRIX_ALGORITHM_NAMES",
+    "MatrixCell",
+    "MatrixSpec",
+    "MatrixResult",
+    "run_matrix",
+    "run_matrix_cell",
+    "format_matrix",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class MatrixCell:
+    """One grid point: a dataset, an algorithm, a budget and an engine."""
+
+    dataset: str
+    algorithm: str
+    budget: int
+    engine: str
+
+    @property
+    def cell_id(self) -> str:
+        """Stable identifier, used as the record name (and file stem)."""
+        return f"{self.dataset}__{self.algorithm}__b{self.budget}__{self.engine}"
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """The grid axes and shared protocol knobs of one matrix run.
+
+    Attributes
+    ----------
+    datasets, algorithms, budgets, engines:
+        The grid axes.  Cells are the full cartesian product, enumerated in
+        the declared order (datasets outermost, engines innermost).
+    scale:
+        Generation scale for the dataset stand-ins (``None`` uses each
+        dataset's default).
+    alpha:
+        Target fraction of ``pmax`` used to define the problem instances.
+    realizations:
+        Backward traces sampled by the realization-based algorithm.
+    eval_samples:
+        Reverse samples used to estimate ``f(I)`` of each cell's output.
+    screen_samples, pmax_threshold, pmax_ceiling, min_distance:
+        The pair-screening rule (one pair per dataset, shared by all of the
+        dataset's cells so algorithms are compared on identical instances).
+    seed:
+        Base seed; every per-cell stream is derived from it by label.
+    """
+
+    datasets: tuple[str, ...] = ("wiki", "hepth")
+    algorithms: tuple[str, ...] = ("raf", "hd")
+    budgets: tuple[int, ...] = (4, 8)
+    engines: tuple[str, ...] = ("python",)
+    scale: float | None = None
+    alpha: float = 0.2
+    realizations: int = 2_000
+    eval_samples: int = 400
+    screen_samples: int = 300
+    pmax_threshold: float = 0.02
+    pmax_ceiling: float = 0.9
+    min_distance: int = 3
+    seed: int = 2019
+
+    def __post_init__(self) -> None:
+        require(bool(self.datasets), "at least one dataset is required")
+        require(bool(self.algorithms), "at least one algorithm is required")
+        require(bool(self.budgets), "at least one budget is required")
+        require(bool(self.engines), "at least one engine is required")
+        for name in self.datasets:
+            if name not in DATASET_NAMES:
+                raise ExperimentError(
+                    f"unknown dataset {name!r}; available datasets: {', '.join(DATASET_NAMES)}"
+                )
+        for name in self.algorithms:
+            if name not in MATRIX_ALGORITHM_NAMES:
+                raise ExperimentError(
+                    f"unknown matrix algorithm {name!r}; "
+                    f"available algorithms: {', '.join(MATRIX_ALGORITHM_NAMES)}"
+                )
+        for budget in self.budgets:
+            require_positive_int(budget, "budget")
+        for name in self.engines:
+            require_engine_name(name)
+        if self.scale is not None:
+            require_positive(self.scale, "scale")
+        require(0.0 < self.alpha <= 1.0, "alpha must lie in (0, 1]")
+        require_positive_int(self.realizations, "realizations")
+        require_positive_int(self.eval_samples, "eval_samples")
+        require_positive_int(self.screen_samples, "screen_samples")
+        require_positive(self.pmax_threshold, "pmax_threshold")
+        require_positive(self.pmax_ceiling, "pmax_ceiling")
+        require_positive_int(self.min_distance, "min_distance")
+
+    def cells(self) -> tuple[MatrixCell, ...]:
+        """The grid cells in deterministic enumeration order."""
+        return tuple(
+            MatrixCell(dataset=dataset, algorithm=algorithm, budget=budget, engine=engine)
+            for dataset in self.datasets
+            for algorithm in self.algorithms
+            for budget in self.budgets
+            for engine in self.engines
+        )
+
+    def fingerprint(self) -> str:
+        """Digest of the *record-affecting* protocol knobs.
+
+        Stored in each record's metadata and checked on resume, so a
+        directory recorded under one protocol can never silently masquerade
+        as the results of another (different seed, scale, alpha, ...).  The
+        grid axes are deliberately excluded: a cell's record is a pure
+        function of (protocol, cell), independent of which other cells the
+        sweep happens to contain, so a grid may be *extended* over an
+        existing directory (more budgets, more datasets) and still resume.
+        """
+        protocol = {
+            "scale": self.scale,
+            "alpha": self.alpha,
+            "realizations": self.realizations,
+            "eval_samples": self.eval_samples,
+            "screen_samples": self.screen_samples,
+            "pmax_threshold": self.pmax_threshold,
+            "pmax_ceiling": self.pmax_ceiling,
+            "min_distance": self.min_distance,
+            "seed": self.seed,
+        }
+        canonical = json.dumps(protocol, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class MatrixResult:
+    """Outcome of one :func:`run_matrix` call.
+
+    ``rows`` summarizes every cell of the grid (in enumeration order, loaded
+    back from the record files so resumed and fresh cells are
+    indistinguishable); ``computed`` and ``skipped`` list the cell ids this
+    particular call executed vs found already recorded.
+    """
+
+    rows: tuple[dict, ...]
+    output_dir: str
+    computed: tuple[str, ...]
+    skipped: tuple[str, ...]
+
+
+# --------------------------------------------------------------------------- #
+# Cell algorithms (shared budget semantics: invitation of <= budget users)
+# --------------------------------------------------------------------------- #
+
+
+def _run_raf_cell(problem, cell, spec, rng):
+    result = maximize_acceptance_probability(
+        problem.graph,
+        problem.source,
+        problem.target,
+        budget=cell.budget,
+        num_realizations=spec.realizations,
+        rng=rng,
+        engine=cell.engine,
+    )
+    extras = {
+        "num_realizations": result.num_realizations,
+        "num_type1": result.num_type1,
+        "covered_weight": result.covered_weight,
+        "estimated_fraction_of_pmax": result.estimated_fraction_of_pmax,
+    }
+    return result.invitation, extras
+
+
+def _run_hd_cell(problem, cell, spec, rng):
+    return high_degree_invitation(problem, cell.budget).invitation, {}
+
+
+def _run_sp_cell(problem, cell, spec, rng):
+    return shortest_path_invitation(problem, cell.budget).invitation, {}
+
+
+def _run_random_cell(problem, cell, spec, rng):
+    return random_invitation(problem, cell.budget, rng=rng).invitation, {}
+
+
+_MATRIX_ALGORITHMS: dict[str, Callable] = {
+    "raf": _run_raf_cell,
+    "hd": _run_hd_cell,
+    "sp": _run_sp_cell,
+    "random": _run_random_cell,
+}
+
+#: Algorithm names accepted on the ``algorithms`` axis (and the CLI flag).
+MATRIX_ALGORITHM_NAMES: tuple[str, ...] = tuple(_MATRIX_ALGORITHMS)
+
+
+# --------------------------------------------------------------------------- #
+# Cell execution
+# --------------------------------------------------------------------------- #
+
+#: Per-process cache of loaded graphs and screened pairs, keyed by the
+#: instance-affecting spec fields + dataset.  Cells of one dataset share the
+#: graph and the pair; caching them saves a re-generation per cell both
+#: serially and inside each pool worker.  Bounded FIFO so long-lived
+#: processes sweeping many specs do not accumulate graphs forever.
+_DATASET_CACHE: dict = {}
+_DATASET_CACHE_LIMIT = 8
+
+
+def _dataset_instance(spec: MatrixSpec, dataset: str):
+    key = (
+        dataset,
+        spec.scale,
+        spec.seed,
+        spec.screen_samples,
+        spec.pmax_threshold,
+        spec.pmax_ceiling,
+        spec.min_distance,
+    )
+    if key not in _DATASET_CACHE:
+        while len(_DATASET_CACHE) >= _DATASET_CACHE_LIMIT:
+            _DATASET_CACHE.pop(next(iter(_DATASET_CACHE)))
+        graph = load_dataset(
+            dataset, scale=spec.scale, rng=derive_rng(spec.seed, f"matrix-graph-{dataset}")
+        )
+        pair = select_pairs(
+            graph,
+            1,
+            pmax_threshold=spec.pmax_threshold,
+            pmax_ceiling=spec.pmax_ceiling,
+            min_distance=spec.min_distance,
+            screen_samples=spec.screen_samples,
+            rng=derive_rng(spec.seed, f"matrix-pair-{dataset}"),
+            engine="python",
+        )[0]
+        _DATASET_CACHE[key] = (graph, pair)
+    return _DATASET_CACHE[key]
+
+
+def run_matrix_cell(spec: MatrixSpec, cell: MatrixCell) -> dict:
+    """Execute one cell and return its JSON-ready record payload.
+
+    The payload is a pure function of ``(spec, cell)``: all randomness comes
+    from streams derived from ``spec.seed`` by cell-scoped labels, and no
+    wall-clock or host-dependent field is included, so the same cell always
+    produces the same bytes once serialized canonically.
+    """
+    graph, pair = _dataset_instance(spec, cell.dataset)
+    problem = ActiveFriendingProblem(graph, pair.source, pair.target, alpha=spec.alpha)
+    run_algorithm = _MATRIX_ALGORITHMS[cell.algorithm]
+    invitation, extras = run_algorithm(
+        problem, cell, spec, derive_rng(spec.seed, f"matrix-run-{cell.cell_id}")
+    )
+    acceptance = evaluate_invitation(
+        graph,
+        pair.source,
+        pair.target,
+        invitation,
+        num_samples=spec.eval_samples,
+        rng=derive_rng(spec.seed, f"matrix-eval-{cell.cell_id}"),
+        engine=cell.engine,
+    )
+    return {
+        "cell": {
+            "dataset": cell.dataset,
+            "algorithm": cell.algorithm,
+            "budget": cell.budget,
+            "engine": cell.engine,
+        },
+        "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges, "scale": spec.scale},
+        "pair": {"source": pair.source, "target": pair.target, "screened_pmax": pair.pmax},
+        "invitation": list(ordered(invitation)),
+        "size": len(invitation),
+        "acceptance": acceptance,
+        "eval_samples": spec.eval_samples,
+        "extras": extras,
+        "seed": spec.seed,
+        "alpha": spec.alpha,
+    }
+
+
+def _compute_cell(payload: tuple[MatrixSpec, MatrixCell]) -> tuple[str, dict]:
+    spec, cell = payload
+    return cell.cell_id, run_matrix_cell(spec, cell)
+
+
+def run_matrix(
+    spec: MatrixSpec,
+    output_dir,
+    workers: int | str | None = None,
+    resume: bool = True,
+    echo: Callable[[str], None] | None = None,
+) -> MatrixResult:
+    """Run every cell of the grid, streaming records to ``output_dir``.
+
+    Parameters
+    ----------
+    spec:
+        The grid definition.
+    output_dir:
+        Directory for the per-cell JSON records (one file per cell id,
+        written by the parent process as each cell finishes).
+    workers:
+        Worker-process count for cell execution (``"auto"`` for the CPU
+        count).  Cells are independent, so parallel execution changes only
+        wall-clock time -- never a record's bytes.  Falls back to in-process
+        execution when ``workers`` is ``None``/1 or ``fork`` is unavailable.
+    resume:
+        When true (default), cells whose record file already exists *and*
+        carries this spec's protocol fingerprint are skipped; a record
+        produced under a different protocol (other seed, scale, alpha,
+        ...) raises :class:`~repro.exceptions.ExperimentError` instead of
+        silently standing in for the requested results.  Pass ``False``
+        to recompute everything.
+    echo:
+        Optional progress sink (e.g. ``print``); receives one line per cell.
+    """
+    say = echo if echo is not None else (lambda message: None)
+    store = RecordStore(output_dir)
+    cells = spec.cells()
+    fingerprint = spec.fingerprint()
+    metadata = {"spec_fingerprint": fingerprint, "spec": to_jsonable(spec)}
+    pending: list[MatrixCell] = []
+    skipped: list[str] = []
+    for cell in cells:
+        if resume and store.has(cell.cell_id):
+            recorded = store.load(cell.cell_id)["metadata"].get("spec_fingerprint")
+            if recorded != fingerprint:
+                raise ExperimentError(
+                    f"record {cell.cell_id!r} in {store.directory} was produced by a "
+                    "different matrix spec (fingerprint "
+                    f"{recorded} != {fingerprint}); rerun with resume disabled "
+                    "(--fresh) or point --output at a different directory"
+                )
+            skipped.append(cell.cell_id)
+        else:
+            pending.append(cell)
+
+    count = resolve_worker_count(workers) or 1
+    say(
+        f"matrix: {len(cells)} cells ({len(skipped)} already recorded, "
+        f"{len(pending)} to run, workers={count})"
+    )
+    if pending:
+        payloads = [(spec, cell) for cell in pending]
+        if count > 1 and len(pending) > 1 and fork_available():
+            context = multiprocessing.get_context("fork")
+            with context.Pool(min(count, len(pending))) as pool:
+                for cell_id, record in pool.imap_unordered(_compute_cell, payloads):
+                    store.save(cell_id, record, metadata=metadata)
+                    say(f"matrix: recorded {cell_id}")
+        else:
+            for payload in payloads:
+                cell_id, record = _compute_cell(payload)
+                store.save(cell_id, record, metadata=metadata)
+                say(f"matrix: recorded {cell_id}")
+
+    rows = tuple(store.load(cell.cell_id)["result"] for cell in cells)
+    return MatrixResult(
+        rows=rows,
+        output_dir=str(store.directory),
+        computed=tuple(cell.cell_id for cell in pending),
+        skipped=tuple(skipped),
+    )
+
+
+def format_matrix(result: MatrixResult) -> str:
+    """Human-readable summary table of a matrix run."""
+    rows = [
+        {
+            "dataset": record["cell"]["dataset"],
+            "algorithm": record["cell"]["algorithm"],
+            "budget": record["cell"]["budget"],
+            "engine": record["cell"]["engine"],
+            "size": record["size"],
+            "acceptance": record["acceptance"],
+        }
+        for record in result.rows
+    ]
+    title = (
+        f"Scenario matrix ({len(result.rows)} cells; "
+        f"{len(result.computed)} computed, {len(result.skipped)} resumed)"
+    )
+    return format_table(rows, title=title)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.diffusion.engine import SamplingEngine, resolve_engine
 from repro.exceptions import ExperimentError
+from repro.parallel.engine import maybe_parallel, sample_type1_indicators
 from repro.graph.social_graph import SocialGraph
 from repro.graph.traversal import bfs_distances
 from repro.types import PairSpec
@@ -29,20 +30,22 @@ def screen_pmax(
     num_samples: int = 400,
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
+    workers: int | str | None = None,
 ) -> float:
     """Cheap ``pmax`` estimate: the fraction of type-1 reverse samples.
 
     By Corollary 2 the type indicator of a random realization is an
     unbiased estimator of ``pmax``, and a reverse sample costs only the
     traced path length, so this screen is far cheaper than simulating
-    Process 1.  The samples are drawn as one engine batch.
+    Process 1.  The samples are drawn as one engine batch, optionally
+    fanned over ``workers`` processes (deterministic per seed for any
+    worker count; see :mod:`repro.parallel.engine`).
     """
     require_positive_int(num_samples, "num_samples")
     generator = ensure_rng(rng)
-    resolved = resolve_engine(graph, engine)
+    resolved = maybe_parallel(resolve_engine(graph, engine), workers)
     source_friends = graph.neighbor_set(source)
-    paths = resolved.sample_paths(target, source_friends, num_samples, rng=generator)
-    hits = sum(1 for path in paths if path.is_type1)
+    hits = sum(sample_type1_indicators(resolved, target, source_friends, num_samples, rng=generator))
     return hits / num_samples
 
 
@@ -56,6 +59,7 @@ def select_pairs(
     rng: RandomSource = None,
     max_attempts: int | None = None,
     engine: "SamplingEngine | str | None" = None,
+    workers: int | str | None = None,
 ) -> list[PairSpec]:
     """Randomly select experiment pairs satisfying the screening criteria.
 
@@ -79,6 +83,10 @@ def select_pairs(
     engine:
         Reverse-sampling backend (instance or name) used for the screens;
         ``None`` selects the default pure-Python engine.
+    workers:
+        Optional worker-process count fanning each screen's samples over a
+        pool (screened pmax values are identical for any worker count
+        under a fixed seed).
 
     Raises
     ------
@@ -91,7 +99,7 @@ def select_pairs(
     if min_distance < 2:
         raise ExperimentError("min_distance must be at least 2 (non-friend pairs)")
     generator = ensure_rng(rng)
-    resolved = resolve_engine(graph, engine)
+    resolved = maybe_parallel(resolve_engine(graph, engine), workers)
     nodes = graph.node_list()
     if len(nodes) < 2:
         raise ExperimentError("the graph has fewer than two users")

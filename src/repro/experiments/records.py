@@ -9,6 +9,14 @@ The conversion is generic: dataclasses become dicts (with an added
 ``"__type__"`` tag), sets become sorted lists, enums become their values,
 and mappings/sequences are converted recursively.  Loading returns plain
 dicts/lists -- the goal is archival and diffing, not object round-tripping.
+
+:class:`RecordStore` layers a directory of one-record-per-file JSON archives
+on top: records are keyed by name, written as they are produced (streaming),
+and a name that already has a file is detectable up front -- which is what
+lets the scenario-matrix runner (:mod:`repro.experiments.matrix`) resume
+from the cells a previous run completed.  The JSON encoding is canonical
+(sorted keys, fixed indentation), so two runs that compute the same record
+produce byte-identical files.
 """
 
 from __future__ import annotations
@@ -16,14 +24,19 @@ from __future__ import annotations
 import dataclasses
 import enum
 import json
+import os
+import re
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, Iterator, Union
 
 from repro.types import ordered
 
-__all__ = ["to_jsonable", "save_record", "load_record"]
+__all__ = ["to_jsonable", "save_record", "load_record", "RecordStore"]
 
 PathLike = Union[str, Path]
+
+#: Characters allowed verbatim in a record filename; anything else maps to "-".
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]")
 
 
 def to_jsonable(value: Any) -> Any:
@@ -73,10 +86,74 @@ def save_record(path: PathLike, name: str, result: Any, metadata: dict | None = 
         "metadata": to_jsonable(metadata or {}),
         "result": to_jsonable(result),
     }
-    Path(path).write_text(json.dumps(record, indent=2, sort_keys=True), encoding="utf-8")
+    path = Path(path)
+    # Write-then-rename so an interrupted run never leaves a truncated
+    # record behind (a half-written file would satisfy resume checks).
+    scratch = path.with_name(path.name + ".tmp")
+    scratch.write_text(json.dumps(record, indent=2, sort_keys=True), encoding="utf-8")
+    os.replace(scratch, path)
     return record
 
 
 def load_record(path: PathLike) -> dict:
     """Load a record previously written by :func:`save_record`."""
     return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+class RecordStore:
+    """A directory of JSON records, one file per record name.
+
+    The store is deliberately dumb -- files named ``<name>.json`` under one
+    directory -- so its contents stay greppable, diffable and usable without
+    the library.  Names are sanitized to filesystem-safe characters; two
+    distinct names that sanitize identically would collide, so callers
+    should stick to ``[A-Za-z0-9._-]`` keys (the matrix runner's cell ids
+    do).
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self._directory = Path(directory)
+
+    @property
+    def directory(self) -> Path:
+        """The directory holding the record files."""
+        return self._directory
+
+    def path_for(self, name: str) -> Path:
+        """The file a record of this name is (or would be) stored at."""
+        return self._directory / f"{_SAFE_NAME.sub('-', name)}.json"
+
+    def has(self, name: str) -> bool:
+        """Whether a record of this name has been saved."""
+        return self.path_for(name).is_file()
+
+    def save(self, name: str, result: Any, metadata: dict | None = None) -> dict:
+        """Write one record (creating the directory on first use)."""
+        self._directory.mkdir(parents=True, exist_ok=True)
+        return save_record(self.path_for(name), name, result, metadata=metadata)
+
+    def load(self, name: str) -> dict:
+        """Load one record by name (``FileNotFoundError`` if absent)."""
+        return load_record(self.path_for(name))
+
+    def names(self) -> list[str]:
+        """Sorted names of all saved records (from the files' own payloads)."""
+        if not self._directory.is_dir():
+            return []
+        return sorted(
+            load_record(path)["name"] for path in self._directory.glob("*.json")
+        )
+
+    def __iter__(self) -> Iterator[dict]:
+        """Iterate the saved records in sorted-filename order."""
+        if not self._directory.is_dir():
+            return iter(())
+        return iter(load_record(path) for path in sorted(self._directory.glob("*.json")))
+
+    def __len__(self) -> int:
+        if not self._directory.is_dir():
+            return 0
+        return sum(1 for _ in self._directory.glob("*.json"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"<RecordStore {str(self._directory)!r} records={len(self)}>"

@@ -27,7 +27,6 @@ paper's ``w(u, v) = 1/|N_v|`` weight convention already applied (pass
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
 
 from repro.exceptions import ExperimentError
 from repro.graph.generators import (

@@ -1,0 +1,33 @@
+"""Multi-process fan-out for the sampling layer.
+
+:class:`~repro.parallel.engine.ParallelEngine` wraps any
+:class:`~repro.diffusion.engine.SamplingEngine` and drains chunked batch
+requests over a worker pool with deterministic per-chunk seed derivation --
+same seed, same results, for any worker count.  See
+:mod:`repro.parallel.engine` for the determinism contract and DESIGN.md §3
+for the architecture notes.
+"""
+
+from repro.parallel.engine import (
+    DEFAULT_CHUNK_SIZE,
+    WORKERS_AUTO,
+    ParallelEngine,
+    collect_type1,
+    fork_available,
+    maybe_parallel,
+    resolve_worker_count,
+    sample_covered_indicators,
+    sample_type1_indicators,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "WORKERS_AUTO",
+    "ParallelEngine",
+    "collect_type1",
+    "fork_available",
+    "maybe_parallel",
+    "resolve_worker_count",
+    "sample_covered_indicators",
+    "sample_type1_indicators",
+]

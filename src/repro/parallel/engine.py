@@ -1,0 +1,396 @@
+"""Deterministic multi-process fan-out for the sampling engines.
+
+The whole RAF pipeline consumes i.i.d. reverse-sampled realizations -- the
+stopping-rule ``pmax`` estimator (Alg. 2), the ``l`` realizations of the
+sampling framework (Alg. 3), pair screening and the Lemma-2 Monte Carlo
+evaluation -- so it is embarrassingly parallel at the sampling layer.
+:class:`ParallelEngine` adds that parallelism *behind* the
+:class:`~repro.diffusion.engine.SamplingEngine` protocol: it wraps any base
+engine and fans each ``sample_paths`` request out over a ``multiprocessing``
+worker pool, so every layer above (estimation, core, experiments, CLI)
+parallelizes without code changes.
+
+Determinism contract (see DESIGN.md §3):
+
+* A request for ``count`` paths is split into fixed-size chunks of
+  ``chunk_size`` paths.  The chunk layout depends only on ``count`` and
+  ``chunk_size`` -- never on the worker count.
+* Chunk ``i`` draws from its own generator, rebuilt from an integer seed
+  derived from the caller's ``rng`` via SHA-256 label mixing
+  (:func:`repro.utils.rng.derive_seed` with label ``"parallel-chunk-<i>"``).
+  Seeds are derived sequentially in chunk order, so the caller's stream is
+  consumed identically regardless of how chunks are later scheduled.
+* Results are concatenated in chunk order, so the merged path list -- and
+  therefore everything downstream, including the exact sample index at
+  which the stopping rule halts -- is bit-stable across runs and identical
+  for ``workers=1`` and ``workers=N``.
+
+Execution falls back to an in-process loop (same chunking, same seeds, same
+results) when ``workers <= 1``, when the request is a single chunk, or when
+the platform lacks the ``fork`` start method (workers inherit the compiled
+graph by forking; shipping it by pickle to spawned processes would cost more
+than it saves).  The pool is created lazily on first parallel dispatch,
+reused across calls, and torn down when the engine is closed or collected.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import weakref
+from typing import Iterable
+
+from repro.diffusion.engine import SamplingEngine, TargetPath, collect_type1_paths
+from repro.exceptions import EngineError
+from repro.graph.compiled import CompiledGraph
+from repro.types import NodeId
+from repro.utils.rng import RandomSource, derive_seed, ensure_rng
+from repro.utils.validation import require_non_negative_int, require_positive_int
+
+__all__ = [
+    "WORKERS_AUTO",
+    "DEFAULT_CHUNK_SIZE",
+    "ParallelEngine",
+    "fork_available",
+    "resolve_worker_count",
+    "maybe_parallel",
+    "sample_type1_indicators",
+    "sample_covered_indicators",
+    "collect_type1",
+]
+
+#: CLI/config sentinel meaning "one worker per available CPU".
+WORKERS_AUTO = "auto"
+
+#: Paths per chunk.  Fixed (worker-count independent) so the chunk layout --
+#: and with it every derived seed -- never depends on the degree of
+#: parallelism.  Large enough to amortize task pickling, small enough that a
+#: typical stopping-rule batch still spreads over several workers.
+DEFAULT_CHUNK_SIZE = 2048
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_worker_count(workers: int | str | None) -> int | None:
+    """Normalize a worker-count argument.
+
+    ``None`` means "no parallel wrapper" and is returned unchanged;
+    ``"auto"`` resolves to the CPU count; a positive integer passes through.
+    Anything else raises :class:`~repro.exceptions.EngineError` (strings) or
+    ``ValueError``/``TypeError`` (bad integers).
+    """
+    if workers is None:
+        return None
+    if isinstance(workers, str):
+        if workers.lower() == WORKERS_AUTO:
+            return max(1, os.cpu_count() or 1)
+        raise EngineError(
+            f"workers must be a positive integer or {WORKERS_AUTO!r}, got {workers!r}"
+        )
+    require_positive_int(workers, "workers")
+    return int(workers)
+
+
+# --------------------------------------------------------------------------- #
+# Worker-process plumbing
+# --------------------------------------------------------------------------- #
+
+#: The base engine of the owning ParallelEngine, inherited by pool workers at
+#: fork time through the pool initializer (no pickling of the compiled graph).
+_WORKER_ENGINE: SamplingEngine | None = None
+
+
+def _init_worker(engine: SamplingEngine) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = engine
+
+
+def _sample_chunk_on(
+    engine: SamplingEngine, payload: tuple[NodeId, frozenset, int, int]
+) -> list[TargetPath]:
+    """Draw one chunk on ``engine`` from its own seed-rebuilt generator."""
+    target, stop_set, count, seed = payload
+    return engine.sample_paths(target, stop_set, count, rng=random.Random(seed))
+
+
+def _sample_chunk(payload: tuple[NodeId, frozenset, int, int]) -> list[TargetPath]:
+    assert _WORKER_ENGINE is not None, "worker pool used before initialization"
+    return _sample_chunk_on(_WORKER_ENGINE, payload)
+
+
+def _reduce_chunk_on(engine: SamplingEngine, payload) -> object:
+    reducer, target, stop_set, count, seed, arg = payload
+    return reducer(engine.sample_paths(target, stop_set, count, rng=random.Random(seed)), arg)
+
+
+def _reduce_chunk(payload) -> object:
+    assert _WORKER_ENGINE is not None, "worker pool used before initialization"
+    return _reduce_chunk_on(_WORKER_ENGINE, payload)
+
+
+# Chunk reducers.  Applied worker-side so a chunk's IPC cost is one byte per
+# sample (indicators) or only the useful paths (type-1 filtering) instead of
+# every pickled TargetPath; must be top-level functions so they pickle by
+# reference.
+def _type1_indicator_bytes(paths: list[TargetPath], _arg) -> bytes:
+    return bytes(1 if path.is_type1 else 0 for path in paths)
+
+
+def _covered_indicator_bytes(paths: list[TargetPath], invited: frozenset) -> bytes:
+    return bytes(1 if path.covered_by(invited) else 0 for path in paths)
+
+
+def _type1_paths_only(paths: list[TargetPath], _arg) -> list[TargetPath]:
+    return [path for path in paths if path.is_type1]
+
+
+def _shutdown_pool(pool) -> None:
+    pool.terminate()
+    pool.join()
+
+
+# --------------------------------------------------------------------------- #
+# The engine wrapper
+# --------------------------------------------------------------------------- #
+
+
+class ParallelEngine:
+    """A :class:`SamplingEngine` that fans chunked batches over worker processes.
+
+    Wraps any base engine (python or numpy backed).  Satisfies the engine
+    protocol, so it threads through ``resolve_engine`` and every consumer of
+    engines unchanged; results are deterministic for a fixed seed and
+    identical across worker counts (see the module docstring for the
+    contract).
+    """
+
+    def __init__(
+        self,
+        base: SamplingEngine,
+        workers: int | str = WORKERS_AUTO,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if isinstance(base, ParallelEngine):
+            raise EngineError("cannot wrap a ParallelEngine in another ParallelEngine")
+        resolved = resolve_worker_count(workers)
+        if resolved is None:
+            raise EngineError("ParallelEngine requires an explicit worker count (or 'auto')")
+        require_positive_int(chunk_size, "chunk_size")
+        self._base = base
+        self._workers = resolved
+        self._chunk_size = int(chunk_size)
+        self._pool = None
+        self._pool_finalizer = None
+        self.name = f"parallel[{base.name}x{resolved}]"
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def base(self) -> SamplingEngine:
+        """The wrapped single-process engine."""
+        return self._base
+
+    @property
+    def workers(self) -> int:
+        """The configured worker-process count."""
+        return self._workers
+
+    @property
+    def chunk_size(self) -> int:
+        """Paths per chunk (worker-count independent)."""
+        return self._chunk_size
+
+    @property
+    def compiled(self) -> CompiledGraph:
+        """The frozen CSR snapshot the wrapped engine samples from."""
+        return self._base.compiled
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"<ParallelEngine base={self._base!r} workers={self._workers}>"
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(
+                self._workers, initializer=_init_worker, initargs=(self._base,)
+            )
+            self._pool_finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the worker pool (idempotent; the engine stays usable --
+        a later parallel dispatch simply forks a fresh pool)."""
+        if self._pool_finalizer is not None:
+            self._pool_finalizer()
+            self._pool_finalizer = None
+        self._pool = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def sample_path(
+        self, target: NodeId, stop_set: Iterable[NodeId], rng: RandomSource = None
+    ) -> TargetPath:
+        """Draw one backward trace from ``target``."""
+        return self.sample_paths(target, stop_set, 1, rng=rng)[0]
+
+    def sample_paths(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
+    ) -> list[TargetPath]:
+        """Draw ``count`` independent backward traces from ``target``.
+
+        The request is split into fixed-size chunks, each chunk is drawn
+        from its own derived-seed generator (possibly on a worker process),
+        and the chunks are concatenated in chunk order -- so the result is
+        independent of the worker count and of chunk scheduling.
+        """
+        chunks = self._run_chunks(target, stop_set, count, rng)
+        return [path for chunk in chunks for path in chunk]
+
+    def sample_reduced(
+        self,
+        target: NodeId,
+        stop_set: Iterable[NodeId],
+        count: int,
+        rng: RandomSource,
+        reducer,
+        arg=None,
+    ) -> list:
+        """Draw ``count`` traces and apply ``reducer`` to each chunk worker-side.
+
+        ``reducer(paths, arg)`` must be a top-level (picklable) function; its
+        per-chunk results are returned in chunk order.  Chunk layout and
+        seeds are exactly those of :meth:`sample_paths`, so a reduction over
+        ``sample_reduced`` sees the same paths ``sample_paths`` would return
+        -- the reduction only moves *where* the paths are consumed, keeping
+        the inter-process traffic proportional to the reduced size rather
+        than to the raw path count.
+        """
+        return self._run_chunks(target, stop_set, count, rng, reducer=reducer, arg=arg)
+
+    def _run_chunks(self, target, stop_set, count, rng, reducer=None, arg=None) -> list:
+        require_non_negative_int(count, "count")
+        generator = ensure_rng(rng)
+        stop = stop_set if isinstance(stop_set, frozenset) else frozenset(stop_set)
+        payloads = []
+        offset = 0
+        while offset < count:
+            size = min(self._chunk_size, count - offset)
+            label = f"parallel-chunk-{len(payloads)}"
+            payloads.append((target, stop, size, derive_seed(generator, label)))
+            offset += size
+        if not payloads:
+            return []
+        if reducer is not None:
+            payloads = [(reducer, *payload, arg) for payload in payloads]
+            run_pooled, run_local = _reduce_chunk, _reduce_chunk_on
+        else:
+            run_pooled, run_local = _sample_chunk, _sample_chunk_on
+        if self._workers > 1 and len(payloads) > 1 and fork_available():
+            return self._ensure_pool().map(run_pooled, payloads)
+        return [run_local(self._base, payload) for payload in payloads]
+
+
+def maybe_parallel(
+    engine: SamplingEngine,
+    workers: int | str | None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> SamplingEngine:
+    """Wrap ``engine`` in a :class:`ParallelEngine` when a worker count is given.
+
+    ``workers=None`` returns the engine unchanged (the historical
+    single-stream path, bit-compatible with pre-parallel releases); any
+    explicit count -- including 1 -- selects the chunked deterministic
+    fan-out path, so results for ``workers=1`` and ``workers=N`` coincide.
+    An engine that is already parallel passes through untouched (its own
+    worker count wins; wrapping pools in pools would only add overhead).
+    """
+    resolved = resolve_worker_count(workers)
+    if resolved is None or isinstance(engine, ParallelEngine):
+        return engine
+    return ParallelEngine(engine, workers=resolved, chunk_size=chunk_size)
+
+
+# --------------------------------------------------------------------------- #
+# Engine-agnostic sampling reductions
+# --------------------------------------------------------------------------- #
+#
+# The estimation layers consume *functions of* the sampled paths -- type-1
+# indicators for pmax (Alg. 2 / Corollary 2), covered-trace indicators for
+# f(I) (Lemma 2), the type-1 subset for the MSC instance (Alg. 3).  These
+# helpers dispatch on the engine: a ParallelEngine reduces worker-side (so
+# only the reduced form crosses the process boundary), any other engine
+# samples and reduces in-process on the caller's own stream -- which keeps
+# the workers=None path bit-compatible with pre-parallel releases.
+
+
+def sample_type1_indicators(
+    engine: SamplingEngine,
+    target: NodeId,
+    stop_set: Iterable[NodeId],
+    count: int,
+    rng: RandomSource = None,
+) -> bytes:
+    """The type indicators ``y(ĝ)`` of ``count`` reverse samples, one byte each."""
+    if isinstance(engine, ParallelEngine):
+        return b"".join(engine.sample_reduced(target, stop_set, count, rng, _type1_indicator_bytes))
+    return _type1_indicator_bytes(engine.sample_paths(target, stop_set, count, rng=rng), None)
+
+
+def sample_covered_indicators(
+    engine: SamplingEngine,
+    target: NodeId,
+    stop_set: Iterable[NodeId],
+    count: int,
+    invitation: frozenset,
+    rng: RandomSource = None,
+) -> bytes:
+    """Covered-trace indicators (Lemma 2) of ``count`` reverse samples."""
+    if isinstance(engine, ParallelEngine):
+        return b"".join(
+            engine.sample_reduced(
+                target, stop_set, count, rng, _covered_indicator_bytes, arg=invitation
+            )
+        )
+    return _covered_indicator_bytes(
+        engine.sample_paths(target, stop_set, count, rng=rng), invitation
+    )
+
+
+def collect_type1(
+    engine: SamplingEngine,
+    target: NodeId,
+    stop_set: Iterable[NodeId],
+    count: int,
+    rng: RandomSource = None,
+) -> tuple[list[TargetPath], int]:
+    """Draw ``count`` traces, keeping only the type-1 ones.
+
+    The parallel counterpart of
+    :func:`repro.diffusion.engine.collect_type1_paths` (to which it defers
+    for non-parallel engines): with a :class:`ParallelEngine` the type-0
+    paths are dropped inside the workers and never cross the process
+    boundary.
+    """
+    if isinstance(engine, ParallelEngine):
+        chunks = engine.sample_reduced(target, stop_set, count, rng, _type1_paths_only)
+        paths = [path for chunk in chunks for path in chunk]
+        return paths, len(paths)
+    return collect_type1_paths(engine, target, stop_set, count, rng=rng)

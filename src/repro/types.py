@@ -8,8 +8,8 @@ that use string names.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
 
 __all__ = [
     "NodeId",

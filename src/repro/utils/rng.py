@@ -19,7 +19,7 @@ import hashlib
 import random
 from typing import Union
 
-__all__ = ["RandomSource", "ensure_rng", "derive_rng", "spawn_rngs"]
+__all__ = ["RandomSource", "ensure_rng", "derive_seed", "derive_rng", "spawn_rngs"]
 
 #: Anything accepted where a random source is expected.
 RandomSource = Union[None, int, random.Random]
@@ -51,6 +51,24 @@ def ensure_rng(rng: RandomSource = None) -> random.Random:
     )
 
 
+def derive_seed(rng: RandomSource, label: str) -> int:
+    """Derive an integer seed from ``rng`` and a label.
+
+    The label is mixed in with a stable SHA-256 digest (never ``hash()``,
+    whose per-process salting of strings would break cross-process
+    reproducibility), and one ``randrange`` draw is consumed from the base
+    generator, so successive derivations from the same source yield
+    independent seeds in a deterministic order.  The integer form exists so
+    a seed can be shipped to another process (e.g. a sampling worker) and
+    rebuilt there as ``random.Random(seed)`` bit-identically.
+    """
+    base = ensure_rng(rng)
+    label_mix = int.from_bytes(
+        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+    ) & (_SEED_SPACE - 1)
+    return base.randrange(_SEED_SPACE) ^ label_mix
+
+
 def derive_rng(rng: RandomSource, label: str) -> random.Random:
     """Create an independent generator derived from ``rng`` and a label.
 
@@ -58,16 +76,9 @@ def derive_rng(rng: RandomSource, label: str) -> random.Random:
     sub-components (e.g. the pmax estimator and the realization sampler)
     while keeping the whole run reproducible from a single seed.  The same
     ``(seed, label)`` pair always yields the same stream -- also across
-    processes: the label is mixed in with a stable digest rather than
-    ``hash()``, whose per-process salting of strings used to make seeded
-    CLI runs differ from invocation to invocation.
+    processes (see :func:`derive_seed`).
     """
-    base = ensure_rng(rng)
-    label_mix = int.from_bytes(
-        hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
-    ) & (_SEED_SPACE - 1)
-    seed = base.randrange(_SEED_SPACE) ^ label_mix
-    return random.Random(seed)
+    return random.Random(derive_seed(rng, label))
 
 
 def spawn_rngs(rng: RandomSource, count: int) -> list[random.Random]:

@@ -9,7 +9,7 @@ from repro.baselines.pagerank import pagerank_invitation, pagerank_scores, rank_
 from repro.baselines.random_invite import random_invitation
 from repro.core.problem import ActiveFriendingProblem
 from repro.diffusion.friending_process import estimate_acceptance_probability
-from repro.graph.generators import path_graph, star_graph
+from repro.graph.generators import star_graph
 from repro.graph.weights import apply_degree_normalized_weights
 
 

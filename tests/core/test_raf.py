@@ -10,7 +10,6 @@ from repro.core.raf import RAFConfig, estimate_pmax, run_raf, run_sampling_frame
 from repro.core.vmax import compute_vmax
 from repro.diffusion.friending_process import estimate_acceptance_probability
 from repro.exceptions import AlgorithmError
-from repro.graph.generators import barabasi_albert_graph
 from repro.graph.social_graph import SocialGraph
 from repro.graph.weights import apply_degree_normalized_weights
 

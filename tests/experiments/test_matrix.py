@@ -1,0 +1,210 @@
+"""Tests for the scenario-matrix runner and the record store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import EngineError, ExperimentError
+from repro.experiments.matrix import (
+    MATRIX_ALGORITHM_NAMES,
+    MatrixCell,
+    MatrixSpec,
+    format_matrix,
+    run_matrix,
+    run_matrix_cell,
+)
+from repro.experiments.records import RecordStore
+
+#: One tiny spec shared by the whole module (cells cache per spec+dataset).
+SPEC = MatrixSpec(
+    datasets=("wiki",),
+    algorithms=("raf", "hd"),
+    budgets=(3,),
+    engines=("python",),
+    scale=0.03,
+    realizations=400,
+    eval_samples=120,
+    screen_samples=150,
+    seed=11,
+)
+
+
+class TestRecordStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = RecordStore(tmp_path / "records")
+        assert not store.has("alpha")
+        store.save("alpha", {"value": 1})
+        assert store.has("alpha")
+        assert store.load("alpha")["result"] == {"value": 1}
+        assert store.names() == ["alpha"]
+        assert len(store) == 1
+
+    def test_empty_store(self, tmp_path):
+        store = RecordStore(tmp_path / "missing")
+        assert store.names() == []
+        assert list(store) == []
+        assert len(store) == 0
+
+    def test_names_are_sanitized(self, tmp_path):
+        store = RecordStore(tmp_path)
+        store.save("fig3/wiki pmax", {"x": 1})
+        assert store.path_for("fig3/wiki pmax").name == "fig3-wiki-pmax.json"
+        assert store.has("fig3/wiki pmax")
+        assert store.load("fig3/wiki pmax")["name"] == "fig3/wiki pmax"
+
+    def test_canonical_bytes(self, tmp_path):
+        store_a = RecordStore(tmp_path / "a")
+        store_b = RecordStore(tmp_path / "b")
+        payload = {"b": 2, "a": [3, 1], "nested": {"z": True, "y": None}}
+        store_a.save("thing", payload)
+        store_b.save("thing", payload)
+        assert store_a.path_for("thing").read_bytes() == store_b.path_for("thing").read_bytes()
+
+
+class TestMatrixSpec:
+    def test_cells_enumerate_full_product_in_order(self):
+        spec = MatrixSpec(
+            datasets=("wiki", "hepth"),
+            algorithms=("raf",),
+            budgets=(2, 4),
+            engines=("python",),
+        )
+        ids = [cell.cell_id for cell in spec.cells()]
+        assert ids == [
+            "wiki__raf__b2__python",
+            "wiki__raf__b4__python",
+            "hepth__raf__b2__python",
+            "hepth__raf__b4__python",
+        ]
+
+    def test_cell_id_is_filesystem_safe(self):
+        cell = MatrixCell(dataset="wiki", algorithm="raf", budget=8, engine="python")
+        assert cell.cell_id == "wiki__raf__b8__python"
+
+    def test_known_algorithms_exposed(self):
+        assert "raf" in MATRIX_ALGORITHM_NAMES
+        assert "hd" in MATRIX_ALGORITHM_NAMES
+
+    def test_unknown_axis_values_rejected(self):
+        with pytest.raises(ExperimentError):
+            MatrixSpec(datasets=("atlantis",))
+        with pytest.raises(ExperimentError):
+            MatrixSpec(algorithms=("simulated-annealing",))
+        with pytest.raises(EngineError):
+            MatrixSpec(engines=("fortran",))
+        with pytest.raises(ValueError):
+            MatrixSpec(budgets=(0,))
+        with pytest.raises(ValueError):
+            MatrixSpec(datasets=())
+
+
+class TestRunMatrixCell:
+    def test_record_is_deterministic_and_json_ready(self):
+        cell = SPEC.cells()[0]
+        first = run_matrix_cell(SPEC, cell)
+        second = run_matrix_cell(SPEC, cell)
+        assert first == second
+        # Canonical serialization round-trips without loss.
+        assert json.loads(json.dumps(first, sort_keys=True)) == first
+        assert first["size"] <= cell.budget
+        assert 0.0 <= first["acceptance"] <= 1.0
+        assert first["cell"]["algorithm"] == "raf"
+        assert first["extras"]["num_realizations"] == SPEC.realizations
+
+    def test_cells_of_one_dataset_share_the_pair(self):
+        records = [run_matrix_cell(SPEC, cell) for cell in SPEC.cells()]
+        pairs = {json.dumps(record["pair"], sort_keys=True) for record in records}
+        assert len(pairs) == 1
+
+
+class TestRunMatrix:
+    def test_streams_records_and_summarizes(self, tmp_path):
+        out = tmp_path / "records"
+        messages: list[str] = []
+        result = run_matrix(SPEC, out, echo=messages.append)
+        assert len(result.rows) == 2
+        assert result.skipped == ()
+        assert sorted(result.computed) == sorted(cell.cell_id for cell in SPEC.cells())
+        assert len(list(out.glob("*.json"))) == 2
+        assert any("recorded" in message for message in messages)
+        table = format_matrix(result)
+        assert "raf" in table and "hd" in table
+
+    def test_worker_counts_produce_byte_identical_records(self, tmp_path):
+        serial = tmp_path / "serial"
+        fanned = tmp_path / "fanned"
+        run_matrix(SPEC, serial, workers=1)
+        run_matrix(SPEC, fanned, workers=4)
+        serial_files = sorted(serial.glob("*.json"))
+        assert len(serial_files) == 2
+        for path in serial_files:
+            assert path.read_bytes() == (fanned / path.name).read_bytes()
+
+    def test_resume_recomputes_only_missing_cells(self, tmp_path):
+        out = tmp_path / "records"
+        first = run_matrix(SPEC, out, workers=1)
+        assert first.skipped == ()
+        victim = out / "wiki__raf__b3__python.json"
+        original = victim.read_bytes()
+        victim.unlink()
+
+        resumed = run_matrix(SPEC, out, workers=1)
+        assert resumed.computed == ("wiki__raf__b3__python",)
+        assert resumed.skipped == ("wiki__hd__b3__python",)
+        # The recomputed record is byte-identical to the one that was lost.
+        assert victim.read_bytes() == original
+        assert resumed.rows == first.rows
+
+    def test_resume_under_different_spec_is_rejected(self, tmp_path):
+        out = tmp_path / "records"
+        run_matrix(SPEC, out)
+        other = MatrixSpec(
+            datasets=SPEC.datasets,
+            algorithms=SPEC.algorithms,
+            budgets=SPEC.budgets,
+            engines=SPEC.engines,
+            scale=SPEC.scale,
+            realizations=SPEC.realizations,
+            eval_samples=SPEC.eval_samples,
+            screen_samples=SPEC.screen_samples,
+            seed=SPEC.seed + 1,
+        )
+        with pytest.raises(ExperimentError, match="different matrix spec"):
+            run_matrix(other, out)
+        # resume=False recomputes and re-stamps the records for the new spec.
+        rerun = run_matrix(other, out, resume=False)
+        assert len(rerun.computed) == 2
+        run_matrix(other, out)  # now resumable under the new spec
+
+    def test_grid_extension_resumes_over_existing_records(self, tmp_path):
+        out = tmp_path / "records"
+        run_matrix(SPEC, out)
+        wider = MatrixSpec(
+            datasets=SPEC.datasets,
+            algorithms=SPEC.algorithms,
+            budgets=SPEC.budgets + (5,),
+            engines=SPEC.engines,
+            scale=SPEC.scale,
+            realizations=SPEC.realizations,
+            eval_samples=SPEC.eval_samples,
+            screen_samples=SPEC.screen_samples,
+            seed=SPEC.seed,
+        )
+        extended = run_matrix(wider, out)
+        # The original cells resume (same protocol), only the new budget runs.
+        assert sorted(extended.skipped) == sorted(cell.cell_id for cell in SPEC.cells())
+        assert sorted(extended.computed) == ["wiki__hd__b5__python", "wiki__raf__b5__python"]
+
+    def test_no_scratch_files_left_behind(self, tmp_path):
+        out = tmp_path / "records"
+        run_matrix(SPEC, out)
+        assert list(out.glob("*.tmp")) == []
+
+    def test_fresh_recomputes_everything(self, tmp_path):
+        out = tmp_path / "records"
+        run_matrix(SPEC, out)
+        rerun = run_matrix(SPEC, out, resume=False)
+        assert sorted(rerun.computed) == sorted(cell.cell_id for cell in SPEC.cells())
+        assert rerun.skipped == ()

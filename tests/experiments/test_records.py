@@ -6,8 +6,6 @@ import enum
 import json
 from dataclasses import dataclass
 
-import pytest
-
 from repro.core.parameters import ParameterCoupling, RAFParameters
 from repro.experiments.records import load_record, save_record, to_jsonable
 from repro.types import PairSpec

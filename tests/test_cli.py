@@ -41,6 +41,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["raf", "--engine", "fortran"])
 
+    def test_workers_flag_accepted(self):
+        args = build_parser().parse_args(["raf", "--workers", "4"])
+        assert args.workers == 4
+        args = build_parser().parse_args(["raf", "--workers", "auto"])
+        assert args.workers == "auto"
+        args = build_parser().parse_args(["matrix", "--workers", "2"])
+        assert args.workers == 2
+        assert build_parser().parse_args(["raf"]).workers is None
+
+    def test_invalid_workers_rejected(self):
+        for value in ("0", "-1", "many"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["raf", "--workers", value])
+
+    def test_matrix_defaults(self):
+        args = build_parser().parse_args(["matrix"])
+        assert args.datasets == "wiki,hepth"
+        assert args.algorithms == "raf,hd"
+        assert args.output == "matrix-records"
+        assert not args.fresh
+
 
 class TestDatasetsCommand:
     def test_prints_table1(self, capsys):
@@ -119,6 +140,36 @@ class TestVmaxAndMaximize:
         output = capsys.readouterr().out
         assert "budgeted invitation set" in output
         assert "fraction of pmax" in output
+
+
+class TestMatrixCommand:
+    _ARGS = [
+        "--seed", "7", "matrix", "--datasets", "wiki", "--algorithms", "raf,hd",
+        "--budgets", "3", "--scale", "0.03", "--realizations", "400",
+        "--eval-samples", "120",
+    ]
+
+    def test_runs_grid_and_resumes(self, capsys, tmp_path):
+        out = tmp_path / "records"
+        assert main(self._ARGS + ["--output", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "Scenario matrix" in output
+        assert "2 computed" in output
+        assert len(list(out.glob("*.json"))) == 2
+
+        # A second invocation resumes from the recorded cells.
+        assert main(self._ARGS + ["--output", str(out)]) == 0
+        assert "2 resumed" in capsys.readouterr().out
+
+    def test_workers_flag_runs(self, capsys, tmp_path):
+        out = tmp_path / "records"
+        assert main(self._ARGS + ["--output", str(out), "--workers", "2"]) == 0
+        assert "Scenario matrix" in capsys.readouterr().out
+
+    def test_bad_budgets_reported(self, capsys, tmp_path):
+        code = main(["matrix", "--budgets", "three", "--output", str(tmp_path / "r")])
+        assert code == 1
+        assert "comma-separated integers" in capsys.readouterr().err
 
 
 class TestExperimentCommand:
