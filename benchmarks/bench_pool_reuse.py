@@ -1,0 +1,180 @@
+"""Wall-clock win from the shared reverse-sample pool (repro/pool).
+
+Models a screening service under repeated query traffic: the same batch of
+candidate (source, target) pairs is screened with :func:`screen_pmax` over
+several rounds (resubmitted queries, dashboard refreshes, retry storms --
+the ROADMAP's "heavy traffic" regime), and each surviving candidate then
+gets a stopping-rule :func:`estimate_pmax` that *warm-starts* from the very
+samples its screen already drew.  Both arms consume the pool's canonical
+seed-derived streams -- the "pool disabled" arm is a pool with caching off
+(``reuse=False``), which re-draws every request -- so the benchmark
+asserts per-candidate bit-identity between the arms before it reports a
+single number; the pool changes cost, never results.
+
+Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_pool_reuse.py
+        [--candidates 50] [--rounds 4] [--output PATH] [--min-speedup X]
+
+``--min-speedup`` turns the report into a gate (the CI ``bench`` job
+requires 3.0).  Results are written to ``BENCH_pool.json`` at the
+repository root in the ``compare_bench.py`` schema, gated on the
+``speedup_vs_no_pool`` metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from bench_engine_throughput import _benchmark_graph
+
+from repro.core.raf import estimate_pmax
+from repro.diffusion.engine import create_engine
+from repro.pool import SamplePool
+from repro.utils.rng import derive_rng
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_pool.json"
+
+_SEED = 20190707
+_POOL_SEED = 77
+
+
+def _candidate_pairs(graph, count, rng):
+    """Unscreened candidate pairs (distinct, non-friend, non-isolated)."""
+    nodes = graph.node_list()
+    pairs = []
+    seen = set()
+    while len(pairs) < count:
+        source, target = rng.sample(nodes, 2)
+        if (source, target) in seen:
+            continue
+        seen.add((source, target))
+        if graph.has_edge(source, target):
+            continue
+        if graph.degree(source) == 0 or graph.degree(target) == 0:
+            continue
+        pairs.append((source, target))
+    return pairs
+
+
+def _run_workload(graph, pairs, pool, rounds, screen_samples, estimate_top):
+    """One full traffic replay against ``pool``; returns the result transcript.
+
+    Per round every candidate is screened; the ``estimate_top`` candidates
+    with the highest screened pmax then get a stopping-rule estimate (which
+    shares the pool's pmax stream with the screen, so a warm pool serves it
+    from cache).  The transcript contains every number produced, so two
+    arms can be compared for bit-identity.
+    """
+    from repro.experiments.pair_selection import screen_pmax
+
+    transcript = []
+    for _ in range(rounds):
+        screens = [
+            screen_pmax(graph, source, target, num_samples=screen_samples, pool=pool)
+            for source, target in pairs
+        ]
+        ranked = sorted(range(len(pairs)), key=lambda i: (-screens[i], i))
+        estimates = []
+        for index in ranked[:estimate_top]:
+            source, target = pairs[index]
+            if screens[index] == 0.0:
+                continue  # hopeless pair; the stopping rule would only cap out
+            result = estimate_pmax(
+                graph, source, target, epsilon=0.2, confidence_n=1_000.0,
+                max_samples=200_000, pool=pool,
+            )
+            estimates.append((index, result.value, result.num_samples, result.method))
+        transcript.append((screens, estimates))
+    return transcript
+
+
+def run_benchmark(candidates=50, rounds=5, screen_samples=400, estimate_top=10, num_nodes=3000):
+    """Time the screening workload with the pool on and off."""
+    graph, _, _ = _benchmark_graph(num_nodes=num_nodes)
+    engine = create_engine(graph, "python")
+    pairs = _candidate_pairs(graph, candidates, derive_rng(_SEED, "pool-bench-pairs"))
+
+    arms = {}
+    transcripts = {}
+    for name, reuse in (("no-pool", False), ("pool", True)):
+        pool = SamplePool(engine, seed=_POOL_SEED, reuse=reuse)
+        start = time.perf_counter()
+        transcripts[name] = _run_workload(
+            graph, pairs, pool, rounds, screen_samples, estimate_top
+        )
+        seconds = time.perf_counter() - start
+        stats = pool.stats()
+        arms[name] = {
+            "seconds": round(seconds, 4),
+            "paths_drawn": stats.drawn_paths,
+            "paths_served": stats.served_paths,
+        }
+
+    # The whole point: identical numbers, different cost.
+    assert transcripts["pool"] == transcripts["no-pool"], (
+        "pool-backed results diverged from pool-free results"
+    )
+    speedup = arms["no-pool"]["seconds"] / arms["pool"]["seconds"]
+    arms["no-pool"]["speedup_vs_no_pool"] = 1.0
+    arms["pool"]["speedup_vs_no_pool"] = round(speedup, 2)
+    return {
+        "benchmark": "pool_reuse_screening",
+        "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges, "model": "barabasi-albert"},
+        "workload": {
+            "candidates": candidates,
+            "rounds": rounds,
+            "screen_samples": screen_samples,
+            "estimate_top": estimate_top,
+            "workers": 1,
+            "seed": _SEED,
+            "pool_seed": _POOL_SEED,
+        },
+        "bit_identical": True,
+        "results": arms,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--candidates", type=int, default=50,
+                        help="candidate pairs per screening round (default: 50)")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="times the candidate batch is (re)screened (default: 5)")
+    parser.add_argument("--screen-samples", type=int, default=400,
+                        help="reverse samples per screen (default: 400)")
+    parser.add_argument("--estimate-top", type=int, default=10,
+                        help="top screened candidates getting a stopping-rule "
+                             "estimate per round (default: 10)")
+    parser.add_argument("--nodes", type=int, default=3000,
+                        help="benchmark graph size (default: 3000)")
+    parser.add_argument("--output", type=Path, default=OUTPUT_PATH,
+                        help=f"where to write the JSON report (default: {OUTPUT_PATH})")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the pooled arm reaches this speedup")
+    args = parser.parse_args(argv)
+    report = run_benchmark(
+        candidates=args.candidates,
+        rounds=args.rounds,
+        screen_samples=args.screen_samples,
+        estimate_top=args.estimate_top,
+        num_nodes=args.nodes,
+    )
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    speedup = report["results"]["pool"]["speedup_vs_no_pool"]
+    print(f"\npool speedup: {speedup}x over pool-free (bit-identical results)")
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup}x below required {args.min_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,19 +1,23 @@
-"""Gate a fresh engine-throughput report against the committed baseline.
+"""Gate a fresh benchmark report against a committed baseline.
 
 Used by the CI ``bench`` job::
 
     python benchmarks/compare_bench.py BENCH_engine.json fresh.json \
         --max-regression 0.30
+    python benchmarks/compare_bench.py BENCH_pool.json fresh.json \
+        --metric speedup_vs_no_pool --max-regression 0.30
 
-Raw paths/sec are not comparable across machines (the committed baseline
-was measured on different hardware than the CI runner), so the gate is on
-each engine's ``speedup_vs_dict_seed`` ratio: the dict-based seed sampler
-is re-timed in the *same* fresh run on the *same* machine, which makes the
-ratio hardware-neutral.  An engine whose fresh speedup falls more than
-``--max-regression`` (default 30%) below its committed speedup fails the
-gate; absolute paths/sec for both runs are printed alongside for context.
-Engines present in only one report (e.g. the no-numpy leg) are reported
-but never gated.
+Raw seconds or paths/sec are not comparable across machines (the committed
+baselines were measured on different hardware than the CI runner), so the
+gate is on a *ratio* metric that each report normalizes within its own run
+on its own machine: ``speedup_vs_dict_seed`` for the engine-throughput
+report (the dict-based seed sampler is re-timed in the same fresh run) and
+``speedup_vs_no_pool`` for the pool-reuse report (the pool-free arm is
+re-timed in the same fresh run).  A row whose fresh metric falls more than
+``--max-regression`` (default 30%) below its committed value fails the
+gate; rows present in only one report, and rows without the metric, are
+reported but never gated.  Absolute context (paths/sec or seconds) is
+printed alongside when available.
 """
 
 from __future__ import annotations
@@ -24,52 +28,80 @@ import sys
 from pathlib import Path
 
 
-def compare(baseline: dict, fresh: dict, max_regression: float) -> list[str]:
+def _context(row: dict) -> str:
+    if "paths_per_sec" in row:
+        return str(row["paths_per_sec"])
+    if "seconds" in row:
+        return f"{row['seconds']}s"
+    return "-"
+
+
+def compare(baseline: dict, fresh: dict, max_regression: float, metric: str) -> list[str]:
     """Return a list of failure messages (empty when the gate passes)."""
     failures: list[str] = []
+    gated_rows = 0
     baseline_results = baseline["results"]
     fresh_results = fresh["results"]
-    header = f"{'engine':<12} {'base paths/s':>14} {'fresh paths/s':>14} {'base x':>8} {'fresh x':>8} {'ratio':>7}"
+    header = (
+        f"{'row':<12} {'base ctx':>14} {'fresh ctx':>14} "
+        f"{'base metric':>12} {'fresh metric':>12} {'ratio':>7}"
+    )
+    print(f"gating metric: {metric}")
     print(header)
     print("-" * len(header))
-    for engine in baseline_results:
-        base_row = baseline_results[engine]
-        fresh_row = fresh_results.get(engine)
+    for name in baseline_results:
+        base_row = baseline_results[name]
+        fresh_row = fresh_results.get(name)
         if fresh_row is None:
-            print(f"{engine:<12} {base_row['paths_per_sec']:>14} {'(absent)':>14}")
+            print(f"{name:<12} {_context(base_row):>14} {'(absent)':>14}")
             continue
-        base_speedup = base_row["speedup_vs_dict_seed"]
-        fresh_speedup = fresh_row["speedup_vs_dict_seed"]
-        ratio = fresh_speedup / base_speedup if base_speedup else 1.0
+        base_metric = base_row.get(metric)
+        fresh_metric = fresh_row.get(metric)
+        if base_metric is None or fresh_metric is None:
+            print(f"{name:<12} {_context(base_row):>14} {_context(fresh_row):>14} "
+                  f"{'(no metric)':>12}")
+            continue
+        ratio = fresh_metric / base_metric if base_metric else 1.0
         print(
-            f"{engine:<12} {base_row['paths_per_sec']:>14} {fresh_row['paths_per_sec']:>14} "
-            f"{base_speedup:>8} {fresh_speedup:>8} {ratio:>7.2f}"
+            f"{name:<12} {_context(base_row):>14} {_context(fresh_row):>14} "
+            f"{base_metric:>12} {fresh_metric:>12} {ratio:>7.2f}"
         )
-        if engine == "dict-seed":  # the normalizer itself, always ratio 1
-            continue
+        if base_metric == 1.0 and fresh_metric == 1.0:
+            continue  # the normalizer row itself, always ratio 1
+        gated_rows += 1
         if ratio < 1.0 - max_regression:
             failures.append(
-                f"{engine}: speedup regressed {1.0 - ratio:.0%} "
-                f"({base_speedup}x -> {fresh_speedup}x, allowed {max_regression:.0%})"
+                f"{name}: {metric} regressed {1.0 - ratio:.0%} "
+                f"({base_metric}x -> {fresh_metric}x, allowed {max_regression:.0%})"
             )
-    for engine in fresh_results:
-        if engine not in baseline_results:
-            print(f"{engine:<12} {'(new)':>14} {fresh_results[engine]['paths_per_sec']:>14}")
+    for name in fresh_results:
+        if name not in baseline_results:
+            print(f"{name:<12} {'(new)':>14} {_context(fresh_results[name]):>14}")
+    if gated_rows == 0:
+        failures.append(
+            f"no row in both reports carries the metric {metric!r} (other than "
+            "normalizers); the gate would pass vacuously -- check --metric "
+            "against the report schema"
+        )
     return failures
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline", type=Path, help="committed BENCH_engine.json")
+    parser.add_argument("baseline", type=Path, help="committed baseline report")
     parser.add_argument("fresh", type=Path, help="report from the current run")
     parser.add_argument(
         "--max-regression", type=float, default=0.30,
-        help="largest tolerated relative drop in speedup_vs_dict_seed (default: 0.30)",
+        help="largest tolerated relative drop in the gated metric (default: 0.30)",
+    )
+    parser.add_argument(
+        "--metric", default="speedup_vs_dict_seed",
+        help="per-row ratio field to gate on (default: speedup_vs_dict_seed)",
     )
     args = parser.parse_args(argv)
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
-    failures = compare(baseline, fresh, args.max_regression)
+    failures = compare(baseline, fresh, args.max_regression, args.metric)
     if failures:
         print("\nBENCH REGRESSION:", file=sys.stderr)
         for failure in failures:

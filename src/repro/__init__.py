@@ -10,6 +10,7 @@ The library implements the full pipeline of the paper:
   (:mod:`repro.estimation`),
 * Minimum p-Union / Minimum Subset Cover solvers (:mod:`repro.setcover`),
 * deterministic multi-process sampling fan-out (:mod:`repro.parallel`),
+* shared reverse-sample pools with warm-start reuse (:mod:`repro.pool`),
 * the RAF algorithm and the ``Vmax`` special case (:mod:`repro.core`),
 * the HD / SP / random / PageRank / greedy baselines
   (:mod:`repro.baselines`), and
@@ -63,6 +64,7 @@ from repro.diffusion import (
     simulate_friending,
 )
 from repro.parallel import ParallelEngine, maybe_parallel
+from repro.pool import PoolReader, PoolStats, SamplePool
 from repro.core import (
     ActiveFriendingProblem,
     GuaranteeReport,
@@ -123,6 +125,9 @@ __all__ = [
     "available_engines",
     "ParallelEngine",
     "maybe_parallel",
+    "SamplePool",
+    "PoolReader",
+    "PoolStats",
     # core algorithm
     "ActiveFriendingProblem",
     "RAFConfig",

@@ -18,7 +18,9 @@ Every command accepts ``--seed`` for reproducibility and either
 (a SNAP file, weighted with the paper's 1/|N_v| convention on load).
 Sampling-heavy commands additionally accept ``--engine`` (backend) and
 ``--workers N|auto`` (multi-process sampling fan-out; seeded results are
-identical for every worker count).
+identical for every worker count), and ``raf``/``maximize``/``matrix``
+accept ``--pool/--no-pool`` (+ ``--pool-budget N``) to reuse reverse
+samples across estimators through a shared sample pool (:mod:`repro.pool`).
 """
 
 from __future__ import annotations
@@ -35,7 +37,7 @@ from repro.core.raf import RAFConfig, run_raf
 from repro.core.parameters import SamplePolicy
 from repro.core.vmax import compute_vmax
 from repro.diffusion.friending_process import estimate_acceptance_probability
-from repro.diffusion.engine import ENGINE_NAMES
+from repro.diffusion.engine import ENGINE_NAMES, create_engine
 from repro.exceptions import ReproError
 from repro.experiments.basic_experiment import format_basic_experiment, run_basic_experiment
 from repro.experiments.config import ExperimentConfig
@@ -55,8 +57,10 @@ from repro.graph.datasets import DATASET_NAMES, load_dataset
 from repro.graph.io import read_snap_graph
 from repro.graph.metrics import compute_stats
 from repro.graph.weights import apply_degree_normalized_weights
-from repro.parallel.engine import WORKERS_AUTO
+from repro.parallel.engine import WORKERS_AUTO, maybe_parallel
+from repro.pool.sample_pool import SamplePool
 from repro.types import PairSpec, ordered
+from repro.utils.rng import derive_seed
 
 __all__ = ["main", "build_parser"]
 
@@ -111,6 +115,19 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_pool_arguments(parser: argparse.ArgumentParser, default: bool, default_text: str) -> None:
+    parser.add_argument(
+        "--pool", action=argparse.BooleanOptionalAction, default=default,
+        help="reuse reverse samples across estimators through a shared sample "
+             f"pool (--no-pool disables; default: {default_text})",
+    )
+    parser.add_argument(
+        "--pool-budget", type=int, default=None, metavar="N",
+        help="cap on the total paths the pool keeps cached "
+             "(default: unbounded)",
+    )
+
+
 def _add_pair_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--source", type=int, default=None, help="initiator user id")
     parser.add_argument("--target", type=int, default=None, help="target user id")
@@ -143,6 +160,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Process-1 simulations used to evaluate the output")
     raf.add_argument("--compare-baselines", action="store_true",
                      help="also evaluate HD and SP at the same budget")
+    _add_pool_arguments(raf, default=False, default_text="off; pooled runs follow "
+                        "the pool's labeled streams, see DESIGN.md §4")
 
     vmax = subparsers.add_parser("vmax", help="compute the alpha = 1 solution (Lemma 7)")
     _add_graph_arguments(vmax)
@@ -154,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_argument(maximize)
     maximize.add_argument("--budget", type=int, required=True, help="invitation budget")
     maximize.add_argument("--realizations", type=int, default=5000)
+    _add_pool_arguments(maximize, default=False, default_text="off")
 
     experiment = subparsers.add_parser("experiment", help="regenerate a table or figure")
     experiment.add_argument("name", choices=EXPERIMENT_CHOICES, help="which artefact to regenerate")
@@ -209,6 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--fresh", action="store_true",
         help="recompute every cell instead of resuming from existing records",
     )
+    _add_pool_arguments(matrix, default=True, default_text="on; records are "
+                        "byte-identical with --no-pool, only slower")
     return parser
 
 
@@ -288,6 +310,8 @@ def _command_raf(args: argparse.Namespace) -> int:
         fixed_realizations=args.realizations,
         engine=args.engine,
         workers=args.workers,
+        pool=args.pool,
+        pool_budget=args.pool_budget,
     )
     result = run_raf(problem, config, rng=args.seed)
     print(f"\nRAF invitation set ({result.size} users):")
@@ -327,10 +351,17 @@ def _command_vmax(args: argparse.Namespace) -> int:
 def _command_maximize(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     pair = _resolve_pair(graph, args)
+    pool = None
+    if args.pool:
+        pool = SamplePool(
+            maybe_parallel(create_engine(graph, args.engine), args.workers),
+            seed=derive_seed(args.seed, "cli-maximize-pool"),
+            budget=args.pool_budget,
+        )
     result = maximize_acceptance_probability(
         graph, pair.source, pair.target, budget=args.budget,
         num_realizations=args.realizations, rng=args.seed, engine=args.engine,
-        workers=args.workers,
+        workers=args.workers, pool=pool,
     )
     print(f"budgeted invitation set ({result.size} of at most {result.budget} users):")
     print("  " + ", ".join(str(node) for node in ordered(result.invitation)))
@@ -407,6 +438,8 @@ def _command_matrix(args: argparse.Namespace) -> int:
         realizations=args.realizations,
         eval_samples=args.eval_samples,
         seed=args.seed,
+        pool=args.pool,
+        pool_budget=args.pool_budget,
     )
     result = run_matrix(
         spec, args.output, workers=args.workers, resume=not args.fresh, echo=print

@@ -20,6 +20,7 @@ from repro.diffusion.engine import SamplingEngine, resolve_engine
 from repro.exceptions import AlgorithmError, ProblemDefinitionError
 from repro.graph.social_graph import SocialGraph
 from repro.parallel.engine import collect_type1, maybe_parallel
+from repro.pool.sample_pool import STREAM_REALIZATIONS, SamplePool
 from repro.setcover.budgeted import budgeted_trace_cover
 from repro.setcover.hypergraph import SetSystem
 from repro.types import NodeId
@@ -88,12 +89,18 @@ def maximize_acceptance_probability(
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
     workers: int | str | None = None,
+    pool: "SamplePool | None" = None,
 ) -> MaxFriendingResult:
     """Choose at most ``budget`` users to invite so the target is most likely to accept.
 
     Samples ``num_realizations`` backward traces (exactly as RAF does --
     ``workers`` fans them over a pool without changing the seeded result)
-    and greedily covers as much trace weight as the budget allows.
+    and greedily covers as much trace weight as the budget allows.  With a
+    ``pool`` (:class:`~repro.pool.SamplePool`) the traces are the pool's
+    canonical realization stream for this (target, N_s) key: evaluating
+    several budgets against one pool re-draws nothing, and the result is
+    identical whether the pool is warm or cold
+    (``engine``/``workers``/``rng`` are ignored in pool mode).
 
     Raises
     ------
@@ -118,10 +125,21 @@ def maximize_acceptance_probability(
 
     generator = ensure_rng(rng)
     source_friends = graph.neighbor_set(source)
-    resolved = maybe_parallel(resolve_engine(graph, engine), workers)
-    paths, num_type1 = collect_type1(
-        resolved, target, source_friends, num_realizations, rng=generator
-    )
+    if pool is not None:
+        resolve_engine(graph, pool.engine)
+        paths = [
+            path
+            for path in pool.paths(
+                target, source_friends, num_realizations, stream=STREAM_REALIZATIONS
+            )
+            if path.is_type1
+        ]
+        num_type1 = len(paths)
+    else:
+        resolved = maybe_parallel(resolve_engine(graph, engine), workers)
+        paths, num_type1 = collect_type1(
+            resolved, target, source_friends, num_realizations, rng=generator
+        )
     if num_type1 == 0:
         raise AlgorithmError(
             f"none of the {num_realizations} sampled realizations was type-1; "

@@ -47,11 +47,12 @@ from repro.parallel.engine import (
     resolve_worker_count,
     sample_type1_indicators,
 )
+from repro.pool.sample_pool import STREAM_PMAX, STREAM_REALIZATIONS, SamplePool
 from repro.setcover.hypergraph import SetSystem
 from repro.setcover.msc import minimum_subset_cover
 from repro.setcover.mpu import chlamtac_ratio_bound
 from repro.types import NodeId
-from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+from repro.utils.rng import RandomSource, derive_rng, derive_seed, ensure_rng
 from repro.utils.timing import Stopwatch
 from repro.utils.validation import require, require_positive, require_positive_int
 
@@ -103,6 +104,18 @@ class RAFConfig:
         keeps the historical single-stream path.  Any explicit count --
         including 1 -- selects the chunked deterministic fan-out, whose
         results are identical for every worker count under a fixed seed.
+    pool:
+        When true, the run draws every reverse sample through a shared
+        :class:`~repro.pool.SamplePool` (seeded from the run's base
+        generator via ``derive_seed(rng, "raf-pool")``), so repeated runs
+        against the same pool -- e.g. query traffic for one (source,
+        target) pair -- reuse cached samples instead of re-drawing them.
+        Pooled runs are deterministic per seed and identical whether the
+        pool is warm or cold, but follow the pool's labeled streams rather
+        than the historical caller-rng stream (DESIGN.md §4).
+    pool_budget:
+        Optional cap on the total paths the pool keeps cached (least
+        recently used keys are evicted first).
     """
 
     epsilon: float = 0.01
@@ -117,6 +130,8 @@ class RAFConfig:
     msc_solver: str = "chlamtac"
     engine: str = "python"
     workers: int | str | None = None
+    pool: bool = False
+    pool_budget: int | None = None
 
     def __post_init__(self) -> None:
         require_positive(self.epsilon, "epsilon")
@@ -127,6 +142,8 @@ class RAFConfig:
             require(self.pmax_epsilon <= 1.0, "pmax_epsilon must be at most 1")
         if self.fixed_realizations is not None:
             require_positive_int(self.fixed_realizations, "fixed_realizations")
+        if self.pool_budget is not None:
+            require_positive_int(self.pool_budget, "pool_budget")
         require_engine_name(self.engine)
         resolve_worker_count(self.workers)
 
@@ -155,6 +172,7 @@ def estimate_pmax(
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
     workers: int | str | None = None,
+    pool: "SamplePool | None" = None,
 ) -> PmaxEstimate:
     """Estimate ``pmax`` as the probability that a random realization is type-1.
 
@@ -171,20 +189,62 @@ def estimate_pmax(
     :class:`AlgorithmError` is raised only if no type-1 realization was
     observed at all, since then there is no evidence the pair can ever be
     connected.
+
+    With a ``pool`` (:class:`~repro.pool.SamplePool`), samples come from the
+    pool's canonical per-key stream instead of the caller's ``rng``: the
+    cached prefix *warm-starts* the stopping rule (no re-draw for samples an
+    earlier query -- a screen, a previous estimate -- already paid for) and
+    only the missing tail is drawn fresh.  Warm and cold pools return
+    bit-identical estimates; the ``engine``/``workers``/``rng`` arguments
+    are ignored in pool mode (the pool owns both engine and streams).
     """
+    require_positive_int(max_samples, "max_samples")
     generator = ensure_rng(rng)
-    resolved = maybe_parallel(resolve_engine(graph, engine), workers)
     source_friends = graph.neighbor_set(source)
     observed = {"count": 0, "successes": 0}
 
-    def draw_batch(size: int) -> bytes:
-        # One 0/1 byte per realization: with a parallel engine the type
-        # indicators are computed worker-side and only these bytes cross
-        # the process boundary.
-        values = sample_type1_indicators(resolved, target, source_friends, size, rng=generator)
-        observed["count"] += len(values)
-        observed["successes"] += sum(values)
-        return values
+    if pool is not None:
+        resolve_engine(graph, pool.engine)  # fail loudly on a foreign-graph pool
+        reader = pool.reader(target, source_friends, stream=STREAM_PMAX)
+
+        def warm_values():
+            # The cached prefix, yielded lazily in bounded segments: the
+            # stopping rule typically halts long before a large cache is
+            # exhausted, so nothing past the halting sample is copied or
+            # even read.  The rule consumes every yielded value (it only
+            # abandons the iterator when it halts or raises), so the
+            # reader's cursor stays aligned with the consumed stream and
+            # draw_batch continues exactly where the warm prefix ended.
+            while True:
+                segment = min(reader.cached_remaining(), 4096)
+                if segment <= 0:
+                    return
+                for path in reader.take(segment):
+                    value = 1 if path.is_type1 else 0
+                    observed["count"] += 1
+                    observed["successes"] += value
+                    yield value
+
+        warm = warm_values()
+
+        def draw_batch(size: int) -> bytes:
+            values = bytes(1 if path.is_type1 else 0 for path in reader.take(size))
+            observed["count"] += len(values)
+            observed["successes"] += sum(values)
+            return values
+
+    else:
+        warm = None
+        resolved = maybe_parallel(resolve_engine(graph, engine), workers)
+
+        def draw_batch(size: int) -> bytes:
+            # One 0/1 byte per realization: with a parallel engine the type
+            # indicators are computed worker-side and only these bytes cross
+            # the process boundary.
+            values = sample_type1_indicators(resolved, target, source_friends, size, rng=generator)
+            observed["count"] += len(values)
+            observed["successes"] += sum(values)
+            return values
 
     try:
         result = stopping_rule_estimate_batched(
@@ -192,6 +252,7 @@ def estimate_pmax(
             epsilon=epsilon,
             delta=1.0 / confidence_n,
             max_samples=max_samples,
+            warm_start=warm,
         )
         return PmaxEstimate(value=result.estimate, num_samples=result.num_samples, method="stopping-rule")
     except EstimationError:
@@ -215,6 +276,7 @@ def run_sampling_framework(
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
     workers: int | str | None = None,
+    pool: "SamplePool | None" = None,
 ) -> tuple[frozenset, dict]:
     """Algorithm 3: sample realizations and cover a ``β`` fraction of them.
 
@@ -224,6 +286,12 @@ def run_sampling_framework(
     only the type-1 traces are retained for the MSC instance.  Returns the
     invitation set together with a diagnostics dict holding the sampled
     counts (``num_type1``, ``cover_target``, ``covered_weight``).
+
+    With a ``pool``, the ``l`` traces are the first ``l`` samples of the
+    pool's realization stream for this (target, N_s) key -- cached traces
+    are reused, only the missing tail is drawn, and the sampled set is the
+    same whether the pool is warm or cold (``engine``/``workers``/``rng``
+    are ignored in pool mode).
 
     Raises
     ------
@@ -236,12 +304,23 @@ def run_sampling_framework(
     require(beta <= 1.0, "beta must be at most 1")
     require_positive_int(num_realizations, "num_realizations")
     generator = ensure_rng(rng)
-    resolved = maybe_parallel(resolve_engine(problem.compiled, engine), workers)
     source_friends = problem.source_friends
 
-    paths, num_type1 = collect_type1(
-        resolved, problem.target, source_friends, num_realizations, rng=generator
-    )
+    if pool is not None:
+        resolve_engine(problem.compiled, pool.engine)
+        paths = [
+            path
+            for path in pool.paths(
+                problem.target, source_friends, num_realizations, stream=STREAM_REALIZATIONS
+            )
+            if path.is_type1
+        ]
+        num_type1 = len(paths)
+    else:
+        resolved = maybe_parallel(resolve_engine(problem.compiled, engine), workers)
+        paths, num_type1 = collect_type1(
+            resolved, problem.target, source_friends, num_realizations, rng=generator
+        )
     if num_type1 == 0:
         raise AlgorithmError(
             f"none of the {num_realizations} sampled realizations was type-1; "
@@ -265,6 +344,7 @@ def run_raf(
     problem: ActiveFriendingProblem,
     config: RAFConfig | None = None,
     rng: RandomSource = None,
+    pool: "SamplePool | None" = None,
 ) -> RAFResult:
     """Algorithm 4: the full RAF pipeline.
 
@@ -278,6 +358,12 @@ def run_raf(
     rng:
         Seed or generator; the pmax-estimation and sampling steps receive
         independent streams derived from it.
+    pool:
+        Optional shared :class:`~repro.pool.SamplePool` serving this run's
+        reverse samples.  Passing a long-lived pool across calls is how a
+        query server amortizes sampling over repeated (source, target)
+        traffic; with ``pool=None`` and ``config.pool`` set, a run-private
+        pool is created (seeded via ``derive_seed(rng, "raf-pool")``).
 
     Returns
     -------
@@ -296,6 +382,10 @@ def run_raf(
     # One engine over one compiled snapshot drives every randomized step;
     # with config.workers set, one shared worker pool drains all of them.
     engine = maybe_parallel(create_engine(problem.compiled, config.engine), config.workers)
+    if pool is None and config.pool:
+        pool = SamplePool(
+            engine, seed=derive_seed(base_rng, "raf-pool"), budget=config.pool_budget
+        )
 
     # Step 1: parameters (Eq. 17 / Equation System 1).
     parameters = solve_parameters(
@@ -319,6 +409,7 @@ def run_raf(
             max_samples=config.pmax_max_samples,
             rng=pmax_rng,
             engine=engine,
+            pool=pool,
         )
 
         # Step 3: choose the realization count l.
@@ -340,6 +431,7 @@ def run_raf(
             msc_solver=config.msc_solver,
             rng=sampling_rng,
             engine=engine,
+            pool=pool,
         )
     finally:
         if isinstance(engine, ParallelEngine):

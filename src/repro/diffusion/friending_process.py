@@ -82,6 +82,7 @@ def estimate_acceptance_probability(
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
     workers: int | str | None = None,
+    pool: "SamplePool | None" = None,
 ) -> AcceptanceEstimate:
     """Estimate ``f(I)`` over ``num_samples`` independent samples.
 
@@ -94,10 +95,20 @@ def estimate_acceptance_probability(
     fans the reverse-sampled batches over a worker pool without changing
     the seeded result (see :mod:`repro.parallel.engine`); the forward
     Process-1 simulation is inherently sequential per sample and ignores it.
+
+    With a ``pool`` (:class:`~repro.pool.SamplePool`), the traces are the
+    first ``num_samples`` of the pool's evaluation stream for this
+    (target, N_s) key: scoring many candidate invitations against one pool
+    samples the paths once and re-applies only the (cheap) ``covered_by``
+    check per candidate.  Pool mode implies the reverse estimator
+    (``engine``/``workers``/``rng`` are ignored) and is bit-identical
+    whether the pool is warm or cold.
     """
     require_positive_int(num_samples, "num_samples")
     generator = ensure_rng(rng)
     invited = frozenset(invitation)
+    if pool is not None:
+        return _estimate_acceptance_pooled(graph, source, target, invited, num_samples, pool)
     if engine is not None:
         return _estimate_acceptance_reverse(
             graph, source, target, invited, num_samples, generator, engine, workers
@@ -107,6 +118,41 @@ def estimate_acceptance_probability(
         outcome = simulate_friending(graph, source, invited, target=target, rng=generator)
         if outcome.success:
             successes += 1
+    return AcceptanceEstimate(
+        probability=successes / num_samples,
+        num_samples=num_samples,
+        successes=successes,
+    )
+
+
+def _require_reverse_estimable(graph: SocialGraph, source: NodeId, target: NodeId) -> None:
+    if graph.has_edge(source, target):
+        raise EstimationError(
+            "the reverse-sampling estimator of f(I) requires a non-friend "
+            "(source, target) pair (Lemma 2 / Problem 1); use the forward "
+            "Process-1 estimator (engine=None) for friend pairs"
+        )
+
+
+def _estimate_acceptance_pooled(
+    graph: SocialGraph,
+    source: NodeId,
+    target: NodeId,
+    invited: frozenset,
+    num_samples: int,
+    pool: "SamplePool",
+) -> AcceptanceEstimate:
+    """``f(I)`` as the covered-trace rate of the pool's evaluation stream."""
+    # Imported here, not at module scope: repro.pool consumes the engine
+    # protocol from this package, so a top-level import would be circular.
+    from repro.pool.sample_pool import STREAM_EVAL
+
+    _require_reverse_estimable(graph, source, target)
+    resolve_engine(graph, pool.engine)
+    indicators = pool.covered_indicators(
+        target, graph.neighbor_set(source), num_samples, invited, stream=STREAM_EVAL
+    )
+    successes = sum(indicators)
     return AcceptanceEstimate(
         probability=successes / num_samples,
         num_samples=num_samples,
@@ -125,12 +171,7 @@ def _estimate_acceptance_reverse(
     workers: int | str | None = None,
 ) -> AcceptanceEstimate:
     """``f(I)`` as the covered-trace rate of engine-batched reverse samples."""
-    if graph.has_edge(source, target):
-        raise EstimationError(
-            "the reverse-sampling estimator of f(I) requires a non-friend "
-            "(source, target) pair (Lemma 2 / Problem 1); use the forward "
-            "Process-1 estimator (engine=None) for friend pairs"
-        )
+    _require_reverse_estimable(graph, source, target)
     resolved = maybe_parallel(resolve_engine(graph, engine), workers)
     source_friends = graph.neighbor_set(source)
 
@@ -157,6 +198,7 @@ def estimate_pmax_fixed_samples(
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
     workers: int | str | None = None,
+    pool: "SamplePool | None" = None,
 ) -> AcceptanceEstimate:
     """Estimate ``pmax = f(V)`` with a fixed sample count.
 
@@ -176,4 +218,5 @@ def estimate_pmax_fixed_samples(
         rng=rng,
         engine=engine,
         workers=workers,
+        pool=pool,
     )

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.exceptions import EstimationError
 from repro.utils.validation import require, require_positive, require_positive_int
@@ -116,8 +116,8 @@ def stopping_rule_estimate(
         reached, or if a sample falls outside ``[0, 1]``.
     """
     threshold = stopping_rule_threshold(epsilon, delta)
-    if max_samples is not None and max_samples <= 0:
-        raise ValueError("max_samples must be positive when given")
+    if max_samples is not None:
+        require_positive_int(max_samples, "max_samples")
     total = 0.0
     count = 0
     while total < threshold:
@@ -149,6 +149,7 @@ def stopping_rule_estimate_batched(
     initial_batch: int = 64,
     batch_growth: float = 2.0,
     max_batch: int = 65536,
+    warm_start: Iterable[float] | None = None,
 ) -> StoppingRuleResult:
     """Run the stopping rule on a *batched* sampler.
 
@@ -170,6 +171,16 @@ def stopping_rule_estimate_batched(
         As in :func:`stopping_rule_estimate`.
     initial_batch, batch_growth, max_batch:
         Geometric chunk schedule for the draws.
+    warm_start:
+        Already-materialized leading samples of the *same* stream the
+        batched sampler continues (e.g. the cached prefix of a
+        :class:`~repro.pool.SamplePool` key).  They are consumed first --
+        lazily, one at a time, under exactly the per-sample semantics of
+        the main loop, so a generator is fine and nothing past the halting
+        sample is forced -- and a warm-started run returns the same result
+        as a cold run over the same stream: the rule stops at the same
+        sample index either way; only the number of *fresh* draws differs.
+        ``batch_sampler`` must yield the samples *after* the warm prefix.
 
     Raises
     ------
@@ -181,27 +192,46 @@ def stopping_rule_estimate_batched(
     require_positive_int(initial_batch, "initial_batch")
     require(batch_growth >= 1.0, "batch_growth must be at least 1")
     require_positive_int(max_batch, "max_batch")
-    if max_samples is not None and max_samples <= 0:
-        raise ValueError("max_samples must be positive when given")
+    if max_samples is not None:
+        require_positive_int(max_samples, "max_samples")
     total = 0.0
     count = 0
-    batch = initial_batch
-    while total < threshold:
-        if max_samples is not None and count >= max_samples:
-            raise EstimationError(
-                f"stopping rule did not terminate within {max_samples} samples "
-                f"(accumulated {total:.2f} of threshold {threshold:.2f}); the mean being "
-                "estimated is likely (near) zero"
-            )
-        size = batch if max_samples is None else min(batch, max_samples - count)
-        for value in batch_sampler(size):
+
+    def out_of_samples() -> EstimationError:
+        return EstimationError(
+            f"stopping rule did not terminate within {max_samples} samples "
+            f"(accumulated {total:.2f} of threshold {threshold:.2f}); the mean being "
+            "estimated is likely (near) zero"
+        )
+
+    def consume(values) -> bool:
+        """Fold a run of samples into the running sum; True when done."""
+        nonlocal total, count
+        for value in values:
             value = float(value)
             if value < 0.0 or value > 1.0:
                 raise EstimationError(f"stopping-rule samples must lie in [0, 1], got {value}")
             total += value
             count += 1
             if total >= threshold:
+                return True
+        return False
+
+    stopped = False
+    if warm_start is not None:
+        for value in warm_start:
+            stopped = consume((value,))
+            if stopped:
                 break
+            if max_samples is not None and count >= max_samples:
+                raise out_of_samples()
+
+    batch = initial_batch
+    while not stopped:
+        if max_samples is not None and count >= max_samples:
+            raise out_of_samples()
+        size = batch if max_samples is None else min(batch, max_samples - count)
+        stopped = consume(batch_sampler(size))
         batch = min(int(batch * batch_growth), max_batch)
     return StoppingRuleResult(
         estimate=threshold / count,

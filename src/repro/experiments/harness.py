@@ -9,6 +9,7 @@ from repro.diffusion.engine import SamplingEngine, resolve_engine
 from repro.diffusion.friending_process import estimate_acceptance_probability
 from repro.graph.social_graph import SocialGraph
 from repro.parallel.engine import maybe_parallel
+from repro.pool.sample_pool import SamplePool
 from repro.types import NodeId
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import require_positive_int
@@ -25,6 +26,7 @@ def evaluate_invitation(
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
     workers: int | str | None = None,
+    pool: "SamplePool | None" = None,
 ) -> float:
     """Monte Carlo estimate of ``f(invitation)`` used throughout the harness.
 
@@ -32,7 +34,9 @@ def evaluate_invitation(
     protocol, independent of the sampler being evaluated); passing a
     sampling engine (instance or backend name) switches to the covered-trace
     estimator of Lemma 2, whose batches ``workers`` optionally fans over a
-    worker pool.
+    worker pool.  A ``pool`` (:class:`~repro.pool.SamplePool`) serves the
+    Lemma-2 traces from its cached evaluation stream, so scoring many
+    candidate invitations for one pair samples the paths once.
     """
     require_positive_int(num_samples, "num_samples")
     estimate = estimate_acceptance_probability(
@@ -44,6 +48,7 @@ def evaluate_invitation(
         rng=rng,
         engine=engine,
         workers=workers,
+        pool=pool,
     )
     return estimate.probability
 
@@ -58,6 +63,7 @@ def growth_curve(
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
     workers: int | str | None = None,
+    pool: "SamplePool | None" = None,
 ) -> list[tuple[int, float]]:
     """Grow a ranked invitation set until it matches a target probability.
 
@@ -70,10 +76,18 @@ def growth_curve(
     ``size_step`` controls the growth granularity (default: roughly 20
     evaluation points across the full ranking, at least 1), which keeps the
     number of expensive Monte Carlo evaluations bounded on large rankings.
+
+    A ``pool`` makes the whole trajectory reuse one cached evaluation
+    stream: every prefix is scored against the *same* traces (common random
+    numbers -- the curve is monotone in the prefix by construction), and
+    only the first evaluation pays the sampling cost.
     """
     require_positive_int(num_samples, "num_samples")
     generator = ensure_rng(rng)
-    if engine is not None:
+    if pool is not None:
+        engine = None
+        workers = None
+    elif engine is not None:
         # Wrap once before the loop: per-prefix wrapping would fork (and
         # tear down) a fresh worker pool for every evaluation point.
         engine = maybe_parallel(resolve_engine(problem.graph, engine), workers)
@@ -99,6 +113,7 @@ def growth_curve(
             rng=generator,
             engine=engine,
             workers=workers,
+            pool=pool,
         )
         trajectory.append((size, probability))
         if probability >= target_probability:

@@ -26,6 +26,16 @@ wall-clock or host-dependent fields and are byte-identical across runs,
 worker counts and resume boundaries -- ``diff -r`` of two output
 directories is the integrity check.
 
+Reverse samples flow through a per-(dataset, engine) shared
+:class:`~repro.pool.SamplePool` whose streams are canonical functions of
+``(spec.seed, dataset, engine)`` (DESIGN.md §4): the realization samples
+and the evaluation samples of every cell of one dataset are prefixes of
+the same two streams, so cells sharing a dataset reuse each other's
+samples instead of re-drawing them.  ``spec.pool`` toggles only that
+*reuse* -- with ``pool=False`` every cell re-draws the same canonical
+streams -- so records are byte-identical across pool settings too, and the
+pool knobs are deliberately excluded from the resume fingerprint.
+
 The cells share *budget* semantics: every algorithm is given the same
 invitation budget and the recorded metric is the estimated acceptance
 probability ``f(I)``.  The ``raf`` algorithm is the paper's realization
@@ -48,7 +58,7 @@ from repro.baselines.random_invite import random_invitation
 from repro.baselines.shortest_path import shortest_path_invitation
 from repro.core.maximization import maximize_acceptance_probability
 from repro.core.problem import ActiveFriendingProblem
-from repro.diffusion.engine import require_engine_name
+from repro.diffusion.engine import create_engine, require_engine_name
 from repro.exceptions import ExperimentError
 from repro.experiments.harness import evaluate_invitation
 from repro.experiments.pair_selection import select_pairs
@@ -56,8 +66,9 @@ from repro.experiments.records import RecordStore, to_jsonable
 from repro.experiments.reporting import format_table
 from repro.graph.datasets import DATASET_NAMES, load_dataset
 from repro.parallel.engine import fork_available, resolve_worker_count
+from repro.pool.sample_pool import SamplePool
 from repro.types import ordered
-from repro.utils.rng import derive_rng
+from repro.utils.rng import derive_rng, derive_seed
 from repro.utils.validation import require, require_positive, require_positive_int
 
 __all__ = [
@@ -109,6 +120,14 @@ class MatrixSpec:
         dataset's cells so algorithms are compared on identical instances).
     seed:
         Base seed; every per-cell stream is derived from it by label.
+    pool:
+        Whether the per-(dataset, engine) sample pool *caches* (default).
+        ``False`` re-draws every request from the same canonical streams:
+        slower, byte-identical records (so the knob is excluded from the
+        resume fingerprint).
+    pool_budget:
+        Optional cap on the paths each pool keeps cached (also
+        byte-neutral: evicted keys re-draw the same canonical chunks).
     """
 
     datasets: tuple[str, ...] = ("wiki", "hepth")
@@ -124,6 +143,8 @@ class MatrixSpec:
     pmax_ceiling: float = 0.9
     min_distance: int = 3
     seed: int = 2019
+    pool: bool = True
+    pool_budget: int | None = None
 
     def __post_init__(self) -> None:
         require(bool(self.datasets), "at least one dataset is required")
@@ -154,6 +175,8 @@ class MatrixSpec:
         require_positive(self.pmax_threshold, "pmax_threshold")
         require_positive(self.pmax_ceiling, "pmax_ceiling")
         require_positive_int(self.min_distance, "min_distance")
+        if self.pool_budget is not None:
+            require_positive_int(self.pool_budget, "pool_budget")
 
     def cells(self) -> tuple[MatrixCell, ...]:
         """The grid cells in deterministic enumeration order."""
@@ -175,8 +198,18 @@ class MatrixSpec:
         function of (protocol, cell), independent of which other cells the
         sweep happens to contain, so a grid may be *extended* over an
         existing directory (more budgets, more datasets) and still resume.
+        The ``pool``/``pool_budget`` knobs are excluded too: they decide
+        whether canonical samples are cached or re-drawn, never which
+        samples a cell observes, so records from pooled and pool-free runs
+        are interchangeable.
         """
         protocol = {
+            # Version of the sampling-stream contract the cells follow.
+            # Bumped when a release changes *which* samples a cell observes
+            # (e.g. the PR-3 move to pool canonical streams), so records
+            # from an older regime are rejected on resume instead of being
+            # silently mixed with new ones.
+            "stream_protocol": "pool-v1",
             "scale": self.scale,
             "alpha": self.alpha,
             "realizations": self.realizations,
@@ -212,7 +245,7 @@ class MatrixResult:
 # --------------------------------------------------------------------------- #
 
 
-def _run_raf_cell(problem, cell, spec, rng):
+def _run_raf_cell(problem, cell, spec, rng, pool):
     result = maximize_acceptance_probability(
         problem.graph,
         problem.source,
@@ -221,6 +254,7 @@ def _run_raf_cell(problem, cell, spec, rng):
         num_realizations=spec.realizations,
         rng=rng,
         engine=cell.engine,
+        pool=pool,
     )
     extras = {
         "num_realizations": result.num_realizations,
@@ -231,15 +265,15 @@ def _run_raf_cell(problem, cell, spec, rng):
     return result.invitation, extras
 
 
-def _run_hd_cell(problem, cell, spec, rng):
+def _run_hd_cell(problem, cell, spec, rng, pool):
     return high_degree_invitation(problem, cell.budget).invitation, {}
 
 
-def _run_sp_cell(problem, cell, spec, rng):
+def _run_sp_cell(problem, cell, spec, rng, pool):
     return shortest_path_invitation(problem, cell.budget).invitation, {}
 
 
-def _run_random_cell(problem, cell, spec, rng):
+def _run_random_cell(problem, cell, spec, rng, pool):
     return random_invitation(problem, cell.budget, rng=rng).invitation, {}
 
 
@@ -265,6 +299,15 @@ MATRIX_ALGORITHM_NAMES: tuple[str, ...] = tuple(_MATRIX_ALGORITHMS)
 #: processes sweeping many specs do not accumulate graphs forever.
 _DATASET_CACHE: dict = {}
 _DATASET_CACHE_LIMIT = 8
+
+#: Per-process cache of the shared sample pools, one per (dataset, engine)
+#: under one protocol.  With multi-process cell execution each worker grows
+#: its own shard lazily; because pool streams are canonical functions of
+#: ``(spec.seed, dataset, engine)``, the shards observe identical samples at
+#: identical indices, so the sharding (like the worker count) never shows up
+#: in a record's bytes.
+_POOL_CACHE: dict = {}
+_POOL_CACHE_LIMIT = 8
 
 
 def _dataset_instance(spec: MatrixSpec, dataset: str):
@@ -297,6 +340,34 @@ def _dataset_instance(spec: MatrixSpec, dataset: str):
     return _DATASET_CACHE[key]
 
 
+def _cell_pool(spec: MatrixSpec, cell: MatrixCell, graph) -> SamplePool:
+    key = (
+        cell.dataset,
+        cell.engine,
+        spec.scale,
+        spec.seed,
+        spec.pool,
+        spec.pool_budget,
+    )
+    cached = _POOL_CACHE.get(key)
+    # The pool's engine is compiled from one specific graph *object*; if the
+    # dataset cache rebuilt the graph since (eviction, or a spec differing in
+    # an instance-affecting knob outside this key), the pool must be rebuilt
+    # on the live object.  Rebuilding is cheap and byte-neutral: the streams
+    # are functions of the seed, so a fresh pool re-draws identical samples.
+    if cached is None or cached[0] is not graph:
+        while len(_POOL_CACHE) >= _POOL_CACHE_LIMIT:
+            _POOL_CACHE.pop(next(iter(_POOL_CACHE)))
+        pool = SamplePool(
+            create_engine(graph, cell.engine),
+            seed=derive_seed(spec.seed, f"matrix-pool-{cell.dataset}-{cell.engine}"),
+            budget=spec.pool_budget,
+            reuse=spec.pool,
+        )
+        _POOL_CACHE[key] = (graph, pool)
+    return _POOL_CACHE[key][1]
+
+
 def run_matrix_cell(spec: MatrixSpec, cell: MatrixCell) -> dict:
     """Execute one cell and return its JSON-ready record payload.
 
@@ -306,10 +377,11 @@ def run_matrix_cell(spec: MatrixSpec, cell: MatrixCell) -> dict:
     produces the same bytes once serialized canonically.
     """
     graph, pair = _dataset_instance(spec, cell.dataset)
+    pool = _cell_pool(spec, cell, graph)
     problem = ActiveFriendingProblem(graph, pair.source, pair.target, alpha=spec.alpha)
     run_algorithm = _MATRIX_ALGORITHMS[cell.algorithm]
     invitation, extras = run_algorithm(
-        problem, cell, spec, derive_rng(spec.seed, f"matrix-run-{cell.cell_id}")
+        problem, cell, spec, derive_rng(spec.seed, f"matrix-run-{cell.cell_id}"), pool
     )
     acceptance = evaluate_invitation(
         graph,
@@ -319,6 +391,7 @@ def run_matrix_cell(spec: MatrixSpec, cell: MatrixCell) -> dict:
         num_samples=spec.eval_samples,
         rng=derive_rng(spec.seed, f"matrix-eval-{cell.cell_id}"),
         engine=cell.engine,
+        pool=pool,
     )
     return {
         "cell": {
@@ -379,7 +452,14 @@ def run_matrix(
     store = RecordStore(output_dir)
     cells = spec.cells()
     fingerprint = spec.fingerprint()
-    metadata = {"spec_fingerprint": fingerprint, "spec": to_jsonable(spec)}
+    archived_spec = to_jsonable(spec)
+    # The pool knobs never influence a record's bytes (they toggle caching of
+    # canonical streams, not the streams themselves), so they are kept out of
+    # the archived spec -- like the fingerprint, record files are identical
+    # across pool settings.
+    for knob in ("pool", "pool_budget"):
+        archived_spec.pop(knob, None)
+    metadata = {"spec_fingerprint": fingerprint, "spec": archived_spec}
     pending: list[MatrixCell] = []
     skipped: list[str] = []
     for cell in cells:

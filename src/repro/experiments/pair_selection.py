@@ -14,6 +14,7 @@ from __future__ import annotations
 from repro.diffusion.engine import SamplingEngine, resolve_engine
 from repro.exceptions import ExperimentError
 from repro.parallel.engine import maybe_parallel, sample_type1_indicators
+from repro.pool.sample_pool import STREAM_PMAX, SamplePool
 from repro.graph.social_graph import SocialGraph
 from repro.graph.traversal import bfs_distances
 from repro.types import PairSpec
@@ -31,6 +32,7 @@ def screen_pmax(
     rng: RandomSource = None,
     engine: "SamplingEngine | str | None" = None,
     workers: int | str | None = None,
+    pool: "SamplePool | None" = None,
 ) -> float:
     """Cheap ``pmax`` estimate: the fraction of type-1 reverse samples.
 
@@ -40,11 +42,22 @@ def screen_pmax(
     Process 1.  The samples are drawn as one engine batch, optionally
     fanned over ``workers`` processes (deterministic per seed for any
     worker count; see :mod:`repro.parallel.engine`).
+
+    With a ``pool`` (:class:`~repro.pool.SamplePool`), the samples are the
+    first ``num_samples`` of the pool's pmax stream for this (target, N_s)
+    key: re-screening a pair -- or estimating its ``pmax`` properly later
+    with :func:`repro.core.raf.estimate_pmax`, which shares the stream --
+    reuses them instead of re-drawing (``engine``/``workers``/``rng`` are
+    ignored in pool mode).
     """
     require_positive_int(num_samples, "num_samples")
     generator = ensure_rng(rng)
-    resolved = maybe_parallel(resolve_engine(graph, engine), workers)
     source_friends = graph.neighbor_set(source)
+    if pool is not None:
+        resolve_engine(graph, pool.engine)
+        hits = sum(pool.type1_indicators(target, source_friends, num_samples, stream=STREAM_PMAX))
+        return hits / num_samples
+    resolved = maybe_parallel(resolve_engine(graph, engine), workers)
     hits = sum(sample_type1_indicators(resolved, target, source_friends, num_samples, rng=generator))
     return hits / num_samples
 
@@ -60,6 +73,7 @@ def select_pairs(
     max_attempts: int | None = None,
     engine: "SamplingEngine | str | None" = None,
     workers: int | str | None = None,
+    pool: "SamplePool | None" = None,
 ) -> list[PairSpec]:
     """Randomly select experiment pairs satisfying the screening criteria.
 
@@ -87,6 +101,11 @@ def select_pairs(
         Optional worker-process count fanning each screen's samples over a
         pool (screened pmax values are identical for any worker count
         under a fixed seed).
+    pool:
+        Optional :class:`~repro.pool.SamplePool` serving the screens from
+        its canonical cached streams (see :func:`screen_pmax`); the pool's
+        engine takes precedence over ``engine``/``workers`` for the
+        screening draws, while candidate *selection* still consumes ``rng``.
 
     Raises
     ------
@@ -125,7 +144,8 @@ def select_pairs(
             if distance is None or distance < min_distance:
                 continue
         pmax = screen_pmax(
-            graph, source, target, num_samples=screen_samples, rng=generator, engine=resolved
+            graph, source, target, num_samples=screen_samples, rng=generator, engine=resolved,
+            pool=pool,
         )
         if pmax < pmax_threshold or pmax > pmax_ceiling:
             continue

@@ -264,6 +264,34 @@ class ParallelEngine:
         chunks = self._run_chunks(target, stop_set, count, rng)
         return [path for chunk in chunks for path in chunk]
 
+    def sample_seeded_chunks(
+        self,
+        target: NodeId,
+        stop_set: Iterable[NodeId],
+        sized_seeds: "list[tuple[int, int]]",
+    ) -> list[list[TargetPath]]:
+        """Draw explicitly seeded chunks, fanned over the worker pool.
+
+        ``sized_seeds`` is a list of ``(count, seed)`` pairs; chunk ``i`` is
+        drawn as ``sample_paths(target, stop_set, count_i,
+        rng=random.Random(seed_i))`` and the per-chunk path lists are
+        returned in input order.  This is the fan-out the sample pool
+        (:mod:`repro.pool`) uses to extend a key by several chunks at once:
+        the caller owns the seed schedule (so the chunk contents are a pure
+        function of the seeds, worker-count independent), and each worker's
+        shard is merged back deterministically by position.
+        """
+        stop = stop_set if isinstance(stop_set, frozenset) else frozenset(stop_set)
+        payloads = []
+        for size, seed in sized_seeds:
+            require_non_negative_int(size, "count")
+            payloads.append((target, stop, size, seed))
+        if not payloads:
+            return []
+        if self._workers > 1 and len(payloads) > 1 and fork_available():
+            return self._ensure_pool().map(_sample_chunk, payloads)
+        return [_sample_chunk_on(self._base, payload) for payload in payloads]
+
     def sample_reduced(
         self,
         target: NodeId,

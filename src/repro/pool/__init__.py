@@ -1,0 +1,23 @@
+"""Shared reverse-sample pools (see :mod:`repro.pool.sample_pool`)."""
+
+from repro.pool.sample_pool import (
+    DEFAULT_POOL_CHUNK,
+    STREAM_EVAL,
+    STREAM_PMAX,
+    STREAM_REALIZATIONS,
+    PoolReader,
+    PoolStats,
+    SamplePool,
+    pool_key_digest,
+)
+
+__all__ = [
+    "DEFAULT_POOL_CHUNK",
+    "STREAM_EVAL",
+    "STREAM_PMAX",
+    "STREAM_REALIZATIONS",
+    "PoolReader",
+    "PoolStats",
+    "SamplePool",
+    "pool_key_digest",
+]

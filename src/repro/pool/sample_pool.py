@@ -1,0 +1,546 @@
+"""A shared, growable cache of reverse-sampled paths (the sample pool).
+
+Every estimator in the pipeline consumes i.i.d. backward traces ``t(ĝ)``
+drawn for some ``(target, stop_set)`` pair: the stopping-rule ``pmax``
+estimator (Alg. 2), pair screening, the ``l`` realizations of Alg. 3 and
+the Lemma-2 evaluation of ``f(I)``.  Without a pool each of those calls
+re-draws its samples from scratch, so a screening run over ``k``
+candidates -- or ``k`` queries arriving for the same pair -- re-pays the
+full sampling cost ``k`` times.  :class:`SamplePool` removes that
+duplication the same way RIS/IMM-family influence estimators reuse their
+reverse-reachable sets: samples are drawn once, cached, and every
+estimator consumes *prefixes* of one shared stream.
+
+Determinism contract (DESIGN.md §4)
+-----------------------------------
+
+The pool never consumes a caller's ``random.Random`` stream.  Instead the
+``i``-th sample of a key is a pure function of ``(pool seed, key, i)``:
+
+* a *key* is ``(target, stop_set, stream)``, canonicalized by sorting the
+  stop set and hashing with SHA-256 (:func:`pool_key_digest`);
+* the key's seed is ``derive_seed(random.Random(pool_seed),
+  "pool-key-<digest>")`` -- a fresh generator per derivation, so key seeds
+  do not depend on the order in which keys are first touched;
+* samples are appended in fixed-size chunks, chunk ``i`` drawn from
+  ``random.Random(derive_seed(random.Random(key_seed), "pool-chunk-<i>"))``.
+
+Because chunk seeds depend only on the chunk index, the pool is
+*append-only with a stable prefix*: the first ``n`` samples of a key are
+the same bytes no matter which query triggered their materialization, how
+far the key has been extended since, whether the key was evicted and
+re-drawn (or spilled and re-loaded), and whether caching is enabled at
+all.  ``reuse=False`` turns the pool into a pass-through that re-draws
+every request from the same canonical streams -- the "pool disabled"
+reference that pooled results are bit-identical to.
+
+Memory is bounded two ways: at most ``max_targets`` keys are cached (LRU
+by key), and an optional ``budget`` caps the total cached paths across
+keys (least-recently-used keys are dropped first; the key currently being
+served is never dropped).  With ``spill_dir`` set, evicted keys are
+written as canonical JSON (same sorted-keys/indent encoding as
+:mod:`repro.experiments.records`) and transparently re-loaded on the next
+miss, so cold pools survive eviction -- and processes -- at the cost of a
+file read instead of a re-draw.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.diffusion.engine import SamplingEngine, TargetPath
+from repro.parallel.engine import ParallelEngine
+from repro.types import NodeId, ordered
+from repro.utils.rng import derive_seed
+from repro.utils.validation import (
+    require_non_negative_int,
+    require_positive_int,
+)
+
+__all__ = [
+    "DEFAULT_POOL_CHUNK",
+    "PoolStats",
+    "PoolReader",
+    "SamplePool",
+    "pool_key_digest",
+    "STREAM_PMAX",
+    "STREAM_REALIZATIONS",
+    "STREAM_EVAL",
+]
+
+#: Paths drawn per pool chunk.  Fixed so the chunk layout (and with it every
+#: chunk seed) never depends on the request sizes that happened to arrive.
+DEFAULT_POOL_CHUNK = 1024
+
+#: Stream labels used by the library's own call sites.  Screening and the
+#: stopping-rule ``pmax`` estimator share STREAM_PMAX (a screen warms the
+#: estimator); realization sampling for cover *selection* and the Lemma-2
+#: *evaluation* of candidate invitations use disjoint streams so an
+#: invitation is never scored on the very samples it was optimized against.
+STREAM_PMAX = "pmax"
+STREAM_REALIZATIONS = "realizations"
+STREAM_EVAL = "eval"
+
+#: Default cap on the number of cached keys.
+DEFAULT_MAX_TARGETS = 64
+
+
+def pool_key_digest(target: NodeId, stop_set: Iterable[NodeId], stream: str = "") -> str:
+    """Canonical digest identifying one ``(target, stop_set, stream)`` key.
+
+    The stop set is sorted (:func:`repro.types.ordered`) and everything is
+    serialized through ``repr`` before hashing, so the digest is stable
+    across processes and insertion orders without constraining the node-id
+    type.
+    """
+    payload = json.dumps(
+        {
+            "target": repr(target),
+            "stop": [repr(node) for node in ordered(stop_set)],
+            "stream": stream,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass(frozen=True, slots=True)
+class PoolStats:
+    """Counters describing what a pool has done so far.
+
+    Attributes
+    ----------
+    keys:
+        Keys currently cached in memory.
+    cached_paths:
+        Paths currently held across all cached keys.
+    drawn_paths:
+        Paths drawn from the engine over the pool's lifetime.
+    served_paths:
+        Paths returned to callers (``served - drawn`` is the reuse win).
+    evictions:
+        Keys dropped by the LRU/budget policy.
+    spills, loads:
+        Keys written to / restored from the spill directory.
+    """
+
+    keys: int
+    cached_paths: int
+    drawn_paths: int
+    served_paths: int
+    evictions: int
+    spills: int
+    loads: int
+
+
+@dataclass(slots=True)
+class _PoolEntry:
+    """In-memory state of one key: its paths plus the key metadata needed
+    to extend or spill it without re-deriving anything."""
+
+    target: NodeId
+    stop_set: frozenset
+    stream: str
+    key_seed: int
+    paths: list[TargetPath] = field(default_factory=list)
+    chunks_drawn: int = 0
+
+
+class SamplePool:
+    """A per-target, per-engine cache of canonical reverse-sample streams.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.diffusion.engine.SamplingEngine` the pool draws
+        from (any backend, including a
+        :class:`~repro.parallel.engine.ParallelEngine`, whose seeded-chunk
+        fan-out the pool uses to extend multiple chunks concurrently).
+    seed:
+        The pool's base seed.  Everything the pool ever returns is a pure
+        function of ``(seed, key, index)``; derive it from the run's base
+        generator with a label (e.g. ``derive_seed(rng, "pool")``).
+    chunk_size:
+        Paths drawn per extension chunk (fixed; part of the stream contract).
+    max_targets:
+        Maximum cached keys before LRU eviction.
+    budget:
+        Optional cap on total cached paths across keys (LRU eviction down
+        to the cap; the key being served is never evicted).
+    spill_dir:
+        Optional directory for canonical-JSON spill files of evicted keys.
+    reuse:
+        ``False`` disables caching entirely: every request re-draws from
+        the same canonical streams.  Results are bit-identical either way;
+        only the sampling cost differs.
+    """
+
+    def __init__(
+        self,
+        engine: SamplingEngine,
+        seed: int,
+        *,
+        chunk_size: int = DEFAULT_POOL_CHUNK,
+        max_targets: int = DEFAULT_MAX_TARGETS,
+        budget: int | None = None,
+        spill_dir: "str | Path | None" = None,
+        reuse: bool = True,
+    ) -> None:
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        require_positive_int(chunk_size, "chunk_size")
+        require_positive_int(max_targets, "max_targets")
+        if budget is not None:
+            require_positive_int(budget, "budget")
+        self._engine = engine
+        self._seed = seed
+        self._chunk_size = int(chunk_size)
+        self._max_targets = int(max_targets)
+        self._budget = budget
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._reuse = bool(reuse)
+        self._entries: "OrderedDict[str, _PoolEntry]" = OrderedDict()
+        self._drawn = 0
+        self._served = 0
+        self._evictions = 0
+        self._spills = 0
+        self._loads = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def engine(self) -> SamplingEngine:
+        """The engine the pool draws from."""
+        return self._engine
+
+    @property
+    def seed(self) -> int:
+        """The pool's base seed (the stream-defining constant)."""
+        return self._seed
+
+    @property
+    def chunk_size(self) -> int:
+        """Paths per extension chunk."""
+        return self._chunk_size
+
+    @property
+    def reuse(self) -> bool:
+        """Whether caching is enabled (``False`` = canonical pass-through)."""
+        return self._reuse
+
+    def stats(self) -> PoolStats:
+        """Current counters (see :class:`PoolStats`)."""
+        return PoolStats(
+            keys=len(self._entries),
+            cached_paths=sum(len(entry.paths) for entry in self._entries.values()),
+            drawn_paths=self._drawn,
+            served_paths=self._served,
+            evictions=self._evictions,
+            spills=self._spills,
+            loads=self._loads,
+        )
+
+    def cached_count(self, target: NodeId, stop_set: Iterable[NodeId], stream: str = "") -> int:
+        """How many samples of this key are materialized in memory right now."""
+        digest = pool_key_digest(target, stop_set, stream)
+        entry = self._entries.get(digest)
+        return len(entry.paths) if entry is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        stats = self.stats()
+        return (
+            f"<SamplePool seed={self._seed} keys={stats.keys} "
+            f"cached={stats.cached_paths} reuse={self._reuse}>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # The canonical streams
+    # ------------------------------------------------------------------ #
+
+    def _key_seed(self, digest: str) -> int:
+        # A fresh generator per derivation keeps key seeds independent of
+        # the order in which keys are first touched.
+        return derive_seed(random.Random(self._seed), f"pool-key-{digest}")
+
+    def _chunk_seed(self, key_seed: int, index: int) -> int:
+        return derive_seed(random.Random(key_seed), f"pool-chunk-{index}")
+
+    def _draw_chunks(self, entry: _PoolEntry, first: int, last: int) -> list[TargetPath]:
+        """Draw chunks ``[first, last)`` of the entry's canonical stream."""
+        sized_seeds = [
+            (self._chunk_size, self._chunk_seed(entry.key_seed, index))
+            for index in range(first, last)
+        ]
+        if isinstance(self._engine, ParallelEngine):
+            chunks = self._engine.sample_seeded_chunks(entry.target, entry.stop_set, sized_seeds)
+        else:
+            chunks = [
+                self._engine.sample_paths(entry.target, entry.stop_set, size, rng=random.Random(seed))
+                for size, seed in sized_seeds
+            ]
+        paths = [path for chunk in chunks for path in chunk]
+        self._drawn += len(paths)
+        return paths
+
+    def _extend(self, entry: _PoolEntry, count: int) -> None:
+        """Materialize the entry's stream up to at least ``count`` paths."""
+        if len(entry.paths) >= count:
+            return
+        last = -(-count // self._chunk_size)  # ceil
+        entry.paths.extend(self._draw_chunks(entry, entry.chunks_drawn, last))
+        entry.chunks_drawn = last
+
+    def _entry_for(self, target: NodeId, stop_set: Iterable[NodeId], stream: str) -> _PoolEntry:
+        stop = stop_set if isinstance(stop_set, frozenset) else frozenset(stop_set)
+        digest = pool_key_digest(target, stop, stream)
+        entry = self._entries.get(digest)
+        if entry is None:
+            entry = self._load_spilled(digest)
+            if entry is None:
+                entry = _PoolEntry(
+                    target=target, stop_set=stop, stream=stream, key_seed=self._key_seed(digest)
+                )
+            self._entries[digest] = entry
+        self._entries.move_to_end(digest)  # LRU: most recent last
+        return entry
+
+    def _transient_entry(
+        self, target: NodeId, stop_set: Iterable[NodeId], stream: str
+    ) -> _PoolEntry:
+        """An uncached entry over the same canonical stream (``reuse=False``)."""
+        return _PoolEntry(
+            target=target,
+            stop_set=stop_set if isinstance(stop_set, frozenset) else frozenset(stop_set),
+            stream=stream,
+            key_seed=self._key_seed(pool_key_digest(target, stop_set, stream)),
+        )
+
+    def _read_segment(
+        self, target: NodeId, stop_set: Iterable[NodeId], start: int, upto: int, stream: str
+    ) -> list[TargetPath]:
+        """Serve samples ``[start, upto)`` of a cached key's canonical stream."""
+        entry = self._entry_for(target, stop_set, stream)
+        self._extend(entry, upto)
+        self._served += upto - start
+        result = entry.paths[start:upto]
+        self._evict_over_limits()
+        return result
+
+    def paths(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, stream: str = ""
+    ) -> list[TargetPath]:
+        """The first ``count`` samples of this key's canonical stream.
+
+        Cached samples are served as-is; missing ones are drawn (in whole
+        chunks) and appended first.  The returned list is a copy -- callers
+        may consume it freely without perturbing the cache.  With
+        ``reuse=False`` each call re-draws its prefix from the canonical
+        chunk seeds (sequential consumers should hold a :meth:`reader`,
+        which buffers its own key even when caching is off).
+        """
+        require_non_negative_int(count, "count")
+        if not self._reuse:
+            self._served += count
+            entry = self._transient_entry(target, stop_set, stream)
+            self._extend(entry, count)
+            return entry.paths[:count]
+        return self._read_segment(target, stop_set, 0, count, stream)
+
+    def type1_indicators(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, stream: str = ""
+    ) -> bytes:
+        """Type indicators ``y(ĝ)`` of the stream's first ``count`` samples."""
+        return bytes(
+            1 if path.is_type1 else 0 for path in self.paths(target, stop_set, count, stream)
+        )
+
+    def covered_indicators(
+        self,
+        target: NodeId,
+        stop_set: Iterable[NodeId],
+        count: int,
+        invitation: frozenset,
+        stream: str = "",
+    ) -> bytes:
+        """Lemma-2 covered-trace indicators of the stream's first ``count`` samples."""
+        return bytes(
+            1 if path.covered_by(invitation) else 0
+            for path in self.paths(target, stop_set, count, stream)
+        )
+
+    def reader(self, target: NodeId, stop_set: Iterable[NodeId], stream: str = "") -> "PoolReader":
+        """A sequential cursor over this key's canonical stream."""
+        return PoolReader(self, target, stop_set, stream)
+
+    # ------------------------------------------------------------------ #
+    # Eviction and spill
+    # ------------------------------------------------------------------ #
+
+    def _evict_over_limits(self) -> None:
+        def total() -> int:
+            return sum(len(entry.paths) for entry in self._entries.values())
+
+        # Never evict the most recently served key (last in LRU order):
+        # dropping a key mid-query would re-draw what was just extended.
+        while len(self._entries) > 1 and (
+            len(self._entries) > self._max_targets
+            or (self._budget is not None and total() > self._budget)
+        ):
+            digest, entry = self._entries.popitem(last=False)
+            self._evictions += 1
+            self._spill(digest, entry)
+
+    def _spill_path(self, digest: str) -> "Path | None":
+        if self._spill_dir is None:
+            return None
+        return self._spill_dir / f"pool-{digest}.json"
+
+    @staticmethod
+    def _spillable_id(node: object) -> bool:
+        # JSON round-trips these id types losslessly; anything fancier
+        # (tuples, dataclasses) is kept in memory only.
+        return isinstance(node, (int, str)) and not isinstance(node, bool)
+
+    def _spill(self, digest: str, entry: _PoolEntry) -> bool:
+        path = self._spill_path(digest)
+        if path is None:
+            return False
+        ids = {entry.target, *entry.stop_set}
+        ids.update(node for path_ in entry.paths for node in path_.nodes)
+        if not all(self._spillable_id(node) for node in ids):
+            return False
+        payload = {
+            "digest": digest,
+            "target": entry.target,
+            "stop": ordered(entry.stop_set),
+            "stream": entry.stream,
+            "pool_seed": self._seed,
+            "chunk_size": self._chunk_size,
+            "chunks_drawn": entry.chunks_drawn,
+            "paths": [
+                {
+                    "nodes": ordered(path_.nodes),
+                    "is_type1": path_.is_type1,
+                    "anchor": path_.anchor,
+                }
+                for path_ in entry.paths
+            ],
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Canonical encoding (sorted keys, fixed indent) and write-then-rename,
+        # exactly like the experiment record store.
+        scratch = path.with_name(path.name + ".tmp")
+        scratch.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+        os.replace(scratch, path)
+        self._spills += 1
+        return True
+
+    def _load_spilled(self, digest: str) -> "_PoolEntry | None":
+        """Re-materialize a key from its spill file, if one is valid.
+
+        A spill recorded under a different pool seed or chunk size belongs
+        to a different canonical stream and is ignored (the key is simply
+        re-drawn); the append-only prefix contract makes the two outcomes
+        indistinguishable apart from cost.
+        """
+        path = self._spill_path(digest)
+        if path is None or not path.is_file():
+            return None
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if (
+            payload.get("digest") != digest
+            or payload.get("pool_seed") != self._seed
+            or payload.get("chunk_size") != self._chunk_size
+        ):
+            return None
+        self._loads += 1
+        return _PoolEntry(
+            target=payload["target"],
+            stop_set=frozenset(payload["stop"]),
+            stream=payload["stream"],
+            key_seed=self._key_seed(digest),
+            paths=[
+                TargetPath(
+                    nodes=frozenset(item["nodes"]),
+                    is_type1=item["is_type1"],
+                    anchor=item["anchor"],
+                )
+                for item in payload["paths"]
+            ],
+            chunks_drawn=payload["chunks_drawn"],
+        )
+
+    def spill_all(self) -> int:
+        """Spill every cached key to ``spill_dir`` (no-op without one).
+
+        Returns the number of keys actually written (keys with ids JSON
+        cannot round-trip are skipped).  Entries stay cached; this is a
+        checkpoint, not an eviction.
+        """
+        if self._spill_dir is None:
+            return 0
+        return sum(1 for digest, entry in self._entries.items() if self._spill(digest, entry))
+
+
+class PoolReader:
+    """A sequential cursor over one key's canonical stream.
+
+    ``take(n)`` returns the next ``n`` samples and advances; the segment
+    boundaries a reader happens to use never change the underlying stream,
+    so any interleaving of readers and direct :meth:`SamplePool.paths`
+    calls over the same key observes the same samples at the same indices.
+
+    With a ``reuse=False`` pool the reader buffers its own copy of the key
+    (discarded with the reader), so a sequential consumer still draws each
+    chunk once -- the "pool disabled" mode re-pays sampling per *query*,
+    not per ``take``.
+    """
+
+    def __init__(
+        self, pool: SamplePool, target: NodeId, stop_set: Iterable[NodeId], stream: str = ""
+    ) -> None:
+        self._pool = pool
+        self._target = target
+        self._stop_set = stop_set if isinstance(stop_set, frozenset) else frozenset(stop_set)
+        self._stream = stream
+        self._offset = 0
+        self._local: _PoolEntry | None = None
+
+    @property
+    def offset(self) -> int:
+        """How many samples this reader has consumed."""
+        return self._offset
+
+    def cached_remaining(self) -> int:
+        """How many already-materialized *pool* samples lie ahead of the cursor
+        (always 0 for a ``reuse=False`` pool: nothing outlives a query)."""
+        cached = self._pool.cached_count(self._target, self._stop_set, self._stream)
+        return max(0, cached - self._offset)
+
+    def take(self, count: int) -> list[TargetPath]:
+        """The next ``count`` samples of the stream (drawing if needed)."""
+        require_non_negative_int(count, "count")
+        upto = self._offset + count
+        if self._pool.reuse:
+            segment = self._pool._read_segment(
+                self._target, self._stop_set, self._offset, upto, self._stream
+            )
+        else:
+            if self._local is None:
+                self._local = self._pool._transient_entry(
+                    self._target, self._stop_set, self._stream
+                )
+            self._pool._extend(self._local, upto)
+            self._pool._served += count
+            segment = self._local.paths[self._offset:upto]
+        self._offset = upto
+        return segment

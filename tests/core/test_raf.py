@@ -182,3 +182,60 @@ class TestRunRaf:
         assert generic.invitation == result.invitation
         assert generic.algorithm == "RAF"
         assert generic.metadata["num_type1"] == result.num_type1
+
+
+class TestEstimatePmaxValidation:
+    """max_samples/num_samples misuse raises instead of silently degrading,
+    consistently with evaluate_invitation's require_positive_int guard."""
+
+    def test_zero_max_samples_rejected(self, chain_graph):
+        with pytest.raises(ValueError):
+            estimate_pmax(chain_graph, "s", "t", max_samples=0, rng=1)
+
+    def test_non_integer_max_samples_rejected(self, chain_graph):
+        with pytest.raises(TypeError):
+            estimate_pmax(chain_graph, "s", "t", max_samples=100.5, rng=1)
+
+    def test_fixed_sample_estimator_rejects_zero_samples(self, chain_graph):
+        from repro.diffusion.friending_process import estimate_pmax_fixed_samples
+        from repro.experiments.harness import evaluate_invitation
+
+        with pytest.raises(ValueError):
+            estimate_pmax_fixed_samples(chain_graph, "s", "t", num_samples=0, rng=1)
+        with pytest.raises(ValueError):
+            evaluate_invitation(chain_graph, "s", "t", ["a"], num_samples=0, rng=1)
+
+
+class TestRAFConfigPool:
+    def test_pool_knobs_validate(self):
+        RAFConfig(pool=True, pool_budget=1000)
+        with pytest.raises(ValueError):
+            RAFConfig(pool_budget=0)
+
+    def test_pooled_run_is_deterministic_and_warm_equals_cold(self, ba_problem):
+        from repro.diffusion.engine import create_engine
+        from repro.pool import SamplePool
+
+        config = RAFConfig(
+            sample_policy=SamplePolicy.FIXED, fixed_realizations=800,
+            pmax_max_samples=30_000, epsilon=0.05, pool=True,
+        )
+        first = run_raf(ba_problem, config, rng=5)
+        second = run_raf(ba_problem, config, rng=5)
+        assert first.invitation == second.invitation
+        assert first.pmax_estimate == second.pmax_estimate
+
+        # An external pool: the second identical query draws nothing new,
+        # and returns exactly what the cold query returned.
+        engine = create_engine(ba_problem.compiled, "python")
+        shared = SamplePool(engine, seed=123)
+        no_pool_config = RAFConfig(
+            sample_policy=SamplePolicy.FIXED, fixed_realizations=800,
+            pmax_max_samples=30_000, epsilon=0.05,
+        )
+        cold = run_raf(ba_problem, no_pool_config, rng=5, pool=shared)
+        drawn = shared.stats().drawn_paths
+        warm = run_raf(ba_problem, no_pool_config, rng=5, pool=shared)
+        assert warm.invitation == cold.invitation
+        assert warm.pmax_estimate == cold.pmax_estimate
+        assert shared.stats().drawn_paths == drawn

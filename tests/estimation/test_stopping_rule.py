@@ -149,3 +149,65 @@ class TestStoppingRuleBatched:
             stopping_rule_estimate_batched(
                 lambda size: [1.0] * size, epsilon=0.2, delta=0.1, batch_growth=0.5
             )
+
+
+class TestWarmStart:
+    """warm_start consumes a stream prefix without changing the outcome."""
+
+    @staticmethod
+    def _stream(seed, true_mean=0.3):
+        generator = random.Random(seed)
+        while True:
+            yield 1.0 if generator.random() < true_mean else 0.0
+
+    @pytest.mark.parametrize("warm_size", [0, 1, 37, 500, 5000])
+    def test_bit_identical_to_cold_run_over_same_stream(self, warm_size):
+        cold_stream = self._stream(7)
+        cold = stopping_rule_estimate_batched(
+            lambda size: [next(cold_stream) for _ in range(size)],
+            epsilon=0.2, delta=0.05,
+        )
+        warm_source = self._stream(7)
+        warm = [next(warm_source) for _ in range(warm_size)]
+        result = stopping_rule_estimate_batched(
+            lambda size: [next(warm_source) for _ in range(size)],
+            epsilon=0.2, delta=0.05, warm_start=warm,
+        )
+        assert result == cold
+
+    def test_stops_inside_warm_prefix_without_fresh_draws(self):
+        def must_not_draw(size):
+            raise AssertionError("fresh draws requested despite sufficient warm prefix")
+
+        result = stopping_rule_estimate_batched(
+            must_not_draw, epsilon=0.5, delta=0.2, warm_start=[1.0] * 100
+        )
+        assert result.num_samples <= 100
+
+    def test_warm_prefix_respects_max_samples(self):
+        with pytest.raises(EstimationError):
+            stopping_rule_estimate_batched(
+                lambda size: [0.0] * size, epsilon=0.2, delta=0.1,
+                max_samples=50, warm_start=[0.0] * 500,
+            )
+
+    def test_warm_values_validated(self):
+        with pytest.raises(EstimationError):
+            stopping_rule_estimate_batched(
+                lambda size: [1.0] * size, epsilon=0.2, delta=0.1,
+                warm_start=[2.0],
+            )
+
+    def test_max_samples_validated_consistently(self):
+        # require_positive_int semantics: zero and non-integers are rejected
+        # the same way every estimator entry point rejects bad num_samples.
+        with pytest.raises(ValueError):
+            stopping_rule_estimate_batched(
+                lambda size: [1.0] * size, epsilon=0.2, delta=0.1, max_samples=0
+            )
+        with pytest.raises(TypeError):
+            stopping_rule_estimate_batched(
+                lambda size: [1.0] * size, epsilon=0.2, delta=0.1, max_samples=2.5
+            )
+        with pytest.raises(TypeError):
+            stopping_rule_estimate(lambda: 1.0, epsilon=0.2, delta=0.1, max_samples=2.5)

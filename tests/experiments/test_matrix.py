@@ -208,3 +208,25 @@ class TestRunMatrix:
         rerun = run_matrix(SPEC, out, resume=False)
         assert sorted(rerun.computed) == sorted(cell.cell_id for cell in SPEC.cells())
         assert rerun.skipped == ()
+
+
+class TestPoolCacheInvalidation:
+    def test_cells_survive_dataset_instance_changes(self):
+        """A spec differing only in an instance-affecting knob outside the
+        pool-cache key must rebuild the pool on the fresh graph object
+        instead of raising EngineError (regression: stale engine binding)."""
+        first = run_matrix_cell(SPEC, SPEC.cells()[0])
+        other = MatrixSpec(
+            datasets=SPEC.datasets,
+            algorithms=SPEC.algorithms,
+            budgets=SPEC.budgets,
+            engines=SPEC.engines,
+            scale=SPEC.scale,
+            realizations=SPEC.realizations,
+            eval_samples=SPEC.eval_samples,
+            screen_samples=SPEC.screen_samples + 10,
+            seed=SPEC.seed,
+        )
+        run_matrix_cell(other, other.cells()[0])  # must not raise
+        # And the original spec still reproduces its record byte-for-byte.
+        assert run_matrix_cell(SPEC, SPEC.cells()[0]) == first

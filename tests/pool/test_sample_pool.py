@@ -1,0 +1,248 @@
+"""Tests for the shared reverse-sample pool (repro/pool)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.diffusion.engine import available_engines, create_engine
+from repro.graph.datasets import load_dataset
+from repro.parallel.engine import ParallelEngine
+from repro.pool import (
+    STREAM_EVAL,
+    STREAM_PMAX,
+    PoolStats,
+    SamplePool,
+    pool_key_digest,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("wiki", scale=0.02, rng=7)
+
+
+@pytest.fixture(scope="module")
+def setting(graph):
+    nodes = graph.node_list()
+    source, target = nodes[0], nodes[5]
+    return graph, target, graph.neighbor_set(source)
+
+
+class TestKeyDigest:
+    def test_independent_of_stop_set_order(self):
+        assert pool_key_digest(1, [2, 3, 4]) == pool_key_digest(1, [4, 2, 3])
+
+    def test_distinguishes_target_stop_and_stream(self):
+        digests = {
+            pool_key_digest(1, [2, 3]),
+            pool_key_digest(2, [2, 3]),
+            pool_key_digest(1, [2]),
+            pool_key_digest(1, [2, 3], stream="eval"),
+        }
+        assert len(digests) == 4
+
+
+class TestCanonicalStreams:
+    def test_prefix_stability(self, setting):
+        graph, target, stop = setting
+        pool = SamplePool(create_engine(graph, "python"), seed=42)
+        long = pool.paths(target, stop, 1500)
+        assert pool.paths(target, stop, 400) == long[:400]
+        assert pool.paths(target, stop, 1500) == long
+
+    def test_request_order_does_not_change_the_stream(self, setting):
+        graph, target, stop = setting
+        engine = create_engine(graph, "python")
+        small_first = SamplePool(engine, seed=42)
+        small_first.paths(target, stop, 10)
+        grown = small_first.paths(target, stop, 1200)
+        assert grown == SamplePool(engine, seed=42).paths(target, stop, 1200)
+
+    def test_reuse_disabled_is_bit_identical(self, setting):
+        graph, target, stop = setting
+        engine = create_engine(graph, "python")
+        cached = SamplePool(engine, seed=42).paths(target, stop, 1200)
+        redrawn = SamplePool(engine, seed=42, reuse=False).paths(target, stop, 1200)
+        assert cached == redrawn
+
+    def test_streams_are_disjoint_draws(self, setting):
+        graph, target, stop = setting
+        pool = SamplePool(create_engine(graph, "python"), seed=42)
+        assert pool.paths(target, stop, 50, stream=STREAM_PMAX) != pool.paths(
+            target, stop, 50, stream=STREAM_EVAL
+        )
+
+    def test_different_seeds_differ(self, setting):
+        graph, target, stop = setting
+        engine = create_engine(graph, "python")
+        assert SamplePool(engine, seed=1).paths(target, stop, 50) != SamplePool(
+            engine, seed=2
+        ).paths(target, stop, 50)
+
+    @pytest.mark.parametrize("name", available_engines())
+    def test_parallel_engine_matches_serial(self, setting, name):
+        graph, target, stop = setting
+        base = create_engine(graph, name)
+        serial = SamplePool(base, seed=9).paths(target, stop, 5000)
+        with ParallelEngine(base, workers=4) as fanned_engine:
+            fanned = SamplePool(fanned_engine, seed=9).paths(target, stop, 5000)
+        assert serial == fanned
+
+
+class TestReader:
+    def test_reader_segments_match_direct_reads(self, setting):
+        graph, target, stop = setting
+        pool = SamplePool(create_engine(graph, "python"), seed=7)
+        reader = pool.reader(target, stop)
+        collected = reader.take(100) + reader.take(0) + reader.take(900)
+        assert reader.offset == 1000
+        assert collected == pool.paths(target, stop, 1000)
+
+    def test_cached_remaining_reflects_materialized_prefix(self, setting):
+        graph, target, stop = setting
+        pool = SamplePool(create_engine(graph, "python"), seed=7)
+        reader = pool.reader(target, stop)
+        assert reader.cached_remaining() == 0
+        pool.paths(target, stop, 10)  # materializes one whole chunk
+        assert reader.cached_remaining() == pool.chunk_size
+        reader.take(30)
+        assert reader.cached_remaining() == pool.chunk_size - 30
+
+
+class TestIndicators:
+    def test_indicators_agree_with_paths(self, setting):
+        graph, target, stop = setting
+        pool = SamplePool(create_engine(graph, "python"), seed=3)
+        paths = pool.paths(target, stop, 300)
+        assert pool.type1_indicators(target, stop, 300) == bytes(
+            1 if path.is_type1 else 0 for path in paths
+        )
+        invited = frozenset(graph.node_list())
+        covered = pool.covered_indicators(target, stop, 300, invited)
+        # Every type-1 trace is covered by the full node set (Corollary 2).
+        assert covered == pool.type1_indicators(target, stop, 300)
+
+
+class TestEvictionAndBudget:
+    def test_lru_eviction_caps_key_count(self, graph):
+        nodes = graph.node_list()
+        stop = graph.neighbor_set(nodes[0])
+        pool = SamplePool(create_engine(graph, "python"), seed=5, max_targets=2)
+        for target in nodes[5:9]:
+            pool.paths(target, stop, 10)
+        stats = pool.stats()
+        assert stats.keys == 2
+        assert stats.evictions == 2
+
+    def test_budget_caps_cached_paths(self, graph):
+        nodes = graph.node_list()
+        stop = graph.neighbor_set(nodes[0])
+        pool = SamplePool(
+            create_engine(graph, "python"), seed=5, budget=1500, chunk_size=512
+        )
+        first = pool.paths(nodes[5], stop, 1536)  # 3 chunks
+        pool.paths(nodes[6], stop, 512)  # pushes the total over budget
+        stats = pool.stats()
+        assert stats.cached_paths <= 1500
+        assert stats.evictions >= 1
+        # The evicted key re-draws the identical canonical prefix.
+        assert pool.paths(nodes[5], stop, 1536) == first
+
+    def test_eviction_never_drops_the_key_being_served(self, graph):
+        nodes = graph.node_list()
+        stop = graph.neighbor_set(nodes[0])
+        pool = SamplePool(create_engine(graph, "python"), seed=5, budget=100)
+        paths = pool.paths(nodes[5], stop, 2000)  # far over budget on its own
+        assert len(paths) == 2000
+        assert pool.cached_count(nodes[5], stop) >= 2000
+
+    def test_stats_counters(self, setting):
+        graph, target, stop = setting
+        pool = SamplePool(create_engine(graph, "python"), seed=5)
+        pool.paths(target, stop, 100)
+        pool.paths(target, stop, 100)
+        stats = pool.stats()
+        assert isinstance(stats, PoolStats)
+        assert stats.served_paths == 200
+        assert stats.drawn_paths == pool.chunk_size  # one chunk, drawn once
+
+
+class TestSpill:
+    def test_spill_and_reload_round_trip(self, graph, tmp_path):
+        nodes = graph.node_list()
+        stop = graph.neighbor_set(nodes[0])
+        pool = SamplePool(
+            create_engine(graph, "python"), seed=5, max_targets=1, spill_dir=tmp_path
+        )
+        first = pool.paths(nodes[5], stop, 100)
+        pool.paths(nodes[6], stop, 100)  # evicts + spills the first key
+        assert pool.stats().spills == 1
+        reloaded = pool.paths(nodes[5], stop, 100)
+        assert pool.stats().loads == 1
+        assert reloaded == first
+
+    def test_spill_files_are_canonical_json(self, graph, tmp_path):
+        nodes = graph.node_list()
+        stop = graph.neighbor_set(nodes[0])
+        pool = SamplePool(
+            create_engine(graph, "python"), seed=5, max_targets=1, spill_dir=tmp_path
+        )
+        pool.paths(nodes[5], stop, 50)
+        assert pool.spill_all() == 1
+        (spill_file,) = tmp_path.glob("pool-*.json")
+        payload = json.loads(spill_file.read_text(encoding="utf-8"))
+        assert spill_file.read_text(encoding="utf-8") == json.dumps(
+            payload, indent=2, sort_keys=True
+        )
+        assert payload["pool_seed"] == 5
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_foreign_spill_is_ignored(self, graph, tmp_path):
+        nodes = graph.node_list()
+        stop = graph.neighbor_set(nodes[0])
+        engine = create_engine(graph, "python")
+        writer = SamplePool(engine, seed=5, spill_dir=tmp_path)
+        expected = writer.paths(nodes[5], stop, 100)
+        writer.spill_all()
+        # A pool with another seed must not adopt the spilled stream.
+        other = SamplePool(engine, seed=6, spill_dir=tmp_path)
+        assert other.paths(nodes[5], stop, 100) != expected
+        # The matching pool does.
+        fresh = SamplePool(engine, seed=5, spill_dir=tmp_path)
+        assert fresh.paths(nodes[5], stop, 100) == expected
+        assert fresh.stats().loads == 1
+
+
+class TestValidation:
+    def test_rejects_bad_arguments(self, setting):
+        graph, target, stop = setting
+        engine = create_engine(graph, "python")
+        with pytest.raises(TypeError):
+            SamplePool(engine, seed="42")
+        with pytest.raises(ValueError):
+            SamplePool(engine, seed=1, chunk_size=0)
+        with pytest.raises(ValueError):
+            SamplePool(engine, seed=1, max_targets=0)
+        with pytest.raises(ValueError):
+            SamplePool(engine, seed=1, budget=0)
+        pool = SamplePool(engine, seed=1)
+        with pytest.raises(ValueError):
+            pool.paths(target, stop, -1)
+        assert pool.paths(target, stop, 0) == []
+
+
+class TestSpillAllReturnValue:
+    def test_counts_only_keys_actually_written(self, tmp_path):
+        from repro.graph.social_graph import SocialGraph
+        from repro.graph.weights import apply_degree_normalized_weights
+
+        # Tuple node ids cannot round-trip through JSON, so they must not
+        # be counted as written.
+        edges = [((0, "a"), (1, "b")), ((1, "b"), (2, "c")), ((2, "c"), (3, "d"))]
+        graph = apply_degree_normalized_weights(SocialGraph.from_edges(edges))
+        pool = SamplePool(create_engine(graph, "python"), seed=1, spill_dir=tmp_path)
+        pool.paths((3, "d"), graph.neighbor_set((0, "a")), 10)
+        assert pool.spill_all() == 0
+        assert list(tmp_path.glob("pool-*.json")) == []
