@@ -1,0 +1,73 @@
+"""Wall-clock win from request coalescing in the query service (repro/service).
+
+Models the ROADMAP's heavy-traffic regime: ``--clients`` closed-loop
+clients replay ``--rounds`` waves of requests drawn from a small hot query
+set (pmax / evaluate / maximize over ``--hot-pairs`` screened pairs).  The
+same deterministic schedule -- every request a pure function of labeled
+seed derivations, see :mod:`repro.service.loadgen` -- is replayed against
+two arms on fresh pools with the same pool seed:
+
+* ``no-coalesce``: every admitted request executes (the pool still caches
+  samples, so this arm measures the service *without* coalescing);
+* ``coalesce``: duplicate in-flight requests attach to one execution.
+
+The benchmark asserts per-request *byte* identity between the arms and
+against standalone library calls before reporting a single number; the
+service changes cost, never results.  Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py
+        [--clients 48] [--rounds 16] [--output PATH] [--min-speedup X]
+
+``--min-speedup`` turns the report into a gate (the CI ``service-load`` job
+requires 2.0).  Results are written to ``BENCH_service.json`` at the
+repository root in the ``compare_bench.py`` schema, gated on the
+``coalesce_speedup`` metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from bench_engine_throughput import _benchmark_graph
+
+from repro.service import run_load_benchmark
+from repro.service.loadgen import emit_load_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_service.json"
+
+_SEED = 20190711
+_POOL_SEED = 77
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--hot-pairs", type=int, default=2,
+                        help="screened hot (source, target) pairs (default: 2)")
+    parser.add_argument("--clients", type=int, default=48,
+                        help="closed-loop clients per wave (default: 48)")
+    parser.add_argument("--rounds", type=int, default=16,
+                        help="request waves replayed (default: 16)")
+    parser.add_argument("--nodes", type=int, default=1500,
+                        help="benchmark graph size (default: 1500)")
+    parser.add_argument("--output", type=Path, default=OUTPUT_PATH,
+                        help=f"where to write the JSON report (default: {OUTPUT_PATH})")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the coalescing arm reaches this speedup")
+    args = parser.parse_args(argv)
+    graph, _, _ = _benchmark_graph(num_nodes=args.nodes)
+    report = run_load_benchmark(
+        graph,
+        hot_pairs=args.hot_pairs,
+        num_clients=args.clients,
+        rounds=args.rounds,
+        seed=_SEED,
+        pool_seed=_POOL_SEED,
+    )
+    return emit_load_report(report, output=args.output, min_speedup=args.min_speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ The library implements the full pipeline of the paper:
 * Minimum p-Union / Minimum Subset Cover solvers (:mod:`repro.setcover`),
 * deterministic multi-process sampling fan-out (:mod:`repro.parallel`),
 * shared reverse-sample pools with warm-start reuse (:mod:`repro.pool`),
+* a concurrent query service with request coalescing over one shared pool
+  (:mod:`repro.service`),
 * the RAF algorithm and the ``Vmax`` special case (:mod:`repro.core`),
 * the HD / SP / random / PageRank / greedy baselines
   (:mod:`repro.baselines`), and
@@ -65,6 +67,13 @@ from repro.diffusion import (
 )
 from repro.parallel import ParallelEngine, maybe_parallel
 from repro.pool import PoolReader, PoolStats, SamplePool
+from repro.service import (
+    EvaluateQuery,
+    MaximizeQuery,
+    PmaxQuery,
+    QueryService,
+    ServiceMetrics,
+)
 from repro.core import (
     ActiveFriendingProblem,
     GuaranteeReport,
@@ -128,6 +137,12 @@ __all__ = [
     "SamplePool",
     "PoolReader",
     "PoolStats",
+    # query service
+    "QueryService",
+    "ServiceMetrics",
+    "PmaxQuery",
+    "EvaluateQuery",
+    "MaximizeQuery",
     # core algorithm
     "ActiveFriendingProblem",
     "RAFConfig",

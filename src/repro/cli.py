@@ -12,6 +12,12 @@ The CLI exposes the common workflows without writing Python:
   them) on the stand-ins or on a user-supplied SNAP edge list.
 * ``repro matrix`` -- run a scenario grid of (dataset × algorithm × budget
   × engine) cells in parallel, streaming resumable per-cell JSON records.
+* ``repro serve`` -- a JSON-lines request loop over stdin/stdout answering
+  pmax / evaluate / maximize queries through a shared
+  :class:`~repro.service.QueryService` (request coalescing, admission
+  control, metrics via the ``stats`` op).
+* ``repro bench-load`` -- replay the deterministic closed-loop load
+  benchmark (coalescing vs. no-coalescing arm, bit-identity asserted).
 
 Every command accepts ``--seed`` for reproducibility and either
 ``--dataset`` (a built-in stand-in, with ``--scale``) or ``--edge-list``
@@ -26,7 +32,9 @@ samples across estimators through a shared sample pool (:mod:`repro.pool`).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.baselines.high_degree import high_degree_invitation
@@ -57,8 +65,16 @@ from repro.graph.datasets import DATASET_NAMES, load_dataset
 from repro.graph.io import read_snap_graph
 from repro.graph.metrics import compute_stats
 from repro.graph.weights import apply_degree_normalized_weights
+from repro.experiments.records import to_jsonable
 from repro.parallel.engine import WORKERS_AUTO, maybe_parallel
 from repro.pool.sample_pool import SamplePool
+from repro.service.loadgen import emit_load_report, run_load_benchmark
+from repro.service.query_service import (
+    EvaluateQuery,
+    MaximizeQuery,
+    PmaxQuery,
+    QueryService,
+)
 from repro.types import PairSpec, ordered
 from repro.utils.rng import derive_seed
 
@@ -231,6 +247,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pool_arguments(matrix, default=True, default_text="on; records are "
                         "byte-identical with --no-pool, only slower")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="answer pmax/evaluate/maximize queries as JSON lines over "
+             "stdin/stdout through a shared coalescing query service",
+    )
+    _add_graph_arguments(serve)
+    _add_engine_argument(serve)
+    serve.add_argument(
+        "--pool-budget", type=int, default=None, metavar="N",
+        help="cap on the total paths the service pool keeps cached "
+             "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=None, metavar="N",
+        help="admission limit on concurrent query executions "
+             "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--max-query-samples", type=int, default=None, metavar="N",
+        help="per-query sample budget; larger requests are refused "
+             "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--coalesce", action=argparse.BooleanOptionalAction, default=True,
+        help="coalesce equal in-flight queries onto one execution "
+             "(--no-coalesce disables; results are identical either way)",
+    )
+
+    bench_load = subparsers.add_parser(
+        "bench-load",
+        help="replay the deterministic closed-loop load benchmark "
+             "(coalescing vs. no-coalescing, bit-identity asserted)",
+    )
+    _add_graph_arguments(bench_load)
+    _add_engine_argument(bench_load)
+    bench_load.add_argument("--hot-pairs", type=int, default=2,
+                            help="screened hot (source, target) pairs (default: 2)")
+    bench_load.add_argument("--clients", type=int, default=48,
+                            help="closed-loop clients per wave (default: 48)")
+    bench_load.add_argument("--rounds", type=int, default=16,
+                            help="request waves replayed (default: 16)")
+    bench_load.add_argument("--pool-seed", type=int, default=77,
+                            help="shared pool seed of both arms (default: 77)")
+    bench_load.add_argument("--output", type=Path, default=None, metavar="PATH",
+                            help="also write the JSON report to this file")
+    bench_load.add_argument("--min-speedup", type=float, default=None,
+                            help="fail unless the coalescing arm reaches this speedup")
     return parser
 
 
@@ -450,6 +514,133 @@ def _command_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
+#: JSON-lines ``op`` field -> query constructor for ``repro serve``.
+_SERVE_QUERIES = {
+    PmaxQuery.kind: PmaxQuery,
+    EvaluateQuery.kind: EvaluateQuery,
+    MaximizeQuery.kind: MaximizeQuery,
+}
+
+
+def _serve_malformed(line_number: int, reason: str) -> int:
+    print(f"error: malformed request on line {line_number}: {reason}", file=sys.stderr)
+    return 1
+
+
+def _serve_reply(payload: dict) -> None:
+    print(json.dumps(payload, sort_keys=True), flush=True)
+
+
+#: In-flight request window of ``repro serve`` when --max-in-flight is not
+#: given: enough pipelining for duplicates to meet in flight and coalesce,
+#: small enough that responses (written in input order) are not held back
+#: long behind a slow request.
+_SERVE_WINDOW = 32
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """The JSON-lines request loop.
+
+    One request object per input line, one response line per request *in
+    input order*.  Requests are pipelined through a bounded window of
+    concurrent submissions, so duplicates piped back-to-back genuinely meet
+    in flight and coalesce, and ``--max-in-flight`` genuinely bounds the
+    concurrent executions (the window never exceeds it, so admission
+    control only refuses work an external co-user of the service is
+    already running).  Library-level failures -- admission control,
+    unreachable pairs -- become ``"ok": false`` lines and the loop
+    continues.  A *malformed* request (invalid JSON, not an object,
+    unknown ``op``, bad fields) drains the window, prints a diagnostic to
+    stderr and exits non-zero: a client speaking the wrong protocol should
+    fail loudly, not be half-served.  ``stats`` is a barrier: it drains the
+    window first, so its counters cover every preceding line.
+    """
+    from collections import deque
+    from concurrent.futures import ThreadPoolExecutor
+
+    graph = _load_graph(args)
+    window = args.max_in_flight if args.max_in_flight is not None else _SERVE_WINDOW
+    with QueryService(
+        graph,
+        engine=args.engine,
+        workers=args.workers,
+        seed=args.seed,
+        pool_budget=args.pool_budget,
+        max_in_flight=args.max_in_flight,
+        max_query_samples=args.max_query_samples,
+        coalesce=args.coalesce,
+    ) as service, ThreadPoolExecutor(
+        max_workers=window, thread_name_prefix="repro-serve"
+    ) as executor:
+        pending: deque = deque()
+
+        def drain(down_to: int = 0) -> None:
+            while len(pending) > down_to:
+                op, future = pending.popleft()
+                try:
+                    result = future.result()
+                except ReproError as error:
+                    _serve_reply({"ok": False, "op": op, "error": str(error)})
+                else:
+                    _serve_reply({"ok": True, "op": op, "result": to_jsonable(result)})
+
+        for line_number, line in enumerate(sys.stdin, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as error:
+                drain()
+                return _serve_malformed(line_number, f"invalid JSON ({error})")
+            if not isinstance(request, dict):
+                drain()
+                return _serve_malformed(line_number, "expected a JSON object")
+            op = request.pop("op", None)
+            if op == "stats":
+                drain()
+                metrics = service.metrics()
+                _serve_reply({
+                    "ok": True,
+                    "op": op,
+                    "result": {
+                        **{k: v for k, v in to_jsonable(metrics).items() if k != "__type__"},
+                        "coalesce_rate": metrics.coalesce_rate,
+                        "pool_hit_rate": metrics.pool_hit_rate,
+                    },
+                })
+                continue
+            builder = _SERVE_QUERIES.get(op)
+            if builder is None:
+                drain()
+                known = ", ".join(sorted((*_SERVE_QUERIES, "stats")))
+                return _serve_malformed(line_number, f"unknown op {op!r} (expected {known})")
+            try:
+                query = builder(**request)
+            except (TypeError, ValueError) as error:
+                drain()
+                return _serve_malformed(line_number, str(error))
+            pending.append((op, executor.submit(service.submit, query)))
+            drain(down_to=window - 1)
+        drain()
+    return 0
+
+
+def _command_bench_load(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    report = run_load_benchmark(
+        graph,
+        hot_pairs=args.hot_pairs,
+        num_clients=args.clients,
+        rounds=args.rounds,
+        seed=args.seed,
+        pool_seed=args.pool_seed,
+        engine=args.engine,
+        workers=args.workers,
+    )
+    return emit_load_report(report, output=args.output, min_speedup=args.min_speedup)
+
+
 _COMMANDS = {
     "datasets": _command_datasets,
     "raf": _command_raf,
@@ -457,6 +648,8 @@ _COMMANDS = {
     "maximize": _command_maximize,
     "experiment": _command_experiment,
     "matrix": _command_matrix,
+    "serve": _command_serve,
+    "bench-load": _command_bench_load,
 }
 
 

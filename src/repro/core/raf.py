@@ -345,6 +345,7 @@ def run_raf(
     config: RAFConfig | None = None,
     rng: RandomSource = None,
     pool: "SamplePool | None" = None,
+    service=None,
 ) -> RAFResult:
     """Algorithm 4: the full RAF pipeline.
 
@@ -364,6 +365,15 @@ def run_raf(
         query server amortizes sampling over repeated (source, target)
         traffic; with ``pool=None`` and ``config.pool`` set, a run-private
         pool is created (seeded via ``derive_seed(rng, "raf-pool")``).
+    service:
+        Optional :class:`~repro.service.QueryService` execution backend
+        (mutually exclusive with ``pool``).  The run draws every reverse
+        sample from the service's shared pool, and the pmax step is
+        submitted *through* the service, so concurrent runs for the same
+        pair coalesce onto one stopping-rule execution.  Results are
+        byte-identical to a run against a standalone pool with the
+        service's seed; ``config.engine``/``config.workers``/``config.pool``
+        are ignored (the service owns the engine).
 
     Returns
     -------
@@ -373,6 +383,15 @@ def run_raf(
         parameters and the ``2√|B¹|`` bound of Lemma 5).
     """
     config = config or RAFConfig()
+    if service is not None and pool is not None:
+        raise AlgorithmError(
+            "pass either a pool or a service, not both: a service brings its own pool"
+        )
+    if service is not None and service.graph is not problem.graph:
+        raise AlgorithmError(
+            "the service was built on a different graph than this problem; "
+            "every query a service answers runs against its own graph"
+        )
     base_rng = ensure_rng(rng)
     pmax_rng = derive_rng(base_rng, "raf-pmax")
     sampling_rng = derive_rng(base_rng, "raf-sampling")
@@ -381,11 +400,16 @@ def run_raf(
 
     # One engine over one compiled snapshot drives every randomized step;
     # with config.workers set, one shared worker pool drains all of them.
-    engine = maybe_parallel(create_engine(problem.compiled, config.engine), config.workers)
-    if pool is None and config.pool:
-        pool = SamplePool(
-            engine, seed=derive_seed(base_rng, "raf-pool"), budget=config.pool_budget
-        )
+    # A service supplies (and keeps owning) both the engine and the pool.
+    if service is not None:
+        pool = service.pool
+        engine = pool.engine
+    else:
+        engine = maybe_parallel(create_engine(problem.compiled, config.engine), config.workers)
+        if pool is None and config.pool:
+            pool = SamplePool(
+                engine, seed=derive_seed(base_rng, "raf-pool"), budget=config.pool_budget
+            )
 
     # Step 1: parameters (Eq. 17 / Equation System 1).
     parameters = solve_parameters(
@@ -396,21 +420,31 @@ def run_raf(
     )
 
     try:
-        # Step 2: estimate pmax (Alg. 2).
+        # Step 2: estimate pmax (Alg. 2).  Submitted through the service
+        # when one is given, so identical concurrent runs coalesce.
         pmax_epsilon = (
             config.pmax_epsilon if config.pmax_epsilon is not None else parameters.epsilon_zero
         )
-        pmax = estimate_pmax(
-            problem.graph,
-            problem.source,
-            problem.target,
-            epsilon=pmax_epsilon,
-            confidence_n=config.confidence_n,
-            max_samples=config.pmax_max_samples,
-            rng=pmax_rng,
-            engine=engine,
-            pool=pool,
-        )
+        if service is not None:
+            pmax = service.estimate_pmax(
+                problem.source,
+                problem.target,
+                epsilon=pmax_epsilon,
+                confidence_n=config.confidence_n,
+                max_samples=config.pmax_max_samples,
+            )
+        else:
+            pmax = estimate_pmax(
+                problem.graph,
+                problem.source,
+                problem.target,
+                epsilon=pmax_epsilon,
+                confidence_n=config.confidence_n,
+                max_samples=config.pmax_max_samples,
+                rng=pmax_rng,
+                engine=engine,
+                pool=pool,
+            )
 
         # Step 3: choose the realization count l.
         num_realizations = realization_count(
@@ -423,18 +457,34 @@ def run_raf(
             max_realizations=config.max_realizations,
         )
 
-        # Step 4: sampling framework + MSC (Alg. 3).
-        invitation, diagnostics = run_sampling_framework(
-            problem,
-            beta=parameters.beta,
-            num_realizations=num_realizations,
-            msc_solver=config.msc_solver,
-            rng=sampling_rng,
-            engine=engine,
-            pool=pool,
-        )
+        # Step 4: sampling framework + MSC (Alg. 3).  A service's pool is
+        # shared with concurrent query executions, so it is consumed under
+        # the service's execution lock.
+        if service is not None:
+            with service.locked_pool() as locked:
+                invitation, diagnostics = run_sampling_framework(
+                    problem,
+                    beta=parameters.beta,
+                    num_realizations=num_realizations,
+                    msc_solver=config.msc_solver,
+                    rng=sampling_rng,
+                    engine=engine,
+                    pool=locked,
+                )
+        else:
+            invitation, diagnostics = run_sampling_framework(
+                problem,
+                beta=parameters.beta,
+                num_realizations=num_realizations,
+                msc_solver=config.msc_solver,
+                rng=sampling_rng,
+                engine=engine,
+                pool=pool,
+            )
     finally:
-        if isinstance(engine, ParallelEngine):
+        # Only tear down an engine this run created; a service keeps its
+        # worker pool warm across queries.
+        if service is None and isinstance(engine, ParallelEngine):
             engine.close()
 
     elapsed = stopwatch.stop()

@@ -133,17 +133,39 @@ class SamplingEngine(Protocol):
 
 
 class _EngineBase:
-    """Shared plumbing: compiled-graph binding and the single-path shortcut."""
+    """Shared plumbing: compiled-graph binding and the single-path shortcut.
 
-    __slots__ = ("_compiled",)
+    An engine built from a :class:`SocialGraph` stays *live*: every batch
+    (and every ``compiled`` access) re-checks the graph's mutation counter
+    through :func:`compile_graph` -- O(1) while the graph is unchanged --
+    and re-snapshots when the graph was mutated, closing the stale-snapshot
+    window between engine construction and the first batch.  An engine built
+    directly from a :class:`CompiledGraph` is pinned to that snapshot (the
+    caller opted into a specific frozen view).
+    """
+
+    __slots__ = ("_graph", "_compiled")
 
     def __init__(self, graph: SocialGraph | CompiledGraph) -> None:
-        self._compiled = graph if isinstance(graph, CompiledGraph) else compile_graph(graph)
+        if isinstance(graph, CompiledGraph):
+            self._graph = None
+            self._compiled = graph
+        else:
+            self._graph = graph
+            self._compiled = compile_graph(graph)
 
     @property
     def compiled(self) -> CompiledGraph:
-        """The frozen CSR snapshot the engine samples from."""
+        """The (current) frozen CSR snapshot the engine samples from."""
+        if self._graph is not None:
+            fresh = compile_graph(self._graph)
+            if fresh is not self._compiled:
+                self._compiled = fresh
+                self._rebind(fresh)
         return self._compiled
+
+    def _rebind(self, compiled: CompiledGraph) -> None:
+        """Hook for engines holding derived state of the snapshot."""
 
     def sample_path(
         self, target: NodeId, stop_set: Iterable[NodeId], rng: RandomSource = None
@@ -170,7 +192,7 @@ class PythonEngine(_EngineBase):
     ) -> list[TargetPath]:
         require_non_negative_int(count, "count")
         generator = ensure_rng(rng)
-        compiled = self._compiled
+        compiled = self.compiled  # re-snapshots if the source graph mutated
         start = compiled.index_of(target)
         stop = compiled.indices_of(stop_set)
         indptr = compiled.indptr
@@ -235,9 +257,11 @@ class NumpyEngine(_EngineBase):
                 "use engine='python' (or 'auto' to select automatically)"
             )
         super().__init__(graph)
-        np = _np
-        compiled = self._compiled
-        self._np = np
+        self._np = _np
+        self._rebind(self._compiled)
+
+    def _rebind(self, compiled: CompiledGraph) -> None:
+        np = self._np
         self._indptr = np.asarray(compiled.indptr, dtype=np.int64)
         self._parents = np.asarray(compiled.parents, dtype=np.int64)
         cum = np.asarray(compiled.cum_weights, dtype=np.float64)
@@ -256,7 +280,7 @@ class NumpyEngine(_EngineBase):
         # Derive the numpy stream from the caller's random.Random source so a
         # single seed still controls the whole run deterministically.
         nprng = np.random.default_rng(ensure_rng(rng).getrandbits(64))
-        compiled = self._compiled
+        compiled = self.compiled  # re-snapshots (and rebinds arrays) if stale
         start = compiled.index_of(target)
         ids = compiled.nodes
         if count == 0:
@@ -380,7 +404,11 @@ def resolve_engine(
     An engine *instance* must have been built on the same graph (same
     compiled snapshot) as ``graph``: silently sampling a different graph's
     topology would produce well-formed but wrong estimates, so a mismatch
-    raises :class:`~repro.exceptions.EngineError` instead.
+    raises :class:`~repro.exceptions.EngineError` instead.  An engine whose
+    source graph was merely *mutated* since construction is not stale --
+    reading ``engine.compiled`` re-snapshots it against the graph's current
+    mutation counter -- so only genuinely foreign graphs (or engines pinned
+    to an explicit :class:`CompiledGraph`) are rejected.
     """
     if engine is None:
         return default_engine(graph)

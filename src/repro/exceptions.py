@@ -23,6 +23,9 @@ __all__ = [
     "ParameterSolverError",
     "AlgorithmError",
     "ExperimentError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceRejectedError",
 ]
 
 
@@ -103,3 +106,21 @@ class AlgorithmError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment configuration or run is invalid."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the concurrent query service."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control refused a query: too many executions in flight.
+
+    Raised instead of queueing so callers can shed load explicitly; a query
+    that *coalesces* onto an in-flight execution is always admitted (it
+    costs no extra sampling).
+    """
+
+
+class ServiceRejectedError(ServiceError, ValueError):
+    """Admission control refused a query: it exceeds the per-query budget
+    (e.g. it requests more samples than ``max_query_samples`` allows)."""

@@ -185,6 +185,7 @@ class ParallelEngine:
         self._chunk_size = int(chunk_size)
         self._pool = None
         self._pool_finalizer = None
+        self._pool_snapshot = None
         self.name = f"parallel[{base.name}x{resolved}]"
 
     # ------------------------------------------------------------------ #
@@ -219,12 +220,21 @@ class ParallelEngine:
     # ------------------------------------------------------------------ #
 
     def _ensure_pool(self):
+        # Workers inherit the base engine's CSR snapshot at fork time, so a
+        # pool forked before the source graph was mutated would keep sampling
+        # the dead snapshot.  Reading base.compiled re-snapshots the base
+        # engine (see repro.diffusion.engine._EngineBase); a pool forked on a
+        # different snapshot is torn down and re-forked on the current one.
+        current = self._base.compiled
+        if self._pool is not None and self._pool_snapshot is not current:
+            self.close()
         if self._pool is None:
             context = multiprocessing.get_context("fork")
             self._pool = context.Pool(
                 self._workers, initializer=_init_worker, initargs=(self._base,)
             )
             self._pool_finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+            self._pool_snapshot = current
         return self._pool
 
     def close(self) -> None:
@@ -234,6 +244,7 @@ class ParallelEngine:
             self._pool_finalizer()
             self._pool_finalizer = None
         self._pool = None
+        self._pool_snapshot = None
 
     def __enter__(self) -> "ParallelEngine":
         return self

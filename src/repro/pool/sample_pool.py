@@ -42,6 +42,15 @@ written as canonical JSON (same sorted-keys/indent encoding as
 :mod:`repro.experiments.records`) and transparently re-loaded on the next
 miss, so cold pools survive eviction -- and processes -- at the cost of a
 file read instead of a re-draw.
+
+Cached paths are only meaningful for the topology they were sampled from.
+The pool therefore pins the engine's compiled CSR snapshot: when the
+source graph is mutated (the engine re-snapshots, see
+:mod:`repro.graph.compiled`), every cached entry is discarded and the
+streams are re-drawn from the current snapshot -- the prefix contract then
+holds *per topology*.  Spill files record a digest of the CSR they were
+sampled from and are ignored when it no longer matches, exactly like
+foreign-seed spills.
 """
 
 from __future__ import annotations
@@ -90,6 +99,23 @@ STREAM_EVAL = "eval"
 
 #: Default cap on the number of cached keys.
 DEFAULT_MAX_TARGETS = 64
+
+
+def _csr_digest(compiled) -> str:
+    """Digest of the compiled CSR a pool's cached paths were sampled from.
+
+    Computed only when the snapshot actually changes (and once at pool
+    construction), it covers the interned node ids and the full weighted
+    adjacency arrays, so any mutation that could change a sampled path
+    changes the digest.  Stable across processes (used to validate spill
+    files against the topology that wrote them).
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(compiled.nodes).encode("utf-8"))
+    digest.update(compiled.indptr.tobytes())
+    digest.update(compiled.parents.tobytes())
+    digest.update(compiled.cum_weights.tobytes())
+    return digest.hexdigest()[:24]
 
 
 def pool_key_digest(target: NodeId, stop_set: Iterable[NodeId], stream: str = "") -> str:
@@ -207,6 +233,8 @@ class SamplePool:
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
         self._reuse = bool(reuse)
         self._entries: "OrderedDict[str, _PoolEntry]" = OrderedDict()
+        self._snapshot = engine.compiled
+        self._csr_digest = _csr_digest(self._snapshot)
         self._drawn = 0
         self._served = 0
         self._evictions = 0
@@ -237,6 +265,19 @@ class SamplePool:
         """Whether caching is enabled (``False`` = canonical pass-through)."""
         return self._reuse
 
+    @property
+    def drawn_paths(self) -> int:
+        """Paths drawn from the engine so far (a plain counter read --
+        safe to sample without synchronization while a query executes,
+        unlike :meth:`stats`, which iterates the mutable entry map)."""
+        return self._drawn
+
+    @property
+    def served_paths(self) -> int:
+        """Paths returned to callers so far (same lock-free guarantee as
+        :attr:`drawn_paths`)."""
+        return self._served
+
     def stats(self) -> PoolStats:
         """Current counters (see :class:`PoolStats`)."""
         return PoolStats(
@@ -265,6 +306,22 @@ class SamplePool:
     # ------------------------------------------------------------------ #
     # The canonical streams
     # ------------------------------------------------------------------ #
+
+    def _sync_snapshot(self) -> None:
+        """Invalidate the cache if the engine re-snapshotted its graph.
+
+        Reading ``engine.compiled`` is what triggers the engine's own
+        mutation-counter check, so a graph mutated between two pool reads
+        is caught here: every cached entry was sampled from the dead CSR
+        and is discarded (not spilled -- spilling dead data would only
+        poison a later load), and the streams re-draw from the current
+        topology on demand.
+        """
+        current = self._engine.compiled
+        if current is not self._snapshot:
+            self._entries.clear()
+            self._snapshot = current
+            self._csr_digest = _csr_digest(current)
 
     def _key_seed(self, digest: str) -> int:
         # A fresh generator per derivation keeps key seeds independent of
@@ -300,6 +357,7 @@ class SamplePool:
         entry.chunks_drawn = last
 
     def _entry_for(self, target: NodeId, stop_set: Iterable[NodeId], stream: str) -> _PoolEntry:
+        self._sync_snapshot()
         stop = stop_set if isinstance(stop_set, frozenset) else frozenset(stop_set)
         digest = pool_key_digest(target, stop, stream)
         entry = self._entries.get(digest)
@@ -317,6 +375,7 @@ class SamplePool:
         self, target: NodeId, stop_set: Iterable[NodeId], stream: str
     ) -> _PoolEntry:
         """An uncached entry over the same canonical stream (``reuse=False``)."""
+        self._sync_snapshot()
         return _PoolEntry(
             target=target,
             stop_set=stop_set if isinstance(stop_set, frozenset) else frozenset(stop_set),
@@ -425,6 +484,7 @@ class SamplePool:
             "stream": entry.stream,
             "pool_seed": self._seed,
             "chunk_size": self._chunk_size,
+            "csr": self._csr_digest,
             "chunks_drawn": entry.chunks_drawn,
             "paths": [
                 {
@@ -448,9 +508,10 @@ class SamplePool:
         """Re-materialize a key from its spill file, if one is valid.
 
         A spill recorded under a different pool seed or chunk size belongs
-        to a different canonical stream and is ignored (the key is simply
-        re-drawn); the append-only prefix contract makes the two outcomes
-        indistinguishable apart from cost.
+        to a different canonical stream, and one recorded under a different
+        CSR digest was sampled from a topology that no longer exists; both
+        are ignored (the key is simply re-drawn) -- the append-only prefix
+        contract makes the two outcomes indistinguishable apart from cost.
         """
         path = self._spill_path(digest)
         if path is None or not path.is_file():
@@ -460,6 +521,7 @@ class SamplePool:
             payload.get("digest") != digest
             or payload.get("pool_seed") != self._seed
             or payload.get("chunk_size") != self._chunk_size
+            or payload.get("csr") != self._csr_digest
         ):
             return None
         self._loads += 1

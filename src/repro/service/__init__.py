@@ -1,0 +1,40 @@
+"""Concurrent query service over the shared sample pool (see
+:mod:`repro.service.query_service` and :mod:`repro.service.loadgen`)."""
+
+from repro.service.loadgen import (
+    LoadResult,
+    candidate_pairs,
+    canonical_result,
+    generate_schedule,
+    hot_queries,
+    run_load,
+    run_load_benchmark,
+    run_standalone,
+)
+from repro.service.query_service import (
+    EvaluateQuery,
+    MaximizeQuery,
+    PmaxQuery,
+    Query,
+    QueryService,
+    ServiceMetrics,
+    execute_query,
+)
+
+__all__ = [
+    "EvaluateQuery",
+    "MaximizeQuery",
+    "PmaxQuery",
+    "Query",
+    "QueryService",
+    "ServiceMetrics",
+    "execute_query",
+    "LoadResult",
+    "candidate_pairs",
+    "canonical_result",
+    "generate_schedule",
+    "hot_queries",
+    "run_load",
+    "run_load_benchmark",
+    "run_standalone",
+]

@@ -1,0 +1,354 @@
+"""Deterministic seeded load generation for the query service.
+
+The ROADMAP's target workload is heavy multi-user traffic repeating a small
+set of hot (source, target) questions.  This module reproduces that shape
+*deterministically* so throughput and coalesce-rate numbers are
+reproducible and CI-gateable:
+
+* the hot query set is derived from the graph with labeled seed derivation
+  (:func:`hot_queries`), so the same seed always yields the same queries;
+* the schedule is closed-loop: ``num_clients`` clients each issue one
+  request per round and wait for the whole wave to complete before the next
+  round begins (:func:`generate_schedule` / :meth:`QueryService.submit_many`).
+  Which hot query a client issues in a round is a pure function of
+  ``derive_seed(seed, "load-round-<r>-client-<c>")`` -- never of timing --
+  so the per-wave duplication (and with it the coalesce counters) is exact,
+  not a race outcome;
+* every per-query result is serialized to canonical JSON
+  (:func:`canonical_result`), so two arms -- or a service run and a
+  standalone run -- can be compared for *byte* identity, which is the
+  pool's bit-identity contract surfaced end to end.
+
+:func:`run_load_benchmark` wires it together: the same schedule is replayed
+against a coalescing service and a no-coalescing reference service (fresh
+pools, same pool seed), transcripts are asserted byte-identical (optionally
+also against standalone library calls), and the wall-clock ratio is
+reported as ``coalesce_speedup`` in the ``compare_bench.py`` schema.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from repro.diffusion.engine import create_engine
+from repro.exceptions import ServiceError
+from repro.experiments.pair_selection import screen_pmax
+from repro.experiments.records import to_jsonable
+from repro.graph.social_graph import SocialGraph
+from repro.pool.sample_pool import SamplePool
+from repro.service.query_service import (
+    EvaluateQuery,
+    MaximizeQuery,
+    PmaxQuery,
+    QueryService,
+    execute_query,
+)
+from repro.utils.rng import RandomSource, derive_rng, ensure_rng
+from repro.utils.validation import require_positive_int
+
+__all__ = [
+    "LoadResult",
+    "candidate_pairs",
+    "hot_queries",
+    "generate_schedule",
+    "canonical_result",
+    "run_load",
+    "run_standalone",
+    "run_load_benchmark",
+    "emit_load_report",
+]
+
+
+def candidate_pairs(
+    graph: SocialGraph,
+    count: int,
+    rng: RandomSource = None,
+    min_pmax: float = 0.02,
+    screen_samples: int = 200,
+    max_attempts: int | None = None,
+) -> list[tuple]:
+    """Deterministically pick ``count`` hot (source, target) pairs.
+
+    Pairs are distinct, non-friend (the Lemma-2 requirement of the evaluate
+    query) and screened to ``pmax >= min_pmax`` so none of the hot queries
+    is hopeless.  Selection and screening both consume streams derived from
+    ``rng``, so a seed pins the pair set exactly.
+    """
+    require_positive_int(count, "count")
+    generator = ensure_rng(rng)
+    engine = create_engine(graph, "python")
+    nodes = graph.node_list()
+    pairs: list[tuple] = []
+    seen: set[tuple] = set()
+    attempts_allowed = max_attempts if max_attempts is not None else 500 * count
+    attempts = 0
+    while len(pairs) < count and attempts < attempts_allowed:
+        attempts += 1
+        source, target = generator.sample(nodes, 2)
+        key = (source, target)
+        if key in seen:
+            continue
+        seen.add(key)
+        if graph.has_edge(source, target):
+            continue
+        if graph.degree(source) == 0 or graph.degree(target) == 0:
+            continue
+        pmax = screen_pmax(
+            graph,
+            source,
+            target,
+            num_samples=screen_samples,
+            rng=derive_rng(generator, f"screen-{attempts}"),
+            engine=engine,
+        )
+        if pmax < min_pmax:
+            continue
+        pairs.append(key)
+    if len(pairs) < count:
+        raise ServiceError(
+            f"only {len(pairs)} of {count} requested hot pairs passed the "
+            f"pmax >= {min_pmax} screen after {attempts} attempts; enlarge the "
+            "graph or relax min_pmax"
+        )
+    return pairs
+
+
+def hot_queries(
+    graph: SocialGraph,
+    pairs: list[tuple],
+    rng: RandomSource = None,
+    *,
+    eval_samples: int = 800,
+    pmax_epsilon: float = 0.25,
+    pmax_confidence_n: float = 200.0,
+    pmax_max_samples: int = 50_000,
+    budget: int = 4,
+    maximize_realizations: int = 1_500,
+) -> list:
+    """The hot query set: one pmax, evaluate and maximize query per pair.
+
+    The evaluate query's invitation is a seeded sample of the graph's users
+    plus the target (a plausible "is this invitation good enough?" probe);
+    everything is a pure function of ``(graph, pairs, rng)``.
+    """
+    queries: list = []
+    nodes = graph.node_list()
+    for index, (source, target) in enumerate(pairs):
+        picker = derive_rng(rng, f"hot-eval-{index}")
+        width = min(len(nodes), max(8, len(nodes) // 10))
+        invitation = frozenset(picker.sample(nodes, width)) | {target}
+        queries.append(
+            PmaxQuery(
+                source=source,
+                target=target,
+                epsilon=pmax_epsilon,
+                confidence_n=pmax_confidence_n,
+                max_samples=pmax_max_samples,
+            )
+        )
+        queries.append(
+            EvaluateQuery(
+                source=source,
+                target=target,
+                invitation=invitation,
+                num_samples=eval_samples,
+            )
+        )
+        queries.append(
+            MaximizeQuery(
+                source=source,
+                target=target,
+                budget=budget,
+                num_realizations=maximize_realizations,
+            )
+        )
+    return queries
+
+
+def generate_schedule(hot: list, num_clients: int, rounds: int, seed: int) -> list[list]:
+    """The closed-loop schedule: ``rounds`` waves of ``num_clients`` requests.
+
+    Client ``c``'s request in round ``r`` is ``hot[i]`` with ``i`` drawn from
+    a generator derived as ``derive_rng(seed, "load-round-<r>-client-<c>")``
+    -- a pure function of the labels, independent of execution timing.
+    """
+    require_positive_int(num_clients, "num_clients")
+    require_positive_int(rounds, "rounds")
+    if not hot:
+        raise ServiceError("the hot query set is empty")
+    return [
+        [
+            hot[derive_rng(seed, f"load-round-{round_}-client-{client}").randrange(len(hot))]
+            for client in range(num_clients)
+        ]
+        for round_ in range(rounds)
+    ]
+
+
+def canonical_result(result: object) -> str:
+    """Canonical JSON of a query result (the byte-identity currency)."""
+    return json.dumps(to_jsonable(result), sort_keys=True)
+
+
+@dataclass(frozen=True, slots=True)
+class LoadResult:
+    """One arm's replay: canonical per-request transcript plus timings."""
+
+    transcript: tuple
+    seconds: float
+    requests: int
+    executed: int
+    coalesced: int
+    samples_drawn: int
+    coalesce_rate: float
+    pool_hit_rate: float
+    latency_p50: float
+    latency_p99: float
+
+
+def run_load(service: QueryService, schedule: list[list]) -> LoadResult:
+    """Replay a schedule against a service, wave by wave (closed loop)."""
+    start = time.perf_counter()
+    transcript = tuple(
+        tuple(canonical_result(result) for result in service.submit_many(wave))
+        for wave in schedule
+    )
+    seconds = time.perf_counter() - start
+    metrics = service.metrics()
+    return LoadResult(
+        transcript=transcript,
+        seconds=seconds,
+        requests=metrics.requests,
+        executed=metrics.executed,
+        coalesced=metrics.coalesced,
+        samples_drawn=metrics.samples_drawn,
+        coalesce_rate=metrics.coalesce_rate,
+        pool_hit_rate=metrics.pool_hit_rate,
+        latency_p50=metrics.latency_p50,
+        latency_p99=metrics.latency_p99,
+    )
+
+
+def run_standalone(graph: SocialGraph, query, pool_seed: int, engine: str = "python") -> str:
+    """One query answered without any service: a fresh pool, same seed.
+
+    This is the reference side of the bit-identity contract: the same
+    dispatch the service executes (:func:`~repro.service.query_service.execute_query`)
+    against a private fresh pool -- no shared cache, no coalescing, no
+    concurrency -- must equal the service's answer for the same query.
+    """
+    pool = SamplePool(create_engine(graph, engine), seed=pool_seed)
+    return canonical_result(execute_query(graph, query, pool))
+
+
+def run_load_benchmark(
+    graph: SocialGraph,
+    *,
+    hot_pairs: int = 2,
+    num_clients: int = 48,
+    rounds: int = 16,
+    seed: int = 2019,
+    pool_seed: int = 77,
+    engine: str = "python",
+    workers: int | str | None = None,
+    verify_standalone: bool = True,
+) -> dict:
+    """Replay one deterministic workload through both service arms.
+
+    Returns a report in the ``compare_bench.py`` schema whose ``coalesce``
+    row carries ``coalesce_speedup`` (wall-clock of the no-coalescing arm
+    over the coalescing arm, both on fresh pools with the same seed).
+    Raises :class:`~repro.exceptions.ServiceError` if the two arms -- or,
+    with ``verify_standalone``, the service and standalone calls -- are not
+    byte-identical.
+    """
+    pairs = candidate_pairs(graph, hot_pairs, rng=derive_rng(seed, "load-pairs"))
+    hot = hot_queries(graph, pairs, rng=derive_rng(seed, "load-hot"))
+    schedule = generate_schedule(hot, num_clients=num_clients, rounds=rounds, seed=seed)
+
+    arms: dict[str, LoadResult] = {}
+    for name, coalesce in (("no-coalesce", False), ("coalesce", True)):
+        with QueryService(
+            graph, engine=engine, workers=workers, seed=pool_seed, coalesce=coalesce
+        ) as service:
+            arms[name] = run_load(service, schedule)
+
+    if arms["coalesce"].transcript != arms["no-coalesce"].transcript:
+        raise ServiceError("coalesced results diverged from independent execution")
+    if verify_standalone:
+        for query in {query for wave in schedule for query in wave}:
+            expected = run_standalone(graph, query, pool_seed, engine=engine)
+            observed = _transcript_lookup(schedule, arms["coalesce"].transcript, query)
+            if expected != observed:
+                raise ServiceError(
+                    f"service answer for {query!r} diverged from the standalone call"
+                )
+
+    speedup = arms["no-coalesce"].seconds / arms["coalesce"].seconds
+    results = {}
+    for name, arm in arms.items():
+        results[name] = {
+            "seconds": round(arm.seconds, 4),
+            "requests": arm.requests,
+            "executed": arm.executed,
+            "coalesced": arm.coalesced,
+            "paths_drawn": arm.samples_drawn,
+            "coalesce_rate": round(arm.coalesce_rate, 4),
+            "pool_hit_rate": round(arm.pool_hit_rate, 4),
+            "latency_p50": round(arm.latency_p50, 6),
+            "latency_p99": round(arm.latency_p99, 6),
+            "coalesce_speedup": 1.0 if name == "no-coalesce" else round(speedup, 2),
+        }
+    return {
+        "benchmark": "service_load",
+        "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
+        "workload": {
+            "hot_pairs": hot_pairs,
+            "hot_queries": len(hot),
+            "num_clients": num_clients,
+            "rounds": rounds,
+            "seed": seed,
+            "pool_seed": pool_seed,
+            "engine": engine,
+            "workers": workers if workers is None else str(workers),
+        },
+        "bit_identical": True,
+        "results": results,
+    }
+
+
+def emit_load_report(report: dict, output=None, min_speedup: float | None = None) -> int:
+    """Write, print and (optionally) gate a load-benchmark report.
+
+    The shared tail of ``repro bench-load`` and
+    ``benchmarks/bench_service_load.py``: writes the canonical JSON to
+    ``output`` (if given), prints the report and the speedup summary, and
+    returns a process exit code -- 1 with a stderr diagnostic when the
+    coalescing arm falls short of ``min_speedup``, 0 otherwise.
+    """
+    import sys
+    from pathlib import Path
+
+    if output is not None:
+        path = Path(output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    speedup = report["results"]["coalesce"]["coalesce_speedup"]
+    print(f"\ncoalesce speedup: {speedup}x over the no-coalescing arm "
+          "(bit-identical results, standalone-verified)")
+    if min_speedup is not None and speedup < min_speedup:
+        print(f"FAIL: speedup {speedup}x below required {min_speedup}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _transcript_lookup(schedule: list[list], transcript: tuple, query) -> str:
+    """The recorded canonical answer of ``query`` (first occurrence)."""
+    for wave, answers in zip(schedule, transcript):
+        for request, answer in zip(wave, answers):
+            if request == query:
+                return answer
+    raise ServiceError(f"query {query!r} does not appear in the schedule")

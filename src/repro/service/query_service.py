@@ -1,0 +1,630 @@
+"""A concurrent query service with request coalescing over one shared pool.
+
+The library answers three kinds of per-(source, target) questions --
+``pmax`` estimation (Alg. 2), invitation evaluation (Lemma 2) and budgeted
+maximization -- and PR 3's :class:`~repro.pool.SamplePool` already makes
+*repeated* keys cheap for a single caller.  :class:`QueryService` is the
+layer that lets *many concurrent callers* share one pool, one
+:class:`~repro.parallel.engine.ParallelEngine` and one warm cache:
+
+* **Coalescing.**  Queries are small frozen dataclasses
+  (:class:`PmaxQuery`, :class:`EvaluateQuery`, :class:`MaximizeQuery`) and
+  two equal queries are, by the pool's determinism contract, guaranteed to
+  produce byte-identical answers.  While a query is executing, any equal
+  query that arrives attaches to the in-flight execution and receives the
+  same result object -- duplicate traffic costs one sampling pass.  The
+  coalesce key is the query itself, which subsumes the underlying
+  ``(target, stop set, engine)`` pool key; *non*-equal queries for the same
+  pair still share the pool's cached streams (that saving shows up as the
+  pool hit rate rather than the coalesce rate).
+* **Admission control.**  ``max_in_flight`` bounds concurrent *executions*
+  (coalesced joins are free and always admitted); beyond it, submissions
+  fail fast with :class:`~repro.exceptions.ServiceOverloadedError`.
+  ``max_query_samples`` bounds the per-query sample budget; a query asking
+  for more is refused with :class:`~repro.exceptions.ServiceRejectedError`.
+* **Metrics.**  Per-query latency percentiles, pool hit rate, coalesce
+  rate, and samples drawn (:meth:`QueryService.metrics`).  The counters
+  reconcile: every submission is counted exactly once, so
+  ``requests == executed + coalesced + rejected``.
+
+Bit-identity contract (DESIGN.md §5)
+------------------------------------
+
+A query answered through the service is byte-identical to the same query
+run standalone against a fresh :class:`~repro.pool.SamplePool` built with
+the same ``(graph, engine, pool seed)`` -- regardless of concurrency,
+coalescing, arrival order, or worker count.  This falls straight out of the
+pool contract: every sample any query consumes is a pure function of
+``(pool seed, key, index)``, and the service adds no randomness of its own.
+Executions are serialized over the pool (a :class:`threading.Lock`), which
+is what makes the shared mutable pool safe under concurrent submission;
+parallelism *within* one execution still comes from the wrapped
+:class:`~repro.parallel.engine.ParallelEngine`'s process fan-out, and
+cross-query concurrency from coalescing and cache reuse.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.maximization import MaxFriendingResult, maximize_acceptance_probability
+from repro.core.raf import PmaxEstimate, estimate_pmax
+from repro.diffusion.friending_process import (
+    AcceptanceEstimate,
+    estimate_acceptance_probability,
+)
+from repro.exceptions import (
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceRejectedError,
+)
+from repro.graph.social_graph import SocialGraph
+from repro.parallel.engine import maybe_parallel
+from repro.pool.sample_pool import SamplePool
+from repro.diffusion.engine import resolve_engine
+from repro.types import NodeId
+from repro.utils.validation import require_positive, require_positive_int
+
+__all__ = [
+    "PmaxQuery",
+    "EvaluateQuery",
+    "MaximizeQuery",
+    "Query",
+    "ServiceMetrics",
+    "QueryService",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PmaxQuery:
+    """A stopping-rule ``pmax`` estimation request (Alg. 2)."""
+
+    source: NodeId
+    target: NodeId
+    epsilon: float = 0.1
+    confidence_n: float = 100_000.0
+    max_samples: int = 500_000
+
+    kind = "pmax"
+
+    def __post_init__(self) -> None:
+        require_positive(self.epsilon, "epsilon")
+        require_positive(self.confidence_n, "confidence_n")
+        require_positive_int(self.max_samples, "max_samples")
+
+    def sample_cost(self) -> int:
+        """Worst-case samples this query may consume (its admission cost)."""
+        return self.max_samples
+
+
+@dataclass(frozen=True, slots=True)
+class EvaluateQuery:
+    """A Lemma-2 invitation evaluation request: estimate ``f(invitation)``."""
+
+    source: NodeId
+    target: NodeId
+    invitation: frozenset = field(default_factory=frozenset)
+    num_samples: int = 400
+
+    kind = "evaluate"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.invitation, frozenset):
+            object.__setattr__(self, "invitation", frozenset(self.invitation))
+        require_positive_int(self.num_samples, "num_samples")
+
+    def sample_cost(self) -> int:
+        return self.num_samples
+
+
+@dataclass(frozen=True, slots=True)
+class MaximizeQuery:
+    """A budgeted (maximum) active friending request."""
+
+    source: NodeId
+    target: NodeId
+    budget: int = 4
+    num_realizations: int = 2_000
+
+    kind = "maximize"
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.budget, "budget")
+        require_positive_int(self.num_realizations, "num_realizations")
+
+    def sample_cost(self) -> int:
+        return self.num_realizations
+
+
+#: Any request the service accepts.
+Query = PmaxQuery | EvaluateQuery | MaximizeQuery
+
+_QUERY_TYPES = (PmaxQuery, EvaluateQuery, MaximizeQuery)
+
+
+def _unsupported_query(query) -> ServiceError:
+    return ServiceError(
+        f"unsupported query type {type(query).__name__}; expected one of "
+        + ", ".join(q.__name__ for q in _QUERY_TYPES)
+    )
+
+
+def execute_query(graph: SocialGraph, query, pool: SamplePool):
+    """Answer one query against an explicit pool -- the one true dispatch.
+
+    Both the service's executions and the load generator's standalone
+    reference calls go through here, so the bit-identity comparison always
+    compares identical call shapes.  Raises
+    :class:`~repro.exceptions.ServiceError` for unsupported query types.
+    """
+    if isinstance(query, PmaxQuery):
+        return estimate_pmax(
+            graph,
+            query.source,
+            query.target,
+            epsilon=query.epsilon,
+            confidence_n=query.confidence_n,
+            max_samples=query.max_samples,
+            pool=pool,
+        )
+    if isinstance(query, EvaluateQuery):
+        return estimate_acceptance_probability(
+            graph,
+            query.source,
+            query.target,
+            query.invitation,
+            num_samples=query.num_samples,
+            pool=pool,
+        )
+    if isinstance(query, MaximizeQuery):
+        return maximize_acceptance_probability(
+            graph,
+            query.source,
+            query.target,
+            budget=query.budget,
+            num_realizations=query.num_realizations,
+            pool=pool,
+        )
+    raise _unsupported_query(query)
+
+
+#: Latency samples retained for the percentile window.  Bounds both memory
+#: and the per-snapshot sort in a long-lived serve process while keeping
+#: the percentiles exact over recent traffic.
+LATENCY_WINDOW = 10_000
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty sequence.
+
+    The nearest-rank definition: the ``ceil(fraction * N)``-th smallest
+    value (so p99 of 100 samples is the 99th order statistic, not the
+    maximum).
+    """
+    rank = max(1, math.ceil(fraction * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceMetrics:
+    """A consistent snapshot of the service counters.
+
+    The population counters reconcile exactly:
+    ``requests == executed + coalesced + rejected``.
+
+    Attributes
+    ----------
+    requests:
+        Total queries submitted (admitted or not).
+    executed:
+        Queries that ran an execution of their own.
+    coalesced:
+        Queries that attached to an equal in-flight (or same-batch)
+        execution and received its result without sampling.
+    rejected:
+        Queries refused by admission control.
+    samples_drawn:
+        Paths drawn from the engine over the pool's lifetime.
+    samples_served:
+        Paths handed to estimators (``served - drawn`` is the reuse win).
+    latency_p50, latency_p90, latency_p99:
+        Nearest-rank per-query latency percentiles, in seconds, over the
+        most recent :data:`LATENCY_WINDOW` admitted queries (0.0 before
+        any query completed).
+    """
+
+    requests: int
+    executed: int
+    coalesced: int
+    rejected: int
+    samples_drawn: int
+    samples_served: int
+    latency_p50: float
+    latency_p90: float
+    latency_p99: float
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of admitted queries served by an in-flight execution."""
+        admitted = self.executed + self.coalesced
+        return self.coalesced / admitted if admitted else 0.0
+
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of served samples that were reused rather than drawn."""
+        if self.samples_served <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.samples_drawn / self.samples_served)
+
+
+class _InFlight:
+    """One execution and the latch its coalesced followers wait on."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+
+class QueryService:
+    """Serve pmax / evaluate / maximize queries over one shared sample pool.
+
+    Parameters
+    ----------
+    graph:
+        The weighted friendship graph every query runs against.
+    engine:
+        Reverse-sampling backend name (``"python"``, ``"numpy"``, ``"auto"``)
+        or an engine instance built on ``graph``.
+    workers:
+        Optional worker-process fan-out for the sampling batches (a positive
+        integer or ``"auto"``); results are identical for every worker count.
+    seed:
+        The shared pool's seed -- the constant that defines every answer.  A
+        standalone run against a fresh ``SamplePool(engine, seed=seed)`` is
+        byte-identical to the service's answer for the same query.
+    pool_budget:
+        Optional cap on total cached paths (LRU eviction, see the pool).
+    max_in_flight:
+        Admission limit on concurrent executions (``None``: unbounded).
+    max_query_samples:
+        Per-query sample budget (``None``: unbounded).
+    coalesce:
+        ``False`` disables request coalescing (every admitted query
+        executes); the load benchmark's reference arm.  Results are
+        identical either way -- only the cost differs.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        *,
+        engine="python",
+        workers: int | str | None = None,
+        seed: int = 0,
+        pool_budget: int | None = None,
+        max_in_flight: int | None = None,
+        max_query_samples: int | None = None,
+        coalesce: bool = True,
+    ) -> None:
+        if max_in_flight is not None:
+            require_positive_int(max_in_flight, "max_in_flight")
+        if max_query_samples is not None:
+            require_positive_int(max_query_samples, "max_query_samples")
+        self._graph = graph
+        self._engine = maybe_parallel(resolve_engine(graph, engine), workers)
+        self._pool = SamplePool(self._engine, seed=seed, budget=pool_budget)
+        self._max_in_flight = max_in_flight
+        self._max_query_samples = max_query_samples
+        self._coalesce = bool(coalesce)
+        # _state_lock guards the counters and the in-flight map; _pool_lock
+        # serializes executions over the (not thread-safe) shared pool.
+        self._state_lock = threading.Lock()
+        self._pool_lock = threading.Lock()
+        self._inflight: dict[object, _InFlight] = {}
+        self._executing = 0
+        self._requests = 0
+        self._executed = 0
+        self._coalesced = 0
+        self._rejected = 0
+        # Bounded window: a long-lived serve process must not grow a
+        # per-request list forever, nor sort millions of floats under the
+        # state lock on every `stats` op.
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._executor: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def graph(self) -> SocialGraph:
+        """The graph the service answers queries about."""
+        return self._graph
+
+    @property
+    def pool(self) -> SamplePool:
+        """The shared sample pool.
+
+        The pool is not thread-safe; while other callers may be submitting
+        queries, consume it through :meth:`locked_pool` (as
+        ``run_raf(..., service=svc)`` does) rather than directly.
+        """
+        return self._pool
+
+    @contextmanager
+    def locked_pool(self):
+        """The shared pool, held under the service's execution lock.
+
+        Serializes direct pool consumers (e.g. ``run_raf``'s sampling
+        framework) with the service's own query executions, so mixing
+        pipeline runs and query traffic over one service cannot corrupt the
+        pool's shared LRU/eviction state.
+        """
+        with self._pool_lock:
+            yield self._pool
+
+    @property
+    def coalesce(self) -> bool:
+        """Whether request coalescing is enabled."""
+        return self._coalesce
+
+    def metrics(self) -> ServiceMetrics:
+        """A consistent snapshot of the counters (see :class:`ServiceMetrics`).
+
+        Deliberately does *not* take the execution lock (callers poll
+        metrics while queries run), so the pool is sampled through its
+        lock-free counter properties rather than ``stats()``, whose entry
+        iteration races with concurrent executions.
+        """
+        drawn = self._pool.drawn_paths
+        served = self._pool.served_paths
+        with self._state_lock:
+            latencies = sorted(self._latencies)
+            return ServiceMetrics(
+                requests=self._requests,
+                executed=self._executed,
+                coalesced=self._coalesced,
+                rejected=self._rejected,
+                samples_drawn=drawn,
+                samples_served=served,
+                latency_p50=_percentile(latencies, 0.50) if latencies else 0.0,
+                latency_p90=_percentile(latencies, 0.90) if latencies else 0.0,
+                latency_p99=_percentile(latencies, 0.99) if latencies else 0.0,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"<QueryService engine={self._engine.name} seed={self._pool.seed} "
+            f"coalesce={self._coalesce}>"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Release the async executor and any sampling worker pool.
+
+        Waits for async submissions, then takes the execution lock before
+        tearing down the engine, so a sync ``submit`` racing from another
+        thread finishes its sampling instead of losing its worker pool
+        mid-query.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        with self._pool_lock:
+            close = getattr(self._engine, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # The front-ends
+    # ------------------------------------------------------------------ #
+
+    def submit(self, query) -> object:
+        """Answer one query, blocking until the result is available.
+
+        Equal queries submitted while this one executes coalesce onto it.
+        Raises the admission-control errors synchronously and re-raises any
+        library error the execution produced (followers observe the same
+        error as the leader).
+        """
+        start = time.perf_counter()
+        entry, leader = self._claim(query)
+        if leader:
+            try:
+                entry.result = self._execute(query)
+            except BaseException as error:
+                entry.error = error
+            finally:
+                with self._state_lock:
+                    self._inflight.pop(query, None)
+                    self._executing -= 1
+                entry.done.set()
+        else:
+            entry.done.wait()
+        self._record_latency(time.perf_counter() - start)
+        if entry.error is not None:
+            raise entry.error
+        return entry.result
+
+    def submit_many(self, queries: Iterable) -> list:
+        """Answer a batch, coalescing duplicates within the batch.
+
+        The batch is answered in first-occurrence order of its distinct
+        queries, so the executions -- and every counter they touch -- are
+        deterministic regardless of how the batch was assembled.  This is
+        the closed-loop load generator's wave primitive: duplicate requests
+        in one wave coalesce *exactly* (no race decides whether the
+        duplicate arrived while the leader was still in flight).  Results
+        are returned in input order; an admission or execution error aborts
+        the batch (per-query error handling belongs to :meth:`submit`).
+        """
+        batch = list(queries)
+        if not self._coalesce:
+            return [self.submit(query) for query in batch]
+        results: list = [None] * len(batch)
+        groups: dict[object, list[int]] = {}
+        order: list = []
+        for index, query in enumerate(batch):
+            positions = groups.setdefault(query, [])
+            if not positions:
+                order.append(query)
+            positions.append(index)
+        for query in order:
+            positions = groups[query]
+            start = time.perf_counter()
+            value = self.submit(query)
+            elapsed = time.perf_counter() - start
+            followers = len(positions) - 1
+            if followers:
+                with self._state_lock:
+                    self._requests += followers
+                    self._coalesced += followers
+                    # In wave mode a follower waits exactly as long as its
+                    # leader's execution, so the percentile population stays
+                    # one latency sample per admitted query.
+                    self._latencies.extend([elapsed] * followers)
+            for index in positions:
+                results[index] = value
+        return results
+
+    async def submit_async(self, query) -> object:
+        """Asyncio front-end: awaitable :meth:`submit` on a worker thread.
+
+        Concurrent awaits of equal queries coalesce exactly like concurrent
+        :meth:`submit` calls from threads do.
+        """
+        import asyncio
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._ensure_executor(), self.submit, query)
+
+    # ------------------------------------------------------------------ #
+    # Typed conveniences (the run_raf / harness execution backend)
+    # ------------------------------------------------------------------ #
+
+    def estimate_pmax(
+        self,
+        source: NodeId,
+        target: NodeId,
+        epsilon: float = 0.1,
+        confidence_n: float = 100_000.0,
+        max_samples: int = 500_000,
+    ) -> PmaxEstimate:
+        """Submit a :class:`PmaxQuery` and return its :class:`PmaxEstimate`."""
+        return self.submit(
+            PmaxQuery(
+                source=source,
+                target=target,
+                epsilon=epsilon,
+                confidence_n=confidence_n,
+                max_samples=max_samples,
+            )
+        )
+
+    def evaluate(
+        self,
+        source: NodeId,
+        target: NodeId,
+        invitation: Iterable[NodeId],
+        num_samples: int = 400,
+    ) -> AcceptanceEstimate:
+        """Submit an :class:`EvaluateQuery` and return its estimate."""
+        return self.submit(
+            EvaluateQuery(
+                source=source,
+                target=target,
+                invitation=frozenset(invitation),
+                num_samples=num_samples,
+            )
+        )
+
+    def maximize(
+        self,
+        source: NodeId,
+        target: NodeId,
+        budget: int,
+        num_realizations: int = 2_000,
+    ) -> MaxFriendingResult:
+        """Submit a :class:`MaximizeQuery` and return its result."""
+        return self.submit(
+            MaximizeQuery(
+                source=source,
+                target=target,
+                budget=budget,
+                num_realizations=num_realizations,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._state_lock:
+            if self._executor is None:
+                size = self._max_in_flight if self._max_in_flight is not None else 8
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(2, size), thread_name_prefix="repro-service"
+                )
+            return self._executor
+
+    def _claim(self, query) -> tuple[_InFlight, bool]:
+        """Admit a query: join an in-flight equal execution or lead a new one."""
+        if not isinstance(query, _QUERY_TYPES):
+            raise _unsupported_query(query)
+        with self._state_lock:
+            self._requests += 1
+            cost = query.sample_cost()
+            if self._max_query_samples is not None and cost > self._max_query_samples:
+                self._rejected += 1
+                raise ServiceRejectedError(
+                    f"query requests up to {cost} samples, above the per-query "
+                    f"budget of {self._max_query_samples}"
+                )
+            if self._coalesce:
+                entry = self._inflight.get(query)
+                if entry is not None:
+                    self._coalesced += 1
+                    return entry, False
+            if self._max_in_flight is not None and self._executing >= self._max_in_flight:
+                self._rejected += 1
+                raise ServiceOverloadedError(
+                    f"{self._executing} executions already in flight "
+                    f"(max_in_flight={self._max_in_flight})"
+                )
+            entry = _InFlight()
+            if self._coalesce:
+                self._inflight[query] = entry
+            self._executing += 1
+            self._executed += 1
+            return entry, True
+
+    def _execute(self, query) -> object:
+        # Serialized: the SamplePool mutates shared state and is not
+        # thread-safe; within the execution the ParallelEngine still fans
+        # sampling over worker processes.
+        with self._pool_lock:
+            return execute_query(self._graph, query, self._pool)
+
+    def _record_latency(self, seconds: float) -> None:
+        with self._state_lock:
+            self._latencies.append(seconds)

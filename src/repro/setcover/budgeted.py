@@ -56,9 +56,47 @@ def budgeted_trace_cover(system: SetSystem, budget: int) -> BudgetedCoverResult:
     budget, the one with the highest covered-weight-per-new-node ratio
     (ties toward fewer new nodes).  A final sweep spends leftover budget on
     single nodes that complete additional traces.
+
+    Because the "fits in the remaining budget" filter changes which trace
+    the greedy commits to first, a single pass at budget ``k + 1`` can end
+    up covering *less* than a pass at budget ``k`` (a larger trace with a
+    better ratio wins the first pick and crowds out a cheaper combination).
+    Any node set feasible at budget ``k`` is feasible at every larger
+    budget, so non-monotone coverage is never forced; the solver therefore
+    runs the single-budget greedy for every budget up to ``budget`` and
+    keeps the best cover found, which makes ``covered_weight`` monotone in
+    the budget by construction.  Ties prefer the largest budget's pass, so
+    instances where the plain greedy was already monotone return exactly
+    the node set they always did.
     """
     require_positive_int(budget, "budget")
     deduped = system.deduplicate()
+    best: frozenset | None = None
+    best_weight = -1
+    for cap in range(1, budget + 1):
+        chosen, covered_weight = _greedy_at_budget(deduped, cap)
+        if covered_weight >= best_weight:
+            best = chosen
+            best_weight = covered_weight
+        if best_weight == deduped.total_weight:
+            # Coverage is saturated; intermediate caps cannot improve it.
+            # Still run the full-budget pass (which wins ties) so the node
+            # set matches what the single-pass greedy always returned.
+            if cap < budget:
+                chosen, covered_weight = _greedy_at_budget(deduped, budget)
+                if covered_weight >= best_weight:
+                    best = chosen
+                    best_weight = covered_weight
+            break
+    return BudgetedCoverResult(
+        cover=best,
+        covered_weight=system.covered_weight(best),
+        budget=budget,
+    )
+
+
+def _greedy_at_budget(deduped: SetSystem, budget: int) -> tuple[frozenset, int]:
+    """One ratio-greedy pass at exactly this budget (see the caller)."""
     sets = deduped.sets()
     weights = deduped.weights()
     covered = [False] * deduped.num_sets
@@ -96,8 +134,4 @@ def budgeted_trace_cover(system: SetSystem, budget: int) -> BudgetedCoverResult:
                 covered[index] = True
                 covered_weight += weights[index]
 
-    return BudgetedCoverResult(
-        cover=frozenset(chosen),
-        covered_weight=system.covered_weight(chosen),
-        budget=budget,
-    )
+    return frozenset(chosen), covered_weight

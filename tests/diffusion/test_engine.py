@@ -269,9 +269,27 @@ class TestEngineSelection:
                 chain_graph, "s", "t", {"b", "t"}, num_samples=10, rng=1, engine=foreign
             )
 
-    def test_stale_engine_after_mutation_rejected(self, chain_graph):
+    def test_stale_engine_after_mutation_resnapshots(self, chain_graph):
+        """Mutating the graph between construction and use refreshes the engine.
+
+        The engine tracks its source graph's mutation counter, so a mutation
+        in the construction-to-first-batch window re-snapshots instead of
+        leaving the engine bound to the dead CSR (and resolve_engine accepts
+        the refreshed engine as current).
+        """
         engine = create_engine(chain_graph, "python")
         chain_graph.add_edge("a", "t", weight_uv=0.01, weight_vu=0.01)
+        from repro.diffusion.engine import resolve_engine
+
+        assert resolve_engine(chain_graph, engine) is engine
+        assert engine.compiled is compile_graph(chain_graph)
+
+    def test_engine_pinned_to_explicit_snapshot_stays_pinned(self, chain_graph):
+        """An engine built on a CompiledGraph keeps that exact frozen view."""
+        snapshot = compile_graph(chain_graph)
+        engine = create_engine(snapshot, "python")
+        chain_graph.add_edge("a", "t", weight_uv=0.01, weight_vu=0.01)
+        assert engine.compiled is snapshot
         from repro.diffusion.engine import resolve_engine
 
         with pytest.raises(EngineError):
@@ -293,3 +311,41 @@ class TestReverseAcceptanceEstimator:
         # contains every possible type-1 trace of the chain.
         assert estimate.probability == pytest.approx(0.5, abs=0.04)
         assert estimate.successes == round(estimate.probability * estimate.num_samples)
+
+
+class TestStaleSnapshotRegression:
+    """Regression suite for the construction-to-first-batch stale window.
+
+    Historically an engine froze its CSR snapshot at construction time, so a
+    graph mutated *between* constructing the engine and drawing its first
+    batch kept sampling the dead CSR.  The engine now re-checks the graph's
+    mutation counter on every batch and re-snapshots.
+    """
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_first_batch_after_mutation_uses_fresh_csr(self, name, chain_graph):
+        engine = create_engine(chain_graph, name)
+        # Mutate in the stale window: a strong shortcut edge b-s changes the
+        # reachable topology (walks from t can now hit N_s = {a} via fewer
+        # hops and b gains an extra in-neighbour, shifting every selection).
+        chain_graph.add_edge("s", "b", weight_uv=0.4, weight_vu=0.4)
+        stale = engine.sample_paths("t", chain_graph.neighbor_set("s"), 200, rng=99)
+        fresh = create_engine(chain_graph, name).sample_paths(
+            "t", chain_graph.neighbor_set("s"), 200, rng=99
+        )
+        assert stale == fresh
+        assert engine.compiled is compile_graph(chain_graph)
+
+    @pytest.mark.parametrize("name", ENGINES)
+    def test_node_added_in_stale_window_is_sampleable(self, name, chain_graph):
+        engine = create_engine(chain_graph, name)
+        chain_graph.add_edge("t", "u", weight_uv=0.3, weight_vu=0.3)
+        # The dead CSR does not even contain "u"; the refreshed one must.
+        paths = engine.sample_paths("u", {"a"}, 50, rng=5)
+        assert len(paths) == 50
+
+    def test_unchanged_graph_keeps_the_cached_snapshot(self, chain_graph):
+        engine = create_engine(chain_graph, "python")
+        before = engine.compiled
+        engine.sample_paths("t", {"a"}, 10, rng=1)
+        assert engine.compiled is before

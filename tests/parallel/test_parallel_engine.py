@@ -237,3 +237,26 @@ class TestFallbacks:
         # On the Linux CI/dev platforms this is simply true; the call must
         # never raise anywhere.
         assert isinstance(fork_available(), bool)
+
+
+class TestStaleSnapshotPoolRefork:
+    def test_pool_forked_on_dead_snapshot_is_reforked(self, pair):
+        """A worker pool forked before a graph mutation must not keep sampling
+        the dead CSR: the next dispatch re-snapshots the base engine and
+        re-forks the pool on the current snapshot."""
+        if not fork_available():
+            pytest.skip("platform lacks the fork start method")
+        local = apply_degree_normalized_weights(barabasi_albert_graph(120, 3, rng=23))
+        engine = ParallelEngine(create_engine(local, "python"), workers=2, chunk_size=32)
+        try:
+            stop = local.neighbor_set(0)
+            engine.sample_paths(60, stop, 128, rng=1)  # forks the pool
+            local.add_edge(0, 60, weight_uv=0.2, weight_vu=0.2)
+            stop = local.neighbor_set(0)
+            parallel = engine.sample_paths(61, stop, 128, rng=2)
+            serial = ParallelEngine(
+                create_engine(local, "python"), workers=1, chunk_size=32
+            ).sample_paths(61, stop, 128, rng=2)
+            assert parallel == serial
+        finally:
+            engine.close()

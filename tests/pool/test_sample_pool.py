@@ -246,3 +246,64 @@ class TestSpillAllReturnValue:
         pool.paths((3, "d"), graph.neighbor_set((0, "a")), 10)
         assert pool.spill_all() == 0
         assert list(tmp_path.glob("pool-*.json")) == []
+
+
+class TestSnapshotInvalidation:
+    """Caches drawn from a dead CSR must never be served after a mutation."""
+
+    def _mutable_graph(self):
+        from repro.graph.generators import barabasi_albert_graph
+        from repro.graph.weights import apply_degree_normalized_weights
+
+        return apply_degree_normalized_weights(barabasi_albert_graph(150, 3, rng=29))
+
+    def test_mutation_flushes_the_cache(self):
+        graph = self._mutable_graph()
+        target, stop = 80, graph.neighbor_set(0)
+        pool = SamplePool(create_engine(graph, "python"), seed=5)
+        stale = pool.paths(target, stop, 100, stream=STREAM_PMAX)
+        assert pool.cached_count(target, stop, STREAM_PMAX) >= 100
+        graph.add_edge(0, 80, weight_uv=0.15, weight_vu=0.15)
+        stop = graph.neighbor_set(0)
+        refreshed = pool.paths(target, stop, 100, stream=STREAM_PMAX)
+        fresh_pool = SamplePool(create_engine(graph, "python"), seed=5)
+        assert refreshed == fresh_pool.paths(target, stop, 100, stream=STREAM_PMAX)
+        assert refreshed != stale
+
+    def test_unchanged_graph_keeps_the_cache(self):
+        graph = self._mutable_graph()
+        target, stop = 80, graph.neighbor_set(0)
+        pool = SamplePool(create_engine(graph, "python"), seed=5)
+        pool.paths(target, stop, 64, stream=STREAM_PMAX)
+        drawn = pool.stats().drawn_paths
+        pool.paths(target, stop, 64, stream=STREAM_PMAX)
+        assert pool.stats().drawn_paths == drawn  # served from cache
+
+    def test_spills_from_a_dead_topology_are_ignored(self, tmp_path):
+        graph = self._mutable_graph()
+        target, stop = 80, graph.neighbor_set(0)
+        before = SamplePool(
+            create_engine(graph, "python"), seed=5, spill_dir=tmp_path
+        )
+        before.paths(target, stop, 64, stream=STREAM_PMAX)
+        assert before.spill_all() >= 1
+        graph.add_edge(0, 80, weight_uv=0.15, weight_vu=0.15)
+        stop = graph.neighbor_set(0)
+        after = SamplePool(create_engine(graph, "python"), seed=5, spill_dir=tmp_path)
+        refreshed = after.paths(target, stop, 64, stream=STREAM_PMAX)
+        assert after.stats().loads == 0  # the old spill was rejected
+        fresh = SamplePool(create_engine(graph, "python"), seed=5)
+        assert refreshed == fresh.paths(target, stop, 64, stream=STREAM_PMAX)
+
+    def test_spill_round_trip_on_the_same_topology_still_loads(self, tmp_path):
+        graph = self._mutable_graph()
+        target, stop = 80, graph.neighbor_set(0)
+        writer = SamplePool(
+            create_engine(graph, "python"), seed=5, spill_dir=tmp_path
+        )
+        expected = writer.paths(target, stop, 64, stream=STREAM_PMAX)
+        assert writer.spill_all() >= 1
+        reader = SamplePool(create_engine(graph, "python"), seed=5, spill_dir=tmp_path)
+        assert reader.paths(target, stop, 64, stream=STREAM_PMAX) == expected
+        assert reader.stats().loads == 1
+        assert reader.stats().drawn_paths == 0

@@ -1,0 +1,138 @@
+"""The service as an execution backend for run_raf and the harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import SamplePolicy
+from repro.core.problem import ActiveFriendingProblem
+from repro.core.raf import RAFConfig, run_raf
+from repro.diffusion.engine import create_engine
+from repro.exceptions import AlgorithmError, ExperimentError
+from repro.experiments.harness import evaluate_invitation, growth_curve
+from repro.pool.sample_pool import SamplePool
+from repro.service import QueryService
+
+POOL_SEED = 91
+
+
+@pytest.fixture(scope="module")
+def problem(service_graph, hot_pair):
+    source, target = hot_pair
+    return ActiveFriendingProblem(service_graph, source, target, alpha=0.2)
+
+
+@pytest.fixture(scope="module")
+def raf_config():
+    return RAFConfig(
+        epsilon=0.02,
+        sample_policy=SamplePolicy.FIXED,
+        fixed_realizations=800,
+        pmax_epsilon=0.3,
+        confidence_n=100.0,
+        pmax_max_samples=30_000,
+    )
+
+
+class TestRunRafBackend:
+    def test_service_run_matches_pool_run(self, service_graph, problem, raf_config):
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            served = run_raf(problem, raf_config, rng=1, service=service)
+            metrics = service.metrics()
+        pool = SamplePool(create_engine(service_graph, "python"), seed=POOL_SEED)
+        direct = run_raf(problem, raf_config, rng=1, pool=pool)
+        assert served.invitation == direct.invitation
+        assert served.pmax_estimate == direct.pmax_estimate
+        assert served.pmax_samples == direct.pmax_samples
+        assert served.num_type1 == direct.num_type1
+        # The pmax step went through the service (and is thus coalescible).
+        assert metrics.executed == 1
+
+    def test_repeated_runs_share_the_warm_pool(self, service_graph, problem, raf_config):
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            first = run_raf(problem, raf_config, rng=1, service=service)
+            drawn_after_first = service.metrics().samples_drawn
+            second = run_raf(problem, raf_config, rng=2, service=service)
+            drawn_after_second = service.metrics().samples_drawn
+        assert first.invitation == second.invitation  # pool streams, not rng
+        assert drawn_after_second == drawn_after_first  # warm: nothing re-drawn
+
+    def test_run_raf_is_safe_under_concurrent_query_traffic(
+        self, service_graph, hot_pair, problem, raf_config
+    ):
+        """run_raf consumes the service pool under the execution lock, so
+        any interleaving with concurrent query traffic yields the same
+        answers as serial execution."""
+        import threading
+
+        from repro.service import EvaluateQuery, canonical_result, run_standalone
+
+        source, target = hot_pair
+        queries = [
+            EvaluateQuery(source, target, invitation=frozenset({n, target}), num_samples=200)
+            for n in range(10)
+        ]
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            answers: list = []
+            traffic = threading.Thread(
+                target=lambda: answers.extend(service.submit(q) for q in queries)
+            )
+            traffic.start()
+            served = run_raf(problem, raf_config, rng=1, service=service)
+            traffic.join(timeout=60.0)
+        pool = SamplePool(create_engine(service_graph, "python"), seed=POOL_SEED)
+        direct = run_raf(problem, raf_config, rng=1, pool=pool)
+        assert served.invitation == direct.invitation
+        assert served.pmax_estimate == direct.pmax_estimate
+        for query, answer in zip(queries, answers):
+            assert canonical_result(answer) == run_standalone(
+                service_graph, query, POOL_SEED
+            )
+
+    def test_pool_and_service_are_mutually_exclusive(
+        self, service_graph, problem, raf_config
+    ):
+        pool = SamplePool(create_engine(service_graph, "python"), seed=POOL_SEED)
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            with pytest.raises(AlgorithmError):
+                run_raf(problem, raf_config, rng=1, pool=pool, service=service)
+
+    def test_service_on_a_different_graph_rejected_up_front(
+        self, unreachable_graph, problem, raf_config
+    ):
+        """A service answers against its own graph, so a problem on another
+        graph must fail loudly before any samples are burnt."""
+        with QueryService(unreachable_graph, seed=POOL_SEED) as service:
+            with pytest.raises(AlgorithmError):
+                run_raf(problem, raf_config, rng=1, service=service)
+            assert service.metrics().requests == 0
+
+
+class TestHarnessBackend:
+    def test_evaluate_invitation_matches_pool_path(self, service_graph, hot_pair):
+        source, target = hot_pair
+        invitation = frozenset(range(30)) | {target}
+        pool = SamplePool(create_engine(service_graph, "python"), seed=POOL_SEED)
+        direct = evaluate_invitation(
+            service_graph, source, target, invitation, num_samples=400, pool=pool
+        )
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            served = evaluate_invitation(
+                service_graph, source, target, invitation, num_samples=400, service=service
+            )
+        assert served == direct
+
+    def test_growth_curve_through_the_service(self, service_graph, problem):
+        ranking = sorted(service_graph.node_list())[:30]
+        pool = SamplePool(create_engine(service_graph, "python"), seed=POOL_SEED)
+        direct = growth_curve(problem, ranking, 0.9, num_samples=200, pool=pool)
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            served = growth_curve(problem, ranking, 0.9, num_samples=200, service=service)
+        assert served == direct
+
+    def test_foreign_graph_rejected(self, service_graph, unreachable_graph):
+        with QueryService(unreachable_graph, seed=POOL_SEED) as service:
+            with pytest.raises(ExperimentError):
+                evaluate_invitation(
+                    service_graph, 0, 1, {1}, num_samples=10, service=service
+                )

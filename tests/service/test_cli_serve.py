@@ -1,0 +1,179 @@
+"""CLI tests for ``repro serve`` and ``repro bench-load``.
+
+``serve`` is driven end to end through ``main()`` with a stdin substitute:
+JSON-lines round-trips, per-line domain errors, and the malformed-request
+paths that must exit non-zero with a stderr diagnostic.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+GRAPH_ARGS = ["--dataset", "wiki", "--scale", "0.02"]
+
+
+def _serve(monkeypatch, capsys, lines, extra_args=(), seed="7"):
+    """Run ``repro serve`` over the given request lines; return (code, out, err)."""
+    monkeypatch.setattr("sys.stdin", io.StringIO("".join(line + "\n" for line in lines)))
+    code = main(["--seed", seed, "serve", *GRAPH_ARGS, *extra_args])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def _valid_requests():
+    return [
+        json.dumps({"op": "pmax", "source": 0, "target": 50, "epsilon": 0.3,
+                    "confidence_n": 100.0, "max_samples": 20000}),
+        json.dumps({"op": "evaluate", "source": 0, "target": 50,
+                    "invitation": [1, 2, 3, 50], "num_samples": 300}),
+        json.dumps({"op": "maximize", "source": 0, "target": 50,
+                    "budget": 3, "num_realizations": 500}),
+    ]
+
+
+class TestServeRoundTrip:
+    def test_answers_one_json_line_per_request(self, monkeypatch, capsys):
+        code, out, err = _serve(monkeypatch, capsys, _valid_requests())
+        assert code == 0
+        replies = [json.loads(line) for line in out.strip().splitlines()]
+        assert [reply["op"] for reply in replies] == ["pmax", "evaluate", "maximize"]
+        assert all(reply["ok"] for reply in replies)
+        assert replies[0]["result"]["num_samples"] > 0
+        assert replies[1]["result"]["num_samples"] == 300
+        assert len(replies[2]["result"]["invitation"]) <= 3
+
+    def test_repeated_requests_get_identical_answers(self, monkeypatch, capsys):
+        request = _valid_requests()[0]
+        code, out, _ = _serve(monkeypatch, capsys, [request, request, request])
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 3
+        assert len(set(lines)) == 1  # byte-identical reply lines
+
+    def test_blank_lines_are_skipped(self, monkeypatch, capsys):
+        code, out, _ = _serve(monkeypatch, capsys, ["", _valid_requests()[1], "   "])
+        assert code == 0
+        assert len(out.strip().splitlines()) == 1
+
+    def test_stats_op_reports_reconciling_counters(self, monkeypatch, capsys):
+        requests = _valid_requests()
+        code, out, _ = _serve(
+            monkeypatch, capsys, [*requests, requests[0], json.dumps({"op": "stats"})]
+        )
+        assert code == 0
+        stats = json.loads(out.strip().splitlines()[-1])
+        assert stats["ok"] and stats["op"] == "stats"
+        counters = stats["result"]
+        assert counters["requests"] == (
+            counters["executed"] + counters["coalesced"] + counters["rejected"]
+        )
+        assert counters["requests"] == 4
+        assert 0.0 <= counters["pool_hit_rate"] <= 1.0
+        assert "coalesce_rate" in counters
+
+    def test_domain_errors_are_reported_per_line_and_serving_continues(
+        self, monkeypatch, capsys
+    ):
+        unknown_node = json.dumps({"op": "pmax", "source": 0, "target": 999_999})
+        code, out, _ = _serve(monkeypatch, capsys, [unknown_node, _valid_requests()[1]])
+        assert code == 0
+        first, second = (json.loads(line) for line in out.strip().splitlines())
+        assert first["ok"] is False and "999999" in first["error"]
+        assert second["ok"] is True
+
+    def test_admission_rejections_are_per_line_responses(self, monkeypatch, capsys):
+        over_budget = json.dumps(
+            {"op": "evaluate", "source": 0, "target": 50, "num_samples": 5000}
+        )
+        code, out, _ = _serve(
+            monkeypatch, capsys, [over_budget, _valid_requests()[1]],
+            extra_args=["--max-query-samples", "1000"],
+        )
+        assert code == 0
+        first, second = (json.loads(line) for line in out.strip().splitlines())
+        assert first["ok"] is False and "budget" in first["error"]
+        assert second["ok"] is True
+
+
+class TestServeMalformedRequests:
+    @pytest.mark.parametrize(
+        "line, fragment",
+        [
+            ("not json", "invalid JSON"),
+            ("[1, 2, 3]", "expected a JSON object"),
+            ('{"source": 0, "target": 50}', "unknown op"),
+            ('{"op": "frobnicate"}', "unknown op"),
+            ('{"op": "pmax", "source": 0, "target": 50, "epsilon": -1.0}', "epsilon"),
+            ('{"op": "pmax", "bogus_field": 1}', "bogus_field"),
+        ],
+    )
+    def test_malformed_request_exits_nonzero_with_diagnostic(
+        self, monkeypatch, capsys, line, fragment
+    ):
+        code, _, err = _serve(monkeypatch, capsys, [line])
+        assert code == 1
+        assert "malformed request on line 1" in err
+        assert fragment in err
+
+    def test_lines_before_the_malformed_one_are_served(self, monkeypatch, capsys):
+        code, out, err = _serve(monkeypatch, capsys, [_valid_requests()[1], "not json"])
+        assert code == 1
+        assert json.loads(out.strip().splitlines()[0])["ok"] is True
+        assert "line 2" in err
+
+
+class TestServeWorkersParity:
+    def test_workers_auto_matches_explicit_count(self, monkeypatch, capsys):
+        """The pool's chunk streams are worker-count independent, so serve
+        output is byte-identical for --workers auto, an explicit count, and
+        the single-stream default."""
+        outputs = []
+        for extra in ([], ["--workers", "1"], ["--workers", "auto"]):
+            code, out, _ = _serve(monkeypatch, capsys, _valid_requests(), extra_args=extra)
+            assert code == 0
+            outputs.append(out)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+class TestBenchLoadCommand:
+    def test_round_trip_writes_report(self, capsys, tmp_path):
+        output = tmp_path / "bench" / "BENCH_service.json"
+        code = main([
+            "--seed", "7", "bench-load", "--dataset", "wiki", "--scale", "0.05",
+            "--hot-pairs", "1", "--clients", "6", "--rounds", "2",
+            "--output", str(output),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "coalesce speedup" in stdout
+        report = json.loads(output.read_text(encoding="utf-8"))
+        assert report["benchmark"] == "service_load"
+        assert report["bit_identical"] is True
+        assert report["results"]["coalesce"]["coalesce_speedup"] > 0
+
+    def test_min_speedup_gate_failure_exits_nonzero(self, capsys):
+        code = main([
+            "--seed", "7", "bench-load", "--dataset", "wiki", "--scale", "0.05",
+            "--hot-pairs", "1", "--clients", "4", "--rounds", "2",
+            "--min-speedup", "1000",
+        ])
+        assert code == 1
+        assert "below required" in capsys.readouterr().err
+
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench-load"])
+        assert args.clients == 48
+        assert args.rounds == 16
+        assert args.hot_pairs == 2
+        assert args.min_speedup is None
+        serve_args = build_parser().parse_args(["serve"])
+        assert serve_args.coalesce is True
+        assert serve_args.max_in_flight is None
+        assert build_parser().parse_args(["serve", "--no-coalesce"]).coalesce is False

@@ -1,0 +1,128 @@
+"""Tests for the deterministic load generator (repro.service.loadgen)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    QueryService,
+    candidate_pairs,
+    canonical_result,
+    generate_schedule,
+    hot_queries,
+    run_load,
+    run_load_benchmark,
+    run_standalone,
+)
+from repro.service.query_service import EvaluateQuery, MaximizeQuery, PmaxQuery
+
+
+@pytest.fixture(scope="module")
+def pairs(service_graph):
+    return candidate_pairs(service_graph, 2, rng=5)
+
+
+@pytest.fixture(scope="module")
+def hot(service_graph, pairs):
+    return hot_queries(
+        service_graph, pairs, rng=5,
+        eval_samples=300, pmax_max_samples=20_000, maximize_realizations=400,
+    )
+
+
+class TestDeterministicInputs:
+    def test_candidate_pairs_are_a_pure_function_of_the_seed(self, service_graph):
+        assert candidate_pairs(service_graph, 2, rng=5) == candidate_pairs(
+            service_graph, 2, rng=5
+        )
+        assert candidate_pairs(service_graph, 2, rng=5) != candidate_pairs(
+            service_graph, 2, rng=6
+        )
+
+    def test_candidate_pairs_are_valid(self, service_graph, pairs):
+        for source, target in pairs:
+            assert source != target
+            assert not service_graph.has_edge(source, target)
+
+    def test_candidate_pairs_failure_is_loud(self, unreachable_graph):
+        with pytest.raises(ServiceError):
+            candidate_pairs(unreachable_graph, 50, rng=1, max_attempts=60)
+
+    def test_hot_queries_cover_every_kind(self, hot, pairs):
+        assert len(hot) == 3 * len(pairs)
+        kinds = {type(query) for query in hot}
+        assert kinds == {PmaxQuery, EvaluateQuery, MaximizeQuery}
+
+    def test_schedule_is_a_pure_function_of_its_labels(self, hot):
+        first = generate_schedule(hot, num_clients=6, rounds=3, seed=9)
+        second = generate_schedule(hot, num_clients=6, rounds=3, seed=9)
+        assert first == second
+        assert generate_schedule(hot, num_clients=6, rounds=3, seed=10) != first
+        assert len(first) == 3
+        assert all(len(wave) == 6 for wave in first)
+        assert all(query in hot for wave in first for query in wave)
+
+    def test_empty_hot_set_rejected(self):
+        with pytest.raises(ServiceError):
+            generate_schedule([], num_clients=2, rounds=2, seed=1)
+
+
+class TestLoadReplay:
+    def test_transcripts_are_bit_identical_across_arms(self, service_graph, hot):
+        schedule = generate_schedule(hot, num_clients=8, rounds=3, seed=11)
+        with QueryService(service_graph, seed=91, coalesce=True) as on:
+            coalesced = run_load(on, schedule)
+        with QueryService(service_graph, seed=91, coalesce=False) as off:
+            independent = run_load(off, schedule)
+        assert coalesced.transcript == independent.transcript
+        assert coalesced.executed < independent.executed
+        assert coalesced.requests == independent.requests == 24
+        assert coalesced.requests == coalesced.executed + coalesced.coalesced
+
+    def test_replay_matches_standalone_per_query(self, service_graph, hot):
+        schedule = generate_schedule(hot, num_clients=4, rounds=2, seed=12)
+        with QueryService(service_graph, seed=91) as service:
+            replay = run_load(service, schedule)
+        for wave, answers in zip(schedule, replay.transcript):
+            for query, answer in zip(wave, answers):
+                assert answer == run_standalone(service_graph, query, 91)
+
+    def test_benchmark_report_shape_and_reconciliation(self, service_graph):
+        report = run_load_benchmark(
+            service_graph, hot_pairs=1, num_clients=6, rounds=3,
+            seed=21, pool_seed=91, verify_standalone=True,
+        )
+        assert report["bit_identical"] is True
+        assert set(report["results"]) == {"coalesce", "no-coalesce"}
+        coalesce = report["results"]["coalesce"]
+        reference = report["results"]["no-coalesce"]
+        assert reference["coalesce_speedup"] == 1.0
+        assert coalesce["coalesce_speedup"] > 0
+        assert coalesce["requests"] == coalesce["executed"] + coalesce["coalesced"]
+        assert reference["coalesced"] == 0
+        assert coalesce["executed"] < reference["executed"]
+
+    def test_benchmark_counters_are_reproducible(self, service_graph):
+        """Coalesce/executed counts are schedule facts, not race outcomes."""
+        runs = [
+            run_load_benchmark(
+                service_graph, hot_pairs=1, num_clients=6, rounds=3,
+                seed=21, pool_seed=91, verify_standalone=False,
+            )["results"]["coalesce"]
+            for _ in range(2)
+        ]
+        for field in ("requests", "executed", "coalesced", "coalesce_rate", "pool_hit_rate"):
+            assert runs[0][field] == runs[1][field]
+
+
+class TestCanonicalResult:
+    def test_canonical_json_is_stable_and_sorted(self, service_graph, hot):
+        with QueryService(service_graph, seed=91) as service:
+            result = service.submit(hot[0])
+            text = canonical_result(result)
+        assert text == canonical_result(result)
+        import json
+
+        payload = json.loads(text)
+        assert list(payload) == sorted(payload)

@@ -1,0 +1,307 @@
+"""Deterministic concurrency tests for :class:`repro.service.QueryService`.
+
+The load-bearing properties:
+
+* coalesced and independent execution return *bit-identical* results (the
+  pool's determinism contract surfaced through the service);
+* admission-control limits are honored (in-flight executions, per-query
+  sample budgets) while coalesced joins are always admitted;
+* the metrics counters reconcile exactly:
+  ``requests == executed + coalesced + rejected``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.raf import estimate_pmax
+from repro.diffusion.engine import create_engine
+from repro.exceptions import (
+    AlgorithmError,
+    EngineError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceRejectedError,
+)
+from repro.pool.sample_pool import SamplePool
+from repro.service import (
+    EvaluateQuery,
+    MaximizeQuery,
+    PmaxQuery,
+    QueryService,
+    canonical_result,
+    run_standalone,
+)
+
+POOL_SEED = 55
+
+
+def _queries(pair):
+    source, target = pair
+    return [
+        PmaxQuery(source, target, epsilon=0.3, confidence_n=100.0, max_samples=30_000),
+        EvaluateQuery(source, target, invitation=frozenset(range(40)) | {target}),
+        MaximizeQuery(source, target, budget=3, num_realizations=800),
+    ]
+
+
+class TestBitIdentity:
+    def test_service_answers_match_standalone_calls(self, service_graph, hot_pair):
+        """Every query kind, answered through a busy shared service, is
+        byte-identical to the same query run standalone on a fresh pool."""
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            for query in _queries(hot_pair) * 2:  # repeats hit the warm cache
+                observed = canonical_result(service.submit(query))
+                expected = run_standalone(service_graph, query, POOL_SEED)
+                assert observed == expected
+
+    def test_arrival_order_is_irrelevant(self, service_graph, hot_pair):
+        queries = _queries(hot_pair)
+        with QueryService(service_graph, seed=POOL_SEED) as forward:
+            first = [canonical_result(r) for r in forward.submit_many(queries)]
+        with QueryService(service_graph, seed=POOL_SEED) as backward:
+            second = [canonical_result(r) for r in backward.submit_many(queries[::-1])]
+        assert first == second[::-1]
+
+    def test_coalescing_off_is_identical(self, service_graph, hot_pair):
+        queries = _queries(hot_pair) * 3
+        with QueryService(service_graph, seed=POOL_SEED, coalesce=True) as on:
+            coalesced = [canonical_result(r) for r in on.submit_many(queries)]
+        with QueryService(service_graph, seed=POOL_SEED, coalesce=False) as off:
+            independent = [canonical_result(r) for r in off.submit_many(queries)]
+        assert coalesced == independent
+        assert on.metrics().executed < off.metrics().executed
+
+    def test_pmax_matches_direct_library_call(self, service_graph, hot_pair):
+        source, target = hot_pair
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            served = service.estimate_pmax(
+                source, target, epsilon=0.3, confidence_n=100.0, max_samples=30_000
+            )
+        pool = SamplePool(create_engine(service_graph, "python"), seed=POOL_SEED)
+        direct = estimate_pmax(
+            service_graph, source, target, epsilon=0.3, confidence_n=100.0,
+            max_samples=30_000, pool=pool,
+        )
+        assert served == direct
+
+
+class TestInFlightCoalescing:
+    def test_concurrent_duplicates_coalesce_onto_one_execution(
+        self, service_graph, hot_pair, gated_engine
+    ):
+        source, target = hot_pair
+        query = EvaluateQuery(source, target, invitation=frozenset({1, 2, target}))
+        with QueryService(service_graph, engine=gated_engine, seed=POOL_SEED) as service:
+            results: dict[str, object] = {}
+            leader = threading.Thread(target=lambda: results.update(a=service.submit(query)))
+            leader.start()
+            assert gated_engine.entered.wait(timeout=30.0)
+            # The leader is now provably blocked inside its sampling call.
+            follower = threading.Thread(target=lambda: results.update(b=service.submit(query)))
+            follower.start()
+            while service.metrics().requests < 2:  # the follower has not attached yet
+                pass
+            metrics = service.metrics()
+            assert (metrics.executed, metrics.coalesced) == (1, 1)
+            gated_engine.release.set()
+            leader.join(timeout=30.0)
+            follower.join(timeout=30.0)
+            assert canonical_result(results["a"]) == canonical_result(results["b"])
+            assert canonical_result(results["a"]) == run_standalone(
+                service_graph, query, POOL_SEED
+            )
+
+    def test_followers_observe_the_leaders_error(self, unreachable_graph, gate_engine):
+        query = MaximizeQuery("s", "t", budget=2, num_realizations=50)
+        gated = gate_engine(unreachable_graph)
+        with QueryService(unreachable_graph, engine=gated, seed=POOL_SEED) as service:
+            errors: list[BaseException] = []
+
+            def run():
+                try:
+                    service.submit(query)
+                except BaseException as error:
+                    errors.append(error)
+
+            leader = threading.Thread(target=run)
+            leader.start()
+            assert gated.entered.wait(timeout=30.0)
+            follower = threading.Thread(target=run)
+            follower.start()
+            while service.metrics().requests < 2:
+                pass
+            gated.release.set()
+            leader.join(timeout=30.0)
+            follower.join(timeout=30.0)
+            assert len(errors) == 2
+            assert all(isinstance(error, AlgorithmError) for error in errors)
+            assert errors[0] is errors[1]  # one execution, one error object
+
+    def test_batch_duplicates_coalesce_exactly(self, service_graph, hot_pair):
+        queries = _queries(hot_pair)
+        wave = [queries[0], queries[1], queries[0], queries[0], queries[2], queries[1]]
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            results = service.submit_many(wave)
+            metrics = service.metrics()
+            assert metrics.requests == len(wave)
+            assert metrics.executed == 3  # distinct queries
+            assert metrics.coalesced == 3  # duplicates
+            assert canonical_result(results[0]) == canonical_result(results[2])
+            assert canonical_result(results[0]) == canonical_result(results[3])
+            assert canonical_result(results[1]) == canonical_result(results[5])
+
+
+class TestAdmissionControl:
+    def test_in_flight_limit_rejects_new_executions(
+        self, service_graph, hot_pair, gated_engine
+    ):
+        source, target = hot_pair
+        hot = EvaluateQuery(source, target, invitation=frozenset({1, 2, target}))
+        other = EvaluateQuery(source, target, invitation=frozenset({3, 4, target}))
+        with QueryService(
+            service_graph, engine=gated_engine, seed=POOL_SEED, max_in_flight=1
+        ) as service:
+            holder = threading.Thread(target=lambda: service.submit(hot))
+            holder.start()
+            assert gated_engine.entered.wait(timeout=30.0)
+            # A different query would need a second execution: refused.
+            with pytest.raises(ServiceOverloadedError):
+                service.submit(other)
+            # A duplicate coalesces onto the in-flight execution: admitted.
+            joined: list = []
+            follower = threading.Thread(target=lambda: joined.append(service.submit(hot)))
+            follower.start()
+            while service.metrics().coalesced < 1:
+                pass
+            gated_engine.release.set()
+            holder.join(timeout=30.0)
+            follower.join(timeout=30.0)
+            metrics = service.metrics()
+            assert metrics.rejected == 1
+            assert metrics.requests == metrics.executed + metrics.coalesced + metrics.rejected
+            # The limit frees up once the execution finishes.
+            assert service.submit(other) is not None
+
+    def test_per_query_sample_budget(self, service_graph, hot_pair):
+        source, target = hot_pair
+        with QueryService(service_graph, seed=POOL_SEED, max_query_samples=500) as service:
+            with pytest.raises(ServiceRejectedError):
+                service.submit(EvaluateQuery(source, target, num_samples=501))
+            with pytest.raises(ServiceRejectedError):
+                service.submit(PmaxQuery(source, target, max_samples=100_000))
+            with pytest.raises(ServiceRejectedError):
+                service.submit(MaximizeQuery(source, target, budget=2, num_realizations=600))
+            admitted = service.submit(
+                EvaluateQuery(source, target, invitation={target}, num_samples=500)
+            )
+            assert admitted.num_samples == 500
+            metrics = service.metrics()
+            assert metrics.rejected == 3
+            assert metrics.requests == metrics.executed + metrics.coalesced + metrics.rejected
+
+    def test_unsupported_query_type_rejected(self, service_graph):
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            with pytest.raises(ServiceError):
+                service.submit("not a query")
+
+    def test_invalid_limits_rejected(self, service_graph):
+        with pytest.raises(ValueError):
+            QueryService(service_graph, max_in_flight=0)
+        with pytest.raises(ValueError):
+            QueryService(service_graph, max_query_samples=0)
+
+    def test_foreign_engine_rejected(self, service_graph, unreachable_graph):
+        foreign = create_engine(unreachable_graph, "python")
+        with pytest.raises(EngineError):
+            QueryService(service_graph, engine=foreign)
+
+
+class TestMetrics:
+    def test_counters_reconcile_and_rates_are_consistent(self, service_graph, hot_pair):
+        queries = _queries(hot_pair)
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            service.submit_many(queries * 4)
+            metrics = service.metrics()
+            assert metrics.requests == metrics.executed + metrics.coalesced + metrics.rejected
+            assert metrics.requests == len(queries) * 4
+            assert metrics.coalesce_rate == metrics.coalesced / (
+                metrics.executed + metrics.coalesced
+            )
+            assert 0.0 <= metrics.pool_hit_rate <= 1.0
+            assert metrics.samples_served > 0
+            assert metrics.latency_p50 > 0.0
+            assert metrics.latency_p50 <= metrics.latency_p90 <= metrics.latency_p99
+
+    def test_fresh_service_reports_zeroes(self, service_graph):
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            metrics = service.metrics()
+            assert metrics.requests == 0
+            assert metrics.coalesce_rate == 0.0
+            assert metrics.pool_hit_rate == 0.0
+            assert metrics.latency_p99 == 0.0
+
+
+class TestAsyncFrontend:
+    def test_concurrent_awaits_coalesce(self, service_graph, hot_pair, gated_engine):
+        source, target = hot_pair
+        query = EvaluateQuery(source, target, invitation=frozenset({1, 2, target}))
+
+        async def drive(service):
+            first = asyncio.create_task(service.submit_async(query))
+            second = asyncio.create_task(service.submit_async(query))
+            # Wait until both submissions have registered (leader in flight,
+            # follower attached), then release the gate.
+            while service.metrics().requests < 2:
+                await asyncio.sleep(0.001)
+            metrics = service.metrics()
+            assert (metrics.executed, metrics.coalesced) == (1, 1)
+            gated_engine.release.set()
+            return await asyncio.gather(first, second)
+
+        with QueryService(service_graph, engine=gated_engine, seed=POOL_SEED) as service:
+            first, second = asyncio.run(drive(service))
+            assert canonical_result(first) == canonical_result(second)
+            assert canonical_result(first) == run_standalone(service_graph, query, POOL_SEED)
+
+    def test_async_answers_match_sync(self, service_graph, hot_pair):
+        queries = _queries(hot_pair)
+
+        async def drive(service):
+            return await asyncio.gather(*(service.submit_async(q) for q in queries))
+
+        with QueryService(service_graph, seed=POOL_SEED) as async_service:
+            async_results = [canonical_result(r) for r in asyncio.run(drive(async_service))]
+        with QueryService(service_graph, seed=POOL_SEED) as sync_service:
+            sync_results = [canonical_result(sync_service.submit(q)) for q in queries]
+        assert async_results == sync_results
+
+
+class TestPercentiles:
+    def test_nearest_rank_definition(self):
+        from repro.service.query_service import _percentile
+
+        hundred = [float(n) for n in range(1, 101)]
+        assert _percentile(hundred, 0.50) == 50.0
+        assert _percentile(hundred, 0.90) == 90.0
+        assert _percentile(hundred, 0.99) == 99.0  # not the maximum
+        assert _percentile([1.0, 2.0], 0.50) == 1.0
+        assert _percentile([7.0], 0.99) == 7.0
+
+
+class TestQueryValidation:
+    def test_bad_parameters_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            PmaxQuery(0, 1, epsilon=-0.1)
+        with pytest.raises(ValueError):
+            EvaluateQuery(0, 1, num_samples=0)
+        with pytest.raises(ValueError):
+            MaximizeQuery(0, 1, budget=0)
+
+    def test_invitation_iterables_are_canonicalized(self):
+        assert EvaluateQuery(0, 1, invitation=[3, 2, 3]) == EvaluateQuery(
+            0, 1, invitation=frozenset({2, 3})
+        )

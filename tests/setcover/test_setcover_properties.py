@@ -1,0 +1,165 @@
+"""Property-based tests for the set-cover package (msc / budgeted / mpu).
+
+Random weighted hypergraphs drive the three solver families through their
+structural contracts:
+
+* **feasibility** -- every solver's output actually covers what it claims
+  (``covered_weight`` consistent with the system, targets met, budgets
+  respected, covers inside the universe);
+* **monotonicity** -- the budgeted cover's weight never drops when the
+  budget grows (the regression the greedy's budget-dependent first pick
+  used to cause), and the exact MpU optimum never shrinks when ``p`` grows;
+* **the approximation invariant** -- on instances small enough for the
+  exact solver, every heuristic is at least as large as the optimum and the
+  Chlamtáč subroutine stays within its quoted ``2√|U|`` factor.
+
+Hypothesis runs derandomized (the repo convention for property suites), so
+a passing example stays passing in CI.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleCoverError
+from repro.setcover.budgeted import budgeted_trace_cover
+from repro.setcover.hypergraph import SetSystem
+from repro.setcover.mpu import (
+    chlamtac_mpu,
+    chlamtac_ratio_bound,
+    exact_mpu,
+    greedy_min_union,
+    smallest_sets_union,
+)
+from repro.setcover.msc import MSC_SOLVERS, greedy_node_cover, minimum_subset_cover
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Small universes keep the exact solver tractable while still producing
+#: overlapping, duplicated member sets (the regime the traces live in).
+_members = st.frozensets(st.integers(min_value=0, max_value=9), min_size=1, max_size=4)
+
+
+@st.composite
+def systems(draw, max_sets: int = 8):
+    """A random weighted :class:`SetSystem` with 1..max_sets member sets."""
+    sets = draw(st.lists(_members, min_size=1, max_size=max_sets))
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=5),
+            min_size=len(sets),
+            max_size=len(sets),
+        )
+    )
+    return SetSystem(sets, weights)
+
+
+@st.composite
+def systems_with_target(draw, max_sets: int = 8):
+    """A random system plus a feasible cover target ``1 <= p <= total weight``."""
+    system = draw(systems(max_sets=max_sets))
+    p = draw(st.integers(min_value=1, max_value=system.total_weight))
+    return system, p
+
+
+class TestMscFeasibility:
+    @pytest.mark.parametrize("solver", sorted(MSC_SOLVERS))
+    @given(data=systems_with_target())
+    @SETTINGS
+    def test_cover_meets_target_inside_universe(self, solver, data):
+        system, p = data
+        result = minimum_subset_cover(system, p, solver=solver)
+        assert result.feasible
+        assert result.covered_weight >= p
+        assert result.cover <= system.universe
+        assert result.covered_weight == system.covered_weight(result.cover)
+
+    @given(data=systems_with_target())
+    @SETTINGS
+    def test_node_greedy_feasible(self, data):
+        system, p = data
+        result = greedy_node_cover(system, p)
+        assert result.covered_weight >= p
+        assert result.cover <= system.universe
+
+    @given(system=systems())
+    @SETTINGS
+    def test_target_above_total_weight_rejected(self, system):
+        with pytest.raises(InfeasibleCoverError):
+            minimum_subset_cover(system, system.total_weight + 1)
+
+
+class TestBudgetedProperties:
+    @given(system=systems(), budget=st.integers(min_value=1, max_value=12))
+    @SETTINGS
+    def test_budget_respected_and_weight_consistent(self, system, budget):
+        result = budgeted_trace_cover(system, budget)
+        assert result.size <= budget
+        assert result.covered_weight == system.covered_weight(result.cover)
+        assert result.cover <= system.universe
+
+    @given(system=systems())
+    @SETTINGS
+    def test_coverage_monotone_under_budget_increase(self, system):
+        """More budget can never cover less (regression: the single-pass
+        ratio greedy violated this when a large trace crowded out a cheaper
+        combination at the bigger budget)."""
+        previous = -1
+        for budget in range(1, len(system.universe) + 2):
+            covered = budgeted_trace_cover(system, budget).covered_weight
+            assert covered >= previous
+            previous = covered
+
+    @given(system=systems())
+    @SETTINGS
+    def test_universe_budget_covers_everything(self, system):
+        result = budgeted_trace_cover(system, len(system.universe))
+        assert result.covered_weight == system.total_weight
+
+
+class TestMpuProperties:
+    @given(data=systems_with_target())
+    @SETTINGS
+    def test_heuristics_feasible(self, data):
+        system, p = data
+        deduped = system.deduplicate()
+        for solver in (greedy_min_union, smallest_sets_union, chlamtac_mpu):
+            result = solver(deduped, p)
+            assert result.covered_weight >= p
+            assert result.union == deduped.union_of(result.selected_indices)
+
+    @given(data=systems_with_target(max_sets=6))
+    @SETTINGS
+    def test_exact_is_optimal_and_heuristics_respect_the_bound(self, data):
+        """The greedy approximation invariant: no heuristic beats the exact
+        optimum, and the Chlamtáč subroutine stays within ``2√|U|`` of it."""
+        system, p = data
+        deduped = system.deduplicate()
+        optimum = exact_mpu(deduped, p)
+        assert optimum.covered_weight >= p
+        for solver in (greedy_min_union, smallest_sets_union, chlamtac_mpu):
+            candidate = solver(deduped, p)
+            assert candidate.union_size >= optimum.union_size
+        bound = chlamtac_ratio_bound(deduped.num_sets)
+        assert bound == 2.0 * math.sqrt(deduped.num_sets)
+        assert chlamtac_mpu(deduped, p).union_size <= math.ceil(bound * optimum.union_size)
+
+    @given(system=systems(max_sets=6))
+    @SETTINGS
+    def test_exact_optimum_monotone_in_p(self, system):
+        """Covering more realizations can only need a (weakly) larger union."""
+        deduped = system.deduplicate()
+        previous = 0
+        for p in range(1, deduped.total_weight + 1):
+            union_size = exact_mpu(deduped, p).union_size
+            assert union_size >= previous
+            previous = union_size
