@@ -7,15 +7,27 @@ Measures reverse-sampled paths/second on a synthetic benchmark graph for
   baseline the engine speedups are tracked against;
 * ``python`` -- :class:`repro.diffusion.engine.PythonEngine` (CSR + binary
   search, bit-compatible with the seed sampler);
-* ``numpy`` -- :class:`repro.diffusion.engine.NumpyEngine` (vectorized
-  lockstep batches), skipped when numpy is unavailable.
+* ``numpy`` -- :class:`repro.diffusion.engine.NumpyEngine` through the
+  legacy object interface (``sample_paths``: the columnar kernel plus full
+  :class:`TargetPath` materialization), skipped when numpy is unavailable;
+* ``numpy-batch`` -- the same engine consumed columnarly
+  (``sample_path_batch`` + array-native type-1 counting, no per-path
+  objects): the representation every batch-aware consumer (estimators,
+  pool, parallel IPC) actually uses.  Its ``columnar_speedup`` field is
+  its throughput relative to the *python* engine -- the headline number
+  the CI bench job gates (>= 3x absolute via ``--min-columnar-speedup``,
+  <= 30% drift via ``compare_bench.py --metric columnar_speedup``).
 
-Results (paths/sec and speedups over the seed sampler) are printed and
-written to ``BENCH_engine.json`` at the repository root so the performance
-trajectory is tracked from PR to PR.  Run standalone with::
+Before timing anything, the benchmark asserts the columnar kernel is
+bit-identical to the retained per-walker reference kernel
+(``sample_paths_reference``) on the benchmark workload, so a fast-but-
+wrong kernel can never post a number.  Results (paths/sec and speedups
+over the seed sampler) are printed and written to ``BENCH_engine.json`` at
+the repository root so the performance trajectory is tracked from PR to
+PR.  Run standalone with::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--output PATH]
-        [--paths N] [--nodes N]
+        [--paths N] [--nodes N] [--min-columnar-speedup X]
 
 or via pytest (smaller sample counts, plus a regression assertion).  The CI
 ``bench`` job runs the standalone form on every push and gates merges with
@@ -27,6 +39,7 @@ from __future__ import annotations
 import argparse
 import json
 import random
+import sys
 import time
 from pathlib import Path
 
@@ -96,6 +109,22 @@ def _time_sampler(label, sample_many, num_paths, repeats=3):
     return num_paths / best, type1
 
 
+def _assert_columnar_bit_identity(graph, target, stop_set, count=4000):
+    """The columnar kernel must reproduce the legacy object path exactly.
+
+    Asserted inside the benchmark (on the benchmark graph, before timing)
+    so a kernel that got faster by drifting from the reference stream
+    fails the bench job instead of posting a number.
+    """
+    engine = create_engine(graph, "numpy")
+    batch = engine.sample_path_batch(target, stop_set, count, rng=_SEED)
+    reference = engine.sample_paths_reference(target, stop_set, count, rng=_SEED)
+    assert batch.to_paths() == reference, (
+        "columnar PathBatch kernel diverged from the per-walker reference kernel"
+    )
+    assert batch.type1_bytes() == bytes(1 if path.is_type1 else 0 for path in reference)
+
+
 def run_benchmark(num_paths: int = 30_000, num_nodes: int = 3000):
     """Time every backend and return the result rows."""
     graph, source, target = _benchmark_graph(num_nodes=num_nodes)
@@ -119,6 +148,17 @@ def run_benchmark(num_paths: int = 30_000, num_nodes: int = 3000):
 
         samplers[name] = run_engine
 
+    if "numpy" in available_engines():
+        _assert_columnar_bit_identity(graph, target, stop_set)
+        batch_engine = create_engine(graph, "numpy")
+
+        def run_batch(count, engine=batch_engine):
+            # Columnar end to end: the type-1 count comes off the is_type1
+            # column; no TargetPath object is ever constructed.
+            return engine.sample_path_batch(target, stop_set, count, rng=_SEED).type1_count()
+
+        samplers["numpy-batch"] = run_batch
+
     results = {}
     baseline = None
     for label, sampler in samplers.items():
@@ -130,11 +170,17 @@ def run_benchmark(num_paths: int = 30_000, num_nodes: int = 3000):
             "type1_fraction": round(type1 / num_paths, 4),
             "speedup_vs_dict_seed": round(rate / baseline, 2) if baseline else None,
         }
+    if "numpy-batch" in results:
+        python_rate = results["python"]["paths_per_sec"]
+        results["numpy-batch"]["columnar_speedup"] = round(
+            results["numpy-batch"]["paths_per_sec"] / python_rate, 2
+        )
     return {
         "benchmark": "engine_throughput",
         "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges, "model": "barabasi-albert"},
         "pair": {"source": source, "target": target},
         "num_paths": num_paths,
+        "bit_identical": "numpy" in available_engines(),
         "results": results,
     }
 
@@ -158,6 +204,17 @@ def test_engine_throughput():
     print(json.dumps(report, indent=2))
     speedup = report["results"]["python"]["speedup_vs_dict_seed"]
     assert speedup >= 1.5, f"python engine only {speedup}x over the seed sampler"
+    results = report["results"]
+    if "numpy" in results:
+        # The engine-inversion guard: a vectorized backend that loses to
+        # the pure-Python one must fail loudly (it shipped silently at
+        # PR 1-4), and the columnar path must deliver a real multiple.
+        python_row, numpy_row = results["python"], results["numpy"]
+        assert numpy_row["speedup_vs_dict_seed"] >= python_row["speedup_vs_dict_seed"], (
+            "numpy engine slower than the python engine"
+        )
+        columnar = results["numpy-batch"]["columnar_speedup"]
+        assert columnar >= 1.5, f"columnar kernel only {columnar}x over the python engine"
     # The engines must agree with the baseline on what they sample.
     rates = [row["type1_fraction"] for row in report["results"].values()]
     assert max(rates) - min(rates) <= 0.05
@@ -171,7 +228,20 @@ if __name__ == "__main__":
                         help="reverse-sampled paths per backend (default: 30000)")
     parser.add_argument("--nodes", type=int, default=3000,
                         help="benchmark graph size (default: 3000)")
+    parser.add_argument("--min-columnar-speedup", type=float, default=None,
+                        help="fail unless the columnar numpy kernel reaches this "
+                             "multiple of the python engine's throughput")
     cli_args = parser.parse_args()
     report = run_benchmark(num_paths=cli_args.paths, num_nodes=cli_args.nodes)
     write_report(report, cli_args.output)
     print(json.dumps(report, indent=2))
+    if cli_args.min_columnar_speedup is not None:
+        row = report["results"].get("numpy-batch")
+        columnar = row["columnar_speedup"] if row else 0.0
+        if columnar < cli_args.min_columnar_speedup:
+            print(
+                f"FAIL: columnar speedup {columnar}x below required "
+                f"{cli_args.min_columnar_speedup}x",
+                file=sys.stderr,
+            )
+            sys.exit(1)

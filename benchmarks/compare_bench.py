@@ -3,7 +3,7 @@
 Used by the CI ``bench`` job::
 
     python benchmarks/compare_bench.py BENCH_engine.json fresh.json \
-        --max-regression 0.30
+        --max-regression 0.30 --require "numpy>=python"
     python benchmarks/compare_bench.py BENCH_pool.json fresh.json \
         --metric speedup_vs_no_pool --max-regression 0.30
 
@@ -18,6 +18,14 @@ re-timed in the same fresh run).  A row whose fresh metric falls more than
 gate; rows present in only one report, and rows without the metric, are
 reported but never gated.  Absolute context (paths/sec or seconds) is
 printed alongside when available.
+
+``--require "A>=B"`` adds a *cross-row* assertion on the fresh report:
+row ``A``'s metric must be at least row ``B``'s.  This is how the bench
+job encodes invariants the per-row regression gate cannot see -- e.g.
+``numpy>=python`` guards against the vectorized backend silently losing
+to the pure-Python one (which is exactly what happened, ungated, at
+PRs 1-4).  A required row missing from the fresh report, or missing the
+metric, fails the gate rather than passing vacuously.
 """
 
 from __future__ import annotations
@@ -34,6 +42,40 @@ def _context(row: dict) -> str:
     if "seconds" in row:
         return f"{row['seconds']}s"
     return "-"
+
+
+def parse_requirement(spec: str) -> tuple[str, str]:
+    """Parse one ``--require`` spec of the form ``"row_a>=row_b"``."""
+    left, separator, right = spec.partition(">=")
+    if not separator or not left.strip() or not right.strip():
+        raise SystemExit(f"--require expects 'row_a>=row_b', got {spec!r}")
+    return left.strip(), right.strip()
+
+
+def check_requirements(fresh: dict, metric: str, requirements: list[str]) -> list[str]:
+    """Cross-row assertions on the fresh report (see the module docstring)."""
+    failures: list[str] = []
+    results = fresh["results"]
+    for spec in requirements:
+        stronger, weaker = parse_requirement(spec)
+        values = []
+        for name in (stronger, weaker):
+            row = results.get(name)
+            value = row.get(metric) if row is not None else None
+            if value is None:
+                failures.append(
+                    f"--require {spec!r}: row {name!r} is missing (or lacks the "
+                    f"metric {metric!r}) in the fresh report"
+                )
+                break
+            values.append(value)
+        else:
+            if values[0] < values[1]:
+                failures.append(
+                    f"--require {spec!r} violated: {stronger}={values[0]} < "
+                    f"{weaker}={values[1]} ({metric})"
+                )
+    return failures
 
 
 def compare(baseline: dict, fresh: dict, max_regression: float, metric: str) -> list[str]:
@@ -98,10 +140,16 @@ def main(argv: list[str] | None = None) -> int:
         "--metric", default="speedup_vs_dict_seed",
         help="per-row ratio field to gate on (default: speedup_vs_dict_seed)",
     )
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="A>=B",
+        help="cross-row assertion on the fresh report: row A's metric must be "
+             "at least row B's (repeatable)",
+    )
     args = parser.parse_args(argv)
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
     failures = compare(baseline, fresh, args.max_regression, args.metric)
+    failures.extend(check_requirements(fresh, args.metric, args.require))
     if failures:
         print("\nBENCH REGRESSION:", file=sys.stderr)
         for failure in failures:

@@ -127,13 +127,12 @@ def maximize_acceptance_probability(
     source_friends = graph.neighbor_set(source)
     if pool is not None:
         resolve_engine(graph, pool.engine)
-        paths = [
-            path
-            for path in pool.paths(
-                target, source_friends, num_realizations, stream=STREAM_REALIZATIONS
-            )
-            if path.is_type1
-        ]
+        # Order-preserving columnar filter (see run_sampling_framework):
+        # type-0 traces are skipped at the column level on batch-backed
+        # pools and never become objects.
+        paths = pool.type1_paths(
+            target, source_friends, num_realizations, stream=STREAM_REALIZATIONS
+        )
         num_type1 = len(paths)
     else:
         resolved = maybe_parallel(resolve_engine(graph, engine), workers)

@@ -215,12 +215,13 @@ def estimate_pmax(
             # abandons the iterator when it halts or raises), so the
             # reader's cursor stays aligned with the consumed stream and
             # draw_batch continues exactly where the warm prefix ended.
+            # Indicators are read straight off the pool's columns -- no
+            # path objects are materialized for the warm prefix either.
             while True:
                 segment = min(reader.cached_remaining(), 4096)
                 if segment <= 0:
                     return
-                for path in reader.take(segment):
-                    value = 1 if path.is_type1 else 0
+                for value in reader.take_type1_bytes(segment):
                     observed["count"] += 1
                     observed["successes"] += value
                     yield value
@@ -228,7 +229,7 @@ def estimate_pmax(
         warm = warm_values()
 
         def draw_batch(size: int) -> bytes:
-            values = bytes(1 if path.is_type1 else 0 for path in reader.take(size))
+            values = reader.take_type1_bytes(size)
             observed["count"] += len(values)
             observed["successes"] += sum(values)
             return values
@@ -308,13 +309,12 @@ def run_sampling_framework(
 
     if pool is not None:
         resolve_engine(problem.compiled, pool.engine)
-        paths = [
-            path
-            for path in pool.paths(
-                problem.target, source_friends, num_realizations, stream=STREAM_REALIZATIONS
-            )
-            if path.is_type1
-        ]
+        # Order-preserving columnar filter: on batch-backed pools the
+        # type-0 traces are skipped at the column level and never become
+        # objects (identical to filtering pool.paths, minus the cost).
+        paths = pool.type1_paths(
+            problem.target, source_friends, num_realizations, stream=STREAM_REALIZATIONS
+        )
         num_type1 = len(paths)
     else:
         resolved = maybe_parallel(resolve_engine(problem.compiled, engine), workers)

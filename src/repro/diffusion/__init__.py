@@ -13,12 +13,16 @@ This package implements the stochastic substrate of the paper:
   the RAF algorithm.
 * The batch sampling engines (:mod:`repro.diffusion.engine`) that run the
   reverse walks on the compiled CSR snapshot -- a pure-Python backend plus
-  an optional numpy-vectorized one, selected by name.
+  an optional numpy-vectorized one, selected by name -- and the columnar
+  :class:`~repro.diffusion.path_batch.PathBatch` representation
+  (:mod:`repro.diffusion.path_batch`) the vectorized backend emits
+  natively.
 * An independent-cascade variant (:mod:`repro.diffusion.cascade_model`) used
   for the discussion of the Yang et al. line of work (extension; not needed
   by RAF itself).
 """
 
+from repro.diffusion.path_batch import PathBatch, PathStore
 from repro.diffusion.engine import (
     ENGINE_NAMES,
     NumpyEngine,
@@ -62,6 +66,8 @@ __all__ = [
     "forward_process",
     "trace_target_path",
     "TargetPath",
+    "PathBatch",
+    "PathStore",
     "sample_target_path",
     "sample_target_paths",
     "SamplingEngine",

@@ -18,10 +18,19 @@ defines the one interface all of those go through:
   whole batch of walks in lockstep: uniform draws and friend selections for
   all active walks are computed with one `numpy` call per step (the friend
   selection uses a single ``searchsorted`` over a globally shifted
-  cumulative-weight array).  It draws from a ``numpy`` generator seeded
-  from the caller's ``rng``, so it is deterministic per seed but follows
-  its own stream.  It degrades cleanly: importing this module never
-  requires numpy, only constructing the engine does.
+  cumulative-weight array), cycle detection runs against an epoch-stamped
+  visited matrix, and finished walks are compacted out with boolean masks
+  -- zero per-walker Python bookkeeping.  The kernel emits a columnar
+  :class:`~repro.diffusion.path_batch.PathBatch` directly
+  (:meth:`~NumpyEngine.sample_path_batch`); ``sample_paths`` is a lazy
+  object view of the same columns and is bit-identical, draw for draw, to
+  the historical per-walker lockstep kernel (retained, micro-optimized, as
+  :meth:`~NumpyEngine.sample_paths_reference` -- the fallback when the
+  visited matrix would not fit in memory, and the reference the columnar
+  kernel is asserted against).  The engine draws from a ``numpy``
+  generator seeded from the caller's ``rng``, so it is deterministic per
+  seed but follows its own stream.  It degrades cleanly: importing this
+  module never requires numpy, only constructing the engine does.
 
 Engines are selected by name (``"python"``, ``"numpy"`` or ``"auto"``)
 via :func:`create_engine`; :class:`~repro.core.raf.RAFConfig` and the CLI's
@@ -32,9 +41,9 @@ and the determinism contract.
 from __future__ import annotations
 
 from bisect import bisect_right
-from dataclasses import dataclass
 from typing import Iterable, Protocol, runtime_checkable
 
+from repro.diffusion.path_batch import PathBatch, TargetPath
 from repro.exceptions import EngineError
 from repro.graph.compiled import CompiledGraph, compile_graph
 from repro.graph.social_graph import SocialGraph
@@ -49,6 +58,7 @@ except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
 
 __all__ = [
     "TargetPath",
+    "PathBatch",
     "SamplingEngine",
     "PythonEngine",
     "NumpyEngine",
@@ -69,50 +79,16 @@ ENGINE_NAMES = ("python", "numpy", "auto")
 DEFAULT_CHUNK_SIZE = 8192
 
 
-@dataclass(frozen=True, slots=True)
-class TargetPath:
-    """One sampled backward trace ``t(ĝ)``.
-
-    Attributes
-    ----------
-    nodes:
-        The traced users (always contains the target).  For a type-0
-        realization these are the users visited before the walk died; they
-        are retained for diagnostics but can never be covered.
-    is_type1:
-        Whether the walk reached the initiator's friend circle, i.e.
-        whether ℵ0 ∉ t(g) (Definition 2).  Only type-1 paths can contribute
-        to the acceptance probability.
-    anchor:
-        For a type-1 path, the friend of the initiator that the walk
-        reached (the ``u* ∈ N_s`` of Alg. 1, *not* part of ``t(g)``);
-        ``None`` for type-0 paths.
-    """
-
-    nodes: frozenset
-    is_type1: bool
-    anchor: NodeId | None = None
-
-    def covered_by(self, invitation: Iterable[NodeId]) -> bool:
-        """Whether an invitation set covers this realization (Lemma 2).
-
-        A type-0 path is never covered; a type-1 path is covered iff every
-        traced user received an invitation.
-        """
-        if not self.is_type1:
-            return False
-        invited = invitation if isinstance(invitation, (set, frozenset)) else frozenset(invitation)
-        return self.nodes <= invited
-
-    def __len__(self) -> int:
-        return len(self.nodes)
-
-
 @runtime_checkable
 class SamplingEngine(Protocol):
     """The batch reverse-sampling interface consumed by every layer above."""
 
     name: str
+
+    #: Whether :meth:`sample_path_batch` produces columnar batches natively
+    #: (without materializing per-path objects first).  Consumers use this
+    #: to decide between the columnar and the object fast path.
+    native_batches: bool
 
     @property
     def compiled(self) -> CompiledGraph:
@@ -131,6 +107,17 @@ class SamplingEngine(Protocol):
         """Draw ``count`` independent backward traces from ``target``."""
         ...
 
+    def sample_path_batch(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
+    ) -> PathBatch:
+        """Draw ``count`` backward traces as one columnar :class:`PathBatch`.
+
+        Bit-identical to ``sample_paths`` for the same arguments: the
+        batch's lazy views materialize exactly the paths ``sample_paths``
+        would have returned, in the same order.
+        """
+        ...
+
 
 class _EngineBase:
     """Shared plumbing: compiled-graph binding and the single-path shortcut.
@@ -145,6 +132,10 @@ class _EngineBase:
     """
 
     __slots__ = ("_graph", "_compiled")
+
+    #: Object-path engines columnarize via PathBatch.from_paths; the
+    #: vectorized engine overrides this (its kernel is array-native).
+    native_batches = False
 
     def __init__(self, graph: SocialGraph | CompiledGraph) -> None:
         if isinstance(graph, CompiledGraph):
@@ -172,6 +163,18 @@ class _EngineBase:
     ) -> TargetPath:
         """Draw one backward trace from ``target``."""
         return self.sample_paths(target, stop_set, 1, rng=rng)[0]
+
+    def sample_path_batch(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
+    ) -> PathBatch:
+        """Draw ``count`` traces as a columnar batch (generic adapter).
+
+        Samples through the engine's own ``sample_paths`` (so the draws --
+        and the resulting paths -- are exactly those of the object path)
+        and columnarizes afterwards.  Array-native engines override this.
+        """
+        compiled = self.compiled  # snapshot first so the columns match the draws
+        return PathBatch.from_paths(self.sample_paths(target, stop_set, count, rng=rng), compiled)
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"<{type(self).__name__} graph={self._compiled!r}>"
@@ -236,19 +239,50 @@ class PythonEngine(_EngineBase):
 
 
 class NumpyEngine(_EngineBase):
-    """Vectorized engine: lockstep batched walks with numpy draws.
+    """Vectorized engine: fully array-native lockstep batched walks.
 
     Per step, the uniform draws and the per-walk friend selections are one
     ``Generator.random`` and one ``searchsorted`` call for the whole active
-    batch; only the (cheap) per-walk set bookkeeping stays in Python.  The
-    friend selection uses the shifted-cumulative trick: entry ``j`` of node
-    ``v`` is stored as ``stride·v + cum_weights[j]`` with ``stride`` larger
-    than any node's total weight, which makes the concatenated array
-    globally sorted so one binary search resolves every walker at once.
+    batch.  The friend selection uses the shifted-cumulative trick: entry
+    ``j`` of node ``v`` is stored as ``stride·v + cum_weights[j]`` with
+    ``stride`` larger than any node's total weight, which makes the
+    concatenated array globally sorted so one binary search resolves every
+    walker at once.
+
+    The columnar kernel (:meth:`sample_path_batch`) keeps *everything*
+    array-native: cycle detection runs against a persistent epoch-stamped
+    visited matrix (one ``uint8`` cell per (walker slot, node); a new epoch
+    per batch makes re-zeroing unnecessary), finished walks are compacted
+    out with boolean masks, and the surviving per-step frontiers are
+    scattered into a CSR-of-paths :class:`PathBatch` at the end -- no
+    per-walker Python bookkeeping at all.  It consumes the numpy stream
+    draw for draw like the historical per-walker kernel (one
+    ``Generator.random(live)`` per lockstep round, walkers in stable
+    order), so the produced paths are bit-identical to pre-columnar
+    releases; :meth:`sample_paths_reference` retains that historical
+    kernel as the reference path, and also serves as the fallback when the
+    visited matrix for a request would exceed
+    :data:`NumpyEngine.STAMP_CELL_LIMIT` cells.
     """
 
-    __slots__ = ("_np", "_indptr", "_parents", "_shifted", "_stride")
+    __slots__ = ("_np", "_indptr", "_parents", "_shifted", "_stride", "_stamps", "_stamp_epoch")
     name = "numpy"
+    native_batches = True
+
+    #: Upper bound on visited-matrix cells (walker slots × nodes) for the
+    #: columnar kernel; one cell is one uint8, so the default caps the
+    #: matrix at 256 MiB.  Larger requests fall back to the per-walker
+    #: reference kernel (identical draws, identical paths).
+    STAMP_CELL_LIMIT = 1 << 28
+
+    #: Visited matrices up to this many cells (128 MiB of uint8) stay
+    #: resident on the engine between batches -- the epoch-stamp trick then
+    #: skips both re-zeroing and re-faulting their pages, which is most of
+    #: the win for repeated large batches.  Anything larger is dropped
+    #: after its batch, so one oversized request never pins hundreds of
+    #: MiB on a long-lived engine (or on every forked worker of a
+    #: ParallelEngine, whose per-chunk batches are far below this cap).
+    STAMP_RETAIN_CELLS = 1 << 27
 
     def __init__(self, graph: SocialGraph | CompiledGraph) -> None:
         if _np is None:
@@ -271,33 +305,183 @@ class NumpyEngine(_EngineBase):
         self._stride = float(np.ceil(totals.max() + 2.0)) if totals.size else 2.0
         owner = np.repeat(np.arange(len(compiled), dtype=np.int64), np.diff(self._indptr))
         self._shifted = cum + self._stride * owner
+        # The visited matrix is per-topology (its width is the node count).
+        self._stamps = None
+        self._stamp_epoch = 0
 
-    def sample_paths(
-        self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
-    ) -> list[TargetPath]:
-        require_non_negative_int(count, "count")
-        np = self._np
+    # ------------------------------------------------------------------ #
+    # Shared batch setup
+    # ------------------------------------------------------------------ #
+
+    def _batch_rng(self, rng: RandomSource):
         # Derive the numpy stream from the caller's random.Random source so a
         # single seed still controls the whole run deterministically.
-        nprng = np.random.default_rng(ensure_rng(rng).getrandbits(64))
-        compiled = self.compiled  # re-snapshots (and rebinds arrays) if stale
-        start = compiled.index_of(target)
-        ids = compiled.nodes
-        if count == 0:
-            return []
-        if self._parents.size == 0:  # edgeless graph: every walk dies at once
-            return [TargetPath(nodes=frozenset({target}), is_type1=False) for _ in range(count)]
+        return self._np.random.default_rng(ensure_rng(rng).getrandbits(64))
+
+    def _stop_mask(self, compiled: CompiledGraph, stop_set: Iterable[NodeId]):
+        np = self._np
         stop_mask = np.zeros(len(compiled), dtype=bool)
         stop_indices = compiled.indices_of(stop_set)
         if stop_indices:
-            stop_mask[list(stop_indices)] = True
+            stop_mask[np.fromiter(stop_indices, dtype=np.int64, count=len(stop_indices))] = True
+        return stop_mask
 
+    def _visited_stamps(self, count: int, num_nodes: int):
+        """The epoch-stamped visited matrix, grown/recycled as needed.
+
+        A cell equals the current epoch iff that walker slot visited that
+        node *in this batch*; bumping the epoch invalidates every stamp at
+        once, so the matrix is zeroed only when the uint8 epoch wraps
+        (every 255 batches) instead of on every call.
+        """
+        np = self._np
+        stamps = self._stamps
+        if stamps is None or stamps.shape[0] < count or stamps.shape[1] != num_nodes:
+            rows = max(count, stamps.shape[0] if stamps is not None else 0)
+            stamps = self._stamps = np.zeros((rows, num_nodes), dtype=np.uint8)
+            self._stamp_epoch = 0
+        if self._stamp_epoch >= 255:
+            stamps.fill(0)
+            self._stamp_epoch = 0
+        self._stamp_epoch += 1
+        return stamps, np.uint8(self._stamp_epoch)
+
+    # ------------------------------------------------------------------ #
+    # The columnar kernel
+    # ------------------------------------------------------------------ #
+
+    def sample_path_batch(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
+    ) -> PathBatch:
+        require_non_negative_int(count, "count")
+        np = self._np
+        nprng = self._batch_rng(rng)
+        compiled = self.compiled  # re-snapshots (and rebinds arrays) if stale
+        start = compiled.index_of(target)
+        if count == 0:
+            return PathBatch.empty(compiled)
+        if self._parents.size == 0:  # edgeless graph: every walk dies at once
+            offsets = np.arange(count + 1, dtype=np.int64)
+            return PathBatch(
+                offsets,
+                np.full(count, start, dtype=np.int64),
+                np.zeros(count, dtype=bool),
+                np.full(count, -1, dtype=np.int64),
+                compiled,
+            )
+        stop_mask = self._stop_mask(compiled, stop_set)
+        if count * len(compiled) > self.STAMP_CELL_LIMIT:
+            # The visited matrix would not fit: fall back to the per-walker
+            # reference kernel (same draws, same paths) and columnarize.
+            paths = self._reference_kernel(compiled, start, stop_mask, count, nprng)
+            return PathBatch.from_paths(paths, compiled)
+        try:
+            return self._columnar_kernel(compiled, start, stop_mask, count, nprng)
+        finally:
+            stamps = self._stamps
+            if stamps is not None and stamps.size > self.STAMP_RETAIN_CELLS:
+                self._stamps = None  # oversized: rebuilt (zeroed) on demand
+                self._stamp_epoch = 0
+
+    def _columnar_kernel(self, compiled, start, stop_mask, count, nprng) -> PathBatch:
+        np = self._np
         indptr = self._indptr
         parents = self._parents
         shifted = self._shifted
         stride = self._stride
-        results: list[TargetPath | None] = [None] * count
+        last_entry = parents.size - 1
+        stamps, epoch = self._visited_stamps(count, len(compiled))
+
+        rows = np.arange(count, dtype=np.int64)  # walker slot = output position
+        current = np.full(count, start, dtype=np.int64)
+        stamps[rows, start] = epoch
+        is_type1 = np.zeros(count, dtype=bool)
+        anchors = np.full(count, -1, dtype=np.int64)
+        step_rows: list = []  # per lockstep round: the walkers that continued
+        step_nodes: list = []  # ... and the node each of them moved to
+        while rows.size:
+            draws = nprng.random(rows.size)
+            locations = np.searchsorted(shifted, stride * current + draws, side="right")
+            alive = locations < indptr[current + 1]
+            chosen = parents[np.minimum(locations, last_entry)]
+            # Precedence exactly as the per-walker kernels: a draw in the
+            # stop-probability tail or a revisited node ends the walk as
+            # type-0 *before* the stop set is consulted.
+            revisit = stamps[rows, chosen] == epoch
+            hit_stop = stop_mask[chosen]
+            stopped = alive & ~revisit & hit_stop
+            cont = alive & ~revisit & ~hit_stop
+            finished = rows[stopped]
+            is_type1[finished] = True
+            anchors[finished] = chosen[stopped]
+            rows = rows[cont]
+            current = chosen[cont]
+            stamps[rows, current] = epoch
+            step_rows.append(rows)
+            step_nodes.append(current)
+
+        # Assemble the CSR-of-paths columns: each walker's trace is its
+        # start node followed by the nodes of the rounds it survived.
+        lengths = np.ones(count, dtype=np.int64)
+        walked = np.concatenate(step_rows) if step_rows else np.empty(0, dtype=np.int64)
+        if walked.size:
+            lengths += np.bincount(walked, minlength=count)
+        offsets = np.zeros(count + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        node_indices = np.empty(int(offsets[-1]), dtype=np.int64)
+        cursor = offsets[:-1].copy()
+        node_indices[cursor] = start
+        cursor += 1
+        for survivors, frontier in zip(step_rows, step_nodes):
+            if survivors.size:
+                slots = cursor[survivors]
+                node_indices[slots] = frontier
+                cursor[survivors] = slots + 1
+        return PathBatch(offsets, node_indices, is_type1, anchors, compiled)
+
+    def sample_paths(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
+    ) -> list[TargetPath]:
+        return self.sample_path_batch(target, stop_set, count, rng=rng).to_paths()
+
+    # ------------------------------------------------------------------ #
+    # The historical per-walker kernel, retained as the reference path
+    # ------------------------------------------------------------------ #
+
+    def sample_paths_reference(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
+    ) -> list[TargetPath]:
+        """The pre-columnar lockstep kernel (per-walker set bookkeeping).
+
+        Consumes the numpy stream identically to :meth:`sample_path_batch`
+        and returns the identical paths; kept as the memory-frugal
+        fallback for huge (batch × graph) requests and as the reference
+        the columnar kernel is asserted against (benchmarks and the
+        equivalence test suites).
+        """
+        require_non_negative_int(count, "count")
+        nprng = self._batch_rng(rng)
+        compiled = self.compiled
+        start = compiled.index_of(target)
+        if count == 0:
+            return []
+        if self._parents.size == 0:
+            return [TargetPath(nodes=frozenset({target}), is_type1=False) for _ in range(count)]
+        stop_mask = self._stop_mask(compiled, stop_set)
+        return self._reference_kernel(compiled, start, stop_mask, count, nprng)
+
+    def _reference_kernel(self, compiled, start, stop_mask, count, nprng) -> list[TargetPath]:
+        np = self._np
+        indptr = self._indptr
+        parents = self._parents
+        shifted = self._shifted
+        stride = self._stride
+        ids = compiled.nodes
+        # Dense results first, ids mapped in one bulk pass at the end: the
+        # per-walker loop only juggles ints and sets.
         traced: list[set[int]] = [{start} for _ in range(count)]
+        flags = bytearray(count)
+        anchor_of: dict[int, int] = {}
         walkers: list[int] = list(range(count))
         current: list[int] = [start] * count
         while walkers:
@@ -317,22 +501,25 @@ class NumpyEngine(_EngineBase):
                 nodes_seen = traced[walker]
                 parent = chosen[k]
                 if not alive[k] or parent in nodes_seen:
-                    results[walker] = TargetPath(
-                        nodes=frozenset(ids[i] for i in nodes_seen), is_type1=False
-                    )
+                    pass  # type-0: flags[walker] stays 0
                 elif stop_hit[k]:
-                    results[walker] = TargetPath(
-                        nodes=frozenset(ids[i] for i in nodes_seen),
-                        is_type1=True,
-                        anchor=ids[parent],
-                    )
+                    flags[walker] = 1
+                    anchor_of[walker] = parent
                 else:
                     nodes_seen.add(parent)
                     next_walkers.append(walker)
                     next_current.append(parent)
             walkers = next_walkers
             current = next_current
-        return results  # type: ignore[return-value]
+        lookup = ids.__getitem__
+        return [
+            TargetPath(
+                nodes=frozenset(map(lookup, nodes_seen)),
+                is_type1=bool(flag),
+                anchor=ids[anchor_of[walker]] if flag else None,
+            )
+            for walker, (nodes_seen, flag) in enumerate(zip(traced, flags))
+        ]
 
 
 _ENGINE_TYPES: dict[str, type] = {
@@ -441,12 +628,18 @@ def collect_type1_paths(
     require_non_negative_int(count, "count")
     generator = ensure_rng(rng)
     stop = stop_set if isinstance(stop_set, (set, frozenset)) else frozenset(stop_set)
+    native = getattr(engine, "native_batches", False)
     type1: list[TargetPath] = []
     remaining = count
     while remaining > 0:
         batch = min(chunk_size, remaining)
-        for path in engine.sample_paths(target, stop, batch, rng=generator):
-            if path.is_type1:
-                type1.append(path)
+        if native:
+            # Columnar filter: type-0 traces never become objects at all.
+            drawn = engine.sample_path_batch(target, stop, batch, rng=generator)
+            type1.extend(drawn.type1_paths_slice(0, len(drawn)))
+        else:
+            for path in engine.sample_paths(target, stop, batch, rng=generator):
+                if path.is_type1:
+                    type1.append(path)
         remaining -= batch
     return type1, len(type1)

@@ -1,0 +1,496 @@
+"""Columnar (CSR-of-paths) batches of reverse-sampled target paths.
+
+Everything the RAF pipeline does with randomness reduces to drawing
+backward traces ``t(ĝ)`` (Remark 3), and every estimator above the engine
+consumes *functions of* those traces: the type indicator ``y(ĝ)`` for
+``pmax`` (Alg. 2 / Corollary 2), the Lemma-2 covered-trace indicator for
+``f(I)``, and the type-1 node sets for the MSC instance (Alg. 3).  Holding
+each trace as a Python :class:`TargetPath` (a ``frozenset`` per sample)
+makes the *object materialization* the dominant cost of the vectorized
+sampling backend — the per-path ``frozenset`` construction outweighs the
+``searchsorted`` step that actually samples.
+
+:class:`PathBatch` keeps a whole batch in flat columns instead:
+
+* ``offsets``/``node_indices`` — a CSR layout of the traced node sets,
+  path ``i`` owning the dense node indices
+  ``node_indices[offsets[i]:offsets[i+1]]`` (the
+  :class:`~repro.graph.compiled.CompiledGraph` interning; the target is
+  always the first entry);
+* ``is_type1`` — one flag per path (whether the walk reached ``N_s``);
+* ``anchor_indices`` — the dense index of the type-1 anchor ``u* ∈ N_s``
+  (``-1`` for type-0 paths).
+
+Batches are produced natively by the vectorized engine
+(:meth:`repro.diffusion.engine.NumpyEngine.sample_path_batch`), travel
+between worker processes as packed array buffers (pickling drops the graph
+reference so only the columns cross the process boundary), are stored
+per-key by the sample pool (:class:`PathStore`), and are spilled to disk
+as ``.npz`` array blobs.  Indicator reductions (:meth:`PathBatch.
+type1_bytes`, :meth:`PathBatch.covered_bytes`) run directly on the columns
+— no per-path objects are ever created on those paths.  Full back-compat
+is kept through *lazy views*: :meth:`PathBatch.path`, iteration and
+:meth:`PathBatch.to_paths` materialize bit-identical :class:`TargetPath`
+objects on demand.
+
+The module degrades cleanly without numpy: columns fall back to stdlib
+``array``/``bytearray`` storage with loop-based reductions, and only the
+``.npz`` persistence requires numpy.  See DESIGN.md §6 for the layout and
+the draw-compatibility contract.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.types import NodeId
+
+try:  # optional dependency: vectorized reductions and .npz persistence only
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.compiled import CompiledGraph
+
+__all__ = ["TargetPath", "PathBatch", "PathStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class TargetPath:
+    """One sampled backward trace ``t(ĝ)``.
+
+    Attributes
+    ----------
+    nodes:
+        The traced users (always contains the target).  For a type-0
+        realization these are the users visited before the walk died; they
+        are retained for diagnostics but can never be covered.
+    is_type1:
+        Whether the walk reached the initiator's friend circle, i.e.
+        whether ℵ0 ∉ t(g) (Definition 2).  Only type-1 paths can contribute
+        to the acceptance probability.
+    anchor:
+        For a type-1 path, the friend of the initiator that the walk
+        reached (the ``u* ∈ N_s`` of Alg. 1, *not* part of ``t(g)``);
+        ``None`` for type-0 paths.
+    """
+
+    nodes: frozenset
+    is_type1: bool
+    anchor: NodeId | None = None
+
+    def covered_by(self, invitation: Iterable[NodeId]) -> bool:
+        """Whether an invitation set covers this realization (Lemma 2).
+
+        A type-0 path is never covered; a type-1 path is covered iff every
+        traced user received an invitation.
+        """
+        if not self.is_type1:
+            return False
+        invited = invitation if isinstance(invitation, (set, frozenset)) else frozenset(invitation)
+        return self.nodes <= invited
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def _tolist(column) -> list:
+    """Plain-list view of a column regardless of its backing storage."""
+    if isinstance(column, (bytes, bytearray)):
+        return list(column)
+    return column.tolist()
+
+
+def _is_ndarray(column) -> bool:
+    return _np is not None and isinstance(column, _np.ndarray)
+
+
+def _invitation_mask(graph, invitation: Iterable[NodeId]):
+    """Dense boolean membership mask of an invitation over ``graph``'s interning."""
+    invited = graph.indices_of(invitation)
+    mask = _np.zeros(len(graph), dtype=bool)
+    if invited:
+        mask[_np.fromiter(invited, dtype=_np.int64, count=len(invited))] = True
+    return mask
+
+
+class PathBatch:
+    """A batch of backward traces held as flat columns (see module docstring).
+
+    The column attributes are read-only by convention; batches are
+    append-never (grow a :class:`PathStore` instead).  ``graph`` is the
+    :class:`~repro.graph.compiled.CompiledGraph` whose dense interning the
+    ``node_indices``/``anchor_indices`` columns refer to; it is dropped
+    when the batch is pickled (the columns alone cross process
+    boundaries) and re-attached by the receiver via :meth:`attach`.
+    """
+
+    __slots__ = ("offsets", "node_indices", "is_type1", "anchor_indices", "graph")
+
+    def __init__(self, offsets, node_indices, is_type1, anchor_indices, graph=None) -> None:
+        self.offsets = offsets
+        self.node_indices = node_indices
+        self.is_type1 = is_type1
+        self.anchor_indices = anchor_indices
+        self.graph = graph
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def empty(cls, graph=None) -> "PathBatch":
+        """A batch of zero paths."""
+        if _np is not None:
+            return cls(
+                _np.zeros(1, dtype=_np.int64),
+                _np.empty(0, dtype=_np.int64),
+                _np.empty(0, dtype=bool),
+                _np.empty(0, dtype=_np.int64),
+                graph,
+            )
+        return cls(array("q", [0]), array("q"), bytearray(), array("q"), graph)
+
+    @classmethod
+    def from_paths(cls, paths: Sequence[TargetPath], graph: "CompiledGraph") -> "PathBatch":
+        """Columnarize already-materialized :class:`TargetPath` objects.
+
+        The generic adapter for object-path engines; the vectorized engine
+        produces batches natively without ever building the objects.
+        """
+        index = graph.index_of
+        offsets = array("q", [0])
+        node_indices = array("q")
+        is_type1 = bytearray()
+        anchor_indices = array("q")
+        for path in paths:
+            node_indices.extend(index(node) for node in path.nodes)
+            offsets.append(len(node_indices))
+            is_type1.append(1 if path.is_type1 else 0)
+            anchor_indices.append(index(path.anchor) if path.is_type1 else -1)
+        if _np is None:
+            return cls(offsets, node_indices, is_type1, anchor_indices, graph)
+        return cls(
+            _np.asarray(offsets, dtype=_np.int64),
+            _np.asarray(node_indices, dtype=_np.int64),
+            _np.frombuffer(bytes(is_type1), dtype=_np.uint8).astype(bool),
+            _np.asarray(anchor_indices, dtype=_np.int64),
+            graph,
+        )
+
+    @classmethod
+    def concat(cls, batches: Sequence["PathBatch"], graph=None) -> "PathBatch":
+        """Concatenate batches (requires numpy-backed columns)."""
+        if _np is None:
+            raise RuntimeError("PathBatch.concat requires numpy")
+        if not batches:
+            return cls.empty(graph)
+        if graph is None:
+            graph = batches[0].graph
+        lengths = _np.concatenate([_np.diff(batch.offsets) for batch in batches])
+        offsets = _np.zeros(lengths.size + 1, dtype=_np.int64)
+        _np.cumsum(lengths, out=offsets[1:])
+        return cls(
+            offsets,
+            _np.concatenate([_np.asarray(batch.node_indices) for batch in batches]),
+            _np.concatenate([_np.asarray(batch.is_type1, dtype=bool) for batch in batches]),
+            _np.concatenate([_np.asarray(batch.anchor_indices) for batch in batches]),
+            graph,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection and lazy per-path views
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def total_nodes(self) -> int:
+        """Total traced-node entries across all paths in the batch."""
+        return int(self.offsets[-1])
+
+    def attach(self, graph: "CompiledGraph") -> "PathBatch":
+        """(Re-)bind the dense indices to their compiled graph; returns self."""
+        self.graph = graph
+        return self
+
+    def _ids(self) -> tuple:
+        if self.graph is None:
+            raise RuntimeError(
+                "this PathBatch is detached from its compiled graph (it crossed a "
+                "process boundary); attach() it before materializing node ids"
+            )
+        return self.graph.nodes
+
+    def path(self, i: int) -> TargetPath:
+        """Lazy view of path ``i`` as a :class:`TargetPath`."""
+        return self.paths_slice(i, i + 1)[0]
+
+    def __iter__(self) -> Iterator[TargetPath]:
+        return iter(self.to_paths())
+
+    def to_paths(self) -> list[TargetPath]:
+        """Materialize the whole batch as :class:`TargetPath` objects."""
+        return self.paths_slice(0, len(self))
+
+    def paths_slice(self, start: int, stop: int) -> list[TargetPath]:
+        """Materialize paths ``[start, stop)`` as :class:`TargetPath` objects.
+
+        Bit-identical to what the object-path engines would have returned
+        for the same draws: same node sets, flags and anchors, in the same
+        order.
+        """
+        return self._materialize(start, stop, type1_only=False)
+
+    def type1_paths_slice(self, start: int, stop: int) -> list[TargetPath]:
+        """Only the type-1 paths among ``[start, stop)``, order preserved.
+
+        Skips the (useless-for-coverage) type-0 node sets entirely, so the
+        per-path ``frozenset`` cost is paid only for paths the MSC instance
+        can actually use.
+        """
+        return self._materialize(start, stop, type1_only=True)
+
+    def _materialize(self, start: int, stop: int, type1_only: bool) -> list[TargetPath]:
+        if not 0 <= start <= stop <= len(self):
+            raise IndexError(f"path slice [{start}, {stop}) out of range for {len(self)} paths")
+        if start == stop:
+            return []
+        ids = self._ids()
+        offsets = _tolist(self.offsets[start : stop + 1])
+        base = offsets[0]
+        flat = _tolist(self.node_indices[base : offsets[-1]])
+        flags = _tolist(self.is_type1[start:stop])
+        anchors = _tolist(self.anchor_indices[start:stop])
+        out: list[TargetPath] = []
+        append = out.append
+        for k in range(stop - start):
+            flagged = flags[k]
+            if type1_only and not flagged:
+                continue
+            nodes = frozenset(map(ids.__getitem__, flat[offsets[k] - base : offsets[k + 1] - base]))
+            if flagged:
+                append(TargetPath(nodes=nodes, is_type1=True, anchor=ids[anchors[k]]))
+            else:
+                append(TargetPath(nodes=nodes, is_type1=False))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Columnar reductions (no per-path objects)
+    # ------------------------------------------------------------------ #
+
+    def type1_bytes(self, start: int = 0, stop: int | None = None) -> bytes:
+        """Type indicators ``y(ĝ)`` of paths ``[start, stop)``, one byte each."""
+        stop = len(self) if stop is None else stop
+        segment = self.is_type1[start:stop]
+        if _is_ndarray(segment):
+            return segment.tobytes()  # bool -> exactly one 0/1 byte per path
+        return bytes(segment)
+
+    def type1_count(self, start: int = 0, stop: int | None = None) -> int:
+        """How many of paths ``[start, stop)`` are type-1."""
+        stop = len(self) if stop is None else stop
+        segment = self.is_type1[start:stop]
+        if _is_ndarray(segment):
+            return int(segment.sum())
+        return sum(segment)
+
+    def covered_bytes(
+        self, invitation: Iterable[NodeId], start: int = 0, stop: int | None = None
+    ) -> bytes:
+        """Lemma-2 covered-trace indicators of paths ``[start, stop)``.
+
+        A path is covered iff it is type-1 and every traced node received
+        an invitation — computed here as one gather of a node membership
+        mask plus a segmented ``logical_and`` over the CSR layout.
+        """
+        stop = len(self) if stop is None else stop
+        if stop <= start:
+            return b""
+        graph = self.graph
+        if graph is None:
+            raise RuntimeError("covered_bytes needs the compiled graph; attach() first")
+        if not _is_ndarray(self.node_indices):
+            return bytes(
+                1 if path.covered_by(invitation) else 0 for path in self.paths_slice(start, stop)
+            )
+        return self.covered_bytes_masked(_invitation_mask(graph, invitation), start, stop)
+
+    def covered_bytes_masked(self, mask, start: int, stop: int) -> bytes:
+        """:meth:`covered_bytes` against a precomputed membership mask.
+
+        Lets multi-chunk readers (:class:`PathStore`) intern the invitation
+        once per read instead of once per chunk.
+        """
+        if stop <= start:
+            return b""
+        offsets = self.offsets
+        base = offsets[start]
+        member = mask[self.node_indices[base : offsets[stop]]]
+        starts = offsets[start:stop] - base
+        all_invited = _np.logical_and.reduceat(member, starts)
+        return (self.is_type1[start:stop] & all_invited).tobytes()
+
+    def select_type1(self) -> "PathBatch":
+        """The type-1 subset as a new batch (order preserved)."""
+        if not _is_ndarray(self.offsets):
+            if self.graph is None:
+                raise RuntimeError("select_type1 on a detached non-numpy batch")
+            return PathBatch.from_paths(self.type1_paths_slice(0, len(self)), self.graph)
+        keep = _np.asarray(self.is_type1, dtype=bool)
+        lengths = _np.diff(self.offsets)
+        node_indices = self.node_indices[_np.repeat(keep, lengths)]
+        kept_lengths = lengths[keep]
+        offsets = _np.zeros(kept_lengths.size + 1, dtype=_np.int64)
+        _np.cumsum(kept_lengths, out=offsets[1:])
+        return PathBatch(
+            offsets, node_indices, self.is_type1[keep], self.anchor_indices[keep], self.graph
+        )
+
+    # ------------------------------------------------------------------ #
+    # Wire and disk formats
+    # ------------------------------------------------------------------ #
+
+    def __getstate__(self):
+        # The graph reference never crosses a process boundary: workers and
+        # parents each hold their own (forked) snapshot, so only the packed
+        # columns are shipped.  Receivers re-attach() their snapshot.
+        return (self.offsets, self.node_indices, self.is_type1, self.anchor_indices)
+
+    def __setstate__(self, state) -> None:
+        self.offsets, self.node_indices, self.is_type1, self.anchor_indices = state
+        self.graph = None
+
+    def save_npz(self, path) -> None:
+        """Persist the columns as one ``.npz`` array blob (requires numpy)."""
+        if _np is None or not _is_ndarray(self.offsets):
+            raise RuntimeError("save_npz requires numpy-backed columns")
+        _np.savez(
+            path,
+            offsets=self.offsets,
+            node_indices=self.node_indices,
+            is_type1=self.is_type1,
+            anchor_indices=self.anchor_indices,
+        )
+
+    @classmethod
+    def load_npz(cls, path, graph=None) -> "PathBatch":
+        """Load columns persisted by :meth:`save_npz`."""
+        if _np is None:
+            raise RuntimeError("load_npz requires numpy")
+        with _np.load(path) as data:
+            return cls(
+                _np.asarray(data["offsets"], dtype=_np.int64),
+                _np.asarray(data["node_indices"], dtype=_np.int64),
+                _np.asarray(data["is_type1"], dtype=bool),
+                _np.asarray(data["anchor_indices"], dtype=_np.int64),
+                graph,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"<PathBatch paths={len(self)} nodes={self.total_nodes} "
+            f"type1={self.type1_count()} attached={self.graph is not None}>"
+        )
+
+
+class PathStore:
+    """Chunked storage of one stream's materialized prefix.
+
+    The sample pool appends whole engine chunks — :class:`PathBatch`
+    columns from batch-native engines, plain ``list[TargetPath]`` chunks
+    from object-path engines — and serves reads across chunk boundaries.
+    Columnar chunks stay columnar end to end: indicator reads reduce on
+    the arrays, and :class:`TargetPath` objects are built only when a
+    caller explicitly asks for them.
+    """
+
+    __slots__ = ("_chunks", "_bounds")
+
+    def __init__(self) -> None:
+        self._chunks: list = []
+        self._bounds: list[int] = [0]
+
+    def __len__(self) -> int:
+        return self._bounds[-1]
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._chunks)
+
+    def chunks(self) -> tuple:
+        """The stored chunks, in stream order (for spilling)."""
+        return tuple(self._chunks)
+
+    def append(self, chunk) -> None:
+        """Append one engine chunk (a :class:`PathBatch` or a path list)."""
+        self._chunks.append(chunk)
+        self._bounds.append(self._bounds[-1] + len(chunk))
+
+    def _segments(self, start: int, stop: int):
+        """Yield ``(chunk, local_start, local_stop)`` covering ``[start, stop)``."""
+        if not 0 <= start <= stop <= len(self):
+            raise IndexError(f"segment [{start}, {stop}) out of range for {len(self)} paths")
+        if start == stop:
+            return
+        first = bisect_right(self._bounds, start) - 1
+        for index in range(first, len(self._chunks)):
+            lo = self._bounds[index]
+            if lo >= stop:
+                break
+            chunk = self._chunks[index]
+            yield chunk, max(start - lo, 0), min(stop - lo, len(chunk))
+
+    def slice(self, start: int, stop: int) -> list[TargetPath]:
+        """Paths ``[start, stop)`` as :class:`TargetPath` objects (a new list)."""
+        out: list[TargetPath] = []
+        for chunk, lo, hi in self._segments(start, stop):
+            if isinstance(chunk, PathBatch):
+                out.extend(chunk.paths_slice(lo, hi))
+            else:
+                out.extend(chunk[lo:hi])
+        return out
+
+    def type1_slice(self, start: int, stop: int) -> list[TargetPath]:
+        """Only the type-1 paths among ``[start, stop)``, order preserved."""
+        out: list[TargetPath] = []
+        for chunk, lo, hi in self._segments(start, stop):
+            if isinstance(chunk, PathBatch):
+                out.extend(chunk.type1_paths_slice(lo, hi))
+            else:
+                out.extend(path for path in chunk[lo:hi] if path.is_type1)
+        return out
+
+    def type1_bytes(self, start: int, stop: int) -> bytes:
+        """Type indicators of paths ``[start, stop)``, one byte each."""
+        parts: list[bytes] = []
+        for chunk, lo, hi in self._segments(start, stop):
+            if isinstance(chunk, PathBatch):
+                parts.append(chunk.type1_bytes(lo, hi))
+            else:
+                parts.append(bytes(1 if path.is_type1 else 0 for path in chunk[lo:hi]))
+        return b"".join(parts)
+
+    def covered_bytes(self, start: int, stop: int, invitation: frozenset) -> bytes:
+        """Covered-trace indicators (Lemma 2) of paths ``[start, stop)``."""
+        parts: list[bytes] = []
+        mask = None  # interned once per read, shared across columnar chunks
+        for chunk, lo, hi in self._segments(start, stop):
+            if isinstance(chunk, PathBatch) and _is_ndarray(chunk.node_indices):
+                if chunk.graph is None:
+                    raise RuntimeError("covered_bytes needs the compiled graph; attach() first")
+                if mask is None:
+                    mask = _invitation_mask(chunk.graph, invitation)
+                parts.append(chunk.covered_bytes_masked(mask, lo, hi))
+            elif isinstance(chunk, PathBatch):
+                parts.append(chunk.covered_bytes(invitation, lo, hi))
+            else:
+                parts.append(
+                    bytes(1 if path.covered_by(invitation) else 0 for path in chunk[lo:hi])
+                )
+        return b"".join(parts)

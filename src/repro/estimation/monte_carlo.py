@@ -15,7 +15,28 @@ from typing import Callable, Sequence
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import require_positive_int
 
-__all__ = ["MonteCarloResult", "monte_carlo_mean", "monte_carlo_mean_batched"]
+__all__ = [
+    "MonteCarloResult",
+    "indicator_batch_sum",
+    "monte_carlo_mean",
+    "monte_carlo_mean_batched",
+]
+
+
+def indicator_batch_sum(values) -> int | None:
+    """Exact integer sum of a 0/1 indicator byte batch, else ``None``.
+
+    The engines' columnar reductions hand the estimators ``bytes`` of 0/1
+    type/coverage indicators; for those, integer summation is exact, so a
+    whole batch can be folded at once with a result identical to
+    per-element float folding.  Returns ``None`` for anything that is not
+    such a batch (non-bytes, or bytes with values outside {0, 1} -- the
+    caller's per-element path then owns validation), so both batched
+    estimators share one definition of the fast-path contract.
+    """
+    if isinstance(values, (bytes, bytearray)) and (not values or max(values) <= 1):
+        return sum(values)
+    return None
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,10 +114,16 @@ def monte_carlo_mean_batched(
     while remaining > 0:
         size = min(batch_size, remaining)
         values = batch_sampler(size)
-        for value in values:
-            value = float(value)
-            total += value
-            total_sq += value * value
+        batch_sum = indicator_batch_sum(values)
+        if batch_sum is not None:
+            # Indicator batch: v² == v, so both sums are the same integer.
+            total += batch_sum
+            total_sq += batch_sum
+        else:
+            for value in values:
+                value = float(value)
+                total += value
+                total_sq += value * value
         remaining -= size
     mean = total / num_samples
     variance = max(total_sq / num_samples - mean * mean, 0.0)

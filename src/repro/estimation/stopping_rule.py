@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.estimation.monte_carlo import indicator_batch_sum
 from repro.exceptions import EstimationError
 from repro.utils.validation import require, require_positive, require_positive_int
 
@@ -207,6 +208,17 @@ def stopping_rule_estimate_batched(
     def consume(values) -> bool:
         """Fold a run of samples into the running sum; True when done."""
         nonlocal total, count
+        # Indicator batches (the engines' columnar 0/1 bytes): integer sums
+        # are exact, so folding the whole batch at once leaves the running
+        # total -- and therefore the halting index -- identical to
+        # per-element folding.  A batch that would cross the threshold
+        # falls through to the loop to stop at the exact sample (nothing
+        # was consumed yet in that case).
+        batch_sum = indicator_batch_sum(values)
+        if batch_sum is not None and total + batch_sum < threshold:
+            total += batch_sum
+            count += len(values)
+            return False
         for value in values:
             value = float(value)
             if value < 0.0 or value > 1.0:

@@ -42,6 +42,7 @@ import weakref
 from typing import Iterable
 
 from repro.diffusion.engine import SamplingEngine, TargetPath, collect_type1_paths
+from repro.diffusion.path_batch import PathBatch
 from repro.exceptions import EngineError
 from repro.graph.compiled import CompiledGraph
 from repro.types import NodeId
@@ -122,9 +123,36 @@ def _sample_chunk(payload: tuple[NodeId, frozenset, int, int]) -> list[TargetPat
     return _sample_chunk_on(_WORKER_ENGINE, payload)
 
 
+def _sample_batch_chunk_on(
+    engine: SamplingEngine, payload: tuple[NodeId, frozenset, int, int]
+) -> PathBatch:
+    """Draw one chunk as a columnar batch (same seed contract as chunks).
+
+    Returned batches pickle as packed array buffers -- the graph reference
+    is dropped in transit and the parent re-attaches its own snapshot --
+    so shipping full paths between processes costs a few flat arrays
+    instead of one pickled :class:`TargetPath` per sample.
+    """
+    target, stop_set, count, seed = payload
+    return engine.sample_path_batch(target, stop_set, count, rng=random.Random(seed))
+
+
+def _sample_batch_chunk(payload: tuple[NodeId, frozenset, int, int]) -> PathBatch:
+    assert _WORKER_ENGINE is not None, "worker pool used before initialization"
+    return _sample_batch_chunk_on(_WORKER_ENGINE, payload)
+
+
+def _chunk_sampler_for(engine: SamplingEngine):
+    """Worker-side chunk sampler: columnar for batch-native base engines."""
+    if getattr(engine, "native_batches", False):
+        return _sample_batch_chunk_on
+    return _sample_chunk_on
+
+
 def _reduce_chunk_on(engine: SamplingEngine, payload) -> object:
     reducer, target, stop_set, count, seed, arg = payload
-    return reducer(engine.sample_paths(target, stop_set, count, rng=random.Random(seed)), arg)
+    chunk = _chunk_sampler_for(engine)(engine, (target, stop_set, count, seed))
+    return reducer(chunk, arg)
 
 
 def _reduce_chunk(payload) -> object:
@@ -135,17 +163,24 @@ def _reduce_chunk(payload) -> object:
 # Chunk reducers.  Applied worker-side so a chunk's IPC cost is one byte per
 # sample (indicators) or only the useful paths (type-1 filtering) instead of
 # every pickled TargetPath; must be top-level functions so they pickle by
-# reference.
-def _type1_indicator_bytes(paths: list[TargetPath], _arg) -> bytes:
-    return bytes(1 if path.is_type1 else 0 for path in paths)
+# reference.  Each accepts either chunk form: a columnar PathBatch (reduced
+# on the arrays, no per-path objects) or a plain path list.
+def _type1_indicator_bytes(chunk, _arg) -> bytes:
+    if isinstance(chunk, PathBatch):
+        return chunk.type1_bytes()
+    return bytes(1 if path.is_type1 else 0 for path in chunk)
 
 
-def _covered_indicator_bytes(paths: list[TargetPath], invited: frozenset) -> bytes:
-    return bytes(1 if path.covered_by(invited) else 0 for path in paths)
+def _covered_indicator_bytes(chunk, invited: frozenset) -> bytes:
+    if isinstance(chunk, PathBatch):
+        return chunk.covered_bytes(invited)
+    return bytes(1 if path.covered_by(invited) else 0 for path in chunk)
 
 
-def _type1_paths_only(paths: list[TargetPath], _arg) -> list[TargetPath]:
-    return [path for path in paths if path.is_type1]
+def _type1_paths_only(chunk, _arg):
+    if isinstance(chunk, PathBatch):
+        return chunk.select_type1()  # ships as packed columns, type-1 only
+    return [path for path in chunk if path.is_type1]
 
 
 def _shutdown_pool(pool) -> None:
@@ -212,6 +247,12 @@ class ParallelEngine:
         """The frozen CSR snapshot the wrapped engine samples from."""
         return self._base.compiled
 
+    @property
+    def native_batches(self) -> bool:
+        """Columnar when the wrapped engine is (batches then travel as
+        packed array buffers between the workers and the parent)."""
+        return getattr(self._base, "native_batches", False)
+
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"<ParallelEngine base={self._base!r} workers={self._workers}>"
 
@@ -275,6 +316,25 @@ class ParallelEngine:
         chunks = self._run_chunks(target, stop_set, count, rng)
         return [path for chunk in chunks for path in chunk]
 
+    def sample_path_batch(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
+    ) -> PathBatch:
+        """Draw ``count`` traces as one columnar batch (chunked fan-out).
+
+        Chunk layout and seeds are exactly those of :meth:`sample_paths`,
+        so the batch's lazy views materialize the identical path list; with
+        a batch-native base engine each worker ships packed columns instead
+        of pickled paths, and the per-chunk batches are concatenated in
+        chunk order on the parent.
+        """
+        compiled = self.compiled
+        if not self.native_batches:
+            return PathBatch.from_paths(
+                self.sample_paths(target, stop_set, count, rng=rng), compiled
+            )
+        chunks = self._run_chunks(target, stop_set, count, rng, batches=True)
+        return PathBatch.concat([chunk.attach(compiled) for chunk in chunks], compiled)
+
     def sample_seeded_chunks(
         self,
         target: NodeId,
@@ -292,6 +352,31 @@ class ParallelEngine:
         function of the seeds, worker-count independent), and each worker's
         shard is merged back deterministically by position.
         """
+        return self._run_seeded(target, stop_set, sized_seeds, _sample_chunk, _sample_chunk_on)
+
+    def sample_seeded_batches(
+        self,
+        target: NodeId,
+        stop_set: Iterable[NodeId],
+        sized_seeds: "list[tuple[int, int]]",
+    ) -> list[PathBatch]:
+        """Columnar variant of :meth:`sample_seeded_chunks`.
+
+        Chunk ``i`` is ``sample_path_batch(target, stop_set, count_i,
+        rng=random.Random(seed_i))`` on the base engine, so its lazy views
+        materialize exactly the paths :meth:`sample_seeded_chunks` would
+        have returned for the same seeds -- but full-path collection now
+        ships packed array columns across the process boundary instead of
+        one pickled :class:`TargetPath` per sample.  This is the fan-out
+        the sample pool uses to extend columnar keys.
+        """
+        compiled = self.compiled
+        chunks = self._run_seeded(
+            target, stop_set, sized_seeds, _sample_batch_chunk, _sample_batch_chunk_on
+        )
+        return [chunk.attach(compiled) for chunk in chunks]
+
+    def _run_seeded(self, target, stop_set, sized_seeds, run_pooled, run_local) -> list:
         stop = stop_set if isinstance(stop_set, frozenset) else frozenset(stop_set)
         payloads = []
         for size, seed in sized_seeds:
@@ -300,8 +385,8 @@ class ParallelEngine:
         if not payloads:
             return []
         if self._workers > 1 and len(payloads) > 1 and fork_available():
-            return self._ensure_pool().map(_sample_chunk, payloads)
-        return [_sample_chunk_on(self._base, payload) for payload in payloads]
+            return self._ensure_pool().map(run_pooled, payloads)
+        return [run_local(self._base, payload) for payload in payloads]
 
     def sample_reduced(
         self,
@@ -324,7 +409,9 @@ class ParallelEngine:
         """
         return self._run_chunks(target, stop_set, count, rng, reducer=reducer, arg=arg)
 
-    def _run_chunks(self, target, stop_set, count, rng, reducer=None, arg=None) -> list:
+    def _run_chunks(
+        self, target, stop_set, count, rng, reducer=None, arg=None, batches=False
+    ) -> list:
         require_non_negative_int(count, "count")
         generator = ensure_rng(rng)
         stop = stop_set if isinstance(stop_set, frozenset) else frozenset(stop_set)
@@ -340,6 +427,8 @@ class ParallelEngine:
         if reducer is not None:
             payloads = [(reducer, *payload, arg) for payload in payloads]
             run_pooled, run_local = _reduce_chunk, _reduce_chunk_on
+        elif batches:
+            run_pooled, run_local = _sample_batch_chunk, _sample_batch_chunk_on
         else:
             run_pooled, run_local = _sample_chunk, _sample_chunk_on
         if self._workers > 1 and len(payloads) > 1 and fork_available():
@@ -390,6 +479,8 @@ def sample_type1_indicators(
     """The type indicators ``y(ĝ)`` of ``count`` reverse samples, one byte each."""
     if isinstance(engine, ParallelEngine):
         return b"".join(engine.sample_reduced(target, stop_set, count, rng, _type1_indicator_bytes))
+    if getattr(engine, "native_batches", False):
+        return engine.sample_path_batch(target, stop_set, count, rng=rng).type1_bytes()
     return _type1_indicator_bytes(engine.sample_paths(target, stop_set, count, rng=rng), None)
 
 
@@ -408,6 +499,8 @@ def sample_covered_indicators(
                 target, stop_set, count, rng, _covered_indicator_bytes, arg=invitation
             )
         )
+    if getattr(engine, "native_batches", False):
+        return engine.sample_path_batch(target, stop_set, count, rng=rng).covered_bytes(invitation)
     return _covered_indicator_bytes(
         engine.sample_paths(target, stop_set, count, rng=rng), invitation
     )
@@ -429,7 +522,15 @@ def collect_type1(
     boundary.
     """
     if isinstance(engine, ParallelEngine):
+        compiled = engine.compiled
         chunks = engine.sample_reduced(target, stop_set, count, rng, _type1_paths_only)
-        paths = [path for chunk in chunks for path in chunk]
+        paths: list[TargetPath] = []
+        for chunk in chunks:
+            if isinstance(chunk, PathBatch):
+                # Packed type-1 columns off the wire; objects built here,
+                # once, only for the paths the MSC instance will consume.
+                paths.extend(chunk.attach(compiled).to_paths())
+            else:
+                paths.extend(chunk)
         return paths, len(paths)
     return collect_type1_paths(engine, target, stop_set, count, rng=rng)

@@ -34,23 +34,39 @@ all.  ``reuse=False`` turns the pool into a pass-through that re-draws
 every request from the same canonical streams -- the "pool disabled"
 reference that pooled results are bit-identical to.
 
+Columnar storage (DESIGN.md §6)
+-------------------------------
+
+Chunks are stored exactly as the engine hands them over: batch-native
+engines (the vectorized backend, alone or behind a
+:class:`~repro.parallel.engine.ParallelEngine`) yield columnar
+:class:`~repro.diffusion.path_batch.PathBatch` chunks whose columns never
+decay into per-path objects inside the pool -- indicator reads
+(:meth:`SamplePool.type1_indicators`,
+:meth:`SamplePool.covered_indicators`) reduce directly on the arrays, and
+:class:`TargetPath` objects are materialized lazily only where a caller
+asks for them.  Object-path engines store plain path lists; both forms
+serve the same canonical streams.
+
 Memory is bounded two ways: at most ``max_targets`` keys are cached (LRU
 by key), and an optional ``budget`` caps the total cached paths across
 keys (least-recently-used keys are dropped first; the key currently being
-served is never dropped).  With ``spill_dir`` set, evicted keys are
-written as canonical JSON (same sorted-keys/indent encoding as
-:mod:`repro.experiments.records`) and transparently re-loaded on the next
-miss, so cold pools survive eviction -- and processes -- at the cost of a
-file read instead of a re-draw.
+served is never dropped).  With ``spill_dir`` set, evicted keys persist
+as *append-safe per-chunk blobs*: each chunk is written once, as a
+``.npz`` array blob for columnar chunks or canonical JSON for object
+chunks, under a name derived from the key digest *and* the (pool seed,
+chunk size, CSR digest) triple -- so re-evicting a grown key writes only
+the new chunks (eviction cost is O(new samples), not O(key)), and spills
+from a foreign seed or a dead topology are simply never found.  A small
+``.meta.json`` per key (rewritten on each spill, O(1)) records the key
+metadata for validation and debugging.
 
 Cached paths are only meaningful for the topology they were sampled from.
 The pool therefore pins the engine's compiled CSR snapshot: when the
 source graph is mutated (the engine re-snapshots, see
 :mod:`repro.graph.compiled`), every cached entry is discarded and the
 streams are re-drawn from the current snapshot -- the prefix contract then
-holds *per topology*.  Spill files record a digest of the CSR they were
-sampled from and are ignored when it no longer matches, exactly like
-foreign-seed spills.
+holds *per topology*.
 """
 
 from __future__ import annotations
@@ -62,9 +78,10 @@ import random
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.diffusion.engine import SamplingEngine, TargetPath
+from repro.diffusion.path_batch import PathBatch, PathStore
 from repro.parallel.engine import ParallelEngine
 from repro.types import NodeId, ordered
 from repro.utils.rng import derive_seed
@@ -72,6 +89,11 @@ from repro.utils.validation import (
     require_non_negative_int,
     require_positive_int,
 )
+
+try:  # optional dependency: .npz spill blobs only
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
 
 __all__ = [
     "DEFAULT_POOL_CHUNK",
@@ -107,8 +129,8 @@ def _csr_digest(compiled) -> str:
     Computed only when the snapshot actually changes (and once at pool
     construction), it covers the interned node ids and the full weighted
     adjacency arrays, so any mutation that could change a sampled path
-    changes the digest.  Stable across processes (used to validate spill
-    files against the topology that wrote them).
+    changes the digest.  Stable across processes (used to key spill
+    files to the topology that wrote them).
     """
     digest = hashlib.sha256()
     digest.update(repr(compiled.nodes).encode("utf-8"))
@@ -155,6 +177,10 @@ class PoolStats:
         Keys dropped by the LRU/budget policy.
     spills, loads:
         Keys written to / restored from the spill directory.
+    chunk_writes:
+        Chunk blobs actually written to the spill directory.  Chunks
+        already on disk are never rewritten (the append-safe contract), so
+        re-evicting a grown key increments this only by the new chunks.
     """
 
     keys: int
@@ -164,18 +190,19 @@ class PoolStats:
     evictions: int
     spills: int
     loads: int
+    chunk_writes: int
 
 
 @dataclass(slots=True)
 class _PoolEntry:
-    """In-memory state of one key: its paths plus the key metadata needed
-    to extend or spill it without re-deriving anything."""
+    """In-memory state of one key: its chunk store plus the key metadata
+    needed to extend or spill it without re-deriving anything."""
 
     target: NodeId
     stop_set: frozenset
     stream: str
     key_seed: int
-    paths: list[TargetPath] = field(default_factory=list)
+    store: PathStore = field(default_factory=PathStore)
     chunks_drawn: int = 0
 
 
@@ -189,6 +216,8 @@ class SamplePool:
         from (any backend, including a
         :class:`~repro.parallel.engine.ParallelEngine`, whose seeded-chunk
         fan-out the pool uses to extend multiple chunks concurrently).
+        Batch-native engines fill the pool with columnar
+        :class:`~repro.diffusion.path_batch.PathBatch` chunks.
     seed:
         The pool's base seed.  Everything the pool ever returns is a pure
         function of ``(seed, key, index)``; derive it from the run's base
@@ -201,7 +230,9 @@ class SamplePool:
         Optional cap on total cached paths across keys (LRU eviction down
         to the cap; the key being served is never evicted).
     spill_dir:
-        Optional directory for canonical-JSON spill files of evicted keys.
+        Optional directory for append-safe per-chunk spill blobs of
+        evicted keys (``.npz`` for columnar chunks, canonical JSON for
+        object chunks, plus one ``.meta.json`` per key).
     reuse:
         ``False`` disables caching entirely: every request re-draws from
         the same canonical streams.  Results are bit-identical either way;
@@ -240,6 +271,7 @@ class SamplePool:
         self._evictions = 0
         self._spills = 0
         self._loads = 0
+        self._chunk_writes = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -282,19 +314,20 @@ class SamplePool:
         """Current counters (see :class:`PoolStats`)."""
         return PoolStats(
             keys=len(self._entries),
-            cached_paths=sum(len(entry.paths) for entry in self._entries.values()),
+            cached_paths=sum(len(entry.store) for entry in self._entries.values()),
             drawn_paths=self._drawn,
             served_paths=self._served,
             evictions=self._evictions,
             spills=self._spills,
             loads=self._loads,
+            chunk_writes=self._chunk_writes,
         )
 
     def cached_count(self, target: NodeId, stop_set: Iterable[NodeId], stream: str = "") -> int:
         """How many samples of this key are materialized in memory right now."""
         digest = pool_key_digest(target, stop_set, stream)
         entry = self._entries.get(digest)
-        return len(entry.paths) if entry is not None else 0
+        return len(entry.store) if entry is not None else 0
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         stats = self.stats()
@@ -331,29 +364,44 @@ class SamplePool:
     def _chunk_seed(self, key_seed: int, index: int) -> int:
         return derive_seed(random.Random(key_seed), f"pool-chunk-{index}")
 
-    def _draw_chunks(self, entry: _PoolEntry, first: int, last: int) -> list[TargetPath]:
-        """Draw chunks ``[first, last)`` of the entry's canonical stream."""
+    def _draw_chunks(self, entry: _PoolEntry, first: int, last: int) -> list:
+        """Draw chunks ``[first, last)`` of the entry's canonical stream.
+
+        Returns one chunk per index -- a columnar batch from batch-native
+        engines, a path list otherwise -- ready to append to the store.
+        """
         sized_seeds = [
             (self._chunk_size, self._chunk_seed(entry.key_seed, index))
             for index in range(first, last)
         ]
-        if isinstance(self._engine, ParallelEngine):
-            chunks = self._engine.sample_seeded_chunks(entry.target, entry.stop_set, sized_seeds)
-        else:
+        engine = self._engine
+        if isinstance(engine, ParallelEngine):
+            if engine.native_batches:
+                chunks = engine.sample_seeded_batches(entry.target, entry.stop_set, sized_seeds)
+            else:
+                chunks = engine.sample_seeded_chunks(entry.target, entry.stop_set, sized_seeds)
+        elif getattr(engine, "native_batches", False):
             chunks = [
-                self._engine.sample_paths(entry.target, entry.stop_set, size, rng=random.Random(seed))
+                engine.sample_path_batch(
+                    entry.target, entry.stop_set, size, rng=random.Random(seed)
+                )
                 for size, seed in sized_seeds
             ]
-        paths = [path for chunk in chunks for path in chunk]
-        self._drawn += len(paths)
-        return paths
+        else:
+            chunks = [
+                engine.sample_paths(entry.target, entry.stop_set, size, rng=random.Random(seed))
+                for size, seed in sized_seeds
+            ]
+        self._drawn += sum(len(chunk) for chunk in chunks)
+        return chunks
 
     def _extend(self, entry: _PoolEntry, count: int) -> None:
         """Materialize the entry's stream up to at least ``count`` paths."""
-        if len(entry.paths) >= count:
+        if len(entry.store) >= count:
             return
         last = -(-count // self._chunk_size)  # ceil
-        entry.paths.extend(self._draw_chunks(entry, entry.chunks_drawn, last))
+        for chunk in self._draw_chunks(entry, entry.chunks_drawn, last):
+            entry.store.append(chunk)
         entry.chunks_drawn = last
 
     def _entry_for(self, target: NodeId, stop_set: Iterable[NodeId], stream: str) -> _PoolEntry:
@@ -383,16 +431,38 @@ class SamplePool:
             key_seed=self._key_seed(pool_key_digest(target, stop_set, stream)),
         )
 
-    def _read_segment(
-        self, target: NodeId, stop_set: Iterable[NodeId], start: int, upto: int, stream: str
-    ) -> list[TargetPath]:
-        """Serve samples ``[start, upto)`` of a cached key's canonical stream."""
+    def _serve_segment(
+        self,
+        target: NodeId,
+        stop_set: Iterable[NodeId],
+        start: int,
+        upto: int,
+        stream: str,
+        view: "Callable[[PathStore, int, int], object]",
+    ):
+        """Serve ``view(store, start, upto)`` of a cached key's stream."""
         entry = self._entry_for(target, stop_set, stream)
         self._extend(entry, upto)
         self._served += upto - start
-        result = entry.paths[start:upto]
+        result = view(entry.store, start, upto)
         self._evict_over_limits()
         return result
+
+    def _serve(
+        self,
+        target: NodeId,
+        stop_set: Iterable[NodeId],
+        count: int,
+        stream: str,
+        view: "Callable[[PathStore, int, int], object]",
+    ):
+        require_non_negative_int(count, "count")
+        if not self._reuse:
+            self._served += count
+            entry = self._transient_entry(target, stop_set, stream)
+            self._extend(entry, count)
+            return view(entry.store, 0, count)
+        return self._serve_segment(target, stop_set, 0, count, stream, view)
 
     def paths(
         self, target: NodeId, stop_set: Iterable[NodeId], count: int, stream: str = ""
@@ -400,27 +470,30 @@ class SamplePool:
         """The first ``count`` samples of this key's canonical stream.
 
         Cached samples are served as-is; missing ones are drawn (in whole
-        chunks) and appended first.  The returned list is a copy -- callers
-        may consume it freely without perturbing the cache.  With
-        ``reuse=False`` each call re-draws its prefix from the canonical
-        chunk seeds (sequential consumers should hold a :meth:`reader`,
-        which buffers its own key even when caching is off).
+        chunks) and appended first.  The returned list is a fresh
+        materialization -- callers may consume it freely without perturbing
+        the cache.  With ``reuse=False`` each call re-draws its prefix from
+        the canonical chunk seeds (sequential consumers should hold a
+        :meth:`reader`, which buffers its own key even when caching is off).
         """
-        require_non_negative_int(count, "count")
-        if not self._reuse:
-            self._served += count
-            entry = self._transient_entry(target, stop_set, stream)
-            self._extend(entry, count)
-            return entry.paths[:count]
-        return self._read_segment(target, stop_set, 0, count, stream)
+        return self._serve(target, stop_set, count, stream, PathStore.slice)
+
+    def type1_paths(
+        self, target: NodeId, stop_set: Iterable[NodeId], count: int, stream: str = ""
+    ) -> list[TargetPath]:
+        """Only the type-1 paths among the stream's first ``count`` samples.
+
+        Order-preserving, so it equals filtering :meth:`paths` -- but on
+        columnar chunks the type-0 traces are skipped at the column level
+        and never become objects.
+        """
+        return self._serve(target, stop_set, count, stream, PathStore.type1_slice)
 
     def type1_indicators(
         self, target: NodeId, stop_set: Iterable[NodeId], count: int, stream: str = ""
     ) -> bytes:
         """Type indicators ``y(ĝ)`` of the stream's first ``count`` samples."""
-        return bytes(
-            1 if path.is_type1 else 0 for path in self.paths(target, stop_set, count, stream)
-        )
+        return self._serve(target, stop_set, count, stream, PathStore.type1_bytes)
 
     def covered_indicators(
         self,
@@ -431,10 +504,11 @@ class SamplePool:
         stream: str = "",
     ) -> bytes:
         """Lemma-2 covered-trace indicators of the stream's first ``count`` samples."""
-        return bytes(
-            1 if path.covered_by(invitation) else 0
-            for path in self.paths(target, stop_set, count, stream)
-        )
+
+        def view(store: PathStore, start: int, stop: int) -> bytes:
+            return store.covered_bytes(start, stop, invitation)
+
+        return self._serve(target, stop_set, count, stream, view)
 
     def reader(self, target: NodeId, stop_set: Iterable[NodeId], stream: str = "") -> "PoolReader":
         """A sequential cursor over this key's canonical stream."""
@@ -446,7 +520,7 @@ class SamplePool:
 
     def _evict_over_limits(self) -> None:
         def total() -> int:
-            return sum(len(entry.paths) for entry in self._entries.values())
+            return sum(len(entry.store) for entry in self._entries.values())
 
         # Never evict the most recently served key (last in LRU order):
         # dropping a key mid-query would re-draw what was just extended.
@@ -458,10 +532,41 @@ class SamplePool:
             self._evictions += 1
             self._spill(digest, entry)
 
-    def _spill_path(self, digest: str) -> "Path | None":
-        if self._spill_dir is None:
-            return None
-        return self._spill_dir / f"pool-{digest}.json"
+    def _stream_engine_name(self) -> str:
+        """The name of the engine whose draws define the canonical streams.
+
+        A :class:`~repro.parallel.engine.ParallelEngine` is transparent
+        here: pool chunks are drawn from caller-owned seeds, so its chunk
+        contents equal its *base* engine's -- spills must stay shareable
+        across worker counts (and with the unwrapped engine).  Different
+        base backends (python vs numpy) draw different streams for the
+        same seed, so their spills must never be mistaken for each other.
+        """
+        engine = self._engine
+        base = getattr(engine, "base", engine)
+        return base.name
+
+    def _spill_tag(self, digest: str) -> str:
+        """The on-disk identity of one key's blobs.
+
+        Besides the key digest it hashes in the pool seed, the chunk size,
+        the CSR digest and the stream-defining engine backend -- everything
+        that defines the canonical chunk contents -- so a blob name *is*
+        its validity: foreign-seed, foreign-chunking, foreign-engine and
+        dead-topology spills are never even opened.
+        """
+        material = (
+            f"{digest}:{self._seed}:{self._chunk_size}:"
+            f"{self._csr_digest}:{self._stream_engine_name()}"
+        )
+        return f"{digest}-{hashlib.sha256(material.encode('utf-8')).hexdigest()[:12]}"
+
+    def _meta_path(self, tag: str) -> Path:
+        return self._spill_dir / f"pool-{tag}.meta.json"
+
+    def _chunk_paths(self, tag: str, index: int) -> tuple[Path, Path]:
+        stem = f"pool-{tag}.chunk-{index:05d}"
+        return self._spill_dir / f"{stem}.npz", self._spill_dir / f"{stem}.json"
 
     @staticmethod
     def _spillable_id(node: object) -> bool:
@@ -469,60 +574,132 @@ class SamplePool:
         # (tuples, dataclasses) is kept in memory only.
         return isinstance(node, (int, str)) and not isinstance(node, bool)
 
-    def _spill(self, digest: str, entry: _PoolEntry) -> bool:
-        path = self._spill_path(digest)
-        if path is None:
-            return False
+    @classmethod
+    def _columnar_chunk(cls, chunk) -> bool:
+        return (
+            _np is not None
+            and isinstance(chunk, PathBatch)
+            and isinstance(chunk.offsets, _np.ndarray)
+        )
+
+    def _spillable(self, entry: _PoolEntry) -> bool:
         ids = {entry.target, *entry.stop_set}
-        ids.update(node for path_ in entry.paths for node in path_.nodes)
-        if not all(self._spillable_id(node) for node in ids):
-            return False
-        payload = {
-            "digest": digest,
-            "target": entry.target,
-            "stop": ordered(entry.stop_set),
-            "stream": entry.stream,
-            "pool_seed": self._seed,
-            "chunk_size": self._chunk_size,
-            "csr": self._csr_digest,
-            "chunks_drawn": entry.chunks_drawn,
-            "paths": [
-                {
-                    "nodes": ordered(path_.nodes),
-                    "is_type1": path_.is_type1,
-                    "anchor": path_.anchor,
-                }
-                for path_ in entry.paths
-            ],
-        }
-        path.parent.mkdir(parents=True, exist_ok=True)
+        for chunk in entry.store.chunks():
+            if self._columnar_chunk(chunk):
+                continue  # dense indices only; no ids ever serialized
+            paths = chunk.to_paths() if isinstance(chunk, PathBatch) else chunk
+            ids.update(node for path in paths for node in path.nodes)
+        return all(self._spillable_id(node) for node in ids)
+
+    def _write_canonical_json(self, path: Path, payload: dict) -> None:
         # Canonical encoding (sorted keys, fixed indent) and write-then-rename,
         # exactly like the experiment record store.
         scratch = path.with_name(path.name + ".tmp")
         scratch.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
         os.replace(scratch, path)
+
+    def _write_chunk_blob(self, tag: str, index: int, chunk) -> None:
+        """Write one chunk blob unless it is already on disk (append-safe:
+        a chunk's contents are a pure function of its name, so an existing
+        blob is never rewritten)."""
+        npz_path, json_path = self._chunk_paths(tag, index)
+        if npz_path.is_file() or json_path.is_file():
+            return
+        if self._columnar_chunk(chunk):
+            scratch = npz_path.with_name(npz_path.name + ".tmp")
+            with open(scratch, "wb") as handle:
+                chunk.save_npz(handle)
+            os.replace(scratch, npz_path)
+        else:
+            paths = chunk.to_paths() if isinstance(chunk, PathBatch) else chunk
+            payload = {
+                "paths": [
+                    {
+                        "nodes": ordered(path.nodes),
+                        "is_type1": path.is_type1,
+                        "anchor": path.anchor,
+                    }
+                    for path in paths
+                ]
+            }
+            self._write_canonical_json(json_path, payload)
+        self._chunk_writes += 1
+
+    def _spill(self, digest: str, entry: _PoolEntry) -> bool:
+        if self._spill_dir is None or entry.chunks_drawn == 0:
+            return False
+        if not self._spillable(entry):
+            return False
+        tag = self._spill_tag(digest)
+        self._spill_dir.mkdir(parents=True, exist_ok=True)
+        for index, chunk in enumerate(entry.store.chunks()):
+            self._write_chunk_blob(tag, index, chunk)
+        self._write_canonical_json(
+            self._meta_path(tag),
+            {
+                "digest": digest,
+                "target": entry.target,
+                "stop": ordered(entry.stop_set),
+                "stream": entry.stream,
+                "pool_seed": self._seed,
+                "chunk_size": self._chunk_size,
+                "csr": self._csr_digest,
+                "engine": self._stream_engine_name(),
+                "chunks_drawn": entry.chunks_drawn,
+            },
+        )
         self._spills += 1
         return True
 
-    def _load_spilled(self, digest: str) -> "_PoolEntry | None":
-        """Re-materialize a key from its spill file, if one is valid.
+    def _load_chunk_blob(self, tag: str, index: int):
+        npz_path, json_path = self._chunk_paths(tag, index)
+        if npz_path.is_file():
+            if _np is None:
+                return None  # columnar blob, no numpy here: re-draw instead
+            return PathBatch.load_npz(npz_path, graph=self._snapshot)
+        if json_path.is_file():
+            payload = json.loads(json_path.read_text(encoding="utf-8"))
+            return [
+                TargetPath(
+                    nodes=frozenset(item["nodes"]),
+                    is_type1=item["is_type1"],
+                    anchor=item["anchor"],
+                )
+                for item in payload["paths"]
+            ]
+        return None
 
-        A spill recorded under a different pool seed or chunk size belongs
-        to a different canonical stream, and one recorded under a different
-        CSR digest was sampled from a topology that no longer exists; both
-        are ignored (the key is simply re-drawn) -- the append-only prefix
-        contract makes the two outcomes indistinguishable apart from cost.
+    def _load_spilled(self, digest: str) -> "_PoolEntry | None":
+        """Re-materialize a key from its spill blobs, if any are valid.
+
+        The spill tag already binds the blobs to (key, pool seed, chunk
+        size, CSR digest), so a foreign or stale spill is simply not found
+        and the key is re-drawn -- the append-only prefix contract makes
+        the two outcomes indistinguishable apart from cost.  A partial set
+        of blobs (e.g. an interrupted spill) loads as a shorter prefix.
         """
-        path = self._spill_path(digest)
-        if path is None or not path.is_file():
+        if self._spill_dir is None:
             return None
-        payload = json.loads(path.read_text(encoding="utf-8"))
-        if (
+        tag = self._spill_tag(digest)
+        meta_path = self._meta_path(tag)
+        if not meta_path.is_file():
+            return None
+        payload = json.loads(meta_path.read_text(encoding="utf-8"))
+        if (  # the tag construction implies these; keep them as a backstop
             payload.get("digest") != digest
             or payload.get("pool_seed") != self._seed
             or payload.get("chunk_size") != self._chunk_size
             or payload.get("csr") != self._csr_digest
+            or payload.get("engine") != self._stream_engine_name()
         ):
+            return None
+        store = PathStore()
+        for index in range(int(payload["chunks_drawn"])):
+            chunk = self._load_chunk_blob(tag, index)
+            if chunk is None:
+                break  # later blobs without this one would break the prefix
+            store.append(chunk)
+        if store.num_chunks == 0:
             return None
         self._loads += 1
         return _PoolEntry(
@@ -530,15 +707,8 @@ class SamplePool:
             stop_set=frozenset(payload["stop"]),
             stream=payload["stream"],
             key_seed=self._key_seed(digest),
-            paths=[
-                TargetPath(
-                    nodes=frozenset(item["nodes"]),
-                    is_type1=item["is_type1"],
-                    anchor=item["anchor"],
-                )
-                for item in payload["paths"]
-            ],
-            chunks_drawn=payload["chunks_drawn"],
+            store=store,
+            chunks_drawn=store.num_chunks,
         )
 
     def spill_all(self) -> int:
@@ -560,6 +730,8 @@ class PoolReader:
     boundaries a reader happens to use never change the underlying stream,
     so any interleaving of readers and direct :meth:`SamplePool.paths`
     calls over the same key observes the same samples at the same indices.
+    ``take_type1_bytes(n)`` advances the same cursor but reads only the
+    type indicators -- on columnar chunks no path objects are built.
 
     With a ``reuse=False`` pool the reader buffers its own copy of the key
     (discarded with the reader), so a sequential consumer still draws each
@@ -588,13 +760,12 @@ class PoolReader:
         cached = self._pool.cached_count(self._target, self._stop_set, self._stream)
         return max(0, cached - self._offset)
 
-    def take(self, count: int) -> list[TargetPath]:
-        """The next ``count`` samples of the stream (drawing if needed)."""
+    def _take(self, count: int, view: "Callable[[PathStore, int, int], object]"):
         require_non_negative_int(count, "count")
         upto = self._offset + count
         if self._pool.reuse:
-            segment = self._pool._read_segment(
-                self._target, self._stop_set, self._offset, upto, self._stream
+            result = self._pool._serve_segment(
+                self._target, self._stop_set, self._offset, upto, self._stream, view
             )
         else:
             if self._local is None:
@@ -603,6 +774,14 @@ class PoolReader:
                 )
             self._pool._extend(self._local, upto)
             self._pool._served += count
-            segment = self._local.paths[self._offset:upto]
+            result = view(self._local.store, self._offset, upto)
         self._offset = upto
-        return segment
+        return result
+
+    def take(self, count: int) -> list[TargetPath]:
+        """The next ``count`` samples of the stream (drawing if needed)."""
+        return self._take(count, PathStore.slice)
+
+    def take_type1_bytes(self, count: int) -> bytes:
+        """Type indicators of the next ``count`` samples (cursor advances)."""
+        return self._take(count, PathStore.type1_bytes)

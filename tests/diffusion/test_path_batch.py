@@ -1,0 +1,287 @@
+"""Tests for the columnar PathBatch representation (repro/diffusion/path_batch).
+
+Three layers of guarantees:
+
+* **Round-trip fidelity** (property-based, derandomized): batch views
+  materialize exactly the :class:`TargetPath` objects they were built
+  from, and every columnar reduction (type indicators, Lemma-2 coverage,
+  type-1 selection) agrees with the object-path computation.
+* **Kernel equivalence**: the vectorized engine's columnar kernel is
+  draw-for-draw identical to the retained per-walker reference kernel
+  (``sample_paths_reference``) -- the bit-identity discipline that keeps
+  golden records and pool streams stable across the columnar rewrite.
+* **Wire/disk formats**: pickling ships detached columns that re-attach
+  losslessly; ``.npz`` blobs round-trip.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.engine import (
+    PythonEngine,
+    available_engines,
+    create_engine,
+)
+from repro.diffusion.path_batch import PathBatch, PathStore, TargetPath
+from repro.graph.compiled import compile_graph
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.social_graph import SocialGraph
+from repro.graph.weights import apply_degree_normalized_weights
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+NUMPY = "numpy" in available_engines()
+requires_numpy = pytest.mark.skipif(not NUMPY, reason="requires numpy")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return apply_degree_normalized_weights(barabasi_albert_graph(250, 4, rng=11))
+
+
+@pytest.fixture(scope="module")
+def setting(graph):
+    return graph, 200, graph.neighbor_set(0)
+
+
+class TestRoundTrip:
+    """Batch views must reproduce the objects they were built from exactly."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**31), count=st.integers(0, 300))
+    @SETTINGS
+    def test_from_paths_round_trips(self, graph, seed, count):
+        engine = PythonEngine(graph)
+        stop = graph.neighbor_set(0)
+        paths = engine.sample_paths(200, stop, count, rng=seed)
+        batch = PathBatch.from_paths(paths, engine.compiled)
+        assert len(batch) == count
+        assert batch.to_paths() == paths
+        assert list(batch) == paths
+        assert batch.type1_bytes() == bytes(1 if p.is_type1 else 0 for p in paths)
+        assert batch.type1_count() == sum(p.is_type1 for p in paths)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        lo=st.integers(0, 150),
+        width=st.integers(0, 150),
+    )
+    @SETTINGS
+    def test_slices_and_single_paths(self, graph, seed, lo, width):
+        engine = PythonEngine(graph)
+        stop = graph.neighbor_set(0)
+        paths = engine.sample_paths(200, stop, 300, rng=seed)
+        batch = PathBatch.from_paths(paths, engine.compiled)
+        hi = lo + width
+        assert batch.paths_slice(lo, hi) == paths[lo:hi]
+        assert batch.type1_bytes(lo, hi) == bytes(1 if p.is_type1 else 0 for p in paths[lo:hi])
+        assert batch.type1_paths_slice(lo, hi) == [p for p in paths[lo:hi] if p.is_type1]
+        if width:
+            assert batch.path(lo) == paths[lo]
+
+    @given(seed=st.integers(min_value=0, max_value=2**31), invite_bits=st.integers(0, 2**20))
+    @SETTINGS
+    def test_covered_bytes_matches_covered_by(self, graph, seed, invite_bits):
+        engine = PythonEngine(graph)
+        stop = graph.neighbor_set(0)
+        nodes = graph.node_list()
+        # A deterministic pseudo-random invitation derived from the bits.
+        invited = frozenset(
+            node for i, node in enumerate(nodes) if (invite_bits >> (i % 20)) & 1 or i % 7 == 0
+        )
+        paths = engine.sample_paths(200, stop, 200, rng=seed)
+        batch = PathBatch.from_paths(paths, engine.compiled)
+        assert batch.covered_bytes(invited) == bytes(
+            1 if p.covered_by(invited) else 0 for p in paths
+        )
+
+    def test_select_type1(self, setting):
+        graph, target, stop = setting
+        engine = PythonEngine(graph)
+        paths = engine.sample_paths(target, stop, 400, rng=5)
+        batch = PathBatch.from_paths(paths, engine.compiled)
+        selected = batch.select_type1()
+        expected = [p for p in paths if p.is_type1]
+        assert selected.to_paths() == expected
+        assert bytes(selected.type1_bytes()) == b"\x01" * len(expected)
+
+    def test_empty_batch(self, graph):
+        batch = PathBatch.empty(compile_graph(graph))
+        assert len(batch) == 0
+        assert batch.to_paths() == []
+        assert batch.type1_bytes() == b""
+        assert batch.covered_bytes(frozenset()) == b""
+
+    def test_out_of_range_slice_raises(self, setting):
+        graph, target, stop = setting
+        engine = PythonEngine(graph)
+        batch = engine.sample_path_batch(target, stop, 10, rng=1)
+        with pytest.raises(IndexError):
+            batch.paths_slice(0, 11)
+        with pytest.raises(IndexError):
+            batch.paths_slice(-1, 5)
+
+
+class TestGenericEngineBatches:
+    @pytest.mark.parametrize("name", available_engines())
+    def test_sample_path_batch_equals_sample_paths(self, setting, name):
+        graph, target, stop = setting
+        engine = create_engine(graph, name)
+        batch = engine.sample_path_batch(target, stop, 500, rng=17)
+        assert batch.to_paths() == engine.sample_paths(target, stop, 500, rng=17)
+
+
+@requires_numpy
+class TestColumnarKernelEquivalence:
+    """The array-native kernel vs the retained per-walker reference kernel."""
+
+    @given(seed=st.integers(min_value=0, max_value=2**31), count=st.integers(0, 400))
+    @SETTINGS
+    def test_draw_for_draw_identical(self, graph, seed, count):
+        engine = create_engine(graph, "numpy")
+        stop = graph.neighbor_set(0)
+        batch = engine.sample_path_batch(200, stop, count, rng=seed)
+        reference = engine.sample_paths_reference(200, stop, count, rng=seed)
+        assert batch.to_paths() == reference
+
+    def test_target_inside_stop_set(self, graph):
+        # A walk returning to the target must count as a cycle (type-0)
+        # even when the target sits in the stop set: revisit checks take
+        # precedence over stop hits, exactly as in the per-walker kernels.
+        engine = create_engine(graph, "numpy")
+        stop = frozenset(graph.neighbor_set(0)) | {200}
+        for seed in range(5):
+            assert (
+                engine.sample_path_batch(200, stop, 300, rng=seed).to_paths()
+                == engine.sample_paths_reference(200, stop, 300, rng=seed)
+            )
+
+    def test_empty_stop_set_and_isolated_target(self):
+        graph = apply_degree_normalized_weights(barabasi_albert_graph(60, 2, rng=3))
+        graph.add_node("loner")
+        engine = create_engine(graph, "numpy")
+        assert (
+            engine.sample_path_batch(40, frozenset(), 200, rng=2).to_paths()
+            == engine.sample_paths_reference(40, frozenset(), 200, rng=2)
+        )
+        lone = engine.sample_path_batch("loner", graph.neighbor_set(0), 50, rng=2)
+        assert lone.to_paths() == engine.sample_paths_reference(
+            "loner", graph.neighbor_set(0), 50, rng=2
+        )
+
+    def test_edgeless_graph(self):
+        graph = SocialGraph.from_edges([])
+        graph.add_node("x")
+        graph.add_node("y")
+        engine = create_engine(graph, "numpy")
+        batch = engine.sample_path_batch("x", {"y"}, 4, rng=1)
+        assert batch.to_paths() == engine.sample_paths_reference("x", {"y"}, 4, rng=1)
+        assert batch.to_paths() == [TargetPath(nodes=frozenset({"x"}), is_type1=False)] * 4
+
+    def test_memory_fallback_is_bit_identical(self, setting):
+        graph, target, stop = setting
+        engine = create_engine(graph, "numpy")
+        want = engine.sample_path_batch(target, stop, 600, rng=9).to_paths()
+        original = type(engine).STAMP_CELL_LIMIT
+        try:
+            type(engine).STAMP_CELL_LIMIT = 1  # force the reference fallback
+            assert engine.sample_path_batch(target, stop, 600, rng=9).to_paths() == want
+            assert engine.sample_paths(target, stop, 600, rng=9) == want
+        finally:
+            type(engine).STAMP_CELL_LIMIT = original
+
+    def test_epoch_recycling_stays_consistent(self, setting):
+        # 300 consecutive batches wrap the uint8 epoch counter at least
+        # once; every batch must keep matching the reference kernel.
+        graph, target, stop = setting
+        engine = create_engine(graph, "numpy")
+        for seed in range(300):
+            assert (
+                engine.sample_path_batch(target, stop, 5, rng=seed).to_paths()
+                == engine.sample_paths_reference(target, stop, 5, rng=seed)
+            )
+
+    def test_rng_stream_consumed_identically(self, setting):
+        # Both kernels must take exactly one 64-bit draw from the caller's
+        # generator, so downstream consumers of the same Random see the
+        # same continuation.
+        graph, target, stop = setting
+        engine = create_engine(graph, "numpy")
+        a, b = random.Random(42), random.Random(42)
+        engine.sample_path_batch(target, stop, 100, rng=a)
+        engine.sample_paths_reference(target, stop, 100, rng=b)
+        assert a.getrandbits(64) == b.getrandbits(64)
+
+
+@requires_numpy
+class TestWireFormats:
+    def test_pickle_detaches_and_reattaches(self, setting):
+        graph, target, stop = setting
+        engine = create_engine(graph, "numpy")
+        batch = engine.sample_path_batch(target, stop, 200, rng=3)
+        shipped = pickle.loads(pickle.dumps(batch))
+        assert shipped.graph is None
+        with pytest.raises(RuntimeError):
+            shipped.to_paths()
+        assert shipped.attach(engine.compiled).to_paths() == batch.to_paths()
+
+    def test_npz_round_trip(self, setting, tmp_path):
+        graph, target, stop = setting
+        engine = create_engine(graph, "numpy")
+        batch = engine.sample_path_batch(target, stop, 200, rng=3)
+        blob = tmp_path / "batch.npz"
+        batch.save_npz(blob)
+        loaded = PathBatch.load_npz(blob, graph=engine.compiled)
+        assert loaded.to_paths() == batch.to_paths()
+        assert loaded.type1_bytes() == batch.type1_bytes()
+
+    def test_concat(self, setting):
+        graph, target, stop = setting
+        engine = create_engine(graph, "numpy")
+        parts = [
+            engine.sample_path_batch(target, stop, n, rng=seed)
+            for seed, n in ((1, 50), (2, 0), (3, 70))
+        ]
+        merged = PathBatch.concat(parts, engine.compiled)
+        assert merged.to_paths() == [p for part in parts for p in part.to_paths()]
+
+
+class TestPathStore:
+    @pytest.mark.parametrize("name", available_engines())
+    def test_cross_chunk_reads(self, setting, name):
+        graph, target, stop = setting
+        engine = create_engine(graph, name)
+        store = PathStore()
+        everything: list[TargetPath] = []
+        for seed, count in ((1, 64), (2, 64), (3, 32)):
+            if getattr(engine, "native_batches", False):
+                chunk = engine.sample_path_batch(target, stop, count, rng=seed)
+                store.append(chunk)
+                everything.extend(chunk.to_paths())
+            else:
+                chunk = engine.sample_paths(target, stop, count, rng=seed)
+                store.append(chunk)
+                everything.extend(chunk)
+        assert len(store) == 160
+        invited = frozenset(graph.node_list()[:80])
+        for lo, hi in ((0, 160), (10, 150), (64, 128), (63, 65), (40, 40)):
+            assert store.slice(lo, hi) == everything[lo:hi]
+            assert store.type1_bytes(lo, hi) == bytes(
+                1 if p.is_type1 else 0 for p in everything[lo:hi]
+            )
+            assert store.covered_bytes(lo, hi, invited) == bytes(
+                1 if p.covered_by(invited) else 0 for p in everything[lo:hi]
+            )
+            assert store.type1_slice(lo, hi) == [p for p in everything[lo:hi] if p.is_type1]
+        with pytest.raises(IndexError):
+            store.slice(0, 161)

@@ -211,3 +211,64 @@ class TestWarmStart:
             )
         with pytest.raises(TypeError):
             stopping_rule_estimate(lambda: 1.0, epsilon=0.2, delta=0.1, max_samples=2.5)
+
+
+class TestIndicatorByteBatches:
+    """The columnar 0/1-byte fast path must equal per-element folding."""
+
+    def _indicator_stream(self, true_mean: float, seed: int, length: int) -> bytes:
+        generator = random.Random(seed)
+        return bytes(1 if generator.random() < true_mean else 0 for _ in range(length))
+
+    @pytest.mark.parametrize("true_mean", [0.9, 0.4, 0.05])
+    def test_bytes_batches_match_float_batches(self, true_mean):
+        stream = self._indicator_stream(true_mean, seed=13, length=400_000)
+
+        def bytes_sampler(size, state={"i": 0}):
+            start = state["i"]
+            state["i"] = start + size
+            return stream[start : start + size]
+
+        def float_sampler(size, state={"i": 0}):
+            start = state["i"]
+            state["i"] = start + size
+            return [float(v) for v in stream[start : start + size]]
+
+        fast = stopping_rule_estimate_batched(bytes_sampler, epsilon=0.2, delta=0.05)
+        slow = stopping_rule_estimate_batched(float_sampler, epsilon=0.2, delta=0.05)
+        assert fast == slow  # same estimate AND same halting sample index
+
+    def test_crossing_batch_halts_at_exact_sample(self):
+        # All-ones stream with one huge batch: the rule must stop at the
+        # same sample index as a one-at-a-time run, not swallow the batch.
+        result = stopping_rule_estimate_batched(
+            lambda size: bytes([1]) * size, epsilon=0.5, delta=0.1, initial_batch=65536
+        )
+        sequential = stopping_rule_estimate(lambda: 1.0, epsilon=0.5, delta=0.1)
+        assert result == sequential
+
+    def test_invalid_byte_value_rejected(self):
+        with pytest.raises(EstimationError):
+            stopping_rule_estimate_batched(
+                lambda size: bytes([1, 2]) * size, epsilon=0.5, delta=0.1
+            )
+
+    def test_bytes_warm_start_bit_identical(self):
+        stream = self._indicator_stream(0.3, seed=7, length=200_000)
+        warm = stream[:1000]
+
+        def tail_sampler(size, state={"i": 1000}):
+            start = state["i"]
+            state["i"] = start + size
+            return stream[start : start + size]
+
+        def cold_sampler(size, state={"i": 0}):
+            start = state["i"]
+            state["i"] = start + size
+            return stream[start : start + size]
+
+        warmed = stopping_rule_estimate_batched(
+            tail_sampler, epsilon=0.2, delta=0.05, warm_start=iter(warm)
+        )
+        cold = stopping_rule_estimate_batched(cold_sampler, epsilon=0.2, delta=0.05)
+        assert warmed == cold

@@ -191,13 +191,46 @@ class TestSpill:
         )
         pool.paths(nodes[5], stop, 50)
         assert pool.spill_all() == 1
-        (spill_file,) = tmp_path.glob("pool-*.json")
-        payload = json.loads(spill_file.read_text(encoding="utf-8"))
-        assert spill_file.read_text(encoding="utf-8") == json.dumps(
-            payload, indent=2, sort_keys=True
-        )
-        assert payload["pool_seed"] == 5
+        (meta_file,) = tmp_path.glob("pool-*.meta.json")
+        (chunk_file,) = tmp_path.glob("pool-*.chunk-*.json")
+        for spill_file in (meta_file, chunk_file):
+            payload = json.loads(spill_file.read_text(encoding="utf-8"))
+            assert spill_file.read_text(encoding="utf-8") == json.dumps(
+                payload, indent=2, sort_keys=True
+            )
+        assert json.loads(meta_file.read_text(encoding="utf-8"))["pool_seed"] == 5
         assert not list(tmp_path.glob("*.tmp"))
+
+    def test_eviction_rewrites_only_new_chunks(self, graph, tmp_path):
+        """Append-safe spill: re-evicting a grown key costs O(new chunks)."""
+        nodes = graph.node_list()
+        stop = graph.neighbor_set(nodes[0])
+        pool = SamplePool(
+            create_engine(graph, "python"),
+            seed=5,
+            max_targets=1,
+            chunk_size=64,
+            spill_dir=tmp_path,
+        )
+        pool.paths(nodes[5], stop, 128)  # 2 chunks
+        pool.paths(nodes[6], stop, 1)  # evicts + spills the first key
+        assert pool.stats().chunk_writes == 2
+        assert len(list(tmp_path.glob("pool-*.chunk-*"))) == 2
+        pool.paths(nodes[5], stop, 320)  # reload, grow to 5 chunks
+        assert pool.stats().loads == 1
+        before = pool.stats().chunk_writes  # (nodes[6] was evicted+spilled too)
+        pool.paths(nodes[6], stop, 1)  # evict the grown key again
+        # Only the 3 *new* chunk blobs were written; the 2 old ones were
+        # not rewritten (their names already existed on disk).
+        assert pool.stats().chunk_writes == before + 3
+        # Re-evicting with nothing new writes no blobs at all.
+        pool.paths(nodes[5], stop, 320)
+        before = pool.stats().chunk_writes
+        pool.paths(nodes[6], stop, 1)
+        assert pool.stats().chunk_writes == before
+        # And the reloaded-and-grown stream is still the canonical one.
+        fresh = SamplePool(create_engine(graph, "python"), seed=5, chunk_size=64)
+        assert pool.paths(nodes[5], stop, 320) == fresh.paths(nodes[5], stop, 320)
 
     def test_foreign_spill_is_ignored(self, graph, tmp_path):
         nodes = graph.node_list()
@@ -245,7 +278,7 @@ class TestSpillAllReturnValue:
         pool = SamplePool(create_engine(graph, "python"), seed=1, spill_dir=tmp_path)
         pool.paths((3, "d"), graph.neighbor_set((0, "a")), 10)
         assert pool.spill_all() == 0
-        assert list(tmp_path.glob("pool-*.json")) == []
+        assert list(tmp_path.glob("pool-*")) == []
 
 
 class TestSnapshotInvalidation:
@@ -307,3 +340,165 @@ class TestSnapshotInvalidation:
         assert reader.paths(target, stop, 64, stream=STREAM_PMAX) == expected
         assert reader.stats().loads == 1
         assert reader.stats().drawn_paths == 0
+
+
+class TestReaderIndicators:
+    def test_take_type1_bytes_advances_the_same_cursor(self, setting):
+        graph, target, stop = setting
+        pool = SamplePool(create_engine(graph, "python"), seed=7)
+        reader = pool.reader(target, stop)
+        head = reader.take(100)
+        flags = reader.take_type1_bytes(200)
+        tail = reader.take(100)
+        assert reader.offset == 400
+        expected = pool.paths(target, stop, 400)
+        assert head == expected[:100]
+        assert flags == bytes(1 if p.is_type1 else 0 for p in expected[100:300])
+        assert tail == expected[300:]
+
+    def test_take_type1_bytes_reuse_disabled_matches(self, setting):
+        graph, target, stop = setting
+        engine = create_engine(graph, "python")
+        cached = SamplePool(engine, seed=7).reader(target, stop).take_type1_bytes(500)
+        redrawn = SamplePool(engine, seed=7, reuse=False).reader(target, stop).take_type1_bytes(500)
+        assert cached == redrawn
+
+
+class TestTypeOnePaths:
+    @pytest.mark.parametrize("name", available_engines())
+    def test_type1_paths_equals_filtering(self, setting, name):
+        graph, target, stop = setting
+        pool = SamplePool(create_engine(graph, name), seed=11)
+        filtered = [p for p in pool.paths(target, stop, 2000) if p.is_type1]
+        assert pool.type1_paths(target, stop, 2000) == filtered
+
+
+@pytest.mark.skipif("numpy" not in available_engines(), reason="requires numpy")
+class TestColumnarPool:
+    """The pool's columnar storage path (batch-native engines)."""
+
+    def test_columnar_chunks_are_stored(self, setting):
+        from repro.diffusion.path_batch import PathBatch
+
+        graph, target, stop = setting
+        pool = SamplePool(create_engine(graph, "numpy"), seed=3)
+        pool.paths(target, stop, 100)
+        (entry,) = pool._entries.values()
+        assert all(isinstance(chunk, PathBatch) for chunk in entry.store.chunks())
+
+    def test_indicators_match_object_views(self, setting):
+        graph, target, stop = setting
+        pool = SamplePool(create_engine(graph, "numpy"), seed=3)
+        paths = pool.paths(target, stop, 1500)
+        assert pool.type1_indicators(target, stop, 1500) == bytes(
+            1 if p.is_type1 else 0 for p in paths
+        )
+        invited = frozenset(graph.node_list()[:60])
+        assert pool.covered_indicators(target, stop, 1500, invited) == bytes(
+            1 if p.covered_by(invited) else 0 for p in paths
+        )
+        assert pool.type1_paths(target, stop, 1500) == [p for p in paths if p.is_type1]
+
+    def test_parallel_columnar_matches_serial(self, setting):
+        graph, target, stop = setting
+        base = create_engine(graph, "numpy")
+        serial = SamplePool(base, seed=9).paths(target, stop, 5000)
+        with ParallelEngine(create_engine(graph, "numpy"), workers=4) as fanned:
+            pooled = SamplePool(fanned, seed=9)
+            assert pooled.paths(target, stop, 5000) == serial
+            (entry,) = pooled._entries.values()
+            from repro.diffusion.path_batch import PathBatch
+
+            assert all(isinstance(chunk, PathBatch) for chunk in entry.store.chunks())
+
+    def test_npz_spill_round_trip(self, graph, tmp_path):
+        nodes = graph.node_list()
+        stop = graph.neighbor_set(nodes[0])
+        engine = create_engine(graph, "numpy")
+        writer = SamplePool(engine, seed=5, spill_dir=tmp_path)
+        expected = writer.paths(nodes[5], stop, 100)
+        assert writer.spill_all() == 1
+        (blob,) = tmp_path.glob("pool-*.chunk-*.npz")
+        assert blob.stat().st_size > 0
+        assert list(tmp_path.glob("pool-*.chunk-*.json")) == []
+        fresh = SamplePool(create_engine(graph, "numpy"), seed=5, spill_dir=tmp_path)
+        assert fresh.paths(nodes[5], stop, 100) == expected
+        assert fresh.stats().loads == 1
+        assert fresh.stats().drawn_paths == 0
+
+    def test_foreign_engine_spill_rejected(self, graph, tmp_path):
+        # Python- and numpy-engine pools draw different canonical streams
+        # for the same seed; sharing a spill_dir must never let one adopt
+        # the other's blobs (that would break warm == cold bit-identity).
+        nodes = graph.node_list()
+        stop = graph.neighbor_set(nodes[0])
+        writer = SamplePool(create_engine(graph, "python"), seed=5, spill_dir=tmp_path)
+        python_stream = writer.paths(nodes[5], stop, 100)
+        writer.spill_all()
+        warm = SamplePool(create_engine(graph, "numpy"), seed=5, spill_dir=tmp_path)
+        warm_stream = warm.paths(nodes[5], stop, 100)
+        assert warm.stats().loads == 0  # the python spill was never opened
+        cold = SamplePool(create_engine(graph, "numpy"), seed=5)
+        assert warm_stream == cold.paths(nodes[5], stop, 100)
+        assert warm_stream != python_stream
+
+    def test_spills_shared_across_worker_counts(self, graph, tmp_path):
+        # A ParallelEngine is transparent to the stream identity: spills
+        # written under workers=N must load under the bare base engine.
+        nodes = graph.node_list()
+        stop = graph.neighbor_set(nodes[0])
+        with ParallelEngine(create_engine(graph, "numpy"), workers=4) as fanned:
+            writer = SamplePool(fanned, seed=5, spill_dir=tmp_path)
+            expected = writer.paths(nodes[5], stop, 3000)
+            writer.spill_all()
+        reader = SamplePool(create_engine(graph, "numpy"), seed=5, spill_dir=tmp_path)
+        assert reader.paths(nodes[5], stop, 3000) == expected
+        assert reader.stats().loads == 1
+        assert reader.stats().drawn_paths == 0
+
+    def test_npz_spill_foreign_seed_rejected(self, graph, tmp_path):
+        nodes = graph.node_list()
+        stop = graph.neighbor_set(nodes[0])
+        engine = create_engine(graph, "numpy")
+        writer = SamplePool(engine, seed=5, spill_dir=tmp_path)
+        expected = writer.paths(nodes[5], stop, 100)
+        writer.spill_all()
+        other = SamplePool(engine, seed=6, spill_dir=tmp_path)
+        assert other.paths(nodes[5], stop, 100) != expected
+        assert other.stats().loads == 0
+
+    def test_npz_spill_stale_csr_rejected(self, tmp_path):
+        from repro.graph.generators import barabasi_albert_graph
+        from repro.graph.weights import apply_degree_normalized_weights
+
+        graph = apply_degree_normalized_weights(barabasi_albert_graph(150, 3, rng=29))
+        target, stop = 80, graph.neighbor_set(0)
+        before = SamplePool(create_engine(graph, "numpy"), seed=5, spill_dir=tmp_path)
+        before.paths(target, stop, 64)
+        assert before.spill_all() >= 1
+        graph.add_edge(0, 80, weight_uv=0.15, weight_vu=0.15)
+        stop = graph.neighbor_set(0)
+        after = SamplePool(create_engine(graph, "numpy"), seed=5, spill_dir=tmp_path)
+        refreshed = after.paths(target, stop, 64)
+        assert after.stats().loads == 0  # dead-topology blobs never found
+        fresh = SamplePool(create_engine(graph, "numpy"), seed=5)
+        assert refreshed == fresh.paths(target, stop, 64)
+
+    def test_npz_eviction_is_append_safe(self, graph, tmp_path):
+        nodes = graph.node_list()
+        stop = graph.neighbor_set(nodes[0])
+        pool = SamplePool(
+            create_engine(graph, "numpy"),
+            seed=5,
+            max_targets=1,
+            chunk_size=64,
+            spill_dir=tmp_path,
+        )
+        pool.paths(nodes[5], stop, 192)  # 3 chunks
+        pool.paths(nodes[6], stop, 1)  # evict + spill
+        assert pool.stats().chunk_writes == 3
+        pool.paths(nodes[5], stop, 256)  # reload + 1 new chunk
+        before = pool.stats().chunk_writes  # (nodes[6] was evicted+spilled too)
+        pool.paths(nodes[6], stop, 1)  # evict the grown key again
+        assert pool.stats().chunk_writes == before + 1  # only the new blob
+        assert len(list(tmp_path.glob("pool-*.chunk-*.npz"))) == 5  # 4 + nodes[6]'s 1
