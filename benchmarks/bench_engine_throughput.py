@@ -16,18 +16,36 @@ Measures reverse-sampled paths/second on a synthetic benchmark graph for
   pool, parallel IPC) actually uses.  Its ``columnar_speedup`` field is
   its throughput relative to the *python* engine -- the headline number
   the CI bench job gates (>= 3x absolute via ``--min-columnar-speedup``,
-  <= 30% drift via ``compare_bench.py --metric columnar_speedup``).
+  <= 30% drift via ``compare_bench.py --metric columnar_speedup``);
+* ``numpy-alias`` / ``alias-batch`` -- :class:`NumpyAliasEngine`, whose
+  lockstep steps are O(1) alias-table gathers instead of O(log m) binary
+  searches, through the object interface and columnarly.  The
+  ``alias_speedup`` field on ``alias-batch`` is its columnar throughput
+  relative to ``numpy-batch`` (gated >= 1.5x absolute via
+  ``--min-alias-speedup``, <= 30% drift via ``--metric alias_speedup``);
+* ``transport-pickle`` / ``transport-shm`` -- the parallel result wire in
+  isolation: a real 4-worker fork pool where each worker holds one
+  pre-sampled columnar chunk (sampled once in the pool initializer,
+  outside the timed region) and re-ships it per task, either pickled
+  through the result pipe or published to shared memory and adopted
+  zero-copy by the parent (:mod:`repro.parallel.shm`).  The parent touches
+  every received batch (``type1_count``), so deferred page access is paid
+  inside the timing for both arms.  The ``shm_transport_speedup`` field on
+  ``transport-shm`` is its wire throughput relative to ``transport-pickle``
+  (gated >= 1.3x absolute via ``--min-shm-speedup``, <= 30% drift via
+  ``--metric shm_transport_speedup``).
 
-Before timing anything, the benchmark asserts the columnar kernel is
-bit-identical to the retained per-walker reference kernel
-(``sample_paths_reference``) on the benchmark workload, so a fast-but-
-wrong kernel can never post a number.  Results (paths/sec and speedups
-over the seed sampler) are printed and written to ``BENCH_engine.json`` at
-the repository root so the performance trajectory is tracked from PR to
+Before timing anything, the benchmark asserts each columnar kernel (search
+mode and alias mode) is bit-identical to its retained per-walker reference
+kernel (``sample_paths_reference``) on the benchmark workload, so a fast-
+but-wrong kernel can never post a number.  Results (paths/sec, per-row
+batch sizes and speedups) are printed and written to ``BENCH_engine.json``
+at the repository root so the performance trajectory is tracked from PR to
 PR.  Run standalone with::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--output PATH]
         [--paths N] [--nodes N] [--min-columnar-speedup X]
+        [--min-alias-speedup X] [--min-shm-speedup X]
 
 or via pytest (smaller sample counts, plus a regression assertion).  The CI
 ``bench`` job runs the standalone form on every push and gates merges with
@@ -38,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import random
 import sys
 import time
@@ -47,6 +66,8 @@ from repro.diffusion.engine import available_engines, create_engine
 from repro.graph.generators import barabasi_albert_graph
 from repro.graph.traversal import bfs_distances
 from repro.graph.weights import apply_degree_normalized_weights
+from repro.parallel import fork_available, shm_available
+from repro.parallel.shm import ShmBatchRef, adopt, default_prefix, publish_batch, sweep_orphans
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
@@ -125,7 +146,97 @@ def _assert_columnar_bit_identity(graph, target, stop_set, count=4000):
     assert batch.type1_bytes() == bytes(1 if path.is_type1 else 0 for path in reference)
 
 
-def run_benchmark(num_paths: int = 30_000, num_nodes: int = 3000):
+def _assert_alias_bit_identity(graph, target, stop_set, count=4000):
+    """Alias-mode columnar kernel must match the alias-mode reference kernel."""
+    engine = create_engine(graph, "numpy-alias")
+    batch = engine.sample_path_batch(target, stop_set, count, rng=_SEED)
+    reference = engine.sample_paths_reference(target, stop_set, count, rng=_SEED)
+    assert batch.to_paths() == reference, (
+        "alias-mode columnar kernel diverged from the alias-mode reference kernel"
+    )
+
+
+# The transport benchmark's worker state: one columnar chunk, sampled once in
+# the pool initializer so the timed region measures only the wire.
+_TRANSPORT_BATCH = None
+_TRANSPORT_PREFIX = None
+
+
+def _transport_init(engine, target, stop_set, chunk_size, prefix):
+    global _TRANSPORT_BATCH, _TRANSPORT_PREFIX
+    _TRANSPORT_BATCH = engine.sample_path_batch(target, stop_set, chunk_size, rng=_SEED)
+    _TRANSPORT_PREFIX = prefix
+
+
+def _ship_pickled(_index):
+    # Crosses the result pipe as pickled packed columns (the pre-shm wire).
+    return _TRANSPORT_BATCH
+
+
+def _ship_shared(_index):
+    ref = publish_batch(_TRANSPORT_BATCH, prefix=_TRANSPORT_PREFIX)
+    return ref if ref is not None else _TRANSPORT_BATCH
+
+
+def _benchmark_transport(
+    graph, target, stop_set, chunk_size=65_536, num_chunks=16, workers=4, repeats=3
+):
+    """Time the two chunk transports over a real fork pool; rows or ``None``.
+
+    Workers re-ship their pre-sampled chunk per task; the parent adopts
+    (shm) or receives (pickle) every chunk and reads its type-1 column, so
+    both arms pay for actually consuming the shipped columns.  Chunks are
+    large (64k paths, a few MB of columns) so the wire cost dominates the
+    per-task pool overhead: below ~16k paths per chunk the per-segment
+    syscalls (shm_open/mmap/unlink) eat the zero-copy margin and the two
+    arms converge.
+    """
+    if not (fork_available() and shm_available() and "numpy" in available_engines()):
+        return None
+    engine = create_engine(graph, "numpy")
+    context = multiprocessing.get_context("fork")
+    rows = {}
+    for label, ship in (("transport-pickle", _ship_pickled), ("transport-shm", _ship_shared)):
+        pool = context.Pool(
+            workers,
+            initializer=_transport_init,
+            initargs=(engine, target, stop_set, chunk_size, default_prefix()),
+        )
+        try:
+
+            def round_trip(pool=pool, ship=ship):
+                # chunksize=1 pins the task batching: Pool.map's heuristic
+                # otherwise varies it with num_chunks, which swings the
+                # pickle arm's pipe overlap (and so the measured ratio).
+                received = [
+                    adopt(chunk) if isinstance(chunk, ShmBatchRef) else chunk
+                    for chunk in pool.map(ship, range(num_chunks), chunksize=1)
+                ]
+                return sum(batch.type1_count() for batch in received)
+
+            round_trip()  # warm-up: forks the workers, samples their chunk
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                round_trip()
+                best = min(best, time.perf_counter() - start)
+        finally:
+            pool.terminate()
+            pool.join()
+        sweep_orphans()
+        rows[label] = {
+            "paths_per_sec": round(chunk_size * num_chunks / best, 1),
+            "num_paths": chunk_size,
+            "chunks": num_chunks,
+            "workers": workers,
+        }
+    rows["transport-shm"]["shm_transport_speedup"] = round(
+        rows["transport-shm"]["paths_per_sec"] / rows["transport-pickle"]["paths_per_sec"], 2
+    )
+    return rows
+
+
+def run_benchmark(num_paths: int = 30_000, num_nodes: int = 3000, transport_chunks: int = 16):
     """Time every backend and return the result rows."""
     graph, source, target = _benchmark_graph(num_nodes=num_nodes)
     stop_set = graph.neighbor_set(source)
@@ -159,6 +270,15 @@ def run_benchmark(num_paths: int = 30_000, num_nodes: int = 3000):
 
         samplers["numpy-batch"] = run_batch
 
+    if "numpy-alias" in available_engines():
+        _assert_alias_bit_identity(graph, target, stop_set)
+        alias_engine = create_engine(graph, "numpy-alias")
+
+        def run_alias(count, engine=alias_engine):
+            return engine.sample_path_batch(target, stop_set, count, rng=_SEED).type1_count()
+
+        samplers["alias-batch"] = run_alias
+
     results = {}
     baseline = None
     for label, sampler in samplers.items():
@@ -167,6 +287,7 @@ def run_benchmark(num_paths: int = 30_000, num_nodes: int = 3000):
             baseline = rate
         results[label] = {
             "paths_per_sec": round(rate, 1),
+            "num_paths": num_paths,
             "type1_fraction": round(type1 / num_paths, 4),
             "speedup_vs_dict_seed": round(rate / baseline, 2) if baseline else None,
         }
@@ -175,6 +296,13 @@ def run_benchmark(num_paths: int = 30_000, num_nodes: int = 3000):
         results["numpy-batch"]["columnar_speedup"] = round(
             results["numpy-batch"]["paths_per_sec"] / python_rate, 2
         )
+    if "alias-batch" in results:
+        results["alias-batch"]["alias_speedup"] = round(
+            results["alias-batch"]["paths_per_sec"] / results["numpy-batch"]["paths_per_sec"], 2
+        )
+    transport = _benchmark_transport(graph, target, stop_set, num_chunks=transport_chunks)
+    if transport is not None:
+        results.update(transport)
     return {
         "benchmark": "engine_throughput",
         "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges, "model": "barabasi-albert"},
@@ -198,7 +326,7 @@ def test_engine_throughput():
     sampler; the committed BENCH_engine.json records the actual multiple
     (>= 3x on the synthetic benchmark graph at full size).
     """
-    report = run_benchmark(num_paths=20_000)
+    report = run_benchmark(num_paths=20_000, transport_chunks=8)
     write_report(report)
     print()
     print(json.dumps(report, indent=2))
@@ -213,10 +341,26 @@ def test_engine_throughput():
         assert numpy_row["speedup_vs_dict_seed"] >= python_row["speedup_vs_dict_seed"], (
             "numpy engine slower than the python engine"
         )
+        assert numpy_row["speedup_vs_dict_seed"] >= 1.0, "numpy lost to the seed sampler"
         columnar = results["numpy-batch"]["columnar_speedup"]
         assert columnar >= 1.5, f"columnar kernel only {columnar}x over the python engine"
-    # The engines must agree with the baseline on what they sample.
-    rates = [row["type1_fraction"] for row in report["results"].values()]
+    if "alias-batch" in results:
+        # The O(1)-step guard, softer than the CI bench job's standalone
+        # gate (1.5x at full benchmark size) to keep tier-1 runs unflaky.
+        alias = results["alias-batch"]["alias_speedup"]
+        assert alias >= 1.1, f"alias kernel only {alias}x over the searchsorted kernel"
+    if "transport-shm" in results:
+        # The wire rows must post, carry their sizing metadata, and the
+        # zero-copy arm must never lose outright to pickling; the absolute
+        # multiple is gated by the CI bench job at full size.
+        row = results["transport-shm"]
+        assert row["workers"] == 4 and row["num_paths"] > 0 and row["chunks"] > 0
+        assert row["shm_transport_speedup"] > 0
+    # The engines must agree with the baseline on what they sample (the
+    # transport rows re-ship one chunk and carry no type1_fraction).
+    rates = [
+        row["type1_fraction"] for row in report["results"].values() if "type1_fraction" in row
+    ]
     assert max(rates) - min(rates) <= 0.05
 
 
@@ -231,17 +375,26 @@ if __name__ == "__main__":
     parser.add_argument("--min-columnar-speedup", type=float, default=None,
                         help="fail unless the columnar numpy kernel reaches this "
                              "multiple of the python engine's throughput")
+    parser.add_argument("--min-alias-speedup", type=float, default=None,
+                        help="fail unless the alias-mode columnar kernel reaches this "
+                             "multiple of the searchsorted columnar kernel's throughput")
+    parser.add_argument("--min-shm-speedup", type=float, default=None,
+                        help="fail unless the shared-memory transport reaches this "
+                             "multiple of the pickle transport's wire throughput")
     cli_args = parser.parse_args()
     report = run_benchmark(num_paths=cli_args.paths, num_nodes=cli_args.nodes)
     write_report(report, cli_args.output)
     print(json.dumps(report, indent=2))
-    if cli_args.min_columnar_speedup is not None:
-        row = report["results"].get("numpy-batch")
-        columnar = row["columnar_speedup"] if row else 0.0
-        if columnar < cli_args.min_columnar_speedup:
-            print(
-                f"FAIL: columnar speedup {columnar}x below required "
-                f"{cli_args.min_columnar_speedup}x",
-                file=sys.stderr,
-            )
+
+    def gate(row_name, metric, minimum):
+        if minimum is None:
+            return
+        row = report["results"].get(row_name)
+        value = row.get(metric, 0.0) if row else 0.0
+        if value < minimum:
+            print(f"FAIL: {metric} {value}x below required {minimum}x", file=sys.stderr)
             sys.exit(1)
+
+    gate("numpy-batch", "columnar_speedup", cli_args.min_columnar_speedup)
+    gate("alias-batch", "alias_speedup", cli_args.min_alias_speedup)
+    gate("transport-shm", "shm_transport_speedup", cli_args.min_shm_speedup)

@@ -55,6 +55,7 @@ from repro.graph import (
     read_snap_graph,
 )
 from repro.diffusion import (
+    NumpyAliasEngine,
     NumpyEngine,
     PythonEngine,
     SamplingEngine,
@@ -129,6 +130,7 @@ __all__ = [
     "sample_target_path",
     "SamplingEngine",
     "PythonEngine",
+    "NumpyAliasEngine",
     "NumpyEngine",
     "create_engine",
     "available_engines",

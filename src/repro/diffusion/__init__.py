@@ -25,6 +25,7 @@ This package implements the stochastic substrate of the paper:
 from repro.diffusion.path_batch import PathBatch, PathStore
 from repro.diffusion.engine import (
     ENGINE_NAMES,
+    NumpyAliasEngine,
     NumpyEngine,
     PythonEngine,
     SamplingEngine,
@@ -72,6 +73,7 @@ __all__ = [
     "sample_target_paths",
     "SamplingEngine",
     "PythonEngine",
+    "NumpyAliasEngine",
     "NumpyEngine",
     "ENGINE_NAMES",
     "available_engines",

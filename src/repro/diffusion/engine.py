@@ -32,10 +32,23 @@ defines the one interface all of those go through:
   seed but follows its own stream.  It degrades cleanly: importing this
   module never requires numpy, only constructing the engine does.
 
-Engines are selected by name (``"python"``, ``"numpy"`` or ``"auto"``)
-via :func:`create_engine`; :class:`~repro.core.raf.RAFConfig` and the CLI's
-``--engine`` flag feed into that.  See DESIGN.md for the architecture notes
-and the determinism contract.
+* :class:`NumpyAliasEngine` (engine name ``"numpy-alias"``) -- the same
+  lockstep kernels with the per-step ``searchsorted`` replaced by an O(1)
+  walk over the snapshot's precomputed Vose alias tables
+  (:meth:`repro.graph.compiled.CompiledGraph.alias_tables`): one multiply,
+  one floor and two gathers per walker per step, independent of degree and
+  of the edge count.  It samples the *same distribution* from the *same
+  derived generator* but maps uniforms to friends differently, so it
+  defines its own named stream (the engine name is the stream tag --
+  threaded through pool spill tags and matrix fingerprints exactly like
+  the python/numpy split); the default ``"numpy"`` mode stays bit-identical
+  to every prior release.
+
+Engines are selected by name (``"python"``, ``"numpy"``, ``"numpy-alias"``
+or ``"auto"``) via :func:`create_engine`; :class:`~repro.core.raf.RAFConfig`
+and the CLI's ``--engine`` flag feed into that.  See DESIGN.md for the
+architecture notes and the determinism contract (§7 for the alias-stream
+contract).
 """
 
 from __future__ import annotations
@@ -62,6 +75,7 @@ __all__ = [
     "SamplingEngine",
     "PythonEngine",
     "NumpyEngine",
+    "NumpyAliasEngine",
     "ENGINE_NAMES",
     "numpy_available",
     "require_engine_name",
@@ -73,7 +87,7 @@ __all__ = [
 ]
 
 #: Engine names accepted by :func:`create_engine` (and the CLI ``--engine`` flag).
-ENGINE_NAMES = ("python", "numpy", "auto")
+ENGINE_NAMES = ("python", "numpy", "numpy-alias", "auto")
 
 #: Batch size used when a huge sample count is split into bounded chunks.
 DEFAULT_CHUNK_SIZE = 8192
@@ -265,9 +279,28 @@ class NumpyEngine(_EngineBase):
     :data:`NumpyEngine.STAMP_CELL_LIMIT` cells.
     """
 
-    __slots__ = ("_np", "_indptr", "_parents", "_shifted", "_stride", "_stamps", "_stamp_epoch")
+    __slots__ = (
+        "_np",
+        "_indptr",
+        "_parents",
+        "_shifted",
+        "_stride",
+        "_totals",
+        "_degrees",
+        "_alias_prob",
+        "_alias_index",
+        "_stamps",
+        "_stamp_epoch",
+    )
     name = "numpy"
     native_batches = True
+
+    #: How a lockstep round maps uniform draws to friend selections.  The
+    #: subclassed alias mode overrides this; it is part of the engine's
+    #: *stream identity* (fixed per engine class, reflected in ``name``),
+    #: never a per-call switch -- downstream stream tags (pool spills,
+    #: matrix fingerprints) key on the engine name.
+    mode = "search"
 
     #: Upper bound on visited-matrix cells (walker slots × nodes) for the
     #: columnar kernel; one cell is one uint8, so the default caps the
@@ -287,8 +320,8 @@ class NumpyEngine(_EngineBase):
     def __init__(self, graph: SocialGraph | CompiledGraph) -> None:
         if _np is None:
             raise EngineError(
-                "the 'numpy' sampling engine requires numpy, which is not installed; "
-                "use engine='python' (or 'auto' to select automatically)"
+                f"the {self.name!r} sampling engine requires numpy, which is not "
+                "installed; use engine='python' (or 'auto' to select automatically)"
             )
         super().__init__(graph)
         self._np = _np
@@ -305,6 +338,11 @@ class NumpyEngine(_EngineBase):
         self._stride = float(np.ceil(totals.max() + 2.0)) if totals.size else 2.0
         owner = np.repeat(np.arange(len(compiled), dtype=np.int64), np.diff(self._indptr))
         self._shifted = cum + self._stride * owner
+        self._totals = totals
+        self._degrees = np.diff(self._indptr)
+        # Alias columns are built on first alias-mode selection (per snapshot).
+        self._alias_prob = None
+        self._alias_index = None
         # The visited matrix is per-topology (its width is the node count).
         self._stamps = None
         self._stamp_epoch = 0
@@ -346,6 +384,21 @@ class NumpyEngine(_EngineBase):
         self._stamp_epoch += 1
         return stamps, np.uint8(self._stamp_epoch)
 
+    def _select_parents(self, current, draws):
+        """One lockstep round of friend selections: ``(alive, chosen)``.
+
+        ``alive[k]`` is False when walker ``k``'s draw fell into its node's
+        stop-probability tail; ``chosen[k]`` is the selected parent's dense
+        index (an arbitrary in-range index where ``alive`` is False -- the
+        kernels mask it out).  The search mode resolves the whole round
+        with one binary search over the globally shifted cumulative array.
+        """
+        np = self._np
+        locations = np.searchsorted(self._shifted, self._stride * current + draws, side="right")
+        alive = locations < self._indptr[current + 1]
+        chosen = self._parents[np.minimum(locations, self._parents.size - 1)]
+        return alive, chosen
+
     # ------------------------------------------------------------------ #
     # The columnar kernel
     # ------------------------------------------------------------------ #
@@ -385,11 +438,6 @@ class NumpyEngine(_EngineBase):
 
     def _columnar_kernel(self, compiled, start, stop_mask, count, nprng) -> PathBatch:
         np = self._np
-        indptr = self._indptr
-        parents = self._parents
-        shifted = self._shifted
-        stride = self._stride
-        last_entry = parents.size - 1
         stamps, epoch = self._visited_stamps(count, len(compiled))
 
         rows = np.arange(count, dtype=np.int64)  # walker slot = output position
@@ -401,9 +449,7 @@ class NumpyEngine(_EngineBase):
         step_nodes: list = []  # ... and the node each of them moved to
         while rows.size:
             draws = nprng.random(rows.size)
-            locations = np.searchsorted(shifted, stride * current + draws, side="right")
-            alive = locations < indptr[current + 1]
-            chosen = parents[np.minimum(locations, last_entry)]
+            alive, chosen = self._select_parents(current, draws)
             # Precedence exactly as the per-walker kernels: a draw in the
             # stop-probability tail or a revisited node ends the walk as
             # type-0 *before* the stop set is consulted.
@@ -472,10 +518,6 @@ class NumpyEngine(_EngineBase):
 
     def _reference_kernel(self, compiled, start, stop_mask, count, nprng) -> list[TargetPath]:
         np = self._np
-        indptr = self._indptr
-        parents = self._parents
-        shifted = self._shifted
-        stride = self._stride
         ids = compiled.nodes
         # Dense results first, ids mapped in one bulk pass at the end: the
         # per-walker loop only juggles ints and sets.
@@ -487,9 +529,7 @@ class NumpyEngine(_EngineBase):
         while walkers:
             current_arr = np.asarray(current, dtype=np.int64)
             draws = nprng.random(len(walkers))
-            locations = np.searchsorted(shifted, stride * current_arr + draws, side="right")
-            alive_arr = locations < indptr[current_arr + 1]
-            chosen_arr = parents[np.minimum(locations, parents.size - 1)]
+            alive_arr, chosen_arr = self._select_parents(current_arr, draws)
             # Bulk-convert once per step: per-element numpy indexing inside
             # the bookkeeping loop costs more than the search itself.
             stop_hit = (stop_mask[chosen_arr] & alive_arr).tolist()
@@ -522,9 +562,70 @@ class NumpyEngine(_EngineBase):
         ]
 
 
+class NumpyAliasEngine(NumpyEngine):
+    """Vectorized engine with O(1) alias-table walk steps (``"numpy-alias"``).
+
+    Identical to :class:`NumpyEngine` -- same columnar kernel, same
+    epoch-stamped cycle detection, same CSR assembly, same per-round
+    ``Generator.random(live)`` consumption -- except that each friend
+    selection walks the snapshot's precomputed Vose alias tables
+    (:meth:`repro.graph.compiled.CompiledGraph.alias_tables`) instead of
+    binary-searching the cumulative-weight array: a draw below the node's
+    total in-weight is rescaled to a unit uniform, floored into one of the
+    node's ``degree`` alias cells, and resolved with two gathers.  Cost per
+    walker per step is constant -- independent of node degree and of the
+    global edge count -- where ``searchsorted`` pays O(log m).
+
+    The sampled *distribution* is exactly Definition 1 (the alias table is
+    an exact redistribution of the normalized in-weights), but the mapping
+    from uniforms to friends differs from the search mode, so for the same
+    seed this engine draws *different concrete paths*: it is a separate
+    named stream.  The engine name is the stream tag -- sample-pool spill
+    tags, matrix fingerprints and golden records all key on it -- so alias
+    streams and search streams can never be mistaken for one another, and
+    the default ``"numpy"`` engine remains bit-identical to every prior
+    release.  See DESIGN.md §7 for the contract.
+    """
+
+    __slots__ = ()
+    name = "numpy-alias"
+    mode = "alias"
+
+    def _alias_arrays(self):
+        # Built per snapshot on first use; _rebind() resets them to None.
+        if self._alias_prob is None:
+            np = self._np
+            prob, index = self._compiled.alias_tables()
+            self._alias_prob = np.asarray(prob, dtype=np.float64)
+            self._alias_index = np.asarray(index, dtype=np.int64)
+        return self._alias_prob, self._alias_index
+
+    def _select_parents(self, current, draws):
+        """O(1) alias walk for one lockstep round: ``(alive, chosen)``."""
+        np = self._np
+        alias_prob, alias_index = self._alias_arrays()
+        totals = self._totals[current]
+        alive = draws < totals
+        # Conditional on surviving the stop tail, draw/total is uniform on
+        # [0, 1); walkers that stopped keep a harmless 0 (masked out later).
+        unit = np.divide(draws, totals, out=np.zeros_like(draws), where=alive)
+        degrees = self._degrees[current]
+        position = unit * degrees
+        cell = position.astype(np.int64)
+        # Guard the float edges: draw/total can round up to 1.0, and dead
+        # walkers on degree-0 nodes must still gather in-range entries.
+        cell = np.minimum(cell, np.maximum(degrees - 1, 0))
+        entries = np.minimum(self._indptr[current] + cell, self._parents.size - 1)
+        keep = (position - cell) < alias_prob[entries]
+        local = np.where(keep, cell, alias_index[entries])
+        chosen = self._parents[np.minimum(self._indptr[current] + local, self._parents.size - 1)]
+        return alive, chosen
+
+
 _ENGINE_TYPES: dict[str, type] = {
     PythonEngine.name: PythonEngine,
     NumpyEngine.name: NumpyEngine,
+    NumpyAliasEngine.name: NumpyAliasEngine,
 }
 
 
@@ -552,6 +653,7 @@ def available_engines() -> tuple[str, ...]:
     names = [PythonEngine.name]
     if numpy_available():
         names.append(NumpyEngine.name)
+        names.append(NumpyAliasEngine.name)
     return tuple(names)
 
 

@@ -129,7 +129,9 @@ class PathBatch:
     boundaries) and re-attached by the receiver via :meth:`attach`.
     """
 
-    __slots__ = ("offsets", "node_indices", "is_type1", "anchor_indices", "graph")
+    # __weakref__ lets the shared-memory transport (repro.parallel.shm) tie
+    # a segment's lifetime to the batch viewing it via weakref.finalize.
+    __slots__ = ("offsets", "node_indices", "is_type1", "anchor_indices", "graph", "__weakref__")
 
     def __init__(self, offsets, node_indices, is_type1, anchor_indices, graph=None) -> None:
         self.offsets = offsets

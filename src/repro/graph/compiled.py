@@ -17,7 +17,16 @@ representation costs a mapping view plus an O(degree) linear scan per step.
   node's slice with a uniform draw;
 * ``totals`` holds each node's total incoming weight -- the complement
   ``1 - totals[i]`` is the precomputed probability that the node selects
-  nobody (the stop-probability tail of Def. 1).
+  nobody (the stop-probability tail of Def. 1);
+* :meth:`CompiledGraph.alias_tables` lazily builds per-node **alias tables**
+  (Vose's method) as two flat columns aligned entry-for-entry with the CSR
+  in-edge layout: ``alias_prob[j]`` is the probability of keeping entry
+  ``j``'s own neighbour, ``alias_index[j]`` the node-local entry to fall
+  through to otherwise.  With them a friend selection is O(1) -- one
+  multiply, one floor, two gathers -- instead of an O(log degree) binary
+  search.  The tables are a pure function of the CSR arrays (any digest of
+  ``cum_weights`` also fingerprints them), built once per snapshot on first
+  request and cached on it.
 
 Snapshots are cached on the source graph and invalidated by its mutation
 counter, so repeated calls to :func:`compile_graph` are free until the graph
@@ -47,7 +56,17 @@ class CompiledGraph:
     instead.
     """
 
-    __slots__ = ("name", "nodes", "indptr", "parents", "cum_weights", "totals", "_index", "_num_edges")
+    __slots__ = (
+        "name",
+        "nodes",
+        "indptr",
+        "parents",
+        "cum_weights",
+        "totals",
+        "_index",
+        "_num_edges",
+        "_alias",
+    )
 
     def __init__(self, graph: SocialGraph) -> None:
         self.name = graph.name
@@ -71,6 +90,7 @@ class CompiledGraph:
         self.cum_weights = cum_weights
         self.totals = totals
         self._num_edges = graph.num_edges
+        self._alias = None  # (alias_prob, alias_index), built lazily
 
     # ------------------------------------------------------------------ #
     # Interning
@@ -175,6 +195,75 @@ class CompiledGraph:
         hi = self.indptr[node_index + 1]
         j = bisect_right(self.cum_weights, draw, lo, hi)
         return self.parents[j] if j < hi else -1
+
+    def alias_tables(self) -> tuple:
+        """Per-node Vose alias tables, flat and aligned to the CSR layout.
+
+        Returns ``(alias_prob, alias_index)``, each of length
+        ``len(self.parents)``.  For a node ``v`` with in-degree ``d`` and
+        CSR slice ``[lo, hi)``, an O(1) friend selection conditional on the
+        walk *not* stopping (the caller handles the stop tail by comparing
+        its uniform draw against ``totals[v]`` first) is::
+
+            u = draw / totals[v]          # uniform on [0, 1) given no stop
+            k = min(int(u * d), d - 1)    # the uniform cell
+            if (u * d) - k < alias_prob[lo + k]:
+                parent = parents[lo + k]
+            else:
+                parent = parents[lo + alias_index[lo + k]]
+
+        ``alias_index`` entries are *node-local* (0-based within the node's
+        slice), so the columns stay meaningful under the CSR alignment.
+        The tables are built once per snapshot (O(n + m)) and cached; they
+        are a pure function of ``indptr``/``cum_weights``/``totals``, so
+        any digest covering those columns fingerprints the tables too.
+        """
+        if self._alias is not None:
+            return self._alias
+        alias_prob = array("d", bytes(8 * len(self.parents)))
+        alias_index = array("q", bytes(8 * len(self.parents)))
+        indptr = self.indptr
+        cum_weights = self.cum_weights
+        totals = self.totals
+        for v in range(self.num_nodes):
+            lo, hi = indptr[v], indptr[v + 1]
+            degree = hi - lo
+            if degree == 0:
+                continue
+            total = totals[v]
+            if total <= 0.0:
+                # Unreachable conditional on "no stop" (the stop tail is the
+                # whole unit interval); keep the identity table as a benign
+                # placeholder so lookups stay in range.
+                for k in range(degree):
+                    alias_prob[lo + k] = 1.0
+                    alias_index[lo + k] = k
+                continue
+            # Vose's method over the normalized weights w_k / total.
+            previous = 0.0
+            scaled = []
+            for j in range(lo, hi):
+                weight = cum_weights[j] - previous
+                previous = cum_weights[j]
+                scaled.append(weight * degree / total)
+            small = [k for k in range(degree) if scaled[k] < 1.0]
+            large = [k for k in range(degree) if scaled[k] >= 1.0]
+            while small and large:
+                lesser = small.pop()
+                greater = large.pop()
+                alias_prob[lo + lesser] = scaled[lesser]
+                alias_index[lo + lesser] = greater
+                scaled[greater] -= 1.0 - scaled[lesser]
+                if scaled[greater] < 1.0:
+                    small.append(greater)
+                else:
+                    large.append(greater)
+            # Float leftovers on either worklist carry probability ~1.
+            for k in small + large:
+                alias_prob[lo + k] = 1.0
+                alias_index[lo + k] = k
+        self._alias = (alias_prob, alias_index)
+        return self._alias
 
 
 def compile_graph(graph: SocialGraph) -> CompiledGraph:

@@ -3,9 +3,11 @@
 :class:`~repro.parallel.engine.ParallelEngine` wraps any
 :class:`~repro.diffusion.engine.SamplingEngine` and drains chunked batch
 requests over a worker pool with deterministic per-chunk seed derivation --
-same seed, same results, for any worker count.  See
+same seed, same results, for any worker count.  Columnar chunks return from
+the workers as zero-copy shared-memory segments where available
+(:mod:`repro.parallel.shm`), pickled packed columns otherwise.  See
 :mod:`repro.parallel.engine` for the determinism contract and DESIGN.md §3
-for the architecture notes.
+(fan-out) / §7 (transport) for the architecture notes.
 """
 
 from repro.parallel.engine import (
@@ -19,15 +21,27 @@ from repro.parallel.engine import (
     sample_covered_indicators,
     sample_type1_indicators,
 )
+from repro.parallel.shm import (
+    TRANSPORTS,
+    ShmBatchRef,
+    resolve_transport,
+    shm_available,
+    sweep_orphans,
+)
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "TRANSPORTS",
     "WORKERS_AUTO",
     "ParallelEngine",
+    "ShmBatchRef",
     "collect_type1",
     "fork_available",
     "maybe_parallel",
+    "resolve_transport",
     "resolve_worker_count",
     "sample_covered_indicators",
     "sample_type1_indicators",
+    "shm_available",
+    "sweep_orphans",
 ]

@@ -31,6 +31,17 @@ the platform lacks the ``fork`` start method (workers inherit the compiled
 graph by forking; shipping it by pickle to spawned processes would cost more
 than it saves).  The pool is created lazily on first parallel dispatch,
 reused across calls, and torn down when the engine is closed or collected.
+
+Transport (DESIGN.md §7): with a batch-native base engine, finished
+columnar chunks travel back from the workers either pickled through the
+result pipe (``transport="pickle"``) or as zero-copy shared-memory
+segments (``transport="shm"``, the default where available): the worker
+publishes the columns once into a named segment and ships only a tiny
+descriptor; the parent adopts views over the segment with a ref-counted,
+unlink-on-release lifecycle (:mod:`repro.parallel.shm`).  The transport
+never changes results -- the adopted columns are byte-for-byte the
+pickled ones -- and degrades per-chunk to pickling whenever a segment
+cannot be created.
 """
 
 from __future__ import annotations
@@ -45,6 +56,8 @@ from repro.diffusion.engine import SamplingEngine, TargetPath, collect_type1_pat
 from repro.diffusion.path_batch import PathBatch
 from repro.exceptions import EngineError
 from repro.graph.compiled import CompiledGraph
+from repro.parallel import shm as shm_transport
+from repro.parallel.shm import ShmBatchRef, resolve_transport
 from repro.types import NodeId
 from repro.utils.rng import RandomSource, derive_seed, ensure_rng
 from repro.utils.validation import require_non_negative_int, require_positive_int
@@ -104,10 +117,42 @@ def resolve_worker_count(workers: int | str | None) -> int | None:
 #: fork time through the pool initializer (no pickling of the compiled graph).
 _WORKER_ENGINE: SamplingEngine | None = None
 
+#: Result transport for columnar chunks ("pickle" or "shm") and the parent's
+#: shared-memory name prefix, both set by the pool initializer at fork time.
+_WORKER_TRANSPORT: str = "pickle"
+_WORKER_SHM_PREFIX: str | None = None
 
-def _init_worker(engine: SamplingEngine) -> None:
-    global _WORKER_ENGINE
+
+def _init_worker(
+    engine: SamplingEngine, transport: str = "pickle", shm_prefix: "str | None" = None
+) -> None:
+    global _WORKER_ENGINE, _WORKER_TRANSPORT, _WORKER_SHM_PREFIX
     _WORKER_ENGINE = engine
+    _WORKER_TRANSPORT = transport
+    _WORKER_SHM_PREFIX = shm_prefix
+
+
+def _ship_batch(batch: PathBatch):
+    """Worker-side egress: publish to shared memory, or fall through to pickle.
+
+    The descriptor is a few dozen bytes regardless of batch size; if the
+    segment cannot be created (shared memory unavailable, ``/dev/shm``
+    exhausted, non-numpy columns) the batch itself is returned and crosses
+    the pipe pickled -- same columns either way.
+    """
+    if _WORKER_TRANSPORT == "shm":
+        ref = shm_transport.publish_batch(batch, prefix=_WORKER_SHM_PREFIX)
+        if ref is not None:
+            return ref
+    return batch
+
+
+def _adopt_chunks(chunks: list) -> list:
+    """Parent-side ingress: attach any shared-memory descriptors in place."""
+    return [
+        shm_transport.adopt(chunk) if isinstance(chunk, ShmBatchRef) else chunk
+        for chunk in chunks
+    ]
 
 
 def _sample_chunk_on(
@@ -137,9 +182,9 @@ def _sample_batch_chunk_on(
     return engine.sample_path_batch(target, stop_set, count, rng=random.Random(seed))
 
 
-def _sample_batch_chunk(payload: tuple[NodeId, frozenset, int, int]) -> PathBatch:
+def _sample_batch_chunk(payload: tuple[NodeId, frozenset, int, int]):
     assert _WORKER_ENGINE is not None, "worker pool used before initialization"
-    return _sample_batch_chunk_on(_WORKER_ENGINE, payload)
+    return _ship_batch(_sample_batch_chunk_on(_WORKER_ENGINE, payload))
 
 
 def _chunk_sampler_for(engine: SamplingEngine):
@@ -208,6 +253,7 @@ class ParallelEngine:
         base: SamplingEngine,
         workers: int | str = WORKERS_AUTO,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        transport: str = "auto",
     ) -> None:
         if isinstance(base, ParallelEngine):
             raise EngineError("cannot wrap a ParallelEngine in another ParallelEngine")
@@ -218,6 +264,9 @@ class ParallelEngine:
         self._base = base
         self._workers = resolved
         self._chunk_size = int(chunk_size)
+        self._transport = resolve_transport(
+            transport, native_batches=getattr(base, "native_batches", False)
+        )
         self._pool = None
         self._pool_finalizer = None
         self._pool_snapshot = None
@@ -241,6 +290,14 @@ class ParallelEngine:
     def chunk_size(self) -> int:
         """Paths per chunk (worker-count independent)."""
         return self._chunk_size
+
+    @property
+    def transport(self) -> str:
+        """How columnar chunks return from the workers: ``"shm"`` (zero-copy
+        shared-memory segments, with per-chunk pickling fallback) or
+        ``"pickle"`` (packed columns through the result pipe).  Never
+        affects results, only the wire."""
+        return self._transport
 
     @property
     def compiled(self) -> CompiledGraph:
@@ -270,9 +327,13 @@ class ParallelEngine:
         if self._pool is not None and self._pool_snapshot is not current:
             self.close()
         if self._pool is None:
+            if self._transport == "shm":
+                shm_transport.register_exit_cleanup()
             context = multiprocessing.get_context("fork")
             self._pool = context.Pool(
-                self._workers, initializer=_init_worker, initargs=(self._base,)
+                self._workers,
+                initializer=_init_worker,
+                initargs=(self._base, self._transport, shm_transport.default_prefix()),
             )
             self._pool_finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
             self._pool_snapshot = current
@@ -280,12 +341,18 @@ class ParallelEngine:
 
     def close(self) -> None:
         """Tear down the worker pool (idempotent; the engine stays usable --
-        a later parallel dispatch simply forks a fresh pool)."""
+        a later parallel dispatch simply forks a fresh pool).  Also sweeps
+        shared-memory orphans: with the pool gone no descriptor is in
+        flight, so any surviving segment under this process's prefix is the
+        leftover of a crashed worker and is unlinked."""
+        had_pool = self._pool is not None
         if self._pool_finalizer is not None:
             self._pool_finalizer()
             self._pool_finalizer = None
         self._pool = None
         self._pool_snapshot = None
+        if had_pool and self._transport == "shm":
+            shm_transport.sweep_orphans()
 
     def __enter__(self) -> "ParallelEngine":
         return self
@@ -385,7 +452,7 @@ class ParallelEngine:
         if not payloads:
             return []
         if self._workers > 1 and len(payloads) > 1 and fork_available():
-            return self._ensure_pool().map(run_pooled, payloads)
+            return _adopt_chunks(self._ensure_pool().map(run_pooled, payloads))
         return [run_local(self._base, payload) for payload in payloads]
 
     def sample_reduced(
@@ -432,7 +499,7 @@ class ParallelEngine:
         else:
             run_pooled, run_local = _sample_chunk, _sample_chunk_on
         if self._workers > 1 and len(payloads) > 1 and fork_available():
-            return self._ensure_pool().map(run_pooled, payloads)
+            return _adopt_chunks(self._ensure_pool().map(run_pooled, payloads))
         return [run_local(self._base, payload) for payload in payloads]
 
 

@@ -1,0 +1,310 @@
+"""Zero-copy shared-memory transport for columnar :class:`PathBatch` chunks.
+
+The fork-based :class:`~repro.parallel.engine.ParallelEngine` historically
+shipped finished chunks back to the parent by pickling their packed columns
+through the pool's result pipe: one serialize, one pipe write, one pipe
+read, one deserialize per chunk.  This module replaces that wire with POSIX
+shared memory (:mod:`multiprocessing.shared_memory`): a worker copies the
+four columns of a finished batch into one freshly created segment and ships
+only a tiny :class:`ShmBatchRef` descriptor -- the segment name plus the
+two lengths that fully determine the column layout -- over the pipe.  The
+parent attaches the segment and wraps numpy *views* over its buffer
+directly into a :class:`~repro.diffusion.path_batch.PathBatch`: the sampled
+data crosses the process boundary exactly once (the worker's copy-in) and
+is never serialized, copied or parsed again.
+
+Lifecycle protocol (see DESIGN.md §7)
+-------------------------------------
+
+* **Naming.**  Segments are named ``repro-pb-<parent pid>-<random hex>``.
+  The parent passes its prefix to the workers at fork time, so every
+  segment a pool ever creates is attributable to (and sweepable by) the
+  parent that owns the pool, and unrelated processes never collide.
+* **Publish (worker).**  :func:`publish_batch` creates the segment, copies
+  the columns in, *unregisters it from the worker's resource tracker*
+  (ownership moves to the parent -- a worker exiting must not unlink data
+  the parent is still reading), closes its own mapping and returns the
+  descriptor.  Any failure (shared memory unavailable, ``/dev/shm`` full,
+  non-numpy columns) returns ``None`` and the caller falls back to pickling
+  the batch -- the transport degrades, the results do not change.
+* **Adopt (parent).**  :func:`adopt` attaches the segment, builds the
+  column views, and registers the segment in a per-process table of live
+  adoptions.  A finalizer on the returned batch releases the segment --
+  close plus unlink -- when the batch is garbage collected, so segment
+  lifetime is exactly the lifetime of the (usually short-lived) batch
+  object that views it.
+* **Crash safety.**  Every adopted-but-unreleased segment is released at
+  interpreter exit (``atexit``), and :func:`sweep_orphans` unlinks any
+  on-disk segment carrying this process's prefix that is *not* currently
+  adopted -- the leftovers of a worker that died between publish and
+  delivery.  :class:`~repro.parallel.engine.ParallelEngine` sweeps on
+  ``close()`` and the module sweeps at exit, so no orphan outlives its
+  owning process.
+
+Everything here is optional: :func:`shm_available` gates on the platform
+and on numpy, and every caller has a pickling fallback.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import uuid
+import weakref
+from dataclasses import dataclass
+
+from repro.diffusion.path_batch import PathBatch
+from repro.exceptions import EngineError
+
+try:  # optional: POSIX shared memory (absent on some exotic platforms)
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _shared_memory = None
+
+try:  # optional dependency: zero-copy views require numpy columns
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+__all__ = [
+    "TRANSPORTS",
+    "ShmBatchRef",
+    "shm_available",
+    "resolve_transport",
+    "default_prefix",
+    "segment_name",
+    "publish_batch",
+    "adopt",
+    "sweep_orphans",
+    "release_all",
+    "register_exit_cleanup",
+    "live_segments",
+]
+
+#: Transport names accepted by :class:`~repro.parallel.engine.ParallelEngine`.
+TRANSPORTS = ("auto", "shm", "pickle")
+
+#: Where POSIX shared memory is visible as files (the orphan sweep scans it).
+_SHM_DIR = "/dev/shm"
+
+#: Live adoptions: segment name -> the attached SharedMemory object.  A
+#: segment leaves this table exactly once, through :func:`_release_segment`.
+_ADOPTED: dict = {}
+
+_ATEXIT_REGISTERED = False
+
+
+def shm_available() -> bool:
+    """Whether the zero-copy transport can run here (platform + numpy)."""
+    return _shared_memory is not None and _np is not None
+
+
+def resolve_transport(transport: str, native_batches: bool = True) -> str:
+    """Normalize a transport argument to ``"shm"`` or ``"pickle"``.
+
+    ``"auto"`` selects shared memory when it is available *and* the base
+    engine produces columnar batches (object-path chunks have nothing to
+    place in a segment).  An explicit ``"shm"`` is honoured even when the
+    runtime later falls back per-chunk -- the fallback is graceful, not an
+    error.  Unknown names raise :class:`~repro.exceptions.EngineError`.
+    """
+    if not isinstance(transport, str) or transport.lower() not in TRANSPORTS:
+        raise EngineError(
+            f"transport must be one of {', '.join(TRANSPORTS)}, got {transport!r}"
+        )
+    key = transport.lower()
+    if key == "auto":
+        return "shm" if (shm_available() and native_batches) else "pickle"
+    return key
+
+
+def default_prefix() -> str:
+    """This process's segment-name prefix (embeds the pid for sweepability)."""
+    return f"repro-pb-{os.getpid()}-"
+
+
+def segment_name(prefix: "str | None" = None) -> str:
+    """A fresh collision-free segment name under ``prefix``."""
+    return (prefix or default_prefix()) + uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True, slots=True)
+class ShmBatchRef:
+    """The wire descriptor of one published batch: everything the parent
+    needs to attach and view the columns, and nothing else.
+
+    ``num_paths``/``num_nodes`` fully determine the segment layout (see
+    :func:`_layout`); the columns themselves never travel over the pipe.
+    """
+
+    name: str
+    num_paths: int
+    num_nodes: int
+
+
+def _layout(num_paths: int, num_nodes: int):
+    """Byte offsets of the four columns inside a segment.
+
+    Fixed-width dtypes, 8-byte-aligned sections first: ``offsets`` (int64,
+    ``num_paths + 1``), ``node_indices`` (int64), ``anchor_indices``
+    (int64), then ``is_type1`` (one bool byte per path) last so nothing
+    needs padding.  Returns ``(total_bytes, offsets_off, nodes_off,
+    anchors_off, flags_off)``.
+    """
+    offsets_off = 0
+    nodes_off = offsets_off + (num_paths + 1) * 8
+    anchors_off = nodes_off + num_nodes * 8
+    flags_off = anchors_off + num_paths * 8
+    total = flags_off + num_paths
+    return total, offsets_off, nodes_off, anchors_off, flags_off
+
+
+def _unregister_from_tracker(shm) -> None:
+    """Detach a worker-created segment from the worker's resource tracker.
+
+    The tracker would otherwise unlink the segment when the *worker* exits,
+    yanking the data out from under the parent; ownership of the name moves
+    to the adopting parent instead.  Best-effort by design: a tracker that
+    does not know the name has nothing to forget.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def publish_batch(batch: PathBatch, prefix: "str | None" = None) -> "ShmBatchRef | None":
+    """Copy a columnar batch into a fresh segment; return its descriptor.
+
+    Returns ``None`` -- meaning "fall back to pickling" -- when shared
+    memory is unavailable, the batch's columns are not numpy arrays, or the
+    segment cannot be created.  The worker's own mapping is closed before
+    returning; the parent is the segment's owner from here on.
+    """
+    if not shm_available():
+        return None
+    if not isinstance(batch.offsets, _np.ndarray):
+        return None
+    num_paths = len(batch)
+    num_nodes = int(batch.offsets[-1])
+    total, offsets_off, nodes_off, anchors_off, flags_off = _layout(num_paths, num_nodes)
+    try:
+        shm = _shared_memory.SharedMemory(
+            name=segment_name(prefix), create=True, size=max(total, 1)
+        )
+    except OSError:
+        return None
+    try:
+        buf = shm.buf
+
+        def column(offset, length, dtype):
+            return _np.ndarray((length,), dtype=dtype, buffer=buf, offset=offset)
+
+        column(offsets_off, num_paths + 1, _np.int64)[:] = batch.offsets
+        column(nodes_off, num_nodes, _np.int64)[:] = batch.node_indices
+        column(anchors_off, num_paths, _np.int64)[:] = batch.anchor_indices
+        column(flags_off, num_paths, _np.bool_)[:] = batch.is_type1
+        del buf
+        _unregister_from_tracker(shm)
+    finally:
+        shm.close()
+    return ShmBatchRef(name=shm.name, num_paths=num_paths, num_nodes=num_nodes)
+
+
+def _release_segment(name: str) -> None:
+    """Close and unlink one adopted segment (idempotent per name)."""
+    shm = _ADOPTED.pop(name, None)
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - a column view outlived its batch
+        pass  # unlink below still removes the name; the pages die with the maps
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def release_all() -> None:
+    """Release every still-adopted segment (the ``atexit`` safety net)."""
+    for name in list(_ADOPTED):
+        _release_segment(name)
+
+
+def _exit_cleanup() -> None:  # pragma: no cover - runs at interpreter exit
+    release_all()
+    sweep_orphans()
+
+
+def register_exit_cleanup() -> None:
+    """Arm the at-exit safety net (idempotent).
+
+    Called on the first adoption *and* when a pool with the shm transport
+    is forked, so a parent that dies between a worker's publish and its own
+    adopt still sweeps its segments on any non-brutal exit.
+    """
+    global _ATEXIT_REGISTERED
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_exit_cleanup)
+        _ATEXIT_REGISTERED = True
+
+
+def adopt(ref: ShmBatchRef) -> PathBatch:
+    """Attach a published segment and wrap zero-copy views into a batch.
+
+    The returned batch is detached (``graph is None``) exactly like a
+    pickled batch off the wire; the caller re-``attach()``-es its snapshot.
+    A finalizer ties the segment's lifetime to the batch object: when the
+    batch is collected, the segment is closed and unlinked.
+    """
+    if not shm_available():
+        raise EngineError("cannot adopt a shared-memory batch: shared memory unavailable")
+    shm = _shared_memory.SharedMemory(name=ref.name)
+    _, offsets_off, nodes_off, anchors_off, flags_off = _layout(ref.num_paths, ref.num_nodes)
+    buf = shm.buf
+    batch = PathBatch(
+        _np.ndarray((ref.num_paths + 1,), dtype=_np.int64, buffer=buf, offset=offsets_off),
+        _np.ndarray((ref.num_nodes,), dtype=_np.int64, buffer=buf, offset=nodes_off),
+        _np.ndarray((ref.num_paths,), dtype=_np.bool_, buffer=buf, offset=flags_off),
+        _np.ndarray((ref.num_paths,), dtype=_np.int64, buffer=buf, offset=anchors_off),
+        None,
+    )
+    _ADOPTED[ref.name] = shm
+    weakref.finalize(batch, _release_segment, ref.name)
+    register_exit_cleanup()
+    return batch
+
+
+def live_segments() -> tuple:
+    """Names of the currently adopted (attached, not yet released) segments."""
+    return tuple(_ADOPTED)
+
+
+def sweep_orphans(prefix: "str | None" = None) -> list[str]:
+    """Unlink stranded segments carrying ``prefix`` (default: this process's).
+
+    An orphan is a segment that exists on disk but is not currently
+    adopted: its publisher died (or was torn down) between publish and
+    delivery, so no finalizer will ever release it.  Call only while no
+    request is in flight on the owning pool -- an in-flight descriptor's
+    segment looks exactly like an orphan until the parent adopts it.
+    Returns the names swept; silently does nothing where shared memory is
+    not file-backed.
+    """
+    prefix = prefix or default_prefix()
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - non-/dev/shm platforms
+        return []
+    swept: list[str] = []
+    for entry in entries:
+        if entry.startswith(prefix) and entry not in _ADOPTED:
+            try:
+                os.unlink(os.path.join(_SHM_DIR, entry))
+            except OSError:  # pragma: no cover - raced with another release
+                continue
+            swept.append(entry)
+    return swept

@@ -539,8 +539,10 @@ class SamplePool:
         here: pool chunks are drawn from caller-owned seeds, so its chunk
         contents equal its *base* engine's -- spills must stay shareable
         across worker counts (and with the unwrapped engine).  Different
-        base backends (python vs numpy) draw different streams for the
-        same seed, so their spills must never be mistaken for each other.
+        base backends (python vs numpy vs numpy-alias) draw different
+        streams for the same seed -- the alias engine maps the *same*
+        uniform draws through its alias tables rather than the inverse
+        CDF -- so their spills must never be mistaken for each other.
         """
         engine = self._engine
         base = getattr(engine, "base", engine)

@@ -105,6 +105,69 @@ class TestSelectParent:
         assert compiled.select_parent(index, 0.999999) == -1
 
 
+class TestAliasTables:
+    """Vose alias tables: exact per-entry selection mass, CSR-aligned."""
+
+    @staticmethod
+    def _selection_mass(compiled, node_index):
+        """P(entry k) under the O(1) alias lookup, computed exactly.
+
+        A uniform cell ``k`` is hit with probability ``1/d``; it keeps its
+        own entry with probability ``alias_prob[lo+k]`` and falls through
+        to ``alias_index[lo+k]`` otherwise.
+        """
+        alias_prob, alias_index = compiled.alias_tables()
+        lo, hi = compiled.indptr[node_index], compiled.indptr[node_index + 1]
+        degree = hi - lo
+        mass = [0.0] * degree
+        for k in range(degree):
+            mass[k] += alias_prob[lo + k] / degree
+            mass[alias_index[lo + k]] += (1.0 - alias_prob[lo + k]) / degree
+        return mass
+
+    def test_mass_identity_on_every_node(self, small_ba_graph):
+        """Alias lookup probability == w_k / total for every in-edge."""
+        compiled = compile_graph(small_ba_graph)
+        for v in range(compiled.num_nodes):
+            lo, hi = compiled.indptr[v], compiled.indptr[v + 1]
+            if lo == hi:
+                continue
+            total = compiled.totals[v]
+            mass = self._selection_mass(compiled, v)
+            previous = 0.0
+            for k in range(hi - lo):
+                weight = compiled.cum_weights[lo + k] - previous
+                previous = compiled.cum_weights[lo + k]
+                assert mass[k] == pytest.approx(weight / total, abs=1e-9)
+
+    def test_columns_are_csr_aligned_and_local(self, small_ba_graph):
+        compiled = compile_graph(small_ba_graph)
+        alias_prob, alias_index = compiled.alias_tables()
+        assert len(alias_prob) == len(compiled.parents)
+        assert len(alias_index) == len(compiled.parents)
+        for v in range(compiled.num_nodes):
+            lo, hi = compiled.indptr[v], compiled.indptr[v + 1]
+            for k in range(hi - lo):
+                assert 0.0 <= alias_prob[lo + k] <= 1.0 + 1e-12
+                assert 0 <= alias_index[lo + k] < hi - lo
+
+    def test_built_once_per_snapshot(self, small_ba_graph):
+        compiled = compile_graph(small_ba_graph)
+        assert compiled.alias_tables() is compiled.alias_tables()
+
+    def test_isolated_nodes_and_empty_graph(self):
+        compiled = CompiledGraph(SocialGraph(nodes=["x", "y"]))
+        alias_prob, alias_index = compiled.alias_tables()
+        assert len(alias_prob) == 0
+        assert len(alias_index) == 0
+
+    def test_single_edge_table_is_identity(self):
+        compiled = CompiledGraph(SocialGraph(edges=[("a", "b", 0.3, 0.3)]))
+        alias_prob, alias_index = compiled.alias_tables()
+        assert list(alias_prob) == [1.0, 1.0]
+        assert list(alias_index) == [0, 0]
+
+
 class TestCompileCache:
     def test_cached_until_mutation(self):
         graph = apply_degree_normalized_weights(
