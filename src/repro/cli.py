@@ -18,6 +18,9 @@ The CLI exposes the common workflows without writing Python:
   control, metrics via the ``stats`` op).
 * ``repro bench-load`` -- replay the deterministic closed-loop load
   benchmark (coalescing vs. no-coalescing arm, bit-identity asserted).
+* ``repro compile-graph`` -- stream a SNAP edge list into an on-disk CSR
+  snapshot directory (bounded memory, DESIGN.md §8); ``raf``, ``matrix``
+  and ``serve`` then accept ``--snapshot DIR`` to open it memory-mapped.
 
 Every command accepts ``--seed`` for reproducibility and either
 ``--dataset`` (a built-in stand-in, with ``--scale``) or ``--edge-list``
@@ -61,8 +64,10 @@ from repro.experiments.ratio_comparison import format_ratio_comparison, run_rati
 from repro.experiments.realization_sweep import format_realization_sweep, run_realization_sweep
 from repro.experiments.reporting import format_table
 from repro.experiments.vmax_comparison import format_vmax_comparison, run_vmax_comparison
+from repro.graph.compiled import CompiledGraph
 from repro.graph.datasets import DATASET_NAMES, load_dataset
 from repro.graph.io import read_snap_graph
+from repro.graph.stream_compiler import WEIGHT_SCHEMES, compile_edge_list
 from repro.graph.metrics import compute_stats
 from repro.graph.weights import apply_degree_normalized_weights
 from repro.experiments.records import to_jsonable
@@ -100,6 +105,14 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--edge-list", type=str, default=None,
         help="path to a SNAP edge list; overrides --dataset/--scale",
+    )
+
+
+def _add_snapshot_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--snapshot", type=str, default=None, metavar="DIR",
+        help="compiled snapshot directory (see `repro compile-graph`), opened "
+             "memory-mapped; overrides --dataset/--scale/--edge-list",
     )
 
 
@@ -167,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     raf = subparsers.add_parser("raf", help="run RAF for one (initiator, target) pair")
     _add_graph_arguments(raf)
+    _add_snapshot_argument(raf)
     _add_pair_arguments(raf)
     _add_engine_argument(raf)
     raf.add_argument("--alpha", type=float, default=0.1, help="target fraction of pmax")
@@ -245,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fresh", action="store_true",
         help="recompute every cell instead of resuming from existing records",
     )
+    _add_snapshot_argument(matrix)
     _add_pool_arguments(matrix, default=True, default_text="on; records are "
                         "byte-identical with --no-pool, only slower")
 
@@ -254,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
              "stdin/stdout through a shared coalescing query service",
     )
     _add_graph_arguments(serve)
+    _add_snapshot_argument(serve)
     _add_engine_argument(serve)
     serve.add_argument(
         "--pool-budget", type=int, default=None, metavar="N",
@@ -295,6 +311,38 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also write the JSON report to this file")
     bench_load.add_argument("--min-speedup", type=float, default=None,
                             help="fail unless the coalescing arm reaches this speedup")
+
+    compile_graph = subparsers.add_parser(
+        "compile-graph",
+        help="stream a SNAP edge list into an on-disk CSR snapshot directory "
+             "(bounded memory; see DESIGN.md §8 for the format)",
+    )
+    compile_graph.add_argument("edgelist", type=str, help="path to the SNAP edge list to compile")
+    compile_graph.add_argument("snapshot_dir", type=str,
+                               help="output snapshot directory (created if missing)")
+    compile_graph.add_argument(
+        "--weights", choices=WEIGHT_SCHEMES, default="degree",
+        help="edge weight scheme: 'degree' (the paper's 1/|N_v|, default) or "
+             "'uniform' (a fixed per-edge weight, capped at 1/|N_v|)",
+    )
+    compile_graph.add_argument(
+        "--uniform-weight", type=float, default=0.1, metavar="W",
+        help="per-edge weight for --weights uniform (default: 0.1)",
+    )
+    compile_graph.add_argument(
+        "--name", type=str, default=None,
+        help="graph name recorded in the snapshot metadata (default: edge list stem)",
+    )
+    compile_graph.add_argument(
+        "--dedup", action=argparse.BooleanOptionalAction, default=True,
+        help="drop repeated undirected edges like the in-memory loader "
+             "(--no-dedup skips the duplicate set for pre-deduplicated inputs)",
+    )
+    compile_graph.add_argument(
+        "--chunk-edges", type=int, default=None, metavar="N",
+        help="edges buffered per streaming pass chunk (default: 1M; lower "
+             "bounds peak memory, higher is faster)",
+    )
     return parser
 
 
@@ -304,6 +352,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _load_graph(args: argparse.Namespace):
+    if getattr(args, "snapshot", None):
+        return CompiledGraph.open(args.snapshot)
     if getattr(args, "edge_list", None):
         graph = apply_degree_normalized_weights(read_snap_graph(args.edge_list))
         return graph
@@ -492,8 +542,13 @@ def _command_matrix(args: argparse.Namespace) -> int:
         budgets = tuple(int(item) for item in _split_csv(args.budgets))
     except ValueError:
         raise ReproError(f"--budgets must be comma-separated integers, got {args.budgets!r}") from None
+    datasets = _split_csv(args.datasets)
+    if args.snapshot is not None:
+        # A mapped snapshot replaces the dataset axis: every cell runs on the
+        # one compiled graph, and the fingerprint binds its digest.
+        datasets = ("snapshot",)
     spec = MatrixSpec(
-        datasets=_split_csv(args.datasets),
+        datasets=datasets,
         algorithms=_split_csv(args.algorithms),
         budgets=budgets,
         engines=_split_csv(args.engines),
@@ -504,6 +559,7 @@ def _command_matrix(args: argparse.Namespace) -> int:
         seed=args.seed,
         pool=args.pool,
         pool_budget=args.pool_budget,
+        snapshot=args.snapshot,
     )
     result = run_matrix(
         spec, args.output, workers=args.workers, resume=not args.fresh, echo=print
@@ -626,6 +682,30 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_compile_graph(args: argparse.Namespace) -> int:
+    extra = {}
+    if args.chunk_edges is not None:
+        if args.chunk_edges < 1:
+            raise ReproError(f"--chunk-edges must be at least 1, got {args.chunk_edges}")
+        extra["chunk_edges"] = args.chunk_edges
+    result = compile_edge_list(
+        args.edgelist,
+        args.snapshot_dir,
+        weights=args.weights,
+        uniform_weight=args.uniform_weight,
+        name=args.name,
+        dedup=args.dedup,
+        **extra,
+    )
+    print(f"snapshot: {result.directory}")
+    print(f"  nodes            : {result.num_nodes}")
+    print(f"  edges            : {result.num_edges}")
+    print(f"  digest           : {result.digest}")
+    print(f"  self-loops skipped: {result.self_loops_skipped}")
+    print(f"  duplicates skipped: {result.duplicates_skipped}")
+    return 0
+
+
 def _command_bench_load(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     report = run_load_benchmark(
@@ -650,6 +730,7 @@ _COMMANDS = {
     "matrix": _command_matrix,
     "serve": _command_serve,
     "bench-load": _command_bench_load,
+    "compile-graph": _command_compile_graph,
 }
 
 

@@ -207,6 +207,14 @@ class PythonEngine(_EngineBase):
     def sample_paths(
         self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
     ) -> list[TargetPath]:
+        """Draw ``count`` backward traces with the stdlib bisect walk.
+
+        Consumes exactly one ``rng.random()`` per walk step, so seeded
+        results are bit-for-bit identical to the historical dict-based
+        sampler -- and identical whether the snapshot lives in RAM or is
+        memory-mapped from disk (the binary search only ever touches the
+        CSR slice of the node being stepped).
+        """
         require_non_negative_int(count, "count")
         generator = ensure_rng(rng)
         compiled = self.compiled  # re-snapshots if the source graph mutated
@@ -328,17 +336,20 @@ class NumpyEngine(_EngineBase):
         self._rebind(self._compiled)
 
     def _rebind(self, compiled: CompiledGraph) -> None:
+        """Bind the engine's array views to a (possibly re-)compiled snapshot.
+
+        ``asarray`` on a memory-mapped snapshot's columns returns the
+        memmap views unchanged (zero-copy), so binding a mapped snapshot
+        keeps the O(m) columns on disk; only O(n) derived arrays are
+        materialized here.  The search mode's O(m) shifted-cumulative
+        array is built lazily by :meth:`_shifted_cum` on first use.
+        """
         np = self._np
         self._indptr = np.asarray(compiled.indptr, dtype=np.int64)
         self._parents = np.asarray(compiled.parents, dtype=np.int64)
-        cum = np.asarray(compiled.cum_weights, dtype=np.float64)
-        totals = np.asarray(compiled.totals, dtype=np.float64)
-        # stride > max total weight + 1 keeps every node's slice inside its
-        # own [stride*v, stride*(v+1)) band, so the shifted array is sorted.
-        self._stride = float(np.ceil(totals.max() + 2.0)) if totals.size else 2.0
-        owner = np.repeat(np.arange(len(compiled), dtype=np.int64), np.diff(self._indptr))
-        self._shifted = cum + self._stride * owner
-        self._totals = totals
+        self._totals = np.asarray(compiled.totals, dtype=np.float64)
+        self._stride = None
+        self._shifted = None
         self._degrees = np.diff(self._indptr)
         # Alias columns are built on first alias-mode selection (per snapshot).
         self._alias_prob = None
@@ -394,10 +405,36 @@ class NumpyEngine(_EngineBase):
         with one binary search over the globally shifted cumulative array.
         """
         np = self._np
-        locations = np.searchsorted(self._shifted, self._stride * current + draws, side="right")
+        shifted, stride = self._shifted_cum()
+        locations = np.searchsorted(shifted, stride * current + draws, side="right")
         alive = locations < self._indptr[current + 1]
         chosen = self._parents[np.minimum(locations, self._parents.size - 1)]
         return alive, chosen
+
+    def _shifted_cum(self):
+        """The globally shifted cumulative array (search mode), built lazily.
+
+        Entry ``j`` of node ``v`` is stored as ``stride*v + cum_weights[j]``
+        with ``stride`` larger than any node's total weight, which keeps
+        the concatenated array globally sorted so one binary search
+        resolves a whole lockstep round.  This is the one derived column
+        that is O(m) *resident* RAM, so it is materialized only when the
+        search mode actually selects -- the alias engine never calls this,
+        which is what keeps a memory-mapped snapshot fully out-of-core
+        under ``"numpy-alias"``.
+        """
+        if self._shifted is None:
+            np = self._np
+            cum = np.asarray(self._compiled.cum_weights, dtype=np.float64)
+            totals = self._totals
+            # stride > max total weight + 1 keeps every node's slice inside
+            # its own [stride*v, stride*(v+1)) band.
+            self._stride = float(np.ceil(totals.max() + 2.0)) if totals.size else 2.0
+            owner = np.repeat(
+                np.arange(len(self._compiled), dtype=np.int64), np.diff(self._indptr)
+            )
+            self._shifted = cum + self._stride * owner
+        return self._shifted, self._stride
 
     # ------------------------------------------------------------------ #
     # The columnar kernel
@@ -406,6 +443,14 @@ class NumpyEngine(_EngineBase):
     def sample_path_batch(
         self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
     ) -> PathBatch:
+        """Draw ``count`` backward traces as one columnar :class:`PathBatch`.
+
+        One ``Generator.random(live)`` and one vectorized friend selection
+        per lockstep round for the whole surviving batch; deterministic per
+        seed on this engine's named stream, bit-identical to
+        :meth:`sample_paths_reference`, and bit-identical between in-memory
+        and memory-mapped snapshots of the same graph.
+        """
         require_non_negative_int(count, "count")
         np = self._np
         nprng = self._batch_rng(rng)
@@ -488,6 +533,11 @@ class NumpyEngine(_EngineBase):
     def sample_paths(
         self, target: NodeId, stop_set: Iterable[NodeId], count: int, rng: RandomSource = None
     ) -> list[TargetPath]:
+        """Draw ``count`` traces as objects (the columnar kernel, viewed).
+
+        Same draws, same paths, same order as :meth:`sample_path_batch` --
+        this is literally that batch materialized.
+        """
         return self.sample_path_batch(target, stop_set, count, rng=rng).to_paths()
 
     # ------------------------------------------------------------------ #

@@ -15,6 +15,10 @@ __all__ = [
     "EdgeNotFoundError",
     "WeightError",
     "GraphFormatError",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotVersionError",
+    "SnapshotIntegrityError",
     "ProblemDefinitionError",
     "EstimationError",
     "EngineError",
@@ -65,6 +69,38 @@ class WeightError(GraphError, ValueError):
 
 class GraphFormatError(GraphError, ValueError):
     """An edge-list file or serialized graph could not be parsed."""
+
+
+class SnapshotError(GraphError):
+    """Base class for on-disk compiled-snapshot errors.
+
+    Raised (always with the offending path in the message) when a snapshot
+    directory cannot be written, opened or re-opened -- including the case
+    where the optional ``numpy`` dependency backing the ``.npy`` columns is
+    not installed.  More specific failure modes use the subclasses below so
+    callers can distinguish "not a snapshot" from "a snapshot from the
+    future" from "a damaged snapshot".
+    """
+
+
+class SnapshotFormatError(SnapshotError, ValueError):
+    """A snapshot directory is malformed: missing or unreadable ``meta.json``
+    or column files, wrong column dtypes/shapes, or inconsistent CSR
+    structure (see DESIGN.md §8 for the rejection rules)."""
+
+
+class SnapshotVersionError(SnapshotError, ValueError):
+    """A snapshot declares an on-disk format version this library does not
+    speak.  Snapshots are never silently reinterpreted across format
+    versions; recompile with ``repro compile-graph`` instead."""
+
+
+class SnapshotIntegrityError(SnapshotError, ValueError):
+    """A snapshot's recorded CSR digest does not match its column bytes.
+
+    Means the columns were truncated or modified after ``meta.json`` was
+    written; any sample drawn from such a snapshot would be untrustworthy,
+    so verification fails loudly."""
 
 
 class ProblemDefinitionError(ReproError, ValueError):

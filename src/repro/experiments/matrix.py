@@ -64,6 +64,7 @@ from repro.experiments.harness import evaluate_invitation
 from repro.experiments.pair_selection import select_pairs
 from repro.experiments.records import RecordStore, to_jsonable
 from repro.experiments.reporting import format_table
+from repro.graph.compiled import CompiledGraph, read_snapshot_meta
 from repro.graph.datasets import DATASET_NAMES, load_dataset
 from repro.parallel.engine import fork_available, resolve_worker_count
 from repro.pool.sample_pool import SamplePool
@@ -145,17 +146,24 @@ class MatrixSpec:
     seed: int = 2019
     pool: bool = True
     pool_budget: int | None = None
+    snapshot: str | None = None
 
     def __post_init__(self) -> None:
         require(bool(self.datasets), "at least one dataset is required")
         require(bool(self.algorithms), "at least one algorithm is required")
         require(bool(self.budgets), "at least one budget is required")
         require(bool(self.engines), "at least one engine is required")
+        allowed = DATASET_NAMES if self.snapshot is None else (*DATASET_NAMES, "snapshot")
         for name in self.datasets:
-            if name not in DATASET_NAMES:
+            if name not in allowed:
                 raise ExperimentError(
-                    f"unknown dataset {name!r}; available datasets: {', '.join(DATASET_NAMES)}"
+                    f"unknown dataset {name!r}; available datasets: {', '.join(allowed)}"
                 )
+        if self.snapshot is None and "snapshot" in self.datasets:
+            raise ExperimentError(
+                "the 'snapshot' dataset requires the snapshot field (a compiled "
+                "snapshot directory, e.g. --snapshot on the CLI)"
+            )
         for name in self.algorithms:
             if name not in MATRIX_ALGORITHM_NAMES:
                 raise ExperimentError(
@@ -220,6 +228,13 @@ class MatrixSpec:
             "min_distance": self.min_distance,
             "seed": self.seed,
         }
+        if self.snapshot is not None:
+            # The mapped snapshot IS protocol: records sampled from one
+            # on-disk graph must never resume against another, so the
+            # snapshot's CSR digest (not its path, which may be moved or
+            # rewritten) is bound into the fingerprint.  Absent for
+            # snapshot-free runs, keeping their fingerprints unchanged.
+            protocol["snapshot_digest"] = read_snapshot_meta(self.snapshot)["digest"]
         canonical = json.dumps(protocol, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
 
@@ -313,6 +328,7 @@ _POOL_CACHE_LIMIT = 8
 def _dataset_instance(spec: MatrixSpec, dataset: str):
     key = (
         dataset,
+        spec.snapshot,
         spec.scale,
         spec.seed,
         spec.screen_samples,
@@ -323,9 +339,15 @@ def _dataset_instance(spec: MatrixSpec, dataset: str):
     if key not in _DATASET_CACHE:
         while len(_DATASET_CACHE) >= _DATASET_CACHE_LIMIT:
             _DATASET_CACHE.pop(next(iter(_DATASET_CACHE)))
-        graph = load_dataset(
-            dataset, scale=spec.scale, rng=derive_rng(spec.seed, f"matrix-graph-{dataset}")
-        )
+        if dataset == "snapshot":
+            # A memory-mapped on-disk snapshot: opened per process (workers
+            # re-map by path), screened with the same derived stream as any
+            # other dataset so records stay worker-count independent.
+            graph = CompiledGraph.open(spec.snapshot)
+        else:
+            graph = load_dataset(
+                dataset, scale=spec.scale, rng=derive_rng(spec.seed, f"matrix-graph-{dataset}")
+            )
         pair = select_pairs(
             graph,
             1,
@@ -456,8 +478,10 @@ def run_matrix(
     # The pool knobs never influence a record's bytes (they toggle caching of
     # canonical streams, not the streams themselves), so they are kept out of
     # the archived spec -- like the fingerprint, record files are identical
-    # across pool settings.
-    for knob in ("pool", "pool_budget"):
+    # across pool settings.  The snapshot *path* is likewise excluded: it is
+    # host-dependent, and the content that matters is already bound into the
+    # fingerprint as snapshot_digest.
+    for knob in ("pool", "pool_budget", "snapshot"):
         archived_spec.pop(knob, None)
     metadata = {"spec_fingerprint": fingerprint, "spec": archived_spec}
     pending: list[MatrixCell] = []

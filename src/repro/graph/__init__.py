@@ -8,7 +8,13 @@ these graphs.
 """
 
 from repro.graph.social_graph import SocialGraph
-from repro.graph.compiled import CompiledGraph, compile_graph
+from repro.graph.compiled import (
+    CompiledGraph,
+    compile_graph,
+    compute_csr_digest,
+    read_snapshot_meta,
+)
+from repro.graph.stream_compiler import StreamCompileResult, compile_edge_list
 from repro.graph.weights import (
     apply_degree_normalized_weights,
     apply_explicit_weights,
@@ -58,6 +64,10 @@ __all__ = [
     "SocialGraph",
     "CompiledGraph",
     "compile_graph",
+    "compute_csr_digest",
+    "read_snapshot_meta",
+    "compile_edge_list",
+    "StreamCompileResult",
     "apply_degree_normalized_weights",
     "apply_uniform_weights",
     "apply_random_weights",

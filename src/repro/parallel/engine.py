@@ -130,6 +130,20 @@ def _init_worker(
     _WORKER_ENGINE = engine
     _WORKER_TRANSPORT = transport
     _WORKER_SHM_PREFIX = shm_prefix
+    # A memory-mapped snapshot is re-opened read-only by path in each worker
+    # rather than sampled through the mappings inherited from the parent at
+    # fork time: every worker then holds its own file-backed views (the OS
+    # page cache still shares the physical pages, so per-worker RSS stays
+    # flat) and keeps a valid snapshot even if the parent's mapping goes
+    # away.  Digest equality is checked inside reopen(), so a snapshot
+    # swapped on disk between fork and first chunk fails loudly instead of
+    # silently sampling different topology than the parent.
+    compiled = getattr(engine, "compiled", None)
+    if compiled is not None and getattr(compiled, "is_mapped", False):
+        compiled.reopen()
+        rebind = getattr(engine, "_rebind", None)
+        if rebind is not None:
+            rebind(compiled)
 
 
 def _ship_batch(batch: PathBatch):

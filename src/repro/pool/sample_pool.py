@@ -126,18 +126,15 @@ DEFAULT_MAX_TARGETS = 64
 def _csr_digest(compiled) -> str:
     """Digest of the compiled CSR a pool's cached paths were sampled from.
 
-    Computed only when the snapshot actually changes (and once at pool
-    construction), it covers the interned node ids and the full weighted
-    adjacency arrays, so any mutation that could change a sampled path
-    changes the digest.  Stable across processes (used to key spill
-    files to the topology that wrote them).
+    Delegates to :meth:`repro.graph.compiled.CompiledGraph.csr_digest`,
+    which hashes exactly the material this function historically hashed
+    (the interned node-id tuple plus the raw CSR column bytes), so spill
+    tags written by older releases keep matching.  For a memory-mapped
+    snapshot this is O(1): the digest was computed at compile time and is
+    carried by the snapshot's ``meta.json``, which is what binds spilled
+    samples to the on-disk topology that produced them.
     """
-    digest = hashlib.sha256()
-    digest.update(repr(compiled.nodes).encode("utf-8"))
-    digest.update(compiled.indptr.tobytes())
-    digest.update(compiled.parents.tobytes())
-    digest.update(compiled.cum_weights.tobytes())
-    return digest.hexdigest()[:24]
+    return compiled.csr_digest()
 
 
 def pool_key_digest(target: NodeId, stop_set: Iterable[NodeId], stream: str = "") -> str:
@@ -505,10 +502,10 @@ class SamplePool:
     ) -> bytes:
         """Lemma-2 covered-trace indicators of the stream's first ``count`` samples."""
 
-        def view(store: PathStore, start: int, stop: int) -> bytes:
+        def _view(store: PathStore, start: int, stop: int) -> bytes:
             return store.covered_bytes(start, stop, invitation)
 
-        return self._serve(target, stop_set, count, stream, view)
+        return self._serve(target, stop_set, count, stream, _view)
 
     def reader(self, target: NodeId, stop_set: Iterable[NodeId], stream: str = "") -> "PoolReader":
         """A sequential cursor over this key's canonical stream."""
