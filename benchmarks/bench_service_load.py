@@ -11,17 +11,29 @@ two arms on fresh pools with the same pool seed:
   samples, so this arm measures the service *without* coalescing);
 * ``coalesce``: duplicate in-flight requests attach to one execution.
 
-The benchmark asserts per-request *byte* identity between the arms and
-against standalone library calls before reporting a single number; the
-service changes cost, never results.  Run standalone with::
+``--socket`` replays the same schedule twice more over real TCP
+connections through the asyncio front end (:mod:`repro.service.server`,
+one socket per client), producing the ``socket-no-coalesce`` /``socket``
+rows; the ``socket`` row carries the client-side ``socket_p99_ms`` tail
+latency alongside its own ``coalesce_speedup``.
+
+The benchmark asserts per-request *byte* identity between the arms (the
+socket arms included) and against standalone library calls before
+reporting a single number; the service changes cost, never results.  Run
+standalone with::
 
     PYTHONPATH=src python benchmarks/bench_service_load.py
         [--clients 48] [--rounds 16] [--output PATH] [--min-speedup X]
+        [--socket] [--max-socket-p99-ms MS]
 
-``--min-speedup`` turns the report into a gate (the CI ``service-load`` job
-requires 2.0).  Results are written to ``BENCH_service.json`` at the
-repository root in the ``compare_bench.py`` schema, gated on the
-``coalesce_speedup`` metric.
+``--min-speedup`` turns the report into a gate (the CI ``service-load``
+job requires 2.0 in-process and ``--min-socket-speedup`` 1.1 over TCP --
+the wire and event-loop cost is paid per request either way, which
+dilutes the socket arm's coalescing win), and ``--max-socket-p99-ms`` is
+an absolute ceiling on the socket tail latency.  Results are written to
+``BENCH_service.json`` at the repository root in the ``compare_bench.py``
+schema, gated on ``coalesce_speedup`` drift (both transports) plus
+(``--lower-is-better``) drift on ``socket_p99_ms``.
 """
 
 from __future__ import annotations
@@ -56,6 +68,16 @@ def main(argv=None) -> int:
                         help=f"where to write the JSON report (default: {OUTPUT_PATH})")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless the coalescing arm reaches this speedup")
+    parser.add_argument("--socket", action="store_true",
+                        help="also replay both arms over TCP through the asyncio "
+                             "front end (adds the socket/socket-no-coalesce rows)")
+    parser.add_argument("--min-socket-speedup", type=float, default=None,
+                        help="fail unless the socket coalescing arm reaches this "
+                             "speedup (a lower bar than --min-speedup: the wire "
+                             "overhead is paid per request either way)")
+    parser.add_argument("--max-socket-p99-ms", type=float, default=None,
+                        help="fail when the socket arm's client-side p99 exceeds "
+                             "this many milliseconds (requires --socket)")
     args = parser.parse_args(argv)
     graph, _, _ = _benchmark_graph(num_nodes=args.nodes)
     report = run_load_benchmark(
@@ -65,8 +87,15 @@ def main(argv=None) -> int:
         rounds=args.rounds,
         seed=_SEED,
         pool_seed=_POOL_SEED,
+        socket_transport=args.socket,
     )
-    return emit_load_report(report, output=args.output, min_speedup=args.min_speedup)
+    return emit_load_report(
+        report,
+        output=args.output,
+        min_speedup=args.min_speedup,
+        min_socket_speedup=args.min_socket_speedup,
+        max_socket_p99_ms=args.max_socket_p99_ms,
+    )
 
 
 if __name__ == "__main__":

@@ -19,6 +19,11 @@ gate; rows present in only one report, and rows without the metric, are
 reported but never gated.  Absolute context (paths/sec or seconds) is
 printed alongside when available.
 
+``--lower-is-better`` flips the gate's direction for latency-style metrics
+(e.g. the service report's ``socket_p99_ms``): the fresh value may exceed
+the committed one by at most ``--max-regression``, instead of falling
+below it.
+
 ``--require "A>=B"`` adds a *cross-row* assertion on the fresh report:
 row ``A``'s metric must be at least row ``B``'s.  This is how the bench
 job encodes invariants the per-row regression gate cannot see -- e.g.
@@ -78,7 +83,14 @@ def check_requirements(fresh: dict, metric: str, requirements: list[str]) -> lis
     return failures
 
 
-def compare(baseline: dict, fresh: dict, max_regression: float, metric: str) -> list[str]:
+def compare(
+    baseline: dict,
+    fresh: dict,
+    max_regression: float,
+    metric: str,
+    *,
+    lower_is_better: bool = False,
+) -> list[str]:
     """Return a list of failure messages (empty when the gate passes)."""
     failures: list[str] = []
     gated_rows = 0
@@ -111,7 +123,13 @@ def compare(baseline: dict, fresh: dict, max_regression: float, metric: str) -> 
         if base_metric == 1.0 and fresh_metric == 1.0:
             continue  # the normalizer row itself, always ratio 1
         gated_rows += 1
-        if ratio < 1.0 - max_regression:
+        if lower_is_better:
+            if ratio > 1.0 + max_regression:
+                failures.append(
+                    f"{name}: {metric} regressed {ratio - 1.0:.0%} "
+                    f"({base_metric} -> {fresh_metric}, allowed {max_regression:.0%})"
+                )
+        elif ratio < 1.0 - max_regression:
             failures.append(
                 f"{name}: {metric} regressed {1.0 - ratio:.0%} "
                 f"({base_metric}x -> {fresh_metric}x, allowed {max_regression:.0%})"
@@ -145,10 +163,18 @@ def main(argv: list[str] | None = None) -> int:
         help="cross-row assertion on the fresh report: row A's metric must be "
              "at least row B's (repeatable)",
     )
+    parser.add_argument(
+        "--lower-is-better", action="store_true",
+        help="gate a latency-style metric: fail when the fresh value exceeds "
+             "the baseline by more than --max-regression",
+    )
     args = parser.parse_args(argv)
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
     fresh = json.loads(args.fresh.read_text(encoding="utf-8"))
-    failures = compare(baseline, fresh, args.max_regression, args.metric)
+    failures = compare(
+        baseline, fresh, args.max_regression, args.metric,
+        lower_is_better=args.lower_is_better,
+    )
     failures.extend(check_requirements(fresh, args.metric, args.require))
     if failures:
         print("\nBENCH REGRESSION:", file=sys.stderr)

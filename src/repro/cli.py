@@ -15,7 +15,11 @@ The CLI exposes the common workflows without writing Python:
 * ``repro serve`` -- a JSON-lines request loop over stdin/stdout answering
   pmax / evaluate / maximize queries through a shared
   :class:`~repro.service.QueryService` (request coalescing, admission
-  control, metrics via the ``stats`` op).
+  control, metrics via the ``stats`` op).  With ``--listen HOST:PORT`` the
+  same queries are served over TCP instead -- newline-delimited JSON or
+  HTTP/1.1 on one port -- with per-tenant pools and token-bucket budgets,
+  per-connection backpressure windows, deadlines and priority admission
+  (see DESIGN.md §9).
 * ``repro bench-load`` -- replay the deterministic closed-loop load
   benchmark (coalescing vs. no-coalescing arm, bit-identity asserted).
 * ``repro compile-graph`` -- stream a SNAP edge list into an on-disk CSR
@@ -36,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -74,14 +79,11 @@ from repro.experiments.records import to_jsonable
 from repro.parallel.engine import WORKERS_AUTO, maybe_parallel
 from repro.pool.sample_pool import SamplePool
 from repro.service.loadgen import emit_load_report, run_load_benchmark
-from repro.service.query_service import (
-    EvaluateQuery,
-    MaximizeQuery,
-    PmaxQuery,
-    QueryService,
-)
+from repro.service.query_service import QUERY_KINDS, QueryService
+from repro.service.server import serve_forever
 from repro.types import PairSpec, ordered
 from repro.utils.rng import derive_seed
+from repro.utils.tables import render_table
 
 __all__ = ["main", "build_parser"]
 
@@ -166,18 +168,44 @@ def _add_pair_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+#: Help/metavar grouping of the subcommands: (group, description, commands).
+#: ``build_parser`` registers the groups in this order and renders them as
+#: the top-level help epilog, so ``repro --help`` reads as four workflows
+#: rather than a flat nine-command list.
+_COMMAND_GROUPS = (
+    ("algorithms", "single-pair algorithms", ("raf", "vmax", "maximize")),
+    ("experiments", "paper artefacts and scenario grids", ("datasets", "experiment", "matrix")),
+    ("serving", "query serving and load benchmarking", ("serve", "bench-load")),
+    ("data", "graph compilation tooling", ("compile-graph",)),
+)
+
+
+def _group_epilog() -> str:
+    lines = ["command groups:"]
+    for group, description, commands in _COMMAND_GROUPS:
+        lines.append(f"  {group:<12} {', '.join(commands)}")
+        lines.append(f"  {'':<12} {description}")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """Build the top-level argument parser."""
+    """Build the top-level argument parser (subcommands in workflow groups)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Active friending under the linear threshold model (Tong et al., ICDCS 2019).",
+        epilog=_group_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument("--seed", type=int, default=2019, help="random seed (default: 2019)")
-    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
+    _register_algorithm_commands(subparsers)
+    _register_experiment_commands(subparsers)
+    _register_serving_commands(subparsers)
+    _register_data_commands(subparsers)
+    return parser
 
-    datasets = subparsers.add_parser("datasets", help="show Table I statistics of the stand-ins")
-    datasets.add_argument("--scale", type=float, default=None)
 
+def _register_algorithm_commands(subparsers) -> None:
     raf = subparsers.add_parser("raf", help="run RAF for one (initiator, target) pair")
     _add_graph_arguments(raf)
     _add_snapshot_argument(raf)
@@ -204,6 +232,11 @@ def build_parser() -> argparse.ArgumentParser:
     maximize.add_argument("--budget", type=int, required=True, help="invitation budget")
     maximize.add_argument("--realizations", type=int, default=5000)
     _add_pool_arguments(maximize, default=False, default_text="off")
+
+
+def _register_experiment_commands(subparsers) -> None:
+    datasets = subparsers.add_parser("datasets", help="show Table I statistics of the stand-ins")
+    datasets.add_argument("--scale", type=float, default=None)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a table or figure")
     experiment.add_argument("name", choices=EXPERIMENT_CHOICES, help="which artefact to regenerate")
@@ -263,6 +296,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pool_arguments(matrix, default=True, default_text="on; records are "
                         "byte-identical with --no-pool, only slower")
 
+
+def _register_serving_commands(subparsers) -> None:
     serve = subparsers.add_parser(
         "serve",
         help="answer pmax/evaluate/maximize queries as JSON lines over "
@@ -291,6 +326,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="coalesce equal in-flight queries onto one execution "
              "(--no-coalesce disables; results are identical either way)",
     )
+    serve.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="serve over TCP instead of stdin: newline-delimited JSON or "
+             "HTTP/1.1 on one port (POST /query, GET /stats, GET /healthz); "
+             "port 0 picks a free port (default: stdin/stdout loop)",
+    )
+    serve.add_argument(
+        "--tenant-burst", type=int, default=None, metavar="N",
+        help="per-tenant token-bucket capacity in sample units; requests "
+             "beyond it are refused with error_type 'budget' "
+             "(--listen only; default: unlimited)",
+    )
+    serve.add_argument(
+        "--tenant-rate", type=float, default=None, metavar="R",
+        help="per-tenant bucket refill rate in sample units per second; "
+             "requires --tenant-burst (--listen only; default: 0, no refill)",
+    )
+    serve.add_argument(
+        "--max-tenants", type=int, default=64, metavar="N",
+        help="cap on distinct tenants, each with its own pool and budget "
+             "(--listen only; default: 64)",
+    )
+    serve.add_argument(
+        "--connection-window", type=int, default=32, metavar="N",
+        help="bounded in-flight request window per connection; further "
+             "reads wait until responses drain (--listen only; default: 32)",
+    )
+    serve.add_argument(
+        "--default-deadline-ms", type=float, default=None, metavar="MS",
+        help="deadline applied to requests that do not carry their own "
+             "deadline_ms field (--listen only; default: none)",
+    )
 
     bench_load = subparsers.add_parser(
         "bench-load",
@@ -311,7 +378,18 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also write the JSON report to this file")
     bench_load.add_argument("--min-speedup", type=float, default=None,
                             help="fail unless the coalescing arm reaches this speedup")
+    bench_load.add_argument("--socket", action="store_true",
+                            help="also replay both arms over TCP through the asyncio "
+                                 "front end (adds socket rows with client-side p99)")
+    bench_load.add_argument("--min-socket-speedup", type=float, default=None,
+                            help="fail unless the socket coalescing arm reaches this "
+                                 "speedup (requires --socket)")
+    bench_load.add_argument("--max-socket-p99-ms", type=float, default=None, metavar="MS",
+                            help="fail when the socket arm's client-side p99 exceeds "
+                                 "this many milliseconds (requires --socket)")
 
+
+def _register_data_commands(subparsers) -> None:
     compile_graph = subparsers.add_parser(
         "compile-graph",
         help="stream a SNAP edge list into an on-disk CSR snapshot directory "
@@ -343,7 +421,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="edges buffered per streaming pass chunk (default: 1M; lower "
              "bounds peak memory, higher is faster)",
     )
-    return parser
 
 
 # --------------------------------------------------------------------------- #
@@ -570,14 +647,6 @@ def _command_matrix(args: argparse.Namespace) -> int:
     return 0
 
 
-#: JSON-lines ``op`` field -> query constructor for ``repro serve``.
-_SERVE_QUERIES = {
-    PmaxQuery.kind: PmaxQuery,
-    EvaluateQuery.kind: EvaluateQuery,
-    MaximizeQuery.kind: MaximizeQuery,
-}
-
-
 def _serve_malformed(line_number: int, reason: str) -> int:
     print(f"error: malformed request on line {line_number}: {reason}", file=sys.stderr)
     return 1
@@ -595,6 +664,63 @@ _SERVE_WINDOW = 32
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    """Dispatch ``repro serve``: stdin loop by default, TCP with --listen.
+
+    The stdin mode is the original interface and its output is unchanged;
+    the tenancy/budget/deadline flags only make sense for the socket server
+    and are refused otherwise rather than silently ignored.
+    """
+    if args.listen is not None:
+        return _serve_listen(args)
+    for flag, value, unset in (
+        ("--tenant-burst", args.tenant_burst, None),
+        ("--tenant-rate", args.tenant_rate, None),
+        ("--max-tenants", args.max_tenants, 64),
+        ("--connection-window", args.connection_window, 32),
+        ("--default-deadline-ms", args.default_deadline_ms, None),
+    ):
+        if value != unset:
+            raise ReproError(f"{flag} requires --listen (the stdin loop is single-tenant)")
+    try:
+        return _serve_stdin(args)
+    except BrokenPipeError:
+        # The downstream reader (e.g. `repro serve | head -1`) closed our
+        # stdout mid-stream.  That is a normal way for a consumer to stop:
+        # drain quietly and exit clean instead of dying on the traceback.
+        print(
+            "serve: stdout closed by the downstream reader; "
+            "drained in-flight requests and stopped",
+            file=sys.stderr,
+        )
+        _neutralize_stdout()
+        return 0
+    except KeyboardInterrupt:
+        print(
+            "serve: interrupted; drained in-flight requests and stopped",
+            file=sys.stderr,
+        )
+        return 130
+
+
+def _neutralize_stdout() -> None:
+    """Detach the broken stdout so interpreter-shutdown flushes stay quiet.
+
+    After EPIPE the buffered writer still holds the half-written line; the
+    interpreter flushes every open file at exit, which would print an
+    ``Exception ignored`` traceback to stderr.  Flush-and-close now (eating
+    the expected error) and point ``sys.stdout`` at /dev/null.
+    """
+    try:
+        sys.stdout.close()
+    except (OSError, ValueError):
+        pass
+    try:
+        sys.stdout = open(os.devnull, "w", encoding="utf-8")
+    except OSError:  # pragma: no cover - /dev/null always opens on POSIX
+        pass
+
+
+def _serve_stdin(args: argparse.Namespace) -> int:
     """The JSON-lines request loop.
 
     One request object per input line, one response line per request *in
@@ -666,10 +792,10 @@ def _command_serve(args: argparse.Namespace) -> int:
                     },
                 })
                 continue
-            builder = _SERVE_QUERIES.get(op)
+            builder = QUERY_KINDS.get(op)
             if builder is None:
                 drain()
-                known = ", ".join(sorted((*_SERVE_QUERIES, "stats")))
+                known = ", ".join(sorted((*QUERY_KINDS, "stats")))
                 return _serve_malformed(line_number, f"unknown op {op!r} (expected {known})")
             try:
                 query = builder(**request)
@@ -679,6 +805,99 @@ def _command_serve(args: argparse.Namespace) -> int:
             pending.append((op, executor.submit(service.submit, query)))
             drain(down_to=window - 1)
         drain()
+    return 0
+
+
+def _parse_listen(value: str) -> tuple[str, int]:
+    host, sep, port_text = value.rpartition(":")
+    if not sep or not host:
+        raise ReproError(f"--listen expects HOST:PORT, got {value!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ReproError(f"--listen port must be an integer, got {port_text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ReproError(f"--listen port must be in [0, 65535], got {port}")
+    return host, port
+
+
+def _format_latency_ms(seconds: "float | None") -> str:
+    return "-" if seconds is None else f"{seconds * 1000.0:.2f}"
+
+
+def _server_stats_report(stats: dict) -> str:
+    """The shutdown report of ``repro serve --listen``: summary + tenant table."""
+    server = stats["server"]
+    summary = (
+        f"shutting down: {server['responses_total']} responses on "
+        f"{server['connections_total']} connections "
+        f"({server['malformed_total']} malformed, "
+        f"{server['budget_rejected_total']} over budget, "
+        f"{server['deadline_expired_total']} deadline-expired)"
+    )
+    rows = [
+        (
+            name,
+            tenant["requests"],
+            tenant["executed"],
+            tenant["coalesced"],
+            tenant["rejected"],
+            _format_latency_ms(tenant["latency_p50"]),
+            _format_latency_ms(tenant["latency_p99"]),
+            "-" if tenant["tokens"] is None else f"{tenant['tokens']:.1f}",
+        )
+        for name, tenant in stats["tenants"].items()
+    ]
+    if not rows:
+        return summary
+    table = render_table(
+        ("tenant", "requests", "executed", "coalesced", "rejected",
+         "p50 ms", "p99 ms", "tokens"),
+        rows,
+        title="per-tenant service metrics",
+    )
+    return f"{summary}\n{table}"
+
+
+def _serve_listen(args: argparse.Namespace) -> int:
+    """Run the asyncio socket/HTTP server until interrupted."""
+    import asyncio
+
+    host, port = _parse_listen(args.listen)
+    graph = _load_graph(args)
+
+    def echo(message: str) -> None:
+        # Control-plane chatter goes to stderr: stdout stays clean in case
+        # the process is composed into a pipeline.
+        print(message, file=sys.stderr, flush=True)
+
+    try:
+        asyncio.run(serve_forever(
+            graph,
+            engine=args.engine,
+            workers=args.workers,
+            seed=args.seed,
+            pool_budget=args.pool_budget,
+            max_in_flight=args.max_in_flight,
+            max_query_samples=args.max_query_samples,
+            coalesce=args.coalesce,
+            host=host,
+            port=port,
+            tenant_burst=args.tenant_burst,
+            tenant_rate=args.tenant_rate,
+            max_tenants=args.max_tenants,
+            connection_window=args.connection_window,
+            default_deadline_ms=args.default_deadline_ms,
+            echo=echo,
+            on_shutdown=lambda stats: echo(_server_stats_report(stats)),
+        ))
+    except KeyboardInterrupt:
+        print("serve: interrupted; server closed cleanly", file=sys.stderr)
+        return 0
+    except ValueError as error:
+        # Configuration errors from QueryServer (e.g. --tenant-rate without
+        # --tenant-burst) surface as the CLI's usual error: line.
+        raise ReproError(str(error)) from None
     return 0
 
 
@@ -717,8 +936,15 @@ def _command_bench_load(args: argparse.Namespace) -> int:
         pool_seed=args.pool_seed,
         engine=args.engine,
         workers=args.workers,
+        socket_transport=args.socket,
     )
-    return emit_load_report(report, output=args.output, min_speedup=args.min_speedup)
+    return emit_load_report(
+        report,
+        output=args.output,
+        min_speedup=args.min_speedup,
+        min_socket_speedup=args.min_socket_speedup,
+        max_socket_p99_ms=args.max_socket_p99_ms,
+    )
 
 
 _COMMANDS = {

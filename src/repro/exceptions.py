@@ -30,6 +30,8 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceRejectedError",
+    "ServiceClosedError",
+    "ServiceBudgetExceededError",
 ]
 
 
@@ -160,3 +162,26 @@ class ServiceOverloadedError(ServiceError):
 class ServiceRejectedError(ServiceError, ValueError):
     """Admission control refused a query: it exceeds the per-query budget
     (e.g. it requests more samples than ``max_query_samples`` allows)."""
+
+
+class ServiceClosedError(ServiceError):
+    """A query reached a service whose :meth:`~repro.service.QueryService.close`
+    has begun (or finished).
+
+    Raised *instead of* executing against an engine or executor that is
+    being torn down: a submission racing ``close()`` -- including a
+    would-be coalesced follower -- fails fast with this typed error rather
+    than hanging on a latch nobody will set or surfacing a bare
+    ``RuntimeError`` from a shut-down ``ThreadPoolExecutor``.
+    """
+
+
+class ServiceBudgetExceededError(ServiceError):
+    """A tenant's token-bucket budget cannot cover a request's sample cost.
+
+    Raised by the serving front end (:mod:`repro.service.server`) before the
+    query reaches the service proper; the request should be retried after
+    the bucket refills (HTTP clients see 429).  Distinct from
+    :class:`ServiceRejectedError`, which means the single request is too
+    large to *ever* admit.
+    """

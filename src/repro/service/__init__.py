@@ -1,5 +1,6 @@
-"""Concurrent query service over the shared sample pool (see
-:mod:`repro.service.query_service` and :mod:`repro.service.loadgen`)."""
+"""Concurrent query service over the shared sample pool, plus the asyncio
+socket/HTTP serving front end (see :mod:`repro.service.query_service`,
+:mod:`repro.service.server` and :mod:`repro.service.loadgen`)."""
 
 from repro.service.loadgen import (
     LoadResult,
@@ -12,6 +13,7 @@ from repro.service.loadgen import (
     run_standalone,
 )
 from repro.service.query_service import (
+    QUERY_KINDS,
     EvaluateQuery,
     MaximizeQuery,
     PmaxQuery,
@@ -20,15 +22,20 @@ from repro.service.query_service import (
     ServiceMetrics,
     execute_query,
 )
+from repro.service.server import QueryServer, TokenBucket, serve_forever
 
 __all__ = [
     "EvaluateQuery",
     "MaximizeQuery",
     "PmaxQuery",
     "Query",
+    "QUERY_KINDS",
+    "QueryServer",
     "QueryService",
     "ServiceMetrics",
+    "TokenBucket",
     "execute_query",
+    "serve_forever",
     "LoadResult",
     "candidate_pairs",
     "canonical_result",

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.diffusion.engine import create_engine
 from repro.exceptions import ServiceError
@@ -43,6 +43,7 @@ from repro.service.query_service import (
     MaximizeQuery,
     PmaxQuery,
     QueryService,
+    _percentile,
     execute_query,
 )
 from repro.utils.rng import RandomSource, derive_rng, ensure_rng
@@ -54,7 +55,9 @@ __all__ = [
     "hot_queries",
     "generate_schedule",
     "canonical_result",
+    "query_to_wire",
     "run_load",
+    "run_socket_load",
     "run_standalone",
     "run_load_benchmark",
     "emit_load_report",
@@ -204,8 +207,8 @@ class LoadResult:
     samples_drawn: int
     coalesce_rate: float
     pool_hit_rate: float
-    latency_p50: float
-    latency_p99: float
+    latency_p50: float | None
+    latency_p99: float | None
 
 
 def run_load(service: QueryService, schedule: list[list]) -> LoadResult:
@@ -228,6 +231,111 @@ def run_load(service: QueryService, schedule: list[list]) -> LoadResult:
         pool_hit_rate=metrics.pool_hit_rate,
         latency_p50=metrics.latency_p50,
         latency_p99=metrics.latency_p99,
+    )
+
+
+def query_to_wire(query) -> dict:
+    """The JSON-lines request object for ``query`` (the socket envelope).
+
+    Inverse of the server's ``QUERY_KINDS[op](**fields)`` construction:
+    frozensets become sorted lists (JSON has no sets; the query coerces
+    them back in ``__post_init__``), everything else ships as-is.
+    """
+    payload: dict = {"op": query.kind}
+    for spec in fields(query):
+        value = getattr(query, spec.name)
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        payload[spec.name] = value
+    return payload
+
+
+def run_socket_load(
+    graph: SocialGraph,
+    schedule: list[list],
+    *,
+    pool_seed: int,
+    engine: str = "python",
+    workers: int | str | None = None,
+    coalesce: bool = True,
+    tenant: str = "default",
+) -> LoadResult:
+    """Replay a schedule over real TCP connections, wave by wave.
+
+    Starts an in-process :class:`~repro.service.server.QueryServer`, opens
+    one socket per schedule column (client) and replays the waves closed
+    loop: every client writes its round-``r`` request as one JSON line and
+    the wave completes when all responses have arrived.  The transcript
+    re-canonicalizes the ``result`` object from each response line, so it
+    compares byte-for-byte against the in-process arms and the standalone
+    reference -- the bit-identity contract across a process-boundary
+    transport.  ``latency_p50``/``latency_p99`` are *client-side* seconds
+    (write-to-response, including wire and event-loop time), unlike the
+    in-process arms' service-side execution latencies.
+    """
+    import asyncio
+
+    from repro.service.server import QueryServer
+
+    if not schedule:
+        raise ServiceError("the schedule is empty")
+    num_clients = len(schedule[0])
+    latencies: list[float] = []
+
+    async def _request(streams, query) -> str:
+        reader, writer = streams
+        line = json.dumps(query_to_wire(query), sort_keys=True).encode("utf-8") + b"\n"
+        start = time.perf_counter()
+        writer.write(line)
+        await writer.drain()
+        raw = await reader.readline()
+        latencies.append(time.perf_counter() - start)
+        if not raw:
+            raise ServiceError("server closed the connection mid-schedule")
+        response = json.loads(raw)
+        if not response.get("ok"):
+            raise ServiceError(f"socket request refused: {response!r}")
+        return json.dumps(response["result"], sort_keys=True)
+
+    async def _run() -> tuple:
+        async with QueryServer(
+            graph, engine=engine, workers=workers, seed=pool_seed, coalesce=coalesce
+        ) as server:
+            clients = [
+                await asyncio.open_connection(server.host, server.port)
+                for _ in range(num_clients)
+            ]
+            try:
+                start = time.perf_counter()
+                waves = []
+                for wave in schedule:
+                    answers = await asyncio.gather(*(
+                        _request(clients[index], query)
+                        for index, query in enumerate(wave)
+                    ))
+                    waves.append(tuple(answers))
+                transcript = tuple(waves)
+                seconds = time.perf_counter() - start
+                # Metrics must be read before aclose() tears the tenant down.
+                metrics = server.tenant_service(tenant).metrics()
+                return transcript, seconds, metrics
+            finally:
+                for _, writer in clients:
+                    writer.close()
+
+    transcript, seconds, metrics = asyncio.run(_run())
+    ordered = sorted(latencies)
+    return LoadResult(
+        transcript=transcript,
+        seconds=seconds,
+        requests=metrics.requests,
+        executed=metrics.executed,
+        coalesced=metrics.coalesced,
+        samples_drawn=metrics.samples_drawn,
+        coalesce_rate=metrics.coalesce_rate,
+        pool_hit_rate=metrics.pool_hit_rate,
+        latency_p50=_percentile(ordered, 0.50),
+        latency_p99=_percentile(ordered, 0.99),
     )
 
 
@@ -254,15 +362,21 @@ def run_load_benchmark(
     engine: str = "python",
     workers: int | str | None = None,
     verify_standalone: bool = True,
+    socket_transport: bool = False,
 ) -> dict:
     """Replay one deterministic workload through both service arms.
 
     Returns a report in the ``compare_bench.py`` schema whose ``coalesce``
     row carries ``coalesce_speedup`` (wall-clock of the no-coalescing arm
     over the coalescing arm, both on fresh pools with the same seed).
-    Raises :class:`~repro.exceptions.ServiceError` if the two arms -- or,
-    with ``verify_standalone``, the service and standalone calls -- are not
-    byte-identical.
+    With ``socket_transport``, the same schedule is additionally replayed
+    over real TCP connections (:func:`run_socket_load`, one socket per
+    client) in both coalescing flavours; the ``socket`` row carries its own
+    ``coalesce_speedup`` (socket arm over socket arm, so the wire overhead
+    cancels) plus ``socket_p50_ms``/``socket_p99_ms`` client-side
+    latencies.  Raises :class:`~repro.exceptions.ServiceError` if any two
+    arms -- or, with ``verify_standalone``, the service and standalone
+    calls -- are not byte-identical.
     """
     pairs = candidate_pairs(graph, hot_pairs, rng=derive_rng(seed, "load-pairs"))
     hot = hot_queries(graph, pairs, rng=derive_rng(seed, "load-hot"))
@@ -277,6 +391,20 @@ def run_load_benchmark(
 
     if arms["coalesce"].transcript != arms["no-coalesce"].transcript:
         raise ServiceError("coalesced results diverged from independent execution")
+    if socket_transport:
+        for name, coalesce in (("socket-no-coalesce", False), ("socket", True)):
+            arms[name] = run_socket_load(
+                graph, schedule, pool_seed=pool_seed, engine=engine,
+                workers=workers, coalesce=coalesce,
+            )
+        for socket_name, inproc_name in (
+            ("socket", "coalesce"), ("socket-no-coalesce", "no-coalesce"),
+        ):
+            if arms[socket_name].transcript != arms[inproc_name].transcript:
+                raise ServiceError(
+                    f"the {socket_name} transcript diverged from the "
+                    f"in-process {inproc_name} arm"
+                )
     if verify_standalone:
         for query in {query for wave in schedule for query in wave}:
             expected = run_standalone(graph, query, pool_seed, engine=engine)
@@ -286,7 +414,15 @@ def run_load_benchmark(
                     f"service answer for {query!r} diverged from the standalone call"
                 )
 
-    speedup = arms["no-coalesce"].seconds / arms["coalesce"].seconds
+    speedups = {
+        "no-coalesce": 1.0,
+        "coalesce": round(arms["no-coalesce"].seconds / arms["coalesce"].seconds, 2),
+    }
+    if socket_transport:
+        speedups["socket-no-coalesce"] = 1.0
+        speedups["socket"] = round(
+            arms["socket-no-coalesce"].seconds / arms["socket"].seconds, 2
+        )
     results = {}
     for name, arm in arms.items():
         results[name] = {
@@ -297,10 +433,15 @@ def run_load_benchmark(
             "paths_drawn": arm.samples_drawn,
             "coalesce_rate": round(arm.coalesce_rate, 4),
             "pool_hit_rate": round(arm.pool_hit_rate, 4),
-            "latency_p50": round(arm.latency_p50, 6),
-            "latency_p99": round(arm.latency_p99, 6),
-            "coalesce_speedup": 1.0 if name == "no-coalesce" else round(speedup, 2),
+            "latency_p50": None if arm.latency_p50 is None else round(arm.latency_p50, 6),
+            "latency_p99": None if arm.latency_p99 is None else round(arm.latency_p99, 6),
+            "coalesce_speedup": speedups[name],
         }
+    if socket_transport:
+        # Only the coalescing socket row carries the CI-gated wire latency
+        # (one gated row keeps the drift gate's flake surface minimal).
+        results["socket"]["socket_p50_ms"] = round(arms["socket"].latency_p50 * 1000.0, 3)
+        results["socket"]["socket_p99_ms"] = round(arms["socket"].latency_p99 * 1000.0, 3)
     return {
         "benchmark": "service_load",
         "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
@@ -313,20 +454,34 @@ def run_load_benchmark(
             "pool_seed": pool_seed,
             "engine": engine,
             "workers": workers if workers is None else str(workers),
+            "socket_transport": socket_transport,
         },
         "bit_identical": True,
         "results": results,
     }
 
 
-def emit_load_report(report: dict, output=None, min_speedup: float | None = None) -> int:
+def emit_load_report(
+    report: dict,
+    output=None,
+    min_speedup: float | None = None,
+    min_socket_speedup: float | None = None,
+    max_socket_p99_ms: float | None = None,
+) -> int:
     """Write, print and (optionally) gate a load-benchmark report.
 
     The shared tail of ``repro bench-load`` and
     ``benchmarks/bench_service_load.py``: writes the canonical JSON to
     ``output`` (if given), prints the report and the speedup summary, and
     returns a process exit code -- 1 with a stderr diagnostic when the
-    coalescing arm falls short of ``min_speedup``, 0 otherwise.
+    coalescing arm falls short of ``min_speedup``, the socket arm falls
+    short of ``min_socket_speedup``, or the socket arm's client-side p99
+    exceeds the ``max_socket_p99_ms`` absolute ceiling; 0 otherwise.
+    The socket arm has its own (lower) speedup bar because the wire and
+    event-loop overhead is paid per *request*, coalesced or not, which
+    dilutes the execution savings the in-process arms see undiluted.
+    Asking for a socket gate without a socket arm in the report fails
+    rather than passing vacuously.
     """
     import sys
     from pathlib import Path
@@ -336,13 +491,37 @@ def emit_load_report(report: dict, output=None, min_speedup: float | None = None
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(report, indent=2))
+    failed = False
     speedup = report["results"]["coalesce"]["coalesce_speedup"]
     print(f"\ncoalesce speedup: {speedup}x over the no-coalescing arm "
           "(bit-identical results, standalone-verified)")
+    socket_row = report["results"].get("socket")
+    if socket_row is not None:
+        print(f"socket transport: {socket_row['coalesce_speedup']}x coalesce speedup, "
+              f"client-side p99 {socket_row['socket_p99_ms']} ms "
+              "(byte-identical to the in-process arms)")
     if min_speedup is not None and speedup < min_speedup:
         print(f"FAIL: speedup {speedup}x below required {min_speedup}x", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if min_socket_speedup is not None:
+        if socket_row is None:
+            print("FAIL: --min-socket-speedup given but the report has no socket arm",
+                  file=sys.stderr)
+            failed = True
+        elif socket_row["coalesce_speedup"] < min_socket_speedup:
+            print(f"FAIL: socket speedup {socket_row['coalesce_speedup']}x below "
+                  f"required {min_socket_speedup}x", file=sys.stderr)
+            failed = True
+    if max_socket_p99_ms is not None:
+        if socket_row is None:
+            print("FAIL: --max-socket-p99-ms given but the report has no socket arm",
+                  file=sys.stderr)
+            failed = True
+        elif socket_row["socket_p99_ms"] > max_socket_p99_ms:
+            print(f"FAIL: socket p99 {socket_row['socket_p99_ms']} ms above the "
+                  f"{max_socket_p99_ms} ms ceiling", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
 
 
 def _transcript_lookup(schedule: list[list], transcript: tuple, query) -> str:

@@ -61,6 +61,7 @@ from repro.diffusion.friending_process import (
     estimate_acceptance_probability,
 )
 from repro.exceptions import (
+    ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
     ServiceRejectedError,
@@ -77,6 +78,7 @@ __all__ = [
     "EvaluateQuery",
     "MaximizeQuery",
     "Query",
+    "QUERY_KINDS",
     "ServiceMetrics",
     "QueryService",
 ]
@@ -148,6 +150,11 @@ Query = PmaxQuery | EvaluateQuery | MaximizeQuery
 
 _QUERY_TYPES = (PmaxQuery, EvaluateQuery, MaximizeQuery)
 
+#: Wire-protocol ``op`` field -> query constructor.  Shared by every
+#: process boundary speaking the JSON request shape: the ``repro serve``
+#: stdin loop and the socket/HTTP front end (:mod:`repro.service.server`).
+QUERY_KINDS = {cls.kind: cls for cls in _QUERY_TYPES}
+
 
 def _unsupported_query(query) -> ServiceError:
     return ServiceError(
@@ -201,13 +208,17 @@ def execute_query(graph: SocialGraph, query, pool: SamplePool):
 LATENCY_WINDOW = 10_000
 
 
-def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted non-empty sequence.
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float | None:
+    """Nearest-rank percentile of an already-sorted sequence.
 
     The nearest-rank definition: the ``ceil(fraction * N)``-th smallest
     value (so p99 of 100 samples is the 99th order statistic, not the
-    maximum).
+    maximum).  An empty window has no percentiles: the result is ``None``,
+    never a misleading 0.0 and never an ``IndexError``; a one-sample window
+    reports that sample for every fraction.
     """
+    if not sorted_values:
+        return None
     rank = max(1, math.ceil(fraction * len(sorted_values)))
     return sorted_values[min(rank, len(sorted_values)) - 1]
 
@@ -236,8 +247,11 @@ class ServiceMetrics:
         Paths handed to estimators (``served - drawn`` is the reuse win).
     latency_p50, latency_p90, latency_p99:
         Nearest-rank per-query latency percentiles, in seconds, over the
-        most recent :data:`LATENCY_WINDOW` admitted queries (0.0 before
-        any query completed).
+        most recent :data:`LATENCY_WINDOW` admitted queries.  ``None``
+        before any query completed -- an empty window has no percentiles,
+        and 0.0 would read as "instant" in ``stats`` output
+        (:func:`~repro.experiments.records.to_jsonable` renders the absent
+        value explicitly as JSON ``null``).
     """
 
     requests: int
@@ -246,9 +260,9 @@ class ServiceMetrics:
     rejected: int
     samples_drawn: int
     samples_served: int
-    latency_p50: float
-    latency_p90: float
-    latency_p99: float
+    latency_p50: float | None
+    latency_p90: float | None
+    latency_p99: float | None
 
     @property
     def coalesce_rate(self) -> float:
@@ -341,6 +355,7 @@ class QueryService:
         # state lock on every `stats` op.
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
         self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -397,9 +412,9 @@ class QueryService:
                 rejected=self._rejected,
                 samples_drawn=drawn,
                 samples_served=served,
-                latency_p50=_percentile(latencies, 0.50) if latencies else 0.0,
-                latency_p90=_percentile(latencies, 0.90) if latencies else 0.0,
-                latency_p99=_percentile(latencies, 0.99) if latencies else 0.0,
+                latency_p50=_percentile(latencies, 0.50),
+                latency_p90=_percentile(latencies, 0.90),
+                latency_p99=_percentile(latencies, 0.99),
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
@@ -412,17 +427,28 @@ class QueryService:
     # Lifecycle
     # ------------------------------------------------------------------ #
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has begun; closed services refuse queries."""
+        return self._closed
+
     def close(self) -> None:
         """Release the async executor and any sampling worker pool.
 
-        Waits for async submissions, then takes the execution lock before
-        tearing down the engine, so a sync ``submit`` racing from another
-        thread finishes its sampling instead of losing its worker pool
-        mid-query.
+        Marks the service closed *first* -- a submission racing ``close()``
+        from another thread fails fast with a typed
+        :class:`~repro.exceptions.ServiceClosedError` (see :meth:`_claim`)
+        instead of hanging on a latch or hitting a dead executor -- then
+        waits for async submissions, then takes the execution lock before
+        tearing down the engine, so an already-admitted ``submit`` finishes
+        its sampling instead of losing its worker pool mid-query.
+        Idempotent.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        with self._state_lock:
+            self._closed = True
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
         with self._pool_lock:
             close = getattr(self._engine, "close", None)
             if close is not None:
@@ -580,6 +606,11 @@ class QueryService:
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
         with self._state_lock:
+            if self._closed:
+                # Never resurrect an executor after close(): an async
+                # submission racing shutdown gets the typed error, not a
+                # RuntimeError from a dead pool (or a leaked new one).
+                raise ServiceClosedError("service is closed")
             if self._executor is None:
                 size = self._max_in_flight if self._max_in_flight is not None else 8
                 self._executor = ThreadPoolExecutor(
@@ -593,6 +624,16 @@ class QueryService:
             raise _unsupported_query(query)
         with self._state_lock:
             self._requests += 1
+            if self._closed:
+                # Counted as a rejection so the reconciliation invariant
+                # (requests == executed + coalesced + rejected) survives
+                # shutdown races.  Checked before the coalesce lookup: a
+                # would-be follower must not latch onto a leader whose
+                # service is tearing down.
+                self._rejected += 1
+                raise ServiceClosedError(
+                    "service is closed; the query was not admitted"
+                )
             cost = query.sample_cost()
             if self._max_query_samples is not None and cost > self._max_query_samples:
                 self._rejected += 1

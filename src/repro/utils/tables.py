@@ -1,0 +1,68 @@
+"""Tabular reporting with an optional :mod:`rich` renderer.
+
+:func:`render_table` returns a ready-to-print string.  When the ``rich``
+library is importable it renders a boxed, styled table; otherwise (rich is
+an *optional* dependency, never required) it falls back to a plain
+aligned-ASCII layout carrying exactly the same content.  Callers never
+need to know which renderer ran.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table"]
+
+
+def _rich_table(title: str | None, columns: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    from io import StringIO
+
+    from rich.console import Console
+    from rich.table import Table
+
+    table = Table(title=title)
+    for column in columns:
+        table.add_column(column)
+    for row in rows:
+        table.add_row(*row)
+    buffer = StringIO()
+    Console(file=buffer, width=120, force_terminal=False).print(table)
+    return buffer.getvalue().rstrip("\n")
+
+
+def _ascii_table(title: str | None, columns: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [
+        max(len(column), *(len(row[index]) for row in rows)) if rows else len(column)
+        for index, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(column.ljust(width) for column, width in zip(columns, widths)).rstrip())
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_table(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``columns`` headers as a printable string.
+
+    Cells are stringified with :func:`str`; every row must have exactly one
+    cell per column.  Uses rich when importable, aligned ASCII otherwise.
+    """
+    for row in rows:
+        if len(row) != len(columns):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(columns)}"
+            )
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    try:
+        return _rich_table(title, list(columns), text_rows)
+    except ImportError:
+        return _ascii_table(title, list(columns), text_rows)

@@ -9,12 +9,31 @@ from __future__ import annotations
 
 import io
 import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.cli import main
 
 GRAPH_ARGS = ["--dataset", "wiki", "--scale", "0.02"]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _spawn_serve(*extra_args, stdout=subprocess.PIPE):
+    """Spawn ``repro serve`` as a real subprocess (signal/pipe tests)."""
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "--seed", "7", "serve", *GRAPH_ARGS,
+         *extra_args],
+        stdin=subprocess.PIPE, stdout=stdout, stderr=subprocess.PIPE,
+        env=env, cwd=REPO_ROOT, text=True,
+    )
 
 
 def _serve(monkeypatch, capsys, lines, extra_args=(), seed="7"):
@@ -138,6 +157,93 @@ class TestServeWorkersParity:
             assert code == 0
             outputs.append(out)
         assert outputs[0] == outputs[1] == outputs[2]
+
+
+class TestServeLifecycle:
+    """Regression tests for the serve loop's exits: a downstream reader
+    closing stdout mid-stream (EPIPE) and Ctrl-C must both end the process
+    cleanly -- no traceback, no half-written line, a stderr diagnostic."""
+
+    def test_downstream_reader_closing_stdout_exits_clean(self):
+        """Pipe serve through a reader that stops after one line (head -1):
+        the BrokenPipeError must be caught, not crash the process."""
+        requests = [json.dumps({"op": "evaluate", "source": 0, "target": 50,
+                                "num_samples": 100})]
+        # The remaining requests are distinct (never coalesced/cached), so
+        # the writes keep coming long after the reader has gone away.
+        requests += [
+            json.dumps({"op": "pmax", "source": 0, "target": 50, "epsilon": 0.3,
+                        "confidence_n": 100.0, "max_samples": 20_000 + n})
+            for n in range(20)
+        ]
+        script = (
+            f"set -o pipefail; {sys.executable} -m repro --seed 7 serve "
+            + " ".join(GRAPH_ARGS) + " | head -1"
+        )
+        env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+        completed = subprocess.run(
+            ["bash", "-c", script], input="".join(line + "\n" for line in requests),
+            capture_output=True, env=env, cwd=REPO_ROOT, text=True, timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "Traceback" not in completed.stderr
+        assert "stdout closed by the downstream reader" in completed.stderr
+        # head got exactly the one complete line it asked for.
+        lines = completed.stdout.splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["ok"] is True
+
+    def test_sigint_drains_and_exits_130(self):
+        # --max-in-flight 1 shrinks the pipelining window to one, so the
+        # reply is drained (written) as soon as the request completes --
+        # the test can then interrupt a provably idle, mid-session loop.
+        proc = _spawn_serve("--max-in-flight", "1")
+        try:
+            proc.stdin.write(json.dumps(
+                {"op": "evaluate", "source": 0, "target": 50, "num_samples": 100}
+            ) + "\n")
+            proc.stdin.flush()
+            reply = proc.stdout.readline()  # the request was fully served
+            assert json.loads(reply)["ok"] is True
+            proc.send_signal(signal.SIGINT)
+            _, stderr = proc.communicate(timeout=120)
+        finally:
+            proc.kill()
+        assert proc.returncode == 130
+        assert "Traceback" not in stderr
+        assert "interrupted; drained in-flight requests" in stderr
+
+    def test_listen_mode_serves_tcp_and_sigint_closes_cleanly(self):
+        """End to end over a real socket: --listen binds an ephemeral port,
+        answers a JSON-lines query, and Ctrl-C shuts down with the stats
+        report instead of a traceback."""
+        proc = _spawn_serve("--listen", "127.0.0.1:0", stdout=subprocess.DEVNULL)
+        try:
+            banner = proc.stderr.readline()
+            assert "listening on" in banner, banner
+            port = int(banner.split()[2].rsplit(":", 1)[1])
+            with socket.create_connection(("127.0.0.1", port), timeout=60) as conn:
+                conn.sendall((json.dumps(
+                    {"op": "evaluate", "source": 0, "target": 50,
+                     "num_samples": 100, "tenant": "acme", "id": 1}
+                ) + "\n").encode("utf-8"))
+                reply = json.loads(conn.makefile().readline())
+            assert reply["ok"] is True and reply["id"] == 1
+            proc.send_signal(signal.SIGINT)
+            _, stderr = proc.communicate(timeout=120)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0
+        assert "Traceback" not in stderr
+        assert "server closed cleanly" in stderr
+        assert "acme" in stderr  # the shutdown report names the tenant
+
+    def test_tenancy_flags_require_listen(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        code = main(["serve", *GRAPH_ARGS, "--tenant-burst", "1000"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--tenant-burst requires --listen" in captured.err
 
 
 class TestBenchLoadCommand:

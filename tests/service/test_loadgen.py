@@ -15,6 +15,7 @@ from repro.service import (
     run_load_benchmark,
     run_standalone,
 )
+from repro.service.loadgen import query_to_wire, run_socket_load
 from repro.service.query_service import EvaluateQuery, MaximizeQuery, PmaxQuery
 
 
@@ -116,7 +117,44 @@ class TestLoadReplay:
             assert runs[0][field] == runs[1][field]
 
 
-class TestCanonicalResult:
+class TestSocketTransport:
+    def test_wire_encoding_round_trips_every_query_kind(self, hot):
+        for query in hot:
+            wire = query_to_wire(query)
+            assert wire["op"] == query.kind
+            rebuilt = type(query)(**{k: v for k, v in wire.items() if k != "op"})
+            assert rebuilt == query
+
+    def test_socket_replay_is_bit_identical_to_in_process(self, service_graph, hot):
+        """8 concurrent TCP clients (the acceptance bar) replaying the same
+        schedule produce the same transcript as the in-process replay --
+        the wire adds latency, never divergence."""
+        schedule = generate_schedule(hot, num_clients=8, rounds=2, seed=13)
+        with QueryService(service_graph, seed=91) as service:
+            in_process = run_load(service, schedule)
+        over_tcp = run_socket_load(service_graph, schedule, pool_seed=91)
+        assert over_tcp.transcript == in_process.transcript
+        assert over_tcp.requests == in_process.requests == 16
+        assert over_tcp.requests == over_tcp.executed + over_tcp.coalesced
+        assert over_tcp.latency_p50 is not None and over_tcp.latency_p50 > 0
+        assert over_tcp.latency_p99 >= over_tcp.latency_p50
+
+    def test_empty_schedule_rejected(self, service_graph):
+        with pytest.raises(ServiceError):
+            run_socket_load(service_graph, [], pool_seed=91)
+
+    def test_benchmark_socket_rows_carry_tail_latency(self, service_graph):
+        report = run_load_benchmark(
+            service_graph, hot_pairs=1, num_clients=8, rounds=2,
+            seed=21, pool_seed=91, verify_standalone=False, socket_transport=True,
+        )
+        assert report["bit_identical"] is True
+        assert set(report["results"]) == {
+            "coalesce", "no-coalesce", "socket", "socket-no-coalesce"
+        }
+        socket_row = report["results"]["socket"]
+        assert socket_row["socket_p99_ms"] >= socket_row["socket_p50_ms"] > 0
+        assert report["workload"]["socket_transport"] is True
     def test_canonical_json_is_stable_and_sorted(self, service_graph, hot):
         with QueryService(service_graph, seed=91) as service:
             result = service.submit(hot[0])

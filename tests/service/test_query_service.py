@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 
 import pytest
 
@@ -22,6 +23,7 @@ from repro.diffusion.engine import create_engine
 from repro.exceptions import (
     AlgorithmError,
     EngineError,
+    ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
     ServiceRejectedError,
@@ -242,7 +244,9 @@ class TestMetrics:
             assert metrics.requests == 0
             assert metrics.coalesce_rate == 0.0
             assert metrics.pool_hit_rate == 0.0
-            assert metrics.latency_p99 == 0.0
+            assert metrics.latency_p50 is None
+            assert metrics.latency_p90 is None
+            assert metrics.latency_p99 is None
 
 
 class TestAsyncFrontend:
@@ -290,6 +294,101 @@ class TestPercentiles:
         assert _percentile(hundred, 0.99) == 99.0  # not the maximum
         assert _percentile([1.0, 2.0], 0.50) == 1.0
         assert _percentile([7.0], 0.99) == 7.0
+
+    def test_empty_window_has_no_percentiles(self, service_graph):
+        """Zero requests: percentiles are None (not 0.0, not IndexError),
+        and the stats rendering makes the absence explicit as JSON null."""
+        import json
+
+        from repro.experiments.records import to_jsonable
+        from repro.service.query_service import _percentile
+
+        assert _percentile([], 0.50) is None
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            metrics = service.metrics()
+        assert metrics.requests == 0
+        assert metrics.latency_p50 is None
+        assert metrics.latency_p90 is None
+        assert metrics.latency_p99 is None
+        rendered = json.loads(json.dumps(to_jsonable(metrics)))
+        assert rendered["latency_p50"] is None  # explicit null on the wire
+
+    def test_single_request_window_reports_that_sample_everywhere(
+        self, service_graph, hot_pair
+    ):
+        source, target = hot_pair
+        query = EvaluateQuery(source, target, num_samples=64)
+        with QueryService(service_graph, seed=POOL_SEED) as service:
+            service.submit(query)
+            metrics = service.metrics()
+        assert metrics.latency_p50 is not None
+        assert metrics.latency_p50 == metrics.latency_p90 == metrics.latency_p99
+
+
+class TestShutdownRace:
+    def test_submission_racing_close_gets_typed_error(
+        self, service_graph, hot_pair, gated_engine
+    ):
+        """A submission arriving while ``close()`` drains must fail fast with
+        ``ServiceClosedError`` -- never hang on the torn-down executor.
+
+        The race is constructed, not timed: the leader is gate-blocked inside
+        the engine, ``close()`` runs on another thread (it marks the service
+        closed immediately, then blocks waiting for the leader), and the
+        racing submission is issued only once ``service.closed`` is observed.
+        """
+        source, target = hot_pair
+        query = EvaluateQuery(source, target, num_samples=64)
+        service = QueryService(service_graph, engine=gated_engine, seed=POOL_SEED)
+
+        leader_result: dict = {}
+
+        def leader():
+            leader_result["value"] = canonical_result(service.submit(query))
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        assert gated_engine.entered.wait(timeout=30.0)
+
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        deadline = time.monotonic() + 30.0
+        while not service.closed and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert service.closed  # close() marks the flag before blocking
+
+        with pytest.raises(ServiceClosedError):
+            service.submit(EvaluateQuery(source, target, num_samples=32))
+
+        gated_engine.release.set()
+        leader_thread.join(timeout=30.0)
+        closer.join(timeout=30.0)
+        assert not leader_thread.is_alive() and not closer.is_alive()
+        # The already-admitted leader finished its sampling and answered
+        # byte-identically; the refused racer is counted as rejected.
+        assert leader_result["value"] == run_standalone(service_graph, query, POOL_SEED)
+        metrics = service.metrics()
+        assert metrics.requests == metrics.executed + metrics.coalesced + metrics.rejected
+        assert metrics.rejected == 1
+
+    def test_close_is_idempotent_and_submissions_stay_refused(self, service_graph, hot_pair):
+        source, target = hot_pair
+        service = QueryService(service_graph, seed=POOL_SEED)
+        service.close()
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(EvaluateQuery(source, target, num_samples=32))
+
+    def test_async_submission_after_close_fails_fast(self, service_graph, hot_pair):
+        source, target = hot_pair
+        service = QueryService(service_graph, seed=POOL_SEED)
+        service.close()
+
+        async def drive():
+            await service.submit_async(EvaluateQuery(source, target, num_samples=32))
+
+        with pytest.raises(ServiceClosedError):
+            asyncio.run(drive())
 
 
 class TestQueryValidation:

@@ -1,0 +1,580 @@
+"""Tests for the asyncio socket/HTTP front end (repro.service.server).
+
+Everything here is deterministic: concurrency facts are constructed with
+the gate-blocked engine (a request is *provably* in flight because its
+sampling call is blocked inside the engine), budgets run on an injected
+fake clock, and byte-identity is asserted against standalone fresh-pool
+runs -- never against another timing-dependent arm.  The only real time
+used is the deadline test's ``wait_for`` timeout, whose *outcome* is
+forced (the gate never releases before expiry), not raced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.exceptions import ServiceClosedError, ServiceError
+from repro.service.loadgen import query_to_wire, run_standalone
+from repro.service.query_service import EvaluateQuery, MaximizeQuery, PmaxQuery
+from repro.service.server import QueryServer, TokenBucket, serve_forever
+
+POOL_SEED = 91
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def run(coro, timeout: float = 60.0):
+    """Run a test coroutine with a global watchdog (hangs fail, not block)."""
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+async def _connect(server: QueryServer):
+    return await asyncio.open_connection(server.host, server.port)
+
+
+async def _rpc(streams, payload: dict) -> dict:
+    """One JSON-lines request/response on an open connection."""
+    reader, writer = streams
+    writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+    await writer.drain()
+    line = await reader.readline()
+    assert line, "server closed the connection instead of answering"
+    return json.loads(line)
+
+
+async def _close(streams) -> None:
+    _, writer = streams
+    writer.close()
+
+
+async def _http(server: QueryServer, method: str, path: str, body: dict | None = None):
+    """One HTTP/1.1 exchange; returns (status, parsed JSON body)."""
+    reader, writer = await _connect(server)
+    payload = b"" if body is None else json.dumps(body).encode("utf-8")
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+        f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n".encode("latin-1")
+        + payload
+    )
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    document = json.loads(await reader.readexactly(length)) if length else {}
+    writer.close()
+    return status, document
+
+
+@pytest.fixture(scope="module")
+def wire_queries(hot_pair):
+    """Three cheap hot queries (one per kind) over the screened pair."""
+    source, target = hot_pair
+    return (
+        PmaxQuery(source=source, target=target, epsilon=0.5,
+                  confidence_n=50.0, max_samples=2_000),
+        EvaluateQuery(source=source, target=target,
+                      invitation=frozenset({target}), num_samples=48),
+        MaximizeQuery(source=source, target=target, budget=2, num_realizations=200),
+    )
+
+
+@pytest.fixture(scope="module")
+def standalone_answers(service_graph, wire_queries):
+    """The fresh-pool reference answer for every hot query."""
+    return {
+        query: run_standalone(service_graph, query, POOL_SEED)
+        for query in wire_queries
+    }
+
+
+class TestTokenBucket:
+    def test_starts_full_and_never_blocks(self):
+        clock = FakeClock()
+        bucket = TokenBucket(100, 0.0, clock=clock)
+        assert bucket.try_acquire(100)
+        assert not bucket.try_acquire(1)
+
+    def test_refills_at_rate_capped_at_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(100, 50.0, clock=clock)
+        assert bucket.try_acquire(80)
+        assert bucket.tokens == pytest.approx(20.0)
+        clock.advance(1.0)
+        assert bucket.tokens == pytest.approx(70.0)
+        clock.advance(10.0)
+        assert bucket.tokens == pytest.approx(100.0)  # capped, not 570
+        assert bucket.try_acquire(100)
+
+    def test_zero_rate_never_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(10, 0.0, clock=clock)
+        assert bucket.try_acquire(10)
+        clock.advance(1e6)
+        assert not bucket.try_acquire(1)
+
+    def test_cost_beyond_capacity_is_always_refused(self):
+        bucket = TokenBucket(10, 5.0, clock=FakeClock())
+        assert not bucket.try_acquire(11)
+        assert bucket.tokens == pytest.approx(10.0)  # refusal does not charge
+
+
+class TestJsonlProtocol:
+    def test_roundtrip_echoes_id_and_matches_standalone(
+        self, service_graph, wire_queries, standalone_answers
+    ):
+        query = wire_queries[1]
+
+        async def main():
+            async with QueryServer(service_graph, seed=POOL_SEED) as server:
+                streams = await _connect(server)
+                response = await _rpc(
+                    streams, {**query_to_wire(query), "id": "req-1", "tenant": "acme"}
+                )
+                await _close(streams)
+                return response
+
+        response = run(main())
+        assert response["ok"] is True
+        assert response["op"] == "evaluate"
+        assert response["id"] == "req-1"
+        assert json.dumps(response["result"], sort_keys=True) == standalone_answers[query]
+
+    def test_eight_clients_interleaved_tenants_byte_identical(
+        self, service_graph, wire_queries, standalone_answers
+    ):
+        """The acceptance bar: >=8 concurrent sockets, two tenants, every
+        answer byte-identical to a standalone fresh-pool run."""
+
+        async def client(server, index):
+            tenant = "alpha" if index % 2 == 0 else "beta"
+            streams = await _connect(server)
+            answers = []
+            for turn in range(2):
+                query = wire_queries[(index + turn) % len(wire_queries)]
+                response = await _rpc(
+                    streams, {**query_to_wire(query), "tenant": tenant, "id": index}
+                )
+                answers.append((query, response))
+            await _close(streams)
+            return answers
+
+        async def main():
+            async with QueryServer(service_graph, seed=POOL_SEED) as server:
+                results = await asyncio.gather(
+                    *(client(server, index) for index in range(8))
+                )
+                stats = server.stats()
+                return results, stats
+
+        results, stats = run(main())
+        checked = 0
+        for answers in results:
+            for query, response in answers:
+                assert response["ok"] is True
+                observed = json.dumps(response["result"], sort_keys=True)
+                assert observed == standalone_answers[query]
+                checked += 1
+        assert checked == 16
+        assert sorted(stats["tenants"]) == ["alpha", "beta"]
+        assert stats["server"]["connections_total"] == 8
+        # Per-tenant reconciliation still holds behind the wire.
+        for row in stats["tenants"].values():
+            assert row["requests"] == row["executed"] + row["coalesced"] + row["rejected"]
+
+    def test_pipelined_responses_come_back_in_request_order(
+        self, service_graph, wire_queries
+    ):
+        async def main():
+            async with QueryServer(
+                service_graph, seed=POOL_SEED, connection_window=2
+            ) as server:
+                reader, writer = await _connect(server)
+                for index in range(4):
+                    query = wire_queries[index % len(wire_queries)]
+                    writer.write(
+                        json.dumps({**query_to_wire(query), "id": index}).encode() + b"\n"
+                    )
+                await writer.drain()
+                responses = [json.loads(await reader.readline()) for _ in range(4)]
+                writer.close()
+                return responses
+
+        responses = run(main())
+        assert [response["id"] for response in responses] == [0, 1, 2, 3]
+        assert all(response["ok"] for response in responses)
+
+    def test_stats_is_a_barrier_with_server_and_tenant_sections(
+        self, service_graph, wire_queries
+    ):
+        async def main():
+            async with QueryServer(service_graph, seed=POOL_SEED) as server:
+                streams = await _connect(server)
+                await _rpc(streams, query_to_wire(wire_queries[1]))
+                stats = await _rpc(streams, {"op": "stats"})
+                await _close(streams)
+                return stats
+
+        stats = run(main())
+        assert stats["ok"] is True and stats["op"] == "stats"
+        assert stats["result"]["server"]["requests_total"] == 1
+        assert stats["result"]["tenants"]["default"]["requests"] == 1
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"this is not json\n",
+            b"[1, 2, 3]\n",
+            b'{"op": "frobnicate"}\n',
+            b'{"op": "evaluate", "source": 1, "target": 2, "tenant": ""}\n',
+            b'{"op": "evaluate", "source": 1, "target": 2, "priority": "urgent"}\n',
+            b'{"op": "evaluate", "source": 1, "target": 2, "deadline_ms": -5}\n',
+            b'{"op": "evaluate", "source": 1, "target": 2, "deadline_ms": true}\n',
+            b'{"op": "evaluate", "source": 1, "num_samples": 48}\n',
+        ],
+    )
+    def test_malformed_requests_answer_then_close(self, service_graph, line):
+        async def main():
+            async with QueryServer(service_graph, seed=POOL_SEED) as server:
+                reader, writer = await _connect(server)
+                writer.write(line)
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                trailing = await reader.readline()  # connection-fatal: EOF
+                writer.close()
+                stats = server.stats()
+                return response, trailing, stats
+
+        response, trailing, stats = run(main())
+        assert response["ok"] is False
+        assert response["error_type"] == "malformed"
+        assert trailing == b""
+        assert stats["server"]["malformed_total"] == 1
+
+    def test_blank_lines_are_skipped(self, service_graph, wire_queries):
+        async def main():
+            async with QueryServer(service_graph, seed=POOL_SEED) as server:
+                reader, writer = await _connect(server)
+                writer.write(b"\n\n" + json.dumps(query_to_wire(wire_queries[1])).encode() + b"\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                writer.close()
+                return response
+
+        assert run(main())["ok"] is True
+
+    def test_unknown_tenant_limit_is_a_refusal_not_a_close(self, service_graph, wire_queries):
+        async def main():
+            async with QueryServer(service_graph, seed=POOL_SEED, max_tenants=1) as server:
+                streams = await _connect(server)
+                first = await _rpc(streams, {**query_to_wire(wire_queries[1]), "tenant": "a"})
+                second = await _rpc(streams, {**query_to_wire(wire_queries[1]), "tenant": "b"})
+                third = await _rpc(streams, {**query_to_wire(wire_queries[1]), "tenant": "a"})
+                await _close(streams)
+                return first, second, third
+
+        first, second, third = run(main())
+        assert first["ok"] is True
+        assert second["ok"] is False and second["error_type"] == "rejected"
+        assert third["ok"] is True  # the session survives the refusal
+
+
+class TestHttp:
+    def test_post_query_matches_standalone(
+        self, service_graph, wire_queries, standalone_answers
+    ):
+        query = wire_queries[1]
+
+        async def main():
+            async with QueryServer(service_graph, seed=POOL_SEED) as server:
+                return await _http(server, "POST", "/query", query_to_wire(query))
+
+        status, document = run(main())
+        assert status == 200
+        assert document["ok"] is True
+        assert json.dumps(document["result"], sort_keys=True) == standalone_answers[query]
+
+    def test_healthz_and_stats(self, service_graph):
+        async def main():
+            async with QueryServer(service_graph, seed=POOL_SEED) as server:
+                health = await _http(server, "GET", "/healthz")
+                stats = await _http(server, "GET", "/stats")
+                return health, stats
+
+        (health_status, health), (stats_status, stats) = run(main())
+        assert health_status == 200 and health["ok"] is True
+        assert health["status"] == "serving"
+        assert stats_status == 200 and "server" in stats["result"]
+
+    def test_unknown_path_and_method(self, service_graph):
+        async def main():
+            async with QueryServer(service_graph, seed=POOL_SEED) as server:
+                missing = await _http(server, "GET", "/nope")
+                wrong = await _http(server, "POST", "/healthz")
+                return missing, wrong
+
+        (missing_status, _), (wrong_status, _) = run(main())
+        assert missing_status == 404
+        assert wrong_status == 405
+
+    def test_budget_exhaustion_maps_to_429(self, service_graph, wire_queries):
+        query = wire_queries[1]  # costs 48 sample units
+
+        async def main():
+            clock = FakeClock()
+            async with QueryServer(
+                service_graph, seed=POOL_SEED, tenant_burst=50, clock=clock
+            ) as server:
+                first = await _http(server, "POST", "/query", query_to_wire(query))
+                second = await _http(server, "POST", "/query", query_to_wire(query))
+                return first, second
+
+        (first_status, first), (second_status, second) = run(main())
+        assert first_status == 200 and first["ok"] is True
+        assert second_status == 429
+        assert second["error_type"] == "budget"
+
+
+class TestBudgets:
+    def test_token_bucket_refuses_then_refills_on_the_injected_clock(
+        self, service_graph, wire_queries, standalone_answers
+    ):
+        query = wire_queries[1]  # sample_cost 48
+
+        async def main():
+            clock = FakeClock()
+            async with QueryServer(
+                service_graph, seed=POOL_SEED, tenant_burst=50, tenant_rate=25.0,
+                clock=clock,
+            ) as server:
+                streams = await _connect(server)
+                first = await _rpc(streams, query_to_wire(query))
+                refused = await _rpc(streams, query_to_wire(query))  # 2 tokens left
+                clock.advance(2.0)  # +50 tokens -> capped at 50 >= 48
+                refilled = await _rpc(streams, query_to_wire(query))
+                stats = await _rpc(streams, {"op": "stats"})
+                await _close(streams)
+                return first, refused, refilled, stats["result"]
+
+        first, refused, refilled, stats = run(main())
+        assert first["ok"] is True
+        assert refused["ok"] is False and refused["error_type"] == "budget"
+        assert refilled["ok"] is True
+        # A budget refusal changes cost and availability, never answers:
+        for response in (first, refilled):
+            assert json.dumps(response["result"], sort_keys=True) == standalone_answers[query]
+        assert stats["server"]["budget_rejected_total"] == 1
+        assert stats["tenants"]["default"]["budget_rejected"] == 1
+        assert stats["tenants"]["default"]["tokens"] == pytest.approx(2.0)
+
+    def test_budgets_are_per_tenant(self, service_graph, wire_queries):
+        query = wire_queries[1]
+
+        async def main():
+            async with QueryServer(
+                service_graph, seed=POOL_SEED, tenant_burst=50, clock=FakeClock()
+            ) as server:
+                streams = await _connect(server)
+                await _rpc(streams, {**query_to_wire(query), "tenant": "a"})
+                refused = await _rpc(streams, {**query_to_wire(query), "tenant": "a"})
+                other = await _rpc(streams, {**query_to_wire(query), "tenant": "b"})
+                await _close(streams)
+                return refused, other
+
+        refused, other = run(main())
+        assert refused["error_type"] == "budget"
+        assert other["ok"] is True  # tenant b has its own full bucket
+
+
+class TestDeadlinesAndPriority:
+    def test_deadline_expiry_cancels_cleanly_and_pool_survives(
+        self, service_graph, gated_engine, wire_queries, standalone_answers
+    ):
+        query = wire_queries[1]
+
+        async def main():
+            async with QueryServer(
+                service_graph, engine=gated_engine, seed=POOL_SEED
+            ) as server:
+                streams = await _connect(server)
+                # The gate guarantees the execution cannot finish before the
+                # deadline: the expiry outcome is forced, not raced.
+                expired = await _rpc(
+                    streams, {**query_to_wire(query), "deadline_ms": 100}
+                )
+                gated_engine.release.set()
+                # The detached execution finishes on its worker thread and
+                # warms the pool; the pool lock is provably not poisoned
+                # because the retry answers -- byte-identically.
+                retry = await _rpc(streams, query_to_wire(query))
+                stats = await _rpc(streams, {"op": "stats"})
+                await _close(streams)
+                return expired, retry, stats["result"]
+
+        expired, retry, stats = run(main())
+        assert expired["ok"] is False
+        assert expired["error_type"] == "deadline"
+        assert retry["ok"] is True
+        assert json.dumps(retry["result"], sort_keys=True) == standalone_answers[query]
+        assert stats["server"]["deadline_expired_total"] == 1
+
+    def test_default_deadline_applies_when_request_has_none(
+        self, service_graph, gated_engine, wire_queries
+    ):
+        async def main():
+            async with QueryServer(
+                service_graph, engine=gated_engine, seed=POOL_SEED,
+                default_deadline_ms=100,
+            ) as server:
+                streams = await _connect(server)
+                expired = await _rpc(streams, query_to_wire(wire_queries[1]))
+                gated_engine.release.set()
+                await _close(streams)
+                return expired
+
+        expired = run(main())
+        assert expired["error_type"] == "deadline"
+
+    def test_low_priority_is_shed_under_load_and_healthz_still_answers(
+        self, service_graph, gated_engine, wire_queries
+    ):
+        async def main():
+            async with QueryServer(
+                service_graph, engine=gated_engine, seed=POOL_SEED, max_in_flight=2
+            ) as server:
+                blocked = await _connect(server)
+                _, blocked_writer = blocked
+                blocked_writer.write(
+                    json.dumps(query_to_wire(wire_queries[1])).encode() + b"\n"
+                )
+                await blocked_writer.drain()
+                # The request is provably in flight: its sampling call has
+                # entered the gated engine and is blocked there.
+                assert await asyncio.to_thread(gated_engine.entered.wait, 30.0)
+
+                low = await _connect(server)
+                shed = await _rpc(
+                    low, {**query_to_wire(wire_queries[2]), "priority": "low"}
+                )
+                await _close(low)
+
+                health_status, health = await _http(server, "GET", "/healthz")
+
+                gated_engine.release.set()
+                blocked_response = json.loads(await blocked[0].readline())
+                stats = server.stats()
+                blocked_writer.close()
+                return shed, health_status, health, blocked_response, stats
+
+        shed, health_status, health, blocked_response, stats = run(main())
+        assert shed["ok"] is False
+        assert shed["error_type"] == "overloaded"
+        assert health_status == 200 and health["ok"] is True
+        assert health["in_flight"] >= 1
+        assert blocked_response["ok"] is True
+        assert stats["server"]["priority_rejected_total"] == 1
+
+    def test_low_priority_admitted_when_idle(self, service_graph, wire_queries):
+        async def main():
+            async with QueryServer(
+                service_graph, seed=POOL_SEED, max_in_flight=2
+            ) as server:
+                streams = await _connect(server)
+                response = await _rpc(
+                    streams, {**query_to_wire(wire_queries[1]), "priority": "low"}
+                )
+                await _close(streams)
+                return response
+
+        assert run(main())["ok"] is True
+
+
+class TestLifecycle:
+    def test_server_refuses_double_start(self, service_graph):
+        async def main():
+            async with QueryServer(service_graph, seed=POOL_SEED) as server:
+                with pytest.raises(ServiceError):
+                    await server.start()
+
+        run(main())
+
+    def test_constructor_validation(self, service_graph):
+        with pytest.raises(ValueError):
+            QueryServer(service_graph, tenant_rate=5.0)  # rate without burst
+        with pytest.raises(ValueError):
+            QueryServer(service_graph, connection_window=0)
+        with pytest.raises(ValueError):
+            QueryServer(service_graph, max_tenants=0)
+
+    def test_serve_forever_announces_and_reports_on_cancel(self, service_graph):
+        async def main():
+            messages: list[str] = []
+            seen: list[dict] = []
+            task = asyncio.ensure_future(serve_forever(
+                service_graph, seed=POOL_SEED, echo=messages.append,
+                on_shutdown=seen.append,
+            ))
+            for _ in range(10_000):
+                if messages:
+                    break
+                await asyncio.sleep(0)
+            assert messages and messages[0].startswith("listening on ")
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            return seen
+
+        seen = run(main())
+        assert len(seen) == 1 and "server" in seen[0]
+
+
+class TestShutdownRace:
+    def test_submission_racing_aclose_gets_typed_closed_error(
+        self, service_graph, gated_engine, wire_queries
+    ):
+        """A request arriving while the server drains must get error_type
+        'closed' (typed), not hang on a torn-down executor."""
+
+        async def main():
+            server = QueryServer(
+                service_graph, engine=gated_engine, seed=POOL_SEED
+            )
+            await server.start()
+            streams = await _connect(server)
+            reader, writer = streams
+            writer.write(json.dumps(query_to_wire(wire_queries[1])).encode() + b"\n")
+            await writer.drain()
+            assert await asyncio.to_thread(gated_engine.entered.wait, 30.0)
+            # Drain starts: _closing flips synchronously, then aclose blocks
+            # on the gated execution -- release it so teardown completes.
+            closing = asyncio.ensure_future(server.aclose())
+            await asyncio.sleep(0)
+            assert server.health()["status"] == "closing"
+            wire = query_to_wire(wire_queries[2])
+            envelope = server._parse_envelope(wire)  # noqa: SLF001 - gate under test
+            with pytest.raises(ServiceClosedError):
+                server._admit(envelope, wire)  # noqa: SLF001
+            gated_engine.release.set()
+            await closing
+            writer.close()
+
+        run(main())

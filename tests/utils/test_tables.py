@@ -1,0 +1,59 @@
+"""Tests for the table renderer (repro.utils.tables).
+
+rich is an optional dependency: the fallback ASCII renderer must carry the
+same content, so every content assertion here runs against whichever
+renderer the environment resolves, and the ASCII layout is additionally
+pinned directly (it is the one CI environments without rich will print).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import _ascii_table, render_table
+
+
+class TestRenderTable:
+    def test_contains_title_headers_and_cells(self):
+        text = render_table(
+            ["tenant", "requests"], [["acme", 3], ["default", 11]], title="per-tenant"
+        )
+        assert "per-tenant" in text
+        assert "tenant" in text and "requests" in text
+        assert "acme" in text and "3" in text
+        assert "default" in text and "11" in text
+
+    def test_cells_are_stringified(self):
+        text = render_table(["value"], [[None], [1.5], [True]])
+        for rendered in ("None", "1.5", "True"):
+            assert rendered in text
+
+    def test_row_width_mismatch_is_rejected(self):
+        with pytest.raises(ValueError, match="2 cells, expected 3"):
+            render_table(["a", "b", "c"], [["x", "y"]])
+
+    def test_empty_rows_render_headers_only(self):
+        text = render_table(["a", "b"], [], title="empty")
+        assert "empty" in text and "a" in text and "b" in text
+
+    def test_no_trailing_newline(self):
+        assert not render_table(["a"], [["x"]]).endswith("\n")
+
+
+class TestAsciiFallback:
+    def test_layout_is_aligned_and_stable(self):
+        text = _ascii_table(
+            "latencies", ["name", "p99 ms"], [["alpha", "1.25"], ["b", "202.54"]]
+        )
+        assert text.splitlines() == [
+            "latencies",
+            "name   p99 ms",
+            "-----  ------",
+            "alpha  1.25",
+            "b      202.54",
+        ]
+
+    def test_rows_wider_than_headers_set_the_column_width(self):
+        text = _ascii_table(None, ["x"], [["wide-cell"]])
+        lines = text.splitlines()
+        assert lines[1] == "-" * len("wide-cell")
