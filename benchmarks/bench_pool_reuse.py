@@ -20,6 +20,15 @@ Run standalone with::
 requires 3.0).  Results are written to ``BENCH_pool.json`` at the
 repository root in the ``compare_bench.py`` schema, gated on the
 ``speedup_vs_no_pool`` metric.
+
+The ``mutation`` row exercises delta-scoped invalidation (DESIGN.md §10):
+candidates are warmed on a two-region graph (a large main component plus a
+small side community), one edge then arrives inside the side community, and
+the row reports ``retained_hit_rate`` -- the fraction of warm keys that
+survived the re-snapshot -- after asserting every post-mutation answer is
+byte-identical to a cold pool on the mutated topology.  ``--min-retained-
+hit-rate`` gates it (CI requires 0.9); the committed value is additionally
+drift-gated via ``compare_bench.py --metric retained_hit_rate``.
 """
 
 from __future__ import annotations
@@ -34,6 +43,9 @@ from bench_engine_throughput import _benchmark_graph
 
 from repro.core.raf import estimate_pmax
 from repro.diffusion.engine import create_engine
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.social_graph import SocialGraph
+from repro.graph.weights import apply_degree_normalized_weights
 from repro.pool import SamplePool
 from repro.utils.rng import derive_rng
 
@@ -44,9 +56,9 @@ _SEED = 20190707
 _POOL_SEED = 77
 
 
-def _candidate_pairs(graph, count, rng):
+def _candidate_pairs(graph, count, rng, nodes=None):
     """Unscreened candidate pairs (distinct, non-friend, non-isolated)."""
-    nodes = graph.node_list()
+    nodes = list(nodes) if nodes is not None else graph.node_list()
     pairs = []
     seen = set()
     while len(pairs) < count:
@@ -94,6 +106,98 @@ def _run_workload(graph, pairs, pool, rounds, screen_samples, estimate_top):
     return transcript
 
 
+def _two_region_graph(num_nodes):
+    """A main BA component plus a small disjoint side community.
+
+    Edge arrivals land in the side community, so the delta mapper's
+    reverse-reachability BFS exhausts a bounded region instead of the whole
+    graph -- the regime where retention wins (a mutation inside one giant
+    connected component conservatively flushes it; see DESIGN.md §10).
+    """
+    side_n = max(20, num_nodes // 30)
+    main_n = num_nodes - side_n
+    main = apply_degree_normalized_weights(
+        barabasi_albert_graph(main_n, 8, rng=_SEED, name="bench-ba-main")
+    )
+    side = apply_degree_normalized_weights(
+        barabasi_albert_graph(side_n, 3, rng=_SEED + 1, name="bench-ba-side")
+    )
+    graph = SocialGraph(name="bench-two-region")
+    for u, v in main.edges():
+        graph.add_edge(u, v, main.weight(u, v), main.weight(v, u))
+    for u, v in side.edges():
+        graph.add_edge(u + main_n, v + main_n, side.weight(u, v), side.weight(v, u))
+    return graph, list(range(main_n)), list(range(main_n, main_n + side_n))
+
+
+def run_mutation_arm(candidates=50, screen_samples=400, num_nodes=3000, side_keys=2):
+    """Warm keys, insert one far-away edge, measure what survives.
+
+    ``candidates - side_keys`` pairs live in the main component (far from
+    the arriving edge) and ``side_keys`` pairs in the side community (whose
+    reverse-reachable sets the edge *does* touch), so the expected retained
+    hit rate is ``1 - side_keys/candidates`` -- high, but intentionally not
+    1.0, which the drift gate would skip as a normalizer row.  Before any
+    number is reported, every post-mutation screen is asserted byte-equal
+    to a cold pool on the mutated graph: retention must be observationally
+    indistinguishable from a full flush, apart from cost.
+    """
+    from repro.experiments.pair_selection import screen_pmax
+
+    graph, main_nodes, side_nodes = _two_region_graph(num_nodes)
+    rng = derive_rng(_SEED, "pool-bench-mutation-pairs")
+    pairs = _candidate_pairs(graph, candidates - side_keys, rng, nodes=main_nodes)
+    pairs += _candidate_pairs(graph, side_keys, rng, nodes=side_nodes)
+
+    pool = SamplePool(create_engine(graph, "python"), seed=_POOL_SEED)
+    for source, target in pairs:
+        screen_pmax(graph, source, target, num_samples=screen_samples, pool=pool)
+    warm_keys = pool.stats().keys
+
+    # One edge arrival inside the side community, weights within the
+    # endpoints' normalization headroom (the model invariant).
+    picker = derive_rng(_SEED, "pool-bench-mutation-edge")
+    while True:
+        u, v = picker.sample(side_nodes, 2)
+        if not graph.has_edge(u, v):
+            break
+    graph.add_edge(
+        u, v,
+        min(0.2, 0.5 * max(0.0, 1.0 - graph.total_in_weight(v))),
+        min(0.2, 0.5 * max(0.0, 1.0 - graph.total_in_weight(u))),
+    )
+
+    start = time.perf_counter()
+    warm_screens = [
+        screen_pmax(graph, source, target, num_samples=screen_samples, pool=pool)
+        for source, target in pairs
+    ]
+    warm_seconds = time.perf_counter() - start
+    stats = pool.stats()
+
+    cold_pool = SamplePool(create_engine(graph, "python"), seed=_POOL_SEED)
+    start = time.perf_counter()
+    cold_screens = [
+        screen_pmax(graph, source, target, num_samples=screen_samples, pool=cold_pool)
+        for source, target in pairs
+    ]
+    cold_seconds = time.perf_counter() - start
+
+    assert warm_screens == cold_screens, (
+        "retained streams diverged from a cold re-draw on the mutated topology"
+    )
+    touched = stats.retained_keys + stats.flushed_keys
+    assert touched == warm_keys, (stats, warm_keys)
+    return {
+        "seconds": round(warm_seconds, 4),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_keys": warm_keys,
+        "retained_keys": stats.retained_keys,
+        "flushed_keys": stats.flushed_keys,
+        "retained_hit_rate": round(stats.retained_keys / touched, 4),
+    }
+
+
 def run_benchmark(candidates=50, rounds=5, screen_samples=400, estimate_top=10, num_nodes=3000):
     """Time the screening workload with the pool on and off."""
     graph, _, _ = _benchmark_graph(num_nodes=num_nodes)
@@ -123,6 +227,9 @@ def run_benchmark(candidates=50, rounds=5, screen_samples=400, estimate_top=10, 
     speedup = arms["no-pool"]["seconds"] / arms["pool"]["seconds"]
     arms["no-pool"]["speedup_vs_no_pool"] = 1.0
     arms["pool"]["speedup_vs_no_pool"] = round(speedup, 2)
+    arms["mutation"] = run_mutation_arm(
+        candidates=candidates, screen_samples=screen_samples, num_nodes=num_nodes
+    )
     return {
         "benchmark": "pool_reuse_screening",
         "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges, "model": "barabasi-albert"},
@@ -157,6 +264,9 @@ def main(argv=None) -> int:
                         help=f"where to write the JSON report (default: {OUTPUT_PATH})")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail unless the pooled arm reaches this speedup")
+    parser.add_argument("--min-retained-hit-rate", type=float, default=None,
+                        help="fail unless the mutation arm retains this fraction "
+                             "of warm keys across the edge arrival")
     args = parser.parse_args(argv)
     report = run_benchmark(
         candidates=args.candidates,
@@ -169,11 +279,23 @@ def main(argv=None) -> int:
     args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(report, indent=2))
     speedup = report["results"]["pool"]["speedup_vs_no_pool"]
+    mutation = report["results"]["mutation"]
     print(f"\npool speedup: {speedup}x over pool-free (bit-identical results)")
+    print(f"mutation arm: {mutation['retained_keys']}/{mutation['warm_keys']} warm keys "
+          f"retained across one edge arrival (retained_hit_rate "
+          f"{mutation['retained_hit_rate']}, byte-identical to a cold pool)")
+    failed = False
     if args.min_speedup is not None and speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup}x below required {args.min_speedup}x", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if (
+        args.min_retained_hit_rate is not None
+        and mutation["retained_hit_rate"] < args.min_retained_hit_rate
+    ):
+        print(f"FAIL: retained_hit_rate {mutation['retained_hit_rate']} below "
+              f"required {args.min_retained_hit_rate}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -169,6 +169,16 @@ class _EngineBase:
                 self._rebind(fresh)
         return self._compiled
 
+    @property
+    def source_graph(self) -> "SocialGraph | None":
+        """The live graph this engine re-snapshots from (None when pinned).
+
+        Delta-scoped consumers (the sample pool) read the graph's mutation
+        log through this to scope invalidation between two snapshots; a
+        pinned engine returns ``None`` and they fall back to a full flush.
+        """
+        return self._graph
+
     def _rebind(self, compiled: CompiledGraph) -> None:
         """Hook for engines holding derived state of the snapshot."""
 

@@ -481,13 +481,19 @@ class PathStore:
     def covered_bytes(self, start: int, stop: int, invitation: frozenset) -> bytes:
         """Covered-trace indicators (Lemma 2) of paths ``[start, stop)``."""
         parts: list[bytes] = []
-        mask = None  # interned once per read, shared across columnar chunks
+        # Interned once per distinct snapshot per read.  Chunks retained
+        # across graph mutations keep their original snapshot attached, so
+        # one store can mix chunks whose dense index spaces differ -- a
+        # single shared mask would silently misread them.
+        masks: dict[int, object] = {}
         for chunk, lo, hi in self._segments(start, stop):
             if isinstance(chunk, PathBatch) and _is_ndarray(chunk.node_indices):
                 if chunk.graph is None:
                     raise RuntimeError("covered_bytes needs the compiled graph; attach() first")
+                mask = masks.get(id(chunk.graph))
                 if mask is None:
                     mask = _invitation_mask(chunk.graph, invitation)
+                    masks[id(chunk.graph)] = mask
                 parts.append(chunk.covered_bytes_masked(mask, lo, hi))
             elif isinstance(chunk, PathBatch):
                 parts.append(chunk.covered_bytes(invitation, lo, hi))

@@ -75,6 +75,7 @@ __all__ = [
     "build_alias_tables",
     "compute_csr_digest",
     "read_snapshot_meta",
+    "reverse_reachable",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_VERSION",
     "SNAPSHOT_COLUMNS",
@@ -422,6 +423,7 @@ class CompiledGraph:
         "_nodes_column",
         "_contiguous",
         "_lookup",
+        "graph_version",
     )
 
     def __init__(self, graph: SocialGraph) -> None:
@@ -454,6 +456,11 @@ class CompiledGraph:
         self._nodes_column = None
         self._contiguous = False
         self._lookup = None
+        # The source graph's mutation counter at freeze time; set by
+        # compile_graph() (None for snapshots built any other way).  The
+        # sample pool uses it to slice the graph's mutation log between two
+        # snapshots for delta-scoped invalidation.
+        self.graph_version: "int | None" = None
 
     # ------------------------------------------------------------------ #
     # The on-disk snapshot tier
@@ -585,6 +592,7 @@ class CompiledGraph:
         compiled._nodes_column = nodes_column
         compiled._contiguous = meta["contiguous_ids"]
         compiled._lookup = None
+        compiled.graph_version = None
         if verify:
             compiled.verify_integrity()
         return compiled
@@ -908,5 +916,77 @@ def compile_graph(graph: "SocialGraph | CompiledGraph") -> CompiledGraph:
     if cached is not None and cached[0] == graph.version:
         return cached[1]
     compiled = CompiledGraph(graph)
+    compiled.graph_version = graph.version
     graph._compiled_cache = (graph.version, compiled)
     return compiled
+
+
+def reverse_reachable(
+    compiled: CompiledGraph,
+    sources: Iterable[NodeId],
+    *,
+    max_hops: int = 64,
+    max_nodes: int = 4096,
+) -> "frozenset | None":
+    """Nodes whose reverse-sampling walks could visit any of ``sources``.
+
+    BFS over ``compiled`` from the ``sources`` against the direction of a
+    backward walk: a walk positioned at ``a`` steps to in-neighbour ``b``
+    exactly when ``w(b, a) > 0``, so a node ``a`` is *affected* by a change
+    at ``b`` when there is a chain of positive-weight walk steps from ``a``
+    to ``b``.  The returned frozenset (of node *ids*, sources included)
+    over-approximates the affected set: a key whose target is outside it
+    provably draws byte-identical paths before and after the change, which
+    is the retention contract of the sample pool (DESIGN.md §10).
+
+    Unknown source ids are skipped: a node absent from this snapshot cannot
+    have been visited by any walk drawn on it.  Returns ``None`` when the
+    frontier is still growing after ``max_hops`` levels or the visited set
+    exceeds ``max_nodes`` — callers must then fall back to assuming every
+    node is affected (full flush).
+    """
+    indptr = compiled.indptr
+    parents = compiled.parents
+    cum_weights = compiled.cum_weights
+    visited = {
+        position
+        for position in (compiled._position(node) for node in sources)
+        if position is not None
+    }
+    if len(visited) > max_nodes:
+        return None
+    frontier = list(visited)
+    for _ in range(max_hops):
+        if not frontier:
+            break
+        next_frontier: list[int] = []
+        # Walk steps follow stored in-edges, so the nodes that can step
+        # *into* ``b`` are exactly the nodes ``a`` whose in-row lists ``b``
+        # with positive weight.  Friendship is symmetric: those ``a`` are
+        # ``b``'s own CSR parents, filtered by ``w(b, a) > 0`` read from
+        # ``a``'s row (entry j weighs cum[j] - cum[j-1]).
+        for b in frontier:
+            for k in range(indptr[b], indptr[b + 1]):
+                a = int(parents[k])
+                if a in visited:
+                    continue
+                lo = int(indptr[a])
+                hi = int(indptr[a + 1])
+                previous = 0.0  # cum_weights restarts at each row
+                steps_into_b = False
+                for j in range(lo, hi):
+                    current = float(cum_weights[j])
+                    if int(parents[j]) == b:
+                        steps_into_b = current - previous > 0.0
+                        break
+                    previous = current
+                if steps_into_b:
+                    visited.add(a)
+                    if len(visited) > max_nodes:
+                        return None
+                    next_frontier.append(a)
+        frontier = next_frontier
+    if frontier:
+        return None
+    node_at = compiled.nodes
+    return frozenset(node_at[i] for i in sorted(visited))

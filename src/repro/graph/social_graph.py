@@ -16,16 +16,42 @@ hold the two directional weights.
 
 from __future__ import annotations
 
+from collections import deque
+from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Iterable, Iterator, Mapping
 
 from repro.exceptions import EdgeNotFoundError, NodeNotFoundError, WeightError
 from repro.types import EdgeTuple, NodeId
 
-__all__ = ["SocialGraph", "WEIGHT_SUM_TOLERANCE"]
+__all__ = ["GraphMutation", "SocialGraph", "MUTATION_LOG_LIMIT", "WEIGHT_SUM_TOLERANCE"]
 
 #: Numerical slack allowed when checking that incoming weights sum to <= 1.
 WEIGHT_SUM_TOLERANCE = 1e-9
+
+#: How many mutation events a graph retains.  Consumers that fall behind by
+#: more than this many versions get ``None`` from :meth:`SocialGraph.
+#: mutations_since` and must treat the delta as unknown (full flush).
+MUTATION_LOG_LIMIT = 256
+
+
+@dataclass(frozen=True, slots=True)
+class GraphMutation:
+    """One structured mutation event emitted by a :class:`SocialGraph` mutator.
+
+    ``kind`` names the mutator (``"add_node"``, ``"add_edge"``,
+    ``"remove_edge"``, ``"remove_node"``, ``"set_weight"`` or ``"opaque"``).
+
+    ``touched`` lists every node whose *incoming-weight row* ``{u: w(u, v)}``
+    changed — i.e. the nodes at which a reverse-sampling walk would observe a
+    different in-neighbour distribution.  ``None`` means the extent of the
+    change is unknown (an opaque event); consumers must fall back to a full
+    invalidation.  ``add_node`` touches no row (a fresh node has an empty
+    row nothing could have sampled from), so its ``touched`` is ``()``.
+    """
+
+    kind: str
+    touched: tuple[NodeId, ...] | None
 
 
 class SocialGraph:
@@ -46,7 +72,14 @@ class SocialGraph:
     they receive unless explicitly documented.
     """
 
-    __slots__ = ("_in_weights", "_num_edges", "name", "_version", "_compiled_cache")
+    __slots__ = (
+        "_in_weights",
+        "_num_edges",
+        "name",
+        "_version",
+        "_compiled_cache",
+        "_mutation_log",
+    )
 
     def __init__(
         self,
@@ -63,6 +96,11 @@ class SocialGraph:
         # snapshots are rebuilt only after the graph actually changed.
         self._version: int = 0
         self._compiled_cache = None
+        # Bounded structured mutation log: event i describes the transition
+        # from version (floor + i) to (floor + i + 1) where
+        # floor == _version - len(_mutation_log).  Delta-scoped consumers
+        # (the sample pool) slice it with mutations_since().
+        self._mutation_log: deque[GraphMutation] = deque(maxlen=MUTATION_LOG_LIMIT)
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -132,21 +170,52 @@ class SocialGraph:
     # Mutation
     # ------------------------------------------------------------------ #
 
-    def _invalidate(self) -> None:
-        """Record a mutation: bump the version and drop the compiled snapshot."""
+    def _record(self, kind: str, touched: tuple[NodeId, ...] | None) -> None:
+        """Log one mutation event, bump the version and drop the snapshot.
+
+        Exactly one event is appended per version bump, so the log can be
+        sliced by version offset in :meth:`mutations_since`.
+        """
+        self._mutation_log.append(GraphMutation(kind, touched))
         self._version += 1
         self._compiled_cache = None
+
+    def _invalidate(self) -> None:
+        """Record an *opaque* mutation: bump the version and drop the snapshot.
+
+        Kept for callers outside the structured mutators; the logged event
+        carries ``touched=None``, which forces delta-scoped consumers into a
+        full invalidation (always sound, never surprising).
+        """
+        self._record("opaque", None)
 
     @property
     def version(self) -> int:
         """Monotonic mutation counter (compiled snapshots key off it)."""
         return self._version
 
+    def mutations_since(self, version: int) -> tuple[GraphMutation, ...] | None:
+        """Return the events that took the graph from ``version`` to now.
+
+        Returns ``()`` when ``version == self.version`` (nothing changed),
+        the ordered event tuple when the bounded log still covers the span,
+        and ``None`` when ``version`` predates the log's retention window
+        (or is from the future / another graph) — callers must then treat
+        the delta as unknown.
+        """
+        if version == self._version:
+            return ()
+        floor = self._version - len(self._mutation_log)
+        if version < floor or version > self._version:
+            return None
+        start = version - floor
+        return tuple(list(self._mutation_log)[start:])
+
     def add_node(self, node: NodeId) -> None:
         """Add an isolated node (no-op if it already exists)."""
         if node not in self._in_weights:
             self._in_weights[node] = {}
-            self._invalidate()
+            self._record("add_node", ())
 
     def add_edge(
         self,
@@ -159,20 +228,31 @@ class SocialGraph:
 
         ``weight_uv`` is ``w(u, v)`` (v's familiarity with u) and
         ``weight_vu`` is ``w(v, u)``.  Adding an existing edge overwrites
-        its weights.  Self-loops are rejected: a user cannot friend itself.
+        its weights; re-adding it with *identical* weights is a no-op (no
+        version bump, no event), so idempotent writes never cold-start
+        downstream caches.  Self-loops are rejected: a user cannot friend
+        itself.
         """
         if u == v:
             raise WeightError(f"self-loop on node {u!r} is not allowed")
+        weight_uv = float(weight_uv)
+        weight_vu = float(weight_vu)
         self._validate_weight_value(weight_uv, u, v)
         self._validate_weight_value(weight_vu, v, u)
         self.add_node(u)
         self.add_node(v)
         is_new = u not in self._in_weights[v]
-        self._in_weights[v][u] = float(weight_uv)
-        self._in_weights[u][v] = float(weight_vu)
+        if (
+            not is_new
+            and self._in_weights[v][u] == weight_uv
+            and self._in_weights[u][v] == weight_vu
+        ):
+            return
+        self._in_weights[v][u] = weight_uv
+        self._in_weights[u][v] = weight_vu
         if is_new:
             self._num_edges += 1
-        self._invalidate()
+        self._record("add_edge", (u, v))
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove the friendship ``(u, v)``."""
@@ -181,24 +261,37 @@ class SocialGraph:
         del self._in_weights[v][u]
         del self._in_weights[u][v]
         self._num_edges -= 1
-        self._invalidate()
+        self._record("remove_edge", (u, v))
 
     def remove_node(self, node: NodeId) -> None:
-        """Remove a node and all its incident friendships."""
+        """Remove a node and all its incident friendships.
+
+        Logged as a *single* mutation event (one version bump) touching the
+        node and all its former neighbours, not one event per incident edge.
+        """
         if node not in self._in_weights:
             raise NodeNotFoundError(node)
-        for neighbor in list(self._in_weights[node]):
-            self.remove_edge(node, neighbor)
+        neighbors = tuple(self._in_weights[node])
+        for neighbor in neighbors:
+            del self._in_weights[neighbor][node]
+        self._num_edges -= len(neighbors)
         del self._in_weights[node]
-        self._invalidate()
+        self._record("remove_node", (node, *neighbors))
 
     def set_weight(self, u: NodeId, v: NodeId, weight: float) -> None:
-        """Set ``w(u, v)`` (v's familiarity with friend u)."""
+        """Set ``w(u, v)`` (v's familiarity with friend u).
+
+        Writing the value already stored is a no-op: no version bump, no
+        mutation event, so redundant weight refreshes keep caches warm.
+        """
         if not self.has_edge(u, v):
             raise EdgeNotFoundError(u, v)
+        weight = float(weight)
         self._validate_weight_value(weight, u, v)
-        self._in_weights[v][u] = float(weight)
-        self._invalidate()
+        if self._in_weights[v][u] == weight:
+            return
+        self._in_weights[v][u] = weight
+        self._record("set_weight", (v,))
 
     @staticmethod
     def _validate_weight_value(weight: float, u: NodeId, v: NodeId) -> None:

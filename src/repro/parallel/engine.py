@@ -319,6 +319,11 @@ class ParallelEngine:
         return self._base.compiled
 
     @property
+    def source_graph(self):
+        """The wrapped engine's live graph (None when snapshot-pinned)."""
+        return getattr(self._base, "source_graph", None)
+
+    @property
     def native_batches(self) -> bool:
         """Columnar when the wrapped engine is (batches then travel as
         packed array buffers between the workers and the parent)."""

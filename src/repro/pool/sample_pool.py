@@ -62,11 +62,20 @@ from a foreign seed or a dead topology are simply never found.  A small
 metadata for validation and debugging.
 
 Cached paths are only meaningful for the topology they were sampled from.
-The pool therefore pins the engine's compiled CSR snapshot: when the
+The pool therefore pins the engine's compiled CSR snapshot and, when the
 source graph is mutated (the engine re-snapshots, see
-:mod:`repro.graph.compiled`), every cached entry is discarded and the
-streams are re-drawn from the current snapshot -- the prefix contract then
-holds *per topology*.
+:mod:`repro.graph.compiled`), scopes the invalidation to the keys the
+mutation can actually touch (DESIGN.md §10): the graph's structured
+mutation log names the nodes whose in-rows changed, and a conservative
+reverse-reachability BFS over the *old* CSR
+(:func:`repro.graph.compiled.reverse_reachable`) over-approximates the
+targets whose walks could ever visit one of them.  Keys outside that set
+keep their cached chunks -- and their spill blobs, found through a short
+history of previous digests -- because their streams are provably
+byte-identical to a cold re-draw on the new topology.  Whenever the delta
+cannot be bounded (pinned engine, opaque mutation, log overrun, BFS cap
+exceeded), the pool falls back to the historical full flush, so the
+prefix-per-topology contract is never weakened, only served cheaper.
 """
 
 from __future__ import annotations
@@ -82,6 +91,7 @@ from typing import Callable, Iterable
 
 from repro.diffusion.engine import SamplingEngine, TargetPath
 from repro.diffusion.path_batch import PathBatch, PathStore
+from repro.graph.compiled import reverse_reachable
 from repro.parallel.engine import ParallelEngine
 from repro.types import NodeId, ordered
 from repro.utils.rng import derive_seed
@@ -121,6 +131,17 @@ STREAM_EVAL = "eval"
 
 #: Default cap on the number of cached keys.
 DEFAULT_MAX_TARGETS = 64
+
+#: Default caps on the reverse-reachability BFS that scopes invalidation
+#: after a graph mutation: at most this many levels / visited nodes before
+#: the delta is declared unbounded and the pool falls back to a full flush.
+DELTA_MAX_HOPS = 64
+DELTA_MAX_NODES = 4096
+
+#: How many re-snapshot transitions the pool remembers for spill-tag
+#: compatibility: a key untouched by the last k <= this many transitions can
+#: still load the blobs it spilled k topologies ago.
+DIGEST_HISTORY_LIMIT = 8
 
 
 def _csr_digest(compiled) -> str:
@@ -178,6 +199,15 @@ class PoolStats:
         Chunk blobs actually written to the spill directory.  Chunks
         already on disk are never rewritten (the append-safe contract), so
         re-evicting a grown key increments this only by the new chunks.
+    invalidations:
+        Re-snapshot transitions the pool has processed (graph mutations
+        observed between two pool reads, however many events each covered).
+    retained_keys:
+        Cumulative keys kept warm across those transitions because the
+        delta-scoped reverse-reachability check proved them untouched.
+    flushed_keys:
+        Cumulative keys discarded by those transitions (delta-scoped hits
+        plus every key of each full-flush fallback).
     """
 
     keys: int
@@ -188,12 +218,24 @@ class PoolStats:
     spills: int
     loads: int
     chunk_writes: int
+    invalidations: int = 0
+    retained_keys: int = 0
+    flushed_keys: int = 0
 
 
 @dataclass(slots=True)
 class _PoolEntry:
     """In-memory state of one key: its chunk store plus the key metadata
-    needed to extend or spill it without re-deriving anything."""
+    needed to extend or spill it without re-deriving anything.
+
+    ``spill_digest`` is the CSR digest whose snapshot interned the key's
+    on-disk blob indices -- the digest its spill tag is built from.  A key
+    retained across re-snapshots keeps its original digest, so re-evicting
+    it appends to the same blob family instead of re-writing everything.
+    ``spill_ok`` drops to False when an index-map-changing transition
+    (``remove_node``) makes mixed-interning blobs possible; such keys stay
+    warm in memory but are never spilled again.
+    """
 
     target: NodeId
     stop_set: frozenset
@@ -201,6 +243,25 @@ class _PoolEntry:
     key_seed: int
     store: PathStore = field(default_factory=PathStore)
     chunks_drawn: int = 0
+    spill_digest: str = ""
+    spill_ok: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class _DeltaTransition:
+    """One processed re-snapshot: what the mutation touched and how.
+
+    ``digest``/``snapshot`` identify the *previous* topology (the one the
+    retained blobs were interned on), ``affected`` is the conservative set
+    of targets whose streams the transition could have changed, and
+    ``index_stable`` records whether the dense node interning survived
+    (False after ``remove_node``, which shifts later indices).
+    """
+
+    digest: str
+    affected: frozenset
+    snapshot: object
+    index_stable: bool
 
 
 class SamplePool:
@@ -234,6 +295,12 @@ class SamplePool:
         ``False`` disables caching entirely: every request re-draws from
         the same canonical streams.  Results are bit-identical either way;
         only the sampling cost differs.
+    delta_hops, delta_nodes:
+        Caps on the reverse-reachability BFS that scopes invalidation
+        after a graph mutation (DESIGN.md §10).  When either cap is
+        exceeded the pool falls back to a full flush, so raising them
+        trades sync-time CPU for retention on large mutations; they never
+        affect results.
     """
 
     def __init__(
@@ -246,11 +313,15 @@ class SamplePool:
         budget: int | None = None,
         spill_dir: "str | Path | None" = None,
         reuse: bool = True,
+        delta_hops: int = DELTA_MAX_HOPS,
+        delta_nodes: int = DELTA_MAX_NODES,
     ) -> None:
         if not isinstance(seed, int) or isinstance(seed, bool):
             raise TypeError(f"seed must be an int, got {type(seed).__name__}")
         require_positive_int(chunk_size, "chunk_size")
         require_positive_int(max_targets, "max_targets")
+        require_positive_int(delta_hops, "delta_hops")
+        require_positive_int(delta_nodes, "delta_nodes")
         if budget is not None:
             require_positive_int(budget, "budget")
         self._engine = engine
@@ -260,15 +331,21 @@ class SamplePool:
         self._budget = budget
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
         self._reuse = bool(reuse)
+        self._delta_hops = int(delta_hops)
+        self._delta_nodes = int(delta_nodes)
         self._entries: "OrderedDict[str, _PoolEntry]" = OrderedDict()
         self._snapshot = engine.compiled
         self._csr_digest = _csr_digest(self._snapshot)
+        self._digest_history: list[_DeltaTransition] = []
         self._drawn = 0
         self._served = 0
         self._evictions = 0
         self._spills = 0
         self._loads = 0
         self._chunk_writes = 0
+        self._invalidations = 0
+        self._retained = 0
+        self._flushed = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -308,7 +385,13 @@ class SamplePool:
         return self._served
 
     def stats(self) -> PoolStats:
-        """Current counters (see :class:`PoolStats`)."""
+        """Current counters (see :class:`PoolStats`).
+
+        Syncs against the engine's snapshot first, so a graph mutated since
+        the last read is reflected immediately (keys/cached-path counts
+        never describe a dead CSR).
+        """
+        self._sync_snapshot()
         return PoolStats(
             keys=len(self._entries),
             cached_paths=sum(len(entry.store) for entry in self._entries.values()),
@@ -318,10 +401,18 @@ class SamplePool:
             spills=self._spills,
             loads=self._loads,
             chunk_writes=self._chunk_writes,
+            invalidations=self._invalidations,
+            retained_keys=self._retained,
+            flushed_keys=self._flushed,
         )
 
     def cached_count(self, target: NodeId, stop_set: Iterable[NodeId], stream: str = "") -> int:
-        """How many samples of this key are materialized in memory right now."""
+        """How many samples of this key are materialized in memory right now.
+
+        Synced like :meth:`stats`: a key invalidated by a graph mutation
+        counts 0 here even before the next ``take``/``paths`` call.
+        """
+        self._sync_snapshot()
         digest = pool_key_digest(target, stop_set, stream)
         entry = self._entries.get(digest)
         return len(entry.store) if entry is not None else 0
@@ -338,20 +429,93 @@ class SamplePool:
     # ------------------------------------------------------------------ #
 
     def _sync_snapshot(self) -> None:
-        """Invalidate the cache if the engine re-snapshotted its graph.
+        """Scope the cache invalidation when the engine re-snapshotted.
 
         Reading ``engine.compiled`` is what triggers the engine's own
         mutation-counter check, so a graph mutated between two pool reads
-        is caught here: every cached entry was sampled from the dead CSR
-        and is discarded (not spilled -- spilling dead data would only
-        poison a later load), and the streams re-draw from the current
-        topology on demand.
+        is caught here.  The delta mapper (:meth:`_delta_affected`) turns
+        the graph's structured mutation log into a conservative affected
+        set over the *old* CSR; only keys whose target lies inside it are
+        discarded, every other key stays warm (its stream is provably
+        byte-identical on the new topology) and the old digest/snapshot
+        are remembered so those keys' spill blobs stay loadable.  When the
+        delta cannot be bounded the pool flushes everything, exactly as it
+        always did.
         """
         current = self._engine.compiled
-        if current is not self._snapshot:
+        if current is self._snapshot:
+            return
+        previous = self._snapshot
+        previous_digest = self._csr_digest
+        self._snapshot = current
+        self._csr_digest = _csr_digest(current)
+        self._invalidations += 1
+        delta = self._delta_affected(previous)
+        if delta is None:
+            self._flushed += len(self._entries)
             self._entries.clear()
-            self._snapshot = current
-            self._csr_digest = _csr_digest(current)
+            self._digest_history.clear()
+            return
+        affected, index_stable = delta
+        if affected:
+            doomed = [
+                digest
+                for digest, entry in self._entries.items()
+                if entry.target in affected
+            ]
+            for digest in doomed:
+                del self._entries[digest]
+            self._flushed += len(doomed)
+        self._retained += len(self._entries)
+        if not index_stable:
+            # The dense interning shifted: appending new-snapshot chunks to
+            # an old-digest blob family would mix index spaces on disk.
+            # Retained keys stay warm in memory but stop spilling.
+            for entry in self._entries.values():
+                entry.spill_ok = False
+        self._digest_history.append(
+            _DeltaTransition(previous_digest, affected, previous, index_stable)
+        )
+        del self._digest_history[:-DIGEST_HISTORY_LIMIT]
+
+    def _delta_affected(self, previous) -> "tuple[frozenset, bool] | None":
+        """Map the mutations behind a re-snapshot to an affected target set.
+
+        Returns ``(affected_node_ids, index_stable)`` when the delta is
+        bounded: any key whose target is *not* in the set provably draws
+        byte-identical paths on the new topology (its walks, replayed on
+        the old CSR, can never reach a node whose in-row changed --
+        :func:`repro.graph.compiled.reverse_reachable`).  Returns ``None``
+        when the delta is unknowable -- snapshot-pinned engine, snapshots
+        without a recorded graph version, an opaque mutation event, a
+        mutation log that no longer covers the span, or a BFS that
+        overran its hop/size caps -- and the caller must flush everything.
+        """
+        graph = getattr(self._engine, "source_graph", None)
+        if graph is None:
+            return None
+        old_version = getattr(previous, "graph_version", None)
+        if old_version is None or getattr(self._snapshot, "graph_version", None) is None:
+            return None
+        events = graph.mutations_since(old_version)
+        if events is None:
+            return None
+        touched: list = []
+        index_stable = True
+        for event in events:
+            if event.touched is None:
+                return None
+            if event.kind == "remove_node":
+                index_stable = False
+            touched.extend(event.touched)
+        if not touched:
+            return frozenset(), index_stable
+        affected = reverse_reachable(
+            previous, touched, max_hops=self._delta_hops, max_nodes=self._delta_nodes
+        )
+        if affected is None:
+            return None
+        return affected, index_stable
 
     def _key_seed(self, digest: str) -> int:
         # A fresh generator per derivation keeps key seeds independent of
@@ -410,7 +574,11 @@ class SamplePool:
             entry = self._load_spilled(digest)
             if entry is None:
                 entry = _PoolEntry(
-                    target=target, stop_set=stop, stream=stream, key_seed=self._key_seed(digest)
+                    target=target,
+                    stop_set=stop,
+                    stream=stream,
+                    key_seed=self._key_seed(digest),
+                    spill_digest=self._csr_digest,
                 )
             self._entries[digest] = entry
         self._entries.move_to_end(digest)  # LRU: most recent last
@@ -426,6 +594,7 @@ class SamplePool:
             stop_set=stop_set if isinstance(stop_set, frozenset) else frozenset(stop_set),
             stream=stream,
             key_seed=self._key_seed(pool_key_digest(target, stop_set, stream)),
+            spill_digest=self._csr_digest,
         )
 
     def _serve_segment(
@@ -545,18 +714,21 @@ class SamplePool:
         base = getattr(engine, "base", engine)
         return base.name
 
-    def _spill_tag(self, digest: str) -> str:
+    def _spill_tag(self, digest: str, csr_digest: "str | None" = None) -> str:
         """The on-disk identity of one key's blobs.
 
         Besides the key digest it hashes in the pool seed, the chunk size,
-        the CSR digest and the stream-defining engine backend -- everything
+        a CSR digest and the stream-defining engine backend -- everything
         that defines the canonical chunk contents -- so a blob name *is*
         its validity: foreign-seed, foreign-chunking, foreign-engine and
-        dead-topology spills are never even opened.
+        dead-topology spills are never even opened.  ``csr_digest``
+        defaults to the current snapshot's; retained keys pass the digest
+        their blob family was started under (``_PoolEntry.spill_digest``),
+        and historical loads pass digests from the transition history.
         """
         material = (
             f"{digest}:{self._seed}:{self._chunk_size}:"
-            f"{self._csr_digest}:{self._stream_engine_name()}"
+            f"{csr_digest or self._csr_digest}:{self._stream_engine_name()}"
         )
         return f"{digest}-{hashlib.sha256(material.encode('utf-8')).hexdigest()[:12]}"
 
@@ -627,9 +799,12 @@ class SamplePool:
     def _spill(self, digest: str, entry: _PoolEntry) -> bool:
         if self._spill_dir is None or entry.chunks_drawn == 0:
             return False
+        if not entry.spill_ok:
+            return False  # interning shifted under this key; memory-only now
         if not self._spillable(entry):
             return False
-        tag = self._spill_tag(digest)
+        spill_digest = entry.spill_digest or self._csr_digest
+        tag = self._spill_tag(digest, spill_digest)
         self._spill_dir.mkdir(parents=True, exist_ok=True)
         for index, chunk in enumerate(entry.store.chunks()):
             self._write_chunk_blob(tag, index, chunk)
@@ -642,7 +817,7 @@ class SamplePool:
                 "stream": entry.stream,
                 "pool_seed": self._seed,
                 "chunk_size": self._chunk_size,
-                "csr": self._csr_digest,
+                "csr": spill_digest,
                 "engine": self._stream_engine_name(),
                 "chunks_drawn": entry.chunks_drawn,
             },
@@ -650,12 +825,15 @@ class SamplePool:
         self._spills += 1
         return True
 
-    def _load_chunk_blob(self, tag: str, index: int):
+    def _load_chunk_blob(self, tag: str, index: int, snapshot):
         npz_path, json_path = self._chunk_paths(tag, index)
         if npz_path.is_file():
             if _np is None:
                 return None  # columnar blob, no numpy here: re-draw instead
-            return PathBatch.load_npz(npz_path, graph=self._snapshot)
+            # Columnar blobs store dense indices relative to the snapshot
+            # they were interned on -- attach exactly that snapshot so id
+            # materialization stays correct for historical generations.
+            return PathBatch.load_npz(npz_path, graph=snapshot)
         if json_path.is_file():
             payload = json.loads(json_path.read_text(encoding="utf-8"))
             return [
@@ -676,10 +854,38 @@ class SamplePool:
         and the key is re-drawn -- the append-only prefix contract makes
         the two outcomes indistinguishable apart from cost.  A partial set
         of blobs (e.g. an interrupted spill) loads as a shorter prefix.
+
+        Blobs written under the current digest are tried first; on a miss
+        the transition history is walked newest to oldest, loading a
+        previous-topology spill when the key's target was provably
+        unaffected by *every* transition since it was written (spill-tag
+        compatibility across re-snapshots, DESIGN.md §10).
         """
         if self._spill_dir is None:
             return None
-        tag = self._spill_tag(digest)
+        entry = self._load_spill_generation(digest, self._csr_digest, self._snapshot)
+        if entry is not None:
+            return entry
+        affected_since: set = set()
+        index_stable = True
+        for transition in reversed(self._digest_history):
+            affected_since |= transition.affected
+            index_stable = index_stable and transition.index_stable
+            entry = self._load_spill_generation(
+                digest, transition.digest, transition.snapshot
+            )
+            if entry is not None:
+                if entry.target in affected_since:
+                    return None  # stale -- and older generations staler still
+                entry.spill_ok = index_stable
+                return entry
+        return None
+
+    def _load_spill_generation(
+        self, digest: str, csr_digest: str, snapshot
+    ) -> "_PoolEntry | None":
+        """Load one key's blobs written under one specific CSR digest."""
+        tag = self._spill_tag(digest, csr_digest)
         meta_path = self._meta_path(tag)
         if not meta_path.is_file():
             return None
@@ -688,13 +894,13 @@ class SamplePool:
             payload.get("digest") != digest
             or payload.get("pool_seed") != self._seed
             or payload.get("chunk_size") != self._chunk_size
-            or payload.get("csr") != self._csr_digest
+            or payload.get("csr") != csr_digest
             or payload.get("engine") != self._stream_engine_name()
         ):
             return None
         store = PathStore()
         for index in range(int(payload["chunks_drawn"])):
-            chunk = self._load_chunk_blob(tag, index)
+            chunk = self._load_chunk_blob(tag, index, snapshot)
             if chunk is None:
                 break  # later blobs without this one would break the prefix
             store.append(chunk)
@@ -708,6 +914,7 @@ class SamplePool:
             key_seed=self._key_seed(digest),
             store=store,
             chunks_drawn=store.num_chunks,
+            spill_digest=csr_digest,
         )
 
     def spill_all(self) -> int:

@@ -61,6 +61,8 @@ __all__ = [
     "run_standalone",
     "run_load_benchmark",
     "emit_load_report",
+    "streaming_edge_arrivals",
+    "run_streaming_load",
 ]
 
 
@@ -522,6 +524,146 @@ def emit_load_report(
                   f"{max_socket_p99_ms} ms ceiling", file=sys.stderr)
             failed = True
     return 1 if failed else 0
+
+
+def streaming_edge_arrivals(
+    graph: SocialGraph,
+    round_index: int,
+    count: int,
+    seed: int,
+    nodes: list | None = None,
+) -> list[tuple]:
+    """Deterministic edge arrivals for one round of a streaming workload.
+
+    Returns up to ``count`` concrete ``(u, v, w_uv, w_vu)`` tuples -- new
+    friendships between currently non-adjacent members of ``nodes``
+    (default: all users), with each directional familiarity set to half the
+    receiving node's remaining incoming-weight headroom (capped at 0.2), so
+    applying them never violates the model's ``sum_u w(u, v) <= 1``
+    normalization.  A node pair drawn with no headroom arrives with weight
+    0.0 -- a brand-new friendship with no familiarity yet.  The tuples are
+    a pure function of ``(graph state, round_index, seed, nodes)``;
+    recording them lets a verification arm replay the exact same topology
+    evolution on a fresh copy of the graph.
+    """
+    require_positive_int(count, "count")
+    picker = derive_rng(seed, f"stream-round-{round_index}")
+    population = list(nodes) if nodes is not None else graph.node_list()
+    if len(population) < 2:
+        raise ServiceError("streaming arrivals need at least two candidate nodes")
+    arrivals: list[tuple] = []
+    taken: set[tuple] = set()
+    for _ in range(50 * count):
+        if len(arrivals) >= count:
+            break
+        u, v = picker.sample(population, 2)
+        key = (u, v) if repr(u) <= repr(v) else (v, u)
+        if key in taken or graph.has_edge(u, v):
+            continue
+        taken.add(key)
+        w_uv = min(0.2, 0.5 * max(0.0, 1.0 - graph.total_in_weight(v)))
+        w_vu = min(0.2, 0.5 * max(0.0, 1.0 - graph.total_in_weight(u)))
+        arrivals.append((u, v, w_uv, w_vu))
+    return arrivals
+
+
+def run_streaming_load(
+    graph: SocialGraph,
+    *,
+    hot_pairs: int = 2,
+    num_clients: int = 8,
+    rounds: int = 4,
+    mutations_per_round: int = 1,
+    seed: int = 2019,
+    pool_seed: int = 77,
+    engine: str = "python",
+    mutation_nodes: list | None = None,
+    verify: bool = True,
+) -> dict:
+    """A streaming-updates workload: edge arrivals interleaved with queries.
+
+    Each round first applies a deterministic batch of edge arrivals
+    (:func:`streaming_edge_arrivals`, optionally restricted to
+    ``mutation_nodes``) to the *live* graph, then replays one query wave
+    through a long-lived :class:`~repro.service.query_service.QueryService`
+    -- so the service's shared sample pool sees the mutations exactly the
+    way a production deployment would: mid-traffic, between waves.  The
+    pool's delta-scoped invalidation (DESIGN.md §10) decides per key
+    whether the cached stream survives; the report's ``streaming`` row
+    carries the cumulative ``retained_hit_rate`` (retained / touched keys
+    across all re-snapshots) next to the usual load counters.
+
+    With ``verify`` (the default), every wave's answers are re-derived
+    standalone -- a fresh pool on a fresh graph copy that replayed the same
+    arrivals -- and compared byte-for-byte: retention must be
+    indistinguishable from cold re-draws on the mutated topology.
+    """
+    pairs = candidate_pairs(graph, hot_pairs, rng=derive_rng(seed, "load-pairs"))
+    hot = hot_queries(graph, pairs, rng=derive_rng(seed, "load-hot"))
+    schedule = generate_schedule(hot, num_clients=num_clients, rounds=rounds, seed=seed)
+    base_graph = graph.copy() if verify else None
+
+    applied: list[list[tuple]] = []
+    start = time.perf_counter()
+    with QueryService(graph, engine=engine, seed=pool_seed) as service:
+        transcript = []
+        for round_index, wave in enumerate(schedule):
+            arrivals = streaming_edge_arrivals(
+                graph, round_index, mutations_per_round, seed, mutation_nodes
+            )
+            for u, v, w_uv, w_vu in arrivals:
+                graph.add_edge(u, v, w_uv, w_vu)
+            applied.append(arrivals)
+            transcript.append(
+                tuple(canonical_result(result) for result in service.submit_many(wave))
+            )
+        seconds = time.perf_counter() - start
+        stats = service.pool.stats()
+        metrics = service.metrics()
+
+    bit_identical = True
+    if verify:
+        replay = base_graph
+        for round_index, wave in enumerate(schedule):
+            for u, v, w_uv, w_vu in applied[round_index]:
+                replay.add_edge(u, v, w_uv, w_vu)
+            for query, answer in zip(wave, transcript[round_index]):
+                expected = run_standalone(replay, query, pool_seed, engine=engine)
+                if expected != answer:
+                    raise ServiceError(
+                        f"streaming answer for {query!r} in round {round_index} "
+                        "diverged from a cold re-draw on the same topology"
+                    )
+
+    touched = stats.retained_keys + stats.flushed_keys
+    retained_hit_rate = stats.retained_keys / touched if touched else 1.0
+    return {
+        "benchmark": "service_streaming_load",
+        "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
+        "workload": {
+            "hot_pairs": hot_pairs,
+            "hot_queries": len(hot),
+            "num_clients": num_clients,
+            "rounds": rounds,
+            "mutations_per_round": mutations_per_round,
+            "seed": seed,
+            "pool_seed": pool_seed,
+            "engine": engine,
+        },
+        "bit_identical": bit_identical,
+        "results": {
+            "streaming": {
+                "seconds": round(seconds, 4),
+                "requests": metrics.requests,
+                "paths_drawn": metrics.samples_drawn,
+                "pool_hit_rate": round(metrics.pool_hit_rate, 4),
+                "invalidations": stats.invalidations,
+                "retained_keys": stats.retained_keys,
+                "flushed_keys": stats.flushed_keys,
+                "retained_hit_rate": round(retained_hit_rate, 4),
+            },
+        },
+    }
 
 
 def _transcript_lookup(schedule: list[list], transcript: tuple, query) -> str:

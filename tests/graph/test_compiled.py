@@ -202,3 +202,82 @@ class TestCompileCache:
         version = graph.version
         graph.add_node("a")  # duplicate: no mutation
         assert graph.version == version
+
+
+class TestGraphVersion:
+    def test_compile_graph_records_the_source_version(self):
+        graph = SocialGraph(edges=[(1, 2, 0.3, 0.3)])
+        compiled = compile_graph(graph)
+        assert compiled.graph_version == graph.version
+        graph.set_weight(1, 2, 0.4)
+        fresh = compile_graph(graph)
+        assert fresh is not compiled
+        assert fresh.graph_version == graph.version > compiled.graph_version
+
+    def test_direct_construction_has_no_version(self):
+        graph = SocialGraph(edges=[(1, 2, 0.3, 0.3)])
+        assert CompiledGraph(graph).graph_version is None
+
+
+class TestReverseReachable:
+    """The conservative affected-set BFS behind delta-scoped invalidation."""
+
+    @staticmethod
+    def _chain_plus_pair():
+        # 0-1-2-3 chain, disjoint 8-9 pair, all positive weights.
+        graph = SocialGraph(
+            edges=[(0, 1, 0.3, 0.3), (1, 2, 0.3, 0.3), (2, 3, 0.3, 0.3), (8, 9, 0.4, 0.4)]
+        )
+        return compile_graph(graph)
+
+    def test_component_closure(self):
+        from repro.graph.compiled import reverse_reachable
+
+        compiled = self._chain_plus_pair()
+        assert reverse_reachable(compiled, [8]) == frozenset({8, 9})
+        assert reverse_reachable(compiled, [1]) == frozenset({0, 1, 2, 3})
+        assert reverse_reachable(compiled, [1, 8]) == frozenset({0, 1, 2, 3, 8, 9})
+
+    def test_zero_weight_edges_block_walk_steps(self):
+        from repro.graph.compiled import reverse_reachable
+
+        # w(1, 2) == 0: node 2 can never step into 1, so a change at 0 or 1
+        # cannot affect 2's streams -- but 1 *can* step into 2 (w(2,1) > 0),
+        # so a change at 2 does affect 1.
+        graph = SocialGraph(edges=[(0, 1, 0.3, 0.3), (1, 2, 0.0, 0.3)])
+        compiled = compile_graph(graph)
+        assert reverse_reachable(compiled, [0]) == frozenset({0, 1})
+        assert reverse_reachable(compiled, [2]) == frozenset({0, 1, 2})
+
+    def test_unknown_sources_are_skipped(self):
+        from repro.graph.compiled import reverse_reachable
+
+        compiled = self._chain_plus_pair()
+        assert reverse_reachable(compiled, ["nope"]) == frozenset()
+        assert reverse_reachable(compiled, ["nope", 8]) == frozenset({8, 9})
+
+    def test_caps_return_none(self):
+        from repro.graph.compiled import reverse_reachable
+
+        compiled = self._chain_plus_pair()
+        assert reverse_reachable(compiled, [0], max_nodes=2) is None
+        assert reverse_reachable(compiled, [0], max_hops=1) is None
+        # caps that the closure fits inside do not trigger the fallback
+        assert reverse_reachable(compiled, [8], max_hops=2, max_nodes=2) == frozenset({8, 9})
+
+    def test_soundness_against_brute_force(self, small_ba_graph):
+        from repro.graph.compiled import reverse_reachable
+
+        compiled = compile_graph(small_ba_graph)
+        affected = reverse_reachable(compiled, [0], max_hops=10_000, max_nodes=10_000)
+        # brute-force closure over "a steps into b iff w(b, a) > 0"
+        expected = {0}
+        grew = True
+        while grew:
+            grew = False
+            for b in list(expected):
+                for a in small_ba_graph.neighbors(b):
+                    if a not in expected and small_ba_graph.weight(b, a) > 0.0:
+                        expected.add(a)
+                        grew = True
+        assert affected == frozenset(expected)

@@ -226,3 +226,102 @@ class TestValidation:
         assert good.is_normalized()
         bad = SocialGraph(edges=[(1, 2, 0.8, 0.8), (3, 2, 0.8, 0.8)])
         assert not bad.is_normalized()
+
+
+class TestMutationLog:
+    """The structured mutation log behind delta-scoped pool invalidation."""
+
+    def test_every_version_bump_logs_exactly_one_event(self):
+        graph = SocialGraph()
+        before = graph.version
+        graph.add_edge(1, 2, 0.3, 0.3)  # two add_node events + one add_edge
+        events = graph.mutations_since(before)
+        assert graph.version - before == len(events) == 3
+        assert [event.kind for event in events] == ["add_node", "add_node", "add_edge"]
+
+    def test_touched_sets_name_the_changed_in_rows(self):
+        graph = SocialGraph(edges=[(1, 2, 0.3, 0.3), (2, 3, 0.3, 0.3)])
+        version = graph.version
+        graph.set_weight(1, 2, 0.4)
+        (event,) = graph.mutations_since(version)
+        assert event.kind == "set_weight"
+        assert event.touched == (2,)  # only node 2's in-row changed
+        version = graph.version
+        graph.remove_edge(2, 3)
+        (event,) = graph.mutations_since(version)
+        assert event.kind == "remove_edge" and set(event.touched) == {2, 3}
+
+    def test_add_node_touches_no_rows(self):
+        graph = SocialGraph()
+        version = graph.version
+        graph.add_node("solo")
+        (event,) = graph.mutations_since(version)
+        assert event.kind == "add_node" and event.touched == ()
+
+    def test_mutations_since_now_is_empty(self):
+        graph = SocialGraph(edges=[(1, 2)])
+        assert graph.mutations_since(graph.version) == ()
+
+    def test_mutations_since_beyond_retention_is_none(self):
+        from repro.graph.social_graph import MUTATION_LOG_LIMIT
+
+        graph = SocialGraph()
+        for index in range(MUTATION_LOG_LIMIT + 2):
+            graph.add_node(index)
+        assert graph.mutations_since(0) is None
+        assert graph.mutations_since(graph.version + 1) is None  # the future
+        recent = graph.mutations_since(graph.version - 3)
+        assert recent is not None and len(recent) == 3
+
+    def test_invalidate_logs_an_opaque_event(self):
+        graph = SocialGraph(edges=[(1, 2)])
+        version = graph.version
+        graph._invalidate()
+        (event,) = graph.mutations_since(version)
+        assert event.kind == "opaque" and event.touched is None
+
+
+class TestNoOpMutations:
+    """Writes that change nothing must not bump the version (cache warmth)."""
+
+    def test_readd_edge_with_identical_weights_is_a_noop(self):
+        graph = SocialGraph(edges=[(1, 2, 0.3, 0.4)])
+        version = graph.version
+        graph.add_edge(1, 2, 0.3, 0.4)
+        assert graph.version == version
+        graph.add_edge(2, 1, 0.4, 0.3)  # same edge named from the other side
+        assert graph.version == version
+
+    def test_readd_edge_with_changed_weights_still_invalidates(self):
+        graph = SocialGraph(edges=[(1, 2, 0.3, 0.4)])
+        version = graph.version
+        graph.add_edge(1, 2, 0.35, 0.4)
+        assert graph.version == version + 1
+        assert graph.weight(1, 2) == 0.35
+
+    def test_readd_invalid_weight_still_rejected(self):
+        graph = SocialGraph(edges=[(1, 2, 0.3, 0.4)])
+        with pytest.raises(WeightError):
+            graph.add_edge(1, 2, 1.5, 0.4)
+
+    def test_set_weight_unchanged_is_a_noop(self):
+        graph = SocialGraph(edges=[(1, 2, 0.3, 0.4)])
+        version = graph.version
+        graph.set_weight(1, 2, 0.3)
+        assert graph.version == version
+
+    def test_set_weight_changed_invalidates(self):
+        graph = SocialGraph(edges=[(1, 2, 0.3, 0.4)])
+        version = graph.version
+        graph.set_weight(1, 2, 0.25)
+        assert graph.version == version + 1
+
+    def test_remove_node_bumps_version_exactly_once(self):
+        graph = SocialGraph(edges=[(1, 2), (2, 3), (2, 4), (1, 3)])
+        version = graph.version
+        graph.remove_node(2)
+        assert graph.version == version + 1
+        (event,) = graph.mutations_since(version)
+        assert event.kind == "remove_node"
+        assert set(event.touched) == {1, 2, 3, 4}
+        assert graph.num_edges == 1 and graph.has_edge(1, 3)

@@ -1,0 +1,169 @@
+"""Property suite: random mutation sequences never corrupt a warm pool.
+
+Hypothesis drives interleaved ``add_edge`` / ``remove_edge`` /
+``set_weight`` / ``remove_node`` sequences against a live graph backing a
+warm :class:`SamplePool`, asserting the two contracts of delta-scoped
+invalidation (DESIGN.md §10) hold after *every* sync:
+
+* **retention soundness** -- every key the pool kept warm yields a stream
+  byte-identical to a cold pool built on the mutated topology (the pool
+  may only keep a key when keeping it is indistinguishable from a full
+  flush);
+* **flush completeness** -- any key whose target falls inside the
+  mutation's conservative affected set is no longer cached.
+
+The base graph is deliberately sparse and multi-component so the
+reverse-reachable closure of most mutations is small -- otherwise every
+sequence would degenerate into full flushes and the retention branch would
+go untested.  Hypothesis runs derandomized (the repo convention for
+property suites), so a passing example stays passing in CI.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.diffusion.engine import create_engine
+from repro.graph.social_graph import SocialGraph
+from repro.pool import STREAM_PMAX, SamplePool
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+NUM_NODES = 24
+COMPONENT = 6  # nodes 0-5, 6-11, 12-17, 18-23 start as separate rings
+PATHS_PER_KEY = 24
+CHUNK = 8
+
+
+def ring_components() -> SocialGraph:
+    """Four disjoint weighted rings -- sparse, multi-component, normalized."""
+    graph = SocialGraph(name="rings")
+    for base in range(0, NUM_NODES, COMPONENT):
+        for offset in range(COMPONENT):
+            u = base + offset
+            v = base + (offset + 1) % COMPONENT
+            graph.add_edge(u, v, 0.3, 0.25)
+    return graph
+
+
+def headroom_weight(graph: SocialGraph, u: int, v: int, scale: float) -> float:
+    """A weight for edge (u, v) that keeps v's in-row normalization-safe."""
+    return round(min(0.2, scale * max(0.0, 1.0 - graph.total_in_weight(v))), 6)
+
+
+MUTATIONS = st.lists(
+    st.tuples(
+        st.sampled_from(["add_edge", "remove_edge", "set_weight", "remove_node"]),
+        st.integers(min_value=0, max_value=NUM_NODES - 1),
+        st.integers(min_value=0, max_value=NUM_NODES - 1),
+        st.floats(min_value=0.1, max_value=0.9),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def apply_mutation(graph: SocialGraph, op: str, u: int, v: int, scale: float) -> bool:
+    """Apply one drawn mutation if it is legal; return whether it ran."""
+    if op == "remove_node":
+        if not graph.has_node(u):
+            return False
+        graph.remove_node(u)
+        return True
+    if u == v:
+        return False
+    if op == "add_edge":
+        if graph.has_edge(u, v) or not (graph.has_node(u) and graph.has_node(v)):
+            return False
+        w_uv = headroom_weight(graph, u, v, scale)
+        w_vu = headroom_weight(graph, v, u, scale)
+        if w_uv <= 0.0 or w_vu <= 0.0:
+            return False
+        graph.add_edge(u, v, w_uv, w_vu)
+        return True
+    if not graph.has_edge(u, v):
+        return False
+    if op == "remove_edge":
+        graph.remove_edge(u, v)
+        return True
+    # set_weight: shrink towards zero stays inside the existing headroom.
+    new_weight = round(graph.weight(u, v) * scale, 6)
+    if new_weight <= 0.0 or new_weight == graph.weight(u, v):
+        return False
+    graph.set_weight(u, v, new_weight)
+    return True
+
+
+@given(sequence=MUTATIONS)
+@SETTINGS
+def test_interleaved_mutations_keep_retained_keys_byte_identical(sequence):
+    graph = ring_components()
+    pool = SamplePool(create_engine(graph, "python"), seed=41, chunk_size=CHUNK)
+    keys = [
+        (target, graph.neighbor_set((target + 2) % NUM_NODES))
+        for target in (1, 7, 13, 19)
+    ]
+    for target, stop in keys:
+        pool.paths(target, stop, PATHS_PER_KEY, STREAM_PMAX)
+
+    for op, u, v, scale in sequence:
+        if not apply_mutation(graph, op, u, v, scale):
+            continue
+        warm = {
+            (target, stop): pool.cached_count(target, stop, STREAM_PMAX)
+            for target, stop in keys
+            if graph.has_node(target)
+        }
+        cold = SamplePool(create_engine(graph, "python"), seed=41, chunk_size=CHUNK)
+        for (target, stop), cached in warm.items():
+            expected = cold.paths(target, stop, PATHS_PER_KEY, STREAM_PMAX)
+            if cached:
+                drawn = pool.drawn_paths
+                assert pool.paths(target, stop, cached, STREAM_PMAX) == expected[:cached]
+                assert pool.drawn_paths == drawn, (
+                    f"retained key {target} re-drew after {op}({u}, {v})"
+                )
+            assert pool.paths(target, stop, PATHS_PER_KEY, STREAM_PMAX) == expected
+
+    removed = {target for target, _ in keys if not graph.has_node(target)}
+    cached_targets = {entry.target for entry in pool._entries.values()}
+    assert not removed & cached_targets  # removed targets never resurrected
+
+
+@given(sequence=MUTATIONS)
+@SETTINGS
+def test_touched_targets_are_never_served_from_cache(sequence):
+    graph = ring_components()
+    pool = SamplePool(create_engine(graph, "python"), seed=41, chunk_size=CHUNK)
+    keys = [
+        (target, graph.neighbor_set((target + 2) % NUM_NODES))
+        for target in (1, 7, 13, 19)
+    ]
+    for target, stop in keys:
+        pool.paths(target, stop, PATHS_PER_KEY, STREAM_PMAX)
+
+    for op, u, v, scale in sequence:
+        before = graph.version
+        if not apply_mutation(graph, op, u, v, scale):
+            assert graph.version == before  # rejected ops must not bump
+            continue
+        events = graph.mutations_since(before)
+        assert events is not None and len(events) == 1
+        touched = events[0].touched
+        pool.stats()  # force the sync
+        if touched is None:
+            for target, stop in keys:
+                if graph.has_node(target):
+                    assert pool.cached_count(target, stop, STREAM_PMAX) == 0
+            continue
+        for target, stop in keys:
+            if graph.has_node(target) and target in touched:
+                assert pool.cached_count(target, stop, STREAM_PMAX) == 0, (
+                    f"key {target} survived {op}({u}, {v}) touching it"
+                )

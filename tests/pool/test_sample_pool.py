@@ -502,3 +502,35 @@ class TestColumnarPool:
         pool.paths(nodes[6], stop, 1)  # evict the grown key again
         assert pool.stats().chunk_writes == before + 1  # only the new blob
         assert len(list(tmp_path.glob("pool-*.chunk-*.npz"))) == 5  # 4 + nodes[6]'s 1
+
+
+class TestStatsSync:
+    """stats()/cached_count() must reflect mutations immediately (PR 9 fix:
+    both used to skip _sync_snapshot and report counts from the dead CSR
+    until the next take/paths call)."""
+
+    def _mutable_graph(self):
+        from repro.graph.generators import barabasi_albert_graph
+        from repro.graph.weights import apply_degree_normalized_weights
+
+        return apply_degree_normalized_weights(barabasi_albert_graph(150, 3, rng=29))
+
+    def test_stats_sees_a_mutation_before_the_next_take(self):
+        graph = self._mutable_graph()
+        target, stop = 80, graph.neighbor_set(0)
+        pool = SamplePool(create_engine(graph, "python"), seed=5)
+        pool.paths(target, stop, 64, stream=STREAM_PMAX)
+        assert pool.stats().keys == 1
+        graph.add_edge(0, 80, weight_uv=0.15, weight_vu=0.15)
+        stats = pool.stats()  # no take in between
+        assert stats.keys == 0 and stats.cached_paths == 0
+        assert stats.invalidations == 1
+
+    def test_cached_count_sees_a_mutation_before_the_next_take(self):
+        graph = self._mutable_graph()
+        target, stop = 80, graph.neighbor_set(0)
+        pool = SamplePool(create_engine(graph, "python"), seed=5)
+        pool.paths(target, stop, 64, stream=STREAM_PMAX)
+        assert pool.cached_count(target, stop, STREAM_PMAX) >= 64
+        graph.add_edge(0, 80, weight_uv=0.15, weight_vu=0.15)
+        assert pool.cached_count(target, stop, STREAM_PMAX) == 0

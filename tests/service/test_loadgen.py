@@ -15,7 +15,12 @@ from repro.service import (
     run_load_benchmark,
     run_standalone,
 )
-from repro.service.loadgen import query_to_wire, run_socket_load
+from repro.service.loadgen import (
+    query_to_wire,
+    run_socket_load,
+    run_streaming_load,
+    streaming_edge_arrivals,
+)
 from repro.service.query_service import EvaluateQuery, MaximizeQuery, PmaxQuery
 
 
@@ -164,3 +169,88 @@ class TestSocketTransport:
 
         payload = json.loads(text)
         assert list(payload) == sorted(payload)
+
+
+def _two_region_graph():
+    """A main BA component plus a disjoint half-normalized side community.
+
+    The side community's weights are halved so streaming arrivals there get
+    positive familiarity (headroom exists); every hot key the workload
+    derives lands in the main component, so side mutations must retain all
+    of them and main mutations must flush all of them.
+    """
+    from repro.graph.generators import barabasi_albert_graph
+    from repro.graph.social_graph import SocialGraph
+    from repro.graph.weights import apply_degree_normalized_weights
+
+    main = apply_degree_normalized_weights(barabasi_albert_graph(120, 3, rng=17))
+    side = apply_degree_normalized_weights(barabasi_albert_graph(30, 2, rng=23))
+    graph = SocialGraph(name="two-region")
+    for u, v in main.edges():
+        graph.add_edge(u, v, main.weight(u, v), main.weight(v, u))
+    for u, v in side.edges():
+        graph.add_edge(
+            u + 120, v + 120, side.weight(u, v) * 0.5, side.weight(v, u) * 0.5
+        )
+    return graph
+
+
+class TestStreamingWorkload:
+    """Edge arrivals interleaved with query waves (delta-scoped invalidation)."""
+
+    def test_arrivals_are_a_pure_function_of_graph_round_and_seed(self):
+        graph = _two_region_graph()
+        side = [n for n in graph.nodes() if n >= 120]
+        first = streaming_edge_arrivals(graph, 0, 3, 5, side)
+        assert first == streaming_edge_arrivals(graph, 0, 3, 5, side)
+        assert first != streaming_edge_arrivals(graph, 1, 3, 5, side)
+        for u, v, w_uv, w_vu in first:
+            assert u >= 120 and v >= 120 and not graph.has_edge(u, v)
+            assert 0.0 <= w_uv <= 0.2 and 0.0 <= w_vu <= 0.2
+            # applying the arrival must keep the receiving rows normalized
+            assert graph.total_in_weight(v) + w_uv <= 1.0 + 1e-9
+            assert graph.total_in_weight(u) + w_vu <= 1.0 + 1e-9
+
+    def test_arrivals_need_two_candidates(self):
+        graph = _two_region_graph()
+        with pytest.raises(ServiceError):
+            streaming_edge_arrivals(graph, 0, 1, 5, [0])
+
+    def test_far_mutations_retain_every_hot_key(self):
+        graph = _two_region_graph()
+        side = [n for n in graph.nodes() if n >= 120]
+        report = run_streaming_load(
+            graph, hot_pairs=2, num_clients=4, rounds=3,
+            mutations_per_round=1, seed=2019, pool_seed=77, mutation_nodes=side,
+        )
+        row = report["results"]["streaming"]
+        assert report["bit_identical"] is True
+        assert row["invalidations"] == 3
+        assert row["flushed_keys"] == 0 and row["retained_keys"] > 0
+        assert row["retained_hit_rate"] == 1.0
+        assert row["pool_hit_rate"] > 0  # later waves reuse the retained streams
+
+    def test_near_mutations_flush_every_hot_key_yet_stay_correct(self):
+        graph = _two_region_graph()
+        main = [n for n in graph.nodes() if n < 120]
+        report = run_streaming_load(
+            graph, hot_pairs=2, num_clients=4, rounds=3,
+            mutations_per_round=1, seed=2019, pool_seed=77, mutation_nodes=main,
+        )
+        row = report["results"]["streaming"]
+        # Retention never buys correctness: even at 0% the standalone
+        # verification arm inside run_streaming_load must have passed.
+        assert report["bit_identical"] is True
+        assert row["retained_keys"] == 0 and row["flushed_keys"] > 0
+        assert row["retained_hit_rate"] == 0.0
+
+    def test_streaming_mutates_the_live_graph(self):
+        graph = _two_region_graph()
+        edges_before = graph.num_edges
+        side = [n for n in graph.nodes() if n >= 120]
+        run_streaming_load(
+            graph, hot_pairs=1, num_clients=2, rounds=2,
+            mutations_per_round=2, seed=2019, pool_seed=77,
+            mutation_nodes=side, verify=False,
+        )
+        assert graph.num_edges == edges_before + 4
