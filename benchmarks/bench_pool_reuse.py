@@ -21,6 +21,17 @@ requires 3.0).  Results are written to ``BENCH_pool.json`` at the
 repository root in the ``compare_bench.py`` schema, gated on the
 ``speedup_vs_no_pool`` metric.
 
+The ``restart`` row exercises durable pool restarts (DESIGN.md §11):
+candidates are warmed into a spill-backed pool, checkpointed, one side-
+community edge arrives (recorded in the persisted lineage file), and a
+*fresh* pool on the same spill directory replays the workload.  The row
+reports ``restart_adopt_rate`` -- the fraction of checkpointed keys the
+restarted pool served from disk instead of re-drawing -- after asserting
+every restarted answer is byte-identical to a cold pool on the mutated
+topology.  ``--min-restart-adopt-rate`` gates it (CI requires 0.9) and
+the committed value is drift-gated via ``compare_bench.py --metric
+restart_adopt_rate``.
+
 The ``mutation`` row exercises delta-scoped invalidation (DESIGN.md §10):
 candidates are warmed on a two-region graph (a large main component plus a
 small side community), one edge then arrives inside the side community, and
@@ -36,6 +47,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -130,6 +142,88 @@ def _two_region_graph(num_nodes):
     return graph, list(range(main_n)), list(range(main_n, main_n + side_n))
 
 
+def _arrive_side_edge(graph, side_nodes, label):
+    """One edge arrival inside the side community, weights within the
+    endpoints' normalization headroom (the model invariant)."""
+    picker = derive_rng(_SEED, label)
+    while True:
+        u, v = picker.sample(side_nodes, 2)
+        if not graph.has_edge(u, v):
+            break
+    graph.add_edge(
+        u, v,
+        min(0.2, 0.5 * max(0.0, 1.0 - graph.total_in_weight(v))),
+        min(0.2, 0.5 * max(0.0, 1.0 - graph.total_in_weight(u))),
+    )
+
+
+def run_restart_arm(candidates=50, screen_samples=400, num_nodes=3000, side_keys=2):
+    """Checkpoint a warm pool, mutate, restart fresh, measure adoption.
+
+    The writer pool warms every candidate into a spill directory and
+    checkpoints; one side-community edge then arrives *while the writer is
+    alive*, so its refreshed lineage record proves the main-community blobs
+    (written under the old CSR digest) survive the mutation.  A fresh pool
+    on the same directory replays the workload: main keys are adopted off
+    disk through the lineage record, the ``side_keys`` affected keys are
+    re-drawn, so the expected ``restart_adopt_rate`` is
+    ``1 - side_keys/candidates``.  Before any number is reported, every
+    restarted answer is asserted byte-equal to a cold spill-free pool on
+    the mutated topology: adoption must change cost, never results.
+    """
+    from repro.experiments.pair_selection import screen_pmax
+
+    graph, main_nodes, side_nodes = _two_region_graph(num_nodes)
+    rng = derive_rng(_SEED, "pool-bench-restart-pairs")
+    pairs = _candidate_pairs(graph, candidates - side_keys, rng, nodes=main_nodes)
+    pairs += _candidate_pairs(graph, side_keys, rng, nodes=side_nodes)
+
+    with tempfile.TemporaryDirectory(prefix="bench-pool-restart-") as tmp:
+        spill_dir = Path(tmp)
+        writer = SamplePool(
+            create_engine(graph, "python"), seed=_POOL_SEED, spill_dir=spill_dir
+        )
+        for source, target in pairs:
+            screen_pmax(graph, source, target, num_samples=screen_samples, pool=writer)
+        spilled_keys = writer.spill_all()
+
+        _arrive_side_edge(graph, side_nodes, "pool-bench-restart-edge")
+        # The live writer observes the mutation; its refreshed lineage
+        # record binds the new digest to the old-digest transition.
+        writer.spill_all()
+
+        restarted = SamplePool(
+            create_engine(graph, "python"), seed=_POOL_SEED, spill_dir=spill_dir
+        )
+        start = time.perf_counter()
+        restarted_screens = [
+            screen_pmax(graph, source, target, num_samples=screen_samples, pool=restarted)
+            for source, target in pairs
+        ]
+        restart_seconds = time.perf_counter() - start
+        stats = restarted.stats()
+
+    cold_pool = SamplePool(create_engine(graph, "python"), seed=_POOL_SEED)
+    start = time.perf_counter()
+    cold_screens = [
+        screen_pmax(graph, source, target, num_samples=screen_samples, pool=cold_pool)
+        for source, target in pairs
+    ]
+    cold_seconds = time.perf_counter() - start
+
+    assert restarted_screens == cold_screens, (
+        "restart-adopted streams diverged from a cold re-draw on the mutated topology"
+    )
+    return {
+        "seconds": round(restart_seconds, 4),
+        "cold_seconds": round(cold_seconds, 4),
+        "spilled_keys": spilled_keys,
+        "adopted_keys": stats.loads,
+        "redrawn_paths": stats.drawn_paths,
+        "restart_adopt_rate": round(stats.loads / spilled_keys, 4),
+    }
+
+
 def run_mutation_arm(candidates=50, screen_samples=400, num_nodes=3000, side_keys=2):
     """Warm keys, insert one far-away edge, measure what survives.
 
@@ -154,18 +248,7 @@ def run_mutation_arm(candidates=50, screen_samples=400, num_nodes=3000, side_key
         screen_pmax(graph, source, target, num_samples=screen_samples, pool=pool)
     warm_keys = pool.stats().keys
 
-    # One edge arrival inside the side community, weights within the
-    # endpoints' normalization headroom (the model invariant).
-    picker = derive_rng(_SEED, "pool-bench-mutation-edge")
-    while True:
-        u, v = picker.sample(side_nodes, 2)
-        if not graph.has_edge(u, v):
-            break
-    graph.add_edge(
-        u, v,
-        min(0.2, 0.5 * max(0.0, 1.0 - graph.total_in_weight(v))),
-        min(0.2, 0.5 * max(0.0, 1.0 - graph.total_in_weight(u))),
-    )
+    _arrive_side_edge(graph, side_nodes, "pool-bench-mutation-edge")
 
     start = time.perf_counter()
     warm_screens = [
@@ -230,6 +313,9 @@ def run_benchmark(candidates=50, rounds=5, screen_samples=400, estimate_top=10, 
     arms["mutation"] = run_mutation_arm(
         candidates=candidates, screen_samples=screen_samples, num_nodes=num_nodes
     )
+    arms["restart"] = run_restart_arm(
+        candidates=candidates, screen_samples=screen_samples, num_nodes=num_nodes
+    )
     return {
         "benchmark": "pool_reuse_screening",
         "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges, "model": "barabasi-albert"},
@@ -267,6 +353,9 @@ def main(argv=None) -> int:
     parser.add_argument("--min-retained-hit-rate", type=float, default=None,
                         help="fail unless the mutation arm retains this fraction "
                              "of warm keys across the edge arrival")
+    parser.add_argument("--min-restart-adopt-rate", type=float, default=None,
+                        help="fail unless a restarted pool adopts this fraction "
+                             "of its predecessor's checkpointed keys")
     args = parser.parse_args(argv)
     report = run_benchmark(
         candidates=args.candidates,
@@ -284,6 +373,11 @@ def main(argv=None) -> int:
     print(f"mutation arm: {mutation['retained_keys']}/{mutation['warm_keys']} warm keys "
           f"retained across one edge arrival (retained_hit_rate "
           f"{mutation['retained_hit_rate']}, byte-identical to a cold pool)")
+    restart = report["results"]["restart"]
+    print(f"restart arm: {restart['adopted_keys']}/{restart['spilled_keys']} "
+          f"checkpointed keys adopted by a fresh pool across a restart + edge "
+          f"arrival (restart_adopt_rate {restart['restart_adopt_rate']}, "
+          f"byte-identical to a cold pool)")
     failed = False
     if args.min_speedup is not None and speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup}x below required {args.min_speedup}x", file=sys.stderr)
@@ -294,6 +388,13 @@ def main(argv=None) -> int:
     ):
         print(f"FAIL: retained_hit_rate {mutation['retained_hit_rate']} below "
               f"required {args.min_retained_hit_rate}", file=sys.stderr)
+        failed = True
+    if (
+        args.min_restart_adopt_rate is not None
+        and restart["restart_adopt_rate"] < args.min_restart_adopt_rate
+    ):
+        print(f"FAIL: restart_adopt_rate {restart['restart_adopt_rate']} below "
+              f"required {args.min_restart_adopt_rate}", file=sys.stderr)
         failed = True
     return 1 if failed else 0
 

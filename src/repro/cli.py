@@ -358,6 +358,27 @@ def _register_serving_commands(subparsers) -> None:
         help="deadline applied to requests that do not carry their own "
              "deadline_ms field (--listen only; default: none)",
     )
+    serve.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="enable deterministic fault injection for chaos soak runs: "
+             "seeds the FaultPlan driving the --fault-* rates; answers stay "
+             "byte-identical (default: no faults; never use in production)",
+    )
+    serve.add_argument(
+        "--fault-kill-rate", type=float, default=0.0, metavar="R",
+        help="probability each dispatched sampling chunk SIGKILLs its "
+             "worker (requires --fault-seed; default: 0)",
+    )
+    serve.add_argument(
+        "--fault-slow-rate", type=float, default=0.0, metavar="R",
+        help="probability each dispatched sampling chunk sleeps before "
+             "running (requires --fault-seed; default: 0)",
+    )
+    serve.add_argument(
+        "--fault-spill-rate", type=float, default=0.0, metavar="R",
+        help="probability each pool spill write raises an I/O error "
+             "(requires --fault-seed; default: 0)",
+    )
 
     bench_load = subparsers.add_parser(
         "bench-load",
@@ -663,6 +684,36 @@ def _serve_reply(payload: dict) -> None:
 _SERVE_WINDOW = 32
 
 
+def _serve_fault_plan(args: argparse.Namespace):
+    """Build ``repro serve``'s opt-in FaultPlan (``None`` without --fault-seed).
+
+    The rate flags are refused without ``--fault-seed`` rather than silently
+    ignored: fault injection must never be half-configured into a serve
+    process by accident.
+    """
+    rates = (
+        ("--fault-kill-rate", args.fault_kill_rate),
+        ("--fault-slow-rate", args.fault_slow_rate),
+        ("--fault-spill-rate", args.fault_spill_rate),
+    )
+    if args.fault_seed is None:
+        for flag, value in rates:
+            if value:
+                raise ReproError(f"{flag} requires --fault-seed (fault injection is opt-in)")
+        return None
+    from repro.faults import FaultPlan
+
+    try:
+        return FaultPlan(
+            args.fault_seed,
+            kill_rate=args.fault_kill_rate,
+            slow_rate=args.fault_slow_rate,
+            spill_fail_rate=args.fault_spill_rate,
+        )
+    except (TypeError, ValueError) as error:
+        raise ReproError(str(error)) from None
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     """Dispatch ``repro serve``: stdin loop by default, TCP with --listen.
 
@@ -751,6 +802,7 @@ def _serve_stdin(args: argparse.Namespace) -> int:
         max_in_flight=args.max_in_flight,
         max_query_samples=args.max_query_samples,
         coalesce=args.coalesce,
+        fault_plan=_serve_fault_plan(args),
     ) as service, ThreadPoolExecutor(
         max_workers=window, thread_name_prefix="repro-serve"
     ) as executor:
@@ -859,11 +911,19 @@ def _server_stats_report(stats: dict) -> str:
     return f"{summary}\n{table}"
 
 
+#: Exit code of ``repro serve --listen`` when the port is already bound.
+#: Distinct from the generic error exit so supervisors (and the regression
+#: test) can tell "pick another port" apart from "the server is broken".
+EXIT_ADDR_IN_USE = 2
+
+
 def _serve_listen(args: argparse.Namespace) -> int:
     """Run the asyncio socket/HTTP server until interrupted."""
     import asyncio
+    import errno
 
     host, port = _parse_listen(args.listen)
+    fault_plan = _serve_fault_plan(args)
     graph = _load_graph(args)
 
     def echo(message: str) -> None:
@@ -888,12 +948,24 @@ def _serve_listen(args: argparse.Namespace) -> int:
             max_tenants=args.max_tenants,
             connection_window=args.connection_window,
             default_deadline_ms=args.default_deadline_ms,
+            fault_plan=fault_plan,
             echo=echo,
             on_shutdown=lambda stats: echo(_server_stats_report(stats)),
         ))
     except KeyboardInterrupt:
         print("serve: interrupted; server closed cleanly", file=sys.stderr)
         return 0
+    except OSError as error:
+        if error.errno != errno.EADDRINUSE:
+            raise
+        # The most common operational mistake gets a one-line diagnostic
+        # and its own exit code instead of an asyncio traceback.
+        print(
+            f"error: {host}:{port} is already in use; stop the other "
+            "listener or pass a different --listen port (0 picks a free one)",
+            file=sys.stderr,
+        )
+        return EXIT_ADDR_IN_USE
     except ValueError as error:
         # Configuration errors from QueryServer (e.g. --tenant-rate without
         # --tenant-burst) surface as the CLI's usual error: line.

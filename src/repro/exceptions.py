@@ -22,6 +22,7 @@ __all__ = [
     "ProblemDefinitionError",
     "EstimationError",
     "EngineError",
+    "WorkerCrashError",
     "SetCoverError",
     "InfeasibleCoverError",
     "ParameterSolverError",
@@ -124,6 +125,25 @@ class EngineError(ReproError, ValueError):
     an optional backend (e.g. the numpy-vectorized engine) is requested in
     an environment where its dependency is not installed.
     """
+
+
+class WorkerCrashError(EngineError):
+    """A parallel sampling worker died and the retry budget ran out.
+
+    Raised by :class:`~repro.parallel.engine.ParallelEngine` when a worker
+    process disappears mid-chunk (OOM kill, segfault, injected fault) and
+    the lost chunks could not be recovered within ``max_chunk_retries``
+    respawn-and-retry rounds (``on_worker_failure="retry"``), or
+    immediately on the first crash (``on_worker_failure="raise"``).  The
+    retried chunks would have been byte-identical to the lost ones -- each
+    chunk is a pure function of its derived seed -- so this error reports
+    an infrastructure failure, never a results discrepancy.
+    """
+
+    def __init__(self, message: str, chunks: "tuple[int, ...]" = ()) -> None:
+        super().__init__(message)
+        #: Indices of the chunks that were lost when the budget ran out.
+        self.chunks = tuple(chunks)
 
 
 class SetCoverError(ReproError):

@@ -1,0 +1,182 @@
+"""Deterministic fault injection for chaos testing the sampling stack.
+
+Fault tolerance is only trustworthy if it is *tested* against the failures
+it claims to survive, and those tests are only debuggable if the failures
+are reproducible.  This module provides :class:`FaultPlan`: a seeded,
+deterministic schedule of injected faults -- worker kills, shared-memory
+publish failures, spill I/O errors and slow chunks -- that the
+fault-tolerant layers consult at their injection sites:
+
+* :class:`~repro.parallel.engine.ParallelEngine` asks the plan, once per
+  dispatched chunk, whether the worker running that chunk should be
+  SIGKILLed (:data:`SITE_WORKER_KILL`), should fail its shared-memory
+  publish and fall back to pickling (:data:`SITE_SHM_PUBLISH`), or should
+  sleep before sampling (:data:`SITE_SLOW_CHUNK`).
+* :class:`~repro.pool.sample_pool.SamplePool` asks, once per spill chunk
+  blob, whether the write should raise ``OSError``
+  (:data:`SITE_SPILL_IO`).
+
+Determinism follows the library's labeled-seed scheme
+(:func:`repro.utils.rng.derive_seed`): whether occurrence ``i`` at a site
+fires is a pure function of ``(plan seed, site, i)``, independent of
+wall-clock time, scheduling, or any other site's history.  The same plan
+therefore injects the same faults at the same logical points on every
+run -- and because every recovery path is itself deterministic (chunks are
+pure functions of their seeds, spills are append-safe), a faulted run's
+*results* are asserted byte-identical to a fault-free run's.
+
+A plan can fire probabilistically (per-site rates, for soak runs) or at
+explicit occurrence indices (for pinpoint regression tests); both consume
+the same occurrence counters.  Plans are mutable (they count occurrences
+and injections) and are not thread-safe; share one plan per single-threaded
+harness, or one per component.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.utils.rng import derive_seed
+from repro.utils.validation import require_non_negative_int
+
+__all__ = [
+    "SITE_WORKER_KILL",
+    "SITE_SLOW_CHUNK",
+    "SITE_SHM_PUBLISH",
+    "SITE_SPILL_IO",
+    "FAULT_SITES",
+    "FaultPlan",
+]
+
+#: A worker process is SIGKILLed while running the chunk (crash recovery).
+SITE_WORKER_KILL = "worker-kill"
+
+#: The chunk's worker sleeps before sampling (latency, not corruption).
+SITE_SLOW_CHUNK = "slow-chunk"
+
+#: The chunk's shared-memory publish fails (exercises the pickle fallback).
+SITE_SHM_PUBLISH = "shm-publish"
+
+#: A spill chunk-blob write raises ``OSError`` (exercises spill resilience).
+SITE_SPILL_IO = "spill-io"
+
+#: Every injection site a plan schedules.
+FAULT_SITES = (SITE_WORKER_KILL, SITE_SLOW_CHUNK, SITE_SHM_PUBLISH, SITE_SPILL_IO)
+
+
+def _require_rate(value: float, name: str) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    Parameters
+    ----------
+    seed:
+        The plan's base seed.  Whether occurrence ``i`` at a site fires is
+        a pure function of ``(seed, site, i)``.
+    kill_rate, slow_rate, shm_fail_rate, spill_fail_rate:
+        Per-site firing probabilities in ``[0, 1]`` (evaluated on the
+        site's own derived stream, so sites never perturb each other).
+    kill_at, slow_at, shm_fail_at, spill_fail_at:
+        Explicit occurrence indices that fire regardless of the rate --
+        the pinpoint mode regression tests use (``kill_at={0}`` kills the
+        worker running the first dispatched chunk, exactly once: the
+        retry consumes a *new* occurrence index, which no longer fires).
+    slow_seconds:
+        How long a slow chunk sleeps (latency only; never touches data).
+    max_faults:
+        Optional cap on the total faults injected across all sites; once
+        reached the plan goes quiet, guaranteeing chaos runs terminate.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        kill_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        shm_fail_rate: float = 0.0,
+        spill_fail_rate: float = 0.0,
+        kill_at: "tuple[int, ...] | frozenset | set" = (),
+        slow_at: "tuple[int, ...] | frozenset | set" = (),
+        shm_fail_at: "tuple[int, ...] | frozenset | set" = (),
+        spill_fail_at: "tuple[int, ...] | frozenset | set" = (),
+        slow_seconds: float = 0.005,
+        max_faults: "int | None" = None,
+    ) -> None:
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        if max_faults is not None:
+            require_non_negative_int(max_faults, "max_faults")
+        if not isinstance(slow_seconds, (int, float)) or slow_seconds < 0:
+            raise ValueError(f"slow_seconds must be non-negative, got {slow_seconds!r}")
+        self._seed = seed
+        self._rates = {
+            SITE_WORKER_KILL: _require_rate(kill_rate, "kill_rate"),
+            SITE_SLOW_CHUNK: _require_rate(slow_rate, "slow_rate"),
+            SITE_SHM_PUBLISH: _require_rate(shm_fail_rate, "shm_fail_rate"),
+            SITE_SPILL_IO: _require_rate(spill_fail_rate, "spill_fail_rate"),
+        }
+        self._explicit = {
+            SITE_WORKER_KILL: frozenset(kill_at),
+            SITE_SLOW_CHUNK: frozenset(slow_at),
+            SITE_SHM_PUBLISH: frozenset(shm_fail_at),
+            SITE_SPILL_IO: frozenset(spill_fail_at),
+        }
+        self._max_faults = max_faults
+        self.slow_seconds = float(slow_seconds)
+        self._occurrences = {site: 0 for site in FAULT_SITES}
+        self._injected = {site: 0 for site in FAULT_SITES}
+
+    @property
+    def seed(self) -> int:
+        """The plan's base seed."""
+        return self._seed
+
+    @property
+    def total_injected(self) -> int:
+        """Faults injected so far, across all sites."""
+        return sum(self._injected.values())
+
+    def injected(self, site: "str | None" = None) -> int:
+        """Faults injected at ``site`` so far (or in total with ``None``)."""
+        if site is None:
+            return self.total_injected
+        return self._injected[site]
+
+    def occurrences(self, site: str) -> int:
+        """How many occurrences at ``site`` have been decided so far."""
+        return self._occurrences[site]
+
+    def fires(self, site: str) -> bool:
+        """Decide (and consume) the next occurrence at ``site``.
+
+        Deterministic: occurrence ``i`` fires iff ``i`` is in the site's
+        explicit index set, or the site's derived per-occurrence stream
+        draws below its rate -- a pure function of ``(seed, site, i)``.
+        Returns ``False`` unconditionally once ``max_faults`` is reached.
+        """
+        if site not in self._occurrences:
+            raise ValueError(f"unknown fault site {site!r} (expected one of {FAULT_SITES})")
+        index = self._occurrences[site]
+        self._occurrences[site] = index + 1
+        if self._max_faults is not None and self.total_injected >= self._max_faults:
+            return False
+        fired = index in self._explicit[site]
+        if not fired and self._rates[site] > 0.0:
+            draw_seed = derive_seed(random.Random(self._seed), f"fault-{site}-{index}")
+            fired = random.Random(draw_seed).random() < self._rates[site]
+        if fired:
+            self._injected[site] += 1
+        return fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        shots = {site: count for site, count in self._injected.items() if count}
+        return f"<FaultPlan seed={self._seed} injected={shots}>"

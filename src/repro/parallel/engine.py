@@ -49,12 +49,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
+import signal
+import time
 import weakref
 from typing import Iterable
 
 from repro.diffusion.engine import SamplingEngine, TargetPath, collect_type1_paths
 from repro.diffusion.path_batch import PathBatch
-from repro.exceptions import EngineError
+from repro.exceptions import EngineError, WorkerCrashError
+from repro.faults import SITE_SHM_PUBLISH, SITE_SLOW_CHUNK, SITE_WORKER_KILL, FaultPlan
 from repro.graph.compiled import CompiledGraph
 from repro.parallel import shm as shm_transport
 from repro.parallel.shm import ShmBatchRef, resolve_transport
@@ -65,6 +68,8 @@ from repro.utils.validation import require_non_negative_int, require_positive_in
 __all__ = [
     "WORKERS_AUTO",
     "DEFAULT_CHUNK_SIZE",
+    "DEFAULT_CHUNK_RETRIES",
+    "FAILURE_MODES",
     "ParallelEngine",
     "fork_available",
     "resolve_worker_count",
@@ -82,6 +87,23 @@ WORKERS_AUTO = "auto"
 #: parallelism.  Large enough to amortize task pickling, small enough that a
 #: typical stopping-rule batch still spreads over several workers.
 DEFAULT_CHUNK_SIZE = 2048
+
+#: How many respawn-and-retry rounds a lost chunk gets before the engine
+#: gives up (raises :class:`~repro.exceptions.WorkerCrashError`) or degrades
+#: to serial execution, per ``on_worker_failure``.
+DEFAULT_CHUNK_RETRIES = 2
+
+#: What a dispatch does when a worker process dies mid-chunk: ``"retry"``
+#: re-derives the lost chunks on a respawned pool up to the retry budget and
+#: then raises; ``"serial"`` retries the same way but degrades to in-process
+#: execution (slower, never wrong) when the budget runs out; ``"raise"``
+#: fails fast on the first crash.
+FAILURE_MODES = ("retry", "serial", "raise")
+
+#: How long (seconds) a pending chunk future is polled before the worker
+#: processes are re-checked for deaths.  Latency-only: detection happens
+#: within one interval, results never depend on it.
+_CRASH_POLL_SECONDS = 0.05
 
 
 def fork_available() -> bool:
@@ -219,6 +241,32 @@ def _reduce_chunk(payload) -> object:
     return _reduce_chunk_on(_WORKER_ENGINE, payload)
 
 
+def _run_with_fault(directives, run_pooled, payload):
+    """Apply a chunk's injected-fault directives, then run it normally.
+
+    The parent decides the directives (from its :class:`FaultPlan`) when
+    the chunk is dispatched; the worker only executes them: ``"slow"``
+    sleeps, ``"shm-fail"`` forces this chunk's shared-memory publish to
+    decline (pickle fallback), ``"kill"`` SIGKILLs the worker process --
+    the real crash the recovery path must survive, not a simulation of
+    one.  Directives never touch the chunk's seed or contents.
+    """
+    sleep_seconds = 0.0
+    kill = False
+    for directive in directives:
+        if directive == "kill":
+            kill = True
+        elif directive == "shm-fail":
+            shm_transport.set_publish_failures(1)
+        else:  # ("slow", seconds)
+            sleep_seconds += float(directive[1])
+    if sleep_seconds:
+        time.sleep(sleep_seconds)
+    if kill:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return run_pooled(payload)
+
+
 # Chunk reducers.  Applied worker-side so a chunk's IPC cost is one byte per
 # sample (indicators) or only the useful paths (type-1 filtering) instead of
 # every pickled TargetPath; must be top-level functions so they pickle by
@@ -268,6 +316,10 @@ class ParallelEngine:
         workers: int | str = WORKERS_AUTO,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         transport: str = "auto",
+        *,
+        max_chunk_retries: int = DEFAULT_CHUNK_RETRIES,
+        on_worker_failure: str = "retry",
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if isinstance(base, ParallelEngine):
             raise EngineError("cannot wrap a ParallelEngine in another ParallelEngine")
@@ -275,12 +327,23 @@ class ParallelEngine:
         if resolved is None:
             raise EngineError("ParallelEngine requires an explicit worker count (or 'auto')")
         require_positive_int(chunk_size, "chunk_size")
+        require_non_negative_int(max_chunk_retries, "max_chunk_retries")
+        if on_worker_failure not in FAILURE_MODES:
+            raise EngineError(
+                f"on_worker_failure must be one of {', '.join(FAILURE_MODES)}, "
+                f"got {on_worker_failure!r}"
+            )
         self._base = base
         self._workers = resolved
         self._chunk_size = int(chunk_size)
         self._transport = resolve_transport(
             transport, native_batches=getattr(base, "native_batches", False)
         )
+        self._max_chunk_retries = int(max_chunk_retries)
+        self._on_worker_failure = on_worker_failure
+        self._fault_plan = fault_plan
+        self._degraded = False
+        self._worker_crashes = 0
         self._pool = None
         self._pool_finalizer = None
         self._pool_snapshot = None
@@ -329,6 +392,42 @@ class ParallelEngine:
         packed array buffers between the workers and the parent)."""
         return getattr(self._base, "native_batches", False)
 
+    @property
+    def max_chunk_retries(self) -> int:
+        """Respawn-and-retry rounds a lost chunk gets before giving up."""
+        return self._max_chunk_retries
+
+    @property
+    def on_worker_failure(self) -> str:
+        """Crash policy: ``"retry"``, ``"serial"`` or ``"raise"``."""
+        return self._on_worker_failure
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the engine has fallen back to permanent serial execution.
+
+        Set (only) by the ``on_worker_failure="serial"`` escape hatch when
+        the retry budget runs out: every later dispatch runs in-process --
+        slower, but byte-identical to the fanned-out results, so a service
+        above keeps answering correctly while surfacing this flag.
+        """
+        return self._degraded
+
+    @property
+    def worker_crashes(self) -> int:
+        """Worker-pool crashes detected (and recovered or escalated) so far."""
+        return self._worker_crashes
+
+    def inject_faults(self, fault_plan: "FaultPlan | None") -> None:
+        """Attach (or clear) a :class:`~repro.faults.FaultPlan`.
+
+        While attached, each dispatched chunk consults the plan for
+        worker-kill / shm-publish-failure / slow-chunk directives.  Faults
+        alter scheduling and cost, never chunk seeds or contents: a faulted
+        run that completes is byte-identical to a fault-free one.
+        """
+        self._fault_plan = fault_plan
+
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"<ParallelEngine base={self._base!r} workers={self._workers}>"
 
@@ -372,6 +471,19 @@ class ParallelEngine:
         self._pool_snapshot = None
         if had_pool and self._transport == "shm":
             shm_transport.sweep_orphans()
+
+    async def aclose(self) -> None:
+        """Async counterpart of :meth:`close` (same idempotence guarantee).
+
+        Runs the teardown -- pool terminate/join plus the shared-memory
+        orphan sweep -- on a worker thread so an event loop hosting the
+        serving front end never blocks on process joins.  Safe to call
+        multiple times, concurrently with :meth:`close`, and after a
+        worker crash.
+        """
+        import asyncio
+
+        await asyncio.to_thread(self.close)
 
     def __enter__(self) -> "ParallelEngine":
         return self
@@ -468,11 +580,7 @@ class ParallelEngine:
         for size, seed in sized_seeds:
             require_non_negative_int(size, "count")
             payloads.append((target, stop, size, seed))
-        if not payloads:
-            return []
-        if self._workers > 1 and len(payloads) > 1 and fork_available():
-            return _adopt_chunks(self._ensure_pool().map(run_pooled, payloads))
-        return [run_local(self._base, payload) for payload in payloads]
+        return self._dispatch(payloads, run_pooled, run_local)
 
     def sample_reduced(
         self,
@@ -517,15 +625,143 @@ class ParallelEngine:
             run_pooled, run_local = _sample_batch_chunk, _sample_batch_chunk_on
         else:
             run_pooled, run_local = _sample_chunk, _sample_chunk_on
-        if self._workers > 1 and len(payloads) > 1 and fork_available():
-            return _adopt_chunks(self._ensure_pool().map(run_pooled, payloads))
+        return self._dispatch(payloads, run_pooled, run_local)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch and crash recovery
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, payloads, run_pooled, run_local) -> list:
+        """Run the chunk payloads, pooled where possible, serially otherwise.
+
+        The serial path (one worker, one chunk, no fork support, or a
+        degraded engine) runs the same payloads on the base engine; chunk
+        contents are pure functions of their seeds, so both paths return
+        the identical list.
+        """
+        if not payloads:
+            return []
+        if (
+            self._workers > 1
+            and len(payloads) > 1
+            and fork_available()
+            and not self._degraded
+        ):
+            return self._dispatch_pooled(payloads, run_pooled, run_local)
         return [run_local(self._base, payload) for payload in payloads]
+
+    def _worker_pids(self) -> frozenset:
+        """Current pids of the pool's worker processes (empty without a pool)."""
+        processes = getattr(self._pool, "_pool", None) or ()
+        return frozenset(process.pid for process in processes)
+
+    def _pool_damaged(self, initial_pids: frozenset) -> bool:
+        """Whether a worker died since dispatch (the lost-chunk sentinel).
+
+        ``multiprocessing.Pool`` silently drops the task a killed worker
+        was running (and may respawn the worker), so a chunk future would
+        otherwise be awaited forever.  A pid that disappeared or a process
+        that is no longer alive is the crash signal; either observation is
+        definitive because pool workers are never recycled by this engine
+        outside a crash.
+        """
+        processes = getattr(self._pool, "_pool", None) or ()
+        if any(not process.is_alive() for process in processes):
+            return True
+        return self._worker_pids() != initial_pids
+
+    def _chunk_directives(self) -> tuple:
+        """The attached fault plan's directives for the next dispatched chunk."""
+        plan = self._fault_plan
+        directives: list = []
+        if plan is None:
+            return ()
+        if plan.fires(SITE_SLOW_CHUNK):
+            directives.append(("slow", plan.slow_seconds))
+        if plan.fires(SITE_SHM_PUBLISH):
+            directives.append("shm-fail")
+        if plan.fires(SITE_WORKER_KILL):
+            directives.append("kill")
+        return tuple(directives)
+
+    def _apply_async(self, pool, run_pooled, payload):
+        if self._fault_plan is None:
+            return pool.apply_async(run_pooled, (payload,))
+        return pool.apply_async(_run_with_fault, (self._chunk_directives(), run_pooled, payload))
+
+    def _crash_error(self, lost: list, attempts: int) -> WorkerCrashError:
+        return WorkerCrashError(
+            f"worker pool crashed with chunks {lost} in flight "
+            f"(after {attempts} dispatch attempt(s), "
+            f"max_chunk_retries={self._max_chunk_retries})",
+            chunks=tuple(lost),
+        )
+
+    def _dispatch_pooled(self, payloads, run_pooled, run_local) -> list:
+        """Fan the payloads over the pool, recovering from worker crashes.
+
+        Every chunk is dispatched as its own future and polled with a
+        timeout; when a worker death is detected the damaged pool is torn
+        down (which sweeps shared-memory orphans), a fresh pool is forked,
+        and only the unfinished chunks are re-dispatched with their
+        original payloads -- each chunk is a pure function of its seed, so
+        the recovered results are byte-identical to a fault-free run.
+        Completed shared-memory chunks are adopted as they arrive, which
+        keeps their segments out of the orphan sweep.  Chunks still lost
+        after ``max_chunk_retries`` rounds escalate per
+        ``on_worker_failure`` (typed error, or permanent serial degrade).
+        """
+        results: list = [None] * len(payloads)
+        retries = [0] * len(payloads)
+        pending = list(range(len(payloads)))
+        while pending:
+            pool = self._ensure_pool()
+            initial_pids = self._worker_pids()
+            inflight = {
+                index: self._apply_async(pool, run_pooled, payloads[index])
+                for index in pending
+            }
+            crashed = False
+            while inflight and not crashed:
+                for index in list(inflight):
+                    try:
+                        value = inflight[index].get(timeout=_CRASH_POLL_SECONDS)
+                    except multiprocessing.TimeoutError:
+                        if self._pool_damaged(initial_pids):
+                            crashed = True
+                            break
+                        continue
+                    if isinstance(value, ShmBatchRef):
+                        value = shm_transport.adopt(value)
+                    results[index] = value
+                    del inflight[index]
+            if not inflight:
+                return results
+            # Crash path: the chunks still in flight are (possibly) lost.
+            lost = sorted(inflight)
+            self._worker_crashes += 1
+            self.close()  # terminate the damaged pool; sweep shm orphans
+            if self._on_worker_failure == "raise":
+                raise self._crash_error(lost, attempts=max(retries[i] for i in lost) + 1)
+            for index in lost:
+                retries[index] += 1
+            exhausted = max(retries[index] for index in lost) > self._max_chunk_retries
+            if exhausted:
+                if self._on_worker_failure == "serial":
+                    self._degraded = True
+                    for index in lost:
+                        results[index] = run_local(self._base, payloads[index])
+                    return results
+                raise self._crash_error(lost, attempts=max(retries[i] for i in lost))
+            pending = lost
+        return results
 
 
 def maybe_parallel(
     engine: SamplingEngine,
     workers: int | str | None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    on_worker_failure: str = "retry",
 ) -> SamplingEngine:
     """Wrap ``engine`` in a :class:`ParallelEngine` when a worker count is given.
 
@@ -534,12 +770,17 @@ def maybe_parallel(
     explicit count -- including 1 -- selects the chunked deterministic
     fan-out path, so results for ``workers=1`` and ``workers=N`` coincide.
     An engine that is already parallel passes through untouched (its own
-    worker count wins; wrapping pools in pools would only add overhead).
+    worker count *and* crash policy win; wrapping pools in pools would
+    only add overhead).  ``on_worker_failure`` sets the crash policy of a
+    newly created wrapper (the serving layer passes ``"serial"`` so a
+    crashed pool degrades instead of failing queries).
     """
     resolved = resolve_worker_count(workers)
     if resolved is None or isinstance(engine, ParallelEngine):
         return engine
-    return ParallelEngine(engine, workers=resolved, chunk_size=chunk_size)
+    return ParallelEngine(
+        engine, workers=resolved, chunk_size=chunk_size, on_worker_failure=on_worker_failure
+    )
 
 
 # --------------------------------------------------------------------------- #

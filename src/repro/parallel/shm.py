@@ -74,6 +74,7 @@ __all__ = [
     "default_prefix",
     "segment_name",
     "publish_batch",
+    "set_publish_failures",
     "adopt",
     "sweep_orphans",
     "release_all",
@@ -92,6 +93,26 @@ _SHM_DIR = "/dev/shm"
 _ADOPTED: dict = {}
 
 _ATEXIT_REGISTERED = False
+
+#: Pending injected publish failures (the chaos harness's seam): while
+#: positive, :func:`publish_batch` declines -- exactly as if the segment
+#: could not be created -- and the caller takes its pickling fallback.
+_FORCED_PUBLISH_FAILURES = 0
+
+
+def set_publish_failures(count: int) -> None:
+    """Make the next ``count`` :func:`publish_batch` calls fail (per process).
+
+    The fault-injection seam used by :mod:`repro.faults` via the worker
+    directives of :class:`~repro.parallel.engine.ParallelEngine`: a forced
+    failure is indistinguishable from a real segment-creation failure, so
+    it exercises the graceful per-chunk pickle fallback without touching
+    shared-memory internals.  Results never change -- only the wire.
+    """
+    global _FORCED_PUBLISH_FAILURES
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        raise ValueError(f"count must be a non-negative int, got {count!r}")
+    _FORCED_PUBLISH_FAILURES = count
 
 
 def shm_available() -> bool:
@@ -183,6 +204,10 @@ def publish_batch(batch: PathBatch, prefix: "str | None" = None) -> "ShmBatchRef
     segment cannot be created.  The worker's own mapping is closed before
     returning; the parent is the segment's owner from here on.
     """
+    global _FORCED_PUBLISH_FAILURES
+    if _FORCED_PUBLISH_FAILURES > 0:
+        _FORCED_PUBLISH_FAILURES -= 1
+        return None
     if not shm_available():
         return None
     if not isinstance(batch.offsets, _np.ndarray):

@@ -91,6 +91,7 @@ from typing import Callable, Iterable
 
 from repro.diffusion.engine import SamplingEngine, TargetPath
 from repro.diffusion.path_batch import PathBatch, PathStore
+from repro.faults import SITE_SPILL_IO, FaultPlan
 from repro.graph.compiled import reverse_reachable
 from repro.parallel.engine import ParallelEngine
 from repro.types import NodeId, ordered
@@ -208,6 +209,11 @@ class PoolStats:
     flushed_keys:
         Cumulative keys discarded by those transitions (delta-scoped hits
         plus every key of each full-flush fallback).
+    spill_errors:
+        Spill attempts abandoned on an I/O error (real or injected).  A
+        failed spill never corrupts state -- blobs are tmp+rename and
+        append-only, so the key simply stays memory-only for that round --
+        and serving continues unaffected.
     """
 
     keys: int
@@ -221,6 +227,7 @@ class PoolStats:
     invalidations: int = 0
     retained_keys: int = 0
     flushed_keys: int = 0
+    spill_errors: int = 0
 
 
 @dataclass(slots=True)
@@ -301,6 +308,19 @@ class SamplePool:
         exceeded the pool falls back to a full flush, so raising them
         trades sync-time CPU for retention on large mutations; they never
         affect results.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` injecting spill I/O
+        errors (chaos testing).  Faults only ever make spills fail --
+        which the pool survives by keeping the key memory-only -- and
+        never change what any caller is served.
+
+    A fresh pool pointed at an existing ``spill_dir`` *adopts* its
+    predecessor's spills (DESIGN.md §11): same-digest blobs are found
+    through the content-addressed spill tags alone, and blobs written
+    under an earlier topology are found through the persisted digest
+    lineage record, provided the pool seed, chunk size and engine backend
+    match and the lineage proves the key untouched since.  Adoption is
+    lazy (per key, on first touch) and byte-identical to a cold re-draw.
     """
 
     def __init__(
@@ -315,6 +335,7 @@ class SamplePool:
         reuse: bool = True,
         delta_hops: int = DELTA_MAX_HOPS,
         delta_nodes: int = DELTA_MAX_NODES,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if not isinstance(seed, int) or isinstance(seed, bool):
             raise TypeError(f"seed must be an int, got {type(seed).__name__}")
@@ -346,6 +367,9 @@ class SamplePool:
         self._invalidations = 0
         self._retained = 0
         self._flushed = 0
+        self._spill_errors = 0
+        self._fault_plan = fault_plan
+        self._adopt_persisted_lineage()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -404,6 +428,7 @@ class SamplePool:
             invalidations=self._invalidations,
             retained_keys=self._retained,
             flushed_keys=self._flushed,
+            spill_errors=self._spill_errors,
         )
 
     def cached_count(self, target: NodeId, stop_set: Iterable[NodeId], stream: str = "") -> int:
@@ -776,6 +801,8 @@ class SamplePool:
         npz_path, json_path = self._chunk_paths(tag, index)
         if npz_path.is_file() or json_path.is_file():
             return
+        if self._fault_plan is not None and self._fault_plan.fires(SITE_SPILL_IO):
+            raise OSError(f"injected spill fault writing chunk {index} of {tag}")
         if self._columnar_chunk(chunk):
             scratch = npz_path.with_name(npz_path.name + ".tmp")
             with open(scratch, "wb") as handle:
@@ -805,25 +832,145 @@ class SamplePool:
             return False
         spill_digest = entry.spill_digest or self._csr_digest
         tag = self._spill_tag(digest, spill_digest)
-        self._spill_dir.mkdir(parents=True, exist_ok=True)
-        for index, chunk in enumerate(entry.store.chunks()):
-            self._write_chunk_blob(tag, index, chunk)
-        self._write_canonical_json(
-            self._meta_path(tag),
-            {
-                "digest": digest,
-                "target": entry.target,
-                "stop": ordered(entry.stop_set),
-                "stream": entry.stream,
-                "pool_seed": self._seed,
-                "chunk_size": self._chunk_size,
-                "csr": spill_digest,
-                "engine": self._stream_engine_name(),
-                "chunks_drawn": entry.chunks_drawn,
-            },
-        )
+        try:
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+            for index, chunk in enumerate(entry.store.chunks()):
+                self._write_chunk_blob(tag, index, chunk)
+            self._write_canonical_json(
+                self._meta_path(tag),
+                {
+                    "digest": digest,
+                    "target": entry.target,
+                    "stop": ordered(entry.stop_set),
+                    "stream": entry.stream,
+                    "pool_seed": self._seed,
+                    "chunk_size": self._chunk_size,
+                    "csr": spill_digest,
+                    "engine": self._stream_engine_name(),
+                    "chunks_drawn": entry.chunks_drawn,
+                },
+            )
+        except OSError:
+            # A failed spill (disk full, injected fault) abandons this
+            # round without corrupting anything: blobs already written are
+            # valid (each is complete or absent, tmp+rename), the previous
+            # meta -- if any -- still describes a consistent shorter
+            # prefix, and the key itself stays served from memory.
+            self._spill_errors += 1
+            return False
         self._spills += 1
+        self._write_lineage()
         return True
+
+    # ------------------------------------------------------------------ #
+    # Persisted digest lineage (restart adoption)
+    # ------------------------------------------------------------------ #
+
+    def _lineage_path(self) -> Path:
+        """The pool's digest-lineage record inside ``spill_dir``.
+
+        Scoped by (pool seed, chunk size, engine backend) -- the
+        stream-defining triple -- so pools with different stream contracts
+        sharing one directory never read each other's lineage.
+        """
+        material = f"{self._seed}:{self._chunk_size}:{self._stream_engine_name()}"
+        scope = hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
+        return self._spill_dir / f"pool-lineage-{scope}.json"
+
+    def _write_lineage(self) -> None:
+        """Persist the current digest plus the transition history (tmp+rename).
+
+        The record is what lets a *restarted* pool adopt spills written
+        under an earlier topology: it proves, per transition, which
+        targets the mutation could have touched and whether the dense
+        interning survived.  Transitions whose affected sets JSON cannot
+        round-trip are dropped together with everything older (the
+        lineage walk needs an unbroken chain); the write itself is
+        tmp+rename, so a crash mid-write leaves the previous record
+        intact and a half-written record is never adoptable.
+        """
+        if self._spill_dir is None:
+            return
+        lineage = []
+        for transition in self._digest_history:
+            if not all(self._spillable_id(node) for node in transition.affected):
+                lineage = []  # unbroken-chain rule: older entries unreachable
+                continue
+            lineage.append(
+                {
+                    "digest": transition.digest,
+                    "affected": ordered(transition.affected),
+                    "index_stable": transition.index_stable,
+                }
+            )
+        try:
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+            self._write_canonical_json(
+                self._lineage_path(),
+                {
+                    "pool_seed": self._seed,
+                    "chunk_size": self._chunk_size,
+                    "engine": self._stream_engine_name(),
+                    "csr": self._csr_digest,
+                    "lineage": lineage,
+                },
+            )
+        except OSError:
+            self._spill_errors += 1
+
+    def _adopt_persisted_lineage(self) -> None:
+        """Seed the transition history from a predecessor's lineage record.
+
+        Adoption requires the full identity to line up: same pool seed,
+        chunk size and engine backend (the record's scope *and* its body,
+        as a backstop) and -- crucially -- the predecessor's final CSR
+        digest equal to this pool's current one.  A graph that changed
+        while no pool was running is an unprovable delta, so the lineage
+        is ignored and only same-digest spills remain adoptable, exactly
+        like the in-memory full-flush fallback.  Adopted transitions
+        carry no snapshot object (the predecessor's interning is gone);
+        the load path therefore only uses them when the index chain is
+        recorded stable, in which case attaching the current snapshot is
+        byte-identical.
+        """
+        if self._spill_dir is None or not self._reuse:
+            return
+        path = self._lineage_path()
+        if not path.is_file():
+            return
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if (
+            not isinstance(payload, dict)
+            or payload.get("pool_seed") != self._seed
+            or payload.get("chunk_size") != self._chunk_size
+            or payload.get("engine") != self._stream_engine_name()
+            or payload.get("csr") != self._csr_digest
+        ):
+            return
+        entries = payload.get("lineage")
+        if not isinstance(entries, list):
+            return
+        adopted = []
+        for item in entries:
+            if (
+                not isinstance(item, dict)
+                or not isinstance(item.get("digest"), str)
+                or not isinstance(item.get("affected"), list)
+                or not isinstance(item.get("index_stable"), bool)
+            ):
+                return  # malformed record: adopt nothing rather than guess
+            adopted.append(
+                _DeltaTransition(
+                    digest=item["digest"],
+                    affected=frozenset(item["affected"]),
+                    snapshot=None,
+                    index_stable=item["index_stable"],
+                )
+            )
+        self._digest_history = adopted[-DIGEST_HISTORY_LIMIT:]
 
     def _load_chunk_blob(self, tag: str, index: int, snapshot):
         npz_path, json_path = self._chunk_paths(tag, index)
@@ -859,37 +1006,55 @@ class SamplePool:
         the transition history is walked newest to oldest, loading a
         previous-topology spill when the key's target was provably
         unaffected by *every* transition since it was written (spill-tag
-        compatibility across re-snapshots, DESIGN.md §10).
+        compatibility across re-snapshots, DESIGN.md §10).  History
+        adopted from a persisted lineage record (a restarted pool) has no
+        snapshot object for its generations; those are only consulted
+        while the interning chain is recorded stable, in which case the
+        current snapshot indexes the old blobs byte-identically.
         """
         if self._spill_dir is None:
             return None
         entry = self._load_spill_generation(digest, self._csr_digest, self._snapshot)
         if entry is not None:
+            self._loads += 1
             return entry
         affected_since: set = set()
         index_stable = True
         for transition in reversed(self._digest_history):
             affected_since |= transition.affected
             index_stable = index_stable and transition.index_stable
-            entry = self._load_spill_generation(
-                digest, transition.digest, transition.snapshot
-            )
+            if transition.snapshot is None and not index_stable:
+                continue  # old interning is gone and provably shifted
+            snapshot = transition.snapshot if transition.snapshot is not None else self._snapshot
+            entry = self._load_spill_generation(digest, transition.digest, snapshot)
             if entry is not None:
                 if entry.target in affected_since:
                     return None  # stale -- and older generations staler still
                 entry.spill_ok = index_stable
+                self._loads += 1
                 return entry
         return None
 
     def _load_spill_generation(
         self, digest: str, csr_digest: str, snapshot
     ) -> "_PoolEntry | None":
-        """Load one key's blobs written under one specific CSR digest."""
+        """Load one key's blobs written under one specific CSR digest.
+
+        Any unreadable, unparsable or structurally wrong file -- a
+        crash-interrupted or otherwise damaged spill -- makes the
+        generation load as nothing (or as the shorter prefix before the
+        damage), never as wrong data: the key is then simply re-drawn.
+        """
         tag = self._spill_tag(digest, csr_digest)
         meta_path = self._meta_path(tag)
         if not meta_path.is_file():
             return None
-        payload = json.loads(meta_path.read_text(encoding="utf-8"))
+        try:
+            payload = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
         if (  # the tag construction implies these; keep them as a backstop
             payload.get("digest") != digest
             or payload.get("pool_seed") != self._seed
@@ -899,34 +1064,42 @@ class SamplePool:
         ):
             return None
         store = PathStore()
-        for index in range(int(payload["chunks_drawn"])):
-            chunk = self._load_chunk_blob(tag, index, snapshot)
-            if chunk is None:
-                break  # later blobs without this one would break the prefix
-            store.append(chunk)
-        if store.num_chunks == 0:
+        try:
+            for index in range(int(payload["chunks_drawn"])):
+                chunk = self._load_chunk_blob(tag, index, snapshot)
+                if chunk is None:
+                    break  # later blobs without this one would break the prefix
+                store.append(chunk)
+            if store.num_chunks == 0:
+                return None
+            return _PoolEntry(
+                target=payload["target"],
+                stop_set=frozenset(payload["stop"]),
+                stream=payload["stream"],
+                key_seed=self._key_seed(digest),
+                store=store,
+                chunks_drawn=store.num_chunks,
+                spill_digest=csr_digest,
+            )
+        except (KeyError, TypeError, ValueError, OSError, json.JSONDecodeError):
             return None
-        self._loads += 1
-        return _PoolEntry(
-            target=payload["target"],
-            stop_set=frozenset(payload["stop"]),
-            stream=payload["stream"],
-            key_seed=self._key_seed(digest),
-            store=store,
-            chunks_drawn=store.num_chunks,
-            spill_digest=csr_digest,
-        )
 
     def spill_all(self) -> int:
         """Spill every cached key to ``spill_dir`` (no-op without one).
 
         Returns the number of keys actually written (keys with ids JSON
         cannot round-trip are skipped).  Entries stay cached; this is a
-        checkpoint, not an eviction.
+        checkpoint, not an eviction.  The digest-lineage record is
+        refreshed alongside, so a process restarting after this call can
+        adopt everything the checkpoint wrote (DESIGN.md §11).
         """
         if self._spill_dir is None:
             return 0
-        return sum(1 for digest, entry in self._entries.items() if self._spill(digest, entry))
+        self._sync_snapshot()
+        written = sum(1 for digest, entry in self._entries.items() if self._spill(digest, entry))
+        if written or self._spills:
+            self._write_lineage()
+        return written
 
 
 class PoolReader:

@@ -316,6 +316,17 @@ class QueryService:
         ``False`` disables request coalescing (every admitted query
         executes); the load benchmark's reference arm.  Results are
         identical either way -- only the cost differs.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` injected into the
+        sampling engine and the pool's spill path -- the chaos harness and
+        ``repro serve --fault-seed`` soak runs use this.  Never set in
+        production.
+
+    A service's parallel engine runs with ``on_worker_failure="serial"``:
+    if sampling workers keep dying past the retry budget, the service
+    degrades to in-process sampling (byte-identical answers, reduced
+    throughput) instead of failing queries -- the :attr:`degraded` flag
+    records the downgrade for ``stats``/``healthz`` (DESIGN.md §11).
     """
 
     def __init__(
@@ -329,14 +340,21 @@ class QueryService:
         max_in_flight: int | None = None,
         max_query_samples: int | None = None,
         coalesce: bool = True,
+        fault_plan=None,
     ) -> None:
         if max_in_flight is not None:
             require_positive_int(max_in_flight, "max_in_flight")
         if max_query_samples is not None:
             require_positive_int(max_query_samples, "max_query_samples")
         self._graph = graph
-        self._engine = maybe_parallel(resolve_engine(graph, engine), workers)
-        self._pool = SamplePool(self._engine, seed=seed, budget=pool_budget)
+        self._engine = maybe_parallel(
+            resolve_engine(graph, engine), workers, on_worker_failure="serial"
+        )
+        if fault_plan is not None and hasattr(self._engine, "inject_faults"):
+            self._engine.inject_faults(fault_plan)
+        self._pool = SamplePool(
+            self._engine, seed=seed, budget=pool_budget, fault_plan=fault_plan
+        )
         self._max_in_flight = max_in_flight
         self._max_query_samples = max_query_samples
         self._coalesce = bool(coalesce)
@@ -392,6 +410,17 @@ class QueryService:
     def coalesce(self) -> bool:
         """Whether request coalescing is enabled."""
         return self._coalesce
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the sampling engine has degraded to in-process serial mode.
+
+        ``True`` once the parallel engine exhausted its crash-retry budget
+        and fell back to sampling in the serving process (answers stay
+        byte-identical; only throughput suffers).  Always ``False`` for
+        engines without a worker pool.
+        """
+        return bool(getattr(self._engine, "degraded", False))
 
     def metrics(self) -> ServiceMetrics:
         """A consistent snapshot of the counters (see :class:`ServiceMetrics`).

@@ -218,7 +218,8 @@ class QueryServer:
 
     Parameters mirror :class:`QueryService` (``graph`` / ``engine`` /
     ``workers`` / ``seed`` / ``pool_budget`` / ``max_in_flight`` /
-    ``max_query_samples`` / ``coalesce`` apply to every tenant's service),
+    ``max_query_samples`` / ``coalesce`` / ``fault_plan`` apply to every
+    tenant's service),
     plus the serving controls described in the module docstring:
     ``tenant_burst`` / ``tenant_rate`` (token bucket, sample units),
     ``max_tenants``, ``connection_window``, ``default_deadline_ms``, and an
@@ -254,6 +255,7 @@ class QueryServer:
         connection_window: int = DEFAULT_CONNECTION_WINDOW,
         default_deadline_ms: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        fault_plan=None,
     ) -> None:
         require_positive_int(max_tenants, "max_tenants")
         require_positive_int(connection_window, "connection_window")
@@ -274,6 +276,7 @@ class QueryServer:
             max_in_flight=max_in_flight,
             max_query_samples=max_query_samples,
             coalesce=coalesce,
+            fault_plan=fault_plan,
         )
         self._max_in_flight = max_in_flight
         self._host = host
@@ -371,6 +374,7 @@ class QueryServer:
                 "server_requests": tenant.requests,
                 "budget_rejected": tenant.budget_rejected,
                 "tokens": None if tenant.bucket is None else tenant.bucket.tokens,
+                "degraded": tenant.service.degraded,
             }
         return {
             "server": {
@@ -388,15 +392,27 @@ class QueryServer:
                 "tenant_count": len(self._tenants),
                 "max_tenants": self._max_tenants,
                 "connection_window": self._connection_window,
+                "degraded": self._degraded(),
             },
             "tenants": tenants,
         }
 
+    def _degraded(self) -> bool:
+        """Whether any tenant's engine fell back to serial sampling."""
+        return any(tenant.service.degraded for tenant in self._tenants.values())
+
     def health(self) -> dict:
-        """The ``/healthz`` payload: alive-ness, never gated on admission."""
+        """The ``/healthz`` payload: alive-ness, never gated on admission.
+
+        ``degraded`` flips to ``True`` when any tenant's sampling engine
+        has fallen back to in-process serial mode after repeated worker
+        crashes -- the server still answers (byte-identically) but at
+        reduced throughput, so operators can alert on it (DESIGN.md §11).
+        """
         return {
             "ok": True,
             "status": "closing" if self._closing else "serving",
+            "degraded": self._degraded(),
             "in_flight": self._inflight,
             "tenants": len(self._tenants),
         }

@@ -1,0 +1,193 @@
+"""Hypothesis chaos suite: random fault plans, byte-identical results.
+
+Each example draws a random :class:`~repro.faults.FaultPlan` -- worker
+kills, shared-memory publish failures, slow chunks, spill I/O errors --
+and drives it through the public sampling paths (pmax estimation, pair
+screening, pool serving with spill/restart).  The invariant is always the
+same and is the whole point of the recovery design (DESIGN.md §11):
+**faults may change cost and scheduling, never results**.  Every example
+asserts bit-identity against a fault-free reference and that no
+shared-memory segment or temp file outlives the run.
+
+The suite runs with a handful of examples by default (worker kills cost a
+pool respawn each); the CI chaos job raises the example count.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.raf import estimate_pmax
+from repro.diffusion.engine import create_engine
+from repro.experiments.pair_selection import screen_pmax
+from repro.faults import FaultPlan
+from repro.graph.generators import barabasi_albert_graph
+from repro.graph.weights import apply_degree_normalized_weights
+from repro.parallel import ParallelEngine, fork_available
+from repro.parallel import shm as shm_transport
+from repro.pool import STREAM_PMAX, SamplePool
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="chaos tests exercise forked worker pools"
+)
+
+#: Small chunks fan a request over many chunks, so injected per-chunk
+#: faults actually land; worker kills then cost one cheap respawn each.
+CHUNK = 50
+
+CHAOS = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: A bounded random fault plan.  ``on_worker_failure="serial"`` below keeps
+#: even a kill-everything draw terminating (and still byte-identical), and
+#: ``max_faults`` bounds the injected-kill count so respawn rounds stay
+#: cheap; the *plan seed* is the interesting axis, the rates just vary mix.
+fault_plans = st.builds(
+    FaultPlan,
+    st.integers(min_value=0, max_value=2**31),
+    kill_rate=st.floats(min_value=0.0, max_value=0.4),
+    slow_rate=st.floats(min_value=0.0, max_value=0.3),
+    shm_fail_rate=st.floats(min_value=0.0, max_value=0.5),
+    slow_seconds=st.just(0.001),
+    max_faults=st.integers(min_value=1, max_value=4),
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return apply_degree_normalized_weights(barabasi_albert_graph(200, 4, rng=17))
+
+
+@pytest.fixture(scope="module")
+def pair(graph):
+    source = 0
+    target = next(
+        node
+        for node in reversed(graph.node_list())
+        if node != source and not graph.has_edge(source, node)
+    )
+    return source, target
+
+
+def _faulted_engine(graph, plan):
+    return ParallelEngine(
+        create_engine(graph, "numpy"), 2, CHUNK,
+        on_worker_failure="serial", fault_plan=plan,
+    )
+
+
+def _assert_shm_clean():
+    prefix = shm_transport.default_prefix()
+    shm_dir = Path("/dev/shm")
+    if shm_dir.is_dir():
+        assert sorted(p.name for p in shm_dir.glob(f"{prefix}*")) == []
+
+
+class TestPmaxChaos:
+    @CHAOS
+    @given(plan=fault_plans)
+    def test_pmax_is_bit_identical_under_random_faults(self, graph, pair, plan):
+        source, target = pair
+        # The reference is the same chunked fan-out path without faults
+        # (the chunked path is deliberately a different stream than the
+        # historical single-stream serial path).
+        with ParallelEngine(create_engine(graph, "numpy"), 2, CHUNK) as clean:
+            reference = estimate_pmax(
+                graph, source, target, epsilon=0.4, confidence_n=100.0,
+                max_samples=4_000, rng=31, engine=clean,
+            )
+        with _faulted_engine(graph, plan) as engine:
+            faulted = estimate_pmax(
+                graph, source, target, epsilon=0.4, confidence_n=100.0,
+                max_samples=4_000, rng=31, engine=engine,
+            )
+        assert faulted == reference
+        _assert_shm_clean()
+
+
+class TestScreenChaos:
+    @CHAOS
+    @given(plan=fault_plans)
+    def test_screen_pmax_is_bit_identical_under_random_faults(self, graph, pair, plan):
+        source, target = pair
+        with ParallelEngine(create_engine(graph, "numpy"), 2, CHUNK) as clean:
+            reference = screen_pmax(
+                graph, source, target, num_samples=600, rng=7, engine=clean
+            )
+        with _faulted_engine(graph, plan) as engine:
+            faulted = screen_pmax(
+                graph, source, target, num_samples=600, rng=7, engine=engine
+            )
+        assert faulted == reference
+        _assert_shm_clean()
+
+
+class TestPoolChaos:
+    @CHAOS
+    @given(
+        plan=st.builds(
+            FaultPlan,
+            st.integers(min_value=0, max_value=2**31),
+            spill_fail_rate=st.floats(min_value=0.0, max_value=0.8),
+        ),
+        draws=st.integers(min_value=1, max_value=3),
+    )
+    def test_spill_faults_never_corrupt_the_stream(
+        self, graph, pair, tmp_path_factory, plan, draws
+    ):
+        """Spill I/O errors at random points must leave every restarted
+        pool either adopting a valid prefix or silently re-drawing --
+        the served stream is byte-identical either way."""
+        source, target = pair
+        stop = graph.neighbor_set(source)
+        reference = SamplePool(
+            create_engine(graph, "python"), seed=9, chunk_size=16
+        ).paths(target, stop, 16 * draws, STREAM_PMAX)
+        spill_dir = tmp_path_factory.mktemp("chaos-pool")
+        faulted = SamplePool(
+            create_engine(graph, "python"), seed=9, chunk_size=16,
+            spill_dir=spill_dir, fault_plan=plan,
+        )
+        assert faulted.paths(target, stop, 16 * draws, STREAM_PMAX) == reference
+        faulted.spill_all()
+        faulted.spill_all()  # a later checkpoint may succeed where one failed
+        restarted = SamplePool(
+            create_engine(graph, "python"), seed=9, chunk_size=16,
+            spill_dir=spill_dir,
+        )
+        assert restarted.paths(target, stop, 16 * draws, STREAM_PMAX) == reference
+        assert list(spill_dir.glob("*.tmp")) == []
+
+
+class TestKillChaos:
+    @CHAOS
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        kill_at=st.sets(st.integers(min_value=0, max_value=7), max_size=2),
+    )
+    def test_targeted_kills_recover_byte_identically(self, graph, pair, seed, kill_at):
+        """Killing the workers of specific chunks (any pair of the eight
+        dispatched) recovers exactly the fault-free draw."""
+        _, target = pair
+        stop = graph.neighbor_set(pair[0])
+        with ParallelEngine(create_engine(graph, "numpy"), 2, CHUNK) as clean:
+            expected = clean.sample_paths(
+                target, stop, 8 * CHUNK, rng=random.Random(seed)
+            )
+        plan = FaultPlan(kill_at=frozenset(kill_at))
+        with ParallelEngine(
+            create_engine(graph, "numpy"), 2, CHUNK, fault_plan=plan
+        ) as engine:
+            observed = engine.sample_paths(
+                target, stop, 8 * CHUNK, rng=random.Random(seed)
+            )
+        assert observed == expected
+        _assert_shm_clean()

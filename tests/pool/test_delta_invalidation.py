@@ -208,9 +208,11 @@ class TestSpillCompatibilityAcrossResnapshots:
         assert refreshed == cold.paths(90, side_stop, 32, STREAM_PMAX)
 
     def test_fresh_pools_do_not_see_historical_spills(self, tmp_path):
-        # History lives in the pool instance: a new pool on the mutated
-        # graph has no snapshot lineage, so old-digest blobs stay invisible
-        # (exactly the pre-delta behaviour).
+        # The persisted lineage record binds the digest current at spill
+        # time; this pool spilled *before* the mutation, so a new pool on
+        # the mutated graph finds a record for a digest it does not have
+        # and adopts nothing (adoption after restart requires the writer to
+        # have observed the mutation -- see test_pool_restart.py).
         graph = two_region_graph()
         writer = SamplePool(
             create_engine(graph, "python"), seed=9, chunk_size=16, spill_dir=tmp_path

@@ -245,6 +245,46 @@ class TestServeLifecycle:
         assert code == 1
         assert "--tenant-burst requires --listen" in captured.err
 
+    def test_listen_on_bound_port_exits_with_one_line_diagnostic(self):
+        """Binding a port something else holds must produce a single stderr
+        line and the dedicated exit code -- not an asyncio traceback."""
+        with socket.socket() as blocker:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            proc = _spawn_serve("--listen", f"127.0.0.1:{port}")
+            try:
+                _, stderr = proc.communicate(timeout=120)
+            finally:
+                proc.kill()
+        assert proc.returncode == 2
+        assert "Traceback" not in stderr
+        lines = [line for line in stderr.splitlines() if line.strip()]
+        assert len(lines) == 1, stderr
+        assert "already in use" in lines[0] and str(port) in lines[0]
+
+
+class TestServeFaultInjection:
+    def test_fault_rate_flags_require_fault_seed(self, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        code = main(["serve", *GRAPH_ARGS, "--fault-kill-rate", "0.5"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--fault-kill-rate requires --fault-seed" in captured.err
+
+    def test_faulted_serve_output_is_byte_identical(self, monkeypatch, capsys):
+        """A chaos soak run (worker kills + slow chunks) answers every query
+        byte-identically to the fault-free serve loop."""
+        code, baseline, _ = _serve(monkeypatch, capsys, _valid_requests())
+        assert code == 0
+        code, faulted, _ = _serve(
+            monkeypatch, capsys, _valid_requests(),
+            extra_args=["--workers", "2", "--fault-seed", "3",
+                        "--fault-kill-rate", "0.3", "--fault-slow-rate", "0.2"],
+        )
+        assert code == 0
+        assert faulted == baseline
+
 
 class TestBenchLoadCommand:
     def test_round_trip_writes_report(self, capsys, tmp_path):

@@ -578,3 +578,53 @@ class TestShutdownRace:
             writer.close()
 
         run(main())
+
+
+class TestDegradedMode:
+    """Degraded-to-serial engines surface through /healthz and /stats."""
+
+    def test_health_and_stats_surface_engine_degradation(self, service_graph, hot_pair):
+        from repro.faults import FaultPlan
+
+        source, target = hot_pair
+
+        async def main():
+            async with QueryServer(service_graph, seed=POOL_SEED, workers=2) as server:
+                _, before = await _http(server, "GET", "/healthz")
+                service = server.tenant_service("default")
+                engine = service.pool.engine
+                assert service.degraded is False
+                # Exhaust the retry budget for real: every dispatched chunk
+                # kills its worker until the engine gives up and goes serial.
+                engine.inject_faults(FaultPlan(kill_rate=1.0))
+                stop = service_graph.neighbor_set(source)
+                await asyncio.to_thread(
+                    engine.sample_paths, target, stop, 2 * engine.chunk_size
+                )
+                engine.inject_faults(None)
+                _, after = await _http(server, "GET", "/healthz")
+                _, stats = await _http(server, "GET", "/stats")
+                return before, after, stats
+
+        before, after, stats = run(main(), timeout=120.0)
+        assert before["degraded"] is False
+        assert after["degraded"] is True
+        assert after["ok"] is True  # degraded is an alert, not an outage
+        assert stats["result"]["server"]["degraded"] is True
+        assert stats["result"]["tenants"]["default"]["degraded"] is True
+
+    def test_fault_plan_threads_through_to_tenant_services(self, service_graph):
+        from repro.faults import SITE_SPILL_IO, FaultPlan
+
+        plan = FaultPlan(5, spill_fail_rate=1.0)
+
+        async def main():
+            async with QueryServer(
+                service_graph, seed=POOL_SEED, fault_plan=plan
+            ) as server:
+                service = server.tenant_service("default")
+                return service.pool
+
+        pool = run(main())
+        assert pool._fault_plan is plan
+        assert plan.injected(SITE_SPILL_IO) == 0  # nothing spilled yet
